@@ -1,0 +1,206 @@
+"""Ablation benches for the verifier's design choices (DESIGN.md Sec. 5).
+
+1. bound tightening: LP-tightened vs plain interval bounds — binary count
+   and end-to-end verification time;
+2. LP backend: from-scratch simplex vs HiGHS inside branch-and-bound —
+   identical answers, different cost;
+3. branching rule: most-fractional vs first-index vs random.
+"""
+
+import numpy as np
+import pytest
+
+from repro import casestudy
+from repro.core.bounds import interval_bounds, lp_tightened_bounds, total_ambiguous
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import OutputObjective
+from repro.core.verifier import Verdict, Verifier
+from repro.milp import MILPOptions
+from repro.nn.mdn import mu_lat_indices
+from repro.report import render_generic
+
+from conftest import TABLE_II_WIDTHS, TIME_LIMIT
+
+
+@pytest.fixture(scope="module")
+def subject(study, family):
+    """Smallest family member + its Table II region."""
+    width = min(TABLE_II_WIDTHS)
+    return family[width], casestudy.operational_region(study)
+
+
+class TestBoundTighteningAblation:
+    def test_lp_bounds_reduce_binaries(self, subject):
+        network, region = subject
+        loose = total_ambiguous(interval_bounds(network, region), network)
+        tight = total_ambiguous(
+            lp_tightened_bounds(network, region), network
+        )
+        print(f"\nambiguous ReLUs: interval={loose}, lp={tight}")
+        assert tight <= loose
+
+    def test_bound_engine_ordering(self, subject, emit):
+        """interval ⊒ crown ⊒ lp in ambiguous-neuron count."""
+        from repro.core.crown import crown_bounds
+
+        network, region = subject
+        counts = {
+            "interval": total_ambiguous(
+                interval_bounds(network, region), network
+            ),
+            "crown": total_ambiguous(
+                crown_bounds(network, region), network
+            ),
+            "lp": total_ambiguous(
+                lp_tightened_bounds(network, region), network
+            ),
+        }
+        emit(f"\nambiguous ReLUs by bound engine: {counts}")
+        assert counts["lp"] <= counts["crown"] <= counts["interval"]
+
+    def test_bench_crown_bound_pass(self, benchmark, subject):
+        from repro.core.crown import crown_bounds
+
+        network, region = subject
+        bounds = benchmark(crown_bounds, network, region)
+        assert len(bounds) == len(network.layers)
+
+    def test_same_answer_both_modes(self, subject, study):
+        network, region = subject
+        objective = OutputObjective.single(
+            mu_lat_indices(study.config.num_components)[0]
+        )
+        values = {}
+        for mode in ("interval", "lp"):
+            verifier = Verifier(
+                network,
+                EncoderOptions(bound_mode=mode),
+                MILPOptions(time_limit=TIME_LIMIT),
+            )
+            result = verifier.maximize(region, objective)
+            if result.verdict is Verdict.MAX_FOUND:
+                values[mode] = result.value
+        if len(values) == 2:
+            assert values["interval"] == pytest.approx(
+                values["lp"], abs=1e-4
+            )
+
+    def test_bench_interval_bound_pass(self, benchmark, subject):
+        network, region = subject
+        bounds = benchmark(interval_bounds, network, region)
+        assert len(bounds) == len(network.layers)
+
+    def test_bench_lp_bound_pass(self, benchmark, subject):
+        network, region = subject
+        bounds = benchmark.pedantic(
+            lp_tightened_bounds, args=(network, region),
+            rounds=1, iterations=1,
+        )
+        assert len(bounds) == len(network.layers)
+
+
+class TestLPBackendAblation:
+    def test_bench_backend_table(self, benchmark, subject, study, emit):
+        """Regenerates the backend-ablation table under --benchmark-only."""
+        network, region = subject
+        objective = OutputObjective.single(
+            mu_lat_indices(study.config.num_components)[0]
+        )
+
+        def run_both():
+            rows = []
+            for backend in ("highs", "simplex"):
+                verifier = Verifier(
+                    network,
+                    EncoderOptions(bound_mode="lp"),
+                    MILPOptions(
+                        time_limit=TIME_LIMIT, lp_backend=backend
+                    ),
+                )
+                result = verifier.maximize(region, objective)
+                rows.append(
+                    [
+                        backend,
+                        result.verdict.value,
+                        f"{result.value:.5f}"
+                        if result.verdict is Verdict.MAX_FOUND
+                        else "-",
+                        f"{result.wall_time:.2f}s",
+                    ]
+                )
+            return rows
+
+        rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+        emit(
+            "\n"
+            + render_generic(
+                ["backend", "verdict", "max", "time"],
+                rows,
+                title="LP backend ablation",
+            )
+        )
+
+    def test_backends_agree_end_to_end(self, subject, study):
+        network, region = subject
+        objective = OutputObjective.single(
+            mu_lat_indices(study.config.num_components)[0]
+        )
+        rows = []
+        values = {}
+        for backend in ("highs", "simplex"):
+            verifier = Verifier(
+                network,
+                EncoderOptions(bound_mode="lp"),
+                MILPOptions(time_limit=TIME_LIMIT, lp_backend=backend),
+            )
+            result = verifier.maximize(region, objective)
+            rows.append(
+                [
+                    backend,
+                    result.verdict.value,
+                    f"{result.value:.5f}"
+                    if result.verdict is Verdict.MAX_FOUND
+                    else "-",
+                    f"{result.wall_time:.2f}s",
+                    str(result.nodes),
+                ]
+            )
+            if result.verdict is Verdict.MAX_FOUND:
+                values[backend] = result.value
+        print()
+        print(
+            render_generic(
+                ["backend", "verdict", "max", "time", "nodes"],
+                rows,
+                title="LP backend ablation",
+            )
+        )
+        if len(values) == 2:
+            assert values["highs"] == pytest.approx(
+                values["simplex"], abs=1e-4
+            )
+
+
+_BRANCHING_VALUES = {}
+
+
+class TestBranchingAblation:
+    @pytest.mark.parametrize(
+        "rule", ["most_fractional", "first", "random"]
+    )
+    def test_rules_agree(self, subject, study, rule):
+        network, region = subject
+        objective = OutputObjective.single(
+            mu_lat_indices(study.config.num_components)[0]
+        )
+        verifier = Verifier(
+            network,
+            EncoderOptions(bound_mode="lp"),
+            MILPOptions(time_limit=TIME_LIMIT, branching=rule),
+        )
+        result = verifier.maximize(region, objective)
+        assert result.verdict in (Verdict.MAX_FOUND, Verdict.TIMEOUT)
+        if result.verdict is Verdict.MAX_FOUND:
+            _BRANCHING_VALUES[rule] = result.value
+            reference = next(iter(_BRANCHING_VALUES.values()))
+            assert result.value == pytest.approx(reference, abs=1e-4)

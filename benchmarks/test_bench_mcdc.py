@@ -1,0 +1,110 @@
+"""Bench: the Sec. II coverage argument, quantified.
+
+The paper's claims: (i) with ``tan^-1``-style activations one test case
+satisfies MC/DC; (ii) with ReLU, MC/DC is intractable because branch
+combinations are exponential in the neuron count.  The bench regenerates
+the census for the whole I4xN family and measures how little of the
+branch space a large random test suite actually explores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import mcdc_census, measure_coverage
+from repro.nn import FeedForwardNetwork
+from repro.report import render_generic
+
+from conftest import TABLE_II_WIDTHS
+
+
+class TestCensusClaims:
+    def test_census_table(self, family):
+        rows = []
+        for width in TABLE_II_WIDTHS:
+            census = mcdc_census(family[width])
+            rows.append(
+                [
+                    census.architecture,
+                    str(census.branching_neurons),
+                    f"2^{census.branching_neurons}",
+                    "no" if not census.tractable else "yes",
+                ]
+            )
+        print()
+        print(
+            render_generic(
+                ["ANN", "branching neurons", "branch combos", "tractable"],
+                rows,
+                title="MC/DC census (Sec. II claim ii)",
+            )
+        )
+        # Intractability kicks in at 2^20 branch combinations; the
+        # smallest laptop-scale nets can be genuinely enumerable.
+        for width, row in zip(TABLE_II_WIDTHS, rows):
+            if 4 * width > 20:
+                assert row[3] == "no"
+
+    def test_tanh_counterpart_needs_one_test(self):
+        """Claim (i): the same architecture with smooth activations has
+        zero branches."""
+        net = FeedForwardNetwork.mlp(
+            84, [25] * 4, 10, hidden_activation="tanh",
+            rng=np.random.default_rng(0),
+        )
+        census = mcdc_census(net)
+        assert census.tests_for_mcdc == 1
+        assert census.branch_combinations == 1
+
+    def test_paper_scale_network_census(self):
+        """The I4x60 of the paper: 240 branching neurons, 2^240 combos."""
+        net = FeedForwardNetwork.mlp(
+            84, [60] * 4, 10, rng=np.random.default_rng(0)
+        )
+        census = mcdc_census(net)
+        assert census.branching_neurons == 240
+        assert census.branch_combinations == 2**240
+
+
+class TestPatternExploration:
+    def test_testing_explores_vanishing_fraction(self, study, family):
+        """Even 2000 in-distribution tests visit a negligible share of
+        the branch space — the executable form of 'testing approaches
+        its limitation'."""
+        width = min(TABLE_II_WIDTHS)
+        net = family[width]
+        x = study.dataset.x[:2000]
+        report = measure_coverage(net, x)
+        print(f"\n{report.render()}")
+        assert report.pattern_fraction < 1e-3
+        # yet simple neuron-level metrics look deceptively healthy:
+        assert report.activation_coverage > 0.3
+
+
+class TestCoverageBench:
+    def test_bench_census(self, benchmark, family, emit):
+        width = max(TABLE_II_WIDTHS)
+        census = benchmark(mcdc_census, family[width])
+        assert census.branching_neurons == 4 * width
+        rows = [
+            [
+                mcdc_census(family[w]).architecture,
+                str(mcdc_census(family[w]).branching_neurons),
+                f"2^{mcdc_census(family[w]).branching_neurons}",
+            ]
+            for w in TABLE_II_WIDTHS
+        ]
+        emit(
+            "\n"
+            + render_generic(
+                ["ANN", "branching neurons", "branch combinations"],
+                rows,
+                title="MC/DC census (Sec. II)",
+            )
+        )
+
+    def test_bench_measure_coverage(self, benchmark, study, family):
+        width = min(TABLE_II_WIDTHS)
+        net = family[width]
+        x = study.dataset.x[:500]
+        report = benchmark(measure_coverage, net, x)
+        assert report.samples == 500

@@ -1,0 +1,161 @@
+"""Bench: perspective (ii) — quantized networks and bit-level verification.
+
+The paper suggests quantized networks "might make verification more
+scalable via an encoding to bitvector theories".  The bench builds the
+whole route: quantize, bit-blast, decide with the CDCL solver, and
+cross-check the answer against the float MILP verifier on the same
+network.  Precision sweep shows the cost/fidelity trade-off of the
+quantization grid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import InputRegion, OutputObjective
+from repro.core.quantized_verifier import QuantizedVerifier, QVerdict
+from repro.core.verifier import Verifier
+from repro.nn import FeedForwardNetwork, QuantizedNetwork
+from repro.report import render_generic
+
+
+def demo_net(seed=0):
+    """Small enough that the CNF stays in benchmark territory for the
+    pure-Python CDCL (bit-level max queries grow steeply with width and
+    precision)."""
+    return FeedForwardNetwork.mlp(
+        3, [4], 1, rng=np.random.default_rng(seed)
+    )
+
+
+def unit_region(dim=3):
+    return InputRegion(np.array([[-1.0, 1.0]] * dim))
+
+
+class TestQuantizedExperiment:
+    def test_sat_matches_milp_up_to_grid(self):
+        """The headline cross-check: two independent from-scratch
+        verification stacks agree on the same network."""
+        net = demo_net(3)
+        region = unit_region()
+        float_max = Verifier(
+            net, EncoderOptions(bound_mode="lp")
+        ).maximize(region, OutputObjective.single(0))
+        rows = []
+        for frac_bits in (3, 4, 5):
+            qnet = QuantizedNetwork.from_network(net, frac_bits=frac_bits)
+            quant = QuantizedVerifier(qnet).maximize(region, 0)
+            assert quant.verdict is QVerdict.MAX_FOUND
+            diff = abs(quant.value_float - float_max.value)
+            rows.append(
+                [
+                    f"{frac_bits}",
+                    f"{quant.value_float:.4f}",
+                    f"{diff:.4f}",
+                    f"{quant.num_clauses}",
+                    f"{quant.wall_time:.2f}s",
+                ]
+            )
+            # Fidelity must improve (weakly) with precision.
+        print()
+        print(
+            render_generic(
+                ["frac bits", "SAT max", "|diff vs MILP|", "clauses", "time"],
+                rows,
+                title=(
+                    f"quantized verification vs float MILP "
+                    f"(MILP max {float_max.value:.4f})"
+                ),
+            )
+        )
+        diffs = [float(row[2]) for row in rows]
+        assert diffs[-1] <= diffs[0] + 1e-6
+        assert diffs[-1] < 0.2
+
+    def test_decision_query_both_directions(self):
+        net = demo_net(5)
+        region = unit_region()
+        qnet = QuantizedNetwork.from_network(net, frac_bits=4)
+        verifier = QuantizedVerifier(qnet)
+        max_result = verifier.maximize(region, 0)
+        above = verifier.prove_bound(
+            region, 0, max_result.value_float + 0.5
+        )
+        below = verifier.prove_bound(
+            region, 0, max_result.value_float - 0.5
+        )
+        assert above.verdict is QVerdict.VERIFIED
+        assert below.verdict is QVerdict.FALSIFIED
+
+    def test_clause_count_grows_with_precision(self):
+        net = demo_net(1)
+        region = unit_region()
+        clause_counts = []
+        for frac_bits in (3, 6):
+            qnet = QuantizedNetwork.from_network(net, frac_bits=frac_bits)
+            result = QuantizedVerifier(qnet).prove_bound(region, 0, 1e6)
+            assert result.verdict is QVerdict.VERIFIED  # nothing reaches 1e6
+            clause_counts.append(result.num_clauses)
+        assert clause_counts[1] > clause_counts[0]
+
+
+class TestQuantizedBench:
+    def test_bench_quantized_vs_milp(self, benchmark, emit):
+        """Regenerates the precision-sweep comparison table."""
+        net = demo_net(3)
+        region = unit_region()
+        float_max = Verifier(
+            net, EncoderOptions(bound_mode="lp")
+        ).maximize(region, OutputObjective.single(0))
+
+        def sweep():
+            rows = []
+            for frac_bits in (3, 4, 5):
+                qnet = QuantizedNetwork.from_network(
+                    net, frac_bits=frac_bits
+                )
+                quant = QuantizedVerifier(qnet).maximize(region, 0)
+                diff = abs(quant.value_float - float_max.value)
+                rows.append(
+                    [
+                        str(frac_bits),
+                        f"{quant.value_float:.4f}",
+                        f"{diff:.4f}",
+                        str(quant.num_clauses),
+                    ]
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        emit(
+            "\n"
+            + render_generic(
+                ["frac bits", "SAT max", "|diff vs MILP|", "clauses"],
+                rows,
+                title=(
+                    "quantized SAT vs float MILP "
+                    f"(MILP max {float_max.value:.4f})"
+                ),
+            )
+        )
+
+    def test_bench_bitblast_and_decide(self, benchmark):
+        net = demo_net(2)
+        qnet = QuantizedNetwork.from_network(net, frac_bits=4)
+        region = unit_region()
+        verifier = QuantizedVerifier(qnet)
+
+        def decide():
+            return verifier.prove_bound(region, 0, 100.0)
+
+        result = benchmark.pedantic(decide, rounds=1, iterations=1)
+        assert result.verdict is QVerdict.VERIFIED
+
+    def test_bench_integer_inference(self, benchmark):
+        net = demo_net(0)
+        qnet = QuantizedNetwork.from_network(net, frac_bits=8)
+        q = qnet.quantize_input(
+            np.random.default_rng(0).uniform(-1, 1, size=(256, 3))
+        )
+        out = benchmark(qnet.forward_int, q)
+        assert out.shape == (256, 1)

@@ -1,0 +1,114 @@
+"""Bench: certified perturbation radii ("maximum resilience").
+
+The verification methodology the paper applies comes from *Maximum
+Resilience of Artificial Neural Networks* (Cheng et al., ATVA 2017).
+This bench computes the headline quantity of that companion paper on our
+case study: around concrete left-occupied scenes, the largest
+perturbation radius within which the lateral-velocity bound is *proven*
+to hold.  Scenes closer to the property's decision surface certify
+smaller radii — the per-scene profile a deployment review would cite.
+"""
+
+import numpy as np
+import pytest
+
+from repro import casestudy
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import OutputObjective
+from repro.core.resilience import ResilienceAnalyzer
+from repro.milp import MILPOptions
+from repro.nn.mdn import mu_lat_indices
+from repro.report import render_generic
+
+from conftest import TABLE_II_WIDTHS, TIME_LIMIT
+
+
+@pytest.fixture(scope="module")
+def analyzer(study, family):
+    width = min(TABLE_II_WIDTHS)
+    network = family[width]
+    domain = casestudy.operational_region(study)
+    objective = OutputObjective.single(
+        mu_lat_indices(study.config.num_components)[0]
+    )
+    # Threshold above the scenes' nominal values so positive radii exist.
+    scenes = domain.sample(np.random.default_rng(3), 8)
+    nominal = max(
+        objective.value(network.forward(scene)[0]) for scene in scenes
+    )
+    return (
+        ResilienceAnalyzer(
+            network,
+            domain,
+            objective,
+            threshold=nominal + 0.3,
+            encoder_options=EncoderOptions(bound_mode="lp"),
+            milp_options=MILPOptions(time_limit=TIME_LIMIT),
+        ),
+        scenes,
+    )
+
+
+class TestResilienceExperiment:
+    def test_certified_radii_profile(self, analyzer, emit):
+        engine, scenes = analyzer
+        results = engine.profile_scenes(
+            scenes[:4], max_radius=1.0, tolerance=0.1
+        )
+        rows = []
+        for i, result in enumerate(results):
+            rows.append(
+                [
+                    f"scene {i}",
+                    f"{result.certified_radius:.3f}",
+                    "-"
+                    if np.isinf(result.falsifying_radius)
+                    else f"{result.falsifying_radius:.3f}",
+                    str(result.probes),
+                    f"{result.wall_time:.1f}s",
+                ]
+            )
+        emit(
+            "\n"
+            + render_generic(
+                ["scene", "certified radius", "falsified at", "probes",
+                 "time"],
+                rows,
+                title="certified perturbation radii (ATVA'17 metric)",
+            )
+        )
+        for result in results:
+            assert 0.0 <= result.certified_radius <= 1.0
+            assert (
+                result.certified_radius
+                <= result.falsifying_radius + 1e-9
+            )
+
+    def test_radius_monotone_in_threshold(self, analyzer):
+        """A looser property certifies a radius at least as large."""
+        engine, scenes = analyzer
+        scene = scenes[0]
+        tight = engine.certified_radius(scene, tolerance=0.1)
+        loose_engine = ResilienceAnalyzer(
+            engine.network,
+            engine.domain,
+            engine.objective,
+            threshold=engine.threshold + 1.0,
+            encoder_options=EncoderOptions(bound_mode="lp"),
+            milp_options=MILPOptions(time_limit=TIME_LIMIT),
+        )
+        loose = loose_engine.certified_radius(scene, tolerance=0.1)
+        assert loose.certified_radius >= tight.certified_radius - 0.11
+
+
+class TestResilienceBench:
+    def test_bench_certified_radius(self, benchmark, analyzer):
+        engine, scenes = analyzer
+
+        def probe():
+            return engine.certified_radius(
+                scenes[0], max_radius=1.0, tolerance=0.2
+            )
+
+        result = benchmark.pedantic(probe, rounds=1, iterations=1)
+        assert result.probes >= 1

@@ -1,0 +1,69 @@
+"""Bench: regenerate Table I — the certification-concept matrix.
+
+Table I is methodological, so the bench (a) regenerates the matrix from
+the executable registry and checks it against the paper's wording, and
+(b) times the assembly of a full evidence-backed certification case on a
+trained predictor — the operation a certification workflow would repeat.
+"""
+
+import pytest
+
+from repro import casestudy
+from repro.core.certification import Pillar, table_i_rows
+from repro.report import render_table_i_markdown
+
+
+class TestTableIContent:
+    def test_regenerated_rows_match_paper(self):
+        rows = {r["aspect"]: r for r in table_i_rows()}
+        assert set(rows) == {
+            "implementation understandability",
+            "implementation correctness",
+            "specification validity",
+        }
+        assert (
+            "neuron-to-feature"
+            in rows["implementation understandability"]["adaptation_for_ann"]
+        )
+        assert (
+            "(-) coverage criteria such as MC/DC"
+            in rows["implementation correctness"]["adaptation_for_ann"]
+        )
+        assert (
+            "formal analysis"
+            in rows["implementation correctness"]["adaptation_for_ann"]
+        )
+        assert (
+            "data as a new type of specification"
+            in rows["specification validity"]["adaptation_for_ann"]
+        )
+
+    def test_print_table(self, capsys):
+        print()
+        print(render_table_i_markdown())
+        out = capsys.readouterr().out
+        assert "Aspect" in out
+
+
+class TestTableIBench:
+    def test_bench_render_table_i(self, benchmark, emit):
+        text = benchmark(render_table_i_markdown)
+        assert "MC/DC" in text
+        emit("\n" + text)
+
+    def test_bench_certification_case_assembly(
+        self, benchmark, study, family, emit
+    ):
+        """Time the full three-pillar case assembly on the smallest net."""
+        width = min(family)
+        network = family[width]
+
+        def assemble():
+            return casestudy.certify_predictor(
+                study, network, time_limit=60.0
+            )
+
+        case = benchmark.pedantic(assemble, rounds=1, iterations=1)
+        assert case.complete
+        assert case.evidence_for(Pillar.CORRECTNESS)
+        emit("\n" + case.render())

@@ -1,0 +1,72 @@
+"""Bench: the Sec. II C / Sec. III data-validation step.
+
+"Once we validated that the training data never contains such inputs..."
+— the bench regenerates that check: the expert data passes the battery,
+datasets with injected risky samples are caught with exact precision and
+recall, and the validation sweep itself is timed (it must stay cheap
+enough to run on every training set revision).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import DataValidator, DrivingDataset, sanitize
+from repro.highway import feature_index
+
+
+def inject(dataset, rows, rng):
+    x = dataset.x.copy()
+    y = dataset.y.copy()
+    for row in rows:
+        x[row, feature_index("left_present")] = 1.0
+        x[row, feature_index("left_gap")] = float(rng.uniform(0, 4))
+        y[row, 0] = float(rng.uniform(1.0, 2.0))
+    return DrivingDataset(x, y, source="poisoned")
+
+
+class TestValidationExperiment:
+    def test_expert_data_is_clean(self, study):
+        validator = DataValidator.default(study.encoder)
+        report = validator.validate(study.dataset)
+        print()
+        print(report.render())
+        assert report.passed
+
+    @pytest.mark.parametrize("count", [1, 5, 25])
+    def test_injected_risk_detected_exactly(self, study, count):
+        rng = np.random.default_rng(count)
+        rows = rng.choice(len(study.dataset), size=count, replace=False)
+        poisoned = inject(study.dataset, rows, rng)
+        validator = DataValidator.default(study.encoder)
+        report = validator.validate(poisoned)
+        assert not report.passed
+        flagged = set(report.violating_indices().tolist())
+        assert set(rows.tolist()) <= flagged
+        # No false positives beyond the injected rows: the clean part of
+        # the expert data stays clean.
+        assert flagged <= set(rows.tolist())
+
+    def test_sanitization_restores_validity(self, study):
+        rng = np.random.default_rng(0)
+        rows = rng.choice(len(study.dataset), size=10, replace=False)
+        poisoned = inject(study.dataset, rows, rng)
+        validator = DataValidator.default(study.encoder)
+        result = sanitize(poisoned, validator)
+        assert result.removed_count == 10
+        assert result.after.passed
+
+
+class TestValidationBench:
+    def test_bench_full_battery(self, benchmark, study, emit):
+        validator = DataValidator.default(study.encoder)
+        report = benchmark(validator.validate, study.dataset)
+        assert report.passed
+        emit("\n" + report.render())
+
+    def test_bench_sanitize_poisoned(self, benchmark, study):
+        rng = np.random.default_rng(7)
+        rows = rng.choice(len(study.dataset), size=20, replace=False)
+        poisoned = inject(study.dataset, rows, rng)
+        validator = DataValidator.default(study.encoder)
+        result = benchmark(sanitize, poisoned, validator)
+        assert result.after.passed

@@ -1,0 +1,53 @@
+"""Quickstart: the paper's whole pipeline in one short script.
+
+Generates expert highway data on the simulator, validates it (Sec. II C),
+trains one ANN motion predictor, formally verifies the lateral-velocity
+safety property (Sec. III / Table II), and prints the three-pillar
+certification case (Table I).
+
+Run:  python examples/quickstart.py
+Takes well under a minute at the reduced default scale.
+"""
+
+from repro import casestudy
+from repro.core.certification import render_table_i
+from repro.highway import DatasetSpec
+from repro.nn.training import TrainingConfig
+
+
+def main() -> None:
+    print(render_table_i())
+    print()
+
+    config = casestudy.CaseStudyConfig(
+        num_components=2,
+        dataset=DatasetSpec(episodes=4, steps_per_episode=200, seed=0),
+        training=TrainingConfig(
+            epochs=40, learning_rate=1e-3, weight_decay=1.0
+        ),
+    )
+
+    print("1) generating + validating expert data ...")
+    study = casestudy.prepare_case_study(config)
+    print("   ", study.dataset.summary())
+    print(study.provenance.render())
+    print()
+
+    print("2) training the I4x6 motion predictor ...")
+    network = casestudy.train_predictor(study, width=6, seed=1)
+    print(f"   trained {network.architecture_id} "
+          f"({network.num_parameters} parameters)")
+    print()
+
+    print("3) verifying: max lateral velocity with a vehicle on the left")
+    row = casestudy.verify_network(study, network, time_limit=120.0)
+    print("   ", row.render())
+    print()
+
+    print("4) assembling the certification case ...")
+    case = casestudy.certify_predictor(study, network, time_limit=120.0)
+    print(case.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — dependable neural networks for safety-critical applications.
+
+A complete reproduction of *"Neural Networks for Safety-Critical
+Applications — Challenges, Experiments and Perspectives"* (Cheng et al.,
+DATE 2018): the three-pillar certification methodology of Table I, the
+highway motion-prediction case study of Sec. III with its MILP-based
+formal verification (Table II), and the paper's research perspectives —
+attribution-based understandability, quantized-network verification via
+SAT, and training with safety hints.
+
+Quickstart::
+
+    from repro import casestudy
+
+    study = casestudy.prepare_case_study()
+    net = casestudy.train_predictor(study, width=10)
+    row = casestudy.verify_network(study, net)
+    print(row.render())
+
+Subpackages: :mod:`repro.nn` (networks), :mod:`repro.milp` (MILP solver),
+:mod:`repro.sat` (SAT/bitvectors), :mod:`repro.highway` (traffic
+simulator), :mod:`repro.data` (data-as-specification), :mod:`repro.core`
+(verification + certification), :mod:`repro.report` (tables/figures).
+"""
+
+from repro import casestudy, core, data, highway, milp, nn, report, sat
+from repro.errors import (
+    CertificationError,
+    EncodingError,
+    InfeasibleError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    TimeoutExpired,
+    TrainingError,
+    UnboundedError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CertificationError",
+    "EncodingError",
+    "InfeasibleError",
+    "ModelError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "TimeoutExpired",
+    "TrainingError",
+    "UnboundedError",
+    "ValidationError",
+    "casestudy",
+    "core",
+    "data",
+    "highway",
+    "milp",
+    "nn",
+    "report",
+    "sat",
+]

@@ -1,0 +1,243 @@
+"""Command-line interface: the case-study pipeline as shell commands.
+
+The five pipeline stages map onto subcommands::
+
+    python -m repro.cli table1
+    python -m repro.cli generate --episodes 6 --out data.npz
+    python -m repro.cli train    --data data.npz --width 10 --out net.json
+    python -m repro.cli verify   --data data.npz --net net.json
+    python -m repro.cli certify  --data data.npz --net net.json
+    python -m repro.cli figure1  --data data.npz --net net.json
+
+Every artifact is a plain file (``.npz`` dataset, ``.json`` network), so
+stages can run on different machines and be pinned in a certification
+audit by their fingerprints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import casestudy
+from repro.core.certification import render_table_i
+from repro.data.dataset import DrivingDataset
+from repro.data.provenance import ProvenanceLog
+from repro.data.sanitize import sanitize
+from repro.data.validation import DataValidator
+from repro.highway import (
+    DatasetSpec,
+    FeatureEncoder,
+    HighwaySimulator,
+    Road,
+    generate_expert_dataset,
+    overtaking_scene,
+)
+from repro.nn.mdn import mixture_from_raw
+from repro.nn.serialization import load_network, save_network
+from repro.nn.training import TrainingConfig
+from repro.report import figure_1, render_table_ii
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Dependable neural networks for safety-critical "
+            "applications (Cheng et al., DATE 2018 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table I methodology matrix")
+
+    gen = sub.add_parser(
+        "generate", help="generate + validate + sanitize expert data"
+    )
+    gen.add_argument("--episodes", type=int, default=6)
+    gen.add_argument("--steps", type=int, default=300)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    train = sub.add_parser("train", help="train one I4xN predictor")
+    train.add_argument("--data", required=True)
+    train.add_argument("--width", type=int, default=10)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--epochs", type=int, default=60)
+    train.add_argument("--components", type=int, default=2)
+    train.add_argument(
+        "--hint-weight", type=float, default=0.0,
+        help="safety-hint penalty weight (0 = plain training)",
+    )
+    train.add_argument("--out", required=True, help="output .json path")
+
+    verify = sub.add_parser(
+        "verify", help="Table II query: max lateral velocity, left occupied"
+    )
+    verify.add_argument("--data", required=True)
+    verify.add_argument("--net", required=True)
+    verify.add_argument("--components", type=int, default=2)
+    verify.add_argument("--time-limit", type=float, default=300.0)
+    verify.add_argument(
+        "--threshold", type=float, default=None,
+        help="also run the decision query 'never above THRESHOLD m/s'",
+    )
+
+    certify = sub.add_parser(
+        "certify", help="assemble the three-pillar certification case"
+    )
+    certify.add_argument("--data", required=True)
+    certify.add_argument("--net", required=True)
+    certify.add_argument("--components", type=int, default=2)
+    certify.add_argument("--time-limit", type=float, default=300.0)
+
+    figure = sub.add_parser(
+        "figure1", help="render the Figure-1 scene + GMM panel"
+    )
+    figure.add_argument("--data", required=True)
+    figure.add_argument("--net", required=True)
+    figure.add_argument("--components", type=int, default=2)
+    return parser
+
+
+def _load_study(path: str, components: int) -> casestudy.CaseStudy:
+    dataset = DrivingDataset.load(path)
+    config = casestudy.CaseStudyConfig(num_components=components)
+    return casestudy.study_from_dataset(dataset, config)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    road = Road()
+    encoder = FeatureEncoder(road)
+    log = ProvenanceLog()
+    x, y = generate_expert_dataset(
+        road,
+        DatasetSpec(
+            episodes=args.episodes,
+            steps_per_episode=args.steps,
+            seed=args.seed,
+        ),
+    )
+    dataset = DrivingDataset(x, y, source="idm_mobil_expert")
+    log.record("generate", f"{len(dataset)} samples seed={args.seed}")
+    result = sanitize(dataset, DataValidator.default(encoder), log)
+    result.clean.save(args.out)
+    print(result.after.render())
+    print(log.render())
+    print(f"wrote {len(result.clean)} samples to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = DrivingDataset.load(args.data)
+    config = casestudy.CaseStudyConfig(
+        num_components=args.components,
+        training=TrainingConfig(epochs=args.epochs, learning_rate=1e-3),
+    )
+    study = casestudy.study_from_dataset(dataset, config)
+    if args.hint_weight > 0:
+        network = casestudy.train_hinted_predictor(
+            study, args.width, hint_weight=args.hint_weight,
+            seed=args.seed,
+        )
+    else:
+        network = casestudy.train_predictor(
+            study, args.width, seed=args.seed
+        )
+    save_network(network, args.out)
+    print(
+        f"trained {network.architecture_id} "
+        f"({network.num_parameters} parameters) on "
+        f"{len(dataset)} samples -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    study = _load_study(args.data, args.components)
+    network = load_network(args.net)
+    row = casestudy.verify_network(
+        study, network, time_limit=args.time_limit
+    )
+    print(render_table_ii([row]))
+    exit_code = 0
+    if args.threshold is not None:
+        from repro.core.encoder import EncoderOptions
+        from repro.core.properties import (
+            SafetyProperty,
+            component_lateral_objectives,
+        )
+        from repro.core.verifier import Verdict, Verifier
+        from repro.milp import MILPOptions
+
+        region = casestudy.operational_region(study)
+        verifier = Verifier(
+            network,
+            EncoderOptions(bound_mode="lp"),
+            MILPOptions(time_limit=args.time_limit),
+        )
+        verdicts = [
+            verifier.prove(
+                SafetyProperty(
+                    name=f"leq_{args.threshold}",
+                    region=region,
+                    objective=objective,
+                    threshold=args.threshold,
+                )
+            ).verdict
+            for objective in component_lateral_objectives(
+                args.components
+            )
+        ]
+        proven = all(v is Verdict.VERIFIED for v in verdicts)
+        print(
+            f"decision query: lateral velocity <= {args.threshold} m/s: "
+            + ("PROVEN" if proven else "NOT PROVEN")
+        )
+        exit_code = 0 if proven else 1
+    return exit_code
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    study = _load_study(args.data, args.components)
+    network = load_network(args.net)
+    case = casestudy.certify_predictor(
+        study, network, time_limit=args.time_limit
+    )
+    print(case.render())
+    return 0 if case.passed else 1
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    study = _load_study(args.data, args.components)
+    network = load_network(args.net)
+    sim = HighwaySimulator(study.road, overtaking_scene(study.road))
+    encoder = FeatureEncoder(study.road)
+    for _ in range(30):
+        encoder.encode(sim)
+        sim.step()
+    scene = encoder.encode(sim)
+    mixture = mixture_from_raw(network.forward(scene), args.components)
+    print(figure_1(sim, mixture))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to the subcommand."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(render_table_i())
+        return 0
+    handlers = {
+        "generate": _cmd_generate,
+        "train": _cmd_train,
+        "verify": _cmd_verify,
+        "certify": _cmd_certify,
+        "figure1": _cmd_figure1,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

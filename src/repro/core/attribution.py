@@ -1,0 +1,122 @@
+"""Deconvolution-style input attribution (paper's remark (i)).
+
+The paper cites adaptive deconvolutional networks (Zeiler et al., ICCV
+2011) as the partial route to implementation understandability.  For the
+dense case-study networks the analogous instruments are:
+
+* **saliency** — the plain gradient of an output w.r.t. the input;
+* **deconvnet** — backpropagation that, like Zeiler's deconvolution,
+  passes only *positive* evidence through each ReLU (rectifying the
+  backward signal instead of gating by the forward activation);
+* **LRP** (epsilon rule) — layer-wise relevance propagation conserving
+  relevance from the output back to the features.
+
+All three return one score per input feature for a chosen output index.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.nn.network import FeedForwardNetwork
+
+
+def _forward_trace(network: FeedForwardNetwork, x: np.ndarray):
+    """Per-layer (input, pre-activation) pairs for a single input."""
+    current = np.atleast_2d(np.asarray(x, dtype=float))
+    if current.shape[0] != 1:
+        raise EncodingError("attribution works on a single input at a time")
+    inputs: List[np.ndarray] = []
+    pres: List[np.ndarray] = []
+    for layer in network.layers:
+        inputs.append(current)
+        pre = layer.pre_activation(current)
+        pres.append(pre)
+        current = layer._act(pre)
+    return inputs, pres
+
+
+def saliency(
+    network: FeedForwardNetwork, x: np.ndarray, output_index: int
+) -> np.ndarray:
+    """Gradient of ``output[output_index]`` w.r.t. the input features."""
+    inputs, pres = _forward_trace(network, x)
+    _check_output(network, output_index)
+    grad = np.zeros((1, network.output_dim))
+    grad[0, output_index] = 1.0
+    for layer, pre in zip(reversed(network.layers), reversed(pres)):
+        grad = grad * layer._act_grad(pre)
+        grad = grad @ layer.weights.T
+    return grad[0]
+
+
+def deconvnet(
+    network: FeedForwardNetwork, x: np.ndarray, output_index: int
+) -> np.ndarray:
+    """Zeiler-style deconvolution: rectify the *backward* signal at each
+    ReLU instead of gating by the forward pre-activation sign."""
+    _inputs, pres = _forward_trace(network, x)
+    _check_output(network, output_index)
+    grad = np.zeros((1, network.output_dim))
+    grad[0, output_index] = 1.0
+    for layer, _pre in zip(reversed(network.layers), reversed(pres)):
+        if layer.activation == "relu":
+            grad = np.maximum(grad, 0.0)
+        grad = grad @ layer.weights.T
+    return grad[0]
+
+
+def lrp_epsilon(
+    network: FeedForwardNetwork,
+    x: np.ndarray,
+    output_index: int,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Layer-wise relevance propagation with the epsilon stabiliser.
+
+    Relevance is (approximately) conserved: the feature relevances sum to
+    the chosen output value up to the epsilon leakage.
+    """
+    inputs, pres = _forward_trace(network, x)
+    _check_output(network, output_index)
+    relevance = np.zeros((1, network.output_dim))
+    out_value = network.forward(x)[0, output_index]
+    relevance[0, output_index] = out_value
+    for layer, layer_in, pre in zip(
+        reversed(network.layers), reversed(inputs), reversed(pres)
+    ):
+        post = layer._act(pre)
+        # The epsilon stabiliser must never vanish: sign(0) is taken as
+        # +1 so exactly-zero activations divide by epsilon, not by zero.
+        if layer.activation == "relu":
+            stabiliser = np.where(pre >= 0, 1.0, -1.0)
+            denom = pre + epsilon * stabiliser
+        else:
+            denom = np.where(np.abs(post) < 1e-12, 0.0, post)
+            stabiliser = np.where(denom >= 0, 1.0, -1.0)
+            denom = denom + epsilon * stabiliser
+        ratio = relevance / denom                       # (1, fan_out)
+        contributions = layer_in.T * layer.weights      # (fan_in, fan_out)
+        relevance = (contributions @ ratio.T).T         # (1, fan_in)
+    return relevance[0]
+
+
+def top_features(
+    scores: np.ndarray, labels: List[str], k: int = 5
+) -> List[tuple]:
+    """Top-k (label, score) pairs by absolute attribution."""
+    if len(labels) != scores.shape[0]:
+        raise EncodingError("label count does not match score vector")
+    order = np.argsort(-np.abs(scores))[:k]
+    return [(labels[i], float(scores[i])) for i in order]
+
+
+def _check_output(network: FeedForwardNetwork, output_index: int) -> None:
+    if not 0 <= output_index < network.output_dim:
+        raise EncodingError(
+            f"output index {output_index} outside network with "
+            f"{network.output_dim} outputs"
+        )

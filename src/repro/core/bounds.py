@@ -1,0 +1,256 @@
+"""Pre-activation bound analysis for ReLU networks.
+
+The big-M MILP encoding needs finite bounds ``[l, u]`` on every neuron's
+pre-activation over the input region.  Two engines are provided:
+
+* **interval** propagation — cheap, sound, often loose;
+* **LP tightening** — per-neuron LPs over the *relaxed* (triangle) network
+  encoding, much tighter; neurons whose relaxed bound already has a fixed
+  sign need no binary variable at all.
+
+Bound quality is the decisive scalability lever for Table II: every neuron
+proven stably active/inactive removes one binary from the search, and
+tighter ``M`` values sharpen every LP relaxation.  The ablation benchmark
+measures exactly this effect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.properties import InputRegion
+from repro.errors import EncodingError
+from repro.milp.scipy_backend import solve_lp
+from repro.milp.status import SolveStatus
+from repro.nn.network import FeedForwardNetwork
+
+
+@dataclasses.dataclass
+class LayerBounds:
+    """Pre-activation bounds of one layer: arrays of shape (fan_out,)."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        if np.any(self.lower > self.upper + 1e-9):
+            raise EncodingError("layer bounds crossed (lower > upper)")
+
+    @property
+    def stable_active(self) -> np.ndarray:
+        """Neurons provably in the linear (active) phase."""
+        return self.lower >= 0.0
+
+    @property
+    def stable_inactive(self) -> np.ndarray:
+        """Neurons provably off."""
+        return self.upper <= 0.0
+
+    @property
+    def ambiguous(self) -> np.ndarray:
+        """Neurons needing a binary phase variable."""
+        return ~(self.stable_active | self.stable_inactive)
+
+    def num_ambiguous(self) -> int:
+        """Number of neurons needing a binary phase variable."""
+        return int(np.sum(self.ambiguous))
+
+
+def _interval_affine(
+    lo: np.ndarray, hi: np.ndarray, weights: np.ndarray, bias: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Interval image of ``x @ W + b`` for x in [lo, hi]."""
+    w_pos = np.maximum(weights, 0.0)
+    w_neg = np.minimum(weights, 0.0)
+    out_lo = lo @ w_pos + hi @ w_neg + bias
+    out_hi = hi @ w_pos + lo @ w_neg + bias
+    return out_lo, out_hi
+
+
+def interval_bounds(
+    network: FeedForwardNetwork, region: InputRegion
+) -> List[LayerBounds]:
+    """Interval propagation through every layer (including the output)."""
+    if region.dim != network.input_dim:
+        raise EncodingError(
+            f"region dim {region.dim} != network input {network.input_dim}"
+        )
+    lo = region.bounds[:, 0].copy()
+    hi = region.bounds[:, 1].copy()
+    result: List[LayerBounds] = []
+    for layer in network.layers:
+        pre_lo, pre_hi = _interval_affine(lo, hi, layer.weights, layer.bias)
+        result.append(LayerBounds(pre_lo, pre_hi))
+        if layer.activation == "relu":
+            lo = np.maximum(pre_lo, 0.0)
+            hi = np.maximum(pre_hi, 0.0)
+        elif layer.activation == "identity":
+            lo, hi = pre_lo, pre_hi
+        elif layer.activation == "tanh":
+            lo, hi = np.tanh(pre_lo), np.tanh(pre_hi)
+        else:
+            raise EncodingError(
+                f"bound propagation does not support {layer.activation!r}"
+            )
+    return result
+
+
+def lp_tightened_bounds(
+    network: FeedForwardNetwork,
+    region: InputRegion,
+    seed_bounds: Optional[List[LayerBounds]] = None,
+    layers_to_tighten: Optional[int] = None,
+) -> List[LayerBounds]:
+    """Tighten interval bounds with per-neuron LPs (triangle relaxation).
+
+    Builds, layer by layer, an LP over inputs and the relaxed post-ReLU
+    variables, then minimises/maximises each neuron's pre-activation.  Only
+    ReLU layers benefit; ``layers_to_tighten`` limits the work (deeper
+    layers reuse the tightened shallow bounds through interval steps).
+    """
+    if not all(
+        layer.activation in ("relu", "identity")
+        for layer in network.layers
+    ):
+        raise EncodingError("LP tightening supports relu/identity networks")
+    bounds = seed_bounds or interval_bounds(network, region)
+    n_layers = len(network.layers)
+    limit = n_layers if layers_to_tighten is None else layers_to_tighten
+
+    # LP columns: inputs, then post-activation vars of each processed layer.
+    col_bounds: List[Tuple[float, float]] = [
+        (float(l), float(u)) for l, u in region.bounds
+    ]
+    rows_ub: List[np.ndarray] = []
+    rhs_ub: List[float] = []
+    for coeffs, rhs in (c.as_indexed() for c in region.constraints):
+        row = np.zeros(len(col_bounds))
+        for idx, coef in coeffs.items():
+            row[idx] = coef
+        rows_ub.append(row)
+        rhs_ub.append(rhs)
+
+    prev_cols = list(range(network.input_dim))
+
+    for li, layer in enumerate(network.layers):
+        if li >= limit:
+            break
+        fan_out = layer.fan_out
+        num_cols = len(col_bounds)
+        pre_rows = np.zeros((fan_out, num_cols))
+        for j_local, col in enumerate(prev_cols):
+            pre_rows[:, col] = layer.weights[j_local, :]
+
+        def pad(row_list: List[np.ndarray], width: int) -> Optional[np.ndarray]:
+            if not row_list:
+                return None
+            return np.array(
+                [np.pad(r, (0, width - r.shape[0])) for r in row_list]
+            )
+
+        new_lo = bounds[li].lower.copy()
+        new_hi = bounds[li].upper.copy()
+        A_ub = pad(rows_ub, num_cols)
+        b_ub = np.array(rhs_ub) if rhs_ub else None
+        for j in range(fan_out):
+            c = pre_rows[j]
+            base = float(layer.bias[j])
+            res_min = solve_lp(c, A_ub, b_ub, bounds=col_bounds)
+            res_max = solve_lp(-c, A_ub, b_ub, bounds=col_bounds)
+            if res_min.status is SolveStatus.OPTIMAL:
+                new_lo[j] = max(new_lo[j], res_min.objective + base)
+            if res_max.status is SolveStatus.OPTIMAL:
+                new_hi[j] = min(new_hi[j], -res_max.objective + base)
+        # Numerical safety: never let tightening cross the bounds.
+        crossed = new_lo > new_hi
+        new_lo[crossed] = bounds[li].lower[crossed]
+        new_hi[crossed] = bounds[li].upper[crossed]
+        bounds[li] = LayerBounds(new_lo, new_hi)
+
+        if layer.activation != "relu":
+            # Linear output layer: nothing downstream to relax.
+            break
+
+        # Append post-activation columns with the triangle relaxation:
+        #   a >= 0, a >= z, a <= u (z - l) / (u - l)  [for ambiguous]
+        post_cols = []
+        for j in range(fan_out):
+            lo_j = float(bounds[li].lower[j])
+            hi_j = float(bounds[li].upper[j])
+            post_lo = max(0.0, lo_j)
+            post_hi = max(0.0, hi_j)
+            col_bounds.append((post_lo, post_hi))
+            post_cols.append(len(col_bounds) - 1)
+        # Grow existing rows to the new width lazily via pad() above.
+        for j in range(fan_out):
+            z_row = pre_rows[j]
+            a_col = post_cols[j]
+            lo_j = float(bounds[li].lower[j])
+            hi_j = float(bounds[li].upper[j])
+            base = float(layer.bias[j])
+            width = len(col_bounds)
+            if hi_j <= 0.0 or lo_j >= 0.0:
+                # Stable neuron: a == 0 or a == z; encode as two <= rows.
+                row_eq = np.zeros(width)
+                row_eq[a_col] = 1.0
+                if lo_j >= 0.0:
+                    row_eq[: z_row.shape[0]] -= z_row
+                    rows_ub.append(row_eq.copy())
+                    rhs_ub.append(base)
+                    rows_ub.append(-row_eq)
+                    rhs_ub.append(-base)
+                else:
+                    rows_ub.append(row_eq.copy())
+                    rhs_ub.append(0.0)
+                    rows_ub.append(-row_eq)
+                    rhs_ub.append(0.0)
+                continue
+            # a >= z  <=>  z - a <= -b  (moving bias to the rhs)
+            row_ge = np.zeros(width)
+            row_ge[: z_row.shape[0]] = z_row
+            row_ge[a_col] = -1.0
+            rows_ub.append(row_ge)
+            rhs_ub.append(-base)
+            # a <= u (z + b - l) / (u - l)
+            slope = hi_j / (hi_j - lo_j)
+            row_le = np.zeros(width)
+            row_le[a_col] = 1.0
+            row_le[: z_row.shape[0]] = -slope * z_row
+            rows_ub.append(row_le)
+            rhs_ub.append(slope * (base - lo_j))
+        prev_cols = post_cols
+
+    # Refresh deeper layers with interval steps from the tightened ones.
+    for li in range(1, n_layers):
+        layer = network.layers[li]
+        prev = bounds[li - 1]
+        prev_layer = network.layers[li - 1]
+        if prev_layer.activation == "relu":
+            lo = np.maximum(prev.lower, 0.0)
+            hi = np.maximum(prev.upper, 0.0)
+        elif prev_layer.activation == "tanh":
+            lo, hi = np.tanh(prev.lower), np.tanh(prev.upper)
+        else:
+            lo, hi = prev.lower, prev.upper
+        pre_lo, pre_hi = _interval_affine(lo, hi, layer.weights, layer.bias)
+        bounds[li] = LayerBounds(
+            np.maximum(bounds[li].lower, pre_lo)
+            if bounds[li].lower.shape == pre_lo.shape
+            else pre_lo,
+            np.minimum(bounds[li].upper, pre_hi)
+            if bounds[li].upper.shape == pre_hi.shape
+            else pre_hi,
+        )
+    return bounds
+
+
+def total_ambiguous(bounds: List[LayerBounds], network: FeedForwardNetwork) -> int:
+    """Binary variables the MILP encoding will need (ReLU layers only)."""
+    count = 0
+    for layer_bounds, layer in zip(bounds, network.layers):
+        if layer.activation == "relu":
+            count += layer_bounds.num_ambiguous()
+    return count

@@ -1,0 +1,168 @@
+"""Verification campaigns: many networks x many properties, one artifact.
+
+Table II is a campaign — the same query across a family of networks plus
+a decision query on the largest.  :class:`VerificationCampaign` makes
+that a first-class object: register networks and properties, run,
+collect per-cell results, render the matrix, and export the campaign as
+certification evidence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import SafetyProperty
+from repro.core.verifier import VerificationResult, Verdict, Verifier
+from repro.errors import CertificationError
+from repro.milp.branch_and_bound import MILPOptions
+from repro.nn.network import FeedForwardNetwork
+from repro.report.tables import render_generic
+
+
+@dataclasses.dataclass
+class CampaignCell:
+    """One (network, property) verification outcome."""
+
+    network_id: str
+    property_name: str
+    result: VerificationResult
+
+    @property
+    def passed(self) -> bool:
+        return self.result.verdict is Verdict.VERIFIED
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """All cells of a finished campaign."""
+
+    cells: List[CampaignCell]
+
+    @property
+    def all_passed(self) -> bool:
+        return bool(self.cells) and all(c.passed for c in self.cells)
+
+    @property
+    def pass_rate(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(c.passed for c in self.cells) / len(self.cells)
+
+    def failures(self) -> List[CampaignCell]:
+        """Cells that did not verify (falsified, timed out, errored)."""
+        return [c for c in self.cells if not c.passed]
+
+    def cell(
+        self, network_id: str, property_name: str
+    ) -> CampaignCell:
+        """Look up one cell; raises on unknown coordinates."""
+        for candidate in self.cells:
+            if (
+                candidate.network_id == network_id
+                and candidate.property_name == property_name
+            ):
+                return candidate
+        raise CertificationError(
+            f"no cell ({network_id!r}, {property_name!r}) in campaign"
+        )
+
+    def render(self) -> str:
+        """Matrix rendering: networks as rows, properties as columns."""
+        networks = sorted({c.network_id for c in self.cells})
+        properties = sorted({c.property_name for c in self.cells})
+        rows = []
+        index: Dict[Tuple[str, str], CampaignCell] = {
+            (c.network_id, c.property_name): c for c in self.cells
+        }
+        for net in networks:
+            row = [net]
+            for prop in properties:
+                cell = index.get((net, prop))
+                if cell is None:
+                    row.append("-")
+                    continue
+                verdict = cell.result.verdict
+                mark = {
+                    Verdict.VERIFIED: "proved",
+                    Verdict.FALSIFIED: "FALSIFIED",
+                    Verdict.TIMEOUT: "time-out",
+                }.get(verdict, verdict.value)
+                row.append(f"{mark} ({cell.result.wall_time:.1f}s)")
+            rows.append(row)
+        return render_generic(
+            ["network"] + properties, rows,
+            title="verification campaign",
+        )
+
+
+class VerificationCampaign:
+    """Collects networks and properties, runs the full matrix."""
+
+    def __init__(
+        self,
+        encoder_options: Optional[EncoderOptions] = None,
+        milp_options: Optional[MILPOptions] = None,
+    ) -> None:
+        self.encoder_options = encoder_options or EncoderOptions()
+        self.milp_options = milp_options or MILPOptions(time_limit=120.0)
+        self._networks: Dict[str, FeedForwardNetwork] = {}
+        self._properties: Dict[str, SafetyProperty] = {}
+
+    def add_network(
+        self, network: FeedForwardNetwork, name: Optional[str] = None
+    ) -> str:
+        """Register a network under ``name`` (default: architecture id)."""
+        name = name or network.architecture_id
+        if name in self._networks:
+            raise CertificationError(
+                f"duplicate network name {name!r} in campaign"
+            )
+        self._networks[name] = network
+        return name
+
+    def add_property(self, prop: SafetyProperty) -> str:
+        """Register a safety property (names must be unique)."""
+        if prop.name in self._properties:
+            raise CertificationError(
+                f"duplicate property name {prop.name!r} in campaign"
+            )
+        self._properties[prop.name] = prop
+        return prop.name
+
+    @property
+    def size(self) -> Tuple[int, int]:
+        return len(self._networks), len(self._properties)
+
+    def run(self) -> CampaignReport:
+        """Verify every property on every network.
+
+        Pre-activation bounds are computed once per (network, region)
+        pair and shared across that region's properties.
+        """
+        if not self._networks or not self._properties:
+            raise CertificationError(
+                "campaign needs at least one network and one property"
+            )
+        cells: List[CampaignCell] = []
+        for net_name, network in self._networks.items():
+            verifier = Verifier(
+                network, self.encoder_options, self.milp_options
+            )
+            bounds_cache: Dict[int, object] = {}
+            for prop in self._properties.values():
+                key = id(prop.region)
+                if key not in bounds_cache:
+                    from repro.core.encoder import compute_bounds
+
+                    bounds_cache[key] = compute_bounds(
+                        network, prop.region, self.encoder_options
+                    )
+                result = verifier.prove(
+                    prop, precomputed_bounds=bounds_cache[key]
+                )
+                cells.append(
+                    CampaignCell(net_name, prop.name, result)
+                )
+        return CampaignReport(cells)

@@ -1,0 +1,198 @@
+"""The certification methodology of Table I as an executable artifact.
+
+Three pillars, each with its classical ("existing standard") reading and
+its ANN adaptation:
+
+==========================  ===============================  =================================
+Pillar                      Existing standard                 Adaptation for ANN
+==========================  ===============================  =================================
+implementation              fine-grained specification-      (+) fine-grained neuron-to-
+understandability           to-code traceability              feature traceability
+implementation              testing with coverage criteria   (-) coverage criteria (MC/DC)
+correctness                 such as MC/DC                     (+) formal analysis against
+                                                              safety properties
+specification validity      prototyping, design-time         (+) validating data as a new
+                            analysis, acceptance test         type of specification
+==========================  ===============================  =================================
+
+A :class:`CertificationCase` collects typed evidence under each pillar —
+validation reports, verification results, traceability reports — and
+renders an audit-ready summary.  ``table_i_rows()`` regenerates the
+paper's Table I from the same registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+from repro.errors import CertificationError
+
+
+class Pillar(enum.Enum):
+    """The three certification aspects of Table I."""
+
+    UNDERSTANDABILITY = "implementation understandability"
+    CORRECTNESS = "implementation correctness"
+    SPEC_VALIDITY = "specification validity"
+
+
+@dataclasses.dataclass
+class PillarDefinition:
+    """One row of Table I."""
+
+    pillar: Pillar
+    existing_standard: str
+    ann_adaptation: List[str]  # (+)/(-) items
+
+
+TABLE_I: List[PillarDefinition] = [
+    PillarDefinition(
+        Pillar.UNDERSTANDABILITY,
+        "Fine-grained specification-to-code traceability",
+        ["(+) Fine-grained neuron-to-feature traceability"],
+    ),
+    PillarDefinition(
+        Pillar.CORRECTNESS,
+        "Verification based on testing and classical coverage criteria "
+        "such as MC/DC",
+        [
+            "(-) coverage criteria such as MC/DC",
+            "(+) formal analysis against safety properties",
+        ],
+    ),
+    PillarDefinition(
+        Pillar.SPEC_VALIDITY,
+        "Validation via prototyping, design-time analysis, and product "
+        "acceptance test",
+        ["(+) Validating data as a new type of specification"],
+    ),
+]
+
+
+def table_i_rows() -> List[Dict[str, str]]:
+    """Table I as row dictionaries (the bench target for Table I)."""
+    rows: List[Dict[str, str]] = []
+    for definition in TABLE_I:
+        rows.append(
+            {
+                "aspect": definition.pillar.value,
+                "existing_standard": definition.existing_standard,
+                "adaptation_for_ann": "; ".join(definition.ann_adaptation),
+            }
+        )
+    return rows
+
+
+def render_table_i() -> str:
+    """Human-readable Table I."""
+    lines = [
+        "TABLE I — Extending safety-certification concepts to neural "
+        "networks"
+    ]
+    for row in table_i_rows():
+        lines.append(f"  {row['aspect']}")
+        lines.append(f"    existing standard : {row['existing_standard']}")
+        lines.append(f"    adaptation for ANN: {row['adaptation_for_ann']}")
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class Evidence:
+    """One piece of evidence attached to a pillar."""
+
+    name: str
+    passed: bool
+    summary: str
+    artifact: object = None  # the full report/result object, if any
+
+
+@dataclasses.dataclass
+class PillarStatus:
+    evidence: List[Evidence] = dataclasses.field(default_factory=list)
+
+    @property
+    def addressed(self) -> bool:
+        return bool(self.evidence)
+
+    @property
+    def passed(self) -> bool:
+        return self.addressed and all(e.passed for e in self.evidence)
+
+
+class CertificationCase:
+    """An assembled certification case for one ANN-based system."""
+
+    def __init__(self, system_name: str) -> None:
+        if not system_name:
+            raise CertificationError("the system under certification needs a name")
+        self.system_name = system_name
+        self._pillars: Dict[Pillar, PillarStatus] = {
+            pillar: PillarStatus() for pillar in Pillar
+        }
+
+    def add_evidence(
+        self,
+        pillar: Pillar,
+        name: str,
+        passed: bool,
+        summary: str,
+        artifact: object = None,
+    ) -> Evidence:
+        """Attach one evidence item to a pillar and return it."""
+        evidence = Evidence(name, passed, summary, artifact)
+        self._pillars[pillar].evidence.append(evidence)
+        return evidence
+
+    def evidence_for(self, pillar: Pillar) -> List[Evidence]:
+        """All evidence recorded under a pillar (copy)."""
+        return list(self._pillars[pillar].evidence)
+
+    @property
+    def complete(self) -> bool:
+        """Every pillar carries at least one piece of evidence."""
+        return all(
+            status.addressed for status in self._pillars.values()
+        )
+
+    @property
+    def passed(self) -> bool:
+        return self.complete and all(
+            status.passed for status in self._pillars.values()
+        )
+
+    def missing_pillars(self) -> List[Pillar]:
+        """Pillars that carry no evidence yet."""
+        return [
+            pillar
+            for pillar, status in self._pillars.items()
+            if not status.addressed
+        ]
+
+    def verdict(self) -> str:
+        """One-line verdict: INCOMPLETE / CERTIFIABLE / NOT CERTIFIABLE."""
+        if not self.complete:
+            missing = ", ".join(p.value for p in self.missing_pillars())
+            return f"INCOMPLETE (missing evidence: {missing})"
+        return "CERTIFIABLE" if self.passed else "NOT CERTIFIABLE"
+
+    def render(self) -> str:
+        """Audit-ready text rendering of the whole case."""
+        lines = [
+            f"Certification case: {self.system_name}",
+            f"Verdict: {self.verdict()}",
+        ]
+        for definition in TABLE_I:
+            status = self._pillars[definition.pillar]
+            lines.append(f"  Pillar: {definition.pillar.value}")
+            for item in definition.ann_adaptation:
+                lines.append(f"    methodology: {item}")
+            if not status.evidence:
+                lines.append("    evidence: NONE")
+            for evidence in status.evidence:
+                flag = "PASS" if evidence.passed else "FAIL"
+                lines.append(
+                    f"    [{flag}] {evidence.name}: {evidence.summary}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""MC/DC and coverage analysis of neural networks (Sec. II, correctness).
+
+The paper's argument against classical coverage testing, made executable:
+
+* with ``tanh`` activations there is **no** if-then-else anywhere, so a
+  *single* test case satisfies MC/DC (trivial satisfiability);
+* with ``relu`` every neuron is one if-then-else, so full branch coverage
+  needs up to ``2^n`` activation patterns — intractable for any
+  case-study network (``2^240`` for I4x60).
+
+Alongside the census, the module measures the neuron-level coverage
+metrics a test suite *can* track (sign coverage, boundary coverage,
+distinct activation patterns) to quantify how little of the branch space
+testing actually explores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.errors import CertificationError
+from repro.nn.network import FeedForwardNetwork
+
+
+@dataclasses.dataclass
+class MCDCCensus:
+    """Branch census of one network."""
+
+    architecture: str
+    activation: str
+    branching_neurons: int
+    branch_combinations: int  # exact big int: 2**branching_neurons
+    tests_for_mcdc: int       # 1 for branch-free nets, else 2 per condition
+
+    @property
+    def tractable(self) -> bool:
+        """Whether enumerating all branch combinations is feasible."""
+        return self.branch_combinations <= 2**20
+
+    def render(self) -> str:
+        """One-line human-readable census summary."""
+        combos = (
+            f"2^{self.branching_neurons}"
+            if self.branching_neurons > 40
+            else str(self.branch_combinations)
+        )
+        return (
+            f"{self.architecture} [{self.activation}]: "
+            f"{self.branching_neurons} branching neurons, "
+            f"{combos} branch combinations, "
+            f"MC/DC needs >= {self.tests_for_mcdc} tests"
+        )
+
+
+def mcdc_census(network: FeedForwardNetwork) -> MCDCCensus:
+    """Count branch conditions per the paper's Sec. II argument."""
+    branching = network.relu_neuron_count()
+    activations = {
+        layer.activation for layer in network.layers[:-1]
+    } or {network.layers[-1].activation}
+    label = "/".join(sorted(activations))
+    if branching == 0:
+        # tan^-1 / tanh style: no branches -> one test exercises all code.
+        return MCDCCensus(
+            architecture=network.architecture_id,
+            activation=label,
+            branching_neurons=0,
+            branch_combinations=1,
+            tests_for_mcdc=1,
+        )
+    return MCDCCensus(
+        architecture=network.architecture_id,
+        activation=label,
+        branching_neurons=branching,
+        branch_combinations=2**branching,
+        tests_for_mcdc=2 * branching,  # MC/DC: each condition both ways
+    )
+
+
+@dataclasses.dataclass
+class CoverageReport:
+    """Neuron-level coverage of a test suite over a network."""
+
+    sign_coverage: float          # neurons seen both active and inactive
+    activation_coverage: float    # neurons seen active at least once
+    boundary_coverage: float      # neurons seen within eps of zero
+    patterns_seen: int            # distinct activation patterns
+    pattern_space: int            # 2**branching_neurons
+    samples: int
+
+    @property
+    def pattern_fraction(self) -> float:
+        """Share of the branch space explored — the paper's intractability
+        argument in one number."""
+        if self.pattern_space == 0:
+            return 1.0
+        return self.patterns_seen / self.pattern_space
+
+    def render(self) -> str:
+        """One-line coverage summary for reports."""
+        return (
+            f"coverage over {self.samples} tests: "
+            f"sign {100 * self.sign_coverage:.1f}%, "
+            f"active {100 * self.activation_coverage:.1f}%, "
+            f"boundary {100 * self.boundary_coverage:.1f}%, "
+            f"patterns {self.patterns_seen}/{self.pattern_space} "
+            f"({100 * self.pattern_fraction:.2g}%)"
+        )
+
+
+def measure_coverage(
+    network: FeedForwardNetwork,
+    x: np.ndarray,
+    boundary_eps: float = 0.05,
+) -> CoverageReport:
+    """Run a test batch through the network and measure coverage."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    if x.shape[0] == 0:
+        raise CertificationError("coverage needs a non-empty test set")
+    relu_layers = [
+        i
+        for i, layer in enumerate(network.layers)
+        if layer.activation == "relu"
+    ]
+    if not relu_layers:
+        return CoverageReport(
+            sign_coverage=1.0,
+            activation_coverage=1.0,
+            boundary_coverage=1.0,
+            patterns_seen=1,
+            pattern_space=1,
+            samples=x.shape[0],
+        )
+    pres = network.pre_activations(x)
+    seen_active: List[np.ndarray] = []
+    seen_inactive: List[np.ndarray] = []
+    seen_boundary: List[np.ndarray] = []
+    patterns: Set[Tuple[int, ...]] = set()
+    pattern_bits = []
+    for li in relu_layers:
+        pre = pres[li]
+        seen_active.append((pre > 0).any(axis=0))
+        seen_inactive.append((pre <= 0).any(axis=0))
+        seen_boundary.append((np.abs(pre) <= boundary_eps).any(axis=0))
+        pattern_bits.append(pre > 0)
+    stacked = np.hstack(pattern_bits)
+    for row in stacked:
+        patterns.add(tuple(int(b) for b in row))
+    active = np.concatenate(seen_active)
+    inactive = np.concatenate(seen_inactive)
+    boundary = np.concatenate(seen_boundary)
+    branching = active.shape[0]
+    return CoverageReport(
+        sign_coverage=float(np.mean(active & inactive)),
+        activation_coverage=float(np.mean(active)),
+        boundary_coverage=float(np.mean(boundary)),
+        patterns_seen=len(patterns),
+        pattern_space=2**branching,
+        samples=x.shape[0],
+    )
+
+
+def coverage_argument_table(
+    networks: List[FeedForwardNetwork],
+) -> List[MCDCCensus]:
+    """Census rows for a family of networks (the Sec. II bench)."""
+    return [mcdc_census(net) for net in networks]

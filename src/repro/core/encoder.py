@@ -1,0 +1,214 @@
+"""Encoding ReLU networks into mixed integer linear constraints.
+
+This is the formal-verification core of the paper (Sec. III), following
+the methodology of Cheng, Nührenberg & Ruess, *Maximum Resilience of
+Artificial Neural Networks* (ATVA 2017): each ReLU neuron with
+pre-activation bounds ``l <= z <= u`` gets a continuous post-activation
+variable ``a`` and a binary phase variable ``d`` with the big-M constraints
+
+    a >= z          a >= 0
+    a <= z - l(1-d) a <= u d
+
+so ``d = 1`` forces the active phase (``a = z``) and ``d = 0`` the
+inactive one (``a = 0``).  Neurons whose bounds already fix the sign are
+encoded *without* a binary — which is why bound tightening
+(:mod:`repro.core.bounds`) directly shrinks the search space.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.bounds import LayerBounds, interval_bounds, lp_tightened_bounds
+from repro.core.properties import InputRegion, OutputObjective
+from repro.errors import EncodingError
+from repro.milp.expr import LinExpr, Sense, Variable, VarType
+from repro.milp.model import Model
+from repro.nn.network import FeedForwardNetwork
+
+
+@dataclasses.dataclass
+class EncoderOptions:
+    """Encoding tunables."""
+
+    #: "interval" (cheap), "crown" (backward linear relaxation — tighter
+    #: than interval at a fraction of the LP cost) or "lp" (tightest;
+    #: recommended, the paper-scale instances are intractable without it).
+    bound_mode: str = "lp"
+    #: Extra slack added to every big-M bound for numerical safety.
+    bound_margin: float = 1e-6
+
+
+@dataclasses.dataclass
+class EncodedNetwork:
+    """The MILP model plus variable maps for interpretation."""
+
+    model: Model
+    input_vars: List[Variable]
+    output_exprs: List[LinExpr]
+    binaries: List[Variable]
+    bounds: List[LayerBounds]
+
+    @property
+    def num_binaries(self) -> int:
+        return len(self.binaries)
+
+    def input_point(self, x: np.ndarray) -> np.ndarray:
+        """Extract the input sub-vector from a full MILP solution."""
+        return np.array([x[var.index] for var in self.input_vars])
+
+
+def compute_bounds(
+    network: FeedForwardNetwork,
+    region: InputRegion,
+    options: Optional[EncoderOptions] = None,
+) -> List[LayerBounds]:
+    """Pre-activation bounds with the configured engine."""
+    options = options or EncoderOptions()
+    if options.bound_mode == "interval":
+        return interval_bounds(network, region)
+    if options.bound_mode == "crown":
+        from repro.core.crown import crown_bounds
+
+        return crown_bounds(network, region)
+    if options.bound_mode == "lp":
+        return lp_tightened_bounds(network, region)
+    raise EncodingError(
+        f"unknown bound_mode {options.bound_mode!r} "
+        "(expected 'interval', 'crown' or 'lp')"
+    )
+
+
+def encode_network(
+    network: FeedForwardNetwork,
+    region: InputRegion,
+    options: Optional[EncoderOptions] = None,
+    precomputed_bounds: Optional[List[LayerBounds]] = None,
+) -> EncodedNetwork:
+    """Encode ``network`` over ``region`` into a MILP model.
+
+    The model has no objective; callers attach one (a max query) or extra
+    constraints (a feasibility/decision query).
+    """
+    options = options or EncoderOptions()
+    for layer in network.layers[:-1]:
+        if layer.activation != "relu":
+            raise EncodingError(
+                "the MILP encoding supports ReLU hidden layers only "
+                f"(got {layer.activation!r})"
+            )
+    if network.layers[-1].activation != "identity":
+        raise EncodingError("the output layer must be linear")
+    if region.dim != network.input_dim:
+        raise EncodingError(
+            f"region dim {region.dim} != network input {network.input_dim}"
+        )
+
+    bounds = precomputed_bounds or compute_bounds(network, region, options)
+    margin = options.bound_margin
+    model = Model(f"verify_{network.architecture_id}")
+
+    input_vars = [
+        model.add_var(f"in{i}", lb=region.bounds[i, 0], ub=region.bounds[i, 1])
+        for i in range(network.input_dim)
+    ]
+    for k, constraint in enumerate(region.constraints):
+        coeffs, rhs = constraint.as_indexed()
+        expr = LinExpr(
+            {input_vars[i].index: c for i, c in coeffs.items()}
+        )
+        model.add_constr(expr <= rhs, name=f"region{k}")
+
+    binaries: List[Variable] = []
+    # ``prev`` carries affine expressions of the previous layer's
+    # post-activations in terms of model variables.
+    prev: List[LinExpr] = [var.to_expr() for var in input_vars]
+
+    for li, layer in enumerate(network.layers[:-1]):
+        layer_bounds = bounds[li]
+        post: List[LinExpr] = []
+        for j in range(layer.fan_out):
+            pre = _affine(prev, layer.weights[:, j], layer.bias[j])
+            lo = float(layer_bounds.lower[j]) - margin
+            hi = float(layer_bounds.upper[j]) + margin
+            if hi <= 0.0:
+                post.append(LinExpr({}, 0.0))  # stably inactive
+                continue
+            if lo >= 0.0:
+                post.append(pre)               # stably active
+                continue
+            a = model.add_var(f"a_{li}_{j}", lb=0.0, ub=max(hi, 0.0))
+            d = model.add_var(f"d_{li}_{j}", vtype=VarType.BINARY)
+            model.add_constr(a.to_expr() - pre >= 0, name=f"relu_ge_{li}_{j}")
+            # a <= z - l (1 - d)  <=>  a - z - l d <= -l
+            model.add_constr(
+                a.to_expr() - pre - lo * d <= -lo,
+                name=f"relu_up_{li}_{j}",
+            )
+            model.add_constr(
+                a.to_expr() - hi * d <= 0, name=f"relu_cap_{li}_{j}"
+            )
+            binaries.append(d)
+            post.append(a.to_expr())
+        prev = post
+
+    out_layer = network.layers[-1]
+    output_exprs = [
+        _affine(prev, out_layer.weights[:, j], out_layer.bias[j])
+        for j in range(out_layer.fan_out)
+    ]
+    return EncodedNetwork(model, input_vars, output_exprs, binaries, bounds)
+
+
+def attach_objective(
+    encoded: EncodedNetwork,
+    objective: OutputObjective,
+    maximize: bool = True,
+) -> None:
+    """Set the model objective to a linear functional of the outputs."""
+    expr = LinExpr()
+    for idx, coef in objective.coefficients.items():
+        if not 0 <= idx < len(encoded.output_exprs):
+            raise EncodingError(
+                f"objective references output {idx}, network has "
+                f"{len(encoded.output_exprs)}"
+            )
+        expr = expr + coef * encoded.output_exprs[idx]
+    encoded.model.set_objective(
+        expr, sense=Sense.MAXIMIZE if maximize else Sense.MINIMIZE
+    )
+
+
+def attach_violation_constraint(
+    encoded: EncodedNetwork,
+    objective: OutputObjective,
+    threshold: float,
+) -> None:
+    """Constrain ``objective >= threshold`` (property-violation witness).
+
+    Used by decision queries: the property holds iff the resulting model
+    is infeasible.
+    """
+    expr = LinExpr()
+    for idx, coef in objective.coefficients.items():
+        expr = expr + coef * encoded.output_exprs[idx]
+    encoded.model.add_constr(expr >= threshold, name="violation")
+
+
+def _affine(
+    inputs: List[LinExpr], weights: np.ndarray, bias: float
+) -> LinExpr:
+    """``sum w_j * inputs[j] + bias`` merged into one sparse expression."""
+    coeffs: Dict[int, float] = {}
+    constant = float(bias)
+    for j, w in enumerate(weights):
+        if w == 0.0:
+            continue
+        expr = inputs[j]
+        constant += w * expr.constant
+        for idx, coef in expr.coeffs.items():
+            coeffs[idx] = coeffs.get(idx, 0.0) + w * coef
+    return LinExpr(coeffs, constant)

@@ -1,0 +1,131 @@
+"""Training with hints (the paper's perspective (iii)).
+
+Abu-Mostafa (1995) calls known properties of the target function *hints*
+and injects them into training.  Here the hint is the safety rule itself:
+whenever a scene has the left slot occupied, every mixture component's
+lateral-velocity mean should stay below the safety threshold.  The hint
+becomes a hinge penalty on the raw MDN outputs,
+
+    penalty(x) = mean_k relu(mu_lat_k(x) - threshold)   if left occupied,
+
+added to the NLL loss with weight ``hint_weight``.  Because the penalty is
+piecewise linear in the outputs its gradient is exact and cheap, and the
+verified maximum lateral velocity drops measurably — the effect the hints
+benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.highway.features import feature_index
+from repro.nn.mdn import MDNLoss, mu_lat_indices
+from repro.nn.network import FeedForwardNetwork
+from repro.nn.training import Trainer, TrainingConfig, TrainingHistory
+
+
+@dataclasses.dataclass
+class SafetyHint:
+    """The left-occupancy lateral-velocity hint.
+
+    When training runs on standardised features (the usual setup, see
+    :mod:`repro.nn.scaler`), pass the fitted ``scaler`` so the gate test
+    is evaluated in raw physical units.
+    """
+
+    num_components: int
+    threshold: float = 2.0
+    #: feature that gates the hint (1.0 = the left slot is occupied)
+    gate_feature: str = "left_present"
+    #: optional InputScaler whose transform was applied to the batch
+    scaler: object = None
+
+    def __post_init__(self) -> None:
+        if self.num_components < 1:
+            raise TrainingError("hint needs a positive component count")
+        self._gate_index = feature_index(self.gate_feature)
+        self._mu_indices = np.array(
+            mu_lat_indices(self.num_components), dtype=int
+        )
+
+    def _gate_mask(self, batch_x: np.ndarray) -> np.ndarray:
+        values = batch_x[:, self._gate_index]
+        if self.scaler is not None:
+            values = (
+                values * self.scaler.std[self._gate_index]
+                + self.scaler.mean[self._gate_index]
+            )
+        return values > 0.5
+
+    def penalty(
+        self,
+        network: FeedForwardNetwork,
+        batch_x: np.ndarray,
+        batch_out: np.ndarray,
+    ) -> Tuple[float, np.ndarray]:
+        """Hinge penalty and its gradient w.r.t. the raw outputs."""
+        gated = self._gate_mask(batch_x)
+        grad = np.zeros_like(batch_out)
+        if not gated.any():
+            return 0.0, grad
+        mu = batch_out[np.ix_(np.flatnonzero(gated), self._mu_indices)]
+        excess = mu - self.threshold
+        violating = excess > 0.0
+        penalty = float(np.sum(excess[violating])) / batch_out.shape[0]
+        rows = np.flatnonzero(gated)
+        for local_row, row in enumerate(rows):
+            for local_col, col in enumerate(self._mu_indices):
+                if violating[local_row, local_col]:
+                    grad[row, col] = 1.0 / batch_out.shape[0]
+        return penalty, grad
+
+    def violation_rate(
+        self, network: FeedForwardNetwork, x: np.ndarray
+    ) -> float:
+        """Fraction of gated samples with any component above threshold."""
+        x = np.atleast_2d(x)
+        gated = self._gate_mask(x)
+        if not gated.any():
+            return 0.0
+        out = network.forward(x[gated])
+        mu = out[:, self._mu_indices]
+        return float(np.mean((mu > self.threshold).any(axis=1)))
+
+
+def train_with_hints(
+    network: FeedForwardNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    num_components: int,
+    hint: Optional[SafetyHint] = None,
+    hint_weight: float = 1.0,
+    config: Optional[TrainingConfig] = None,
+    virtual_samples: Optional[np.ndarray] = None,
+) -> TrainingHistory:
+    """Train an MDN predictor with the safety hint in the loss.
+
+    ``hint_weight = 0`` reduces to plain MDN training, which is exactly
+    the ablation baseline.
+
+    ``virtual_samples`` (optional) are unlabeled scenes — typically drawn
+    from the verification region — on which *only* the hint penalty
+    applies.  This is Abu-Mostafa's hints-as-virtual-examples idea, and
+    it is what lets the hint move the *verified* maximum: the labelled
+    data never visits the region's corners, the virtual samples do.
+    """
+    if hint_weight < 0:
+        raise TrainingError("hint weight cannot be negative")
+    hint = hint or SafetyHint(num_components)
+    trainer = Trainer(
+        network,
+        MDNLoss(num_components),
+        config=config,
+        penalty=hint.penalty if hint_weight > 0 else None,
+        penalty_weight=hint_weight,
+        virtual_x=virtual_samples,
+    )
+    return trainer.fit(x, y)

@@ -1,0 +1,157 @@
+"""Runtime safety monitor: enforce verified properties in the loop.
+
+Verification (Sec. III) proves what the network *can* output over a
+region; a deployed system additionally wants a last line of defence that
+*enforces* the property online.  :class:`RuntimeMonitor` wraps a trained
+predictor with the safety properties it was verified against: every
+prediction is checked, violating action suggestions are clamped to the
+property threshold, and each intervention is recorded for the
+certification audit trail.
+
+This is the standard "safety cage" architecture for learning-based
+controllers — the network proposes, the monitor disposes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.properties import SafetyProperty
+from repro.errors import CertificationError
+from repro.nn.mdn import GaussianMixture, mixture_from_raw
+from repro.nn.network import FeedForwardNetwork
+
+
+@dataclasses.dataclass
+class Intervention:
+    """One monitor correction."""
+
+    step: int
+    property_name: str
+    observed: float
+    clamped_to: float
+
+
+@dataclasses.dataclass
+class MonitorReport:
+    """Aggregate monitor statistics for an episode."""
+
+    steps: int
+    checked: int
+    interventions: List[Intervention]
+
+    @property
+    def intervention_count(self) -> int:
+        return len(self.interventions)
+
+    @property
+    def intervention_rate(self) -> float:
+        if self.checked == 0:
+            return 0.0
+        return self.intervention_count / self.checked
+
+    def render(self) -> str:
+        """Multi-line text summary (first ten interventions listed)."""
+        lines = [
+            f"runtime monitor: {self.steps} steps, "
+            f"{self.checked} gated checks, "
+            f"{self.intervention_count} interventions "
+            f"({100 * self.intervention_rate:.2f}% of checks)"
+        ]
+        for item in self.interventions[:10]:
+            lines.append(
+                f"  step {item.step}: {item.property_name} observed "
+                f"{item.observed:.3f} -> clamped to {item.clamped_to:.3f}"
+            )
+        if len(self.interventions) > 10:
+            lines.append(
+                f"  ... {len(self.interventions) - 10} more"
+            )
+        return "\n".join(lines)
+
+
+class RuntimeMonitor:
+    """Wraps a predictor with online property enforcement.
+
+    Properties gate on their region: a property is *checked* at a step
+    only when the current scene lies inside the property's input region
+    (e.g. "a vehicle occupies the left slot").  When checked and
+    violated, the objective value is clamped to the threshold and the
+    intervention is logged.
+    """
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        properties: Sequence[SafetyProperty],
+        num_components: int,
+    ) -> None:
+        if not properties:
+            raise CertificationError("monitor needs at least one property")
+        self.network = network
+        self.properties = list(properties)
+        self.num_components = num_components
+        self._interventions: List[Intervention] = []
+        self._steps = 0
+        self._checked = 0
+
+    def reset(self) -> None:
+        """Clear all recorded steps and interventions."""
+        self._interventions = []
+        self._steps = 0
+        self._checked = 0
+
+    def predict(
+        self, scene: np.ndarray
+    ) -> Tuple[GaussianMixture, np.ndarray]:
+        """Monitored prediction.
+
+        Returns the (possibly corrected) mixture and the raw output
+        vector after enforcement.
+        """
+        scene = np.asarray(scene, dtype=float)
+        raw = self.network.forward(scene)[0].copy()
+        for prop in self.properties:
+            if not prop.region.contains(scene, tol=1e-6):
+                continue
+            self._checked += 1
+            observed = prop.objective.value(raw)
+            if observed > prop.threshold:
+                self._clamp(raw, prop, observed)
+        self._steps += 1
+        return mixture_from_raw(raw, self.num_components), raw
+
+    def _clamp(
+        self,
+        raw: np.ndarray,
+        prop: SafetyProperty,
+        observed: float,
+    ) -> None:
+        """Scale the objective's coordinates so the value hits the
+        threshold exactly (minimal single-direction correction)."""
+        excess = observed - prop.threshold
+        weight_sq = sum(c * c for c in prop.objective.coefficients.values())
+        if weight_sq == 0.0:
+            return
+        step = excess / weight_sq
+        for idx, coef in prop.objective.coefficients.items():
+            raw[idx] -= step * coef
+        self._interventions.append(
+            Intervention(
+                step=self._steps,
+                property_name=prop.name,
+                observed=observed,
+                clamped_to=prop.threshold,
+            )
+        )
+
+    def report(self) -> MonitorReport:
+        """Snapshot of the monitor's statistics so far."""
+        return MonitorReport(
+            steps=self._steps,
+            checked=self._checked,
+            interventions=list(self._interventions),
+        )

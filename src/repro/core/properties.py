@@ -1,0 +1,279 @@
+"""Safety-property DSL: input regions and output requirements.
+
+A property is a pair *(input region, output requirement)*:
+
+* the **region** carves a sub-box (plus optional linear constraints) out of
+  the 84-feature input domain by *name* — e.g. "a vehicle occupies the
+  left slot" pins ``left_present = 1`` and bounds ``left_gap``;
+* the **requirement** bounds a linear function of the network's raw
+  outputs — e.g. "every mixture component's lateral-velocity mean stays
+  below 3 m/s".
+
+The paper's central property (Sec. III): *if there is a vehicle to the
+left of the ego vehicle, the predictor never suggests a large left
+velocity.*  :func:`vehicle_on_left_region` and
+:func:`lateral_velocity_property` construct exactly that query.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.highway.features import FeatureEncoder, feature_index
+from repro.nn.mdn import mu_lat_indices
+
+
+@dataclasses.dataclass
+class LinearInputConstraint:
+    """``sum coef[name] * x[name] <= rhs`` over named input features."""
+
+    coefficients: Dict[str, float]
+    rhs: float
+
+    def as_indexed(self) -> Tuple[Dict[int, float], float]:
+        """The constraint as ``(column-index coefficients, rhs)``."""
+        return (
+            {
+                feature_index(name): coef
+                for name, coef in self.coefficients.items()
+            },
+            self.rhs,
+        )
+
+
+class InputRegion:
+    """A named sub-box of the feature domain with linear side constraints."""
+
+    def __init__(
+        self,
+        base_bounds: np.ndarray,
+        name: str = "region",
+    ) -> None:
+        base_bounds = np.asarray(base_bounds, dtype=float)
+        if base_bounds.ndim != 2 or base_bounds.shape[1] != 2:
+            raise EncodingError("bounds must have shape (n, 2)")
+        if np.any(base_bounds[:, 0] > base_bounds[:, 1]):
+            raise EncodingError("lower bounds exceed upper bounds")
+        self.bounds = base_bounds.copy()
+        self.name = name
+        self.constraints: List[LinearInputConstraint] = []
+
+    @classmethod
+    def from_encoder(
+        cls, encoder: FeatureEncoder, name: str = "region"
+    ) -> "InputRegion":
+        """Start from the full physical feature box."""
+        return cls(encoder.bounds(), name)
+
+    @property
+    def dim(self) -> int:
+        return self.bounds.shape[0]
+
+    # -- refinement ----------------------------------------------------------
+    def pin(self, feature: str, value: float) -> "InputRegion":
+        """Fix a named feature to an exact value (within its box)."""
+        return self.restrict(feature, value, value)
+
+    def restrict(
+        self, feature: str, low: float, high: float
+    ) -> "InputRegion":
+        """Tighten a named feature's interval; must stay inside the box."""
+        idx = feature_index(feature)
+        lo = max(low, self.bounds[idx, 0])
+        hi = min(high, self.bounds[idx, 1])
+        if lo > hi:
+            raise EncodingError(
+                f"restriction [{low}, {high}] empties feature "
+                f"{feature!r} with box {tuple(self.bounds[idx])}"
+            )
+        self.bounds[idx] = (lo, hi)
+        return self
+
+    def add_constraint(
+        self, constraint: LinearInputConstraint
+    ) -> "InputRegion":
+        """Attach a linear side constraint; returns self for chaining."""
+        self.constraints.append(constraint)
+        return self
+
+    # -- membership -----------------------------------------------------------
+    def contains(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Membership test (box and linear constraints, within tol)."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.dim,):
+            raise EncodingError(
+                f"point has shape {x.shape}, region has dim {self.dim}"
+            )
+        if np.any(x < self.bounds[:, 0] - tol) or np.any(
+            x > self.bounds[:, 1] + tol
+        ):
+            return False
+        for constraint in self.constraints:
+            coeffs, rhs = constraint.as_indexed()
+            lhs = sum(c * x[i] for i, c in coeffs.items())
+            if lhs > rhs + tol:
+                return False
+        return True
+
+    def sample(
+        self, rng: np.random.Generator, count: int = 1
+    ) -> np.ndarray:
+        """Uniform box samples (rejection-filtered by linear constraints)."""
+        out: List[np.ndarray] = []
+        attempts = 0
+        while len(out) < count:
+            attempts += 1
+            if attempts > 1000 * count:
+                raise EncodingError(
+                    f"region {self.name!r} too thin to sample"
+                )
+            x = rng.uniform(self.bounds[:, 0], self.bounds[:, 1])
+            if self.contains(x):
+                out.append(x)
+        return np.array(out)
+
+    def center(self) -> np.ndarray:
+        """Box midpoint (ignores linear constraints)."""
+        return self.bounds.mean(axis=1)
+
+    def __repr__(self) -> str:
+        pinned = int(np.sum(self.bounds[:, 0] == self.bounds[:, 1]))
+        return (
+            f"InputRegion({self.name!r}, dim={self.dim}, "
+            f"pinned={pinned}, constraints={len(self.constraints)})"
+        )
+
+
+@dataclasses.dataclass
+class OutputObjective:
+    """A linear functional ``sum coef_i * out_i`` over raw network outputs."""
+
+    coefficients: Dict[int, float]
+    description: str = "output objective"
+
+    def value(self, outputs: np.ndarray) -> float:
+        """Evaluate the functional on a raw output vector."""
+        outputs = np.ravel(outputs)
+        return float(
+            sum(c * outputs[i] for i, c in self.coefficients.items())
+        )
+
+    @staticmethod
+    def single(index: int, description: str = "") -> "OutputObjective":
+        return OutputObjective(
+            {index: 1.0}, description or f"output[{index}]"
+        )
+
+
+@dataclasses.dataclass
+class SafetyProperty:
+    """``for all x in region: objective(net(x)) <= threshold``."""
+
+    name: str
+    region: InputRegion
+    objective: OutputObjective
+    threshold: float
+
+    def holds_on(self, outputs: np.ndarray, tol: float = 1e-9) -> bool:
+        """Check the requirement on one concrete output vector."""
+        return self.objective.value(outputs) <= self.threshold + tol
+
+
+# -- case-study constructors ----------------------------------------------------
+
+def vehicle_on_left_region(
+    encoder: FeatureEncoder,
+    max_gap: float = 8.0,
+) -> InputRegion:
+    """Scenes with a vehicle occupying the ego's left slot.
+
+    ``left_present`` is pinned to 1 and the longitudinal gap bounded by
+    ``max_gap`` (truly beside).  The remaining 82 features range over their
+    whole physical box — the verifier searches all of them.
+    """
+    region = InputRegion.from_encoder(encoder, name="vehicle_on_left")
+    region.pin("left_present", 1.0)
+    region.restrict("left_gap", 0.0, max_gap)
+    return region
+
+
+def vehicle_on_right_region(
+    encoder: FeatureEncoder,
+    max_gap: float = 8.0,
+) -> InputRegion:
+    """Mirror region: a vehicle occupies the ego's right slot (the
+    abstract's example property)."""
+    region = InputRegion.from_encoder(encoder, name="vehicle_on_right")
+    region.pin("right_present", 1.0)
+    region.restrict("right_gap", 0.0, max_gap)
+    return region
+
+
+def component_lateral_objectives(
+    num_components: int,
+) -> List[OutputObjective]:
+    """One objective per mixture component's lateral-velocity mean.
+
+    The mixture mean is a convex combination of component means, so
+    bounding *every* component soundly bounds the mixture mean — this is
+    how the GMM head becomes MILP-linear (see :mod:`repro.nn.mdn`).
+    """
+    return [
+        OutputObjective.single(
+            idx, description=f"mu_lat[component {k}]"
+        )
+        for k, idx in enumerate(mu_lat_indices(num_components))
+    ]
+
+
+def lateral_velocity_property(
+    encoder: FeatureEncoder,
+    num_components: int,
+    threshold: float = 3.0,
+    max_gap: float = 8.0,
+) -> List[SafetyProperty]:
+    """The paper's Table II property, one sub-property per component:
+    with a vehicle on the left, no component mean may exceed ``threshold``
+    m/s of leftward velocity."""
+    region = vehicle_on_left_region(encoder, max_gap=max_gap)
+    return [
+        SafetyProperty(
+            name=f"lat_velocity_leq_{threshold}_comp{k}",
+            region=region,
+            objective=obj,
+            threshold=threshold,
+        )
+        for k, obj in enumerate(
+            component_lateral_objectives(num_components)
+        )
+    ]
+
+
+def rightward_velocity_property(
+    encoder: FeatureEncoder,
+    num_components: int,
+    threshold: float = 3.0,
+    max_gap: float = 8.0,
+) -> List[SafetyProperty]:
+    """The abstract's mirror property: with a vehicle on the *right*, the
+    predictor never suggests a large **right** velocity.
+
+    Rightward motion is negative lateral velocity, so each sub-property
+    bounds ``-mu_lat_k <= threshold`` over the right-occupied region.
+    """
+    region = vehicle_on_right_region(encoder, max_gap=max_gap)
+    return [
+        SafetyProperty(
+            name=f"right_velocity_leq_{threshold}_comp{k}",
+            region=region,
+            objective=OutputObjective(
+                {idx: -1.0}, description=f"-mu_lat[component {k}]"
+            ),
+            threshold=threshold,
+        )
+        for k, idx in enumerate(mu_lat_indices(num_components))
+    ]

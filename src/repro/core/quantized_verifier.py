@@ -1,0 +1,351 @@
+"""Quantized-network verification via SAT (the paper's perspective (ii)).
+
+"Recent results on quantized neural networks might make verification more
+scalable via an encoding to bitvector theories in SMT."  This module
+realises that idea end-to-end with the from-scratch stack: the quantized
+network's *exact* integer semantics (:mod:`repro.nn.quantize`) is
+bit-blasted through :mod:`repro.sat.bitvector` and decided by the CDCL
+solver.
+
+Queries mirror the MILP verifier:
+
+* :func:`prove_bound` — UNSAT of the violation encoding proves the
+  property on the quantized network;
+* :func:`maximize` — binary search over the output grid using repeated
+  satisfiability checks, returning the exact integer maximum.
+
+Every SAT witness is replayed through ``forward_int`` — bit-blasting and
+integer inference must agree exactly, or the result is rejected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.properties import InputRegion
+from repro.errors import EncodingError
+from repro.nn.quantize import QuantizedNetwork
+from repro.sat.bitvector import BitVec, BitVecBuilder
+from repro.sat.solver import CDCLSolver
+
+
+class QVerdict(enum.Enum):
+    VERIFIED = "verified"
+    FALSIFIED = "falsified"
+    MAX_FOUND = "max_found"
+    UNKNOWN = "unknown"  # conflict budget exhausted
+
+
+@dataclasses.dataclass
+class QuantizedResult:
+    """Outcome of a quantized verification query.
+
+    Integer quantities live on the fixed-point grid; ``*_float``
+    properties dequantize them.
+    """
+
+    verdict: QVerdict
+    value_int: Optional[int] = None
+    counterexample_int: Optional[np.ndarray] = None
+    frac_bits: int = 0
+    wall_time: float = 0.0
+    sat_conflicts: int = 0
+    num_clauses: int = 0
+
+    @property
+    def value_float(self) -> Optional[float]:
+        if self.value_int is None:
+            return None
+        return self.value_int / (1 << self.frac_bits)
+
+    @property
+    def counterexample_float(self) -> Optional[np.ndarray]:
+        if self.counterexample_int is None:
+            return None
+        return self.counterexample_int / (1 << self.frac_bits)
+
+
+def quantize_region(
+    qnet: QuantizedNetwork, region: InputRegion
+) -> List[Tuple[int, int]]:
+    """Integer bounds of every input on the fixed-point grid."""
+    if region.dim != qnet.input_dim:
+        raise EncodingError(
+            f"region dim {region.dim} != quantized input {qnet.input_dim}"
+        )
+    scale = qnet.scale
+    return [
+        (int(round(lo * scale)), int(round(hi * scale)))
+        for lo, hi in region.bounds
+    ]
+
+
+def int_interval_bounds(
+    qnet: QuantizedNetwork, int_bounds: List[Tuple[int, int]]
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Exact integer interval propagation through the quantized layers."""
+    lo = np.array([b[0] for b in int_bounds], dtype=object)
+    hi = np.array([b[1] for b in int_bounds], dtype=object)
+    result = []
+    for layer in qnet.layers:
+        w = layer.weights
+        w_pos = np.where(w > 0, w, 0)
+        w_neg = np.where(w < 0, w, 0)
+        acc_lo = lo @ w_pos + hi @ w_neg + layer.bias
+        acc_hi = hi @ w_pos + lo @ w_neg + layer.bias
+        out_lo = acc_lo >> qnet.frac_bits
+        out_hi = acc_hi >> qnet.frac_bits
+        result.append((out_lo, out_hi))
+        if layer.activation == "relu":
+            lo = np.maximum(out_lo, 0)
+            hi = np.maximum(out_hi, 0)
+        else:
+            lo, hi = out_lo, out_hi
+    return result
+
+
+@dataclasses.dataclass
+class _Encoded:
+    builder: BitVecBuilder
+    inputs: List[BitVec]
+    outputs: List[BitVec]
+
+
+def encode_quantized(
+    qnet: QuantizedNetwork, int_bounds: List[Tuple[int, int]]
+) -> _Encoded:
+    """Bit-blast the quantized network over integer input boxes.
+
+    Sound interval bounds for every neuron are asserted as redundant
+    clauses — the SAT analogue of the MILP encoder's bound tightening.
+    They never change satisfiability (interval propagation is sound) but
+    let unit propagation cut off arithmetic branches early, which is the
+    difference between seconds and minutes on UNSAT probes.
+    """
+    builder = BitVecBuilder()
+    inputs: List[BitVec] = []
+    for lo, hi in int_bounds:
+        if lo > hi:
+            raise EncodingError("empty integer input interval")
+        width = max(
+            abs(lo).bit_length(), abs(hi).bit_length(), 1
+        ) + 2
+        vec = builder.bv_input(width)
+        builder.bv_clamp_range(vec, lo, hi)
+        inputs.append(vec)
+
+    layer_bounds = int_interval_bounds(qnet, int_bounds)
+    values = inputs
+    value_width = max(v.width for v in values)
+    for li, layer in enumerate(qnet.layers):
+        acc_width = qnet.accumulator_width(li, value_width)
+        out_lo, out_hi = layer_bounds[li]
+        next_values: List[BitVec] = []
+        for j in range(layer.fan_out):
+            terms: List[BitVec] = []
+            for i in range(layer.fan_in):
+                w = int(layer.weights[i, j])
+                if w == 0:
+                    continue
+                terms.append(
+                    builder.bv_mul_const(values[i], w, acc_width)
+                )
+            terms.append(
+                builder.bv_const(int(layer.bias[j]), acc_width)
+            )
+            acc = builder.bv_sum(terms, acc_width)
+            shifted = builder.bv_ashr(acc, qnet.frac_bits)
+            if layer.activation == "relu":
+                shifted = builder.bv_relu(shifted)
+                neuron_lo = max(0, int(out_lo[j]))
+                neuron_hi = max(0, int(out_hi[j]))
+            else:
+                neuron_lo = int(out_lo[j])
+                neuron_hi = int(out_hi[j])
+            builder.bv_clamp_range(shifted, neuron_lo, neuron_hi)
+            next_values.append(shifted)
+        values = next_values
+        value_width = max(v.width for v in values)
+    return _Encoded(builder, inputs, values)
+
+
+class QuantizedVerifier:
+    """SAT-based verifier for quantized networks.
+
+    ``use_preprocessing`` runs unit propagation / pure literals /
+    subsumption on the bit-blasted CNF before CDCL.  Off by default:
+    measured on these encodings, the Python-level preprocessing loops
+    cost more wall time than the (real) conflict reduction saves — the
+    interval bound clauses already give propagation most of that
+    structure.  The knob exists for experimentation and for instances
+    with heavier redundancy.
+    """
+
+    def __init__(
+        self,
+        qnet: QuantizedNetwork,
+        max_conflicts: Optional[int] = 200000,
+        use_preprocessing: bool = False,
+    ) -> None:
+        self.qnet = qnet
+        self.max_conflicts = max_conflicts
+        self.use_preprocessing = use_preprocessing
+
+    def prove_bound(
+        self,
+        region: InputRegion,
+        output_index: int,
+        threshold: float,
+    ) -> QuantizedResult:
+        """Prove ``output[output_index] <= threshold`` over the region."""
+        start = time.monotonic()
+        int_bounds = quantize_region(self.qnet, region)
+        threshold_int = int(math.floor(threshold * self.qnet.scale))
+        result = self._check_violation(
+            int_bounds, output_index, threshold_int + 1
+        )
+        result.wall_time = time.monotonic() - start
+        return result
+
+    def maximize(
+        self,
+        region: InputRegion,
+        output_index: int,
+    ) -> QuantizedResult:
+        """Exact integer maximum of an output via binary search on SAT."""
+        start = time.monotonic()
+        int_bounds = quantize_region(self.qnet, region)
+        layer_bounds = int_interval_bounds(self.qnet, int_bounds)
+        out_lo, out_hi = layer_bounds[-1]
+        lo = int(out_lo[output_index])
+        hi = int(out_hi[output_index])
+        best_witness: Optional[np.ndarray] = None
+        conflicts = 0
+        clauses = 0
+        # Invariant: SAT(out >= lo) known true once a witness exists;
+        # UNSAT(out >= hi + 1) by the interval bound.
+        known_sat = lo  # interval lower bound is achievable? not proven:
+        # find any model first to seed the search.
+        seed = self._check_violation(int_bounds, output_index, lo)
+        conflicts += seed.sat_conflicts
+        clauses = seed.num_clauses
+        if seed.verdict is QVerdict.UNKNOWN:
+            return QuantizedResult(
+                QVerdict.UNKNOWN,
+                frac_bits=self.qnet.frac_bits,
+                wall_time=time.monotonic() - start,
+                sat_conflicts=conflicts,
+            )
+        if seed.verdict is QVerdict.VERIFIED:
+            raise EncodingError(
+                "integer interval lower bound was not achievable — "
+                "empty input region?"
+            )
+        best_witness = seed.counterexample_int
+        known_sat = self._output_of(best_witness, output_index)
+        floor = max(known_sat, lo)
+        while floor < hi:
+            mid = floor + (hi - floor + 1) // 2  # try upper half
+            probe = self._check_violation(int_bounds, output_index, mid)
+            conflicts += probe.sat_conflicts
+            if probe.verdict is QVerdict.UNKNOWN:
+                return QuantizedResult(
+                    QVerdict.UNKNOWN,
+                    value_int=floor,
+                    counterexample_int=best_witness,
+                    frac_bits=self.qnet.frac_bits,
+                    wall_time=time.monotonic() - start,
+                    sat_conflicts=conflicts,
+                    num_clauses=clauses,
+                )
+            if probe.verdict is QVerdict.FALSIFIED:
+                best_witness = probe.counterexample_int
+                floor = max(
+                    mid, self._output_of(best_witness, output_index)
+                )
+            else:
+                hi = mid - 1
+        return QuantizedResult(
+            QVerdict.MAX_FOUND,
+            value_int=floor,
+            counterexample_int=best_witness,
+            frac_bits=self.qnet.frac_bits,
+            wall_time=time.monotonic() - start,
+            sat_conflicts=conflicts,
+            num_clauses=clauses,
+        )
+
+    # -- internals ---------------------------------------------------------------
+    def _check_violation(
+        self,
+        int_bounds: List[Tuple[int, int]],
+        output_index: int,
+        threshold_int: int,
+    ) -> QuantizedResult:
+        """SAT check of ``output >= threshold_int``."""
+        encoded = encode_quantized(self.qnet, int_bounds)
+        builder = encoded.builder
+        out = encoded.outputs[output_index]
+        width = max(out.width, abs(threshold_int).bit_length() + 2)
+        builder.assert_lit(
+            builder.bv_sge(out, builder.bv_const(threshold_int, width))
+        )
+        if self.use_preprocessing:
+            from repro.sat.preprocess import solve_with_preprocessing
+
+            sat = solve_with_preprocessing(
+                builder.cnf, max_conflicts=self.max_conflicts
+            )
+        else:
+            sat = CDCLSolver(builder.cnf).solve(
+                max_conflicts=self.max_conflicts
+            )
+        if (
+            not sat.satisfiable
+            and self.max_conflicts is not None
+            and sat.conflicts >= self.max_conflicts
+        ):
+            return QuantizedResult(
+                QVerdict.UNKNOWN,
+                frac_bits=self.qnet.frac_bits,
+                sat_conflicts=sat.conflicts,
+                num_clauses=builder.cnf.num_clauses,
+            )
+        if not sat.satisfiable:
+            return QuantizedResult(
+                QVerdict.VERIFIED,
+                frac_bits=self.qnet.frac_bits,
+                sat_conflicts=sat.conflicts,
+                num_clauses=builder.cnf.num_clauses,
+            )
+        assert sat.model is not None
+        witness = np.array(
+            [
+                builder.bv_value(vec, sat.model)
+                for vec in encoded.inputs
+            ],
+            dtype=np.int64,
+        )
+        replayed = self._output_of(witness, output_index)
+        if replayed < threshold_int:
+            raise EncodingError(
+                "bit-blasting disagreed with integer inference "
+                f"(replayed {replayed} < asserted {threshold_int})"
+            )
+        return QuantizedResult(
+            QVerdict.FALSIFIED,
+            value_int=replayed,
+            counterexample_int=witness,
+            frac_bits=self.qnet.frac_bits,
+            sat_conflicts=sat.conflicts,
+            num_clauses=builder.cnf.num_clauses,
+        )
+
+    def _output_of(self, witness: np.ndarray, output_index: int) -> int:
+        return int(self.qnet.forward_int(witness)[0, output_index])

@@ -1,0 +1,214 @@
+"""Local robustness: the "maximum resilience" metric of Cheng et al.
+
+The verification methodology the paper applies comes from *Maximum
+Resilience of Artificial Neural Networks* (ATVA 2017), whose headline
+quantity is the largest input perturbation a network provably tolerates.
+For the motion predictor the analogous question is:
+
+    around a concrete nominal scene ``x0``, what is the largest
+    perturbation radius ``eps`` such that for *every* scene in the box
+    ``x0 ± eps·scale`` the safety objective stays below its threshold?
+
+The radius is found by binary search over verified decision queries, so
+the returned value is a *certified* robustness radius: every probe that
+passed was an actual MILP proof, and the first failing probe carries a
+concrete counterexample scene.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import InputRegion, OutputObjective, SafetyProperty
+from repro.core.verifier import Verdict, VerificationResult, Verifier
+from repro.errors import EncodingError
+from repro.milp.branch_and_bound import MILPOptions
+from repro.nn.network import FeedForwardNetwork
+
+
+@dataclasses.dataclass
+class ResilienceResult:
+    """Outcome of a certified-radius search.
+
+    ``certified_radius`` is the largest probed radius that was *proven*
+    safe; ``falsifying_radius`` the smallest probed radius with a real
+    counterexample (``inf`` if none was found up to ``max_radius``).
+    The gap between them is bounded by the search's ``tolerance``.
+    """
+
+    certified_radius: float
+    falsifying_radius: float
+    counterexample: Optional[np.ndarray]
+    probes: int
+    wall_time: float
+    timed_out: bool
+
+    @property
+    def is_locally_safe(self) -> bool:
+        """True when even the zero-radius scene violates nothing and some
+        positive radius was certified."""
+        return self.certified_radius > 0.0
+
+
+class ResilienceAnalyzer:
+    """Certified perturbation-radius search around nominal scenes."""
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        domain: InputRegion,
+        objective: OutputObjective,
+        threshold: float,
+        encoder_options: Optional[EncoderOptions] = None,
+        milp_options: Optional[MILPOptions] = None,
+    ) -> None:
+        """``domain`` bounds the physically meaningful scene space; all
+        perturbation boxes are intersected with it.  ``scale`` for each
+        feature is the half-width of the domain, so ``radius = 1`` spans
+        the whole domain."""
+        self.network = network
+        self.domain = domain
+        self.objective = objective
+        self.threshold = threshold
+        self.verifier = Verifier(
+            network,
+            encoder_options or EncoderOptions(),
+            milp_options or MILPOptions(time_limit=60.0),
+        )
+        self._half_width = (
+            domain.bounds[:, 1] - domain.bounds[:, 0]
+        ) / 2.0
+
+    def perturbation_region(
+        self, x0: np.ndarray, radius: float
+    ) -> InputRegion:
+        """The box ``x0 ± radius * half_width`` clipped to the domain.
+
+        Features pinned in the domain (e.g. ``left_present``) stay
+        pinned at their domain value regardless of the radius.
+        """
+        x0 = np.asarray(x0, dtype=float)
+        if x0.shape != (self.domain.dim,):
+            raise EncodingError(
+                f"nominal scene has shape {x0.shape}, domain dim "
+                f"{self.domain.dim}"
+            )
+        if radius < 0:
+            raise EncodingError("radius cannot be negative")
+        lo = np.maximum(
+            x0 - radius * self._half_width, self.domain.bounds[:, 0]
+        )
+        hi = np.minimum(
+            x0 + radius * self._half_width, self.domain.bounds[:, 1]
+        )
+        region = InputRegion(
+            np.stack([lo, hi], axis=1),
+            name=f"perturbation_r{radius:g}",
+        )
+        for constraint in self.domain.constraints:
+            region.add_constraint(constraint)
+        return region
+
+    def probe(self, x0: np.ndarray, radius: float) -> VerificationResult:
+        """One decision query: is the radius-ball provably safe?"""
+        prop = SafetyProperty(
+            name=f"resilience_r{radius:g}",
+            region=self.perturbation_region(x0, radius),
+            objective=self.objective,
+            threshold=self.threshold,
+        )
+        return self.verifier.prove(prop)
+
+    def certified_radius(
+        self,
+        x0: np.ndarray,
+        max_radius: float = 1.0,
+        tolerance: float = 0.02,
+    ) -> ResilienceResult:
+        """Binary search for the largest certified perturbation radius."""
+        import time
+
+        start = time.monotonic()
+        x0 = np.asarray(x0, dtype=float)
+        if not self.domain.contains(x0, tol=1e-6):
+            raise EncodingError(
+                "nominal scene lies outside the analysis domain"
+            )
+
+        probes = 0
+        counterexample: Optional[np.ndarray] = None
+        timed_out = False
+
+        # The nominal point itself must be safe, else the radius is 0
+        # with the nominal scene as the counterexample.
+        outputs = self.network.forward(x0)[0]
+        if self.objective.value(outputs) > self.threshold:
+            return ResilienceResult(
+                certified_radius=0.0,
+                falsifying_radius=0.0,
+                counterexample=x0,
+                probes=0,
+                wall_time=time.monotonic() - start,
+                timed_out=False,
+            )
+
+        # Try the full radius first: many scenes are globally safe.
+        result = self.probe(x0, max_radius)
+        probes += 1
+        if result.verdict is Verdict.VERIFIED:
+            return ResilienceResult(
+                certified_radius=max_radius,
+                falsifying_radius=math.inf,
+                counterexample=None,
+                probes=probes,
+                wall_time=time.monotonic() - start,
+                timed_out=False,
+            )
+        if result.verdict is Verdict.TIMEOUT:
+            timed_out = True
+        falsifying = max_radius
+        if result.counterexample is not None:
+            counterexample = result.counterexample
+
+        lo, hi = 0.0, max_radius
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2.0
+            result = self.probe(x0, mid)
+            probes += 1
+            if result.verdict is Verdict.VERIFIED:
+                lo = mid
+            elif result.verdict is Verdict.FALSIFIED:
+                hi = mid
+                falsifying = min(falsifying, mid)
+                counterexample = result.counterexample
+            else:
+                # Timeout: treat as unsafe for soundness of the
+                # certified radius, but record the budget problem.
+                timed_out = True
+                hi = mid
+        return ResilienceResult(
+            certified_radius=lo,
+            falsifying_radius=falsifying,
+            counterexample=counterexample,
+            probes=probes,
+            wall_time=time.monotonic() - start,
+            timed_out=timed_out,
+        )
+
+    def profile_scenes(
+        self,
+        scenes: np.ndarray,
+        max_radius: float = 1.0,
+        tolerance: float = 0.05,
+    ) -> List[ResilienceResult]:
+        """Certified radii for a batch of nominal scenes."""
+        scenes = np.atleast_2d(scenes)
+        return [
+            self.certified_radius(scene, max_radius, tolerance)
+            for scene in scenes
+        ]

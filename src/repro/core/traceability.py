@@ -1,0 +1,226 @@
+"""Neuron-to-feature traceability (Table I, understandability pillar).
+
+Classical certification demands fine-grained specification-to-code
+traceability; the paper's adaptation (Sec. II A) is *neuron-to-feature*
+traceability: "associating individual neurons with conditions (features)
+when it can be activated".
+
+For each hidden neuron we profile, over a validated dataset:
+
+* its **activation rate**;
+* per input feature, the **separation** between the feature's distribution
+  when the neuron fires vs when it does not (standardised mean
+  difference);
+* a human-readable **guard condition** — an interval over the most
+  separating feature — together with the measured precision/recall of
+  that condition as a predictor of activation.
+
+The paper's concluding remark (i) — understandability "can only be
+partially achieved" — shows up quantitatively: guard-condition F1 scores
+are far below 1 for most neurons, and the traceability report says so.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CertificationError
+from repro.highway.features import feature_names
+from repro.nn.network import FeedForwardNetwork
+
+
+@dataclasses.dataclass
+class GuardCondition:
+    """``low <= feature <= high`` as an activation predictor."""
+
+    feature: str
+    low: float
+    high: float
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return (
+            2.0 * self.precision * self.recall
+            / (self.precision + self.recall)
+        )
+
+    def render(self) -> str:
+        """Human-readable one-liner for reports."""
+        return (
+            f"{self.low:.3g} <= {self.feature} <= {self.high:.3g} "
+            f"(precision {self.precision:.2f}, recall {self.recall:.2f})"
+        )
+
+
+@dataclasses.dataclass
+class NeuronProfile:
+    """Traceability record of one hidden neuron."""
+
+    layer: int
+    neuron: int
+    activation_rate: float
+    top_features: List[str]          # most separating features, descending
+    separations: List[float]         # matching standardised mean diffs
+    guard: Optional[GuardCondition]  # None for always-on/always-off neurons
+
+    @property
+    def is_degenerate(self) -> bool:
+        """Always-on or always-off over the dataset — carries no feature
+        condition at all."""
+        return self.activation_rate in (0.0, 1.0)
+
+    def render(self) -> str:
+        """One-line neuron summary: rate, drivers, guard."""
+        head = (
+            f"L{self.layer}N{self.neuron}: "
+            f"fires {100 * self.activation_rate:.1f}%"
+        )
+        if self.is_degenerate:
+            return head + " (degenerate: no condition)"
+        tops = ", ".join(
+            f"{name} ({sep:+.2f})"
+            for name, sep in zip(
+                self.top_features[:3], self.separations[:3]
+            )
+        )
+        guard = self.guard.render() if self.guard else "none"
+        return f"{head}; drivers: {tops}; guard: {guard}"
+
+
+@dataclasses.dataclass
+class TraceabilityReport:
+    """All neuron profiles plus aggregate understandability metrics."""
+
+    profiles: List[NeuronProfile]
+    mean_guard_f1: float
+    traceable_fraction: float  # neurons with guard F1 >= threshold
+    f1_threshold: float
+
+    def render(self, limit: int = 20) -> str:
+        """Multi-line report (first ``limit`` neuron profiles)."""
+        lines = [
+            "Neuron-to-feature traceability report",
+            f"  neurons profiled : {len(self.profiles)}",
+            f"  mean guard F1    : {self.mean_guard_f1:.3f}",
+            f"  traceable (F1>={self.f1_threshold}) : "
+            f"{100 * self.traceable_fraction:.1f}%",
+            "  (partial understandability, cf. paper's remark (i))",
+        ]
+        for profile in self.profiles[:limit]:
+            lines.append("  " + profile.render())
+        if len(self.profiles) > limit:
+            lines.append(f"  ... {len(self.profiles) - limit} more")
+        return "\n".join(lines)
+
+
+class TraceabilityAnalyzer:
+    """Profiles every hidden neuron of a network over a dataset."""
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        feature_labels: Optional[Sequence[str]] = None,
+        f1_threshold: float = 0.7,
+    ) -> None:
+        self.network = network
+        if feature_labels is None:
+            if network.input_dim == 84:
+                feature_labels = feature_names()
+            else:
+                feature_labels = [
+                    f"x{i}" for i in range(network.input_dim)
+                ]
+        if len(feature_labels) != network.input_dim:
+            raise CertificationError(
+                f"{len(feature_labels)} labels for "
+                f"{network.input_dim} inputs"
+            )
+        self.feature_labels = list(feature_labels)
+        self.f1_threshold = f1_threshold
+
+    def analyze(self, x: np.ndarray, top_k: int = 5) -> TraceabilityReport:
+        """Build the traceability report over sample inputs ``x``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[0] < 10:
+            raise CertificationError(
+                "traceability needs at least 10 samples"
+            )
+        activations = self.network.hidden_activations(x)
+        profiles: List[NeuronProfile] = []
+        for layer_index, acts in enumerate(activations):
+            fired = acts > 0.0
+            for neuron in range(acts.shape[1]):
+                profiles.append(
+                    self._profile(
+                        x, fired[:, neuron], layer_index, neuron, top_k
+                    )
+                )
+        f1s = [p.guard.f1 for p in profiles if p.guard is not None]
+        mean_f1 = float(np.mean(f1s)) if f1s else 0.0
+        traceable = (
+            float(
+                np.mean([f1 >= self.f1_threshold for f1 in f1s])
+            )
+            if f1s
+            else 0.0
+        )
+        return TraceabilityReport(
+            profiles=profiles,
+            mean_guard_f1=mean_f1,
+            traceable_fraction=traceable,
+            f1_threshold=self.f1_threshold,
+        )
+
+    def _profile(
+        self,
+        x: np.ndarray,
+        fired: np.ndarray,
+        layer: int,
+        neuron: int,
+        top_k: int,
+    ) -> NeuronProfile:
+        rate = float(fired.mean())
+        if rate in (0.0, 1.0):
+            return NeuronProfile(layer, neuron, rate, [], [], None)
+        on = x[fired]
+        off = x[~fired]
+        pooled = x.std(axis=0)
+        pooled[pooled < 1e-12] = 1.0
+        separation = (on.mean(axis=0) - off.mean(axis=0)) / pooled
+        order = np.argsort(-np.abs(separation))[:top_k]
+        guard = self._guard(x, fired, int(order[0]))
+        return NeuronProfile(
+            layer=layer,
+            neuron=neuron,
+            activation_rate=rate,
+            top_features=[self.feature_labels[i] for i in order],
+            separations=[float(separation[i]) for i in order],
+            guard=guard,
+        )
+
+    def _guard(
+        self, x: np.ndarray, fired: np.ndarray, feature: int
+    ) -> GuardCondition:
+        """Interval over the driver feature covering the central 90% of
+        firing samples, scored as an activation predictor."""
+        values = x[:, feature]
+        on_values = values[fired]
+        low, high = np.percentile(on_values, [5.0, 95.0])
+        predicted = (values >= low) & (values <= high)
+        tp = float(np.sum(predicted & fired))
+        precision = tp / max(1.0, float(np.sum(predicted)))
+        recall = tp / max(1.0, float(np.sum(fired)))
+        return GuardCondition(
+            feature=self.feature_labels[feature],
+            low=float(low),
+            high=float(high),
+            precision=precision,
+            recall=recall,
+        )

@@ -1,0 +1,300 @@
+"""Formal verification queries over encoded networks.
+
+Two query types reproduce the paper's Table II:
+
+* **max queries** — "what is the maximum lateral velocity the predictor
+  can suggest while a vehicle is on the left?" (the table's middle
+  column); and
+* **decision queries** — "prove the lateral velocity can never exceed
+  3 m/s" (the table's last row), realised as an infeasibility check on
+  the violation-witness encoding.
+
+Every counterexample is *replayed through the real network* before being
+reported, so MILP numerics can never produce a spurious witness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.bounds import LayerBounds, total_ambiguous
+from repro.core.encoder import (
+    EncodedNetwork,
+    EncoderOptions,
+    attach_objective,
+    attach_violation_constraint,
+    compute_bounds,
+    encode_network,
+)
+from repro.core.properties import (
+    InputRegion,
+    OutputObjective,
+    SafetyProperty,
+    component_lateral_objectives,
+)
+from repro.errors import EncodingError
+from repro.milp.branch_and_bound import MILPOptions, solve_milp
+from repro.milp.status import SolveStatus
+from repro.nn.network import FeedForwardNetwork
+
+
+class Verdict(enum.Enum):
+    """Outcome of a verification query."""
+
+    VERIFIED = "verified"         # property proven
+    FALSIFIED = "falsified"       # counterexample found and replayed
+    MAX_FOUND = "max_found"       # max query solved to optimality
+    TIMEOUT = "timeout"           # budget exhausted (paper: "time-out")
+    ERROR = "error"
+
+
+@dataclasses.dataclass
+class VerificationResult:
+    """Result of one query.
+
+    ``value`` is the proven maximum for max queries (or the best incumbent
+    under a timeout); ``counterexample`` is an input witness, already
+    validated against the real network; ``network_value`` its replayed
+    objective value.
+    """
+
+    verdict: Verdict
+    value: float = math.nan
+    best_bound: float = math.nan
+    counterexample: Optional[np.ndarray] = None
+    network_value: float = math.nan
+    wall_time: float = 0.0
+    nodes: int = 0
+    num_binaries: int = 0
+    description: str = ""
+
+    @property
+    def timed_out(self) -> bool:
+        return self.verdict is Verdict.TIMEOUT
+
+
+@dataclasses.dataclass
+class TableIIRow:
+    """One row of the paper's Table II."""
+
+    architecture: str
+    max_lateral_velocity: Optional[float]
+    wall_time: float
+    timed_out: bool
+    num_binaries: int = 0
+
+    def render(self) -> str:
+        """The row in the paper's Table II layout."""
+        value = (
+            "n.a. (unable to find maximum)"
+            if self.max_lateral_velocity is None
+            else f"{self.max_lateral_velocity:.6f}"
+        )
+        time_str = "time-out" if self.timed_out else f"{self.wall_time:.1f}s"
+        return f"{self.architecture:>8}  {value:>32}  {time_str:>10}"
+
+
+class Verifier:
+    """Verification engine bound to one network."""
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        encoder_options: Optional[EncoderOptions] = None,
+        milp_options: Optional[MILPOptions] = None,
+    ) -> None:
+        self.network = network
+        self.encoder_options = encoder_options or EncoderOptions()
+        self.milp_options = milp_options or MILPOptions()
+
+    # -- queries -----------------------------------------------------------------
+    def maximize(
+        self,
+        region: InputRegion,
+        objective: OutputObjective,
+        precomputed_bounds: Optional[List[LayerBounds]] = None,
+    ) -> VerificationResult:
+        """Maximise a linear output functional over the region."""
+        start = time.monotonic()
+        encoded = encode_network(
+            self.network,
+            region,
+            self.encoder_options,
+            precomputed_bounds=precomputed_bounds,
+        )
+        attach_objective(encoded, objective, maximize=True)
+        result = solve_milp(encoded.model, self.milp_options)
+        wall = time.monotonic() - start
+
+        if result.status is SolveStatus.OPTIMAL:
+            witness, replayed = self._replay(encoded, result.x, objective)
+            if abs(replayed - result.objective) > 1e-3:
+                raise EncodingError(
+                    "soundness self-check failed: MILP optimum "
+                    f"{result.objective:.6g} does not match the replayed "
+                    f"network value {replayed:.6g}"
+                )
+            return VerificationResult(
+                verdict=Verdict.MAX_FOUND,
+                value=result.objective,
+                best_bound=result.best_bound,
+                counterexample=witness,
+                network_value=replayed,
+                wall_time=wall,
+                nodes=result.nodes,
+                num_binaries=encoded.num_binaries,
+                description=objective.description,
+            )
+        if result.status in (SolveStatus.TIMEOUT, SolveStatus.NODE_LIMIT):
+            witness = None
+            replayed = math.nan
+            if result.x is not None:
+                witness, replayed = self._replay(
+                    encoded, result.x, objective
+                )
+            return VerificationResult(
+                verdict=Verdict.TIMEOUT,
+                value=result.objective,
+                best_bound=result.best_bound,
+                counterexample=witness,
+                network_value=replayed,
+                wall_time=wall,
+                nodes=result.nodes,
+                num_binaries=encoded.num_binaries,
+                description=objective.description,
+            )
+        if result.status is SolveStatus.INFEASIBLE:
+            raise EncodingError(
+                "max query infeasible: the input region is empty"
+            )
+        return VerificationResult(
+            verdict=Verdict.ERROR,
+            wall_time=wall,
+            nodes=result.nodes,
+            num_binaries=encoded.num_binaries,
+            description=objective.description,
+        )
+
+    def prove(
+        self,
+        prop: SafetyProperty,
+        precomputed_bounds: Optional[List[LayerBounds]] = None,
+    ) -> VerificationResult:
+        """Decision query: prove ``objective <= threshold`` on the region.
+
+        Encodes the *violation* (objective >= threshold) and checks
+        feasibility: infeasible means the property holds.
+        """
+        start = time.monotonic()
+        encoded = encode_network(
+            self.network,
+            prop.region,
+            self.encoder_options,
+            precomputed_bounds=precomputed_bounds,
+        )
+        attach_violation_constraint(encoded, prop.objective, prop.threshold)
+        attach_objective(encoded, prop.objective, maximize=True)
+        result = solve_milp(encoded.model, self.milp_options)
+        wall = time.monotonic() - start
+
+        if result.status is SolveStatus.INFEASIBLE:
+            return VerificationResult(
+                verdict=Verdict.VERIFIED,
+                value=prop.threshold,
+                wall_time=wall,
+                nodes=result.nodes,
+                num_binaries=encoded.num_binaries,
+                description=prop.name,
+            )
+        if result.has_incumbent:
+            witness, replayed = self._replay(
+                encoded, result.x, prop.objective
+            )
+            if replayed >= prop.threshold - 1e-4:
+                return VerificationResult(
+                    verdict=Verdict.FALSIFIED,
+                    value=result.objective,
+                    counterexample=witness,
+                    network_value=replayed,
+                    wall_time=wall,
+                    nodes=result.nodes,
+                    num_binaries=encoded.num_binaries,
+                    description=prop.name,
+                )
+        if result.status in (SolveStatus.TIMEOUT, SolveStatus.NODE_LIMIT):
+            return VerificationResult(
+                verdict=Verdict.TIMEOUT,
+                wall_time=wall,
+                nodes=result.nodes,
+                num_binaries=encoded.num_binaries,
+                description=prop.name,
+            )
+        return VerificationResult(
+            verdict=Verdict.ERROR,
+            wall_time=wall,
+            nodes=result.nodes,
+            num_binaries=encoded.num_binaries,
+            description=prop.name,
+        )
+
+    # -- the Table II experiment ----------------------------------------------------
+    def max_lateral_velocity(
+        self,
+        region: InputRegion,
+        num_components: int,
+    ) -> VerificationResult:
+        """Maximum suggested lateral velocity over all mixture components.
+
+        Bounds are computed once and shared by the per-component queries.
+        The result's value is ``max_k max_x mu_lat_k(x)`` — a sound upper
+        bound on the mixture-mean lateral velocity (see
+        :mod:`repro.nn.mdn`).
+        """
+        bounds = compute_bounds(self.network, region, self.encoder_options)
+        best: Optional[VerificationResult] = None
+        total_time = 0.0
+        total_nodes = 0
+        timed_out = False
+        for objective in component_lateral_objectives(num_components):
+            result = self.maximize(
+                region, objective, precomputed_bounds=bounds
+            )
+            total_time += result.wall_time
+            total_nodes += result.nodes
+            if result.verdict is Verdict.TIMEOUT:
+                timed_out = True
+            if best is None or (
+                not math.isnan(result.value) and result.value > best.value
+            ):
+                best = result
+        assert best is not None
+        best = dataclasses.replace(
+            best,
+            wall_time=total_time,
+            nodes=total_nodes,
+            verdict=Verdict.TIMEOUT if timed_out else best.verdict,
+        )
+        return best
+
+    def ambiguity_report(self, region: InputRegion) -> int:
+        """Binary-variable count the encoding will need over this region."""
+        bounds = compute_bounds(self.network, region, self.encoder_options)
+        return total_ambiguous(bounds, self.network)
+
+    # -- internals --------------------------------------------------------------------
+    def _replay(
+        self,
+        encoded: EncodedNetwork,
+        solution: np.ndarray,
+        objective: OutputObjective,
+    ):
+        """Re-run the MILP witness through the real network."""
+        witness = encoded.input_point(solution)
+        outputs = self.network.forward(witness)[0]
+        return witness, objective.value(outputs)

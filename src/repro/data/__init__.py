@@ -1,0 +1,42 @@
+"""Data-as-specification: datasets, validation rules, sanitization, audit.
+
+Implements the paper's third certification pillar (Sec. II C / Table I
+bottom row): training data is a new kind of specification and must be
+validated — in particular, no risky-driving samples may reach training.
+"""
+
+from repro.data.dataset import ACTION_NAMES, DrivingDataset
+from repro.data.provenance import ProvenanceEntry, ProvenanceLog
+from repro.data.sanitize import SanitizationResult, require_valid, sanitize
+from repro.data.validation import (
+    ActionLimitsRule,
+    DataValidator,
+    FeatureRangeRule,
+    FiniteValuesRule,
+    NoRiskyLeftManeuver,
+    NoRiskyRightManeuver,
+    RuleResult,
+    TailgatingRule,
+    ValidationReport,
+    ValidationRule,
+)
+
+__all__ = [
+    "ACTION_NAMES",
+    "ActionLimitsRule",
+    "DataValidator",
+    "DrivingDataset",
+    "FeatureRangeRule",
+    "FiniteValuesRule",
+    "NoRiskyLeftManeuver",
+    "NoRiskyRightManeuver",
+    "ProvenanceEntry",
+    "ProvenanceLog",
+    "RuleResult",
+    "SanitizationResult",
+    "TailgatingRule",
+    "ValidationReport",
+    "ValidationRule",
+    "require_valid",
+    "sanitize",
+]

@@ -1,0 +1,137 @@
+"""Dataset container for the motion-prediction training data.
+
+Training data is the paper's "new type of specification" (Sec. II,
+Table I bottom row): it implicitly specifies the predictor's input-output
+behaviour, so it gets first-class treatment — named columns, integrity
+hashes, splits, persistence — rather than living as loose arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.highway.features import FEATURE_DIM, feature_index, feature_names
+
+ACTION_NAMES = ("lateral_velocity", "longitudinal_acceleration")
+
+
+@dataclasses.dataclass
+class DrivingDataset:
+    """Paired (scene features, expert action) samples."""
+
+    x: np.ndarray  # (N, 84)
+    y: np.ndarray  # (N, 2)
+    source: str = "simulator"
+
+    def __post_init__(self) -> None:
+        self.x = np.atleast_2d(np.asarray(self.x, dtype=float))
+        self.y = np.atleast_2d(np.asarray(self.y, dtype=float))
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValidationError(
+                f"{self.x.shape[0]} feature rows vs {self.y.shape[0]} labels"
+            )
+        if self.x.shape[1] != FEATURE_DIM:
+            raise ValidationError(
+                f"expected {FEATURE_DIM} features, got {self.x.shape[1]}"
+            )
+        if self.y.shape[1] != len(ACTION_NAMES):
+            raise ValidationError(
+                f"expected {len(ACTION_NAMES)} action columns, "
+                f"got {self.y.shape[1]}"
+            )
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    # -- columns -----------------------------------------------------------------
+    def feature(self, name: str) -> np.ndarray:
+        """Column view of a named feature."""
+        return self.x[:, feature_index(name)]
+
+    @property
+    def lateral_velocity(self) -> np.ndarray:
+        return self.y[:, 0]
+
+    @property
+    def longitudinal_acceleration(self) -> np.ndarray:
+        return self.y[:, 1]
+
+    # -- integrity ---------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """SHA-256 over the raw bytes — pins the exact data that was
+        validated and trained on (provenance, Sec. II C)."""
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self.x).tobytes())
+        digest.update(np.ascontiguousarray(self.y).tobytes())
+        return digest.hexdigest()
+
+    # -- manipulation ---------------------------------------------------------------
+    def subset(self, indices: np.ndarray) -> "DrivingDataset":
+        """New dataset containing only the given row indices."""
+        return DrivingDataset(
+            self.x[indices], self.y[indices], source=self.source
+        )
+
+    def drop(self, indices: np.ndarray) -> "DrivingDataset":
+        """Remove rows by index (the sanitizer's primitive)."""
+        mask = np.ones(len(self), dtype=bool)
+        mask[np.asarray(indices, dtype=int)] = False
+        return self.subset(np.flatnonzero(mask))
+
+    def concat(self, other: "DrivingDataset") -> "DrivingDataset":
+        """Row-wise concatenation (sources joined with '+')."""
+        return DrivingDataset(
+            np.vstack([self.x, other.x]),
+            np.vstack([self.y, other.y]),
+            source=f"{self.source}+{other.source}",
+        )
+
+    def split(
+        self, train_fraction: float = 0.8, seed: int = 0
+    ) -> Tuple["DrivingDataset", "DrivingDataset"]:
+        """Shuffled train/test split."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValidationError("train_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+    # -- persistence -----------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write as compressed ``.npz`` with the feature schema embedded."""
+        np.savez_compressed(
+            Path(path),
+            x=self.x,
+            y=self.y,
+            source=np.array(self.source),
+            feature_names=np.array(feature_names()),
+        )
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "DrivingDataset":
+        payload = np.load(Path(path), allow_pickle=False)
+        stored = [str(s) for s in payload["feature_names"]]
+        if stored != feature_names():
+            raise ValidationError(
+                "stored feature schema does not match this library version"
+            )
+        return DrivingDataset(
+            payload["x"], payload["y"], source=str(payload["source"])
+        )
+
+    def summary(self) -> str:
+        """One-line dataset description for logs and reports."""
+        return (
+            f"DrivingDataset(n={len(self)}, source={self.source!r}, "
+            f"lat_v in [{self.lateral_velocity.min():.2f}, "
+            f"{self.lateral_velocity.max():.2f}], "
+            f"accel in [{self.longitudinal_acceleration.min():.2f}, "
+            f"{self.longitudinal_acceleration.max():.2f}])"
+        )

@@ -1,0 +1,92 @@
+"""Provenance log: an auditable trail of data operations.
+
+Certification audits ask "which data trained this network, and what was
+done to it?".  The log is append-only; each entry is timestamp-free by
+design (runs must be reproducible bit-for-bit) but carries a monotone
+sequence number and a rolling hash chaining every entry to its
+predecessors, so tampering with history is detectable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import ValidationError
+
+
+@dataclasses.dataclass
+class ProvenanceEntry:
+    """One audited operation."""
+
+    sequence: int
+    action: str
+    detail: str
+    chain_hash: str
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation of the entry."""
+        return dataclasses.asdict(self)
+
+
+class ProvenanceLog:
+    """Append-only, hash-chained audit log."""
+
+    _GENESIS = "0" * 64
+
+    def __init__(self) -> None:
+        self.entries: List[ProvenanceEntry] = []
+
+    def record(self, action: str, detail: str) -> ProvenanceEntry:
+        """Append an entry; the chain hash covers all prior history."""
+        if not action:
+            raise ValidationError("provenance entries need an action")
+        previous = (
+            self.entries[-1].chain_hash if self.entries else self._GENESIS
+        )
+        sequence = len(self.entries)
+        chain_hash = hashlib.sha256(
+            f"{previous}|{sequence}|{action}|{detail}".encode()
+        ).hexdigest()
+        entry = ProvenanceEntry(sequence, action, detail, chain_hash)
+        self.entries.append(entry)
+        return entry
+
+    def verify_chain(self) -> bool:
+        """Recompute every hash; False means the log was tampered with."""
+        previous = self._GENESIS
+        for i, entry in enumerate(self.entries):
+            expected = hashlib.sha256(
+                f"{previous}|{i}|{entry.action}|{entry.detail}".encode()
+            ).hexdigest()
+            if entry.sequence != i or entry.chain_hash != expected:
+                return False
+            previous = entry.chain_hash
+        return True
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the log as JSON."""
+        Path(path).write_text(
+            json.dumps([entry.to_dict() for entry in self.entries])
+        )
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "ProvenanceLog":
+        log = ProvenanceLog()
+        for item in json.loads(Path(path).read_text()):
+            log.entries.append(ProvenanceEntry(**item))
+        if not log.verify_chain():
+            raise ValidationError(f"provenance log {path} failed its chain check")
+        return log
+
+    def render(self) -> str:
+        """Numbered text listing of all audited operations."""
+        lines = ["Provenance log:"]
+        for entry in self.entries:
+            lines.append(
+                f"  #{entry.sequence:03d} {entry.action}: {entry.detail}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Sanitization: remove rule-violating samples before training.
+
+Sec. II C: "one needs to check the validity of the data, to ensure that
+only sanitized data will be used in training".  The sanitizer applies a
+validator, drops every violating sample, re-validates, and records the
+whole operation in the provenance log so the certification case can show
+*what* was removed and *why*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.data.dataset import DrivingDataset
+from repro.data.provenance import ProvenanceLog
+from repro.data.validation import DataValidator, ValidationReport
+from repro.errors import ValidationError
+
+
+@dataclasses.dataclass
+class SanitizationResult:
+    """Everything produced by one sanitization pass."""
+
+    clean: DrivingDataset
+    removed_count: int
+    before: ValidationReport
+    after: ValidationReport
+
+    @property
+    def was_clean(self) -> bool:
+        return self.removed_count == 0
+
+
+def sanitize(
+    dataset: DrivingDataset,
+    validator: DataValidator,
+    log: Optional[ProvenanceLog] = None,
+) -> SanitizationResult:
+    """Drop every sample violating any rule; returns the clean dataset.
+
+    Raises :class:`ValidationError` if violations persist after removal
+    (which would indicate a rule inconsistent with its own fix).
+    """
+    before = validator.validate(dataset)
+    bad = before.violating_indices()
+    clean = dataset.drop(bad) if bad.size else dataset
+    after = validator.validate(clean)
+    if not after.passed:
+        raise ValidationError(
+            "dataset still invalid after removing violating samples"
+        )
+    if log is not None:
+        log.record(
+            action="sanitize",
+            detail=(
+                f"removed {bad.size} of {len(dataset)} samples; "
+                f"clean fingerprint {clean.fingerprint()[:12]}"
+            ),
+        )
+    return SanitizationResult(
+        clean=clean,
+        removed_count=int(bad.size),
+        before=before,
+        after=after,
+    )
+
+
+def require_valid(
+    dataset: DrivingDataset, validator: DataValidator
+) -> ValidationReport:
+    """Gate used by training pipelines: raise unless the data is valid."""
+    report = validator.validate(dataset)
+    if not report.passed:
+        raise ValidationError(
+            f"training data rejected: {report.total_violations} violations "
+            f"across {sum(1 for r in report.results if not r.passed)} rules"
+        )
+    return report

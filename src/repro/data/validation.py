@@ -1,0 +1,250 @@
+"""Validation rules: the data-as-specification pillar (Sec. II C).
+
+The paper requires that "only sanitized data will be used in training" —
+concretely, for the case study, that *no sample shows the expert commanding
+a large left lateral velocity while a vehicle occupies the left slot*
+(risky driving must not be learned).  Each rule inspects a
+:class:`~repro.data.dataset.DrivingDataset` and reports the indices of
+violating samples; a :class:`DataValidator` aggregates rules into a
+certification-ready report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.dataset import DrivingDataset
+from repro.errors import ValidationError
+from repro.highway.features import FeatureEncoder, feature_index
+
+
+@dataclasses.dataclass
+class RuleResult:
+    """Outcome of one rule over one dataset."""
+
+    rule_name: str
+    description: str
+    violations: np.ndarray  # indices of violating samples
+
+    @property
+    def passed(self) -> bool:
+        return self.violations.size == 0
+
+    @property
+    def violation_count(self) -> int:
+        return int(self.violations.size)
+
+
+class ValidationRule:
+    """Base class: subclasses scan a dataset for violating sample indices."""
+
+    name: str = "rule"
+    description: str = ""
+
+    def check(self, dataset: DrivingDataset) -> RuleResult:
+        """Run the rule; returns the violating sample indices."""
+        violations = np.asarray(self._violations(dataset), dtype=int)
+        return RuleResult(self.name, self.description, violations)
+
+    def _violations(self, dataset: DrivingDataset) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NoRiskyLeftManeuver(ValidationRule):
+    """No sample may command a large left velocity with the left occupied.
+
+    This is the exact risky behaviour of the paper's safety requirement;
+    if such samples were in the training data the network would be *taught*
+    to crash.
+    """
+
+    name = "no_risky_left_maneuver"
+    description = (
+        "lateral velocity must stay below the risky threshold whenever a "
+        "vehicle occupies the left slot"
+    )
+
+    def __init__(self, max_left_velocity: float = 0.5) -> None:
+        if max_left_velocity < 0:
+            raise ValidationError("threshold must be non-negative")
+        self.max_left_velocity = max_left_velocity
+
+    def _violations(self, dataset: DrivingDataset) -> np.ndarray:
+        left_present = dataset.feature("left_present") > 0.5
+        risky = dataset.lateral_velocity > self.max_left_velocity
+        return np.flatnonzero(left_present & risky)
+
+
+class NoRiskyRightManeuver(ValidationRule):
+    """Mirror rule for the right side (the paper's example in the abstract:
+    never suggest moving right when a vehicle is on the right)."""
+
+    name = "no_risky_right_maneuver"
+    description = (
+        "lateral velocity must stay above the negative risky threshold "
+        "whenever a vehicle occupies the right slot"
+    )
+
+    def __init__(self, max_right_velocity: float = 0.5) -> None:
+        if max_right_velocity < 0:
+            raise ValidationError("threshold must be non-negative")
+        self.max_right_velocity = max_right_velocity
+
+    def _violations(self, dataset: DrivingDataset) -> np.ndarray:
+        right_present = dataset.feature("right_present") > 0.5
+        risky = dataset.lateral_velocity < -self.max_right_velocity
+        return np.flatnonzero(right_present & risky)
+
+
+class FeatureRangeRule(ValidationRule):
+    """Every feature must lie inside its physical sensor range."""
+
+    name = "feature_ranges"
+    description = "all features must lie within their documented bounds"
+
+    def __init__(self, encoder: FeatureEncoder) -> None:
+        self.bounds = encoder.bounds()
+
+    def _violations(self, dataset: DrivingDataset) -> np.ndarray:
+        lo = self.bounds[:, 0] - 1e-9
+        hi = self.bounds[:, 1] + 1e-9
+        bad = (dataset.x < lo) | (dataset.x > hi)
+        return np.flatnonzero(bad.any(axis=1))
+
+
+class FiniteValuesRule(ValidationRule):
+    """No NaN or infinite values anywhere in the sample."""
+
+    name = "finite_values"
+    description = "features and labels must be finite"
+
+    def _violations(self, dataset: DrivingDataset) -> np.ndarray:
+        bad_x = ~np.isfinite(dataset.x).all(axis=1)
+        bad_y = ~np.isfinite(dataset.y).all(axis=1)
+        return np.flatnonzero(bad_x | bad_y)
+
+
+class ActionLimitsRule(ValidationRule):
+    """Labels must be physically plausible driving actions."""
+
+    name = "action_limits"
+    description = (
+        "lateral velocity within +-max_lat, acceleration within "
+        "[-max_brake, +max_accel]"
+    )
+
+    def __init__(
+        self,
+        max_lateral: float = 2.0,
+        max_brake: float = 9.0,
+        max_accel: float = 3.0,
+    ) -> None:
+        self.max_lateral = max_lateral
+        self.max_brake = max_brake
+        self.max_accel = max_accel
+
+    def _violations(self, dataset: DrivingDataset) -> np.ndarray:
+        lat = np.abs(dataset.lateral_velocity) > self.max_lateral
+        acc = (dataset.longitudinal_acceleration < -self.max_brake) | (
+            dataset.longitudinal_acceleration > self.max_accel
+        )
+        return np.flatnonzero(lat | acc)
+
+
+class TailgatingRule(ValidationRule):
+    """No sample may accelerate hard into a very small front gap."""
+
+    name = "no_tailgating"
+    description = (
+        "acceleration above accel_threshold with the front gap below "
+        "gap_threshold indicates risky driving"
+    )
+
+    def __init__(
+        self, gap_threshold: float = 5.0, accel_threshold: float = 1.0
+    ) -> None:
+        self.gap_threshold = gap_threshold
+        self.accel_threshold = accel_threshold
+
+    def _violations(self, dataset: DrivingDataset) -> np.ndarray:
+        present = dataset.feature("front_present") > 0.5
+        close = dataset.feature("front_gap") < self.gap_threshold
+        pushing = (
+            dataset.longitudinal_acceleration > self.accel_threshold
+        )
+        return np.flatnonzero(present & close & pushing)
+
+
+@dataclasses.dataclass
+class ValidationReport:
+    """Aggregated rule outcomes over one dataset."""
+
+    dataset_fingerprint: str
+    sample_count: int
+    results: List[RuleResult]
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(result.violation_count for result in self.results)
+
+    def violating_indices(self) -> np.ndarray:
+        """Union of all violating sample indices."""
+        if not self.results:
+            return np.zeros(0, dtype=int)
+        return np.unique(
+            np.concatenate([result.violations for result in self.results])
+        )
+
+    def render(self) -> str:
+        """PASS/FAIL listing per rule plus the overall verdict."""
+        lines = [
+            f"Validation report over {self.sample_count} samples "
+            f"(fingerprint {self.dataset_fingerprint[:12]}...)"
+        ]
+        for result in self.results:
+            verdict = "PASS" if result.passed else (
+                f"FAIL ({result.violation_count} violations)"
+            )
+            lines.append(f"  [{verdict:>20}] {result.rule_name}")
+        lines.append(
+            "  overall: " + ("VALID" if self.passed else "INVALID")
+        )
+        return "\n".join(lines)
+
+
+class DataValidator:
+    """Runs a rule battery over datasets (default: the case-study rules)."""
+
+    def __init__(self, rules: Sequence[ValidationRule]) -> None:
+        if not rules:
+            raise ValidationError("validator needs at least one rule")
+        self.rules = list(rules)
+
+    @classmethod
+    def default(cls, encoder: FeatureEncoder) -> "DataValidator":
+        """The battery used by the case study's certification case."""
+        return cls(
+            [
+                FiniteValuesRule(),
+                FeatureRangeRule(encoder),
+                ActionLimitsRule(),
+                NoRiskyLeftManeuver(),
+                NoRiskyRightManeuver(),
+                TailgatingRule(),
+            ]
+        )
+
+    def validate(self, dataset: DrivingDataset) -> ValidationReport:
+        """Run every rule and aggregate the outcomes."""
+        return ValidationReport(
+            dataset_fingerprint=dataset.fingerprint(),
+            sample_count=len(dataset),
+            results=[rule.check(dataset) for rule in self.rules],
+        )

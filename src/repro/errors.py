@@ -1,0 +1,56 @@
+"""Exception hierarchy shared across the :mod:`repro` packages.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such
+as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """An optimisation model is malformed (unknown variable, bad bounds...)."""
+
+
+class SolverError(ReproError):
+    """A solver failed for an internal reason (not infeasibility)."""
+
+
+class InfeasibleError(SolverError):
+    """The problem instance was proven infeasible."""
+
+
+class UnboundedError(SolverError):
+    """The problem instance was proven unbounded."""
+
+
+class TimeoutExpired(SolverError):
+    """A solver exhausted its wall-clock or node budget.
+
+    Mirrors the paper's Table II ``time-out`` row: the verifier reports a
+    timeout instead of a bound when the search budget runs out.
+    """
+
+
+class EncodingError(ReproError):
+    """A network or property could not be encoded (unsupported activation...)."""
+
+
+class ValidationError(ReproError):
+    """A dataset violated a data-validation rule (Sec. II C of the paper)."""
+
+
+class TrainingError(ReproError):
+    """Network training failed (diverged, bad shapes, empty dataset...)."""
+
+
+class SimulationError(ReproError):
+    """The highway simulator was driven into an invalid state."""
+
+
+class CertificationError(ReproError):
+    """A certification case is incomplete or internally inconsistent."""

@@ -1,0 +1,70 @@
+"""Highway traffic substrate: the data source for the case study.
+
+Replaces the proprietary driving recordings behind Lenz et al.'s predictor
+with a from-scratch microscopic simulator — IDM car following, MOBIL lane
+changing, ring-road geometry — plus the paper's exact 84-feature scene
+encoding and expert-dataset generation.
+"""
+
+from repro.highway.features import (
+    FEATURE_DIM,
+    NEIGHBOR_PARAMS,
+    ORIENTATIONS,
+    FeatureEncoder,
+    feature_index,
+    feature_names,
+)
+from repro.highway.idm import IDMParams, desired_gap, idm_acceleration
+from repro.highway.metrics import (
+    SafetySummary,
+    summarize_safety,
+    time_headway,
+    time_to_collision,
+)
+from repro.highway.mobil import MOBILParams, NeighborView, lane_change_decision
+from repro.highway.recorder import Frame, TrajectoryRecorder, VehicleSnapshot
+from repro.highway.road import Road
+from repro.highway.scenarios import (
+    DatasetSpec,
+    ScenarioSpec,
+    generate_expert_dataset,
+    overtaking_scene,
+    random_overtaking_scene,
+    random_scene,
+    vehicle_on_left_scene,
+)
+from repro.highway.simulator import HighwaySimulator, SimulatorConfig
+from repro.highway.vehicle import Vehicle
+
+__all__ = [
+    "DatasetSpec",
+    "FEATURE_DIM",
+    "FeatureEncoder",
+    "Frame",
+    "HighwaySimulator",
+    "IDMParams",
+    "MOBILParams",
+    "NEIGHBOR_PARAMS",
+    "NeighborView",
+    "ORIENTATIONS",
+    "Road",
+    "SafetySummary",
+    "ScenarioSpec",
+    "SimulatorConfig",
+    "TrajectoryRecorder",
+    "Vehicle",
+    "VehicleSnapshot",
+    "desired_gap",
+    "feature_index",
+    "feature_names",
+    "generate_expert_dataset",
+    "idm_acceleration",
+    "lane_change_decision",
+    "overtaking_scene",
+    "random_overtaking_scene",
+    "random_scene",
+    "summarize_safety",
+    "time_headway",
+    "time_to_collision",
+    "vehicle_on_left_scene",
+]

@@ -1,0 +1,253 @@
+"""The 84-dimensional scene encoding of the case-study predictor.
+
+The paper (Sec. III) describes the predictor's input as three categories —
+"(i) its own speed profile, (ii) parameters of its nearest surrounding
+vehicles for each orientation, and (iii) the road condition", 84 variables
+in total.  This encoder realises that interface:
+
+* **ego profile** (12): speed, acceleration, lateral velocity, offset from
+  the lane centre, and the speed history over the last 8 steps;
+* **neighbours** (8 orientations x 8 parameters = 64): for each of
+  front / front-left / front-right / left / right / rear / rear-left /
+  rear-right, the nearest vehicle's presence flag, gap, relative speed,
+  absolute speed, acceleration, lateral offset, length and lateral
+  velocity;
+* **road condition** (8): lane count, ego lane, distances to the road
+  edges, lane width, speed limit, friction and curvature.
+
+Feature *names* and *bounds* are part of the public contract: the safety
+properties of :mod:`repro.core.properties` carve input regions out of this
+box by name (e.g. pinning ``left_present = 1``), and the MILP verifier uses
+the bounds as its input domain.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.highway.road import Road
+from repro.highway.simulator import HighwaySimulator
+from repro.highway.vehicle import Vehicle
+
+#: Orientations, ordered; "left" means the adjacent lane to the left,
+#: longitudinally beside the ego — the slot the safety property watches.
+ORIENTATIONS = (
+    "front",
+    "front_left",
+    "front_right",
+    "left",
+    "right",
+    "rear",
+    "rear_left",
+    "rear_right",
+)
+
+NEIGHBOR_PARAMS = (
+    "present",
+    "gap",
+    "rel_speed",
+    "speed",
+    "accel",
+    "lat_offset",
+    "length",
+    "lat_velocity",
+)
+
+_HISTORY_LEN = 8
+_EGO_FEATURES = (
+    "ego_speed",
+    "ego_accel",
+    "ego_lat_velocity",
+    "ego_lane_offset",
+) + tuple(f"ego_speed_hist_{i}" for i in range(_HISTORY_LEN))
+
+_ROAD_FEATURES = (
+    "road_num_lanes",
+    "road_ego_lane",
+    "road_dist_right",
+    "road_dist_left",
+    "road_lane_width",
+    "road_speed_limit",
+    "road_friction",
+    "road_curvature",
+)
+
+FEATURE_DIM = (
+    len(_EGO_FEATURES)
+    + len(ORIENTATIONS) * len(NEIGHBOR_PARAMS)
+    + len(_ROAD_FEATURES)
+)
+assert FEATURE_DIM == 84, "the paper's predictor has exactly 84 inputs"
+
+
+def feature_names() -> List[str]:
+    """All 84 feature names in encoding order."""
+    names = list(_EGO_FEATURES)
+    for orientation in ORIENTATIONS:
+        names.extend(
+            f"{orientation}_{param}" for param in NEIGHBOR_PARAMS
+        )
+    names.extend(_ROAD_FEATURES)
+    return names
+
+
+_NAME_TO_INDEX: Dict[str, int] = {
+    name: i for i, name in enumerate(feature_names())
+}
+
+
+def feature_index(name: str) -> int:
+    """Index of a named feature; raises on unknown names."""
+    try:
+        return _NAME_TO_INDEX[name]
+    except KeyError:
+        raise SimulationError(f"unknown feature {name!r}") from None
+
+
+class FeatureEncoder:
+    """Encodes simulator scenes into the 84-feature vector."""
+
+    #: Longitudinal half-window within which an adjacent-lane vehicle
+    #: counts as "beside" the ego (the left/right orientations).
+    BESIDE_WINDOW = 10.0
+
+    def __init__(self, road: Road, sensor_range: float = 120.0) -> None:
+        if sensor_range <= 0:
+            raise SimulationError("sensor range must be positive")
+        self.road = road
+        self.sensor_range = sensor_range
+        self._speed_history: Deque[float] = collections.deque(
+            maxlen=_HISTORY_LEN
+        )
+
+    def reset(self) -> None:
+        """Forget the ego speed history (start of a new episode)."""
+        self._speed_history.clear()
+
+    # -- bounds -----------------------------------------------------------------
+    def bounds(self) -> np.ndarray:
+        """Physical range of each feature, shape (84, 2).
+
+        These boxes are the verifier's input domain: a property region is
+        always a sub-box of (or linear region inside) these bounds.
+        """
+        box: List[Tuple[float, float]] = []
+        v_max = 50.0
+        box.append((0.0, v_max))          # ego_speed
+        box.append((-9.0, 3.0))           # ego_accel
+        box.append((-2.0, 2.0))           # ego_lat_velocity
+        half_lane = self.road.lane_width / 2.0
+        box.append((-half_lane, half_lane))  # ego_lane_offset
+        box.extend([(0.0, v_max)] * _HISTORY_LEN)
+        for _ in ORIENTATIONS:
+            box.append((0.0, 1.0))                        # present
+            box.append((0.0, self.sensor_range))          # gap
+            box.append((-v_max, v_max))                   # rel_speed
+            box.append((0.0, v_max))                      # speed
+            box.append((-9.0, 3.0))                       # accel
+            road_span = self.road.lane_width * self.road.num_lanes
+            box.append((-road_span, road_span))           # lat_offset
+            box.append((0.0, 25.0))                       # length
+            box.append((-2.0, 2.0))                       # lat_velocity
+        box.append((1.0, 6.0))                            # num lanes
+        box.append((0.0, float(self.road.leftmost_lane))) # ego lane
+        span = self.road.lane_width * self.road.num_lanes
+        box.append((0.0, span))                           # dist right
+        box.append((0.0, span))                           # dist left
+        box.append((2.5, 5.0))                            # lane width
+        box.append((10.0, 60.0))                          # speed limit
+        box.append((0.2, 1.0))                            # friction
+        box.append((-0.02, 0.02))                         # curvature
+        return np.array(box)
+
+    # -- encoding ---------------------------------------------------------------------
+    def encode(self, sim: HighwaySimulator) -> np.ndarray:
+        """Encode the current scene around the simulator's ego vehicle."""
+        ego = sim.ego
+        self._speed_history.append(ego.speed)
+        features = np.zeros(FEATURE_DIM)
+        features[0] = ego.speed
+        features[1] = ego.accel
+        features[2] = ego.lateral_velocity
+        features[3] = ego.y - self.road.lane_center(
+            self.road.lane_of(ego.y)
+        )
+        history = list(self._speed_history)
+        # Pad the warm-up phase by repeating the oldest known speed.
+        while len(history) < _HISTORY_LEN:
+            history.insert(0, history[0] if history else ego.speed)
+        features[4 : 4 + _HISTORY_LEN] = history
+
+        neighbors = self._neighbors(sim, ego)
+        base = len(_EGO_FEATURES)
+        for k, orientation in enumerate(ORIENTATIONS):
+            offset = base + k * len(NEIGHBOR_PARAMS)
+            found = neighbors.get(orientation)
+            if found is None:
+                features[offset + 1] = self.sensor_range  # empty: far gap
+                continue
+            other, dx = found
+            gap = abs(dx) - 0.5 * (ego.length + other.length)
+            features[offset + 0] = 1.0
+            features[offset + 1] = float(
+                np.clip(gap, 0.0, self.sensor_range)
+            )
+            features[offset + 2] = other.speed - ego.speed
+            features[offset + 3] = other.speed
+            features[offset + 4] = other.accel
+            features[offset + 5] = other.y - ego.y
+            features[offset + 6] = other.length
+            features[offset + 7] = other.lateral_velocity
+
+        r = base + len(ORIENTATIONS) * len(NEIGHBOR_PARAMS)
+        road = self.road
+        ego_lane = road.lane_of(ego.y)
+        features[r + 0] = road.num_lanes
+        features[r + 1] = ego_lane
+        features[r + 2] = ego.y  # distance to right edge (lane 0 centre)
+        features[r + 3] = road.lane_center(road.leftmost_lane) - ego.y
+        features[r + 4] = road.lane_width
+        features[r + 5] = road.speed_limit
+        features[r + 6] = road.friction
+        features[r + 7] = road.curvature
+        return features
+
+    def _neighbors(
+        self, sim: HighwaySimulator, ego: Vehicle
+    ) -> Dict[str, Tuple[Vehicle, float]]:
+        """Nearest vehicle per orientation as ``(vehicle, signed dx)``."""
+        ego_lane = self.road.lane_of(ego.y)
+        nearest: Dict[str, Tuple[Vehicle, float]] = {}
+        for other in sim.vehicles:
+            if other.vehicle_id == ego.vehicle_id:
+                continue
+            forward = self.road.gap(ego.x, other.x)
+            backward = self.road.gap(other.x, ego.x)
+            dx = forward if forward <= backward else -backward
+            if abs(dx) > self.sensor_range:
+                continue
+            lane_rel = self.road.lane_of(other.y) - ego_lane
+            orientation = self._classify(lane_rel, dx)
+            if orientation is None:
+                continue
+            incumbent = nearest.get(orientation)
+            if incumbent is None or abs(dx) < abs(incumbent[1]):
+                nearest[orientation] = (other, dx)
+        return nearest
+
+    def _classify(self, lane_rel: int, dx: float) -> Optional[str]:
+        if lane_rel == 0:
+            return "front" if dx >= 0 else "rear"
+        if lane_rel == 1:
+            if abs(dx) <= self.BESIDE_WINDOW:
+                return "left"
+            return "front_left" if dx > 0 else "rear_left"
+        if lane_rel == -1:
+            if abs(dx) <= self.BESIDE_WINDOW:
+                return "right"
+            return "front_right" if dx > 0 else "rear_right"
+        return None  # beyond the adjacent lanes

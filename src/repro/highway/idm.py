@@ -1,0 +1,74 @@
+"""Intelligent Driver Model (IDM) longitudinal behaviour.
+
+IDM (Treiber, Hennecke & Helbing, 2000) is the standard microscopic
+car-following model: smooth free-flow acceleration toward a desired speed
+combined with a collision-avoiding interaction term based on a desired
+dynamic gap.  It drives every simulated vehicle, including the "expert"
+behaviour the motion-prediction dataset is distilled from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass
+class IDMParams:
+    """IDM parameter set (defaults: typical highway car)."""
+
+    max_accel: float = 1.5        # a: maximum acceleration (m/s^2)
+    comfort_decel: float = 2.0    # b: comfortable braking (m/s^2)
+    min_gap: float = 2.0          # s0: standstill gap (m)
+    time_headway: float = 1.5     # T: desired time headway (s)
+    delta: float = 4.0            # free-flow exponent
+
+    def __post_init__(self) -> None:
+        if min(self.max_accel, self.comfort_decel, self.time_headway) <= 0:
+            raise SimulationError("IDM accel/decel/headway must be positive")
+        if self.min_gap < 0:
+            raise SimulationError("IDM minimum gap cannot be negative")
+
+
+def desired_gap(
+    params: IDMParams, speed: float, approach_rate: float
+) -> float:
+    """Dynamic desired gap ``s*`` of IDM."""
+    interaction = (speed * approach_rate) / (
+        2.0 * math.sqrt(params.max_accel * params.comfort_decel)
+    )
+    return params.min_gap + max(0.0, speed * params.time_headway + interaction)
+
+
+def idm_acceleration(
+    params: IDMParams,
+    speed: float,
+    desired_speed: float,
+    gap: float = math.inf,
+    leader_speed: float = math.inf,
+) -> float:
+    """IDM acceleration for a follower.
+
+    ``gap`` is the bumper-to-bumper distance to the leader and
+    ``leader_speed`` its speed; with no leader both default to infinity and
+    the free-road term alone applies.  The returned value is clamped to a
+    physical braking limit so emergency situations do not produce
+    unbounded decelerations.
+    """
+    if desired_speed <= 0:
+        raise SimulationError("desired speed must be positive")
+    free = 1.0 - (max(speed, 0.0) / desired_speed) ** params.delta
+    if math.isinf(gap):
+        accel = params.max_accel * free
+    else:
+        if gap <= 0:
+            return -_MAX_BRAKE
+        approach = speed - leader_speed
+        s_star = desired_gap(params, speed, approach)
+        accel = params.max_accel * (free - (s_star / gap) ** 2)
+    return max(-_MAX_BRAKE, min(accel, params.max_accel))
+
+
+_MAX_BRAKE = 9.0  # physical braking limit (m/s^2), dry asphalt

@@ -1,0 +1,130 @@
+"""Traffic-safety metrics over recorded trajectories.
+
+Closed-loop evaluation of a motion predictor needs more than "no
+collisions": certification argues with quantitative surrogates.  This
+module computes the standard microscopic safety measures over a
+:class:`~repro.highway.recorder.TrajectoryRecorder` recording:
+
+* **time-to-collision (TTC)** to the ego's leader per frame;
+* **time headway** per frame;
+* minimum bumper gap over the episode;
+* lane-change counts and lateral-velocity extremes;
+* a :class:`SafetySummary` with the distribution statistics a
+  certification case would cite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.highway.recorder import Frame, TrajectoryRecorder
+from repro.highway.road import Road
+
+
+def _ego_leader_gap(frame: Frame, road: Road):
+    """(gap, approach_rate) to the ego's same-lane leader, or None."""
+    ego = frame.ego()
+    ego_lane = road.lane_of(ego.y)
+    best = None
+    for snap in frame.snapshots:
+        if snap.is_ego or road.lane_of(snap.y) != ego_lane:
+            continue
+        center_gap = road.gap(ego.x, snap.x)
+        if center_gap <= 0 or center_gap > road.length / 2:
+            continue
+        gap = center_gap - 4.5  # bumper-to-bumper, nominal car length
+        if best is None or gap < best[0]:
+            best = (gap, ego.speed - snap.speed)
+    return best
+
+
+def time_to_collision(frame: Frame, road: Road) -> float:
+    """TTC to the ego's leader (seconds); inf with no closing leader."""
+    found = _ego_leader_gap(frame, road)
+    if found is None:
+        return math.inf
+    gap, approach = found
+    if approach <= 1e-9 or gap <= 0:
+        return math.inf if gap > 0 else 0.0
+    return gap / approach
+
+
+def time_headway(frame: Frame, road: Road) -> float:
+    """Time headway to the ego's leader (seconds); inf without one."""
+    found = _ego_leader_gap(frame, road)
+    if found is None:
+        return math.inf
+    gap, _ = found
+    ego = frame.ego()
+    if ego.speed <= 1e-9:
+        return math.inf
+    return max(gap, 0.0) / ego.speed
+
+
+@dataclasses.dataclass
+class SafetySummary:
+    """Distributional safety statistics for one recorded episode."""
+
+    frames: int
+    min_ttc: float
+    ttc_below_2s: float       # fraction of frames with TTC < 2 s
+    min_headway: float
+    headway_below_1s: float
+    min_gap: float
+    lane_changes: int
+    max_left_velocity: float
+    max_right_velocity: float
+    mean_speed: float
+
+    def render(self) -> str:
+        """One-line summary suitable for certification reports."""
+        def fmt(value: float) -> str:
+            return "inf" if math.isinf(value) else f"{value:.2f}"
+
+        return (
+            f"safety summary over {self.frames} frames: "
+            f"min TTC {fmt(self.min_ttc)}s "
+            f"(<2s in {100 * self.ttc_below_2s:.1f}%), "
+            f"min headway {fmt(self.min_headway)}s, "
+            f"min gap {fmt(self.min_gap)}m, "
+            f"{self.lane_changes} lane changes, "
+            f"max left velocity {self.max_left_velocity:.2f} m/s, "
+            f"mean speed {self.mean_speed:.2f} m/s"
+        )
+
+
+def summarize_safety(
+    recorder: TrajectoryRecorder, road: Road
+) -> SafetySummary:
+    """Compute the safety summary of a recording."""
+    if not recorder.frames:
+        raise SimulationError("cannot summarise an empty recording")
+    ttcs: List[float] = []
+    headways: List[float] = []
+    gaps: List[float] = []
+    for frame in recorder.frames:
+        ttcs.append(time_to_collision(frame, road))
+        headways.append(time_headway(frame, road))
+        found = _ego_leader_gap(frame, road)
+        if found is not None:
+            gaps.append(found[0])
+    track = recorder.ego_track()
+    finite_ttc = [t for t in ttcs if not math.isinf(t)]
+    finite_headway = [h for h in headways if not math.isinf(h)]
+    return SafetySummary(
+        frames=len(recorder.frames),
+        min_ttc=min(finite_ttc) if finite_ttc else math.inf,
+        ttc_below_2s=float(np.mean([t < 2.0 for t in ttcs])),
+        min_headway=min(finite_headway) if finite_headway else math.inf,
+        headway_below_1s=float(np.mean([h < 1.0 for h in headways])),
+        min_gap=min(gaps) if gaps else math.inf,
+        lane_changes=recorder.lane_change_count(),
+        max_left_velocity=float(track[:, 4].max()),
+        max_right_velocity=float(-track[:, 4].min()),
+        mean_speed=float(track[:, 3].mean()),
+    )

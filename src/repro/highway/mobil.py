@@ -1,0 +1,105 @@
+"""MOBIL lane-change decision model.
+
+MOBIL (Kesting, Treiber & Helbing, 2007) decides lane changes by comparing
+the IDM accelerations before and after a hypothetical change:
+
+* **safety**: the new follower must not be forced to brake harder than
+  ``max_safe_decel``;
+* **incentive**: the ego's acceleration gain, plus ``politeness`` times
+  the gain of the affected followers, must exceed ``threshold``.
+
+The safety criterion is what keeps the expert dataset free of risky
+cut-ins — the property the paper's data-validation pillar later checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SimulationError
+from repro.highway.idm import IDMParams, idm_acceleration
+
+
+@dataclasses.dataclass
+class MOBILParams:
+    """MOBIL parameter set."""
+
+    politeness: float = 0.3
+    threshold: float = 0.15       # incentive threshold (m/s^2)
+    max_safe_decel: float = 3.0   # follower braking limit (m/s^2)
+    keep_right_bias: float = 0.1  # extra incentive toward the right lane
+
+    def __post_init__(self) -> None:
+        if self.politeness < 0:
+            raise SimulationError("politeness cannot be negative")
+        if self.max_safe_decel <= 0:
+            raise SimulationError("max_safe_decel must be positive")
+
+
+@dataclasses.dataclass
+class NeighborView:
+    """Gap/speed description of a leader or follower used by MOBIL.
+
+    ``gap`` is bumper-to-bumper; ``None`` neighbours mean an empty slot.
+    """
+
+    gap: float
+    speed: float
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            self.gap = 0.0
+
+
+def _accel(
+    idm: IDMParams,
+    speed: float,
+    desired: float,
+    leader: "NeighborView | None",
+) -> float:
+    if leader is None:
+        return idm_acceleration(idm, speed, desired)
+    return idm_acceleration(idm, speed, desired, leader.gap, leader.speed)
+
+
+def lane_change_decision(
+    idm: IDMParams,
+    mobil: MOBILParams,
+    speed: float,
+    desired_speed: float,
+    current_leader: "NeighborView | None",
+    target_leader: "NeighborView | None",
+    target_follower: "NeighborView | None",
+    target_follower_desired: float = 30.0,
+    toward_right: bool = False,
+) -> bool:
+    """Decide whether a lane change into the target lane should happen.
+
+    The follower views describe the situation *after* the change (the gap
+    from the new follower to the ego).  Returns True when both the MOBIL
+    safety and incentive criteria pass.
+    """
+    # Safety: deceleration imposed on the new follower.
+    if target_follower is not None:
+        follower_accel = idm_acceleration(
+            idm,
+            target_follower.speed,
+            target_follower_desired,
+            target_follower.gap,
+            speed,
+        )
+        if follower_accel < -mobil.max_safe_decel:
+            return False
+        old_follower_accel = idm_acceleration(
+            idm, target_follower.speed, target_follower_desired
+        )
+        follower_gain = follower_accel - old_follower_accel
+    else:
+        follower_gain = 0.0
+
+    own_now = _accel(idm, speed, desired_speed, current_leader)
+    own_after = _accel(idm, speed, desired_speed, target_leader)
+    incentive = own_after - own_now + mobil.politeness * follower_gain
+    if toward_right:
+        incentive += mobil.keep_right_bias
+    return incentive > mobil.threshold

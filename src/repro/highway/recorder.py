@@ -1,0 +1,92 @@
+"""Trajectory recording for analysis and for rendering Figure 1."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.highway.simulator import HighwaySimulator
+
+
+@dataclasses.dataclass
+class VehicleSnapshot:
+    """Frozen kinematic state of one vehicle at one instant."""
+
+    vehicle_id: int
+    x: float
+    y: float
+    speed: float
+    lane: int
+    accel: float
+    lateral_velocity: float
+    is_ego: bool
+
+
+@dataclasses.dataclass
+class Frame:
+    """All vehicles at one simulation time."""
+
+    time: float
+    snapshots: List[VehicleSnapshot]
+
+    def ego(self) -> VehicleSnapshot:
+        """The ego vehicle's snapshot; raises if the frame has none."""
+        for snap in self.snapshots:
+            if snap.is_ego:
+                return snap
+        raise SimulationError("frame contains no ego vehicle")
+
+
+class TrajectoryRecorder:
+    """Capture frames from a running simulation."""
+
+    def __init__(self) -> None:
+        self.frames: List[Frame] = []
+
+    def capture(self, sim: HighwaySimulator) -> Frame:
+        """Freeze the simulator's current state into a frame."""
+        frame = Frame(
+            time=sim.time,
+            snapshots=[
+                VehicleSnapshot(
+                    vehicle_id=v.vehicle_id,
+                    x=v.x,
+                    y=v.y,
+                    speed=v.speed,
+                    lane=v.lane,
+                    accel=v.accel,
+                    lateral_velocity=v.lateral_velocity,
+                    is_ego=v.is_ego,
+                )
+                for v in sim.vehicles
+            ],
+        )
+        self.frames.append(frame)
+        return frame
+
+    def record(self, sim: HighwaySimulator, steps: int) -> None:
+        """Capture, then step, ``steps`` times."""
+        for _ in range(steps):
+            self.capture(sim)
+            sim.step()
+
+    def ego_track(self) -> np.ndarray:
+        """Ego kinematics over time: columns (t, x, y, speed, lat_v, accel)."""
+        if not self.frames:
+            return np.zeros((0, 6))
+        rows = []
+        for frame in self.frames:
+            ego = frame.ego()
+            rows.append(
+                [frame.time, ego.x, ego.y, ego.speed,
+                 ego.lateral_velocity, ego.accel]
+            )
+        return np.array(rows)
+
+    def lane_change_count(self) -> int:
+        """Number of distinct ego lane changes in the recording."""
+        lanes = [frame.ego().lane for frame in self.frames]
+        return sum(1 for a, b in zip(lanes, lanes[1:]) if a != b)

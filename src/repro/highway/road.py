@@ -1,0 +1,65 @@
+"""Highway geometry and road condition.
+
+Coordinates: ``x`` runs along the road (metres, wrapping on a ring road of
+``length`` metres so traffic density stays constant); ``y`` is lateral and
+*increases to the left*.  Lane ``0`` is the rightmost lane and lane ``i``
+is centred at ``i * lane_width``.  Positive lateral velocity therefore
+means "moving left" — the sign convention behind the paper's safety
+property ("never suggest a large **left** velocity when a vehicle is on
+the left").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass
+class Road:
+    """A multi-lane ring highway with its road-condition attributes."""
+
+    num_lanes: int = 3
+    lane_width: float = 3.5
+    length: float = 1000.0
+    speed_limit: float = 33.0   # m/s (~120 km/h)
+    friction: float = 1.0       # 1.0 dry ... 0.3 icy
+    curvature: float = 0.0      # 1/m; 0 for straight highway
+
+    def __post_init__(self) -> None:
+        if self.num_lanes < 1:
+            raise SimulationError("road needs at least one lane")
+        if self.lane_width <= 0 or self.length <= 0:
+            raise SimulationError("lane_width and length must be positive")
+        if not 0.0 < self.friction <= 1.0:
+            raise SimulationError("friction must lie in (0, 1]")
+
+    def lane_center(self, lane: int) -> float:
+        """Lateral coordinate of a lane's centre line."""
+        self.check_lane(lane)
+        return lane * self.lane_width
+
+    def check_lane(self, lane: int) -> None:
+        """Raise :class:`SimulationError` for out-of-range lane indices."""
+        if not 0 <= lane < self.num_lanes:
+            raise SimulationError(
+                f"lane {lane} outside [0, {self.num_lanes})"
+            )
+
+    def lane_of(self, y: float) -> int:
+        """Nearest lane index for a lateral position (clamped to road)."""
+        lane = int(round(y / self.lane_width))
+        return min(max(lane, 0), self.num_lanes - 1)
+
+    def wrap(self, x: float) -> float:
+        """Wrap a longitudinal position onto the ring."""
+        return x % self.length
+
+    def gap(self, x_behind: float, x_ahead: float) -> float:
+        """Forward distance from ``x_behind`` to ``x_ahead`` on the ring."""
+        return (x_ahead - x_behind) % self.length
+
+    @property
+    def leftmost_lane(self) -> int:
+        return self.num_lanes - 1

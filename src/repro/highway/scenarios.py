@@ -1,0 +1,223 @@
+"""Scene sampling and expert-dataset generation.
+
+The paper's predictor was trained on recorded highway driving; our
+substitute is the IDM+MOBIL expert running in the simulator.  Each sample
+pairs the 84-feature scene encoding with the action the expert actually
+took — ``(lateral velocity, longitudinal acceleration)``, the two
+indicator quantities of Sec. III.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.highway.features import FeatureEncoder
+from repro.highway.road import Road
+from repro.highway.simulator import HighwaySimulator, SimulatorConfig
+from repro.highway.vehicle import Vehicle
+
+
+@dataclasses.dataclass
+class ScenarioSpec:
+    """Parameters for random scene sampling."""
+
+    num_vehicles: int = 12
+    min_spacing: float = 18.0
+    speed_low: float = 22.0
+    speed_high: float = 36.0
+
+    def __post_init__(self) -> None:
+        if self.num_vehicles < 1:
+            raise SimulationError("scenes need at least the ego vehicle")
+        if self.min_spacing <= 5.0:
+            raise SimulationError("min_spacing must exceed a car length")
+
+
+def random_scene(
+    road: Road,
+    rng: np.random.Generator,
+    spec: Optional[ScenarioSpec] = None,
+) -> List[Vehicle]:
+    """Sample a collision-free initial scene with one ego vehicle."""
+    spec = spec or ScenarioSpec()
+    per_lane_capacity = int(road.length // spec.min_spacing)
+    if spec.num_vehicles > per_lane_capacity * road.num_lanes:
+        raise SimulationError(
+            f"cannot place {spec.num_vehicles} vehicles with spacing "
+            f"{spec.min_spacing} on this road"
+        )
+    vehicles: List[Vehicle] = []
+    positions = {lane: [] for lane in range(road.num_lanes)}
+    vid = 0
+    attempts = 0
+    while len(vehicles) < spec.num_vehicles:
+        attempts += 1
+        if attempts > 200 * spec.num_vehicles:
+            raise SimulationError("scene sampling failed to converge")
+        lane = int(rng.integers(road.num_lanes))
+        x = float(rng.uniform(0.0, road.length))
+        if any(
+            min((x - p) % road.length, (p - x) % road.length)
+            < spec.min_spacing
+            for p in positions[lane]
+        ):
+            continue
+        positions[lane].append(x)
+        speed = float(rng.uniform(spec.speed_low, spec.speed_high))
+        vehicles.append(
+            Vehicle(
+                vehicle_id=vid,
+                x=x,
+                y=road.lane_center(lane),
+                speed=speed,
+                lane=lane,
+                desired_speed=float(
+                    rng.uniform(spec.speed_low, spec.speed_high + 4.0)
+                ),
+                is_ego=(vid == 0),
+            )
+        )
+        vid += 1
+    return vehicles
+
+
+def vehicle_on_left_scene(road: Road) -> List[Vehicle]:
+    """Deterministic scene: a vehicle directly beside the ego on its left.
+
+    This is the exact configuration of the paper's safety requirement —
+    suggesting a large left lateral velocity here risks a crash.
+    """
+    if road.num_lanes < 2:
+        raise SimulationError("the left-occupied scene needs >= 2 lanes")
+    ego = Vehicle(
+        vehicle_id=0, x=100.0, y=road.lane_center(0), speed=28.0,
+        lane=0, desired_speed=32.0, is_ego=True,
+    )
+    blocker = Vehicle(
+        vehicle_id=1, x=101.0, y=road.lane_center(1), speed=28.0,
+        lane=1, desired_speed=30.0,
+    )
+    leader = Vehicle(
+        vehicle_id=2, x=145.0, y=road.lane_center(0), speed=24.0,
+        lane=0, desired_speed=24.0,
+    )
+    return [ego, blocker, leader]
+
+
+def overtaking_scene(road: Road) -> List[Vehicle]:
+    """Ego behind a slow leader with a free left lane — Figure 1's setting,
+    where the predictor should suggest decelerating and switching left."""
+    if road.num_lanes < 2:
+        raise SimulationError("the overtaking scene needs >= 2 lanes")
+    ego = Vehicle(
+        vehicle_id=0, x=100.0, y=road.lane_center(0), speed=30.0,
+        lane=0, desired_speed=33.0, is_ego=True,
+    )
+    slow_leader = Vehicle(
+        vehicle_id=1, x=135.0, y=road.lane_center(0), speed=21.0,
+        lane=0, desired_speed=21.0,
+    )
+    far_left = Vehicle(
+        vehicle_id=2, x=250.0, y=road.lane_center(1), speed=30.0,
+        lane=1, desired_speed=31.0,
+    )
+    return [ego, slow_leader, far_left]
+
+
+def random_overtaking_scene(
+    road: Road, rng: np.random.Generator
+) -> List[Vehicle]:
+    """A randomised overtaking setup: ego in the rightmost lane closing
+    in on a slower leader, left lane usable.
+
+    Episodes built from these scenes are rich in *left* lane-change
+    decisions — the event class that is rare in free-flowing traffic but
+    central to the paper's Figure 1 and to the safety property.
+    """
+    if road.num_lanes < 2:
+        raise SimulationError("overtaking scenes need >= 2 lanes")
+    ego_speed = float(rng.uniform(27.0, 33.0))
+    leader_speed = float(rng.uniform(16.0, 23.0))
+    gap = float(rng.uniform(35.0, 75.0))
+    ego = Vehicle(
+        vehicle_id=0, x=100.0, y=road.lane_center(0), speed=ego_speed,
+        lane=0, desired_speed=ego_speed + 3.0, is_ego=True,
+    )
+    leader = Vehicle(
+        vehicle_id=1, x=100.0 + gap, y=road.lane_center(0),
+        speed=leader_speed, lane=0, desired_speed=leader_speed,
+    )
+    vehicles = [ego, leader]
+    # Sometimes traffic on the left, far enough not to block the change.
+    if rng.random() < 0.5:
+        vehicles.append(
+            Vehicle(
+                vehicle_id=2,
+                x=road.wrap(100.0 + float(rng.uniform(150.0, 400.0))),
+                y=road.lane_center(1),
+                speed=float(rng.uniform(26.0, 33.0)),
+                lane=1,
+                desired_speed=float(rng.uniform(28.0, 34.0)),
+            )
+        )
+    return vehicles
+
+
+@dataclasses.dataclass
+class DatasetSpec:
+    """Parameters for expert-dataset generation.
+
+    ``overtake_fraction`` controls the scenario mix: that share of the
+    episodes starts from a randomised overtaking setup (rich in left
+    lane-change decisions), the rest from free random traffic.
+    """
+
+    episodes: int = 8
+    steps_per_episode: int = 300
+    warmup_steps: int = 50
+    seed: int = 0
+    scenario: ScenarioSpec = dataclasses.field(default_factory=ScenarioSpec)
+    overtake_fraction: float = 0.0
+
+
+def generate_expert_dataset(
+    road: Road,
+    spec: Optional[DatasetSpec] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Roll out the IDM+MOBIL expert and collect (features, action) pairs.
+
+    Returns ``(x, y)`` with ``x`` of shape (N, 84) and ``y`` of shape
+    (N, 2): column 0 is the lateral velocity, column 1 the longitudinal
+    acceleration the expert chose in that scene.
+    """
+    spec = spec or DatasetSpec()
+    rng = np.random.default_rng(spec.seed)
+    features: List[np.ndarray] = []
+    actions: List[np.ndarray] = []
+    for episode in range(spec.episodes):
+        overtake = (
+            episode < spec.overtake_fraction * spec.episodes
+        )
+        if overtake:
+            vehicles = random_overtaking_scene(road, rng)
+            warmup = 0  # the decision point is right at the start
+        else:
+            vehicles = random_scene(road, rng, spec.scenario)
+            warmup = spec.warmup_steps
+        sim = HighwaySimulator(road, vehicles, config=config)
+        encoder = FeatureEncoder(road)
+        sim.run(warmup)
+        for _ in range(spec.steps_per_episode):
+            scene = encoder.encode(sim)
+            sim.step()
+            ego = sim.ego
+            features.append(scene)
+            actions.append(
+                np.array([ego.lateral_velocity, ego.accel])
+            )
+    return np.array(features), np.array(actions)

@@ -1,0 +1,56 @@
+"""Vehicle state for the highway simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.errors import SimulationError
+from repro.highway.road import Road
+
+
+@dataclasses.dataclass
+class Vehicle:
+    """A vehicle on the highway.
+
+    ``x`` is the longitudinal position (ring coordinates), ``y`` the
+    continuous lateral position (increases leftward), ``lane`` the lane the
+    vehicle is currently tracking (its target during a lane change).
+    """
+
+    vehicle_id: int
+    x: float
+    y: float
+    speed: float
+    lane: int
+    length: float = 4.5
+    width: float = 1.8
+    accel: float = 0.0
+    lateral_velocity: float = 0.0
+    desired_speed: float = 30.0
+    is_ego: bool = False
+
+    def __post_init__(self) -> None:
+        if self.speed < 0:
+            raise SimulationError("vehicles cannot start with negative speed")
+        if self.length <= 0 or self.width <= 0:
+            raise SimulationError("vehicle dimensions must be positive")
+
+    def occupied_lanes(self, road: Road) -> List[int]:
+        """Lanes this vehicle physically overlaps (two during a change)."""
+        lanes = []
+        for lane in range(road.num_lanes):
+            center = road.lane_center(lane)
+            if abs(self.y - center) < 0.5 * (road.lane_width + self.width) - 0.4:
+                lanes.append(lane)
+        if not lanes:
+            lanes.append(road.lane_of(self.y))
+        return lanes
+
+    @property
+    def changing_lanes(self) -> bool:
+        return abs(self.lateral_velocity) > 1e-9
+
+    def copy(self) -> "Vehicle":
+        """Independent copy of the vehicle state."""
+        return dataclasses.replace(self)

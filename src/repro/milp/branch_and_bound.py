@@ -1,0 +1,246 @@
+"""Best-first branch-and-bound for mixed-integer linear programs.
+
+The engine is deliberately classical: LP relaxation per node, pruning by
+bound, most-fractional (or user-selected) branching, and an LP-rounding
+primal heuristic that frequently lands feasible incumbents early on the
+paper's big-M ReLU encodings.  Wall-clock and node budgets make ``time-out``
+a first-class answer, matching the paper's Table II where the widest network
+exhausts its budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import math
+import time
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.milp.expr import Sense
+from repro.milp.model import Model
+from repro.milp import presolve as presolve_mod
+from repro.milp import scipy_backend, simplex
+from repro.milp.solution import LPResult, MILPResult
+from repro.milp.status import SolveStatus
+
+LPBackend = Callable[..., LPResult]
+
+_BACKENDS = {
+    "highs": scipy_backend.solve_lp,
+    "simplex": simplex.solve_lp,
+}
+
+
+@dataclasses.dataclass
+class MILPOptions:
+    """Tunables for :func:`solve_milp`.
+
+    Attributes:
+        lp_backend: ``"highs"`` (SciPy) or ``"simplex"`` (from scratch).
+        time_limit: Wall-clock budget in seconds.
+        node_limit: Maximum branch-and-bound nodes to process.
+        int_tol: Integrality tolerance.
+        gap_tol: Absolute bound-vs-incumbent gap at which to stop.
+        branching: ``"most_fractional"``, ``"first"`` or ``"random"``.
+        presolve: Run bound propagation before the search.
+        rounding_heuristic: Try rounding each node's LP point into an
+            incumbent.
+        seed: RNG seed for the ``"random"`` branching rule.
+    """
+
+    lp_backend: str = "highs"
+    time_limit: float = math.inf
+    node_limit: int = 200000
+    int_tol: float = 1e-6
+    gap_tol: float = 1e-6
+    branching: str = "most_fractional"
+    presolve: bool = True
+    rounding_heuristic: bool = True
+    seed: int = 0
+
+
+@dataclasses.dataclass(order=True)
+class _Node:
+    bound: float
+    tiebreak: int
+    lb: np.ndarray = dataclasses.field(compare=False)
+    ub: np.ndarray = dataclasses.field(compare=False)
+    depth: int = dataclasses.field(compare=False, default=0)
+
+
+def _pick_branch_var(
+    fractional: List[Tuple[int, float]],
+    rule: str,
+    rng: np.random.Generator,
+) -> int:
+    """Choose the column to branch on among fractional integer columns."""
+    if rule == "first":
+        return fractional[0][0]
+    if rule == "random":
+        return fractional[int(rng.integers(len(fractional)))][0]
+    # most_fractional: largest distance to the nearest integer
+    return max(
+        fractional,
+        key=lambda item: min(item[1] - math.floor(item[1]),
+                             math.ceil(item[1]) - item[1]),
+    )[0]
+
+
+def solve_milp(model: Model, options: Optional[MILPOptions] = None) -> MILPResult:
+    """Solve a MILP model; returns the best incumbent and a proven bound.
+
+    The result's ``objective`` and ``best_bound`` are reported in the
+    *model's* sense (a maximisation model gets an upper best_bound).
+    """
+    options = options or MILPOptions()
+    if options.lp_backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown lp_backend {options.lp_backend!r}; "
+            f"expected one of {sorted(_BACKENDS)}"
+        )
+    lp_solve = _BACKENDS[options.lp_backend]
+    start = time.monotonic()
+    sign = -1.0 if model.sense is Sense.MAXIMIZE else 1.0
+    # The LP pipeline works on ``c @ x`` only; the objective's constant
+    # term (e.g. folded network biases in verification encodings) must be
+    # re-added to every *reported* value.  The search itself is
+    # shift-invariant, so internal pruning ignores it.
+    objective_constant = model.objective.constant
+
+    work = model.copy()
+    if options.presolve:
+        try:
+            presolve_mod.propagate_bounds(work)
+        except presolve_mod.InfeasiblePresolve:
+            return MILPResult(SolveStatus.INFEASIBLE,
+                              wall_time=time.monotonic() - start)
+
+    c, A_ub, b_ub, A_eq, b_eq, bounds = work.dense_arrays()
+    n = work.num_vars
+    int_idx = np.array(work.integer_indices, dtype=int)
+    root_lb = np.array([b[0] for b in bounds])
+    root_ub = np.array([b[1] for b in bounds])
+    rng = np.random.default_rng(options.seed)
+
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj = math.inf  # internal minimisation objective
+    nodes = 0
+    lp_iterations = 0
+    counter = itertools.count()
+    heap: List[_Node] = []
+
+    def timed_out() -> bool:
+        return time.monotonic() - start > options.time_limit
+
+    def node_lp(lb: np.ndarray, ub: np.ndarray) -> LPResult:
+        return lp_solve(c, A_ub, b_ub, A_eq, b_eq,
+                        bounds=list(zip(lb, ub)))
+
+    def try_incumbent(x: np.ndarray) -> None:
+        nonlocal incumbent_x, incumbent_obj
+        obj = float(c @ x)
+        if obj < incumbent_obj - 1e-12 and work.is_feasible(x, tol=1e-5):
+            incumbent_obj = obj
+            incumbent_x = x.copy()
+
+    def rounding_candidates(x: np.ndarray) -> None:
+        if not options.rounding_heuristic or int_idx.size == 0:
+            return
+        rounded = x.copy()
+        rounded[int_idx] = np.round(rounded[int_idx])
+        rounded = np.clip(rounded, root_lb, root_ub)
+        try_incumbent(rounded)
+
+    root = node_lp(root_lb, root_ub)
+    lp_iterations += root.iterations
+    if root.status is SolveStatus.INFEASIBLE:
+        return MILPResult(SolveStatus.INFEASIBLE,
+                          wall_time=time.monotonic() - start)
+    if root.status is SolveStatus.UNBOUNDED:
+        return MILPResult(SolveStatus.UNBOUNDED,
+                          wall_time=time.monotonic() - start)
+    if root.status is not SolveStatus.OPTIMAL:
+        return MILPResult(SolveStatus.ERROR,
+                          wall_time=time.monotonic() - start)
+
+    heapq.heappush(
+        heap, _Node(root.objective, next(counter), root_lb, root_ub, 0)
+    )
+    best_open_bound = root.objective
+
+    status = SolveStatus.OPTIMAL
+    while heap:
+        if timed_out():
+            status = SolveStatus.TIMEOUT
+            break
+        if nodes >= options.node_limit:
+            status = SolveStatus.NODE_LIMIT
+            break
+        node = heapq.heappop(heap)
+        best_open_bound = node.bound
+        if node.bound >= incumbent_obj - options.gap_tol:
+            # Best-first order: every remaining node is at least as bad.
+            best_open_bound = incumbent_obj
+            heap.clear()
+            break
+        nodes += 1
+        result = node_lp(node.lb, node.ub)
+        lp_iterations += result.iterations
+        if result.status is not SolveStatus.OPTIMAL:
+            continue  # infeasible child (or numerical failure): prune
+        if result.objective >= incumbent_obj - options.gap_tol:
+            continue
+        x = result.x
+        assert x is not None
+        fractional = [
+            (int(j), float(x[j]))
+            for j in int_idx
+            if abs(x[j] - round(x[j])) > options.int_tol
+        ]
+        if not fractional:
+            try_incumbent(x)
+            continue
+        rounding_candidates(x)
+        j = _pick_branch_var(fractional, options.branching, rng)
+        xj = float(x[j])
+        down_ub = node.ub.copy()
+        down_ub[j] = math.floor(xj)
+        if down_ub[j] >= node.lb[j] - 1e-9:
+            heapq.heappush(heap, _Node(result.objective, next(counter),
+                                       node.lb.copy(), down_ub,
+                                       node.depth + 1))
+        up_lb = node.lb.copy()
+        up_lb[j] = math.ceil(xj)
+        if up_lb[j] <= node.ub[j] + 1e-9:
+            heapq.heappush(heap, _Node(result.objective, next(counter),
+                                       up_lb, node.ub.copy(),
+                                       node.depth + 1))
+
+    wall = time.monotonic() - start
+    if status is SolveStatus.OPTIMAL:
+        if incumbent_x is None:
+            return MILPResult(SolveStatus.INFEASIBLE, nodes=nodes,
+                              lp_iterations=lp_iterations, wall_time=wall)
+        best_bound_internal = incumbent_obj
+    else:
+        open_bounds = [node.bound for node in heap] + [best_open_bound]
+        best_bound_internal = min(min(open_bounds), incumbent_obj)
+
+    objective = (
+        sign * incumbent_obj + objective_constant
+        if incumbent_x is not None
+        else math.nan
+    )
+    best_bound = sign * best_bound_internal + objective_constant
+    return MILPResult(
+        status,
+        x=incumbent_x,
+        objective=objective,
+        best_bound=best_bound,
+        nodes=nodes,
+        lp_iterations=lp_iterations,
+        wall_time=wall,
+    )

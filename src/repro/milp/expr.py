@@ -1,0 +1,266 @@
+"""Linear expressions and constraints for the MILP modelling layer.
+
+The modelling objects mirror the usual algebraic style of MILP front ends::
+
+    x = model.add_var("x", lb=0.0, ub=10.0)
+    y = model.add_var("y", vtype=VarType.BINARY)
+    model.add_constr(2.0 * x + 3.0 * y <= 7.0, name="cap")
+    model.set_objective(x + y, sense=Sense.MAXIMIZE)
+
+:class:`Variable` instances are lightweight handles; all numeric state lives
+in the owning :class:`~repro.milp.model.Model`.  Expressions store sparse
+``{column_index: coefficient}`` maps so that models with thousands of
+variables (one per neuron, as in the paper's encoding) stay cheap to build.
+"""
+
+from __future__ import annotations
+
+import enum
+import numbers
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+from repro.errors import ModelError
+
+Number = Union[int, float]
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    BINARY = "binary"
+    INTEGER = "integer"
+
+
+class Sense(enum.Enum):
+    """Optimisation direction."""
+
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+
+class ConstraintOp(enum.Enum):
+    """Relational operator of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Variable:
+    """Handle to a model variable.
+
+    Supports the arithmetic needed to build :class:`LinExpr` objects:
+    ``x + y``, ``2 * x``, ``x - 1``, and comparisons that yield
+    :class:`Constraint`.
+    """
+
+    __slots__ = ("index", "name", "model")
+
+    def __init__(self, index: int, name: str, model: object) -> None:
+        self.index = index
+        self.name = name
+        self.model = model
+
+    def to_expr(self) -> "LinExpr":
+        """The variable as a one-term expression."""
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "ExprLike") -> "LinExpr":
+        return self.to_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "ExprLike") -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: "ExprLike") -> "LinExpr":
+        return (-self.to_expr()) + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        return self.to_expr() * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Number) -> "LinExpr":
+        return self.to_expr() / other
+
+    def __neg__(self) -> "LinExpr":
+        return self.to_expr() * -1.0
+
+    # -- comparisons --------------------------------------------------------
+    def __le__(self, other: "ExprLike") -> "Constraint":
+        return self.to_expr() <= other
+
+    def __ge__(self, other: "ExprLike") -> "Constraint":
+        return self.to_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr)) or isinstance(
+            other, numbers.Real
+        ):
+            return self.to_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(self.model), self.index))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+ExprLike = Union[Variable, "LinExpr", Number]
+
+
+def _as_expr(value: ExprLike) -> "LinExpr":
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, Variable):
+        return value.to_expr()
+    if isinstance(value, numbers.Real):
+        return LinExpr({}, float(value))
+    raise ModelError(f"cannot interpret {value!r} as a linear expression")
+
+
+class LinExpr:
+    """A sparse affine expression ``sum(coef[i] * x_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(
+        self, coeffs: Mapping[int, float] = (), constant: float = 0.0
+    ) -> None:
+        self.coeffs: Dict[int, float] = dict(coeffs)
+        self.constant = float(constant)
+
+    @staticmethod
+    def from_terms(
+        terms: Iterable[Tuple[Variable, Number]], constant: float = 0.0
+    ) -> "LinExpr":
+        """Build an expression from ``(variable, coefficient)`` pairs."""
+        coeffs: Dict[int, float] = {}
+        for var, coef in terms:
+            coeffs[var.index] = coeffs.get(var.index, 0.0) + float(coef)
+        return LinExpr(coeffs, constant)
+
+    def copy(self) -> "LinExpr":
+        """Independent copy of the expression."""
+        return LinExpr(self.coeffs, self.constant)
+
+    def is_constant(self) -> bool:
+        """True when no variable has a nonzero coefficient."""
+        return all(abs(c) == 0.0 for c in self.coeffs.values())
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        other = _as_expr(other)
+        result = self.copy()
+        for idx, coef in other.coeffs.items():
+            result.coeffs[idx] = result.coeffs.get(idx, 0.0) + coef
+        result.constant += other.constant
+        return result
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self + (_as_expr(other) * -1.0)
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, numbers.Real):
+            raise ModelError("expressions can only be scaled by real numbers")
+        scalar = float(scalar)
+        return LinExpr(
+            {i: c * scalar for i, c in self.coeffs.items()},
+            self.constant * scalar,
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Number) -> "LinExpr":
+        if scalar == 0:
+            raise ZeroDivisionError("division of expression by zero")
+        return self * (1.0 / float(scalar))
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons --------------------------------------------------------
+    def __le__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - _as_expr(other), ConstraintOp.LE)
+
+    def __ge__(self, other: ExprLike) -> "Constraint":
+        return Constraint(self - _as_expr(other), ConstraintOp.GE)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr)) or isinstance(
+            other, numbers.Real
+        ):
+            return Constraint(self - _as_expr(other), ConstraintOp.EQ)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # expressions are mutable; identity hash
+        return id(self)
+
+    def value(self, assignment: Mapping[int, float]) -> float:
+        """Evaluate the expression under a column-index assignment."""
+        total = self.constant
+        for idx, coef in self.coeffs.items():
+            total += coef * assignment[idx]
+        return total
+
+    def __repr__(self) -> str:
+        terms = " + ".join(
+            f"{coef:g}*x{idx}" for idx, coef in sorted(self.coeffs.items())
+        )
+        if not terms:
+            return f"LinExpr({self.constant:g})"
+        if self.constant:
+            return f"LinExpr({terms} + {self.constant:g})"
+        return f"LinExpr({terms})"
+
+
+class Constraint:
+    """A normalised linear constraint ``expr (<=|>=|==) 0``.
+
+    ``expr`` carries the left-hand side minus the right-hand side, so the
+    comparison is always against zero.  The model later splits the constant
+    off into the RHS column.
+    """
+
+    __slots__ = ("expr", "op", "name")
+
+    def __init__(
+        self, expr: LinExpr, op: ConstraintOp, name: str = ""
+    ) -> None:
+        self.expr = expr
+        self.op = op
+        self.name = name
+
+    def lhs_coeffs(self) -> Dict[int, float]:
+        """Column-index coefficients of the left-hand side."""
+        return dict(self.expr.coeffs)
+
+    def rhs(self) -> float:
+        """Right-hand-side constant (the negated expression constant)."""
+        return -self.expr.constant
+
+    def satisfied(
+        self, assignment: Mapping[int, float], tol: float = 1e-6
+    ) -> bool:
+        """Check the constraint under an assignment within tolerance."""
+        lhs = sum(
+            coef * assignment[idx] for idx, coef in self.expr.coeffs.items()
+        )
+        gap = lhs - self.rhs()
+        if self.op is ConstraintOp.LE:
+            return gap <= tol
+        if self.op is ConstraintOp.GE:
+            return gap >= -tol
+        return abs(gap) <= tol
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.expr!r} {self.op.value} 0)"

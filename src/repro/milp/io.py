@@ -1,0 +1,92 @@
+"""LP-format export of MILP models.
+
+The CPLEX LP file format is the lingua franca for inspecting and
+exchanging MILP instances; exporting the verification encodings lets a
+user debug them by eye or feed them to an external solver for
+cross-checking.  Only the subset the models use is emitted: objective,
+linear constraints, bounds, binaries and generals.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Union
+
+from repro.milp.expr import ConstraintOp, LinExpr, Sense, VarType
+from repro.milp.model import Model
+
+
+def _term_string(model: Model, expr: LinExpr) -> str:
+    """Render ``expr``'s linear part as LP-format terms."""
+    parts = []
+    for idx in sorted(expr.coeffs):
+        coef = expr.coeffs[idx]
+        if coef == 0.0:
+            continue
+        name = model.variables[idx].name
+        sign = "+" if coef >= 0 else "-"
+        magnitude = abs(coef)
+        if magnitude == 1.0:
+            parts.append(f"{sign} {name}")
+        else:
+            parts.append(f"{sign} {magnitude:.12g} {name}")
+    if not parts:
+        return "0 " + model.variables[0].name if model.variables else "0"
+    text = " ".join(parts)
+    return text[2:] if text.startswith("+ ") else text
+
+
+def model_to_lp(model: Model) -> str:
+    """Serialise a model to CPLEX LP format."""
+    lines = ["\\ " + repr(model)]
+    lines.append(
+        "Maximize" if model.sense is Sense.MAXIMIZE else "Minimize"
+    )
+    lines.append(" obj: " + _term_string(model, model.objective))
+
+    lines.append("Subject To")
+    op_text = {
+        ConstraintOp.LE: "<=",
+        ConstraintOp.GE: ">=",
+        ConstraintOp.EQ: "=",
+    }
+    for constraint in model.constraints:
+        rhs = constraint.rhs() + 0.0  # normalise -0.0 to 0.0
+        lines.append(
+            f" {constraint.name}: "
+            f"{_term_string(model, constraint.expr)} "
+            f"{op_text[constraint.op]} {rhs:.12g}"
+        )
+
+    lines.append("Bounds")
+    for var, lb, ub in zip(model.variables, model.lb, model.ub):
+        if lb == 0.0 and ub == math.inf:
+            continue  # LP-format default
+        lo = "-inf" if lb == -math.inf else f"{lb:.12g}"
+        hi = "+inf" if ub == math.inf else f"{ub:.12g}"
+        lines.append(f" {lo} <= {var.name} <= {hi}")
+
+    binaries = [
+        var.name
+        for var, vt in zip(model.variables, model.vtypes)
+        if vt is VarType.BINARY
+    ]
+    if binaries:
+        lines.append("Binaries")
+        lines.append(" " + " ".join(binaries))
+    generals = [
+        var.name
+        for var, vt in zip(model.variables, model.vtypes)
+        if vt is VarType.INTEGER
+    ]
+    if generals:
+        lines.append("Generals")
+        lines.append(" " + " ".join(generals))
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def write_lp(model: Model, path: Union[str, Path]) -> None:
+    """Write a model to an ``.lp`` file."""
+    Path(path).write_text(model_to_lp(model))

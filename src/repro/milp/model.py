@@ -1,0 +1,244 @@
+"""Mixed-integer linear programming model container.
+
+A :class:`Model` owns variables, constraints and the objective, and exposes
+dense matrix views for the LP relaxation consumed by the simplex and
+branch-and-bound engines.  Models are deliberately simple and explicit —
+no lazy columns, no symbolic presolve hidden in the container.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.milp.expr import (
+    Constraint,
+    ConstraintOp,
+    ExprLike,
+    LinExpr,
+    Sense,
+    Variable,
+    VarType,
+    _as_expr,
+)
+
+INF = math.inf
+
+
+class Model:
+    """A mixed-integer linear program.
+
+    The model keeps its own sense (min/max); the numeric backends always
+    minimise internally and results are reported back in the model's sense.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: List[Variable] = []
+        self.lb: List[float] = []
+        self.ub: List[float] = []
+        self.vtypes: List[VarType] = []
+        self.constraints: List[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self.sense: Sense = Sense.MINIMIZE
+        self._names: Dict[str, int] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_var(
+        self,
+        name: str = "",
+        lb: float = 0.0,
+        ub: float = INF,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> Variable:
+        """Add a decision variable and return its handle.
+
+        Binary variables get their bounds clipped into ``[0, 1]``; an empty
+        name is auto-generated from the column index.
+        """
+        index = len(self.variables)
+        if not name:
+            name = f"x{index}"
+        if name in self._names:
+            raise ModelError(f"duplicate variable name {name!r}")
+        if vtype is VarType.BINARY:
+            lb, ub = max(lb, 0.0), min(ub, 1.0)
+        if lb > ub:
+            raise ModelError(
+                f"variable {name!r} has empty domain [{lb}, {ub}]"
+            )
+        var = Variable(index, name, self)
+        self.variables.append(var)
+        self.lb.append(float(lb))
+        self.ub.append(float(ub))
+        self.vtypes.append(vtype)
+        self._names[name] = index
+        return var
+
+    def add_vars(
+        self,
+        count: int,
+        prefix: str,
+        lb: float = 0.0,
+        ub: float = INF,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> List[Variable]:
+        """Add ``count`` homogeneous variables named ``{prefix}{i}``."""
+        return [
+            self.add_var(f"{prefix}{i}", lb=lb, ub=ub, vtype=vtype)
+            for i in range(count)
+        ]
+
+    def var_by_name(self, name: str) -> Variable:
+        """Look up a variable handle; raises on unknown names."""
+        try:
+            return self.variables[self._names[name]]
+        except KeyError:
+            raise ModelError(f"no variable named {name!r}") from None
+
+    def add_constr(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built with ``<=``, ``>=`` or ``==``."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "add_constr expects a Constraint (use <=, >= or == on "
+                "expressions)"
+            )
+        self._check_columns(constraint.expr)
+        if name:
+            constraint.name = name
+        elif not constraint.name:
+            constraint.name = f"c{len(self.constraints)}"
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr: ExprLike, sense: Sense = Sense.MINIMIZE) -> None:
+        """Set the objective expression and optimisation direction."""
+        expr = _as_expr(expr)
+        self._check_columns(expr)
+        self.objective = expr
+        self.sense = sense
+
+    def set_bounds(self, var: Variable, lb: float, ub: float) -> None:
+        """Tighten/replace the bounds of an existing variable."""
+        if lb > ub:
+            raise ModelError(
+                f"variable {var.name!r} given empty domain [{lb}, {ub}]"
+            )
+        self.lb[var.index] = float(lb)
+        self.ub[var.index] = float(ub)
+
+    def _check_columns(self, expr: LinExpr) -> None:
+        n = len(self.variables)
+        for idx in expr.coeffs:
+            if not 0 <= idx < n:
+                raise ModelError(
+                    f"expression references unknown column {idx}"
+                )
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def integer_indices(self) -> List[int]:
+        """Columns that must take integral values."""
+        return [
+            i
+            for i, vt in enumerate(self.vtypes)
+            if vt in (VarType.BINARY, VarType.INTEGER)
+        ]
+
+    def dense_arrays(
+        self,
+    ) -> Tuple[
+        np.ndarray,
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        Optional[np.ndarray],
+        List[Tuple[float, float]],
+    ]:
+        """Return ``(c, A_ub, b_ub, A_eq, b_eq, bounds)`` for minimisation.
+
+        ``>=`` rows are negated into ``<=`` rows; the objective is negated
+        when the model maximises, so backends can always minimise ``c @ x``.
+        """
+        n = self.num_vars
+        c = np.zeros(n)
+        for idx, coef in self.objective.coeffs.items():
+            c[idx] = coef
+        if self.sense is Sense.MAXIMIZE:
+            c = -c
+
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for constr in self.constraints:
+            row = np.zeros(n)
+            for idx, coef in constr.expr.coeffs.items():
+                row[idx] = coef
+            rhs = constr.rhs()
+            if constr.op is ConstraintOp.LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constr.op is ConstraintOp.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        A_ub = np.array(ub_rows) if ub_rows else None
+        b_ub = np.array(ub_rhs) if ub_rhs else None
+        A_eq = np.array(eq_rows) if eq_rows else None
+        b_eq = np.array(eq_rhs) if eq_rhs else None
+        bounds = list(zip(self.lb, self.ub))
+        return c, A_ub, b_ub, A_eq, b_eq, bounds
+
+    def objective_value(self, x: Sequence[float]) -> float:
+        """Objective of a point in the model's own sense."""
+        return self.objective.value({i: x[i] for i in range(self.num_vars)})
+
+    def is_feasible(self, x: Sequence[float], tol: float = 1e-6) -> bool:
+        """Check bounds, constraints and integrality of a candidate point."""
+        assignment = {i: float(x[i]) for i in range(self.num_vars)}
+        for i in range(self.num_vars):
+            if not (self.lb[i] - tol <= assignment[i] <= self.ub[i] + tol):
+                return False
+            if self.vtypes[i] is not VarType.CONTINUOUS:
+                if abs(assignment[i] - round(assignment[i])) > tol:
+                    return False
+        return all(c.satisfied(assignment, tol) for c in self.constraints)
+
+    def copy(self) -> "Model":
+        """Deep copy of the model (fresh variable handles, same structure)."""
+        clone = Model(self.name)
+        for var, lb, ub, vt in zip(
+            self.variables, self.lb, self.ub, self.vtypes
+        ):
+            clone.add_var(var.name, lb=lb, ub=ub, vtype=vt)
+        for constr in self.constraints:
+            clone.constraints.append(
+                Constraint(constr.expr.copy(), constr.op, constr.name)
+            )
+        clone.objective = self.objective.copy()
+        clone.sense = self.sense
+        return clone
+
+    def __repr__(self) -> str:
+        kinds = sum(
+            1 for vt in self.vtypes if vt is not VarType.CONTINUOUS
+        )
+        return (
+            f"Model({self.name!r}, vars={self.num_vars} "
+            f"({kinds} integer), constrs={self.num_constraints})"
+        )

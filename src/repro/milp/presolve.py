@@ -1,0 +1,129 @@
+"""Presolve: constraint-based bound propagation for MILP models.
+
+Before branch-and-bound starts we repeatedly propagate every row's activity
+bounds onto its variables.  For a row ``sum a_j x_j <= b`` the minimum
+activity of the other terms implies ``a_k x_k <= b - min_activity_without_k``,
+which tightens ``x_k``'s bound.  Integer variables additionally get their
+bounds rounded inward.  On ReLU big-M encodings this fixes many indicator
+binaries outright, which is exactly the effect the paper relies on to make
+the Table II instances tractable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import ModelError
+from repro.milp.expr import ConstraintOp, VarType
+from repro.milp.model import Model
+
+_TOL = 1e-9
+
+
+class InfeasiblePresolve(ModelError):
+    """Propagation proved the model infeasible."""
+
+
+def _activity_bounds(
+    coeffs: List[Tuple[int, float]], lb: List[float], ub: List[float]
+) -> Tuple[float, float]:
+    """Minimum and maximum value of ``sum a_j x_j`` over the boxes."""
+    lo = 0.0
+    hi = 0.0
+    for idx, coef in coeffs:
+        if coef >= 0:
+            lo += coef * lb[idx]
+            hi += coef * ub[idx]
+        else:
+            lo += coef * ub[idx]
+            hi += coef * lb[idx]
+    return lo, hi
+
+
+def propagate_bounds(model: Model, max_rounds: int = 20) -> int:
+    """Tighten variable bounds in place; returns the number of changes.
+
+    Raises :class:`InfeasiblePresolve` when a row's minimum activity already
+    exceeds its RHS (or an equality row cannot be met).
+    """
+    rows: List[Tuple[List[Tuple[int, float]], ConstraintOp, float]] = []
+    for constr in model.constraints:
+        coeffs = [
+            (idx, coef)
+            for idx, coef in constr.expr.coeffs.items()
+            if abs(coef) > _TOL
+        ]
+        rows.append((coeffs, constr.op, constr.rhs()))
+
+    total_changes = 0
+    for _ in range(max_rounds):
+        changed = 0
+        for coeffs, op, rhs in rows:
+            if op is ConstraintOp.LE:
+                changed += _propagate_le(model, coeffs, rhs)
+            elif op is ConstraintOp.GE:
+                neg = [(i, -a) for i, a in coeffs]
+                changed += _propagate_le(model, neg, -rhs)
+            else:
+                changed += _propagate_le(model, coeffs, rhs)
+                neg = [(i, -a) for i, a in coeffs]
+                changed += _propagate_le(model, neg, -rhs)
+        total_changes += changed
+        if changed == 0:
+            break
+    return total_changes
+
+
+def _propagate_le(
+    model: Model, coeffs: List[Tuple[int, float]], rhs: float
+) -> int:
+    """Propagate one ``sum a_j x_j <= rhs`` row; returns bound changes."""
+    lo, _hi = _activity_bounds(coeffs, model.lb, model.ub)
+    if lo > rhs + 1e-6:
+        raise InfeasiblePresolve(
+            f"row with min activity {lo:.6g} > rhs {rhs:.6g}"
+        )
+    changes = 0
+    for idx, coef in coeffs:
+        # Residual: minimum activity of the row excluding this term.
+        if coef >= 0:
+            term_lo = coef * model.lb[idx]
+        else:
+            term_lo = coef * model.ub[idx]
+        residual = lo - term_lo
+        limit = rhs - residual
+        if coef > _TOL:
+            new_ub = limit / coef
+            if model.vtypes[idx] is not VarType.CONTINUOUS:
+                new_ub = math.floor(new_ub + 1e-6)
+            if new_ub < model.ub[idx] - 1e-9:
+                if new_ub < model.lb[idx] - 1e-6:
+                    raise InfeasiblePresolve(
+                        f"variable {model.variables[idx].name} forced below "
+                        f"its lower bound"
+                    )
+                model.ub[idx] = max(new_ub, model.lb[idx])
+                changes += 1
+        elif coef < -_TOL:
+            new_lb = limit / coef
+            if model.vtypes[idx] is not VarType.CONTINUOUS:
+                new_lb = math.ceil(new_lb - 1e-6)
+            if new_lb > model.lb[idx] + 1e-9:
+                if new_lb > model.ub[idx] + 1e-6:
+                    raise InfeasiblePresolve(
+                        f"variable {model.variables[idx].name} forced above "
+                        f"its upper bound"
+                    )
+                model.lb[idx] = min(new_lb, model.ub[idx])
+                changes += 1
+    return changes
+
+
+def count_fixed_integers(model: Model) -> int:
+    """Number of integer columns whose bounds pin them to a single value."""
+    return sum(
+        1
+        for i in model.integer_indices
+        if model.ub[i] - model.lb[i] < 1e-9
+    )

@@ -1,0 +1,69 @@
+"""LP backend delegating to SciPy's HiGHS solver.
+
+Branch-and-bound issues many LP relaxations; HiGHS (via
+:func:`scipy.optimize.linprog`) is the fast default, while
+:mod:`repro.milp.simplex` is the self-contained reference implementation.
+Both expose the same ``solve_lp`` signature so the MILP engine can swap them
+freely, and the test suite cross-checks them against each other.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.milp.solution import LPResult
+from repro.milp.status import SolveStatus
+
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ERROR,       # iteration limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def solve_lp(
+    c: np.ndarray,
+    A_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[np.ndarray] = None,
+    A_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[np.ndarray] = None,
+    bounds: Optional[Sequence[Tuple[float, float]]] = None,
+    max_iter: int = 0,
+) -> LPResult:
+    """Minimise ``c @ x`` with HiGHS.  Same contract as the simplex backend.
+
+    ``max_iter`` is accepted for interface parity and ignored (HiGHS has its
+    own internal limits).
+    """
+    n = len(c)
+    if bounds is None:
+        bounds = [(0.0, math.inf)] * n
+    highs_bounds = [
+        (None if lb == -math.inf else lb, None if ub == math.inf else ub)
+        for lb, ub in bounds
+    ]
+    res = linprog(
+        c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        bounds=highs_bounds,
+        method="highs",
+    )
+    status = _STATUS_MAP.get(res.status, SolveStatus.ERROR)
+    iterations = int(getattr(res, "nit", 0) or 0)
+    if status is SolveStatus.OPTIMAL:
+        return LPResult(
+            status,
+            x=np.asarray(res.x, dtype=float),
+            objective=float(res.fun),
+            iterations=iterations,
+        )
+    return LPResult(status, iterations=iterations)

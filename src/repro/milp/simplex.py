@@ -1,0 +1,302 @@
+"""Two-phase dense tableau simplex solver, written from scratch.
+
+The solver accepts the dense-array view produced by
+:meth:`repro.milp.model.Model.dense_arrays` — minimise ``c @ x`` subject to
+``A_ub x <= b_ub``, ``A_eq x == b_eq`` and box bounds — and reduces it to
+standard form (equality rows, non-negative variables, non-negative RHS)
+internally:
+
+* a variable with finite lower bound ``l`` is shifted (``x = l + y``);
+* a variable bounded only above is reflected (``x = u - y``);
+* a free variable is split (``x = y+ - y-``);
+* finite upper bounds become explicit ``y <= u - l`` rows;
+* phase 1 minimises the sum of artificial variables, phase 2 the shifted
+  objective.
+
+Dantzig pricing is used by default with an automatic switch to Bland's rule
+after a pivot budget, which guarantees termination in the presence of
+degeneracy.  The solver is intentionally dense: verification LPs in this
+repository have at most a few thousand columns, where a NumPy tableau is
+both simple and fast enough.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.milp.solution import LPResult
+from repro.milp.status import SolveStatus
+
+_EPS = 1e-9
+#: Minimum magnitude of a pivot element.  Pivoting on near-zero entries
+#: (say 1e-9) divides the tableau by them and destroys all precision, so
+#: the ratio test only considers comfortably-positive column entries.
+_PIVOT_TOL = 1e-7
+_FEAS_TOL = 1e-7
+_BLAND_AFTER = 2000
+_MAX_ITER_DEFAULT = 50000
+
+
+@dataclasses.dataclass
+class _StandardForm:
+    """Standard-form program plus the recipe to map solutions back."""
+
+    A: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    c0: float  # constant objective offset from variable shifts
+    # per original column: (kind, std_col, other_col, offset)
+    #   kind 'shift':  x = offset + y[std_col]
+    #   kind 'mirror': x = offset - y[std_col]
+    #   kind 'split':  x = y[std_col] - y[other_col]
+    recover: List[Tuple[str, int, int, float]]
+
+
+def _standardize(
+    c: np.ndarray,
+    A_ub: Optional[np.ndarray],
+    b_ub: Optional[np.ndarray],
+    A_eq: Optional[np.ndarray],
+    b_eq: Optional[np.ndarray],
+    bounds: Sequence[Tuple[float, float]],
+) -> Tuple[_StandardForm, int]:
+    """Reduce to ``min c'y  s.t.  A y = b, y >= 0, b >= 0``.
+
+    Returns the standard form and the number of structural (non-slack)
+    columns.
+    """
+    n = len(bounds)
+    num_ub = 0 if A_ub is None else A_ub.shape[0]
+    num_eq = 0 if A_eq is None else A_eq.shape[0]
+
+    cols: List[np.ndarray] = []  # structural column of each std variable
+    std_c: List[float] = []
+    recover: List[Tuple[str, int, int, float]] = []
+    extra_rows: List[np.ndarray] = []  # upper-bound rows over std columns
+    extra_rhs: List[float] = []
+    c0 = 0.0
+
+    def column_of(j: int) -> np.ndarray:
+        col = np.zeros(num_ub + num_eq)
+        if num_ub:
+            col[:num_ub] = A_ub[:, j]
+        if num_eq:
+            col[num_ub:] = A_eq[:, j]
+        return col
+
+    rhs_shift = np.zeros(num_ub + num_eq)
+
+    for j, (lb, ub) in enumerate(bounds):
+        col = column_of(j)
+        if lb == -math.inf and ub == math.inf:
+            plus = len(std_c)
+            cols.append(col)
+            std_c.append(c[j])
+            minus = len(std_c)
+            cols.append(-col)
+            std_c.append(-c[j])
+            recover.append(("split", plus, minus, 0.0))
+        elif lb == -math.inf:
+            # x = ub - y
+            idx = len(std_c)
+            cols.append(-col)
+            std_c.append(-c[j])
+            rhs_shift += col * ub
+            c0 += c[j] * ub
+            recover.append(("mirror", idx, -1, ub))
+        else:
+            # x = lb + y
+            idx = len(std_c)
+            cols.append(col)
+            std_c.append(c[j])
+            rhs_shift += col * lb
+            c0 += c[j] * lb
+            recover.append(("shift", idx, -1, lb))
+            if ub != math.inf:
+                row = np.zeros(0)  # placeholder; filled after count known
+                extra_rows.append(np.array([idx], dtype=int))
+                extra_rhs.append(ub - lb)
+
+    num_std = len(std_c)
+    base_rows = num_ub + num_eq
+    num_bound_rows = len(extra_rows)
+    total_rows = base_rows + num_bound_rows
+
+    A = np.zeros((total_rows, num_std))
+    for k in range(num_std):
+        A[:base_rows, k] = cols[k]
+    b = np.zeros(total_rows)
+    if num_ub:
+        b[:num_ub] = b_ub - rhs_shift[:num_ub]
+    if num_eq:
+        b[num_ub:base_rows] = b_eq - rhs_shift[num_ub:]
+    for r, (idx_arr, rhs) in enumerate(zip(extra_rows, extra_rhs)):
+        A[base_rows + r, idx_arr[0]] = 1.0
+        b[base_rows + r] = rhs
+
+    # Append slack columns for every inequality row (original ub rows and
+    # bound rows); equality rows get none.
+    ineq_rows = list(range(num_ub)) + list(range(base_rows, total_rows))
+    num_slacks = len(ineq_rows)
+    A_full = np.hstack([A, np.zeros((total_rows, num_slacks))])
+    for s, row in enumerate(ineq_rows):
+        A_full[row, num_std + s] = 1.0
+    c_full = np.array(std_c + [0.0] * num_slacks)
+
+    # Normalise RHS signs.
+    neg = b < 0
+    A_full[neg] *= -1.0
+    b = np.abs(b)
+
+    return _StandardForm(A_full, b, c_full, c0, recover), num_std
+
+
+class _Tableau:
+    """Dense simplex tableau with Dantzig/Bland pricing."""
+
+    def __init__(self, A: np.ndarray, b: np.ndarray, basis: List[int]) -> None:
+        m, n = A.shape
+        self.T = np.hstack([A.astype(float), b.reshape(-1, 1).astype(float)])
+        self.basis = list(basis)
+        self.m = m
+        self.n = n
+        self.iterations = 0
+
+    def run(
+        self, cost: np.ndarray, max_iter: int
+    ) -> Tuple[str, np.ndarray]:
+        """Minimise ``cost`` from the current basis.
+
+        Returns ``(status, reduced_costs)`` where status is ``optimal``,
+        ``unbounded`` or ``iteration_limit``.
+        """
+        while True:
+            if self.iterations >= max_iter:
+                return "iteration_limit", np.zeros(self.n)
+            z = self._reduced_costs(cost)
+            use_bland = self.iterations >= _BLAND_AFTER
+            entering = self._price(z, use_bland)
+            if entering is None:
+                return "optimal", z
+            leaving = self._ratio_test(entering, use_bland)
+            if leaving is None:
+                return "unbounded", z
+            self._pivot(leaving, entering)
+            self.iterations += 1
+
+    def _reduced_costs(self, cost: np.ndarray) -> np.ndarray:
+        cb = cost[self.basis]
+        return cost - cb @ self.T[:, : self.n]
+
+    def _price(self, z: np.ndarray, bland: bool) -> Optional[int]:
+        candidates = np.flatnonzero(z < -_EPS)
+        if candidates.size == 0:
+            return None
+        if bland:
+            return int(candidates[0])
+        return int(candidates[np.argmin(z[candidates])])
+
+    def _ratio_test(self, entering: int, bland: bool) -> Optional[int]:
+        col = self.T[:, entering]
+        rhs = self.T[:, -1]
+        positive = col > _PIVOT_TOL
+        if not positive.any():
+            return None
+        ratios = np.full(self.m, np.inf)
+        ratios[positive] = rhs[positive] / col[positive]
+        best = ratios.min()
+        ties = np.flatnonzero(ratios <= best + _EPS)
+        if bland:
+            # Lowest basis index among ties (Bland's anti-cycling rule).
+            return int(min(ties, key=lambda r: self.basis[r]))
+        return int(ties[0])
+
+    def _pivot(self, row: int, col: int) -> None:
+        self.T[row] /= self.T[row, col]
+        factors = self.T[:, col].copy()
+        factors[row] = 0.0
+        self.T -= np.outer(factors, self.T[row])
+        # Numerical hygiene: the pivot column must be a unit vector.
+        self.T[:, col] = 0.0
+        self.T[row, col] = 1.0
+        self.basis[row] = col
+
+    def solution(self) -> np.ndarray:
+        x = np.zeros(self.n)
+        x[self.basis] = self.T[:, -1]
+        return x
+
+
+def solve_lp(
+    c: np.ndarray,
+    A_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[np.ndarray] = None,
+    A_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[np.ndarray] = None,
+    bounds: Optional[Sequence[Tuple[float, float]]] = None,
+    max_iter: int = _MAX_ITER_DEFAULT,
+) -> LPResult:
+    """Minimise ``c @ x`` with the two-phase tableau simplex.
+
+    All arguments follow the convention of
+    :meth:`repro.milp.model.Model.dense_arrays`; ``bounds`` defaults to
+    ``x >= 0``.
+    """
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    if bounds is None:
+        bounds = [(0.0, math.inf)] * n
+    if len(bounds) != n:
+        raise ValueError("bounds length must match number of columns")
+
+    sf, _num_std = _standardize(c, A_ub, b_ub, A_eq, b_eq, bounds)
+    m, total = sf.A.shape
+
+    # Phase 1: artificial variables form the starting basis.
+    A1 = np.hstack([sf.A, np.eye(m)])
+    cost1 = np.concatenate([np.zeros(total), np.ones(m)])
+    tableau = _Tableau(A1, sf.b, basis=list(range(total, total + m)))
+    status, _ = tableau.run(cost1, max_iter)
+    iterations = tableau.iterations
+    if status == "iteration_limit":
+        return LPResult(SolveStatus.ERROR, iterations=iterations)
+    phase1_obj = cost1[tableau.basis] @ tableau.T[:, -1]
+    if phase1_obj > 1e-6:
+        return LPResult(SolveStatus.INFEASIBLE, iterations=iterations)
+
+    # Drive lingering artificials out of the basis where possible.
+    for row in range(m):
+        if tableau.basis[row] >= total:
+            pivots = np.flatnonzero(
+                np.abs(tableau.T[row, :total]) > 1e-7
+            )
+            if pivots.size:
+                tableau._pivot(row, int(pivots[0]))
+            # Otherwise the row is redundant (all-zero over structurals);
+            # the artificial stays basic at value ~0, which is harmless.
+
+    # Phase 2 on the same tableau with artificial columns frozen out.
+    cost2 = np.concatenate([sf.c, np.full(m, 1e12)])
+    status, _ = tableau.run(cost2, max_iter)
+    iterations = tableau.iterations
+    if status == "iteration_limit":
+        return LPResult(SolveStatus.ERROR, iterations=iterations)
+    if status == "unbounded":
+        return LPResult(SolveStatus.UNBOUNDED, iterations=iterations)
+
+    y = tableau.solution()[:total]
+    x = np.zeros(n)
+    for j, (kind, col, other, offset) in enumerate(sf.recover):
+        if kind == "shift":
+            x[j] = offset + y[col]
+        elif kind == "mirror":
+            x[j] = offset - y[col]
+        else:
+            x[j] = y[col] - y[other]
+    objective = float(c @ x)
+    return LPResult(SolveStatus.OPTIMAL, x=x, objective=objective,
+                    iterations=iterations)

@@ -1,0 +1,30 @@
+"""Solver status codes shared by the LP and MILP layers."""
+
+from __future__ import annotations
+
+import enum
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an LP or MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIMEOUT = "timeout"
+    NODE_LIMIT = "node_limit"
+    ERROR = "error"
+
+    @property
+    def is_success(self) -> bool:
+        """True when a provably optimal solution was found."""
+        return self is SolveStatus.OPTIMAL
+
+    @property
+    def has_incumbent_possible(self) -> bool:
+        """True for statuses that may still carry a feasible incumbent."""
+        return self in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.TIMEOUT,
+            SolveStatus.NODE_LIMIT,
+        )

@@ -1,0 +1,70 @@
+"""Neural-network library: MLPs, mixture-density heads, training, quantization.
+
+Implements the case-study predictor family of the paper — ``I4x10`` ...
+``I4x60`` ReLU networks over 84 scene features with a Gaussian-mixture
+output over (lateral velocity, longitudinal acceleration) — together with
+everything needed to train, persist and quantize them.
+"""
+
+from repro.nn.activations import activation_names, get_activation, has_branches
+from repro.nn.layers import DenseLayer
+from repro.nn.losses import HuberLoss, MSELoss
+from repro.nn.mdn import (
+    ACTION_DIM,
+    LATERAL,
+    LONGITUDINAL,
+    GaussianMixture,
+    MDNLoss,
+    mixture_from_raw,
+    mu_lat_indices,
+    mu_lon_indices,
+    param_dim,
+    split_params,
+)
+from repro.nn.metrics import PredictionReport, evaluate_predictor
+from repro.nn.network import FeedForwardNetwork
+from repro.nn.optim import SGD, Adam
+from repro.nn.quantize import QuantizedLayer, QuantizedNetwork
+from repro.nn.scaler import InputScaler, train_standardized
+from repro.nn.serialization import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.nn.training import Trainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "ACTION_DIM",
+    "Adam",
+    "DenseLayer",
+    "FeedForwardNetwork",
+    "GaussianMixture",
+    "HuberLoss",
+    "InputScaler",
+    "LATERAL",
+    "LONGITUDINAL",
+    "MDNLoss",
+    "MSELoss",
+    "PredictionReport",
+    "SGD",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "QuantizedLayer",
+    "QuantizedNetwork",
+    "activation_names",
+    "evaluate_predictor",
+    "get_activation",
+    "has_branches",
+    "load_network",
+    "mixture_from_raw",
+    "mu_lat_indices",
+    "mu_lon_indices",
+    "network_from_dict",
+    "network_to_dict",
+    "param_dim",
+    "save_network",
+    "split_params",
+    "train_standardized",
+]

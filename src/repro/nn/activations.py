@@ -1,0 +1,82 @@
+"""Activation functions with forward and derivative evaluations.
+
+The paper's Sec. II argument about coverage testing hinges on the
+activation choice: ``tanh``-style smooth activations contain no branches
+(one test satisfies MC/DC) while ``relu`` introduces one if-then-else per
+neuron (MC/DC blows up exponentially).  Both are first-class here, along
+with the identity used by linear output heads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+ActivationFn = Callable[[np.ndarray], np.ndarray]
+
+
+def relu(z: np.ndarray) -> np.ndarray:
+    """Rectified linear unit, the piecewise-linear activation verified by
+    the MILP encoder."""
+    return np.maximum(z, 0.0)
+
+
+def relu_grad(z: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU: the active-phase indicator."""
+    return (z > 0.0).astype(z.dtype)
+
+
+def tanh(z: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent, the branch-free smooth activation."""
+    return np.tanh(z)
+
+
+def tanh_grad(z: np.ndarray) -> np.ndarray:
+    """Derivative of tanh: ``1 - tanh(z)**2``."""
+    t = np.tanh(z)
+    return 1.0 - t * t
+
+
+def identity(z: np.ndarray) -> np.ndarray:
+    """Identity activation for linear output heads."""
+    return z
+
+
+def identity_grad(z: np.ndarray) -> np.ndarray:
+    """Derivative of the identity: all ones."""
+    return np.ones_like(z)
+
+
+_REGISTRY: Dict[str, Tuple[ActivationFn, ActivationFn]] = {
+    "relu": (relu, relu_grad),
+    "tanh": (tanh, tanh_grad),
+    "identity": (identity, identity_grad),
+}
+
+
+def get_activation(name: str) -> Tuple[ActivationFn, ActivationFn]:
+    """Look up ``(function, derivative)`` by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EncodingError(
+            f"unknown activation {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def activation_names() -> Tuple[str, ...]:
+    """Sorted names of all registered activations."""
+    return tuple(sorted(_REGISTRY))
+
+
+def has_branches(name: str) -> bool:
+    """True when the activation contains an if-then-else (MC/DC relevant).
+
+    This encodes the paper's observation: ``relu`` branches per neuron
+    while smooth activations such as ``tanh`` do not branch at all.
+    """
+    get_activation(name)
+    return name == "relu"

@@ -1,0 +1,114 @@
+"""Dense (fully connected) layers with manual backpropagation.
+
+The case-study predictor is a multilayer perceptron — 84 inputs, several
+ReLU hidden layers, a linear mixture-density head — so a dense layer with
+a named activation is the only layer type needed.  Weights are stored as
+``(fan_in, fan_out)`` matrices; forward passes cache pre-activations for
+the backward pass and for the verifier's bound analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.activations import get_activation
+from repro.nn.init import initializer_for, zeros
+
+
+class DenseLayer:
+    """``y = act(x @ W + b)`` with cached intermediates for backprop."""
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        bias: np.ndarray,
+        activation: str = "relu",
+    ) -> None:
+        weights = np.asarray(weights, dtype=float)
+        bias = np.asarray(bias, dtype=float)
+        if weights.ndim != 2:
+            raise TrainingError("weights must be a 2-D matrix")
+        if bias.shape != (weights.shape[1],):
+            raise TrainingError(
+                f"bias shape {bias.shape} does not match fan_out "
+                f"{weights.shape[1]}"
+            )
+        self.weights = weights
+        self.bias = bias
+        self.activation = activation
+        self._act, self._act_grad = get_activation(activation)
+        self.grad_weights = np.zeros_like(weights)
+        self.grad_bias = np.zeros_like(bias)
+        self._last_input: Optional[np.ndarray] = None
+        self._last_pre: Optional[np.ndarray] = None
+
+    @classmethod
+    def create(
+        cls,
+        fan_in: int,
+        fan_out: int,
+        activation: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+    ) -> "DenseLayer":
+        """Create a freshly initialised layer (He for relu, Glorot else)."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        init = initializer_for(activation)
+        return cls(init(rng, fan_in, fan_out), zeros(fan_out), activation)
+
+    @property
+    def fan_in(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def fan_out(self) -> int:
+        return self.weights.shape[1]
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Apply the layer; with ``train=True`` caches for backward()."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.fan_in:
+            raise TrainingError(
+                f"input width {x.shape[1]} does not match fan_in "
+                f"{self.fan_in}"
+            )
+        pre = x @ self.weights + self.bias
+        if train:
+            self._last_input = x
+            self._last_pre = pre
+        return self._act(pre)
+
+    def pre_activation(self, x: np.ndarray) -> np.ndarray:
+        """Pre-activation values (needed by coverage and bound analyses)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return x @ self.weights + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients; returns gradient w.r.t. input."""
+        if self._last_input is None or self._last_pre is None:
+            raise TrainingError(
+                "backward() called before forward(train=True)"
+            )
+        delta = grad_out * self._act_grad(self._last_pre)
+        self.grad_weights += self._last_input.T @ delta
+        self.grad_bias += delta.sum(axis=0)
+        return delta @ self.weights.T
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated parameter gradients to zero."""
+        self.grad_weights[:] = 0.0
+        self.grad_bias[:] = 0.0
+
+    def copy(self) -> "DenseLayer":
+        """Independent copy of weights, bias and activation."""
+        return DenseLayer(
+            self.weights.copy(), self.bias.copy(), self.activation
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DenseLayer({self.fan_in}->{self.fan_out}, "
+            f"{self.activation})"
+        )

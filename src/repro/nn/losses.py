@@ -1,0 +1,60 @@
+"""Loss functions: value plus analytic gradient w.r.t. network output."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class MSELoss:
+    """Mean squared error over a batch, averaged over samples and outputs."""
+
+    def __call__(
+        self, predicted: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        predicted = np.atleast_2d(predicted)
+        target = np.atleast_2d(target)
+        if predicted.shape != target.shape:
+            raise TrainingError(
+                f"prediction shape {predicted.shape} vs target "
+                f"{target.shape}"
+            )
+        diff = predicted - target
+        loss = float(np.mean(diff * diff))
+        grad = 2.0 * diff / diff.size
+        return loss, grad
+
+
+class HuberLoss:
+    """Huber loss — quadratic near zero, linear in the tails."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise TrainingError("Huber delta must be positive")
+        self.delta = delta
+
+    def __call__(
+        self, predicted: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        predicted = np.atleast_2d(predicted)
+        target = np.atleast_2d(target)
+        if predicted.shape != target.shape:
+            raise TrainingError(
+                f"prediction shape {predicted.shape} vs target "
+                f"{target.shape}"
+            )
+        diff = predicted - target
+        abs_diff = np.abs(diff)
+        quadratic = abs_diff <= self.delta
+        losses = np.where(
+            quadratic,
+            0.5 * diff * diff,
+            self.delta * (abs_diff - 0.5 * self.delta),
+        )
+        grads = np.where(
+            quadratic, diff, self.delta * np.sign(diff)
+        )
+        return float(np.mean(losses)), grads / losses.size

@@ -1,0 +1,199 @@
+"""Mixture-density-network head: Gaussian mixtures over driving actions.
+
+The case-study predictor (Lenz et al., IV 2017) outputs a Gaussian mixture
+over the two-dimensional action space *(lateral velocity, longitudinal
+acceleration)* — Figure 1 of the paper shows such a mixture suggesting
+"slightly decelerate and switch to the left lane".  The network's last
+linear layer emits raw parameters which this module interprets:
+
+``z = [logits (K) | means (K*2, k-major: lat, lon) | log-stds (K*2)]``
+
+The layout is load-bearing for verification: the component means are
+*affine* in the last hidden layer, so "the predicted lateral velocity" is
+a linear output the MILP encoder can maximise.  Because mixture weights
+are a convex combination, ``mixture mean <= max_k mu_k``; verifying every
+component mean soundly bounds the mixture mean (see
+:mod:`repro.core.verifier`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+#: Indices of the two action dimensions inside a mean/std pair.
+LATERAL = 0
+LONGITUDINAL = 1
+
+ACTION_DIM = 2
+_LOG_SIGMA_MIN = -4.0
+_LOG_SIGMA_MAX = 3.0
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def param_dim(num_components: int) -> int:
+    """Width of the raw parameter vector for ``K`` components."""
+    if num_components < 1:
+        raise TrainingError("mixture needs at least one component")
+    return num_components * (1 + 2 * ACTION_DIM)
+
+
+def mu_lat_indices(num_components: int) -> List[int]:
+    """Raw-output indices holding each component's lateral-velocity mean."""
+    k = num_components
+    return [k + ACTION_DIM * i + LATERAL for i in range(k)]
+
+
+def mu_lon_indices(num_components: int) -> List[int]:
+    """Raw-output indices of each component's longitudinal-accel mean."""
+    k = num_components
+    return [k + ACTION_DIM * i + LONGITUDINAL for i in range(k)]
+
+
+def split_params(
+    z: np.ndarray, num_components: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split raw outputs into ``(logits, means, log_stds)``.
+
+    Shapes: ``z`` is ``(batch, 5K)``; returns ``(batch, K)``,
+    ``(batch, K, 2)`` and ``(batch, K, 2)`` with log-stds clipped into a
+    numerically safe range.
+    """
+    z = np.atleast_2d(z)
+    k = num_components
+    if z.shape[1] != param_dim(k):
+        raise TrainingError(
+            f"raw parameter width {z.shape[1]} does not match K={k} "
+            f"(expected {param_dim(k)})"
+        )
+    logits = z[:, :k]
+    means = z[:, k : k + 2 * k].reshape(-1, k, ACTION_DIM)
+    log_stds = np.clip(
+        z[:, k + 2 * k :].reshape(-1, k, ACTION_DIM),
+        _LOG_SIGMA_MIN,
+        _LOG_SIGMA_MAX,
+    )
+    return logits, means, log_stds
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+@dataclasses.dataclass
+class GaussianMixture:
+    """A concrete 2-D diagonal Gaussian mixture for one input."""
+
+    weights: np.ndarray  # (K,)
+    means: np.ndarray    # (K, 2)
+    stds: np.ndarray     # (K, 2)
+
+    @property
+    def num_components(self) -> int:
+        return self.weights.shape[0]
+
+    def mean(self) -> np.ndarray:
+        """Mixture mean — the quantity the safety requirement bounds."""
+        return self.weights @ self.means
+
+    def dominant_component(self) -> int:
+        """Index of the highest-weight mixture component."""
+        return int(np.argmax(self.weights))
+
+    def pdf(self, points: np.ndarray) -> np.ndarray:
+        """Density at ``points`` of shape (..., 2)."""
+        points = np.asarray(points, dtype=float)
+        diff = points[..., None, :] - self.means  # (..., K, 2)
+        z2 = np.sum((diff / self.stds) ** 2, axis=-1)
+        norm = 2.0 * math.pi * self.stds[:, 0] * self.stds[:, 1]
+        comp = np.exp(-0.5 * z2) / norm
+        return comp @ self.weights
+
+    def sample(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
+        """Draw action samples (used by the closed-loop simulator)."""
+        choices = rng.choice(self.num_components, size=count, p=self.weights)
+        noise = rng.normal(size=(count, ACTION_DIM))
+        return self.means[choices] + noise * self.stds[choices]
+
+    def max_component_mean(self, dim: int = LATERAL) -> float:
+        """``max_k mu_k[dim]`` — the sound upper bound on the mixture mean."""
+        return float(self.means[:, dim].max())
+
+
+def mixture_from_raw(z: np.ndarray, num_components: int) -> GaussianMixture:
+    """Interpret one raw output vector as a mixture distribution."""
+    logits, means, log_stds = split_params(
+        np.atleast_2d(z)[:1], num_components
+    )
+    return GaussianMixture(
+        weights=_softmax(logits)[0],
+        means=means[0],
+        stds=np.exp(log_stds)[0],
+    )
+
+
+class MDNLoss:
+    """Negative log-likelihood of targets under the predicted mixture.
+
+    Returns the batch-mean NLL and its analytic gradient with respect to
+    the raw parameter vector (Bishop's classic MDN gradients).
+    """
+
+    def __init__(self, num_components: int) -> None:
+        if num_components < 1:
+            raise TrainingError("mixture needs at least one component")
+        self.num_components = num_components
+
+    def __call__(
+        self, z: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        z = np.atleast_2d(z)
+        targets = np.atleast_2d(targets)
+        if targets.shape[1] != ACTION_DIM:
+            raise TrainingError(
+                f"targets must be (batch, {ACTION_DIM}), got {targets.shape}"
+            )
+        k = self.num_components
+        logits, means, log_stds = split_params(z, k)
+        stds = np.exp(log_stds)
+        batch = z.shape[0]
+
+        diff = targets[:, None, :] - means            # (B, K, 2)
+        z2 = (diff / stds) ** 2                       # (B, K, 2)
+        log_norm = -(_LOG_2PI + log_stds.sum(axis=2)) # (B, K)
+        log_comp = log_norm - 0.5 * z2.sum(axis=2)    # (B, K)
+
+        log_pi = logits - logits.max(axis=1, keepdims=True)
+        log_pi = log_pi - np.log(
+            np.exp(log_pi).sum(axis=1, keepdims=True)
+        )
+        joint = log_pi + log_comp                     # (B, K)
+        joint_max = joint.max(axis=1, keepdims=True)
+        log_lik = joint_max[:, 0] + np.log(
+            np.exp(joint - joint_max).sum(axis=1)
+        )
+        loss = float(-log_lik.mean())
+
+        # Responsibilities r and softmax pi give the classic gradients.
+        r = np.exp(joint - joint_max)
+        r = r / r.sum(axis=1, keepdims=True)          # (B, K)
+        pi = np.exp(log_pi)
+
+        grad = np.zeros_like(z)
+        grad[:, :k] = (pi - r) / batch
+        grad_mu = (r[:, :, None] * (means - targets[:, None, :]) / stds**2)
+        grad[:, k : 3 * k] = grad_mu.reshape(batch, 2 * k) / batch
+        grad_ls = r[:, :, None] * (1.0 - z2)
+        # Clipped log-stds get zero gradient (they sit on the clip rail).
+        raw_ls = z[:, 3 * k :].reshape(batch, k, ACTION_DIM)
+        on_rail = (raw_ls <= _LOG_SIGMA_MIN) | (raw_ls >= _LOG_SIGMA_MAX)
+        grad_ls = np.where(on_rail, 0.0, grad_ls)
+        grad[:, 3 * k :] = grad_ls.reshape(batch, 2 * k) / batch
+        return loss, grad

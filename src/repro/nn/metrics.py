@@ -1,0 +1,100 @@
+"""Prediction-quality metrics for mixture-density predictors.
+
+The certification case needs more than a loss number: per-dimension
+errors in physical units, the likelihood of held-out data, and whether
+the predicted distributions are *calibrated* (their confidence intervals
+cover reality at the advertised rate).  All metrics operate on the raw
+output layout of :mod:`repro.nn.mdn`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.mdn import ACTION_DIM, MDNLoss, split_params, _softmax
+from repro.nn.network import FeedForwardNetwork
+
+
+@dataclasses.dataclass
+class PredictionReport:
+    """Aggregate quality metrics on one evaluation set."""
+
+    samples: int
+    nll: float
+    rmse_lateral: float
+    rmse_longitudinal: float
+    mae_lateral: float
+    mae_longitudinal: float
+    coverage_68: float  # fraction of targets inside the 1-sigma band
+    coverage_95: float  # ... inside the 2-sigma band
+
+    def render(self) -> str:
+        """One-line metric summary for logs and reports."""
+        return (
+            f"n={self.samples}  NLL={self.nll:.3f}  "
+            f"RMSE(lat)={self.rmse_lateral:.3f}  "
+            f"RMSE(lon)={self.rmse_longitudinal:.3f}  "
+            f"coverage 68%={100 * self.coverage_68:.1f}%  "
+            f"95%={100 * self.coverage_95:.1f}%"
+        )
+
+
+def _mixture_moments(
+    z: np.ndarray, num_components: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mean and standard deviation of the mixture per sample.
+
+    Uses the law of total variance:
+    ``var = sum_k pi_k (sigma_k^2 + mu_k^2) - mean^2``.
+    """
+    logits, means, log_stds = split_params(z, num_components)
+    weights = _softmax(logits)                      # (B, K)
+    mean = np.einsum("bk,bkd->bd", weights, means)  # (B, 2)
+    second = np.einsum(
+        "bk,bkd->bd",
+        weights,
+        np.exp(log_stds) ** 2 + means**2,
+    )
+    var = np.maximum(second - mean**2, 1e-12)
+    return mean, np.sqrt(var)
+
+
+def evaluate_predictor(
+    network: FeedForwardNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    num_components: int,
+) -> PredictionReport:
+    """Compute the full metric battery on ``(x, y)``."""
+    x = np.atleast_2d(np.asarray(x, dtype=float))
+    y = np.atleast_2d(np.asarray(y, dtype=float))
+    if y.shape[1] != ACTION_DIM:
+        raise TrainingError(
+            f"targets must have {ACTION_DIM} columns, got {y.shape[1]}"
+        )
+    if x.shape[0] == 0:
+        raise TrainingError("evaluation set is empty")
+    z = network.forward(x)
+    nll, _ = MDNLoss(num_components)(z, y)
+    mean, std = _mixture_moments(z, num_components)
+    err = mean - y
+    rmse = np.sqrt(np.mean(err**2, axis=0))
+    mae = np.mean(np.abs(err), axis=0)
+    normalized = np.abs(err) / std
+    coverage_68 = float(np.mean(np.all(normalized <= 1.0, axis=1)))
+    coverage_95 = float(np.mean(np.all(normalized <= 2.0, axis=1)))
+    return PredictionReport(
+        samples=x.shape[0],
+        nll=float(nll),
+        rmse_lateral=float(rmse[0]),
+        rmse_longitudinal=float(rmse[1]),
+        mae_lateral=float(mae[0]),
+        mae_longitudinal=float(mae[1]),
+        coverage_68=coverage_68,
+        coverage_95=coverage_95,
+    )

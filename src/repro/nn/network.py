@@ -1,0 +1,157 @@
+"""Feed-forward network container.
+
+The paper names its case-study networks ``I4x10`` ... ``I4x60``: four
+hidden ReLU layers of constant width over 84 inputs, followed by a linear
+output head.  :meth:`FeedForwardNetwork.mlp` builds exactly that family and
+:attr:`FeedForwardNetwork.architecture_id` renders the paper's naming.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.layers import DenseLayer
+
+
+class FeedForwardNetwork:
+    """A stack of :class:`DenseLayer` objects."""
+
+    def __init__(self, layers: Sequence[DenseLayer]) -> None:
+        layers = list(layers)
+        if not layers:
+            raise TrainingError("a network needs at least one layer")
+        for prev, nxt in zip(layers, layers[1:]):
+            if prev.fan_out != nxt.fan_in:
+                raise TrainingError(
+                    f"layer widths do not chain: {prev!r} -> {nxt!r}"
+                )
+        self.layers: List[DenseLayer] = layers
+
+    @classmethod
+    def mlp(
+        cls,
+        input_dim: int,
+        hidden: Sequence[int],
+        output_dim: int,
+        hidden_activation: str = "relu",
+        output_activation: str = "identity",
+        rng: Optional[np.random.Generator] = None,
+    ) -> "FeedForwardNetwork":
+        """Build an MLP with the given hidden widths and a linear head."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        dims = [input_dim] + list(hidden)
+        layers = [
+            DenseLayer.create(dims[i], dims[i + 1], hidden_activation, rng)
+            for i in range(len(dims) - 1)
+        ]
+        layers.append(
+            DenseLayer.create(dims[-1], output_dim, output_activation, rng)
+        )
+        return cls(layers)
+
+    # -- shape metadata ---------------------------------------------------------
+    @property
+    def input_dim(self) -> int:
+        return self.layers[0].fan_in
+
+    @property
+    def output_dim(self) -> int:
+        return self.layers[-1].fan_out
+
+    @property
+    def hidden_widths(self) -> List[int]:
+        return [layer.fan_out for layer in self.layers[:-1]]
+
+    @property
+    def architecture_id(self) -> str:
+        """Paper-style name, e.g. ``I4x10`` for 4 hidden layers of 10."""
+        widths = self.hidden_widths
+        if widths and all(w == widths[0] for w in widths):
+            return f"I{len(widths)}x{widths[0]}"
+        return "I(" + ",".join(str(w) for w in widths) + ")"
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(
+            layer.weights.size + layer.bias.size for layer in self.layers
+        )
+
+    @property
+    def num_hidden_neurons(self) -> int:
+        return sum(self.hidden_widths)
+
+    def relu_neuron_count(self) -> int:
+        """Number of branching (ReLU) neurons — the MC/DC blow-up factor."""
+        return sum(
+            layer.fan_out
+            for layer in self.layers
+            if layer.activation == "relu"
+        )
+
+    # -- evaluation ------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Evaluate the network; ``train=True`` caches for backward()."""
+        out = np.atleast_2d(np.asarray(x, dtype=float))
+        for layer in self.layers:
+            out = layer.forward(out, train=train)
+        return out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def hidden_activations(self, x: np.ndarray) -> List[np.ndarray]:
+        """Post-activation values of every hidden layer (traceability)."""
+        out = np.atleast_2d(np.asarray(x, dtype=float))
+        activations: List[np.ndarray] = []
+        for layer in self.layers[:-1]:
+            out = layer.forward(out)
+            activations.append(out)
+        return activations
+
+    def pre_activations(self, x: np.ndarray) -> List[np.ndarray]:
+        """Pre-activation values of every layer (coverage, bounds)."""
+        out = np.atleast_2d(np.asarray(x, dtype=float))
+        pres: List[np.ndarray] = []
+        for layer in self.layers:
+            pre = layer.pre_activation(out)
+            pres.append(pre)
+            out = layer._act(pre)
+        return pres
+
+    # -- training plumbing --------------------------------------------------------
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate an output gradient through every layer."""
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        """Reset all layers' accumulated gradients."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameters(self) -> List[np.ndarray]:
+        """All weight/bias arrays in layer order."""
+        params: List[np.ndarray] = []
+        for layer in self.layers:
+            params.extend([layer.weights, layer.bias])
+        return params
+
+    def gradients(self) -> List[np.ndarray]:
+        """Gradient arrays aligned with :meth:`parameters`."""
+        grads: List[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend([layer.grad_weights, layer.grad_bias])
+        return grads
+
+    def copy(self) -> "FeedForwardNetwork":
+        """Deep copy with independent layer parameters."""
+        return FeedForwardNetwork([layer.copy() for layer in self.layers])
+
+    def __repr__(self) -> str:
+        dims = [self.input_dim] + [l.fan_out for l in self.layers]
+        return f"FeedForwardNetwork({'->'.join(map(str, dims))})"

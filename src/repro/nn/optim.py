@@ -1,0 +1,92 @@
+"""Gradient-descent optimisers operating on parameter/gradient lists."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class Optimizer:
+    """Base optimiser: subclasses implement :meth:`step`."""
+
+    def __init__(self, params: List[np.ndarray], lr: float) -> None:
+        if lr <= 0:
+            raise TrainingError(f"learning rate must be positive, got {lr}")
+        if not params:
+            raise TrainingError("optimizer received no parameters")
+        self.params = params
+        self.lr = lr
+
+    def step(self, grads: List[np.ndarray]) -> None:
+        """Apply one update from the given gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        params: List[np.ndarray],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError("momentum must lie in [0, 1)")
+        self.momentum = momentum
+        self._velocity: Optional[List[np.ndarray]] = None
+
+    def step(self, grads: List[np.ndarray]) -> None:
+        """One (momentum-)SGD update."""
+        if len(grads) != len(self.params):
+            raise TrainingError("gradient list does not match parameters")
+        if self.momentum == 0.0:
+            for p, g in zip(self.params, grads):
+                p -= self.lr * g
+            return
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in self.params]
+        for p, g, v in zip(self.params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moments."""
+
+    def __init__(
+        self,
+        params: List[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise TrainingError("betas must lie in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, grads: List[np.ndarray]) -> None:
+        """One bias-corrected Adam update."""
+        if len(grads) != len(self.params):
+            raise TrainingError("gradient list does not match parameters")
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

@@ -1,0 +1,159 @@
+"""Post-training quantization to fixed-point integer networks.
+
+Perspective (ii) of the paper: quantized networks (Hubara et al., 2016)
+may make verification more scalable "via an encoding to bitvector theories
+in SMT".  This module produces networks whose inference is *exact integer
+arithmetic*, so the SAT bit-blaster in
+:mod:`repro.core.quantized_verifier` can reason about precisely the same
+function the Python forward pass computes:
+
+* values are fixed-point with ``frac_bits`` fractional bits
+  (``x ≈ q / 2**frac_bits``);
+* weights are rounded to the same grid, biases to the double grid;
+* each layer computes ``acc = Wq @ q + bq`` exactly, then rescales with an
+  arithmetic right shift by ``frac_bits`` and applies integer ReLU.
+
+Arithmetic right shift floors (NumPy's ``>>`` on int64 and the bitvector
+``ashr`` agree), so the integer semantics is identical in both worlds —
+validated by the test suite on random inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.nn.network import FeedForwardNetwork
+
+
+@dataclasses.dataclass
+class QuantizedLayer:
+    """Integer weights/bias of one layer plus its activation kind."""
+
+    weights: np.ndarray  # int64, (fan_in, fan_out)
+    bias: np.ndarray     # int64, (fan_out,) on the double grid
+    activation: str      # "relu" or "identity"
+
+    @property
+    def fan_in(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def fan_out(self) -> int:
+        return self.weights.shape[1]
+
+
+class QuantizedNetwork:
+    """A fixed-point network with exact integer inference."""
+
+    def __init__(
+        self, layers: List[QuantizedLayer], frac_bits: int
+    ) -> None:
+        if not layers:
+            raise EncodingError("quantized network needs at least one layer")
+        if frac_bits < 1:
+            raise EncodingError("frac_bits must be >= 1")
+        for layer in layers:
+            if layer.activation not in ("relu", "identity"):
+                raise EncodingError(
+                    f"cannot quantize activation {layer.activation!r}"
+                )
+        self.layers = layers
+        self.frac_bits = frac_bits
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.frac_bits
+
+    @property
+    def input_dim(self) -> int:
+        return self.layers[0].fan_in
+
+    @property
+    def output_dim(self) -> int:
+        return self.layers[-1].fan_out
+
+    @classmethod
+    def from_network(
+        cls, network: FeedForwardNetwork, frac_bits: int = 8
+    ) -> "QuantizedNetwork":
+        """Quantize a trained float network onto the fixed-point grid."""
+        for layer in network.layers:
+            if layer.activation not in ("relu", "identity"):
+                raise EncodingError(
+                    f"cannot quantize activation {layer.activation!r}; "
+                    "only relu/identity networks have exact integer "
+                    "semantics"
+                )
+        scale = 1 << frac_bits
+        layers = [
+            QuantizedLayer(
+                weights=np.round(layer.weights * scale).astype(np.int64),
+                bias=np.round(layer.bias * scale * scale).astype(np.int64),
+                activation=layer.activation,
+            )
+            for layer in network.layers
+        ]
+        return cls(layers, frac_bits)
+
+    # -- inference ---------------------------------------------------------------
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        """Round float inputs onto the fixed-point grid."""
+        return np.round(
+            np.asarray(x, dtype=float) * self.scale
+        ).astype(np.int64)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """Fixed-point integers back to floats (divide by the scale)."""
+        return np.asarray(q, dtype=float) / self.scale
+
+    def forward_int(self, q: np.ndarray) -> np.ndarray:
+        """Exact integer forward pass on quantized inputs.
+
+        ``q`` is ``(batch, input_dim)`` int64 on the fixed-point grid; the
+        result is on the same grid.
+        """
+        q = np.atleast_2d(np.asarray(q, dtype=np.int64))
+        if q.shape[1] != self.input_dim:
+            raise EncodingError(
+                f"input width {q.shape[1]} != {self.input_dim}"
+            )
+        for layer in self.layers:
+            acc = q @ layer.weights + layer.bias
+            q = acc >> self.frac_bits  # arithmetic shift: floors
+            if layer.activation == "relu":
+                q = np.maximum(q, 0)
+        return q
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Float-in / float-out convenience wrapper around the int path."""
+        return self.dequantize(self.forward_int(self.quantize_input(x)))
+
+    # -- widths for bit-blasting ------------------------------------------------------
+    def accumulator_width(self, layer_index: int, value_width: int) -> int:
+        """Safe accumulator bit width for a layer's dot product.
+
+        ``value_width`` is the width of the incoming fixed-point values.
+        The bound is ``fan_in * max|w| * max|x| + |b|`` widened by a guard
+        bit, so the SAT encoding can never overflow.
+        """
+        layer = self.layers[layer_index]
+        max_w = int(np.max(np.abs(layer.weights))) if layer.weights.size else 0
+        max_b = int(np.max(np.abs(layer.bias))) if layer.bias.size else 0
+        max_x = (1 << (value_width - 1)) - 1
+        bound = layer.fan_in * max_w * max_x + max_b
+        return max(value_width, bound.bit_length() + 2)
+
+    def quantization_error(
+        self,
+        network: FeedForwardNetwork,
+        x: np.ndarray,
+    ) -> float:
+        """Max abs output difference vs the float network on a batch."""
+        return float(
+            np.max(np.abs(self.forward(x) - network.forward(x)))
+        )

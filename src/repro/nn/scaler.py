@@ -1,0 +1,108 @@
+"""Input standardisation that folds into the first network layer.
+
+The 84 scene features live on wildly different scales (gaps up to 120 m,
+binary presence flags, speeds around 30 m/s); training on raw features
+starves the optimiser.  The usual fix — normalising inputs — would break
+verification, whose input region is expressed in *raw physical units*.
+
+:class:`InputScaler` squares the circle: train on standardised features,
+then :meth:`fold_into` rewrites the first dense layer so the composed
+network consumes raw features while computing exactly the same function:
+
+    act((x - mu) / sigma @ W + b)  ==  act(x @ W' + b')
+    with  W' = W / sigma[:, None],  b' = b - (mu / sigma) @ W.
+
+The folded network is what gets verified, certified and shipped.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.layers import DenseLayer
+from repro.nn.network import FeedForwardNetwork
+
+
+class InputScaler:
+    """Per-feature standardisation ``(x - mean) / std``."""
+
+    def __init__(self, mean: np.ndarray, std: np.ndarray) -> None:
+        mean = np.asarray(mean, dtype=float)
+        std = np.asarray(std, dtype=float)
+        if mean.shape != std.shape or mean.ndim != 1:
+            raise TrainingError("mean/std must be matching 1-D arrays")
+        if np.any(std <= 0):
+            raise TrainingError("std must be strictly positive")
+        self.mean = mean
+        self.std = std
+
+    @classmethod
+    def fit(
+        cls, x: np.ndarray, min_std: float = 1e-3
+    ) -> "InputScaler":
+        """Fit to data; near-constant features get std clamped to
+        ``min_std`` so binary flags stay (almost) binary."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[0] < 2:
+            raise TrainingError("scaler needs at least two samples")
+        mean = x.mean(axis=0)
+        std = np.maximum(x.std(axis=0), min_std)
+        return cls(mean, std)
+
+    @property
+    def dim(self) -> int:
+        return self.mean.shape[0]
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardise raw features: ``(x - mean) / std``."""
+        x = np.asarray(x, dtype=float)
+        return (x - self.mean) / self.std
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        """Map standardised features back to raw units."""
+        z = np.asarray(z, dtype=float)
+        return z * self.std + self.mean
+
+    def fold_into(
+        self, network: FeedForwardNetwork
+    ) -> FeedForwardNetwork:
+        """Return a new network over *raw* inputs computing the same
+        function as ``network`` over *standardised* inputs."""
+        first = network.layers[0]
+        if first.fan_in != self.dim:
+            raise TrainingError(
+                f"scaler dim {self.dim} != first layer fan_in "
+                f"{first.fan_in}"
+            )
+        folded_weights = first.weights / self.std[:, None]
+        folded_bias = first.bias - (self.mean / self.std) @ first.weights
+        folded_first = DenseLayer(
+            folded_weights, folded_bias, first.activation
+        )
+        return FeedForwardNetwork(
+            [folded_first] + [layer.copy() for layer in network.layers[1:]]
+        )
+
+
+def train_standardized(
+    raw_network: Union[FeedForwardNetwork, None],
+    x: np.ndarray,
+    y: np.ndarray,
+    trainer_factory,
+) -> FeedForwardNetwork:
+    """Convenience: fit a scaler on ``x``, train via ``trainer_factory``
+    (a callable ``network -> Trainer``) on standardised features, and
+    return the folded raw-input network.
+
+    ``raw_network`` is the freshly initialised network to train (its
+    input dim must match ``x``).
+    """
+    if raw_network is None:
+        raise TrainingError("train_standardized needs a network")
+    scaler = InputScaler.fit(x)
+    trainer = trainer_factory(raw_network)
+    trainer.fit(scaler.transform(x), y)
+    return scaler.fold_into(raw_network)

@@ -1,0 +1,82 @@
+"""Network persistence: JSON metadata plus weight arrays.
+
+Certification workflows must pin the *exact* artifact being verified, so
+``save``/``load`` round-trips are bit-exact (weights stored at full float64
+precision) and the file carries the architecture metadata needed to rebuild
+the network without the training code.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.layers import DenseLayer
+from repro.nn.network import FeedForwardNetwork
+
+_FORMAT_VERSION = 1
+
+
+def _encode_array(arr: np.ndarray) -> dict:
+    data = base64.b64encode(np.ascontiguousarray(arr, dtype=np.float64)).decode(
+        "ascii"
+    )
+    return {"shape": list(arr.shape), "data": data}
+
+
+def _decode_array(obj: dict) -> np.ndarray:
+    raw = base64.b64decode(obj["data"])
+    return np.frombuffer(raw, dtype=np.float64).reshape(obj["shape"]).copy()
+
+
+def network_to_dict(network: FeedForwardNetwork) -> dict:
+    """Serialise a network to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "architecture_id": network.architecture_id,
+        "layers": [
+            {
+                "activation": layer.activation,
+                "weights": _encode_array(layer.weights),
+                "bias": _encode_array(layer.bias),
+            }
+            for layer in network.layers
+        ],
+    }
+
+
+def network_from_dict(payload: dict) -> FeedForwardNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise TrainingError(
+            f"unsupported network format version {version!r}"
+        )
+    layers = [
+        DenseLayer(
+            _decode_array(spec["weights"]),
+            _decode_array(spec["bias"]),
+            spec["activation"],
+        )
+        for spec in payload["layers"]
+    ]
+    if not layers:
+        raise TrainingError("serialised network contains no layers")
+    return FeedForwardNetwork(layers)
+
+
+def save_network(
+    network: FeedForwardNetwork, path: Union[str, Path]
+) -> None:
+    """Write a network to a JSON file."""
+    Path(path).write_text(json.dumps(network_to_dict(network)))
+
+
+def load_network(path: Union[str, Path]) -> FeedForwardNetwork:
+    """Read a network from a JSON file written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,202 @@
+"""Minibatch training loop for feed-forward networks.
+
+Supports plain regression losses and MDN heads, gradient clipping, and an
+optional per-batch *hint penalty* hook used by :mod:`repro.core.hints`
+(training under known properties of the target function, the paper's
+perspective (iii)).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.network import FeedForwardNetwork
+from repro.nn.optim import Adam, Optimizer
+
+LossFn = Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]]
+#: Optional hook: (network, batch_x, batch_output) -> (penalty, grad_output)
+PenaltyFn = Callable[
+    [FeedForwardNetwork, np.ndarray, np.ndarray], Tuple[float, np.ndarray]
+]
+
+
+@dataclasses.dataclass
+class TrainingConfig:
+    """Hyperparameters for :class:`Trainer`.
+
+    ``weight_decay`` applies decoupled L2 regularisation (AdamW style).
+    For networks destined for formal verification it is not cosmetic: it
+    bounds the weight magnitudes and with them the network's Lipschitz
+    constant, which keeps the provable output range over the operational
+    box physically meaningful instead of letting corner extrapolation
+    explode.
+    """
+
+    epochs: int = 50
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    grad_clip: float = 10.0
+    weight_decay: float = 0.0
+    shuffle: bool = True
+    seed: int = 0
+    verbose: bool = False
+    early_stop_patience: int = 0  # 0 disables early stopping
+    early_stop_tol: float = 1e-5
+
+
+@dataclasses.dataclass
+class TrainingHistory:
+    """Per-epoch record of losses (and penalties when hints are active)."""
+
+    losses: List[float] = dataclasses.field(default_factory=list)
+    penalties: List[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else math.nan
+
+
+class Trainer:
+    """Runs minibatch gradient descent on a network."""
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        loss: LossFn,
+        config: Optional[TrainingConfig] = None,
+        optimizer: Optional[Optimizer] = None,
+        penalty: Optional[PenaltyFn] = None,
+        penalty_weight: float = 0.0,
+        virtual_x: Optional[np.ndarray] = None,
+        virtual_batch: int = 64,
+    ) -> None:
+        """``virtual_x`` are *hint samples* (Abu-Mostafa 1995): unlabeled
+        inputs on which only the penalty applies.  A random sub-batch is
+        pushed through the network every step, so the penalty acts where
+        the labelled data never goes (e.g. the verifier's whole input
+        region), not just on the training distribution."""
+        self.network = network
+        self.loss = loss
+        self.config = config or TrainingConfig()
+        self.optimizer = optimizer or Adam(
+            network.parameters(), lr=self.config.learning_rate
+        )
+        self.penalty = penalty
+        self.penalty_weight = penalty_weight
+        self.virtual_x = (
+            np.atleast_2d(np.asarray(virtual_x, dtype=float))
+            if virtual_x is not None
+            else None
+        )
+        self.virtual_batch = virtual_batch
+        self._virtual_rng = np.random.default_rng(self.config.seed + 1)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> TrainingHistory:
+        """Train on ``(x, y)``; returns the loss history."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.atleast_2d(np.asarray(y, dtype=float))
+        if x.shape[0] != y.shape[0]:
+            raise TrainingError(
+                f"{x.shape[0]} inputs but {y.shape[0]} targets"
+            )
+        if x.shape[0] == 0:
+            raise TrainingError("cannot train on an empty dataset")
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        history = TrainingHistory()
+        best = math.inf
+        stale = 0
+
+        for epoch in range(cfg.epochs):
+            order = (
+                rng.permutation(x.shape[0])
+                if cfg.shuffle
+                else np.arange(x.shape[0])
+            )
+            epoch_loss = 0.0
+            epoch_penalty = 0.0
+            batches = 0
+            for start in range(0, x.shape[0], cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                loss_val, pen_val = self._train_batch(x[idx], y[idx])
+                epoch_loss += loss_val
+                epoch_penalty += pen_val
+                batches += 1
+            epoch_loss /= batches
+            epoch_penalty /= batches
+            history.losses.append(epoch_loss)
+            history.penalties.append(epoch_penalty)
+            if not math.isfinite(epoch_loss):
+                raise TrainingError(
+                    f"training diverged at epoch {epoch} "
+                    f"(loss={epoch_loss})"
+                )
+            if cfg.verbose:
+                print(
+                    f"epoch {epoch:4d}  loss={epoch_loss:.6f}"
+                    + (
+                        f"  penalty={epoch_penalty:.6f}"
+                        if self.penalty
+                        else ""
+                    )
+                )
+            if cfg.early_stop_patience:
+                if epoch_loss < best - cfg.early_stop_tol:
+                    best = epoch_loss
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= cfg.early_stop_patience:
+                        break
+        return history
+
+    def _train_batch(
+        self, bx: np.ndarray, by: np.ndarray
+    ) -> Tuple[float, float]:
+        net = self.network
+        net.zero_grad()
+        out = net.forward(bx, train=True)
+        loss_val, grad_out = self.loss(out, by)
+        pen_val = 0.0
+        if self.penalty is not None and self.penalty_weight > 0.0:
+            pen_val, pen_grad = self.penalty(net, bx, out)
+            grad_out = grad_out + self.penalty_weight * pen_grad
+            pen_val *= self.penalty_weight
+        net.backward(grad_out)
+        if (
+            self.virtual_x is not None
+            and self.penalty is not None
+            and self.penalty_weight > 0.0
+        ):
+            idx = self._virtual_rng.integers(
+                self.virtual_x.shape[0],
+                size=min(self.virtual_batch, self.virtual_x.shape[0]),
+            )
+            vx = self.virtual_x[idx]
+            v_out = net.forward(vx, train=True)
+            v_pen, v_grad = self.penalty(net, vx, v_out)
+            net.backward(self.penalty_weight * v_grad)
+            pen_val += self.penalty_weight * v_pen
+        grads = net.gradients()
+        self._clip(grads)
+        self.optimizer.step(grads)
+        if self.config.weight_decay > 0.0:
+            decay = self.config.learning_rate * self.config.weight_decay
+            for layer in net.layers:
+                layer.weights *= 1.0 - decay
+        return loss_val, pen_val
+
+    def _clip(self, grads: List[np.ndarray]) -> None:
+        limit = self.config.grad_clip
+        if limit <= 0:
+            return
+        total = math.sqrt(sum(float(np.sum(g * g)) for g in grads))
+        if total > limit:
+            scale = limit / total
+            for g in grads:
+                g *= scale

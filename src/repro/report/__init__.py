@@ -1,0 +1,22 @@
+"""Rendering of the paper's tables and figures from computed results."""
+
+from repro.report.figures import GMMPanel, ascii_scene, figure_1, gmm_panel
+from repro.report.tables import (
+    comparison_row,
+    markdown_table,
+    render_generic,
+    render_table_i_markdown,
+    render_table_ii,
+)
+
+__all__ = [
+    "GMMPanel",
+    "ascii_scene",
+    "comparison_row",
+    "figure_1",
+    "gmm_panel",
+    "markdown_table",
+    "render_generic",
+    "render_table_i_markdown",
+    "render_table_ii",
+]

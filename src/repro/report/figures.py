@@ -1,0 +1,162 @@
+"""Text rendering of Figure 1: the simulation scene and the GMM panel.
+
+The paper's Figure 1 shows (left) the simulated highway around the ego
+vehicle and (right) the Gaussian mixture the predictor emits over the
+action space — in the shown scene concentrated in the lower-left part,
+i.e. "slightly decelerate and switch to the left lane".  These renderers
+produce the same two panels as ASCII art plus the raw grid data, which the
+Figure-1 benchmark asserts on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.highway.road import Road
+from repro.highway.simulator import HighwaySimulator
+from repro.nn.mdn import LATERAL, LONGITUDINAL, GaussianMixture
+
+
+def ascii_scene(
+    sim: HighwaySimulator,
+    window: float = 100.0,
+    columns: int = 60,
+) -> str:
+    """Top-down view of the road around the ego vehicle.
+
+    Lanes are drawn right-to-left bottom-to-top (lane 0 at the bottom,
+    matching "left = up" on the page); the ego is ``E``, others ``#``.
+    """
+    if columns < 10:
+        raise SimulationError("scene needs at least 10 columns")
+    ego = sim.ego
+    road = sim.road
+    half = window / 2.0
+    rows: List[str] = []
+    for lane in range(road.num_lanes - 1, -1, -1):
+        cells = ["."] * columns
+        for vehicle in sim.vehicles:
+            if road.lane_of(vehicle.y) != lane:
+                continue
+            forward = road.gap(ego.x, vehicle.x)
+            backward = road.gap(vehicle.x, ego.x)
+            dx = forward if forward <= backward else -backward
+            if abs(dx) > half:
+                continue
+            col = int((dx + half) / window * (columns - 1))
+            cells[col] = "E" if vehicle.is_ego else "#"
+        rows.append(f"lane {lane} |" + "".join(cells) + "|")
+    legend = (
+        f"t={sim.time:5.1f}s  ego speed={ego.speed:5.2f} m/s  "
+        f"lane={road.lane_of(ego.y)}"
+    )
+    return "\n".join(rows + [legend])
+
+
+@dataclasses.dataclass
+class GMMPanel:
+    """Rasterised mixture over the (lateral velocity, acceleration) plane."""
+
+    lat_axis: np.ndarray      # (W,)
+    lon_axis: np.ndarray      # (H,)
+    density: np.ndarray       # (H, W)
+    mixture_mean: np.ndarray  # (2,)
+
+    def peak_cell(self) -> Tuple[int, int]:
+        """(row, col) of the density maximum on the grid."""
+        flat = int(np.argmax(self.density))
+        return np.unravel_index(flat, self.density.shape)  # type: ignore
+
+    def peak_action(self) -> Tuple[float, float]:
+        """(lateral velocity, acceleration) at the density peak."""
+        row, col = self.peak_cell()
+        return float(self.lat_axis[col]), float(self.lon_axis[row])
+
+    def quadrant_mass(self) -> dict:
+        """Probability mass per action quadrant.
+
+        ``lower_left`` = decelerate + move left... wait: the paper draws
+        lateral velocity on one axis and acceleration on the other with
+        the *lower-left* region meaning "decelerate and switch to left
+        lanes"; we follow the same convention with axis 0 = acceleration
+        (rows, negative = decelerate = lower) and axis 1 = lateral
+        velocity (columns, negative = rightward).  "Switch left" is thus
+        the *high-lateral* half: columns with positive lateral velocity.
+        The quadrant keys name (acceleration sign, lateral direction).
+        """
+        mass = self.density / max(self.density.sum(), 1e-300)
+        rows_neg = self.lon_axis < 0
+        cols_pos = self.lat_axis > 0
+        return {
+            "decelerate_left": float(
+                mass[np.ix_(rows_neg, cols_pos)].sum()
+            ),
+            "decelerate_right": float(
+                mass[np.ix_(rows_neg, ~cols_pos)].sum()
+            ),
+            "accelerate_left": float(
+                mass[np.ix_(~rows_neg, cols_pos)].sum()
+            ),
+            "accelerate_right": float(
+                mass[np.ix_(~rows_neg, ~cols_pos)].sum()
+            ),
+        }
+
+    def render(self, shades: str = " .:-=+*#%@") -> str:
+        """ASCII-art density panel (darker = more probable)."""
+        scaled = self.density / max(self.density.max(), 1e-300)
+        lines = ["action distribution (rows: accel down->up, cols: lat right->left)"]
+        for row in range(self.density.shape[0] - 1, -1, -1):
+            cells = "".join(
+                shades[
+                    min(
+                        int(scaled[row, col] * (len(shades) - 1)),
+                        len(shades) - 1,
+                    )
+                ]
+                for col in range(self.density.shape[1])
+            )
+            lines.append(f"{self.lon_axis[row]:+5.1f} |{cells}|")
+        lat_lo, lat_hi = self.lat_axis[0], self.lat_axis[-1]
+        lines.append(
+            f"       lat velocity {lat_lo:+.1f} ... {lat_hi:+.1f} m/s; "
+            f"mean=({self.mixture_mean[LATERAL]:+.2f}, "
+            f"{self.mixture_mean[LONGITUDINAL]:+.2f})"
+        )
+        return "\n".join(lines)
+
+
+def gmm_panel(
+    mixture: GaussianMixture,
+    lat_range: Tuple[float, float] = (-2.0, 2.0),
+    lon_range: Tuple[float, float] = (-4.0, 2.0),
+    resolution: int = 41,
+) -> GMMPanel:
+    """Rasterise a mixture over the action plane (Figure 1, right side)."""
+    lat_axis = np.linspace(lat_range[0], lat_range[1], resolution)
+    lon_axis = np.linspace(lon_range[0], lon_range[1], resolution)
+    grid = np.stack(
+        np.meshgrid(lat_axis, lon_axis), axis=-1
+    )  # (H, W, 2) with [..., 0] = lateral
+    density = mixture.pdf(grid)
+    return GMMPanel(
+        lat_axis=lat_axis,
+        lon_axis=lon_axis,
+        density=density,
+        mixture_mean=mixture.mean(),
+    )
+
+
+def figure_1(
+    sim: HighwaySimulator, mixture: GaussianMixture
+) -> str:
+    """Both panels of Figure 1 as one text block."""
+    return (
+        ascii_scene(sim)
+        + "\n\n"
+        + gmm_panel(mixture).render()
+    )

@@ -1,0 +1,90 @@
+"""Rendering of the paper's tables from computed results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.certification import table_i_rows
+from repro.core.verifier import TableIIRow
+
+
+def render_table_i_markdown() -> str:
+    """Table I as a markdown table."""
+    lines = [
+        "| Aspect | Existing standard | Adaptation for ANN |",
+        "|---|---|---|",
+    ]
+    for row in table_i_rows():
+        lines.append(
+            f"| {row['aspect']} | {row['existing_standard']} | "
+            f"{row['adaptation_for_ann']} |"
+        )
+    return "\n".join(lines)
+
+
+def render_table_ii(
+    rows: Sequence[TableIIRow],
+    decision_rows: Sequence[str] = (),
+) -> str:
+    """Table II in the paper's layout.
+
+    ``decision_rows`` carries extra pre-rendered lines such as the
+    I4x60 "prove never larger than 3 m/s" row.
+    """
+    header = (
+        f"{'ANN':>8}  {'max lateral velocity (left occupied)':>32}  "
+        f"{'time':>10}"
+    )
+    lines = [
+        "TABLE II — Results of verifying ANN-based motion predictors",
+        header,
+        "-" * len(header),
+    ]
+    lines.extend(row.render() for row in rows)
+    lines.extend(decision_rows)
+    return "\n".join(lines)
+
+
+def render_generic(
+    headers: List[str], rows: List[List[str]], title: str = ""
+) -> str:
+    """Fixed-width table renderer used by the benchmark harnesses."""
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in rows)) if rows
+        else len(headers[c])
+        for c in range(len(headers))
+    ]
+    def fmt(cells: List[str]) -> str:
+        return "  ".join(
+            cell.rjust(widths[c]) for c, cell in enumerate(cells)
+        )
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("-" * len(fmt(headers)))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def markdown_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def comparison_row(
+    experiment: str, paper: str, measured: str, verdict: str
+) -> Dict[str, str]:
+    """One EXPERIMENTS.md row: paper-reported vs measured."""
+    return {
+        "experiment": experiment,
+        "paper": paper,
+        "measured": measured,
+        "verdict": verdict,
+    }

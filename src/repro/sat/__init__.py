@@ -1,0 +1,31 @@
+"""From-scratch SAT solving and bitvector bit-blasting.
+
+Supports the paper's perspective (ii): quantized neural networks can be
+verified through bit-level reasoning.  The stack is
+
+* :mod:`repro.sat.cnf` — clause database and DIMACS I/O;
+* :mod:`repro.sat.solver` — CDCL with watched literals, VSIDS, first-UIP
+  learning and Luby restarts;
+* :mod:`repro.sat.tseitin` — gate-level circuit to CNF encoding;
+* :mod:`repro.sat.bitvector` — two's-complement arithmetic (add, constant
+  multiply, shifts, comparisons, ReLU) for quantized-network semantics.
+"""
+
+from repro.sat.bitvector import BitVec, BitVecBuilder
+from repro.sat.cnf import CNF
+from repro.sat.preprocess import PreprocessResult, preprocess, solve_with_preprocessing
+from repro.sat.solver import CDCLSolver, SATResult, solve_cnf
+from repro.sat.tseitin import CircuitBuilder
+
+__all__ = [
+    "BitVec",
+    "BitVecBuilder",
+    "CDCLSolver",
+    "CircuitBuilder",
+    "CNF",
+    "PreprocessResult",
+    "preprocess",
+    "solve_with_preprocessing",
+    "SATResult",
+    "solve_cnf",
+]

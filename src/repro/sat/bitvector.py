@@ -1,0 +1,203 @@
+"""Fixed-width two's-complement bitvector layer over the Tseitin encoder.
+
+Implements exactly the operations needed to bit-blast quantized-network
+inference (the paper's perspective (ii)): signed addition with width
+growth, multiplication by integer constants (shift-and-add), arithmetic
+shifts, signed comparisons and ReLU.  Vectors are stored LSB-first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import EncodingError
+from repro.sat.tseitin import CircuitBuilder
+
+
+class BitVec:
+    """A signed bitvector: ``bits[0]`` is the LSB, ``bits[-1]`` the sign."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: Sequence[int]) -> None:
+        if not bits:
+            raise EncodingError("bitvectors must have width >= 1")
+        self.bits = list(bits)
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    @property
+    def sign(self) -> int:
+        return self.bits[-1]
+
+    def __repr__(self) -> str:
+        return f"BitVec(width={self.width})"
+
+
+class BitVecBuilder(CircuitBuilder):
+    """Circuit builder extended with bitvector arithmetic."""
+
+    # -- construction ----------------------------------------------------------
+    def bv_input(self, width: int) -> BitVec:
+        """Fresh unconstrained bitvector of the given width."""
+        return BitVec(self.new_inputs(width))
+
+    def bv_const(self, value: int, width: int) -> BitVec:
+        """Two's-complement constant; raises if the value does not fit."""
+        lo = -(1 << (width - 1))
+        hi = (1 << (width - 1)) - 1
+        if not lo <= value <= hi:
+            raise EncodingError(
+                f"constant {value} does not fit in {width} signed bits"
+            )
+        mask = value & ((1 << width) - 1)
+        return BitVec(
+            [self.true() if (mask >> i) & 1 else self.false()
+             for i in range(width)]
+        )
+
+    # -- structural ops ----------------------------------------------------------
+    def bv_sign_extend(self, a: BitVec, width: int) -> BitVec:
+        """Widen a vector, replicating the sign bit."""
+        if width < a.width:
+            raise EncodingError("sign_extend cannot shrink a vector")
+        return BitVec(a.bits + [a.sign] * (width - a.width))
+
+    def bv_shift_left(self, a: BitVec, amount: int, width: int) -> BitVec:
+        """Logical left shift by a constant, into the given width."""
+        bits = [self.false()] * amount + list(a.bits)
+        bits = bits[:width]
+        bits += [self.false()] * (width - len(bits))
+        return BitVec(bits)
+
+    def bv_ashr(self, a: BitVec, amount: int) -> BitVec:
+        """Arithmetic right shift by a constant (keeps width)."""
+        if amount <= 0:
+            return BitVec(a.bits)
+        bits = list(a.bits[amount:]) + [a.sign] * min(amount, a.width)
+        return BitVec(bits[: a.width])
+
+    # -- arithmetic -----------------------------------------------------------------
+    def bv_add(self, a: BitVec, b: BitVec, width: Optional[int] = None) -> BitVec:
+        """Signed addition.
+
+        With ``width`` omitted the result has ``max(w_a, w_b) + 1`` bits so
+        the sum can never overflow; otherwise inputs are sign-extended to
+        ``width`` and the addition wraps at that width.
+        """
+        if width is None:
+            width = max(a.width, b.width) + 1
+        a = self.bv_sign_extend(a, width)
+        b = self.bv_sign_extend(b, width)
+        bits: List[int] = []
+        carry = self.false()
+        for i in range(width):
+            s, carry = self.full_adder(a.bits[i], b.bits[i], carry)
+            bits.append(s)
+        return BitVec(bits)
+
+    def bv_neg(self, a: BitVec) -> BitVec:
+        """Two's-complement negation, widened by one bit (so INT_MIN works)."""
+        width = a.width + 1
+        inverted = BitVec([-bit for bit in self.bv_sign_extend(a, width).bits])
+        return self.bv_add(inverted, self.bv_const(1, 2), width=width)
+
+    def bv_sub(self, a: BitVec, b: BitVec) -> BitVec:
+        """Signed subtraction ``a - b`` (no-overflow widening)."""
+        return self.bv_add(a, self.bv_neg(b))
+
+    def bv_mul_const(self, a: BitVec, const: int, width: int) -> BitVec:
+        """Multiply by an integer constant via shift-and-add.
+
+        The result wraps at ``width`` bits; callers pick accumulator widths
+        large enough that the true product always fits, which keeps the
+        semantics exact.
+        """
+        if const == 0:
+            return self.bv_const(0, width)
+        if const < 0:
+            positive = self.bv_mul_const(a, -const, width + 1)
+            negated = self.bv_neg(positive)
+            return BitVec(negated.bits[:width])
+        acc: Optional[BitVec] = None
+        magnitude = const
+        shift = 0
+        while magnitude:
+            if magnitude & 1:
+                term = self.bv_shift_left(
+                    self.bv_sign_extend(a, width), shift, width
+                )
+                acc = term if acc is None else self.bv_add(acc, term, width=width)
+            magnitude >>= 1
+            shift += 1
+        assert acc is not None
+        if acc.width < width:
+            return self.bv_sign_extend(acc, width)
+        return BitVec(acc.bits[:width])
+
+    def bv_sum(self, terms: Sequence[BitVec], width: int) -> BitVec:
+        """Balanced-tree sum of many vectors at a fixed accumulator width."""
+        if not terms:
+            return self.bv_const(0, width)
+        layer = [self.bv_sign_extend(t, width) for t in terms]
+        while len(layer) > 1:
+            nxt: List[BitVec] = []
+            for i in range(0, len(layer) - 1, 2):
+                nxt.append(self.bv_add(layer[i], layer[i + 1], width=width))
+            if len(layer) % 2:
+                nxt.append(layer[-1])
+            layer = nxt
+        return layer[0]
+
+    # -- comparisons -------------------------------------------------------------------
+    def bv_eq(self, a: BitVec, b: BitVec) -> int:
+        """Literal that is true iff the two vectors are equal."""
+        width = max(a.width, b.width)
+        a = self.bv_sign_extend(a, width)
+        b = self.bv_sign_extend(b, width)
+        return self.and_(*[self.iff(x, y) for x, y in zip(a.bits, b.bits)])
+
+    def bv_slt(self, a: BitVec, b: BitVec) -> int:
+        """Signed a < b, computed as sign(a - b) with no-overflow widening."""
+        return self.bv_sub(a, b).sign
+
+    def bv_sle(self, a: BitVec, b: BitVec) -> int:
+        """Signed ``a <= b``."""
+        return -self.bv_slt(b, a)
+
+    def bv_sge(self, a: BitVec, b: BitVec) -> int:
+        """Signed ``a >= b``."""
+        return self.bv_sle(b, a)
+
+    def bv_sgt(self, a: BitVec, b: BitVec) -> int:
+        """Signed ``a > b``."""
+        return self.bv_slt(b, a)
+
+    # -- network primitives ------------------------------------------------------------
+    def bv_relu(self, a: BitVec) -> BitVec:
+        """max(a, 0): every output bit is ``a_i AND NOT sign``."""
+        keep = -a.sign
+        return BitVec([self.and_(keep, bit) for bit in a.bits])
+
+    def bv_clamp_range(self, a: BitVec, lo: int, hi: int) -> None:
+        """Assert ``lo <= a <= hi`` (used for quantized input ranges)."""
+        width = max(a.width, lo.bit_length() + 2, hi.bit_length() + 2)
+        self.assert_lit(self.bv_sge(a, self.bv_const(lo, width)))
+        self.assert_lit(self.bv_sle(a, self.bv_const(hi, width)))
+
+    # -- model extraction -------------------------------------------------------------
+    def bv_value(self, a: BitVec, model: Sequence[bool]) -> int:
+        """Decode a vector's signed value from a SAT model."""
+        def lit_value(lit: int) -> bool:
+            val = model[abs(lit) - 1]
+            return val if lit > 0 else not val
+
+        raw = 0
+        for i, bit in enumerate(a.bits):
+            if lit_value(bit):
+                raw |= 1 << i
+        if raw >= 1 << (a.width - 1):
+            raw -= 1 << a.width
+        return raw

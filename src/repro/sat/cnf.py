@@ -1,0 +1,95 @@
+"""CNF formula container with DIMACS-style literals.
+
+Variables are positive integers ``1..n``; a literal is ``+v`` or ``-v``.
+This is the interchange format between the Tseitin circuit encoder, the
+bitvector bit-blaster and the CDCL solver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ModelError
+
+
+class CNF:
+    """A conjunction of clauses over integer literals."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; rejects literal 0 and out-of-range variables."""
+        clause = list(literals)
+        for lit in clause:
+            if lit == 0:
+                raise ModelError("literal 0 is not allowed in a clause")
+            if abs(lit) > self.num_vars:
+                raise ModelError(
+                    f"literal {lit} references unallocated variable"
+                )
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add several clauses at once."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate under an assignment indexed ``assignment[var-1]``."""
+        if len(assignment) < self.num_vars:
+            raise ModelError("assignment shorter than variable count")
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(lit) - 1] == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def to_dimacs(self) -> str:
+        """Render in DIMACS format (for debugging / external solvers)."""
+        lines = [f"p cnf {self.num_vars} {self.num_clauses}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def from_dimacs(text: str) -> "CNF":
+        """Parse DIMACS text (comments and header tolerated)."""
+        cnf = CNF()
+        declared_vars = 0
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ModelError(f"bad DIMACS header: {line!r}")
+                declared_vars = int(parts[2])
+                cnf.num_vars = declared_vars
+                continue
+            lits = [int(tok) for tok in line.split()]
+            if lits and lits[-1] == 0:
+                lits = lits[:-1]
+            if lits:
+                cnf.num_vars = max(cnf.num_vars, max(abs(l) for l in lits))
+                cnf.clauses.append(lits)
+        return cnf
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={self.num_clauses})"

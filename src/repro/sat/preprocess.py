@@ -1,0 +1,204 @@
+"""CNF preprocessing: shrink formulas before CDCL search.
+
+Bit-blasted network encodings are full of easy simplifications — unit
+clauses from constant bits, pure literals from one-sided comparators,
+subsumed clauses from redundant bound assertions.  The preprocessor
+applies, to a fixed point:
+
+* **unit propagation** — units are applied and eliminated;
+* **pure-literal elimination** — variables occurring with one polarity
+  are satisfied outright;
+* **subsumption** — clauses that contain another clause are dropped.
+
+The result is a smaller equisatisfiable CNF plus the forced assignments,
+so models of the reduced formula extend to models of the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ModelError
+from repro.sat.cnf import CNF
+
+
+@dataclasses.dataclass
+class PreprocessResult:
+    """Reduced formula plus the recipe to reconstruct full models.
+
+    ``forced`` maps variables to values fixed by propagation or purity;
+    variables absent from both ``forced`` and the reduced formula are
+    unconstrained (any value works).  ``unsat`` is True when
+    preprocessing alone refuted the formula.
+    """
+
+    cnf: CNF
+    forced: Dict[int, bool]
+    unsat: bool
+
+    def extend_model(self, model: List[bool]) -> List[bool]:
+        """Lift a model of the reduced CNF to the original variables.
+
+        Variables keep their ids through preprocessing, so the input
+        model is already in the original index space; forced values are
+        overwritten on top.
+        """
+        full = list(model) + [False] * (self.cnf.num_vars - len(model))
+        for var, value in self.forced.items():
+            full[var - 1] = value
+        return full
+
+
+def _propagate_units(
+    clauses: List[Set[int]], assignment: Dict[int, bool]
+) -> Optional[List[Set[int]]]:
+    """Apply unit propagation until fixpoint; None signals UNSAT."""
+    changed = True
+    while changed:
+        changed = False
+        units: List[int] = []
+        for clause in clauses:
+            if len(clause) == 1:
+                units.append(next(iter(clause)))
+        if not units:
+            break
+        for lit in units:
+            var = abs(lit)
+            value = lit > 0
+            if var in assignment:
+                if assignment[var] != value:
+                    return None
+                continue
+            assignment[var] = value
+            changed = True
+        new_clauses: List[Set[int]] = []
+        for clause in clauses:
+            satisfied = False
+            reduced = set()
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    reduced.add(lit)
+            if satisfied:
+                continue
+            if not reduced:
+                return None  # empty clause
+            new_clauses.append(reduced)
+        clauses = new_clauses
+    return clauses
+
+
+def _eliminate_pure(
+    clauses: List[Set[int]], assignment: Dict[int, bool]
+) -> List[Set[int]]:
+    """Satisfy variables that occur with a single polarity."""
+    while True:
+        polarity: Dict[int, int] = {}  # var -> {1, -1, 0(mixed)}
+        for clause in clauses:
+            for lit in clause:
+                var = abs(lit)
+                sign = 1 if lit > 0 else -1
+                if var not in polarity:
+                    polarity[var] = sign
+                elif polarity[var] != sign:
+                    polarity[var] = 0
+        pure = {
+            var: sign > 0
+            for var, sign in polarity.items()
+            if sign != 0 and var not in assignment
+        }
+        if not pure:
+            return clauses
+        assignment.update(pure)
+        clauses = [
+            clause
+            for clause in clauses
+            if not any(
+                abs(lit) in pure and pure[abs(lit)] == (lit > 0)
+                for lit in clause
+            )
+        ]
+
+
+def _subsume(clauses: List[Set[int]]) -> List[Set[int]]:
+    """Drop clauses that are supersets of other clauses."""
+    ordered = sorted(clauses, key=len)
+    kept: List[Set[int]] = []
+    for clause in ordered:
+        if any(small <= clause for small in kept):
+            continue
+        kept.append(clause)
+    return kept
+
+
+def preprocess(
+    cnf: CNF,
+    max_rounds: int = 10,
+    subsumption_limit: int = 3000,
+) -> PreprocessResult:
+    """Simplify a CNF; returns the reduced formula and forced values.
+
+    Subsumption is quadratic in the clause count, so it is skipped for
+    formulas larger than ``subsumption_limit`` clauses — unit propagation
+    and pure literals (both near-linear) always run.
+    """
+    clauses: List[Set[int]] = [set(c) for c in cnf.clauses]
+    # Remove tautologies up front.
+    clauses = [
+        c for c in clauses if not any(-lit in c for lit in c)
+    ]
+    assignment: Dict[int, bool] = {}
+    for _ in range(max_rounds):
+        before = len(clauses)
+        propagated = _propagate_units(clauses, assignment)
+        if propagated is None:
+            return PreprocessResult(CNF(cnf.num_vars), assignment, True)
+        clauses = propagated
+        clauses = _eliminate_pure(clauses, assignment)
+        if len(clauses) <= subsumption_limit:
+            clauses = _subsume(clauses)
+        if len(clauses) == before:
+            break
+    reduced = CNF(cnf.num_vars)
+    for clause in clauses:
+        reduced.add_clause(sorted(clause, key=abs))
+    return PreprocessResult(reduced, assignment, False)
+
+
+def solve_with_preprocessing(cnf: CNF, max_conflicts=None):
+    """Preprocess, solve the residual formula, and stitch the model.
+
+    Drop-in alternative to :func:`repro.sat.solver.solve_cnf` that is
+    usually faster on structured (bit-blasted) instances.
+    """
+    from repro.sat.solver import SATResult, solve_cnf
+
+    pre = preprocess(cnf)
+    if pre.unsat:
+        return SATResult(False)
+    result = solve_cnf(pre.cnf, max_conflicts=max_conflicts)
+    if not result.satisfiable or result.model is None:
+        return result
+    model = list(result.model)
+    if len(model) < cnf.num_vars:
+        model += [False] * (cnf.num_vars - len(model))
+    for var, value in pre.forced.items():
+        model[var - 1] = value
+    if not cnf.evaluate(model):
+        raise ModelError(
+            "preprocessing produced a model that does not satisfy the "
+            "original formula"
+        )
+    return SATResult(
+        True,
+        model=model,
+        conflicts=result.conflicts,
+        decisions=result.decisions,
+        propagations=result.propagations,
+        restarts=result.restarts,
+    )

@@ -1,0 +1,413 @@
+"""CDCL SAT solver with two-watched literals, VSIDS and Luby restarts.
+
+This is the bit-level reasoning engine behind the paper's perspective (ii):
+verification of quantized networks via an encoding "to bitvector theories"
+— here realised as bit-blasting to CNF and deciding with conflict-driven
+clause learning.  The implementation follows the MiniSat recipe:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with non-chronological backjumping,
+* exponential VSIDS activity decay,
+* Luby-sequence restarts,
+* learned-clause database with activity-based reduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from repro.sat.cnf import CNF
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+@dataclasses.dataclass
+class SATResult:
+    """Outcome of a SAT call.
+
+    ``model[var-1]`` holds the Boolean value of ``var`` when satisfiable.
+    ``conflicts``/``decisions``/``propagations`` expose search statistics
+    for the benchmark harness.
+    """
+
+    satisfiable: bool
+    model: Optional[List[bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    (1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...).
+
+    Uses the classic recurrence: with k the largest value such that
+    ``2^k - 1 <= i``, the element is ``2^(k-1)`` when ``i == 2^k - 1``
+    and ``luby(i - (2^k - 1))`` otherwise.
+    """
+    while True:
+        k = 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i -= (1 << k) - 1
+
+
+class _Clause:
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: List[int], learned: bool = False) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning solver over a :class:`CNF`."""
+
+    def __init__(self, cnf: CNF, seed: int = 0) -> None:
+        self.num_vars = cnf.num_vars
+        self.assign: List[int] = [_UNASSIGNED] * (self.num_vars + 1)
+        self.level: List[int] = [0] * (self.num_vars + 1)
+        self.reason: List[Optional[_Clause]] = [None] * (self.num_vars + 1)
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.activity: List[float] = [0.0] * (self.num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.watches: Dict[int, List[_Clause]] = {}
+        self.clauses: List[_Clause] = []
+        self.learned: List[_Clause] = []
+        self.propagation_head = 0
+        self.stats = SATResult(satisfiable=False)
+        self._contradiction = False
+        self._phase: List[bool] = [False] * (self.num_vars + 1)
+        # Lazy VSIDS heap: entries are (-activity, var); stale entries
+        # (whose recorded activity no longer matches) are skipped on pop.
+        self._order: List[tuple] = [
+            (0.0, var) for var in range(1, self.num_vars + 1)
+        ]
+        heapq.heapify(self._order)
+        for clause in cnf.clauses:
+            if not self._add_clause(list(dict.fromkeys(clause))):
+                self._contradiction = True
+                break
+
+    # -- clause management ---------------------------------------------------
+    def _watch(self, lit: int, clause: _Clause) -> None:
+        self.watches.setdefault(lit, []).append(clause)
+
+    def _add_clause(self, lits: List[int], learned: bool = False) -> bool:
+        """Attach a clause; returns False on immediate contradiction."""
+        if any(-l in lits for l in lits):
+            return True  # tautology
+        lits = [l for l in lits if self._value(l) != _FALSE or learned]
+        if not learned:
+            if any(self._value(l) == _TRUE for l in lits):
+                return True
+            if not lits:
+                return False
+        if len(lits) == 1:
+            return self._enqueue(lits[0], None)
+        clause = _Clause(lits, learned)
+        self._watch(lits[0], clause)
+        self._watch(lits[1], clause)
+        (self.learned if learned else self.clauses).append(clause)
+        return True
+
+    # -- assignment ----------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        val = self.assign[abs(lit)]
+        if val == _UNASSIGNED:
+            return _UNASSIGNED
+        return val if lit > 0 else -val
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        current = self._value(lit)
+        if current == _TRUE:
+            return True
+        if current == _FALSE:
+            return False
+        var = abs(lit)
+        self.assign[var] = _TRUE if lit > 0 else _FALSE
+        self.level[var] = self._decision_level()
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # -- propagation -----------------------------------------------------------
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns the conflicting clause or None."""
+        while self.propagation_head < len(self.trail):
+            lit = self.trail[self.propagation_head]
+            self.propagation_head += 1
+            self.stats.propagations += 1
+            falsified = -lit
+            watchers = self.watches.get(falsified, [])
+            new_watchers: List[_Clause] = []
+            conflict: Optional[_Clause] = None
+            for idx, clause in enumerate(watchers):
+                if conflict is not None:
+                    new_watchers.extend(watchers[idx:])
+                    break
+                lits = clause.lits
+                # Normalise so lits[0] is the other watched literal.
+                if lits[0] == falsified:
+                    lits[0], lits[1] = lits[1], lits[0]
+                if self._value(lits[0]) == _TRUE:
+                    new_watchers.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != _FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watch(lits[1], clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_watchers.append(clause)
+                if not self._enqueue(lits[0], clause):
+                    conflict = clause
+            self.watches[falsified] = new_watchers
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- conflict analysis -----------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+            # Every heap entry is stale after a rescale: rebuild.
+            self._order = [
+                (-self.activity[v], v)
+                for v in range(1, self.num_vars + 1)
+            ]
+            heapq.heapify(self._order)
+        else:
+            heapq.heappush(
+                self._order, (-self.activity[var], var)
+            )
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self.cla_inc
+        if clause.activity > 1e20:
+            for c in self.learned:
+                c.activity *= 1e-20
+            self.cla_inc *= 1e-20
+
+    def _analyze(self, conflict: _Clause) -> tuple:
+        """First-UIP analysis: returns (learned_lits, backjump_level)."""
+        learned: List[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        index = len(self.trail) - 1
+        reason: Optional[_Clause] = conflict
+        current_level = self._decision_level()
+        while True:
+            assert reason is not None
+            if reason.learned:
+                self._bump_clause(reason)
+            for q in reason.lits:
+                if q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Find next literal on the trail to resolve on.
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learned[0] = -lit
+                break
+            reason = self.reason[var]
+        if len(learned) == 1:
+            return learned, 0
+        levels = sorted(
+            (self.level[abs(l)] for l in learned[1:]), reverse=True
+        )
+        backjump = levels[0]
+        # Move a literal of the backjump level into the second watch slot.
+        for k in range(1, len(learned)):
+            if self.level[abs(learned[k])] == backjump:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, backjump
+
+    def _backjump(self, target_level: int) -> None:
+        while self._decision_level() > target_level:
+            mark = self.trail_lim.pop()
+            for lit in reversed(self.trail[mark:]):
+                var = abs(lit)
+                self._phase[var] = self.assign[var] == _TRUE
+                self.assign[var] = _UNASSIGNED
+                self.reason[var] = None
+                heapq.heappush(
+                    self._order, (-self.activity[var], var)
+                )
+            del self.trail[mark:]
+        self.propagation_head = min(self.propagation_head, len(self.trail))
+
+    # -- decisions -----------------------------------------------------------
+    def _decide(self) -> int:
+        """Pick the unassigned variable with highest VSIDS activity.
+
+        Pops the lazy heap, discarding assigned variables and stale
+        entries (whose recorded activity is out of date — a fresher
+        entry for the same variable is guaranteed to exist).
+        """
+        while self._order:
+            neg_act, var = heapq.heappop(self._order)
+            if self.assign[var] != _UNASSIGNED:
+                continue
+            if -neg_act != self.activity[var]:
+                continue  # stale: the bumped duplicate is still queued
+            return var if self._phase[var] else -var
+        # Heap exhausted: fall back to a linear scan (rare; happens only
+        # when stale entries crowded out a never-bumped variable).
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == _UNASSIGNED:
+                return var if self._phase[var] else -var
+        return 0
+
+    def _reduce_learned(self) -> None:
+        """Drop the least active half of non-reason learned clauses."""
+        self.learned.sort(key=lambda c: c.activity)
+        keep_from = len(self.learned) // 2
+        locked = {
+            id(self.reason[abs(lit)]) for lit in self.trail
+            if self.reason[abs(lit)] is not None
+        }
+        kept: List[_Clause] = []
+        for i, clause in enumerate(self.learned):
+            if i >= keep_from or id(clause) in locked or len(clause.lits) <= 2:
+                kept.append(clause)
+            else:
+                for w in (clause.lits[0], clause.lits[1]):
+                    try:
+                        self.watches[w].remove(clause)
+                    except (KeyError, ValueError):
+                        pass
+        self.learned = kept
+
+    # -- main loop -------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> SATResult:
+        """Decide satisfiability under optional assumption literals.
+
+        ``max_conflicts`` bounds the total search effort; when exceeded the
+        result has ``satisfiable=False`` and ``model=None`` **and**
+        ``conflicts == max_conflicts`` — callers that need to distinguish
+        UNSAT from budget exhaustion should check
+        :attr:`SATResult.conflicts`.
+        """
+        stats = self.stats
+        if self._contradiction:
+            return SATResult(False, conflicts=stats.conflicts)
+        restart_count = 0
+        limit = 64 * _luby(restart_count + 1)
+        conflicts_since_restart = 0
+        max_learned = max(1000, len(self.clauses) // 3)
+
+        for lit in assumptions:
+            if not self._enqueue(lit, None) or self._propagate() is not None:
+                return SATResult(False, conflicts=stats.conflicts)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                stats.conflicts += 1
+                conflicts_since_restart += 1
+                if max_conflicts is not None and stats.conflicts >= max_conflicts:
+                    return SATResult(
+                        False,
+                        conflicts=stats.conflicts,
+                        decisions=stats.decisions,
+                        propagations=stats.propagations,
+                        restarts=stats.restarts,
+                    )
+                if self._decision_level() == 0:
+                    return SATResult(
+                        False,
+                        conflicts=stats.conflicts,
+                        decisions=stats.decisions,
+                        propagations=stats.propagations,
+                        restarts=stats.restarts,
+                    )
+                learned, backjump = self._analyze(conflict)
+                self._backjump(backjump)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    clause = _Clause(learned, learned=True)
+                    self._watch(learned[0], clause)
+                    self._watch(learned[1], clause)
+                    self.learned.append(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learned[0], clause)
+                self.var_inc /= self.var_decay
+                self.cla_inc /= self.cla_decay
+                if len(self.learned) > max_learned + len(self.trail):
+                    self._reduce_learned()
+                continue
+            if conflicts_since_restart >= limit:
+                restart_count += 1
+                stats.restarts += 1
+                limit = 64 * _luby(restart_count + 1)
+                conflicts_since_restart = 0
+                self._backjump(0)
+                continue
+            lit = self._decide()
+            if lit == 0:
+                model = [
+                    self.assign[v] == _TRUE
+                    for v in range(1, self.num_vars + 1)
+                ]
+                return SATResult(
+                    True,
+                    model=model,
+                    conflicts=stats.conflicts,
+                    decisions=stats.decisions,
+                    propagations=stats.propagations,
+                    restarts=stats.restarts,
+                )
+            stats.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)
+
+
+def solve_cnf(
+    cnf: CNF,
+    assumptions: Sequence[int] = (),
+    max_conflicts: Optional[int] = None,
+) -> SATResult:
+    """One-shot convenience wrapper around :class:`CDCLSolver`."""
+    return CDCLSolver(cnf).solve(assumptions, max_conflicts)

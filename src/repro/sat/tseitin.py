@@ -1,0 +1,136 @@
+"""Tseitin encoding of Boolean circuits into CNF.
+
+Each gate introduces one fresh variable constrained to equal the gate's
+function of its inputs.  The encoder is the foundation of the bitvector
+bit-blaster: adders, comparators and multiplexers are all built from these
+gates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sat.cnf import CNF
+
+
+class CircuitBuilder:
+    """Builds a CNF incrementally from gate primitives.
+
+    Literals follow the CNF convention (signed ints).  ``TRUE``/``FALSE``
+    constants are realised as a dedicated variable fixed by a unit clause.
+    """
+
+    def __init__(self, cnf: CNF | None = None) -> None:
+        self.cnf = cnf if cnf is not None else CNF()
+        self._const_true: int | None = None
+
+    # -- constants & inputs --------------------------------------------------
+    def true(self) -> int:
+        """Literal that is always true."""
+        if self._const_true is None:
+            self._const_true = self.cnf.new_var()
+            self.cnf.add_clause([self._const_true])
+        return self._const_true
+
+    def false(self) -> int:
+        """Literal that is always false."""
+        return -self.true()
+
+    def new_input(self) -> int:
+        """A free input variable (returned as a positive literal)."""
+        return self.cnf.new_var()
+
+    def new_inputs(self, count: int) -> List[int]:
+        """Several fresh input variables."""
+        return [self.new_input() for _ in range(count)]
+
+    # -- gates -----------------------------------------------------------------
+    def not_(self, a: int) -> int:
+        """Negation: just the complementary literal."""
+        return -a
+
+    def and_(self, *inputs: int) -> int:
+        """y <-> AND(inputs)."""
+        ins = list(inputs)
+        if not ins:
+            return self.true()
+        if len(ins) == 1:
+            return ins[0]
+        y = self.cnf.new_var()
+        for a in ins:
+            self.cnf.add_clause([-y, a])
+        self.cnf.add_clause([y] + [-a for a in ins])
+        return y
+
+    def or_(self, *inputs: int) -> int:
+        """y <-> OR(inputs)."""
+        ins = list(inputs)
+        if not ins:
+            return self.false()
+        if len(ins) == 1:
+            return ins[0]
+        y = self.cnf.new_var()
+        for a in ins:
+            self.cnf.add_clause([y, -a])
+        self.cnf.add_clause([-y] + ins)
+        return y
+
+    def xor(self, a: int, b: int) -> int:
+        """y <-> a XOR b."""
+        y = self.cnf.new_var()
+        self.cnf.add_clause([-y, a, b])
+        self.cnf.add_clause([-y, -a, -b])
+        self.cnf.add_clause([y, -a, b])
+        self.cnf.add_clause([y, a, -b])
+        return y
+
+    def ite(self, cond: int, then_lit: int, else_lit: int) -> int:
+        """y <-> (cond ? then : else)."""
+        y = self.cnf.new_var()
+        self.cnf.add_clause([-cond, -then_lit, y])
+        self.cnf.add_clause([-cond, then_lit, -y])
+        self.cnf.add_clause([cond, -else_lit, y])
+        self.cnf.add_clause([cond, else_lit, -y])
+        return y
+
+    def implies(self, a: int, b: int) -> int:
+        """y <-> (a -> b)."""
+        return self.or_(-a, b)
+
+    def iff(self, a: int, b: int) -> int:
+        """y <-> (a == b)."""
+        return -self.xor(a, b)
+
+    # -- arithmetic helpers ------------------------------------------------------
+    def half_adder(self, a: int, b: int) -> tuple:
+        """Returns (sum, carry)."""
+        return self.xor(a, b), self.and_(a, b)
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple:
+        """Returns (sum, carry_out)."""
+        s1, c1 = self.half_adder(a, b)
+        s2, c2 = self.half_adder(s1, cin)
+        return s2, self.or_(c1, c2)
+
+    # -- top-level assertions ------------------------------------------------------
+    def assert_lit(self, lit: int) -> None:
+        """Force a literal to hold in every model."""
+        self.cnf.add_clause([lit])
+
+    def assert_all(self, literals: Iterable[int]) -> None:
+        """Force every given literal to hold."""
+        for lit in literals:
+            self.assert_lit(lit)
+
+    def at_most_one(self, literals: Iterable[int]) -> None:
+        """Pairwise at-most-one constraint."""
+        lits = list(literals)
+        for i in range(len(lits)):
+            for j in range(i + 1, len(lits)):
+                self.cnf.add_clause([-lits[i], -lits[j]])
+
+    def exactly_one(self, literals: Iterable[int]) -> None:
+        """Exactly-one constraint (clause + pairwise at-most-one)."""
+        lits = list(literals)
+        self.cnf.add_clause(lits)
+        self.at_most_one(lits)

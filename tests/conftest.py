@@ -1,0 +1,54 @@
+"""Shared fixtures: kept deliberately small so the suite stays fast.
+
+Expensive artifacts (expert dataset, trained predictors) are session-scoped
+and sized down; benchmarks exercise the paper-scale versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import casestudy
+from repro.highway import DatasetSpec, FeatureEncoder, Road
+from repro.nn import FeedForwardNetwork
+from repro.nn.training import TrainingConfig
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def road() -> Road:
+    return Road()
+
+
+@pytest.fixture(scope="session")
+def encoder(road: Road) -> FeatureEncoder:
+    return FeatureEncoder(road)
+
+
+@pytest.fixture(scope="session")
+def tiny_net() -> FeedForwardNetwork:
+    """6 -> 8 -> 8 -> 3 random ReLU net used across verifier tests."""
+    return FeedForwardNetwork.mlp(
+        6, [8, 8], 3, rng=np.random.default_rng(7)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_study() -> casestudy.CaseStudy:
+    """A miniature case study: real pipeline, laptop-second sizes."""
+    config = casestudy.CaseStudyConfig(
+        num_components=2,
+        dataset=DatasetSpec(episodes=3, steps_per_episode=150, seed=5),
+        training=TrainingConfig(epochs=20, learning_rate=1e-3, seed=0),
+    )
+    return casestudy.prepare_case_study(config)
+
+
+@pytest.fixture(scope="session")
+def small_predictor(small_study) -> FeedForwardNetwork:
+    return casestudy.train_predictor(small_study, width=5, seed=2)

@@ -1,0 +1,111 @@
+"""Attribution tests: gradients vs numerics, LRP conservation."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import (
+    deconvnet,
+    lrp_epsilon,
+    saliency,
+    top_features,
+)
+from repro.errors import EncodingError
+from repro.nn import FeedForwardNetwork
+
+
+@pytest.fixture()
+def net(rng):
+    return FeedForwardNetwork.mlp(5, [7, 7], 3, rng=rng)
+
+
+class TestSaliency:
+    def test_matches_numerical_gradient(self, net, rng):
+        x = rng.uniform(-1, 1, size=5) + 0.01
+        grads = saliency(net, x, output_index=1)
+        eps = 1e-6
+        for i in range(5):
+            plus = x.copy()
+            plus[i] += eps
+            minus = x.copy()
+            minus[i] -= eps
+            numeric = (
+                net.forward(plus)[0, 1] - net.forward(minus)[0, 1]
+            ) / (2 * eps)
+            assert grads[i] == pytest.approx(numeric, abs=1e-4)
+
+    def test_linear_net_gradient_is_weight(self):
+        from repro.nn import DenseLayer
+
+        w = np.array([[2.0], [-3.0]])
+        net = FeedForwardNetwork(
+            [DenseLayer(w, np.zeros(1), "identity")]
+        )
+        grads = saliency(net, np.array([1.0, 1.0]), 0)
+        assert np.allclose(grads, [2.0, -3.0])
+
+    def test_bad_output_index(self, net):
+        with pytest.raises(EncodingError):
+            saliency(net, np.zeros(5), 10)
+
+    def test_single_input_only(self, net, rng):
+        with pytest.raises(EncodingError):
+            saliency(net, rng.normal(size=(2, 5)), 0)
+
+
+class TestDeconvnet:
+    def test_shape(self, net, rng):
+        scores = deconvnet(net, rng.uniform(-1, 1, size=5), 0)
+        assert scores.shape == (5,)
+
+    def test_positive_path_only(self):
+        """Deconvnet rectifies backward signal: a purely negative path
+        contributes nothing."""
+        from repro.nn import DenseLayer
+
+        l1 = DenseLayer(np.array([[1.0]]), np.zeros(1), "relu")
+        l2 = DenseLayer(np.array([[-1.0]]), np.zeros(1), "identity")
+        net = FeedForwardNetwork([l1, l2])
+        scores = deconvnet(net, np.array([1.0]), 0)
+        assert scores[0] == 0.0  # the -1 backward signal was rectified
+
+    def test_agrees_with_saliency_on_positive_nets(self, rng):
+        """With all-positive weights and active units the two coincide."""
+        from repro.nn import DenseLayer
+
+        w1 = np.abs(rng.normal(size=(3, 4))) + 0.1
+        w2 = np.abs(rng.normal(size=(4, 1))) + 0.1
+        net = FeedForwardNetwork(
+            [
+                DenseLayer(w1, np.ones(4), "relu"),
+                DenseLayer(w2, np.zeros(1), "identity"),
+            ]
+        )
+        x = np.abs(rng.normal(size=3)) + 0.1
+        assert np.allclose(
+            deconvnet(net, x, 0), saliency(net, x, 0), atol=1e-9
+        )
+
+
+class TestLRP:
+    def test_conservation(self, net, rng):
+        """Relevance sums approximately to the explained output."""
+        x = rng.uniform(0.2, 1.0, size=5)
+        out = net.forward(x)[0, 2]
+        relevance = lrp_epsilon(net, x, 2, epsilon=1e-9)
+        assert relevance.sum() == pytest.approx(out, abs=1e-3)
+
+    def test_zero_input_zero_relevance(self, net):
+        relevance = lrp_epsilon(net, np.zeros(5), 0)
+        assert np.allclose(relevance, 0.0)
+
+
+class TestTopFeatures:
+    def test_orders_by_magnitude(self):
+        scores = np.array([0.1, -5.0, 2.0])
+        tops = top_features(scores, ["a", "b", "c"], k=2)
+        assert tops[0] == ("b", -5.0)
+        assert tops[1] == ("c", 2.0)
+
+    def test_label_mismatch(self):
+        with pytest.raises(EncodingError):
+            top_features(np.zeros(3), ["a"], k=1)

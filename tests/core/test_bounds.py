@@ -1,0 +1,135 @@
+"""Bound-propagation soundness and tightness tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    interval_bounds,
+    lp_tightened_bounds,
+    total_ambiguous,
+)
+from repro.core.properties import InputRegion
+from repro.errors import EncodingError
+from repro.nn import FeedForwardNetwork
+
+
+def unit_region(dim):
+    return InputRegion(np.array([[-1.0, 1.0]] * dim))
+
+
+class TestIntervalBounds:
+    def test_dimensions_match_layers(self, tiny_net):
+        bounds = interval_bounds(tiny_net, unit_region(6))
+        assert len(bounds) == 3
+        assert bounds[0].lower.shape == (8,)
+        assert bounds[2].lower.shape == (3,)
+
+    def test_region_dim_mismatch(self, tiny_net):
+        with pytest.raises(EncodingError):
+            interval_bounds(tiny_net, unit_region(5))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_soundness_random_nets(self, seed):
+        """Every reachable pre-activation must lie inside its bounds."""
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(4, [6, 6], 2, rng=rng)
+        region = unit_region(4)
+        bounds = interval_bounds(net, region)
+        xs = rng.uniform(-1, 1, size=(200, 4))
+        pres = net.pre_activations(xs)
+        for layer_bounds, pre in zip(bounds, pres):
+            assert np.all(pre >= layer_bounds.lower - 1e-9)
+            assert np.all(pre <= layer_bounds.upper + 1e-9)
+
+    def test_point_region_gives_point_bounds(self, tiny_net, rng):
+        x = rng.uniform(-1, 1, size=6)
+        region = InputRegion(np.stack([x, x], axis=1))
+        bounds = interval_bounds(tiny_net, region)
+        pres = tiny_net.pre_activations(x)
+        for lb, pre in zip(bounds, pres):
+            assert np.allclose(lb.lower, pre[0], atol=1e-9)
+            assert np.allclose(lb.upper, pre[0], atol=1e-9)
+
+    def test_stability_masks_partition(self, tiny_net):
+        bounds = interval_bounds(tiny_net, unit_region(6))
+        for lb in bounds:
+            combined = (
+                lb.stable_active.astype(int)
+                + lb.stable_inactive.astype(int)
+                + lb.ambiguous.astype(int)
+            )
+            assert np.all(combined == 1)
+
+    def test_tanh_supported(self, rng):
+        net = FeedForwardNetwork.mlp(
+            3, [4], 1, hidden_activation="tanh", rng=rng
+        )
+        bounds = interval_bounds(net, unit_region(3))
+        assert len(bounds) == 2
+
+
+class TestLPTightenedBounds:
+    def test_tighter_than_interval(self, tiny_net):
+        region = unit_region(6)
+        loose = interval_bounds(tiny_net, region)
+        tight = lp_tightened_bounds(tiny_net, region)
+        for lo, hi in zip(loose, tight):
+            assert np.all(hi.lower >= lo.lower - 1e-6)
+            assert np.all(hi.upper <= lo.upper + 1e-6)
+        # Deep layers must improve strictly for a generic net.
+        assert np.sum(tight[1].upper) < np.sum(loose[1].upper)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_soundness_random_nets(self, seed):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(3, [5, 5], 2, rng=rng)
+        region = unit_region(3)
+        bounds = lp_tightened_bounds(net, region)
+        xs = rng.uniform(-1, 1, size=(300, 3))
+        pres = net.pre_activations(xs)
+        for layer_bounds, pre in zip(bounds, pres):
+            assert np.all(pre >= layer_bounds.lower - 1e-6)
+            assert np.all(pre <= layer_bounds.upper + 1e-6)
+
+    def test_respects_linear_region_constraints(self, rng):
+        from repro.core.properties import LinearInputConstraint
+        from repro.highway import FeatureEncoder, Road
+
+        # Constraint x0 + x1 <= 0 halves the reachable pre-activations of
+        # a first-layer neuron with weights (1, 1).
+        from repro.nn import DenseLayer
+
+        net = FeedForwardNetwork(
+            [
+                DenseLayer(
+                    np.array([[1.0], [1.0]]), np.zeros(1), "relu"
+                ),
+                DenseLayer(np.array([[1.0]]), np.zeros(1), "identity"),
+            ]
+        )
+        region = InputRegion(np.array([[-1.0, 1.0], [-1.0, 1.0]]))
+        # note: generic regions use column names only for the 84-dim
+        # encoder; here we inject the indexed constraint directly.
+        constraint = LinearInputConstraint({}, rhs=0.0)
+        constraint.as_indexed = lambda: ({0: 1.0, 1: 1.0}, 0.0)
+        region.add_constraint(constraint)
+        tight = lp_tightened_bounds(net, region)
+        assert tight[0].upper[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_ambiguity_reduction_counted(self, rng):
+        net = FeedForwardNetwork.mlp(4, [10, 10], 2, rng=rng)
+        region = unit_region(4)
+        loose = total_ambiguous(interval_bounds(net, region), net)
+        tight = total_ambiguous(lp_tightened_bounds(net, region), net)
+        assert tight <= loose
+
+    def test_tanh_rejected(self, rng):
+        net = FeedForwardNetwork.mlp(
+            3, [4], 1, hidden_activation="tanh", rng=rng
+        )
+        with pytest.raises(EncodingError):
+            lp_tightened_bounds(net, unit_region(3))

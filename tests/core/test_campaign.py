@@ -1,0 +1,133 @@
+"""Verification-campaign tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import VerificationCampaign
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import InputRegion, OutputObjective, SafetyProperty
+from repro.core.verifier import Verdict
+from repro.errors import CertificationError
+from repro.milp import MILPOptions
+from repro.nn import FeedForwardNetwork
+
+
+def unit_region(dim=4):
+    return InputRegion(np.array([[-1.0, 1.0]] * dim))
+
+
+def prop(name, threshold, output=0, region=None):
+    return SafetyProperty(
+        name=name,
+        region=region or unit_region(),
+        objective=OutputObjective.single(output),
+        threshold=threshold,
+    )
+
+
+@pytest.fixture()
+def campaign():
+    return VerificationCampaign(
+        EncoderOptions(bound_mode="interval"),
+        MILPOptions(time_limit=60.0),
+    )
+
+
+@pytest.fixture()
+def nets():
+    return [
+        FeedForwardNetwork.mlp(4, [5], 2, rng=np.random.default_rng(s))
+        for s in (0, 1)
+    ]
+
+
+class TestRegistration:
+    def test_default_names_from_architecture(self, campaign, nets):
+        name = campaign.add_network(nets[0])
+        assert name == "I1x5"
+
+    def test_duplicate_network_rejected(self, campaign, nets):
+        campaign.add_network(nets[0], "a")
+        with pytest.raises(CertificationError):
+            campaign.add_network(nets[1], "a")
+
+    def test_duplicate_property_rejected(self, campaign):
+        campaign.add_property(prop("p", 1.0))
+        with pytest.raises(CertificationError):
+            campaign.add_property(prop("p", 2.0))
+
+    def test_empty_campaign_rejected(self, campaign):
+        with pytest.raises(CertificationError):
+            campaign.run()
+
+    def test_size(self, campaign, nets):
+        campaign.add_network(nets[0], "a")
+        campaign.add_network(nets[1], "b")
+        campaign.add_property(prop("p", 1.0))
+        assert campaign.size == (2, 1)
+
+
+class TestRun:
+    def test_full_matrix(self, campaign, nets):
+        campaign.add_network(nets[0], "net_a")
+        campaign.add_network(nets[1], "net_b")
+        campaign.add_property(prop("loose", 1000.0))
+        campaign.add_property(prop("tight", -1000.0, output=1))
+        report = campaign.run()
+        assert len(report.cells) == 4
+        # The loose property must hold everywhere, the absurd one nowhere.
+        for net_name in ("net_a", "net_b"):
+            assert report.cell(net_name, "loose").passed
+            tight = report.cell(net_name, "tight")
+            assert tight.result.verdict is Verdict.FALSIFIED
+        assert not report.all_passed
+        assert report.pass_rate == pytest.approx(0.5)
+        assert len(report.failures()) == 2
+
+    def test_unknown_cell_lookup(self, campaign, nets):
+        campaign.add_network(nets[0], "a")
+        campaign.add_property(prop("p", 1000.0))
+        report = campaign.run()
+        with pytest.raises(CertificationError):
+            report.cell("a", "missing")
+
+    def test_render_matrix(self, campaign, nets):
+        campaign.add_network(nets[0], "a")
+        campaign.add_property(prop("p1", 1000.0))
+        campaign.add_property(prop("p2", -1000.0))
+        text = campaign.run().render()
+        assert "verification campaign" in text
+        assert "proved" in text
+        assert "FALSIFIED" in text
+
+    def test_table_ii_shape_campaign(self, small_study, small_predictor):
+        """The Table II use case: one network, both mirror properties."""
+        from repro import casestudy
+        from repro.core.properties import (
+            component_lateral_objectives,
+        )
+
+        region = casestudy.operational_region(small_study)
+        campaign = VerificationCampaign(
+            EncoderOptions(bound_mode="lp"),
+            MILPOptions(time_limit=120.0),
+        )
+        campaign.add_network(small_predictor)
+        for k, objective in enumerate(
+            component_lateral_objectives(2)
+        ):
+            campaign.add_property(
+                SafetyProperty(
+                    name=f"lat_comp{k}_leq_1e4",
+                    region=region,
+                    objective=objective,
+                    threshold=1e4,
+                )
+            )
+        report = campaign.run()
+        assert len(report.cells) == 2
+        for cell in report.cells:
+            assert cell.result.verdict in (
+                Verdict.VERIFIED,
+                Verdict.TIMEOUT,
+            )

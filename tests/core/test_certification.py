@@ -1,0 +1,101 @@
+"""Certification-case tests: Table I registry and evidence aggregation."""
+
+import pytest
+
+from repro.core.certification import (
+    TABLE_I,
+    CertificationCase,
+    Pillar,
+    render_table_i,
+    table_i_rows,
+)
+from repro.errors import CertificationError
+
+
+class TestTableI:
+    def test_three_pillars(self):
+        assert len(TABLE_I) == 3
+        assert {d.pillar for d in TABLE_I} == set(Pillar)
+
+    def test_rows_match_paper_content(self):
+        rows = {r["aspect"]: r for r in table_i_rows()}
+        u = rows["implementation understandability"]
+        assert "neuron-to-feature" in u["adaptation_for_ann"]
+        c = rows["implementation correctness"]
+        assert "MC/DC" in c["existing_standard"]
+        assert "(-) coverage" in c["adaptation_for_ann"]
+        assert "formal analysis" in c["adaptation_for_ann"]
+        s = rows["specification validity"]
+        assert "data as a new type of specification" in s[
+            "adaptation_for_ann"
+        ]
+
+    def test_render(self):
+        text = render_table_i()
+        assert "TABLE I" in text
+        assert "neuron-to-feature" in text
+
+
+class TestCertificationCase:
+    def test_needs_name(self):
+        with pytest.raises(CertificationError):
+            CertificationCase("")
+
+    def test_incomplete_without_all_pillars(self):
+        case = CertificationCase("predictor")
+        case.add_evidence(
+            Pillar.CORRECTNESS, "verify", True, "max 0.5"
+        )
+        assert not case.complete
+        assert set(case.missing_pillars()) == {
+            Pillar.UNDERSTANDABILITY,
+            Pillar.SPEC_VALIDITY,
+        }
+        assert "INCOMPLETE" in case.verdict()
+
+    def full_case(self, correctness_pass=True):
+        case = CertificationCase("predictor")
+        case.add_evidence(Pillar.SPEC_VALIDITY, "data", True, "0 violations")
+        case.add_evidence(
+            Pillar.UNDERSTANDABILITY, "trace", True, "F1 0.8"
+        )
+        case.add_evidence(
+            Pillar.CORRECTNESS, "verify", correctness_pass, "bound"
+        )
+        return case
+
+    def test_complete_and_passing(self):
+        case = self.full_case()
+        assert case.complete
+        assert case.passed
+        assert case.verdict() == "CERTIFIABLE"
+
+    def test_failing_evidence_blocks(self):
+        case = self.full_case(correctness_pass=False)
+        assert case.complete
+        assert not case.passed
+        assert case.verdict() == "NOT CERTIFIABLE"
+
+    def test_evidence_for(self):
+        case = self.full_case()
+        evidence = case.evidence_for(Pillar.CORRECTNESS)
+        assert len(evidence) == 1
+        assert evidence[0].name == "verify"
+
+    def test_render_lists_evidence(self):
+        text = self.full_case().render()
+        assert "PASS" in text
+        assert "Pillar" in text
+        assert "predictor" in text
+
+    def test_render_marks_missing(self):
+        case = CertificationCase("p")
+        assert "NONE" in case.render()
+
+    def test_artifact_attached(self):
+        case = CertificationCase("p")
+        payload = {"rows": 3}
+        evidence = case.add_evidence(
+            Pillar.SPEC_VALIDITY, "data", True, "ok", artifact=payload
+        )
+        assert evidence.artifact is payload

@@ -1,0 +1,100 @@
+"""MC/DC census and coverage-measurement tests (the Sec. II claims)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import (
+    coverage_argument_table,
+    mcdc_census,
+    measure_coverage,
+)
+from repro.errors import CertificationError
+from repro.nn import FeedForwardNetwork
+
+
+class TestMCDCCensus:
+    def test_tanh_net_needs_one_test(self, rng):
+        """Paper claim (i): with smooth activations one test satisfies
+        MC/DC — there is no branch anywhere."""
+        net = FeedForwardNetwork.mlp(
+            84, [25] * 4, 5, hidden_activation="tanh", rng=rng
+        )
+        census = mcdc_census(net)
+        assert census.branching_neurons == 0
+        assert census.tests_for_mcdc == 1
+        assert census.branch_combinations == 1
+        assert census.tractable
+
+    def test_relu_net_blows_up(self, rng):
+        """Paper claim (ii): ReLU branch combinations are exponential."""
+        net = FeedForwardNetwork.mlp(84, [25] * 4, 5, rng=rng)
+        census = mcdc_census(net)
+        assert census.branching_neurons == 100
+        assert census.branch_combinations == 2**100
+        assert not census.tractable
+
+    def test_paper_family_census(self, rng):
+        nets = [
+            FeedForwardNetwork.mlp(84, [w] * 4, 5, rng=rng)
+            for w in (10, 20, 25)
+        ]
+        rows = coverage_argument_table(nets)
+        assert [r.branching_neurons for r in rows] == [40, 80, 100]
+        assert all(not r.tractable for r in rows)
+
+    def test_render(self, rng):
+        net = FeedForwardNetwork.mlp(84, [60] * 4, 5, rng=rng)
+        text = mcdc_census(net).render()
+        assert "2^240" in text
+
+
+class TestMeasureCoverage:
+    def test_empty_test_set_rejected(self, tiny_net):
+        with pytest.raises(CertificationError):
+            measure_coverage(tiny_net, np.zeros((0, 6)))
+
+    def test_single_point_coverage(self, tiny_net):
+        report = measure_coverage(tiny_net, np.zeros((1, 6)))
+        assert report.patterns_seen == 1
+        assert report.samples == 1
+        # One test cannot see both phases of any neuron.
+        assert report.sign_coverage == 0.0
+
+    def test_coverage_grows_with_tests(self, tiny_net, rng):
+        few = measure_coverage(
+            tiny_net, rng.uniform(-1, 1, size=(5, 6))
+        )
+        many = measure_coverage(
+            tiny_net, rng.uniform(-1, 1, size=(500, 6))
+        )
+        assert many.sign_coverage >= few.sign_coverage
+        assert many.patterns_seen >= few.patterns_seen
+
+    def test_pattern_fraction_tiny_for_relu(self, tiny_net, rng):
+        """The intractability claim quantified: even many tests explore a
+        vanishing share of the branch space."""
+        report = measure_coverage(
+            tiny_net, rng.uniform(-1, 1, size=(1000, 6))
+        )
+        assert report.pattern_space == 2**16
+        assert report.pattern_fraction < 0.1
+
+    def test_branch_free_net_fully_covered(self, rng):
+        net = FeedForwardNetwork.mlp(
+            4, [5], 2, hidden_activation="tanh", rng=rng
+        )
+        report = measure_coverage(net, rng.uniform(-1, 1, size=(10, 4)))
+        assert report.sign_coverage == 1.0
+        assert report.pattern_fraction == 1.0
+
+    def test_patterns_bounded_by_samples(self, tiny_net, rng):
+        report = measure_coverage(
+            tiny_net, rng.uniform(-1, 1, size=(50, 6))
+        )
+        assert report.patterns_seen <= 50
+
+    def test_render(self, tiny_net, rng):
+        report = measure_coverage(
+            tiny_net, rng.uniform(-1, 1, size=(20, 6))
+        )
+        assert "coverage over 20 tests" in report.render()

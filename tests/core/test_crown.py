@@ -1,0 +1,126 @@
+"""CROWN backward-bound tests: soundness, tightness ordering, MILP parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    interval_bounds,
+    lp_tightened_bounds,
+    total_ambiguous,
+)
+from repro.core.crown import crown_bounds
+from repro.core.encoder import (
+    EncoderOptions,
+    attach_objective,
+    encode_network,
+)
+from repro.core.properties import InputRegion, OutputObjective
+from repro.errors import EncodingError
+from repro.milp import solve_milp
+from repro.nn import FeedForwardNetwork
+
+
+def unit_region(dim):
+    return InputRegion(np.array([[-1.0, 1.0]] * dim))
+
+
+class TestSoundness:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_reachable_preactivations_inside(self, seed):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(4, [6, 6, 6], 2, rng=rng)
+        region = unit_region(4)
+        bounds = crown_bounds(net, region)
+        xs = rng.uniform(-1, 1, size=(300, 4))
+        pres = net.pre_activations(xs)
+        for layer_bounds, pre in zip(bounds, pres):
+            assert np.all(pre >= layer_bounds.lower - 1e-7)
+            assert np.all(pre <= layer_bounds.upper + 1e-7)
+
+    def test_point_region_exact(self, tiny_net, rng):
+        x = rng.uniform(-1, 1, size=6)
+        region = InputRegion(np.stack([x, x], axis=1))
+        bounds = crown_bounds(tiny_net, region)
+        pres = tiny_net.pre_activations(x)
+        for lb, pre in zip(bounds, pres):
+            assert np.allclose(lb.lower, pre[0], atol=1e-7)
+            assert np.allclose(lb.upper, pre[0], atol=1e-7)
+
+
+class TestTightnessOrdering:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_never_looser_than_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(3, [8, 8], 2, rng=rng)
+        region = unit_region(3)
+        loose = interval_bounds(net, region)
+        crown = crown_bounds(net, region)
+        for a, b in zip(loose, crown):
+            assert np.all(b.lower >= a.lower - 1e-9)
+            assert np.all(b.upper <= a.upper + 1e-9)
+
+    def test_strictly_tighter_on_deep_layers(self, rng):
+        """On generic multi-layer nets the backward pass must actually
+        win somewhere, else it's dead code."""
+        net = FeedForwardNetwork.mlp(4, [10, 10, 10], 2, rng=rng)
+        region = unit_region(4)
+        loose = interval_bounds(net, region)
+        crown = crown_bounds(net, region)
+        improvement = sum(
+            float(np.sum((a.upper - a.lower) - (b.upper - b.lower)))
+            for a, b in zip(loose, crown)
+        )
+        assert improvement > 1e-6
+
+    def test_ambiguity_between_interval_and_lp(self, rng):
+        net = FeedForwardNetwork.mlp(4, [8, 8], 2, rng=rng)
+        region = unit_region(4)
+        n_int = total_ambiguous(interval_bounds(net, region), net)
+        n_crown = total_ambiguous(crown_bounds(net, region), net)
+        n_lp = total_ambiguous(lp_tightened_bounds(net, region), net)
+        assert n_lp <= n_crown <= n_int
+
+
+class TestEncoderIntegration:
+    def test_crown_mode_same_milp_answer(self, tiny_net):
+        region = unit_region(6)
+        values = {}
+        for mode in ("interval", "crown", "lp"):
+            encoded = encode_network(
+                tiny_net, region, EncoderOptions(bound_mode=mode)
+            )
+            attach_objective(encoded, OutputObjective.single(0))
+            values[mode] = solve_milp(encoded.model).objective
+        assert values["crown"] == pytest.approx(
+            values["interval"], abs=1e-5
+        )
+        assert values["crown"] == pytest.approx(values["lp"], abs=1e-5)
+
+    def test_tanh_rejected(self, rng):
+        net = FeedForwardNetwork.mlp(
+            3, [4], 1, hidden_activation="tanh", rng=rng
+        )
+        with pytest.raises(EncodingError):
+            crown_bounds(net, unit_region(3))
+
+    def test_dim_mismatch_rejected(self, tiny_net):
+        with pytest.raises(EncodingError):
+            crown_bounds(tiny_net, unit_region(5))
+
+    def test_case_study_scale(self, small_study, small_predictor):
+        """CROWN runs on the real 84-input predictor and classifies at
+        least as many neurons stable as interval bounds."""
+        from repro import casestudy
+
+        region = casestudy.operational_region(small_study)
+        n_int = total_ambiguous(
+            interval_bounds(small_predictor, region), small_predictor
+        )
+        n_crown = total_ambiguous(
+            crown_bounds(small_predictor, region), small_predictor
+        )
+        assert n_crown <= n_int

@@ -1,0 +1,118 @@
+"""Hint-training tests (perspective iii)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hints import SafetyHint, train_with_hints
+from repro.errors import TrainingError
+from repro.highway import FEATURE_DIM, feature_index
+from repro.nn import FeedForwardNetwork, param_dim
+from repro.nn.mdn import mu_lat_indices
+from repro.nn.training import TrainingConfig
+
+
+def synthetic_left_dataset(rng, n=400):
+    """Scenes, half with the left slot occupied, labels mildly leftward."""
+    x = rng.uniform(0, 1, size=(n, FEATURE_DIM))
+    x[:, feature_index("left_present")] = (
+        rng.uniform(size=n) < 0.5
+    ).astype(float)
+    y = np.stack(
+        [rng.uniform(0.0, 1.4, n), rng.uniform(-1, 1, n)], axis=1
+    )
+    return x, y
+
+
+class TestSafetyHint:
+    def test_penalty_zero_without_gate(self, rng):
+        hint = SafetyHint(num_components=2, threshold=1.0)
+        net = FeedForwardNetwork.mlp(FEATURE_DIM, [4], param_dim(2), rng=rng)
+        x = np.zeros((3, FEATURE_DIM))  # left_present = 0 everywhere
+        out = net.forward(x)
+        penalty, grad = hint.penalty(net, x, out)
+        assert penalty == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_penalty_targets_only_gated_rows(self, rng):
+        hint = SafetyHint(num_components=2, threshold=0.0)
+        x = np.zeros((2, FEATURE_DIM))
+        x[0, feature_index("left_present")] = 1.0
+        out = np.zeros((2, param_dim(2)))
+        out[:, mu_lat_indices(2)] = 5.0  # violating means everywhere
+        _, grad = hint.penalty(None, x, out)
+        assert np.any(grad[0] != 0.0)
+        assert np.all(grad[1] == 0.0)
+
+    def test_penalty_gradient_on_mu_columns_only(self, rng):
+        hint = SafetyHint(num_components=2, threshold=0.0)
+        x = np.zeros((1, FEATURE_DIM))
+        x[0, feature_index("left_present")] = 1.0
+        out = np.full((1, param_dim(2)), 5.0)
+        _, grad = hint.penalty(None, x, out)
+        nonzero = set(np.flatnonzero(grad[0]).tolist())
+        assert nonzero == set(mu_lat_indices(2))
+
+    def test_penalty_matches_numerical_gradient(self, rng):
+        hint = SafetyHint(num_components=1, threshold=0.5)
+        x = np.zeros((2, FEATURE_DIM))
+        x[:, feature_index("left_present")] = 1.0
+        out = rng.normal(size=(2, param_dim(1)))
+
+        def value(o):
+            return hint.penalty(None, x, o)[0]
+
+        _, grad = hint.penalty(None, x, out)
+        eps = 1e-6
+        for i in range(out.shape[0]):
+            for j in range(out.shape[1]):
+                plus = out.copy()
+                plus[i, j] += eps
+                minus = out.copy()
+                minus[i, j] -= eps
+                numeric = (value(plus) - value(minus)) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-5)
+
+    def test_violation_rate(self, rng):
+        hint = SafetyHint(num_components=2, threshold=10.0)
+        net = FeedForwardNetwork.mlp(FEATURE_DIM, [4], param_dim(2), rng=rng)
+        x, _ = synthetic_left_dataset(rng, n=50)
+        assert hint.violation_rate(net, x) == 0.0  # tiny outputs
+
+    def test_bad_component_count(self):
+        with pytest.raises(TrainingError):
+            SafetyHint(num_components=0)
+
+
+class TestTrainWithHints:
+    def test_hints_reduce_violation(self, rng):
+        """The paper's perspective: training under the safety rule pushes
+        the gated lateral means down."""
+        x, y = synthetic_left_dataset(rng)
+        hint = SafetyHint(num_components=2, threshold=0.3)
+        config = TrainingConfig(epochs=30, learning_rate=3e-3, seed=0)
+
+        def gated_mu_max(net):
+            gated = x[x[:, feature_index("left_present")] > 0.5]
+            out = net.forward(gated)
+            return out[:, mu_lat_indices(2)].max()
+
+        plain = FeedForwardNetwork.mlp(
+            FEATURE_DIM, [8], param_dim(2), rng=np.random.default_rng(1)
+        )
+        train_with_hints(
+            plain, x, y, 2, hint=hint, hint_weight=0.0, config=config
+        )
+        hinted = FeedForwardNetwork.mlp(
+            FEATURE_DIM, [8], param_dim(2), rng=np.random.default_rng(1)
+        )
+        history = train_with_hints(
+            hinted, x, y, 2, hint=hint, hint_weight=20.0, config=config
+        )
+        assert gated_mu_max(hinted) < gated_mu_max(plain)
+        assert any(p > 0 for p in history.penalties)
+
+    def test_negative_weight_rejected(self, rng):
+        x, y = synthetic_left_dataset(rng, n=50)
+        net = FeedForwardNetwork.mlp(FEATURE_DIM, [4], param_dim(2), rng=rng)
+        with pytest.raises(TrainingError):
+            train_with_hints(net, x, y, 2, hint_weight=-1.0)

@@ -1,0 +1,87 @@
+"""Tests for the abstract's mirror property (right-occupied, no right move)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import (
+    lateral_velocity_property,
+    rightward_velocity_property,
+)
+from repro.core.verifier import Verdict, Verifier
+from repro.highway import feature_index
+from repro.milp import MILPOptions
+from repro.nn.mdn import mu_lat_indices
+
+
+class TestConstruction:
+    def test_gates_on_right_presence(self, encoder):
+        props = rightward_velocity_property(encoder, 2)
+        assert len(props) == 2
+        for prop in props:
+            rp = feature_index("right_present")
+            assert tuple(prop.region.bounds[rp]) == (1.0, 1.0)
+
+    def test_objective_negates_mu_lat(self, encoder):
+        props = rightward_velocity_property(encoder, 2)
+        for prop, idx in zip(props, mu_lat_indices(2)):
+            assert prop.objective.coefficients == {idx: -1.0}
+
+    def test_holds_on_semantics(self, encoder):
+        """A large *negative* lateral velocity (rightward) violates."""
+        props = rightward_velocity_property(encoder, 1, threshold=1.0)
+        out = np.zeros(5)
+        out[mu_lat_indices(1)[0]] = -2.0  # 2 m/s to the right
+        assert not props[0].holds_on(out)
+        out[mu_lat_indices(1)[0]] = 2.0  # leftward is fine here
+        assert props[0].holds_on(out)
+
+    def test_mirror_of_left_property(self, encoder):
+        left = lateral_velocity_property(encoder, 1, threshold=2.0)[0]
+        right = rightward_velocity_property(encoder, 1, threshold=2.0)[0]
+        out = np.zeros(5)
+        out[mu_lat_indices(1)[0]] = -3.0
+        # Violates the right property, satisfies the left one.
+        assert left.holds_on(out)
+        assert not right.holds_on(out)
+
+
+class TestVerification:
+    def test_right_side_region_builder(self, small_study):
+        from repro import casestudy
+
+        region = casestudy.operational_region(small_study, side="right")
+        rp = feature_index("right_present")
+        rg = feature_index("right_gap")
+        assert tuple(region.bounds[rp]) == (1.0, 1.0)
+        assert tuple(region.bounds[rg]) == (0.0, 8.0)
+        lp = feature_index("left_present")
+        assert region.bounds[lp, 0] < region.bounds[lp, 1]  # left free
+
+    def test_bad_side_rejected(self, small_study):
+        from repro import casestudy
+        from repro.errors import TrainingError
+
+        with pytest.raises(TrainingError):
+            casestudy.operational_region(small_study, side="up")
+
+    def test_right_property_verifiable(self, small_study, small_predictor):
+        """Decision query on the mirror region with a generous bound must
+        be provable on the data-trained predictor."""
+        from repro import casestudy
+        from repro.core.properties import OutputObjective, SafetyProperty
+
+        region = casestudy.operational_region(small_study, side="right")
+        verifier = Verifier(
+            small_predictor,
+            EncoderOptions(bound_mode="lp"),
+            MILPOptions(time_limit=120.0),
+        )
+        prop = SafetyProperty(
+            name="no_large_right",
+            region=region,
+            objective=OutputObjective({mu_lat_indices(2)[0]: -1.0}),
+            threshold=10.0,  # generous bound: must be provable
+        )
+        result = verifier.prove(prop)
+        assert result.verdict in (Verdict.VERIFIED, Verdict.TIMEOUT)

@@ -1,0 +1,149 @@
+"""Runtime-monitor tests: gating, clamping, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import RuntimeMonitor
+from repro.core.properties import (
+    OutputObjective,
+    SafetyProperty,
+    vehicle_on_left_region,
+)
+from repro.errors import CertificationError
+from repro.highway import FEATURE_DIM, feature_index
+from repro.nn import DenseLayer, FeedForwardNetwork
+from repro.nn.mdn import mu_lat_indices, param_dim
+
+
+def constant_net(outputs):
+    """A network producing fixed raw outputs regardless of input."""
+    out = np.asarray(outputs, dtype=float)
+    layer = DenseLayer(
+        np.zeros((FEATURE_DIM, out.shape[0])), out, "identity"
+    )
+    return FeedForwardNetwork([layer])
+
+
+def left_property(encoder, threshold, component=0, k=2):
+    return SafetyProperty(
+        name="lat_safe",
+        region=vehicle_on_left_region(encoder),
+        objective=OutputObjective.single(mu_lat_indices(k)[component]),
+        threshold=threshold,
+    )
+
+
+def scene_with_left(encoder, present=True):
+    region = vehicle_on_left_region(encoder)
+    scene = region.center()
+    if not present:
+        scene[feature_index("left_present")] = 0.0
+    return scene
+
+
+class TestGating:
+    def test_property_not_checked_outside_region(self, encoder):
+        raw = np.zeros(param_dim(2))
+        raw[mu_lat_indices(2)[0]] = 9.0  # wildly unsafe suggestion
+        monitor = RuntimeMonitor(
+            constant_net(raw), [left_property(encoder, 1.0)], 2
+        )
+        scene = scene_with_left(encoder, present=False)
+        mixture, out = monitor.predict(scene)
+        report = monitor.report()
+        assert report.checked == 0
+        assert report.intervention_count == 0
+        assert out[mu_lat_indices(2)[0]] == pytest.approx(9.0)
+
+    def test_checked_and_passed_inside_region(self, encoder):
+        raw = np.zeros(param_dim(2))
+        monitor = RuntimeMonitor(
+            constant_net(raw), [left_property(encoder, 1.0)], 2
+        )
+        monitor.predict(scene_with_left(encoder))
+        report = monitor.report()
+        assert report.checked == 1
+        assert report.intervention_count == 0
+
+
+class TestClamping:
+    def test_violation_clamped_to_threshold(self, encoder):
+        raw = np.zeros(param_dim(2))
+        raw[mu_lat_indices(2)[0]] = 2.5
+        prop = left_property(encoder, threshold=1.0)
+        monitor = RuntimeMonitor(constant_net(raw), [prop], 2)
+        _mixture, out = monitor.predict(scene_with_left(encoder))
+        assert prop.objective.value(out) == pytest.approx(1.0)
+        report = monitor.report()
+        assert report.intervention_count == 1
+        assert report.interventions[0].observed == pytest.approx(2.5)
+
+    def test_other_outputs_untouched(self, encoder):
+        raw = np.arange(param_dim(2), dtype=float)
+        prop = left_property(encoder, threshold=-100.0)  # always violated
+        monitor = RuntimeMonitor(constant_net(raw), [prop], 2)
+        _mixture, out = monitor.predict(scene_with_left(encoder))
+        target = mu_lat_indices(2)[0]
+        for i in range(param_dim(2)):
+            if i != target:
+                assert out[i] == pytest.approx(raw[i])
+
+    def test_multiple_properties_all_enforced(self, encoder):
+        raw = np.zeros(param_dim(2))
+        raw[mu_lat_indices(2)[0]] = 3.0
+        raw[mu_lat_indices(2)[1]] = 4.0
+        props = [
+            left_property(encoder, 1.0, component=0),
+            left_property(encoder, 1.0, component=1),
+        ]
+        monitor = RuntimeMonitor(constant_net(raw), props, 2)
+        _mixture, out = monitor.predict(scene_with_left(encoder))
+        for prop in props:
+            assert prop.objective.value(out) <= 1.0 + 1e-9
+        assert monitor.report().intervention_count == 2
+
+
+class TestReporting:
+    def test_rates(self, encoder):
+        raw = np.zeros(param_dim(2))
+        raw[mu_lat_indices(2)[0]] = 2.0
+        monitor = RuntimeMonitor(
+            constant_net(raw), [left_property(encoder, 1.0)], 2
+        )
+        gated = scene_with_left(encoder)
+        ungated = scene_with_left(encoder, present=False)
+        for scene in (gated, ungated, gated, ungated):
+            monitor.predict(scene)
+        report = monitor.report()
+        assert report.steps == 4
+        assert report.checked == 2
+        assert report.intervention_rate == pytest.approx(1.0)
+
+    def test_reset(self, encoder):
+        monitor = RuntimeMonitor(
+            constant_net(np.zeros(param_dim(2))),
+            [left_property(encoder, 1.0)],
+            2,
+        )
+        monitor.predict(scene_with_left(encoder))
+        monitor.reset()
+        report = monitor.report()
+        assert report.steps == 0
+        assert report.checked == 0
+
+    def test_render(self, encoder):
+        raw = np.zeros(param_dim(2))
+        raw[mu_lat_indices(2)[0]] = 5.0
+        monitor = RuntimeMonitor(
+            constant_net(raw), [left_property(encoder, 1.0)], 2
+        )
+        monitor.predict(scene_with_left(encoder))
+        text = monitor.report().render()
+        assert "interventions" in text
+        assert "lat_safe" in text
+
+    def test_empty_properties_rejected(self, encoder):
+        with pytest.raises(CertificationError):
+            RuntimeMonitor(
+                constant_net(np.zeros(param_dim(2))), [], 2
+            )

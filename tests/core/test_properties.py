@@ -1,0 +1,123 @@
+"""Safety-property DSL tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import (
+    InputRegion,
+    LinearInputConstraint,
+    OutputObjective,
+    SafetyProperty,
+    component_lateral_objectives,
+    lateral_velocity_property,
+    vehicle_on_left_region,
+    vehicle_on_right_region,
+)
+from repro.errors import EncodingError
+from repro.highway import feature_index
+from repro.nn.mdn import mu_lat_indices
+
+
+class TestInputRegion:
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(EncodingError):
+            InputRegion(np.array([[1.0, 0.0]]))
+        with pytest.raises(EncodingError):
+            InputRegion(np.zeros((3, 3)))
+
+    def test_restrict_tightens(self, encoder):
+        region = InputRegion.from_encoder(encoder)
+        region.restrict("ego_speed", 10.0, 20.0)
+        idx = feature_index("ego_speed")
+        assert tuple(region.bounds[idx]) == (10.0, 20.0)
+
+    def test_restrict_intersects_with_box(self, encoder):
+        region = InputRegion.from_encoder(encoder)
+        region.restrict("ego_speed", -100.0, 1000.0)
+        idx = feature_index("ego_speed")
+        assert tuple(region.bounds[idx]) == (0.0, 50.0)
+
+    def test_empty_restriction_rejected(self, encoder):
+        region = InputRegion.from_encoder(encoder)
+        with pytest.raises(EncodingError):
+            region.restrict("ego_speed", 200.0, 300.0)
+
+    def test_pin(self, encoder):
+        region = InputRegion.from_encoder(encoder)
+        region.pin("left_present", 1.0)
+        idx = feature_index("left_present")
+        assert tuple(region.bounds[idx]) == (1.0, 1.0)
+
+    def test_contains_box(self, encoder):
+        region = InputRegion.from_encoder(encoder)
+        assert region.contains(region.center())
+        outside = region.center()
+        outside[0] = 1e6
+        assert not region.contains(outside)
+
+    def test_contains_checks_linear_constraints(self, encoder):
+        region = InputRegion.from_encoder(encoder)
+        region.add_constraint(
+            LinearInputConstraint({"ego_speed": 1.0}, rhs=10.0)
+        )
+        point = region.center()
+        point[feature_index("ego_speed")] = 5.0
+        assert region.contains(point)
+        point[feature_index("ego_speed")] = 15.0
+        assert not region.contains(point)
+
+    def test_sample_inside(self, encoder, rng):
+        region = vehicle_on_left_region(encoder)
+        samples = region.sample(rng, 20)
+        assert samples.shape == (20, 84)
+        for s in samples:
+            assert region.contains(s)
+
+    def test_wrong_dim_point_rejected(self, encoder):
+        region = InputRegion.from_encoder(encoder)
+        with pytest.raises(EncodingError):
+            region.contains(np.zeros(10))
+
+
+class TestCaseStudyRegions:
+    def test_left_region_pins_presence(self, encoder):
+        region = vehicle_on_left_region(encoder, max_gap=8.0)
+        lp = feature_index("left_present")
+        lg = feature_index("left_gap")
+        assert tuple(region.bounds[lp]) == (1.0, 1.0)
+        assert region.bounds[lg, 1] == 8.0
+
+    def test_right_region_mirrors(self, encoder):
+        region = vehicle_on_right_region(encoder)
+        rp = feature_index("right_present")
+        assert tuple(region.bounds[rp]) == (1.0, 1.0)
+
+    def test_left_region_leaves_rest_free(self, encoder):
+        region = vehicle_on_left_region(encoder)
+        free = np.sum(region.bounds[:, 0] < region.bounds[:, 1])
+        assert free >= 82  # only presence pinned, gap tightened
+
+
+class TestObjectives:
+    def test_single_objective_value(self):
+        obj = OutputObjective.single(2)
+        assert obj.value(np.array([1.0, 2.0, 7.0])) == 7.0
+
+    def test_weighted_objective(self):
+        obj = OutputObjective({0: 0.5, 1: -1.0})
+        assert obj.value(np.array([4.0, 1.0])) == 1.0
+
+    def test_component_objectives_target_mu_lat(self):
+        objs = component_lateral_objectives(3)
+        assert len(objs) == 3
+        for obj, idx in zip(objs, mu_lat_indices(3)):
+            assert obj.coefficients == {idx: 1.0}
+
+    def test_property_holds_on(self, encoder):
+        props = lateral_velocity_property(encoder, 2, threshold=3.0)
+        assert len(props) == 2
+        out = np.zeros(10)
+        out[mu_lat_indices(2)[0]] = 2.5
+        assert props[0].holds_on(out)
+        out[mu_lat_indices(2)[0]] = 3.5
+        assert not props[0].holds_on(out)

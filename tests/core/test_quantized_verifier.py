@@ -1,0 +1,143 @@
+"""Quantized (SAT) verification tests: exactness against enumeration."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.properties import InputRegion
+from repro.core.quantized_verifier import (
+    QuantizedVerifier,
+    QVerdict,
+    int_interval_bounds,
+    quantize_region,
+)
+from repro.errors import EncodingError
+from repro.nn import FeedForwardNetwork, QuantizedNetwork
+
+
+def small_qnet(seed=0, frac_bits=3):
+    rng = np.random.default_rng(seed)
+    net = FeedForwardNetwork.mlp(2, [3], 1, rng=rng)
+    return QuantizedNetwork.from_network(net, frac_bits=frac_bits)
+
+
+def tight_region(dim, lo=-1.0, hi=1.0):
+    return InputRegion(np.array([[lo, hi]] * dim))
+
+
+def enumerate_max(qnet, int_bounds, output_index):
+    """Ground truth by brute-force enumeration of the integer grid."""
+    ranges = [range(lo, hi + 1) for lo, hi in int_bounds]
+    best = None
+    for point in itertools.product(*ranges):
+        out = int(
+            qnet.forward_int(np.array([point], dtype=np.int64))[
+                0, output_index
+            ]
+        )
+        best = out if best is None else max(best, out)
+    return best
+
+
+class TestRegionQuantization:
+    def test_rounding(self):
+        qnet = small_qnet(frac_bits=3)  # scale 8
+        region = tight_region(2, -0.5, 0.5)
+        int_bounds = quantize_region(qnet, region)
+        assert int_bounds == [(-4, 4), (-4, 4)]
+
+    def test_dim_mismatch(self):
+        qnet = small_qnet()
+        with pytest.raises(EncodingError):
+            quantize_region(qnet, tight_region(3))
+
+
+class TestIntIntervalBounds:
+    def test_soundness(self, rng):
+        qnet = small_qnet(seed=4)
+        int_bounds = [(-8, 8), (-8, 8)]
+        layer_bounds = int_interval_bounds(qnet, int_bounds)
+        out_lo, out_hi = layer_bounds[-1]
+        for _ in range(200):
+            q = rng.integers(-8, 9, size=(1, 2))
+            out = qnet.forward_int(q)[0, 0]
+            assert out_lo[0] <= out <= out_hi[0]
+
+
+class TestProveBound:
+    def test_verified_above_true_max(self):
+        qnet = small_qnet(seed=1, frac_bits=2)
+        region = tight_region(2)
+        int_bounds = quantize_region(qnet, region)
+        true_max = enumerate_max(qnet, int_bounds, 0)
+        threshold = (true_max + 2) / qnet.scale
+        result = QuantizedVerifier(qnet).prove_bound(region, 0, threshold)
+        assert result.verdict is QVerdict.VERIFIED
+
+    def test_falsified_below_true_max(self):
+        qnet = small_qnet(seed=1, frac_bits=2)
+        region = tight_region(2)
+        int_bounds = quantize_region(qnet, region)
+        true_max = enumerate_max(qnet, int_bounds, 0)
+        threshold = (true_max - 1) / qnet.scale
+        result = QuantizedVerifier(qnet).prove_bound(region, 0, threshold)
+        assert result.verdict is QVerdict.FALSIFIED
+        assert result.counterexample_int is not None
+        # Witness replays to a violating output on the integer network.
+        out = qnet.forward_int(
+            result.counterexample_int.reshape(1, -1)
+        )[0, 0]
+        assert out > threshold * qnet.scale - 1
+
+    def test_witness_respects_region(self):
+        qnet = small_qnet(seed=2, frac_bits=2)
+        region = tight_region(2, -0.75, 0.25)
+        result = QuantizedVerifier(qnet).prove_bound(region, 0, -100.0)
+        assert result.verdict is QVerdict.FALSIFIED
+        int_bounds = quantize_region(qnet, region)
+        for value, (lo, hi) in zip(
+            result.counterexample_int, int_bounds
+        ):
+            assert lo <= value <= hi
+
+
+class TestMaximize:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_exact_maximum_vs_enumeration(self, seed):
+        qnet = small_qnet(seed=seed, frac_bits=2)
+        region = tight_region(2)
+        int_bounds = quantize_region(qnet, region)
+        expected = enumerate_max(qnet, int_bounds, 0)
+        result = QuantizedVerifier(qnet).maximize(region, 0)
+        assert result.verdict is QVerdict.MAX_FOUND
+        assert result.value_int == expected
+
+    def test_value_float_dequantizes(self):
+        qnet = small_qnet(seed=0, frac_bits=2)
+        result = QuantizedVerifier(qnet).maximize(tight_region(2), 0)
+        assert result.value_float == pytest.approx(
+            result.value_int / 4.0
+        )
+
+    def test_budget_exhaustion_reported(self):
+        qnet = small_qnet(seed=3, frac_bits=4)
+        verifier = QuantizedVerifier(qnet, max_conflicts=1)
+        result = verifier.maximize(tight_region(2), 0)
+        assert result.verdict in (QVerdict.UNKNOWN, QVerdict.MAX_FOUND)
+
+    def test_quantized_max_close_to_float_max(self):
+        """Quantized verification approximates the float MILP answer."""
+        from repro.core.encoder import EncoderOptions
+        from repro.core.properties import OutputObjective
+        from repro.core.verifier import Verifier
+
+        rng = np.random.default_rng(6)
+        net = FeedForwardNetwork.mlp(2, [3], 1, rng=rng)
+        qnet = QuantizedNetwork.from_network(net, frac_bits=6)
+        region = tight_region(2)
+        float_max = Verifier(
+            net, EncoderOptions(bound_mode="interval")
+        ).maximize(region, OutputObjective.single(0)).value
+        quant = QuantizedVerifier(qnet).maximize(region, 0)
+        assert quant.value_float == pytest.approx(float_max, abs=0.25)

@@ -1,0 +1,142 @@
+"""Counterexample-guided repair tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import InputRegion, OutputObjective
+from repro.core.repair import CounterexampleRepair, RepairResult, RepairRound
+from repro.core.verifier import Verdict
+from repro.errors import CertificationError
+from repro.highway import FEATURE_DIM, feature_index
+from repro.milp import MILPOptions
+from repro.nn import FeedForwardNetwork
+from repro.nn.mdn import mu_lat_indices, param_dim
+from repro.nn.training import TrainingConfig
+
+
+def small_region():
+    """A compact 84-dim region (everything pinned except a few drivers)."""
+    bounds = np.zeros((FEATURE_DIM, 2))
+    bounds[:, 1] = 0.0
+    for name in ("ego_speed", "left_gap", "front_gap", "front_rel_speed"):
+        idx = feature_index(name)
+        bounds[idx] = (0.0, 1.0)
+    bounds[feature_index("left_present")] = (1.0, 1.0)
+    return InputRegion(bounds, name="repair_demo")
+
+
+def make_repairer(threshold=0.5, **kwargs):
+    return CounterexampleRepair(
+        region=small_region(),
+        objective=OutputObjective.single(mu_lat_indices(1)[0]),
+        threshold=threshold,
+        num_components=1,
+        encoder_options=EncoderOptions(bound_mode="interval"),
+        milp_options=MILPOptions(time_limit=60.0),
+        finetune=TrainingConfig(epochs=25, learning_rate=2e-3),
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def unsafe_net(rng):
+    """A fresh MDN net, scaled up so it violates the 0.5 bound."""
+    net = FeedForwardNetwork.mlp(
+        FEATURE_DIM, [6], param_dim(1), rng=np.random.default_rng(0),
+    )
+    for layer in net.layers:
+        layer.weights *= 3.0
+    return net
+
+
+@pytest.fixture()
+def base_data(rng):
+    x = rng.uniform(0.0, 1.0, size=(64, FEATURE_DIM)) * 0.0
+    for name in ("ego_speed", "left_gap", "front_gap"):
+        x[:, feature_index(name)] = rng.uniform(0, 1, 64)
+    x[:, feature_index("left_present")] = 1.0
+    y = np.stack(
+        [rng.uniform(-0.1, 0.1, 64), rng.uniform(-0.5, 0.5, 64)], axis=1
+    )
+    return x, y
+
+
+class TestCorrectiveSamples:
+    def test_samples_inside_region(self, rng):
+        repairer = make_repairer()
+        witness = repairer.region.center()
+        x, y = repairer.corrective_samples(
+            witness, np.zeros((4, 2))
+        )
+        assert x.shape == (repairer.jitter_count, FEATURE_DIM)
+        for sample in x:
+            assert repairer.region.contains(sample, tol=1e-9)
+
+    def test_witness_kept_exactly(self):
+        repairer = make_repairer()
+        witness = repairer.region.center()
+        x, _ = repairer.corrective_samples(witness, np.zeros((4, 2)))
+        assert np.allclose(x[0], witness)
+
+    def test_labels_are_safe(self):
+        repairer = make_repairer(safe_lateral=0.1)
+        witness = repairer.region.center()
+        _, y = repairer.corrective_samples(
+            witness, np.array([[0.0, -1.0], [0.0, -3.0]])
+        )
+        assert np.all(y[:, 0] == 0.1)
+        assert np.all(y[:, 1] == -2.0)  # mean reference acceleration
+
+    def test_bad_jitter_count(self):
+        with pytest.raises(CertificationError):
+            make_repairer(jitter_count=0)
+
+
+class TestRepairLoop:
+    def test_repairs_unsafe_network(self, unsafe_net, base_data):
+        x, y = base_data
+        repairer = make_repairer(threshold=0.5)
+        before = repairer.verify_max(unsafe_net)
+        assert before.verdict is Verdict.MAX_FOUND
+        if before.value <= 0.5:
+            pytest.skip("random net happened to be safe already")
+        result = repairer.repair(unsafe_net, x, y, max_rounds=6)
+        assert isinstance(result, RepairResult)
+        # The verified maximum must have decreased across the loop.
+        assert result.final_max < before.value
+        assert result.rounds[0].verified_max == pytest.approx(
+            before.value, abs=1e-6
+        )
+        if result.success:
+            assert result.final_max <= 0.5 + 1e-9
+
+    def test_already_safe_network_returns_immediately(self, base_data):
+        x, y = base_data
+        net = FeedForwardNetwork.mlp(
+            FEATURE_DIM, [4], param_dim(1),
+            rng=np.random.default_rng(0),
+        )
+        for layer in net.layers:
+            layer.weights *= 0.01  # tiny outputs: trivially safe
+        repairer = make_repairer(threshold=2.0)
+        result = repairer.repair(net, x, y, max_rounds=3)
+        assert result.success
+        assert result.num_rounds == 1
+        assert result.rounds[0].samples_added == 0
+
+    def test_round_budget_respected(self, unsafe_net, base_data):
+        x, y = base_data
+        repairer = make_repairer(threshold=-10.0)  # unsatisfiable bound
+        result = repairer.repair(unsafe_net, x, y, max_rounds=2)
+        assert not result.success
+        assert result.num_rounds == 3  # rounds 0,1 repair + final check
+
+    def test_render(self, base_data):
+        rounds = [
+            RepairRound(0, 1.2, Verdict.MAX_FOUND, None, 32),
+            RepairRound(1, 0.4, Verdict.MAX_FOUND, None, 0),
+        ]
+        text = RepairResult(True, rounds, 0.4).render()
+        assert "REPAIRED" in text
+        assert "round 0" in text

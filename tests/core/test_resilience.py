@@ -1,0 +1,140 @@
+"""Certified-radius (maximum resilience) tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import InputRegion, OutputObjective
+from repro.core.resilience import ResilienceAnalyzer
+from repro.core.verifier import Verdict
+from repro.errors import EncodingError
+from repro.milp import MILPOptions
+from repro.nn import DenseLayer, FeedForwardNetwork
+
+
+def linear_net(slope=1.0):
+    """f(x) = slope * x0 (a net whose safe radius is analytic)."""
+    return FeedForwardNetwork(
+        [DenseLayer(np.array([[slope], [0.0]]), np.zeros(1), "identity")]
+    )
+
+
+def make_analyzer(net, threshold, domain=None):
+    domain = domain or InputRegion(np.array([[-1.0, 1.0], [-1.0, 1.0]]))
+    return ResilienceAnalyzer(
+        net,
+        domain,
+        OutputObjective.single(0),
+        threshold,
+        EncoderOptions(bound_mode="interval"),
+        MILPOptions(time_limit=30.0),
+    )
+
+
+class TestPerturbationRegion:
+    def test_radius_scales_halfwidth(self):
+        analyzer = make_analyzer(linear_net(), threshold=10.0)
+        region = analyzer.perturbation_region(
+            np.array([0.0, 0.0]), radius=0.5
+        )
+        assert np.allclose(region.bounds, [[-0.5, 0.5], [-0.5, 0.5]])
+
+    def test_clipped_to_domain(self):
+        analyzer = make_analyzer(linear_net(), threshold=10.0)
+        region = analyzer.perturbation_region(
+            np.array([0.9, 0.0]), radius=0.5
+        )
+        assert region.bounds[0, 1] == pytest.approx(1.0)
+
+    def test_negative_radius_rejected(self):
+        analyzer = make_analyzer(linear_net(), threshold=10.0)
+        with pytest.raises(EncodingError):
+            analyzer.perturbation_region(np.zeros(2), -0.1)
+
+    def test_wrong_shape_rejected(self):
+        analyzer = make_analyzer(linear_net(), threshold=10.0)
+        with pytest.raises(EncodingError):
+            analyzer.perturbation_region(np.zeros(3), 0.1)
+
+
+class TestCertifiedRadius:
+    def test_analytic_radius_recovered(self):
+        """f(x) = x0, threshold 0.5, nominal at origin: the true safe
+        radius is exactly 0.5 (half-width 1)."""
+        analyzer = make_analyzer(linear_net(1.0), threshold=0.5)
+        result = analyzer.certified_radius(
+            np.zeros(2), tolerance=0.01
+        )
+        assert result.certified_radius == pytest.approx(0.5, abs=0.02)
+        assert result.falsifying_radius == pytest.approx(0.5, abs=0.02)
+        assert result.counterexample is not None
+        assert not result.timed_out
+
+    def test_globally_safe_scene(self):
+        analyzer = make_analyzer(linear_net(1.0), threshold=5.0)
+        result = analyzer.certified_radius(np.zeros(2))
+        assert result.certified_radius == pytest.approx(1.0)
+        assert math.isinf(result.falsifying_radius)
+        assert result.counterexample is None
+        assert result.probes == 1  # the full-radius probe sufficed
+
+    def test_unsafe_nominal_point(self):
+        analyzer = make_analyzer(linear_net(1.0), threshold=-0.5)
+        result = analyzer.certified_radius(np.array([0.0, 0.0]))
+        assert result.certified_radius == 0.0
+        assert result.falsifying_radius == 0.0
+        assert np.allclose(result.counterexample, 0.0)
+
+    def test_nominal_outside_domain_rejected(self):
+        analyzer = make_analyzer(linear_net(), threshold=1.0)
+        with pytest.raises(EncodingError):
+            analyzer.certified_radius(np.array([5.0, 0.0]))
+
+    def test_counterexample_violates(self):
+        analyzer = make_analyzer(linear_net(1.0), threshold=0.3)
+        result = analyzer.certified_radius(np.zeros(2), tolerance=0.02)
+        witness = result.counterexample
+        assert witness is not None
+        value = analyzer.network.forward(witness)[0, 0]
+        assert value > analyzer.threshold - 1e-4
+
+    def test_relu_network(self, tiny_net):
+        """End to end on a generic ReLU net: the certified radius is a
+        sound lower bound on the falsifying radius."""
+        domain = InputRegion(np.array([[-1.0, 1.0]] * 6))
+        from repro.core.verifier import Verifier
+
+        # Threshold halfway between nominal value and global max makes
+        # the radius non-trivial.
+        nominal = np.zeros(6)
+        value0 = tiny_net.forward(nominal)[0, 0]
+        global_max = Verifier(
+            tiny_net, EncoderOptions(bound_mode="interval")
+        ).maximize(domain, OutputObjective.single(0)).value
+        threshold = (value0 + global_max) / 2.0
+        analyzer = ResilienceAnalyzer(
+            tiny_net,
+            domain,
+            OutputObjective.single(0),
+            threshold,
+            EncoderOptions(bound_mode="interval"),
+            MILPOptions(time_limit=60.0),
+        )
+        result = analyzer.certified_radius(nominal, tolerance=0.05)
+        assert 0.0 < result.certified_radius < 1.0
+        assert (
+            result.certified_radius
+            <= result.falsifying_radius + 1e-9
+        )
+
+    def test_profile_scenes_batch(self):
+        analyzer = make_analyzer(linear_net(1.0), threshold=0.5)
+        scenes = np.array([[0.0, 0.0], [-0.4, 0.0]])
+        results = analyzer.profile_scenes(scenes, tolerance=0.05)
+        assert len(results) == 2
+        # The scene further from the decision surface is more resilient.
+        assert (
+            results[1].certified_radius >= results[0].certified_radius
+        )

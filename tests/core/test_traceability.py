@@ -1,0 +1,112 @@
+"""Neuron-to-feature traceability tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.traceability import GuardCondition, TraceabilityAnalyzer
+from repro.errors import CertificationError
+from repro.nn import DenseLayer, FeedForwardNetwork
+
+
+def gate_network():
+    """A hand-built net whose first neuron fires iff x0 > 0.5.
+
+    Gives traceability a ground truth: the driver feature of neuron 0 is
+    x0 and its guard should recover roughly the x0 > 0.5 condition.
+    """
+    w1 = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
+    b1 = np.array([-0.5, 0.0])
+    l1 = DenseLayer(w1, b1, "relu")
+    l2 = DenseLayer(np.ones((2, 1)), np.zeros(1), "identity")
+    return FeedForwardNetwork([l1, l2])
+
+
+@pytest.fixture()
+def data(rng):
+    return rng.uniform(-1, 1, size=(500, 3))
+
+
+class TestAnalyzer:
+    def test_profiles_every_hidden_neuron(self, data):
+        report = TraceabilityAnalyzer(gate_network()).analyze(data)
+        assert len(report.profiles) == 2
+
+    def test_recovers_driver_feature(self, data):
+        report = TraceabilityAnalyzer(gate_network()).analyze(data)
+        neuron0 = report.profiles[0]
+        assert neuron0.top_features[0] == "x0"
+        assert neuron0.separations[0] > 0.5
+
+    def test_guard_condition_quality(self, data):
+        report = TraceabilityAnalyzer(gate_network()).analyze(data)
+        guard = report.profiles[0].guard
+        assert guard is not None
+        assert guard.feature == "x0"
+        # Fires iff x0 > 0.5; the 5th percentile of firing samples is
+        # near 0.5 and precision should be near-perfect.
+        assert guard.low > 0.3
+        assert guard.precision > 0.9
+        assert guard.recall > 0.8
+
+    def test_activation_rate(self, data):
+        report = TraceabilityAnalyzer(gate_network()).analyze(data)
+        # x0 uniform in [-1, 1]: fires ~25% of the time.
+        assert report.profiles[0].activation_rate == pytest.approx(
+            0.25, abs=0.07
+        )
+
+    def test_degenerate_neuron_no_guard(self, rng):
+        # Bias so high the neuron always fires.
+        l1 = DenseLayer(
+            np.array([[1.0]]), np.array([100.0]), "relu"
+        )
+        l2 = DenseLayer(np.ones((1, 1)), np.zeros(1), "identity")
+        net = FeedForwardNetwork([l1, l2])
+        report = TraceabilityAnalyzer(net).analyze(
+            rng.uniform(-1, 1, size=(100, 1))
+        )
+        profile = report.profiles[0]
+        assert profile.is_degenerate
+        assert profile.guard is None
+
+    def test_needs_enough_samples(self, rng):
+        analyzer = TraceabilityAnalyzer(gate_network())
+        with pytest.raises(CertificationError):
+            analyzer.analyze(rng.uniform(size=(5, 3)))
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(CertificationError):
+            TraceabilityAnalyzer(
+                gate_network(), feature_labels=["a", "b"]
+            )
+
+    def test_uses_scene_names_for_case_study(self, small_predictor, small_study):
+        analyzer = TraceabilityAnalyzer(small_predictor)
+        report = analyzer.analyze(small_study.dataset.x)
+        named = [
+            f
+            for p in report.profiles
+            if not p.is_degenerate
+            for f in p.top_features
+        ]
+        # drivers must be real scene features
+        from repro.highway import feature_names
+
+        assert named, "expected at least one non-degenerate neuron"
+        assert all(name in feature_names() for name in named)
+
+
+class TestReportRendering:
+    def test_render_mentions_partiality(self, data):
+        report = TraceabilityAnalyzer(gate_network()).analyze(data)
+        text = report.render()
+        assert "partial" in text
+        assert "L0N0" in text
+
+    def test_guard_f1(self):
+        guard = GuardCondition("x0", 0.0, 1.0, precision=0.8, recall=0.6)
+        assert guard.f1 == pytest.approx(2 * 0.8 * 0.6 / 1.4)
+
+    def test_guard_f1_zero_division(self):
+        guard = GuardCondition("x0", 0.0, 1.0, precision=0.0, recall=0.0)
+        assert guard.f1 == 0.0

@@ -1,0 +1,100 @@
+"""DrivingDataset tests: schema, fingerprints, splits, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data import DrivingDataset
+from repro.errors import ValidationError
+from repro.highway import FEATURE_DIM, feature_index
+
+
+@pytest.fixture()
+def dataset(rng):
+    x = rng.uniform(0, 1, size=(50, FEATURE_DIM))
+    y = rng.uniform(-1, 1, size=(50, 2))
+    return DrivingDataset(x, y, source="test")
+
+
+class TestSchema:
+    def test_wrong_feature_count(self, rng):
+        with pytest.raises(ValidationError):
+            DrivingDataset(rng.normal(size=(5, 10)), rng.normal(size=(5, 2)))
+
+    def test_wrong_action_count(self, rng):
+        with pytest.raises(ValidationError):
+            DrivingDataset(
+                rng.normal(size=(5, FEATURE_DIM)), rng.normal(size=(5, 3))
+            )
+
+    def test_row_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            DrivingDataset(
+                rng.normal(size=(5, FEATURE_DIM)), rng.normal(size=(4, 2))
+            )
+
+    def test_len(self, dataset):
+        assert len(dataset) == 50
+
+    def test_named_column_access(self, dataset):
+        col = dataset.feature("ego_speed")
+        assert np.array_equal(col, dataset.x[:, feature_index("ego_speed")])
+
+    def test_action_properties(self, dataset):
+        assert np.array_equal(dataset.lateral_velocity, dataset.y[:, 0])
+        assert np.array_equal(
+            dataset.longitudinal_acceleration, dataset.y[:, 1]
+        )
+
+
+class TestFingerprint:
+    def test_stable(self, dataset):
+        assert dataset.fingerprint() == dataset.fingerprint()
+
+    def test_sensitive_to_any_change(self, dataset):
+        before = dataset.fingerprint()
+        dataset.x[0, 0] += 1e-12
+        assert dataset.fingerprint() != before
+
+    def test_subset_changes_fingerprint(self, dataset):
+        sub = dataset.subset(np.arange(10))
+        assert sub.fingerprint() != dataset.fingerprint()
+
+
+class TestManipulation:
+    def test_drop(self, dataset):
+        smaller = dataset.drop(np.array([0, 1, 2]))
+        assert len(smaller) == 47
+        assert np.array_equal(smaller.x[0], dataset.x[3])
+
+    def test_concat(self, dataset):
+        double = dataset.concat(dataset)
+        assert len(double) == 100
+
+    def test_split_partitions(self, dataset):
+        train, test = dataset.split(0.8, seed=1)
+        assert len(train) == 40
+        assert len(test) == 10
+
+    def test_split_deterministic(self, dataset):
+        a1, _ = dataset.split(0.5, seed=3)
+        a2, _ = dataset.split(0.5, seed=3)
+        assert np.array_equal(a1.x, a2.x)
+
+    def test_split_bad_fraction(self, dataset):
+        with pytest.raises(ValidationError):
+            dataset.split(1.0)
+
+
+class TestPersistence:
+    def test_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "data.npz"
+        dataset.save(path)
+        loaded = DrivingDataset.load(path)
+        assert np.array_equal(loaded.x, dataset.x)
+        assert np.array_equal(loaded.y, dataset.y)
+        assert loaded.source == "test"
+        assert loaded.fingerprint() == dataset.fingerprint()
+
+    def test_summary_readable(self, dataset):
+        text = dataset.summary()
+        assert "n=50" in text

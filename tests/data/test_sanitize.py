@@ -1,0 +1,124 @@
+"""Sanitization and provenance tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataValidator,
+    DrivingDataset,
+    ProvenanceLog,
+    require_valid,
+    sanitize,
+)
+from repro.errors import ValidationError
+from repro.highway import FEATURE_DIM, FeatureEncoder, Road, feature_index
+
+
+@pytest.fixture()
+def encoder():
+    return FeatureEncoder(Road())
+
+
+@pytest.fixture()
+def validator(encoder):
+    return DataValidator.default(encoder)
+
+
+def dataset_with_risk(rng, encoder, n=40, risky=5):
+    bounds = encoder.bounds()
+    x = rng.uniform(bounds[:, 0], bounds[:, 1], size=(n, FEATURE_DIM))
+    x[:, feature_index("left_present")] = 0.0
+    x[:, feature_index("right_present")] = 0.0
+    x[:, feature_index("front_present")] = 0.0
+    y = np.stack(
+        [rng.uniform(-0.3, 0.3, n), rng.uniform(-1, 1, n)], axis=1
+    )
+    ds = DrivingDataset(x, y)
+    for i in range(risky):
+        ds.x[i, feature_index("left_present")] = 1.0
+        ds.y[i, 0] = 1.8  # risky left command
+    return ds
+
+
+class TestSanitize:
+    def test_removes_exactly_the_risky_samples(self, rng, encoder, validator):
+        ds = dataset_with_risk(rng, encoder, n=40, risky=5)
+        result = sanitize(ds, validator)
+        assert result.removed_count == 5
+        assert len(result.clean) == 35
+        assert result.after.passed
+        assert not result.before.passed
+
+    def test_clean_data_untouched(self, rng, encoder, validator):
+        ds = dataset_with_risk(rng, encoder, risky=0)
+        result = sanitize(ds, validator)
+        assert result.was_clean
+        assert result.clean is ds
+
+    def test_logs_to_provenance(self, rng, encoder, validator):
+        ds = dataset_with_risk(rng, encoder, risky=3)
+        log = ProvenanceLog()
+        sanitize(ds, validator, log)
+        assert len(log.entries) == 1
+        assert log.entries[0].action == "sanitize"
+        assert "3 of 40" in log.entries[0].detail
+
+    def test_require_valid_gate(self, rng, encoder, validator):
+        risky = dataset_with_risk(rng, encoder, risky=2)
+        with pytest.raises(ValidationError):
+            require_valid(risky, validator)
+        clean = sanitize(risky, validator).clean
+        report = require_valid(clean, validator)
+        assert report.passed
+
+
+class TestProvenanceLog:
+    def test_chain_verifies(self):
+        log = ProvenanceLog()
+        log.record("generate", "500 samples")
+        log.record("sanitize", "removed 3")
+        log.record("train", "I4x10 seed 0")
+        assert log.verify_chain()
+
+    def test_tampering_detected(self):
+        log = ProvenanceLog()
+        log.record("generate", "500 samples")
+        log.record("sanitize", "removed 3")
+        log.entries[0].detail = "5000 samples"  # rewrite history
+        assert not log.verify_chain()
+
+    def test_reordering_detected(self):
+        log = ProvenanceLog()
+        log.record("a", "1")
+        log.record("b", "2")
+        log.entries.reverse()
+        assert not log.verify_chain()
+
+    def test_empty_action_rejected(self):
+        with pytest.raises(ValidationError):
+            ProvenanceLog().record("", "detail")
+
+    def test_save_load_round_trip(self, tmp_path):
+        log = ProvenanceLog()
+        log.record("generate", "data")
+        log.record("validate", "ok")
+        path = tmp_path / "prov.json"
+        log.save(path)
+        loaded = ProvenanceLog.load(path)
+        assert loaded.verify_chain()
+        assert [e.action for e in loaded.entries] == ["generate", "validate"]
+
+    def test_load_rejects_tampered_file(self, tmp_path):
+        log = ProvenanceLog()
+        log.record("generate", "data")
+        path = tmp_path / "prov.json"
+        log.save(path)
+        text = path.read_text().replace("data", "DATA")
+        path.write_text(text)
+        with pytest.raises(ValidationError):
+            ProvenanceLog.load(path)
+
+    def test_render(self):
+        log = ProvenanceLog()
+        log.record("generate", "something")
+        assert "generate" in log.render()

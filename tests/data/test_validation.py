@@ -1,0 +1,158 @@
+"""Validation-rule tests: each rule catches exactly its risky pattern."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ActionLimitsRule,
+    DataValidator,
+    DrivingDataset,
+    FeatureRangeRule,
+    FiniteValuesRule,
+    NoRiskyLeftManeuver,
+    NoRiskyRightManeuver,
+    TailgatingRule,
+)
+from repro.errors import ValidationError
+from repro.highway import FEATURE_DIM, FeatureEncoder, Road, feature_index
+
+
+def clean_dataset(rng, n=30):
+    """Samples inside all rule envelopes."""
+    encoder = FeatureEncoder(Road())
+    bounds = encoder.bounds()
+    x = rng.uniform(bounds[:, 0], bounds[:, 1], size=(n, FEATURE_DIM))
+    x[:, feature_index("left_present")] = 0.0
+    x[:, feature_index("right_present")] = 0.0
+    x[:, feature_index("front_present")] = 0.0
+    y = np.stack(
+        [rng.uniform(-0.4, 0.4, n), rng.uniform(-1.0, 1.0, n)], axis=1
+    )
+    return DrivingDataset(x, y)
+
+
+class TestNoRiskyLeftManeuver:
+    def test_clean_passes(self, rng):
+        result = NoRiskyLeftManeuver().check(clean_dataset(rng))
+        assert result.passed
+
+    def test_catches_risky_sample(self, rng):
+        ds = clean_dataset(rng)
+        ds.x[3, feature_index("left_present")] = 1.0
+        ds.y[3, 0] = 1.5  # strong left command with the slot occupied
+        result = NoRiskyLeftManeuver(max_left_velocity=0.5).check(ds)
+        assert not result.passed
+        assert result.violations.tolist() == [3]
+
+    def test_left_motion_without_neighbor_is_fine(self, rng):
+        ds = clean_dataset(rng)
+        ds.y[5, 0] = 1.5  # left move into a FREE slot
+        assert NoRiskyLeftManeuver().check(ds).passed
+
+    def test_neighbor_without_left_motion_is_fine(self, rng):
+        ds = clean_dataset(rng)
+        ds.x[5, feature_index("left_present")] = 1.0
+        ds.y[5, 0] = 0.0
+        assert NoRiskyLeftManeuver().check(ds).passed
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            NoRiskyLeftManeuver(max_left_velocity=-1.0)
+
+
+class TestNoRiskyRightManeuver:
+    def test_catches_rightward_risk(self, rng):
+        ds = clean_dataset(rng)
+        ds.x[7, feature_index("right_present")] = 1.0
+        ds.y[7, 0] = -1.5
+        result = NoRiskyRightManeuver().check(ds)
+        assert result.violations.tolist() == [7]
+
+
+class TestFeatureRangeRule:
+    def test_out_of_range_caught(self, rng):
+        encoder = FeatureEncoder(Road())
+        ds = clean_dataset(rng)
+        ds.x[2, feature_index("ego_speed")] = 500.0
+        result = FeatureRangeRule(encoder).check(ds)
+        assert result.violations.tolist() == [2]
+
+
+class TestFiniteValuesRule:
+    def test_nan_in_features(self, rng):
+        ds = clean_dataset(rng)
+        ds.x[1, 0] = np.nan
+        assert FiniteValuesRule().check(ds).violations.tolist() == [1]
+
+    def test_inf_in_labels(self, rng):
+        ds = clean_dataset(rng)
+        ds.y[4, 1] = np.inf
+        assert FiniteValuesRule().check(ds).violations.tolist() == [4]
+
+
+class TestActionLimits:
+    def test_extreme_lateral_caught(self, rng):
+        ds = clean_dataset(rng)
+        ds.y[0, 0] = 5.0
+        assert ActionLimitsRule().check(ds).violations.tolist() == [0]
+
+    def test_extreme_braking_caught(self, rng):
+        ds = clean_dataset(rng)
+        ds.y[6, 1] = -20.0
+        assert ActionLimitsRule().check(ds).violations.tolist() == [6]
+
+
+class TestTailgating:
+    def test_pushing_into_tiny_gap_caught(self, rng):
+        ds = clean_dataset(rng)
+        ds.x[8, feature_index("front_present")] = 1.0
+        ds.x[8, feature_index("front_gap")] = 2.0
+        ds.y[8, 1] = 2.0
+        assert TailgatingRule().check(ds).violations.tolist() == [8]
+
+    def test_braking_near_leader_is_fine(self, rng):
+        ds = clean_dataset(rng)
+        ds.x[8, feature_index("front_present")] = 1.0
+        ds.x[8, feature_index("front_gap")] = 2.0
+        ds.y[8, 1] = -3.0
+        assert TailgatingRule().check(ds).passed
+
+
+class TestDataValidator:
+    def test_default_battery_passes_clean(self, rng):
+        encoder = FeatureEncoder(Road())
+        report = DataValidator.default(encoder).validate(
+            clean_dataset(rng)
+        )
+        assert report.passed
+        assert report.total_violations == 0
+
+    def test_report_aggregates_violations(self, rng):
+        encoder = FeatureEncoder(Road())
+        ds = clean_dataset(rng)
+        ds.x[3, feature_index("left_present")] = 1.0
+        ds.y[3, 0] = 1.5
+        ds.y[9, 0] = 5.0
+        report = DataValidator.default(encoder).validate(ds)
+        assert not report.passed
+        assert set(report.violating_indices().tolist()) == {3, 9}
+
+    def test_render_mentions_verdict(self, rng):
+        encoder = FeatureEncoder(Road())
+        text = DataValidator.default(encoder).validate(
+            clean_dataset(rng)
+        ).render()
+        assert "VALID" in text
+
+    def test_empty_rule_list_rejected(self):
+        with pytest.raises(ValidationError):
+            DataValidator([])
+
+    def test_expert_data_is_valid(self, small_study):
+        """The real pipeline's data must pass its own battery —
+        the paper's 'training data never contains such inputs'."""
+        encoder = small_study.encoder
+        report = DataValidator.default(encoder).validate(
+            small_study.dataset
+        )
+        assert report.passed

@@ -1,0 +1,184 @@
+"""Feature-encoder tests: the 84-dim contract of the paper's predictor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.highway import (
+    FEATURE_DIM,
+    FeatureEncoder,
+    HighwaySimulator,
+    Road,
+    Vehicle,
+    feature_index,
+    feature_names,
+    overtaking_scene,
+    vehicle_on_left_scene,
+)
+
+
+@pytest.fixture()
+def road():
+    return Road()
+
+
+class TestSchema:
+    def test_exactly_84_features(self):
+        assert FEATURE_DIM == 84
+        assert len(feature_names()) == 84
+
+    def test_names_unique(self):
+        names = feature_names()
+        assert len(set(names)) == len(names)
+
+    def test_three_categories_present(self):
+        names = feature_names()
+        assert "ego_speed" in names                 # (i) speed profile
+        assert "left_present" in names              # (ii) neighbours
+        assert "road_friction" in names             # (iii) road condition
+
+    def test_feature_index_round_trip(self):
+        for i, name in enumerate(feature_names()):
+            assert feature_index(name) == i
+
+    def test_unknown_feature_raises(self):
+        with pytest.raises(SimulationError):
+            feature_index("nonexistent")
+
+    def test_bounds_shape_and_order(self, road):
+        bounds = FeatureEncoder(road).bounds()
+        assert bounds.shape == (84, 2)
+        assert np.all(bounds[:, 0] <= bounds[:, 1])
+
+
+class TestEncoding:
+    def test_left_occupied_scene(self, road):
+        sim = HighwaySimulator(road, vehicle_on_left_scene(road))
+        f = FeatureEncoder(road).encode(sim)
+        assert f.shape == (84,)
+        assert f[feature_index("left_present")] == 1.0
+        assert f[feature_index("left_gap")] < 8.0
+        assert f[feature_index("front_present")] == 1.0
+
+    def test_empty_slots_use_sensor_range(self, road):
+        ego = Vehicle(0, 100.0, 0.0, 28.0, 0, is_ego=True)
+        sim = HighwaySimulator(road, [ego])
+        encoder = FeatureEncoder(road, sensor_range=120.0)
+        f = encoder.encode(sim)
+        for orientation in ("front", "left", "rear"):
+            assert f[feature_index(f"{orientation}_present")] == 0.0
+            assert f[feature_index(f"{orientation}_gap")] == 120.0
+
+    def test_relative_speed_sign(self, road):
+        ego = Vehicle(0, 100.0, 0.0, 30.0, 0, is_ego=True)
+        slower = Vehicle(1, 140.0, 0.0, 20.0, 0)
+        sim = HighwaySimulator(road, [ego, slower])
+        f = FeatureEncoder(road).encode(sim)
+        assert f[feature_index("front_rel_speed")] == pytest.approx(-10.0)
+
+    def test_orientation_classification(self, road):
+        ego = Vehicle(0, 100.0, 0.0, 28.0, 0, is_ego=True)
+        front_left = Vehicle(1, 140.0, road.lane_center(1), 28.0, 1)
+        rear_right_lane = Vehicle(2, 60.0, road.lane_center(1), 28.0, 1)
+        sim = HighwaySimulator(road, [ego, front_left, rear_right_lane])
+        f = FeatureEncoder(road).encode(sim)
+        assert f[feature_index("front_left_present")] == 1.0
+        assert f[feature_index("rear_left_present")] == 1.0
+        assert f[feature_index("left_present")] == 0.0
+
+    def test_beside_window_boundary(self, road):
+        encoder = FeatureEncoder(road)
+        ego = Vehicle(0, 100.0, 0.0, 28.0, 0, is_ego=True)
+        beside = Vehicle(
+            1, 100.0 + encoder.BESIDE_WINDOW - 0.5,
+            road.lane_center(1), 28.0, 1,
+        )
+        sim = HighwaySimulator(road, [ego, beside])
+        f = encoder.encode(sim)
+        assert f[feature_index("left_present")] == 1.0
+
+    def test_beyond_adjacent_lane_ignored(self):
+        road = Road(num_lanes=3)
+        ego = Vehicle(0, 100.0, 0.0, 28.0, 0, is_ego=True)
+        far_left = Vehicle(1, 101.0, road.lane_center(2), 28.0, 2)
+        sim = HighwaySimulator(road, [ego, far_left])
+        f = FeatureEncoder(road).encode(sim)
+        assert f[feature_index("left_present")] == 0.0
+
+    def test_nearest_per_orientation_wins(self, road):
+        ego = Vehicle(0, 100.0, 0.0, 28.0, 0, is_ego=True)
+        near = Vehicle(1, 130.0, 0.0, 25.0, 0)
+        far = Vehicle(2, 170.0, 0.0, 20.0, 0)
+        sim = HighwaySimulator(road, [ego, near, far])
+        f = FeatureEncoder(road).encode(sim)
+        assert f[feature_index("front_speed")] == pytest.approx(25.0)
+
+    def test_speed_history_warmup_padding(self, road):
+        sim = HighwaySimulator(
+            road, [Vehicle(0, 0.0, 0.0, 25.0, 0, is_ego=True)]
+        )
+        encoder = FeatureEncoder(road)
+        f = encoder.encode(sim)
+        hist = f[4:12]
+        assert np.all(hist == 25.0)
+
+    def test_speed_history_tracks_changes(self, road):
+        sim = HighwaySimulator(
+            road,
+            [Vehicle(0, 0.0, 0.0, 10.0, 0, desired_speed=30.0,
+                     is_ego=True)],
+        )
+        encoder = FeatureEncoder(road)
+        for _ in range(12):
+            encoder.encode(sim)
+            sim.step()
+        f = encoder.encode(sim)
+        hist = f[4:12]
+        assert hist[-1] > hist[0]  # accelerating ego
+
+    def test_encoding_within_bounds(self, road, rng):
+        from repro.highway import ScenarioSpec, random_scene
+
+        vehicles = random_scene(road, rng, ScenarioSpec(num_vehicles=14))
+        sim = HighwaySimulator(road, vehicles)
+        encoder = FeatureEncoder(road)
+        bounds = encoder.bounds()
+        for _ in range(100):
+            sim.step()
+            f = encoder.encode(sim)
+            assert np.all(f >= bounds[:, 0] - 1e-9)
+            assert np.all(f <= bounds[:, 1] + 1e-9)
+
+    def test_reset_clears_history(self, road):
+        sim = HighwaySimulator(
+            road, [Vehicle(0, 0.0, 0.0, 20.0, 0, is_ego=True)]
+        )
+        encoder = FeatureEncoder(road)
+        encoder.encode(sim)
+        encoder.reset()
+        assert len(encoder._speed_history) == 0
+
+    def test_bad_sensor_range(self, road):
+        with pytest.raises(SimulationError):
+            FeatureEncoder(road, sensor_range=0.0)
+
+
+class TestRoadConditionBlock:
+    def test_road_features(self, road):
+        sim = HighwaySimulator(road, overtaking_scene(road))
+        f = FeatureEncoder(road).encode(sim)
+        assert f[feature_index("road_num_lanes")] == road.num_lanes
+        assert f[feature_index("road_lane_width")] == road.lane_width
+        assert f[feature_index("road_speed_limit")] == road.speed_limit
+        assert f[feature_index("road_friction")] == road.friction
+
+    def test_edge_distances_sum(self, road):
+        sim = HighwaySimulator(road, overtaking_scene(road))
+        f = FeatureEncoder(road).encode(sim)
+        total = (
+            f[feature_index("road_dist_right")]
+            + f[feature_index("road_dist_left")]
+        )
+        assert total == pytest.approx(
+            road.lane_center(road.leftmost_lane)
+        )

@@ -1,0 +1,113 @@
+"""IDM car-following model tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.highway import IDMParams, desired_gap, idm_acceleration
+
+
+@pytest.fixture()
+def params():
+    return IDMParams()
+
+
+class TestFreeRoad:
+    def test_accelerates_below_desired_speed(self, params):
+        assert idm_acceleration(params, 10.0, 30.0) > 0.0
+
+    def test_zero_at_desired_speed(self, params):
+        assert idm_acceleration(params, 30.0, 30.0) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_decelerates_above_desired_speed(self, params):
+        assert idm_acceleration(params, 35.0, 30.0) < 0.0
+
+    def test_max_accel_from_standstill(self, params):
+        assert idm_acceleration(params, 0.0, 30.0) == pytest.approx(
+            params.max_accel
+        )
+
+    def test_bad_desired_speed(self, params):
+        with pytest.raises(SimulationError):
+            idm_acceleration(params, 10.0, 0.0)
+
+
+class TestInteraction:
+    def test_brakes_for_close_slow_leader(self, params):
+        accel = idm_acceleration(
+            params, speed=30.0, desired_speed=30.0,
+            gap=5.0, leader_speed=10.0,
+        )
+        assert accel < -2.0
+
+    def test_zero_gap_emergency(self, params):
+        accel = idm_acceleration(
+            params, 30.0, 30.0, gap=0.0, leader_speed=30.0
+        )
+        assert accel == pytest.approx(-9.0)
+
+    def test_far_leader_is_like_free_road(self, params):
+        free = idm_acceleration(params, 20.0, 30.0)
+        with_leader = idm_acceleration(
+            params, 20.0, 30.0, gap=500.0, leader_speed=20.0
+        )
+        assert with_leader == pytest.approx(free, abs=0.05)
+
+    def test_braking_clamped(self, params):
+        accel = idm_acceleration(
+            params, 40.0, 30.0, gap=1.0, leader_speed=0.0
+        )
+        assert accel >= -9.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=1.0, max_value=200.0),
+        st.floats(min_value=0.0, max_value=40.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_acceleration_always_physical(self, speed, gap, leader_speed):
+        params = IDMParams()
+        accel = idm_acceleration(params, speed, 30.0, gap, leader_speed)
+        assert -9.0 <= accel <= params.max_accel
+
+    @given(st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_gap(self, gap):
+        """More space never means harder braking."""
+        params = IDMParams()
+        tighter = idm_acceleration(params, 25.0, 30.0, gap, 20.0)
+        looser = idm_acceleration(params, 25.0, 30.0, gap + 10.0, 20.0)
+        assert looser >= tighter - 1e-9
+
+
+class TestDesiredGap:
+    def test_standstill_gap(self, params):
+        assert desired_gap(params, 0.0, 0.0) == pytest.approx(
+            params.min_gap
+        )
+
+    def test_grows_with_speed(self, params):
+        assert desired_gap(params, 30.0, 0.0) > desired_gap(
+            params, 10.0, 0.0
+        )
+
+    def test_grows_with_approach_rate(self, params):
+        assert desired_gap(params, 20.0, 5.0) > desired_gap(
+            params, 20.0, 0.0
+        )
+
+    def test_never_below_min_gap(self, params):
+        assert desired_gap(params, 20.0, -50.0) >= params.min_gap
+
+
+class TestParams:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SimulationError):
+            IDMParams(max_accel=0.0)
+        with pytest.raises(SimulationError):
+            IDMParams(min_gap=-1.0)

@@ -1,0 +1,105 @@
+"""Traffic-safety metric tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.highway import (
+    HighwaySimulator,
+    Road,
+    TrajectoryRecorder,
+    Vehicle,
+    summarize_safety,
+    time_headway,
+    time_to_collision,
+)
+
+
+def frame_with(gap, ego_speed, leader_speed, lanes=1):
+    road = Road(num_lanes=lanes)
+    ego = Vehicle(0, 100.0, 0.0, ego_speed, 0, is_ego=True)
+    leader = Vehicle(1, 100.0 + gap + 4.5, 0.0, leader_speed, 0,
+                     desired_speed=max(leader_speed, 1.0))
+    sim = HighwaySimulator(road, [ego, leader])
+    recorder = TrajectoryRecorder()
+    return recorder.capture(sim), road
+
+
+class TestTTC:
+    def test_closing_leader(self):
+        frame, road = frame_with(gap=40.0, ego_speed=30.0, leader_speed=20.0)
+        assert time_to_collision(frame, road) == pytest.approx(4.0)
+
+    def test_receding_leader_infinite(self):
+        frame, road = frame_with(gap=40.0, ego_speed=20.0, leader_speed=30.0)
+        assert math.isinf(time_to_collision(frame, road))
+
+    def test_no_leader_infinite(self):
+        road = Road()
+        ego = Vehicle(0, 100.0, 0.0, 30.0, 0, is_ego=True)
+        sim = HighwaySimulator(road, [ego])
+        frame = TrajectoryRecorder().capture(sim)
+        assert math.isinf(time_to_collision(frame, road))
+
+    def test_other_lane_ignored(self):
+        road = Road()
+        ego = Vehicle(0, 100.0, 0.0, 30.0, 0, is_ego=True)
+        other = Vehicle(1, 120.0, road.lane_center(1), 10.0, 1)
+        sim = HighwaySimulator(road, [ego, other])
+        frame = TrajectoryRecorder().capture(sim)
+        assert math.isinf(time_to_collision(frame, road))
+
+
+class TestHeadway:
+    def test_basic(self):
+        frame, road = frame_with(gap=30.0, ego_speed=30.0, leader_speed=30.0)
+        assert time_headway(frame, road) == pytest.approx(1.0)
+
+    def test_standstill_infinite(self):
+        frame, road = frame_with(gap=30.0, ego_speed=0.0, leader_speed=10.0)
+        assert math.isinf(time_headway(frame, road))
+
+
+class TestSummary:
+    def test_empty_recording_rejected(self):
+        road = Road()
+        with pytest.raises(SimulationError):
+            summarize_safety(TrajectoryRecorder(), road)
+
+    def test_summary_of_car_following(self):
+        road = Road(num_lanes=1)
+        ego = Vehicle(0, 100.0, 0.0, 30.0, 0, is_ego=True,
+                      desired_speed=32.0)
+        leader = Vehicle(1, 160.0, 0.0, 22.0, 0, desired_speed=22.0)
+        sim = HighwaySimulator(road, [ego, leader])
+        recorder = TrajectoryRecorder()
+        recorder.record(sim, 500)
+        summary = summarize_safety(recorder, road)
+        assert summary.frames == 500
+        assert summary.min_gap > 0.0       # never collided
+        assert summary.min_ttc > 1.0       # IDM keeps TTC healthy
+        assert summary.lane_changes == 0
+        assert 20.0 < summary.mean_speed < 31.0
+
+    def test_summary_records_lane_changes(self):
+        from repro.highway import overtaking_scene
+
+        road = Road()
+        sim = HighwaySimulator(road, overtaking_scene(road))
+        recorder = TrajectoryRecorder()
+        recorder.record(sim, 300)
+        summary = summarize_safety(recorder, road)
+        assert summary.lane_changes >= 1
+        assert summary.max_left_velocity > 0.0
+
+    def test_render(self):
+        road = Road(num_lanes=1)
+        ego = Vehicle(0, 0.0, 0.0, 25.0, 0, is_ego=True)
+        sim = HighwaySimulator(road, [ego])
+        recorder = TrajectoryRecorder()
+        recorder.record(sim, 10)
+        text = summarize_safety(recorder, road).render()
+        assert "min TTC" in text
+        assert "10 frames" in text

@@ -1,0 +1,122 @@
+"""MOBIL lane-change model tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.highway import IDMParams, MOBILParams, NeighborView, lane_change_decision
+
+
+@pytest.fixture()
+def idm():
+    return IDMParams()
+
+
+@pytest.fixture()
+def mobil():
+    return MOBILParams()
+
+
+class TestIncentive:
+    def test_changes_away_from_slow_leader(self, idm, mobil):
+        """Stuck behind a slow car, free target lane: change."""
+        assert lane_change_decision(
+            idm, mobil,
+            speed=30.0, desired_speed=33.0,
+            current_leader=NeighborView(gap=15.0, speed=20.0),
+            target_leader=None,
+            target_follower=None,
+        )
+
+    def test_no_change_without_benefit(self, idm, mobil):
+        """Free current lane: no reason to change."""
+        assert not lane_change_decision(
+            idm, mobil,
+            speed=30.0, desired_speed=33.0,
+            current_leader=None,
+            target_leader=None,
+            target_follower=None,
+        )
+
+    def test_no_change_to_slower_lane(self, idm, mobil):
+        assert not lane_change_decision(
+            idm, mobil,
+            speed=30.0, desired_speed=33.0,
+            current_leader=NeighborView(gap=40.0, speed=28.0),
+            target_leader=NeighborView(gap=10.0, speed=15.0),
+            target_follower=None,
+        )
+
+    def test_keep_right_bias_tips_decision(self, idm):
+        """A borderline change passes with the rightward bias only."""
+        eager = MOBILParams(threshold=0.1, keep_right_bias=0.2)
+        kwargs = dict(
+            speed=30.0,
+            desired_speed=33.0,
+            current_leader=NeighborView(gap=30.0, speed=28.5),
+            target_leader=None,
+            target_follower=None,
+        )
+        left = lane_change_decision(
+            idm, eager, toward_right=False, **kwargs
+        )
+        right = lane_change_decision(
+            idm, eager, toward_right=True, **kwargs
+        )
+        # The bias can only make rightward moves at least as attractive.
+        assert right or not left
+
+
+class TestSafety:
+    def test_blocked_by_close_fast_follower(self, idm, mobil):
+        """A fast follower arriving in the target lane vetoes the change."""
+        assert not lane_change_decision(
+            idm, mobil,
+            speed=20.0, desired_speed=33.0,
+            current_leader=NeighborView(gap=10.0, speed=10.0),
+            target_leader=None,
+            target_follower=NeighborView(gap=2.0, speed=35.0),
+            target_follower_desired=35.0,
+        )
+
+    def test_distant_follower_does_not_block(self, idm, mobil):
+        assert lane_change_decision(
+            idm, mobil,
+            speed=30.0, desired_speed=33.0,
+            current_leader=NeighborView(gap=12.0, speed=18.0),
+            target_leader=None,
+            target_follower=NeighborView(gap=80.0, speed=28.0),
+        )
+
+    def test_politeness_discourages_imposition(self, idm):
+        """A very polite driver stays put when the change costs others."""
+        kwargs = dict(
+            speed=28.0,
+            desired_speed=33.0,
+            current_leader=NeighborView(gap=60.0, speed=26.0),
+            target_leader=None,
+            # follower forced to brake noticeably but within the safety
+            # limit (about -2.7 m/s^2 with these numbers)
+            target_follower=NeighborView(gap=70.0, speed=33.0),
+            target_follower_desired=35.0,
+        )
+        selfish = lane_change_decision(
+            idm, MOBILParams(politeness=0.0, threshold=0.1), **kwargs
+        )
+        polite = lane_change_decision(
+            idm, MOBILParams(politeness=1.0, threshold=0.1), **kwargs
+        )
+        assert selfish and not polite
+
+
+class TestParams:
+    def test_negative_politeness_rejected(self):
+        with pytest.raises(SimulationError):
+            MOBILParams(politeness=-0.1)
+
+    def test_bad_safe_decel_rejected(self):
+        with pytest.raises(SimulationError):
+            MOBILParams(max_safe_decel=0.0)
+
+    def test_negative_gap_view_clamped(self):
+        view = NeighborView(gap=-3.0, speed=10.0)
+        assert view.gap == 0.0

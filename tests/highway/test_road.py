@@ -1,0 +1,72 @@
+"""Road geometry tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.highway import Road
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        road = Road()
+        assert road.num_lanes == 3
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(SimulationError):
+            Road(num_lanes=0)
+
+    def test_bad_friction_rejected(self):
+        with pytest.raises(SimulationError):
+            Road(friction=0.0)
+        with pytest.raises(SimulationError):
+            Road(friction=1.5)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            Road(lane_width=-1.0)
+        with pytest.raises(SimulationError):
+            Road(length=0.0)
+
+
+class TestGeometry:
+    def test_lane_centers(self):
+        road = Road(lane_width=3.5)
+        assert road.lane_center(0) == 0.0
+        assert road.lane_center(2) == 7.0
+
+    def test_lane_center_out_of_range(self):
+        with pytest.raises(SimulationError):
+            Road(num_lanes=2).lane_center(2)
+
+    def test_lane_of_rounds_to_nearest(self):
+        road = Road(lane_width=3.5)
+        assert road.lane_of(0.0) == 0
+        assert road.lane_of(1.9) == 1
+        assert road.lane_of(1.5) == 0
+
+    def test_lane_of_clamps(self):
+        road = Road(num_lanes=2, lane_width=3.5)
+        assert road.lane_of(-10.0) == 0
+        assert road.lane_of(100.0) == 1
+
+    def test_leftmost_lane(self):
+        assert Road(num_lanes=4).leftmost_lane == 3
+
+
+class TestRingArithmetic:
+    def test_wrap(self):
+        road = Road(length=1000.0)
+        assert road.wrap(1001.0) == pytest.approx(1.0)
+        assert road.wrap(-1.0) == pytest.approx(999.0)
+
+    def test_gap_forward(self):
+        road = Road(length=1000.0)
+        assert road.gap(10.0, 30.0) == pytest.approx(20.0)
+
+    def test_gap_wraps_around(self):
+        road = Road(length=1000.0)
+        assert road.gap(990.0, 10.0) == pytest.approx(20.0)
+
+    def test_gap_asymmetric(self):
+        road = Road(length=1000.0)
+        assert road.gap(30.0, 10.0) == pytest.approx(980.0)

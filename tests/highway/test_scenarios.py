@@ -1,0 +1,161 @@
+"""Dataset generation and canned-scenario tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.highway import (
+    DatasetSpec,
+    HighwaySimulator,
+    Road,
+    ScenarioSpec,
+    TrajectoryRecorder,
+    generate_expert_dataset,
+    overtaking_scene,
+    vehicle_on_left_scene,
+)
+
+
+class TestCannedScenes:
+    def test_left_scene_blocker_position(self):
+        road = Road()
+        vehicles = vehicle_on_left_scene(road)
+        ego = next(v for v in vehicles if v.is_ego)
+        blocker = vehicles[1]
+        assert abs(blocker.x - ego.x) < 5.0
+        assert road.lane_of(blocker.y) == road.lane_of(ego.y) + 1
+
+    def test_left_scene_needs_two_lanes(self):
+        with pytest.raises(SimulationError):
+            vehicle_on_left_scene(Road(num_lanes=1))
+
+    def test_overtaking_scene_has_slow_leader(self):
+        road = Road()
+        vehicles = overtaking_scene(road)
+        ego = next(v for v in vehicles if v.is_ego)
+        leader = vehicles[1]
+        assert leader.speed < ego.speed
+        assert road.lane_of(leader.y) == road.lane_of(ego.y)
+
+
+class TestRandomOvertakingScene:
+    def test_structure(self, rng):
+        from repro.highway import random_overtaking_scene
+
+        road = Road()
+        vehicles = random_overtaking_scene(road, rng)
+        ego = next(v for v in vehicles if v.is_ego)
+        leader = vehicles[1]
+        assert road.lane_of(ego.y) == 0
+        assert road.lane_of(leader.y) == 0
+        assert leader.speed < ego.speed
+        assert 30.0 <= leader.x - ego.x <= 80.0
+
+    def test_needs_two_lanes(self, rng):
+        from repro.highway import random_overtaking_scene
+
+        with pytest.raises(SimulationError):
+            random_overtaking_scene(Road(num_lanes=1), rng)
+
+    def test_overtake_fraction_enriches_left_changes(self):
+        road = Road()
+        plain = generate_expert_dataset(
+            road,
+            DatasetSpec(episodes=6, steps_per_episode=150, seed=4),
+        )[1]
+        rich = generate_expert_dataset(
+            road,
+            DatasetSpec(
+                episodes=6, steps_per_episode=150, seed=4,
+                overtake_fraction=1.0,
+            ),
+        )[1]
+        left_plain = int(np.sum(plain[:, 0] > 0.1))
+        left_rich = int(np.sum(rich[:, 0] > 0.1))
+        assert left_rich > left_plain
+
+
+class TestExpertDataset:
+    def test_shapes_and_sizes(self):
+        road = Road()
+        spec = DatasetSpec(episodes=2, steps_per_episode=50)
+        x, y = generate_expert_dataset(road, spec)
+        assert x.shape == (100, 84)
+        assert y.shape == (100, 2)
+
+    def test_deterministic_given_seed(self):
+        road = Road()
+        spec = DatasetSpec(episodes=1, steps_per_episode=30, seed=9)
+        x1, y1 = generate_expert_dataset(road, spec)
+        x2, y2 = generate_expert_dataset(road, spec)
+        assert np.array_equal(x1, x2)
+        assert np.array_equal(y1, y2)
+
+    def test_different_seeds_differ(self):
+        road = Road()
+        a = generate_expert_dataset(
+            road, DatasetSpec(episodes=1, steps_per_episode=30, seed=1)
+        )[0]
+        b = generate_expert_dataset(
+            road, DatasetSpec(episodes=1, steps_per_episode=30, seed=2)
+        )[0]
+        assert not np.array_equal(a, b)
+
+    def test_actions_physically_plausible(self):
+        road = Road()
+        _x, y = generate_expert_dataset(
+            road, DatasetSpec(episodes=3, steps_per_episode=100)
+        )
+        assert np.all(np.abs(y[:, 0]) <= 2.0)   # lateral velocity
+        assert np.all(y[:, 1] >= -9.0)          # braking limit
+        assert np.all(y[:, 1] <= 3.0)           # IDM accel limit
+
+    def test_expert_never_left_into_occupied_slot(self):
+        """The property that makes the expert data *valid* (Sec. II C):
+        the MOBIL expert never commands leftward motion while the left
+        slot is occupied."""
+        from repro.highway import feature_index
+
+        road = Road()
+        x, y = generate_expert_dataset(
+            road, DatasetSpec(episodes=4, steps_per_episode=200)
+        )
+        left_present = x[:, feature_index("left_present")] > 0.5
+        risky = y[:, 0] > 0.5
+        assert not np.any(left_present & risky)
+
+
+class TestRecorder:
+    def test_capture_and_track(self):
+        road = Road()
+        sim = HighwaySimulator(road, overtaking_scene(road))
+        recorder = TrajectoryRecorder()
+        recorder.record(sim, 50)
+        assert len(recorder.frames) == 50
+        track = recorder.ego_track()
+        assert track.shape == (50, 6)
+        assert np.all(np.diff(track[:, 0]) > 0)  # time increases
+
+    def test_lane_change_count(self):
+        road = Road()
+        sim = HighwaySimulator(road, overtaking_scene(road))
+        recorder = TrajectoryRecorder()
+        recorder.record(sim, 300)
+        assert recorder.lane_change_count() >= 1  # the overtake
+
+    def test_empty_recorder(self):
+        recorder = TrajectoryRecorder()
+        assert recorder.ego_track().shape == (0, 6)
+        assert recorder.lane_change_count() == 0
+
+    def test_frame_without_ego_raises(self):
+        road = Road()
+        sim = HighwaySimulator(
+            road, [__import__("repro.highway", fromlist=["Vehicle"]).Vehicle(
+                0, 0.0, 0.0, 20.0, 0
+            )]
+        )
+        recorder = TrajectoryRecorder()
+        frame = recorder.capture(sim)
+        with pytest.raises(SimulationError):
+            frame.ego()

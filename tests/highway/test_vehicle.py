@@ -1,0 +1,63 @@
+"""Vehicle state tests: validation, lane occupancy, copying."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.highway import Road, Vehicle
+
+
+class TestValidation:
+    def test_negative_speed_rejected(self):
+        with pytest.raises(SimulationError):
+            Vehicle(0, 0.0, 0.0, -1.0, 0)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(SimulationError):
+            Vehicle(0, 0.0, 0.0, 10.0, 0, length=0.0)
+        with pytest.raises(SimulationError):
+            Vehicle(0, 0.0, 0.0, 10.0, 0, width=-1.0)
+
+
+class TestOccupiedLanes:
+    def test_centered_vehicle_occupies_one_lane(self):
+        road = Road()
+        car = Vehicle(0, 0.0, road.lane_center(1), 20.0, 1)
+        assert car.occupied_lanes(road) == [1]
+
+    def test_mid_change_occupies_two_lanes(self):
+        road = Road(lane_width=3.5)
+        car = Vehicle(0, 0.0, 1.75, 20.0, 1)  # exactly between 0 and 1
+        lanes = car.occupied_lanes(road)
+        assert set(lanes) == {0, 1}
+
+    def test_slightly_offset_still_one_lane(self):
+        road = Road(lane_width=3.5)
+        car = Vehicle(0, 0.0, 0.3, 20.0, 0)
+        assert car.occupied_lanes(road) == [0]
+
+    def test_never_empty(self):
+        road = Road()
+        car = Vehicle(0, 0.0, 100.0, 20.0, 2)  # absurd lateral position
+        assert car.occupied_lanes(road)
+
+
+class TestState:
+    def test_changing_lanes_flag(self):
+        car = Vehicle(0, 0.0, 0.0, 20.0, 0)
+        assert not car.changing_lanes
+        car.lateral_velocity = 1.0
+        assert car.changing_lanes
+
+    def test_copy_independent(self):
+        car = Vehicle(0, 0.0, 0.0, 20.0, 0)
+        clone = car.copy()
+        clone.speed = 5.0
+        clone.x = 50.0
+        assert car.speed == 20.0
+        assert car.x == 0.0
+
+    def test_defaults(self):
+        car = Vehicle(0, 0.0, 0.0, 20.0, 0)
+        assert car.length == pytest.approx(4.5)
+        assert not car.is_ego
+        assert car.accel == 0.0

@@ -1,0 +1,134 @@
+"""Unit tests for the linear-expression algebra."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.milp import Constraint, ConstraintOp, LinExpr, Model, VarType
+
+
+@pytest.fixture()
+def model():
+    return Model("t")
+
+
+class TestVariableArithmetic:
+    def test_add_variables(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        expr = x + y
+        assert expr.coeffs == {0: 1.0, 1: 1.0}
+        assert expr.constant == 0.0
+
+    def test_scalar_multiply(self, model):
+        x = model.add_var("x")
+        expr = 3 * x
+        assert expr.coeffs == {0: 3.0}
+
+    def test_right_and_left_multiply_agree(self, model):
+        x = model.add_var("x")
+        assert (2 * x).coeffs == (x * 2).coeffs
+
+    def test_subtraction(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        expr = x - 2 * y
+        assert expr.coeffs == {0: 1.0, 1: -2.0}
+
+    def test_rsub_constant(self, model):
+        x = model.add_var("x")
+        expr = 5 - x
+        assert expr.coeffs == {0: -1.0}
+        assert expr.constant == 5.0
+
+    def test_negation(self, model):
+        x = model.add_var("x")
+        assert (-x).coeffs == {0: -1.0}
+
+    def test_division(self, model):
+        x = model.add_var("x")
+        assert (x / 4).coeffs == {0: 0.25}
+
+    def test_division_by_zero_raises(self, model):
+        x = model.add_var("x")
+        with pytest.raises(ZeroDivisionError):
+            _ = x.to_expr() / 0
+
+    def test_sum_builtin(self, model):
+        xs = model.add_vars(4, "v")
+        expr = sum(xs)
+        assert expr.coeffs == {i: 1.0 for i in range(4)}
+
+
+class TestLinExpr:
+    def test_constant_expression(self):
+        expr = LinExpr({}, 3.5)
+        assert expr.is_constant()
+        assert expr.value({}) == 3.5
+
+    def test_from_terms_merges_duplicates(self, model):
+        x = model.add_var("x")
+        expr = LinExpr.from_terms([(x, 1.0), (x, 2.0)], constant=1.0)
+        assert expr.coeffs == {0: 3.0}
+        assert expr.constant == 1.0
+
+    def test_value_evaluation(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        expr = 2 * x - y + 1
+        assert expr.value({0: 3.0, 1: 4.0}) == pytest.approx(3.0)
+
+    def test_scale_non_number_raises(self, model):
+        x = model.add_var("x")
+        with pytest.raises(ModelError):
+            x.to_expr() * "bad"  # type: ignore[operator]
+
+    def test_copy_is_independent(self, model):
+        x = model.add_var("x")
+        expr = x + 1
+        clone = expr.copy()
+        clone.coeffs[0] = 99.0
+        assert expr.coeffs[0] == 1.0
+
+
+class TestConstraints:
+    def test_le_builds_constraint(self, model):
+        x = model.add_var("x")
+        constraint = x + 1 <= 5
+        assert isinstance(constraint, Constraint)
+        assert constraint.op is ConstraintOp.LE
+        assert constraint.rhs() == pytest.approx(4.0)
+
+    def test_ge_builds_constraint(self, model):
+        x = model.add_var("x")
+        constraint = 2 * x >= 3
+        assert constraint.op is ConstraintOp.GE
+        assert constraint.rhs() == pytest.approx(3.0)
+
+    def test_eq_builds_constraint(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        constraint = x + y == 2
+        assert constraint.op is ConstraintOp.EQ
+
+    def test_satisfied_le(self, model):
+        x = model.add_var("x")
+        constraint = x <= 5
+        assert constraint.satisfied({0: 4.9})
+        assert not constraint.satisfied({0: 5.1})
+
+    def test_satisfied_eq_with_tolerance(self, model):
+        x = model.add_var("x")
+        constraint = x == 1
+        assert constraint.satisfied({0: 1.0 + 1e-9})
+        assert not constraint.satisfied({0: 1.1})
+
+    def test_variable_vs_variable_comparison(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        constraint = x <= y
+        assert constraint.expr.coeffs == {0: 1.0, 1: -1.0}
+
+    def test_binary_bounds_clipped(self, model):
+        b = model.add_var("b", lb=-5, ub=5, vtype=VarType.BINARY)
+        assert model.lb[b.index] == 0.0
+        assert model.ub[b.index] == 1.0

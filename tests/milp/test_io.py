@@ -1,0 +1,82 @@
+"""LP-format export tests."""
+
+import math
+
+import pytest
+
+from repro.milp import Model, Sense, VarType, model_to_lp, write_lp
+
+
+@pytest.fixture()
+def model():
+    m = Model("demo")
+    x = m.add_var("x", lb=0, ub=4)
+    y = m.add_var("y", lb=-1, ub=math.inf)
+    b = m.add_var("b", vtype=VarType.BINARY)
+    n = m.add_var("n", vtype=VarType.INTEGER, ub=9)
+    m.add_constr(x + 2 * y <= 7, name="cap")
+    m.add_constr(x - b >= 0, name="link")
+    m.add_constr(y + n == 3, name="bal")
+    m.set_objective(3 * x - y, sense=Sense.MAXIMIZE)
+    return m
+
+
+class TestLPFormat:
+    def test_sections_present(self, model):
+        text = model_to_lp(model)
+        for section in ("Maximize", "Subject To", "Bounds",
+                        "Binaries", "Generals", "End"):
+            assert section in text
+
+    def test_objective_terms(self, model):
+        text = model_to_lp(model)
+        assert "obj: 3 x - y" in text
+
+    def test_constraint_operators(self, model):
+        text = model_to_lp(model)
+        assert "cap: x + 2 y <= 7" in text
+        assert "link: x - b >= 0" in text
+        assert "bal: y + n = 3" in text
+
+    def test_bounds_section(self, model):
+        text = model_to_lp(model)
+        assert "0 <= x <= 4" in text
+        assert "-1 <= y <= +inf" in text
+
+    def test_default_bounds_omitted(self):
+        m = Model()
+        m.add_var("free_default")  # [0, inf): the LP-format default
+        m.set_objective(m.var_by_name("free_default"))
+        text = model_to_lp(m)
+        assert "free_default <=" not in text.split("Bounds")[1]
+
+    def test_binary_and_general_lists(self, model):
+        text = model_to_lp(model)
+        assert "\n b" in text.split("Binaries")[1].split("Generals")[0]
+        assert "n" in text.split("Generals")[1]
+
+    def test_minimize_sense(self):
+        m = Model()
+        x = m.add_var("x")
+        m.set_objective(x, sense=Sense.MINIMIZE)
+        assert "Minimize" in model_to_lp(m)
+
+    def test_write_lp_file(self, model, tmp_path):
+        path = tmp_path / "model.lp"
+        write_lp(model, path)
+        assert path.read_text() == model_to_lp(model)
+
+    def test_verification_encoding_exports(self, tiny_net):
+        """The real use case: export an encoded network."""
+        import numpy as np
+
+        from repro.core.encoder import EncoderOptions, encode_network
+        from repro.core.properties import InputRegion
+
+        region = InputRegion(np.array([[-1.0, 1.0]] * 6))
+        encoded = encode_network(
+            tiny_net, region, EncoderOptions(bound_mode="interval")
+        )
+        text = model_to_lp(encoded.model)
+        assert "relu_ge_0_0" in text
+        assert "Binaries" in text

@@ -1,0 +1,79 @@
+"""Tests for presolve bound propagation."""
+
+import pytest
+
+from repro.milp import Model, VarType
+from repro.milp.presolve import (
+    InfeasiblePresolve,
+    count_fixed_integers,
+    propagate_bounds,
+)
+
+
+class TestPropagation:
+    def test_le_row_tightens_upper_bound(self):
+        model = Model()
+        x = model.add_var("x", ub=100)
+        y = model.add_var("y", ub=100)
+        model.add_constr(x + y <= 10)
+        changes = propagate_bounds(model)
+        assert changes >= 2
+        assert model.ub[0] == pytest.approx(10.0)
+        assert model.ub[1] == pytest.approx(10.0)
+
+    def test_ge_row_tightens_lower_bound(self):
+        model = Model()
+        x = model.add_var("x", lb=0, ub=100)
+        model.add_constr(x >= 7)
+        propagate_bounds(model)
+        assert model.lb[0] == pytest.approx(7.0)
+
+    def test_eq_row_propagates_both_ways(self):
+        model = Model()
+        x = model.add_var("x", ub=100)
+        y = model.add_var("y", ub=3)
+        model.add_constr(x + y == 5)
+        propagate_bounds(model)
+        assert model.ub[0] == pytest.approx(5.0)
+        assert model.lb[0] == pytest.approx(2.0)
+
+    def test_integer_rounding(self):
+        model = Model()
+        x = model.add_var("x", vtype=VarType.INTEGER, ub=100)
+        model.add_constr(2 * x <= 7)
+        propagate_bounds(model)
+        assert model.ub[0] == pytest.approx(3.0)  # floor(3.5)
+
+    def test_binary_fixed_by_bigm(self):
+        """The ReLU big-M pattern: a tight activation bound pins d."""
+        model = Model()
+        a = model.add_var("a", lb=0, ub=0.0)  # stably inactive post var
+        d = model.add_var("d", vtype=VarType.BINARY)
+        # a >= 3 - 10(1-d)  <=>  -a - 10 d <= -3 ... with a = 0: d <= 0.7
+        model.add_constr(-1 * a + 10 * d <= 7)
+        propagate_bounds(model)
+        assert model.ub[1] == pytest.approx(0.0)
+        assert count_fixed_integers(model) == 1
+
+    def test_infeasible_detected(self):
+        model = Model()
+        x = model.add_var("x", lb=5, ub=10)
+        model.add_constr(x <= 2)
+        with pytest.raises(InfeasiblePresolve):
+            propagate_bounds(model)
+
+    def test_chained_propagation(self):
+        model = Model()
+        x = model.add_var("x", ub=100)
+        y = model.add_var("y", ub=100)
+        z = model.add_var("z", ub=100)
+        model.add_constr(x <= 4)
+        model.add_constr(y <= x)      # y - x <= 0
+        model.add_constr(z <= y)
+        propagate_bounds(model)
+        assert model.ub[2] == pytest.approx(4.0)
+
+    def test_no_change_returns_zero(self):
+        model = Model()
+        model.add_var("x", ub=1)
+        assert propagate_bounds(model) == 0

@@ -1,0 +1,67 @@
+"""HiGHS backend wrapper tests: status mapping and bounds conversion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.milp.scipy_backend import solve_lp
+from repro.milp.status import SolveStatus
+
+
+class TestStatusMapping:
+    def test_optimal(self):
+        res = solve_lp(np.array([1.0]), bounds=[(0.0, 5.0)])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(0.0)
+
+    def test_infeasible(self):
+        res = solve_lp(
+            np.array([1.0]),
+            A_ub=np.array([[1.0], [-1.0]]),
+            b_ub=np.array([1.0, -2.0]),
+            bounds=[(0.0, 10.0)],
+        )
+        assert res.status is SolveStatus.INFEASIBLE
+        assert res.x is None
+
+    def test_unbounded(self):
+        res = solve_lp(np.array([-1.0]), bounds=[(0.0, math.inf)])
+        assert res.status is SolveStatus.UNBOUNDED
+
+
+class TestBoundsConversion:
+    def test_infinite_bounds_translated(self):
+        res = solve_lp(
+            np.array([1.0]),
+            A_ub=np.array([[-1.0]]),
+            b_ub=np.array([3.0]),  # x >= -3
+            bounds=[(-math.inf, math.inf)],
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-3.0)
+
+    def test_default_bounds_nonnegative(self):
+        res = solve_lp(np.array([1.0]))
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.x == pytest.approx([0.0])
+
+    def test_equality_constraints(self):
+        res = solve_lp(
+            np.array([1.0, 2.0]),
+            A_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([5.0]),
+            bounds=[(0.0, 10.0), (0.0, 10.0)],
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(5.0)  # all mass on x0
+
+    def test_iterations_reported(self):
+        res = solve_lp(
+            np.array([-1.0, -1.0]),
+            A_ub=np.array([[1.0, 2.0], [3.0, 1.0]]),
+            b_ub=np.array([4.0, 6.0]),
+            bounds=[(0.0, 10.0)] * 2,
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.iterations >= 0

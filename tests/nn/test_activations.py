@@ -1,0 +1,83 @@
+"""Activation function tests, including the paper's branch census claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import EncodingError
+from repro.nn.activations import (
+    activation_names,
+    get_activation,
+    has_branches,
+    relu,
+    relu_grad,
+    tanh_grad,
+)
+
+ARRAYS = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(max_dims=2, max_side=6),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+class TestRelu:
+    @given(ARRAYS)
+    @settings(max_examples=30, deadline=None)
+    def test_non_negative(self, z):
+        assert np.all(relu(z) >= 0)
+
+    @given(ARRAYS)
+    @settings(max_examples=30, deadline=None)
+    def test_identity_on_positive(self, z):
+        pos = np.abs(z) + 0.1
+        assert np.allclose(relu(pos), pos)
+
+    def test_gradient_is_indicator(self):
+        z = np.array([-1.0, 0.0, 2.0])
+        assert relu_grad(z).tolist() == [0.0, 0.0, 1.0]
+
+
+class TestTanh:
+    @given(st.floats(min_value=-5, max_value=5, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_matches_numerical(self, z0):
+        z = np.array([z0])
+        eps = 1e-6
+        numeric = (np.tanh(z + eps) - np.tanh(z - eps)) / (2 * eps)
+        assert tanh_grad(z) == pytest.approx(numeric, abs=1e-6)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(activation_names()) == {"relu", "tanh", "identity"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(EncodingError):
+            get_activation("sigmoid")
+
+    @pytest.mark.parametrize("name", ["relu", "tanh", "identity"])
+    def test_pairs_are_callable(self, name):
+        fn, grad = get_activation(name)
+        z = np.linspace(-1, 1, 5)
+        assert fn(z).shape == z.shape
+        assert grad(z).shape == z.shape
+
+
+class TestBranchSemantics:
+    """Sec. II: relu branches, smooth activations do not."""
+
+    def test_relu_branches(self):
+        assert has_branches("relu")
+
+    def test_tanh_does_not_branch(self):
+        assert not has_branches("tanh")
+
+    def test_identity_does_not_branch(self):
+        assert not has_branches("identity")
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(EncodingError):
+            has_branches("atan")

@@ -1,0 +1,139 @@
+"""Dense layer tests: shapes, gradient checks, caching discipline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.layers import DenseLayer
+
+
+def numerical_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(TrainingError):
+            DenseLayer(np.zeros(3), np.zeros(3))
+        with pytest.raises(TrainingError):
+            DenseLayer(np.zeros((3, 2)), np.zeros(3))
+
+    def test_create_uses_he_for_relu(self, rng):
+        layer = DenseLayer.create(100, 50, "relu", rng)
+        # He std = sqrt(2/100) ~ 0.141
+        assert layer.weights.std() == pytest.approx(0.141, abs=0.03)
+
+    def test_fans(self):
+        layer = DenseLayer(np.zeros((4, 7)), np.zeros(7))
+        assert (layer.fan_in, layer.fan_out) == (4, 7)
+
+
+class TestForward:
+    def test_linear_identity(self):
+        layer = DenseLayer(np.eye(3), np.array([1.0, 2.0, 3.0]), "identity")
+        out = layer.forward(np.array([[1.0, 1.0, 1.0]]))
+        assert out.tolist() == [[2.0, 3.0, 4.0]]
+
+    def test_relu_clips(self):
+        layer = DenseLayer(np.eye(2), np.zeros(2), "relu")
+        out = layer.forward(np.array([[-1.0, 1.0]]))
+        assert out.tolist() == [[0.0, 1.0]]
+
+    def test_wrong_width_raises(self):
+        layer = DenseLayer(np.eye(3), np.zeros(3))
+        with pytest.raises(TrainingError):
+            layer.forward(np.zeros((1, 4)))
+
+    def test_pre_activation(self):
+        layer = DenseLayer(np.eye(2), np.array([0.5, -0.5]), "relu")
+        pre = layer.pre_activation(np.array([[1.0, -1.0]]))
+        assert pre.tolist() == [[1.5, -1.5]]
+
+
+class TestBackward:
+    def test_backward_before_forward_raises(self):
+        layer = DenseLayer(np.eye(2), np.zeros(2))
+        with pytest.raises(TrainingError):
+            layer.backward(np.zeros((1, 2)))
+
+    @pytest.mark.parametrize("activation", ["relu", "tanh", "identity"])
+    def test_weight_gradient_matches_numerical(self, activation, rng):
+        layer = DenseLayer.create(4, 3, activation, rng)
+        x = rng.normal(size=(5, 4)) + 0.05  # avoid relu kinks
+        target = rng.normal(size=(5, 3))
+
+        def loss():
+            out = layer.forward(x)
+            return 0.5 * np.sum((out - target) ** 2)
+
+        layer.zero_grad()
+        out = layer.forward(x, train=True)
+        layer.backward(out - target)
+        numeric = numerical_grad(loss, layer.weights)
+        assert np.max(np.abs(numeric - layer.grad_weights)) < 1e-4
+
+    def test_bias_gradient_matches_numerical(self, rng):
+        layer = DenseLayer.create(3, 2, "tanh", rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        layer.zero_grad()
+        out = layer.forward(x, train=True)
+        layer.backward(out - target)
+        numeric = numerical_grad(loss, layer.bias)
+        assert np.max(np.abs(numeric - layer.grad_bias)) < 1e-4
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = DenseLayer.create(3, 2, "tanh", rng)
+        x = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 2))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        layer.zero_grad()
+        out = layer.forward(x, train=True)
+        grad_in = layer.backward(out - target)
+        numeric = numerical_grad(loss, x)
+        assert np.max(np.abs(numeric - grad_in)) < 1e-4
+
+    def test_gradients_accumulate(self, rng):
+        layer = DenseLayer.create(2, 2, "identity", rng)
+        x = rng.normal(size=(1, 2))
+        layer.forward(x, train=True)
+        layer.backward(np.ones((1, 2)))
+        first = layer.grad_weights.copy()
+        layer.forward(x, train=True)
+        layer.backward(np.ones((1, 2)))
+        assert np.allclose(layer.grad_weights, 2 * first)
+
+    def test_zero_grad(self, rng):
+        layer = DenseLayer.create(2, 2, "identity", rng)
+        layer.forward(np.ones((1, 2)), train=True)
+        layer.backward(np.ones((1, 2)))
+        layer.zero_grad()
+        assert np.all(layer.grad_weights == 0)
+        assert np.all(layer.grad_bias == 0)
+
+
+class TestCopy:
+    def test_copy_independent(self, rng):
+        layer = DenseLayer.create(2, 2, "relu", rng)
+        clone = layer.copy()
+        clone.weights[0, 0] += 1.0
+        assert layer.weights[0, 0] != clone.weights[0, 0]

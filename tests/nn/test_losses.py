@@ -1,0 +1,80 @@
+"""Loss function tests: values and analytic gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.losses import HuberLoss, MSELoss
+
+
+def numeric_grad(loss_fn, predicted, target, eps=1e-6):
+    grad = np.zeros_like(predicted)
+    for i in range(predicted.shape[0]):
+        for j in range(predicted.shape[1]):
+            plus = predicted.copy()
+            plus[i, j] += eps
+            minus = predicted.copy()
+            minus[i, j] -= eps
+            grad[i, j] = (
+                loss_fn(plus, target)[0] - loss_fn(minus, target)[0]
+            ) / (2 * eps)
+    return grad
+
+
+class TestMSE:
+    def test_zero_at_match(self, rng):
+        y = rng.normal(size=(4, 2))
+        loss, grad = MSELoss()(y, y)
+        assert loss == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_known_value(self):
+        loss, _ = MSELoss()(
+            np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]])
+        )
+        assert loss == pytest.approx(2.5)
+
+    def test_gradient_matches_numerical(self, rng):
+        predicted = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 4))
+        _, grad = MSELoss()(predicted, target)
+        assert np.allclose(
+            grad, numeric_grad(MSELoss(), predicted, target), atol=1e-5
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(TrainingError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestHuber:
+    def test_quadratic_region(self):
+        loss, _ = HuberLoss(delta=1.0)(
+            np.array([[0.5]]), np.array([[0.0]])
+        )
+        assert loss == pytest.approx(0.125)
+
+    def test_linear_region(self):
+        loss, _ = HuberLoss(delta=1.0)(
+            np.array([[3.0]]), np.array([[0.0]])
+        )
+        assert loss == pytest.approx(2.5)  # 1*(3 - 0.5)
+
+    def test_gradient_matches_numerical(self, rng):
+        predicted = rng.normal(size=(3, 3)) * 2
+        target = rng.normal(size=(3, 3))
+        huber = HuberLoss(delta=0.7)
+        _, grad = huber(predicted, target)
+        assert np.allclose(
+            grad, numeric_grad(huber, predicted, target), atol=1e-5
+        )
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(TrainingError):
+            HuberLoss(delta=0.0)
+
+    def test_gradient_bounded_by_delta(self, rng):
+        predicted = rng.normal(size=(4, 2)) * 100
+        target = np.zeros((4, 2))
+        _, grad = HuberLoss(delta=1.0)(predicted, target)
+        assert np.max(np.abs(grad)) <= 1.0 / grad.size + 1e-12

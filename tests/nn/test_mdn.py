@@ -1,0 +1,159 @@
+"""Mixture-density head tests: layout, math, gradients, distribution ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError
+from repro.nn.mdn import (
+    LATERAL,
+    LONGITUDINAL,
+    GaussianMixture,
+    MDNLoss,
+    mixture_from_raw,
+    mu_lat_indices,
+    mu_lon_indices,
+    param_dim,
+    split_params,
+)
+
+
+class TestLayout:
+    @pytest.mark.parametrize("k,expected", [(1, 5), (2, 10), (3, 15)])
+    def test_param_dim(self, k, expected):
+        assert param_dim(k) == expected
+
+    def test_param_dim_rejects_zero(self):
+        with pytest.raises(TrainingError):
+            param_dim(0)
+
+    def test_mu_indices_interleaved(self):
+        # layout: [logits(K) | mu00 mu01 mu10 mu11 ... | logsig...]
+        assert mu_lat_indices(2) == [2, 4]
+        assert mu_lon_indices(2) == [3, 5]
+
+    def test_mu_indices_disjoint(self):
+        lat = set(mu_lat_indices(3))
+        lon = set(mu_lon_indices(3))
+        assert not lat & lon
+
+    def test_split_round_trip(self, rng):
+        z = rng.normal(size=(4, param_dim(3)))
+        logits, means, log_stds = split_params(z, 3)
+        assert logits.shape == (4, 3)
+        assert means.shape == (4, 3, 2)
+        assert log_stds.shape == (4, 3, 2)
+        # mu_lat index k must address means[:, k, LATERAL]
+        for k, idx in enumerate(mu_lat_indices(3)):
+            assert np.allclose(z[:, idx], means[:, k, LATERAL])
+
+    def test_split_wrong_width_raises(self, rng):
+        with pytest.raises(TrainingError):
+            split_params(rng.normal(size=(2, 9)), 2)
+
+
+class TestGaussianMixture:
+    def make(self):
+        return GaussianMixture(
+            weights=np.array([0.7, 0.3]),
+            means=np.array([[1.0, -2.0], [-1.0, 0.5]]),
+            stds=np.array([[0.5, 0.5], [1.0, 1.0]]),
+        )
+
+    def test_mean_is_convex_combination(self):
+        gm = self.make()
+        expected = 0.7 * gm.means[0] + 0.3 * gm.means[1]
+        assert np.allclose(gm.mean(), expected)
+
+    def test_mixture_mean_below_max_component(self):
+        """The soundness fact the verifier relies on."""
+        gm = self.make()
+        assert gm.mean()[LATERAL] <= gm.max_component_mean(LATERAL) + 1e-12
+
+    def test_dominant_component(self):
+        assert self.make().dominant_component() == 0
+
+    def test_pdf_integrates_to_one(self):
+        gm = self.make()
+        grid = np.linspace(-8, 8, 220)
+        xs, ys = np.meshgrid(grid, grid)
+        pts = np.stack([xs, ys], axis=-1)
+        total = gm.pdf(pts).sum() * (grid[1] - grid[0]) ** 2
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_pdf_peaks_at_heavy_mean(self):
+        gm = self.make()
+        at_mean = gm.pdf(gm.means[0])
+        nearby = gm.pdf(gm.means[0] + np.array([0.5, 0.5]))
+        assert at_mean > nearby
+
+    def test_sampling_statistics(self, rng):
+        gm = self.make()
+        samples = gm.sample(rng, 20000)
+        assert samples.shape == (20000, 2)
+        assert np.allclose(samples.mean(axis=0), gm.mean(), atol=0.05)
+
+
+class TestMixtureFromRaw:
+    def test_weights_are_softmax(self, rng):
+        z = rng.normal(size=param_dim(3))
+        gm = mixture_from_raw(z, 3)
+        assert gm.weights.sum() == pytest.approx(1.0)
+        assert np.all(gm.weights > 0)
+
+    def test_stds_positive(self, rng):
+        z = rng.normal(size=param_dim(2)) * 5
+        gm = mixture_from_raw(z, 2)
+        assert np.all(gm.stds > 0)
+
+
+class TestMDNLoss:
+    def test_rejects_bad_targets(self, rng):
+        loss = MDNLoss(2)
+        with pytest.raises(TrainingError):
+            loss(rng.normal(size=(3, param_dim(2))), rng.normal(size=(3, 3)))
+
+    def test_loss_decreases_when_mean_approaches_target(self):
+        k = 1
+        target = np.array([[0.5, -0.5]])
+        z_far = np.zeros((1, param_dim(k)))
+        z_near = np.zeros((1, param_dim(k)))
+        z_near[0, 1] = 0.5   # mu_lat
+        z_near[0, 2] = -0.5  # mu_lon
+        loss = MDNLoss(k)
+        assert loss(z_near, target)[0] < loss(z_far, target)[0]
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_gradient_matches_numerical(self, k, seed):
+        rng = np.random.default_rng(seed)
+        loss = MDNLoss(k)
+        z = rng.normal(size=(3, param_dim(k)))
+        y = rng.normal(size=(3, 2))
+        _, grad = loss(z, y)
+        eps = 1e-6
+        for i in range(z.shape[0]):
+            for j in range(z.shape[1]):
+                plus = z.copy()
+                plus[i, j] += eps
+                minus = z.copy()
+                minus[i, j] -= eps
+                numeric = (loss(plus, y)[0] - loss(minus, y)[0]) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-4)
+
+    def test_clipped_log_sigma_gets_zero_grad(self):
+        k = 1
+        z = np.zeros((1, param_dim(k)))
+        z[0, 3] = -100.0  # log sigma far below the clip rail
+        z[0, 4] = 100.0
+        _, grad = MDNLoss(k)(z, np.zeros((1, 2)))
+        assert grad[0, 3] == 0.0
+        assert grad[0, 4] == 0.0
+
+    def test_loss_finite_under_extreme_params(self, rng):
+        z = rng.normal(size=(4, param_dim(2))) * 50
+        y = rng.normal(size=(4, 2)) * 10
+        loss, grad = MDNLoss(2)(z, y)
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(grad))

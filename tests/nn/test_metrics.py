@@ -1,0 +1,120 @@
+"""Prediction-metric tests: moments, calibration, error measures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import DenseLayer, FeedForwardNetwork
+from repro.nn.metrics import _mixture_moments, evaluate_predictor
+from repro.nn.mdn import param_dim
+
+
+def constant_mdn_net(logits, means, log_stds, input_dim=3):
+    """A network emitting fixed MDN parameters regardless of input."""
+    k = len(logits)
+    raw = np.concatenate(
+        [logits, np.ravel(means), np.ravel(log_stds)]
+    )
+    layer = DenseLayer(
+        np.zeros((input_dim, param_dim(k))), raw, "identity"
+    )
+    return FeedForwardNetwork([layer])
+
+
+class TestMixtureMoments:
+    def test_single_component_moments(self):
+        z = np.zeros((1, param_dim(1)))
+        z[0, 1] = 2.0   # mu_lat
+        z[0, 2] = -1.0  # mu_lon
+        z[0, 3] = np.log(0.5)
+        z[0, 4] = np.log(2.0)
+        mean, std = _mixture_moments(z, 1)
+        assert mean[0] == pytest.approx([2.0, -1.0])
+        assert std[0] == pytest.approx([0.5, 2.0])
+
+    def test_two_component_mean(self):
+        z = np.zeros((1, param_dim(2)))
+        # equal logits -> weights 0.5/0.5; means (0,0) and (2,2)
+        z[0, 4] = 2.0
+        z[0, 5] = 2.0
+        mean, std = _mixture_moments(z, 2)
+        assert mean[0] == pytest.approx([1.0, 1.0])
+        # between-component spread contributes to the variance
+        assert np.all(std[0] > 1.0)
+
+
+class TestEvaluatePredictor:
+    def test_perfect_predictor_metrics(self, rng):
+        net = constant_mdn_net(
+            logits=[0.0],
+            means=[[1.0, -0.5]],
+            log_stds=[[np.log(0.3), np.log(0.3)]],
+        )
+        x = rng.normal(size=(200, 3))
+        y = np.tile([1.0, -0.5], (200, 1))
+        report = evaluate_predictor(net, x, y, 1)
+        assert report.rmse_lateral == pytest.approx(0.0, abs=1e-9)
+        assert report.mae_longitudinal == pytest.approx(0.0, abs=1e-9)
+        assert report.coverage_68 == 1.0
+        assert report.coverage_95 == 1.0
+
+    def test_calibrated_gaussian_coverage(self, rng):
+        """Targets drawn from the predicted distribution: empirical
+        coverage must match the nominal rates."""
+        sigma = 0.7
+        net = constant_mdn_net(
+            logits=[0.0],
+            means=[[0.0, 0.0]],
+            log_stds=[[np.log(sigma)] * 2],
+        )
+        n = 4000
+        x = rng.normal(size=(n, 3))
+        y = rng.normal(scale=sigma, size=(n, 2))
+        report = evaluate_predictor(net, x, y, 1)
+        # Joint 1-sigma coverage of two independent dims = 0.6827^2.
+        assert report.coverage_68 == pytest.approx(0.683**2, abs=0.04)
+        assert report.coverage_95 == pytest.approx(0.954**2, abs=0.03)
+
+    def test_rmse_measures_bias(self, rng):
+        net = constant_mdn_net(
+            logits=[0.0],
+            means=[[1.0, 0.0]],
+            log_stds=[[0.0, 0.0]],
+        )
+        x = rng.normal(size=(100, 3))
+        y = np.zeros((100, 2))
+        report = evaluate_predictor(net, x, y, 1)
+        assert report.rmse_lateral == pytest.approx(1.0)
+        assert report.rmse_longitudinal == pytest.approx(0.0)
+
+    def test_empty_set_rejected(self, rng):
+        net = constant_mdn_net([0.0], [[0.0, 0.0]], [[0.0, 0.0]])
+        with pytest.raises(TrainingError):
+            evaluate_predictor(net, np.zeros((0, 3)), np.zeros((0, 2)), 1)
+
+    def test_bad_targets_rejected(self, rng):
+        net = constant_mdn_net([0.0], [[0.0, 0.0]], [[0.0, 0.0]])
+        with pytest.raises(TrainingError):
+            evaluate_predictor(
+                net, np.zeros((5, 3)), np.zeros((5, 3)), 1
+            )
+
+    def test_case_study_predictor_quality(self, small_study, small_predictor):
+        """The trained predictor must beat the trivial all-zero baseline
+        on lateral RMSE... or at least be in its ballpark with sane
+        calibration."""
+        report = evaluate_predictor(
+            small_predictor,
+            small_study.dataset.x,
+            small_study.dataset.y,
+            small_study.config.num_components,
+        )
+        baseline = float(
+            np.sqrt(np.mean(small_study.dataset.y[:, 0] ** 2))
+        )
+        # The all-zero baseline can be perfect on tiny datasets (lane
+        # changes are rare events), so allow an absolute floor.
+        assert report.rmse_lateral <= baseline * 1.5 + 0.1
+        assert 0.0 <= report.coverage_68 <= 1.0
+        assert report.coverage_95 >= report.coverage_68
+        assert "NLL" in report.render()

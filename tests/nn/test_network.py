@@ -1,0 +1,121 @@
+"""Feed-forward network container tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import DenseLayer, FeedForwardNetwork
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            FeedForwardNetwork([])
+
+    def test_mismatched_widths_rejected(self):
+        layers = [
+            DenseLayer(np.zeros((2, 3)), np.zeros(3)),
+            DenseLayer(np.zeros((4, 1)), np.zeros(1)),
+        ]
+        with pytest.raises(TrainingError):
+            FeedForwardNetwork(layers)
+
+    def test_mlp_builder_shapes(self, rng):
+        net = FeedForwardNetwork.mlp(84, [10, 10, 10, 10], 5, rng=rng)
+        assert net.input_dim == 84
+        assert net.output_dim == 5
+        assert net.hidden_widths == [10, 10, 10, 10]
+        assert net.layers[-1].activation == "identity"
+
+
+class TestArchitectureId:
+    def test_paper_naming(self, rng):
+        net = FeedForwardNetwork.mlp(84, [40] * 4, 5, rng=rng)
+        assert net.architecture_id == "I4x40"
+
+    def test_irregular_naming(self, rng):
+        net = FeedForwardNetwork.mlp(4, [3, 5], 1, rng=rng)
+        assert net.architecture_id == "I(3,5)"
+
+    def test_relu_neuron_count(self, rng):
+        net = FeedForwardNetwork.mlp(84, [25] * 4, 5, rng=rng)
+        assert net.relu_neuron_count() == 100
+        assert net.num_hidden_neurons == 100
+
+    def test_parameter_count(self, rng):
+        net = FeedForwardNetwork.mlp(3, [4], 2, rng=rng)
+        # (3*4 + 4) + (4*2 + 2)
+        assert net.num_parameters == 26
+
+
+class TestForward:
+    def test_known_function(self):
+        # ReLU(x) - ReLU(-x) == x
+        w1 = np.array([[1.0, -1.0]])
+        l1 = DenseLayer(w1, np.zeros(2), "relu")
+        w2 = np.array([[1.0], [-1.0]])
+        l2 = DenseLayer(w2, np.zeros(1), "identity")
+        net = FeedForwardNetwork([l1, l2])
+        x = np.array([[-2.0], [0.5], [3.0]])
+        assert np.allclose(net.forward(x), x)
+
+    def test_single_sample_promoted(self, tiny_net):
+        out = tiny_net.forward(np.zeros(6))
+        assert out.shape == (1, 3)
+
+    def test_call_is_forward(self, tiny_net, rng):
+        x = rng.normal(size=(2, 6))
+        assert np.allclose(tiny_net(x), tiny_net.forward(x))
+
+    def test_hidden_activations_shapes(self, tiny_net, rng):
+        x = rng.normal(size=(3, 6))
+        acts = tiny_net.hidden_activations(x)
+        assert [a.shape for a in acts] == [(3, 8), (3, 8)]
+        assert all(np.all(a >= 0) for a in acts)  # post-ReLU
+
+    def test_pre_activations_consistent(self, tiny_net, rng):
+        x = rng.normal(size=(2, 6))
+        pres = tiny_net.pre_activations(x)
+        assert len(pres) == 3
+        # Last pre-activation with identity head == output.
+        assert np.allclose(pres[-1], tiny_net.forward(x))
+
+
+class TestBackwardPlumbing:
+    def test_full_network_gradient(self, rng):
+        net = FeedForwardNetwork.mlp(3, [6, 6], 2, rng=rng)
+        x = rng.normal(size=(10, 3))
+        target = rng.normal(size=(10, 2))
+
+        def loss():
+            return 0.5 * np.sum((net.forward(x) - target) ** 2)
+
+        net.zero_grad()
+        out = net.forward(x, train=True)
+        net.backward(out - target)
+        eps = 1e-6
+        w = net.layers[0].weights
+        orig = w[0, 0]
+        w[0, 0] = orig + eps
+        hi = loss()
+        w[0, 0] = orig - eps
+        lo = loss()
+        w[0, 0] = orig
+        numeric = (hi - lo) / (2 * eps)
+        assert net.layers[0].grad_weights[0, 0] == pytest.approx(
+            numeric, abs=1e-4
+        )
+
+    def test_parameters_and_gradients_align(self, tiny_net):
+        params = tiny_net.parameters()
+        grads = tiny_net.gradients()
+        assert len(params) == len(grads)
+        assert all(p.shape == g.shape for p, g in zip(params, grads))
+
+    def test_copy_independent(self, tiny_net):
+        clone = tiny_net.copy()
+        clone.layers[0].weights[0, 0] += 5.0
+        assert (
+            tiny_net.layers[0].weights[0, 0]
+            != clone.layers[0].weights[0, 0]
+        )

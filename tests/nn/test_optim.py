@@ -1,0 +1,96 @@
+"""Optimizer tests: convergence on quadratics, parameter validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_descent(optimizer_factory, steps=200):
+    """Minimise f(p) = 0.5 * ||p - target||^2 from a fixed start."""
+    target = np.array([1.0, -2.0, 3.0])
+    params = [np.zeros(3)]
+    opt = optimizer_factory(params)
+    for _ in range(steps):
+        opt.step([params[0] - target])
+    return params[0], target
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        final, target = quadratic_descent(lambda p: SGD(p, lr=0.1))
+        assert np.allclose(final, target, atol=1e-4)
+
+    def test_momentum_converges(self):
+        final, target = quadratic_descent(
+            lambda p: SGD(p, lr=0.05, momentum=0.9)
+        )
+        assert np.allclose(final, target, atol=1e-3)
+
+    def test_momentum_faster_than_plain_early(self):
+        target = np.array([10.0])
+        runs = {}
+        for name, opt_factory in [
+            ("plain", lambda p: SGD(p, lr=0.01)),
+            ("momentum", lambda p: SGD(p, lr=0.01, momentum=0.9)),
+        ]:
+            params = [np.zeros(1)]
+            opt = opt_factory(params)
+            for _ in range(50):
+                opt.step([params[0] - target])
+            runs[name] = abs(params[0][0] - target[0])
+        assert runs["momentum"] < runs["plain"]
+
+    def test_invalid_lr(self):
+        with pytest.raises(TrainingError):
+            SGD([np.zeros(1)], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(TrainingError):
+            SGD([np.zeros(1)], lr=0.1, momentum=1.0)
+
+    def test_grad_mismatch(self):
+        opt = SGD([np.zeros(1)], lr=0.1)
+        with pytest.raises(TrainingError):
+            opt.step([np.zeros(1), np.zeros(1)])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        final, target = quadratic_descent(
+            lambda p: Adam(p, lr=0.1), steps=500
+        )
+        assert np.allclose(final, target, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        params = [np.zeros(1)]
+        opt = Adam(params, lr=0.01)
+        opt.step([np.array([100.0])])
+        # Bias-corrected Adam's first step is ~lr regardless of grad scale.
+        assert abs(params[0][0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_handles_sparse_gradients(self):
+        params = [np.zeros(4)]
+        opt = Adam(params, lr=0.1)
+        grad = np.array([1.0, 0.0, 0.0, 0.0])
+        for _ in range(10):
+            opt.step([grad])
+        assert params[0][0] != 0.0
+        assert np.all(params[0][1:] == 0.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(TrainingError):
+            Adam([np.zeros(1)], beta1=1.0)
+        with pytest.raises(TrainingError):
+            Adam([np.zeros(1)], beta2=-0.1)
+
+    def test_no_params_rejected(self):
+        with pytest.raises(TrainingError):
+            Adam([], lr=0.1)
+
+    def test_updates_in_place(self):
+        p = np.zeros(2)
+        opt = Adam([p], lr=0.5)
+        opt.step([np.ones(2)])
+        assert np.any(p != 0.0)  # the same array object moved

@@ -1,0 +1,103 @@
+"""Quantization tests: exact integer semantics and float agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.nn import FeedForwardNetwork, QuantizedNetwork
+from repro.nn.quantize import QuantizedLayer
+
+
+@pytest.fixture()
+def float_net(rng):
+    return FeedForwardNetwork.mlp(4, [6, 6], 2, rng=rng)
+
+
+class TestConstruction:
+    def test_from_network_shapes(self, float_net):
+        qnet = QuantizedNetwork.from_network(float_net, frac_bits=8)
+        assert qnet.input_dim == 4
+        assert qnet.output_dim == 2
+        assert qnet.scale == 256
+        assert all(l.weights.dtype == np.int64 for l in qnet.layers)
+
+    def test_bad_frac_bits(self, float_net):
+        with pytest.raises(EncodingError):
+            QuantizedNetwork.from_network(float_net, frac_bits=0)
+
+    def test_tanh_rejected(self, rng):
+        net = FeedForwardNetwork.mlp(
+            2, [3], 1, hidden_activation="tanh", rng=rng
+        )
+        with pytest.raises(EncodingError):
+            QuantizedNetwork.from_network(net)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            QuantizedNetwork([], frac_bits=8)
+
+
+class TestIntegerSemantics:
+    def test_quantize_round_trip(self, float_net):
+        qnet = QuantizedNetwork.from_network(float_net, frac_bits=10)
+        x = np.array([0.5, -0.25, 1.0, 0.0])
+        q = qnet.quantize_input(x)
+        assert np.allclose(qnet.dequantize(q), x, atol=1.0 / qnet.scale)
+
+    def test_forward_int_is_integer(self, float_net, rng):
+        qnet = QuantizedNetwork.from_network(float_net, frac_bits=8)
+        q = qnet.quantize_input(rng.uniform(-1, 1, size=(3, 4)))
+        out = qnet.forward_int(q)
+        assert out.dtype == np.int64
+
+    def test_wrong_width_rejected(self, float_net):
+        qnet = QuantizedNetwork.from_network(float_net)
+        with pytest.raises(EncodingError):
+            qnet.forward_int(np.zeros((1, 5), dtype=np.int64))
+
+    def test_shift_semantics_floor(self):
+        """Arithmetic shift must floor (match the bitvector encoding)."""
+        layer = QuantizedLayer(
+            weights=np.array([[1]], dtype=np.int64),
+            bias=np.array([-3], dtype=np.int64),
+            activation="identity",
+        )
+        qnet = QuantizedNetwork([layer], frac_bits=1)
+        out = qnet.forward_int(np.array([[0]], dtype=np.int64))
+        assert out[0, 0] == -2  # floor(-3 / 2)
+
+    @given(st.integers(min_value=6, max_value=12), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_error_shrinks_with_precision(self, frac_bits, seed):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(3, [5], 2, rng=rng)
+        x = rng.uniform(-1, 1, size=(20, 3))
+        coarse = QuantizedNetwork.from_network(net, frac_bits=4)
+        fine = QuantizedNetwork.from_network(net, frac_bits=frac_bits)
+        assert fine.quantization_error(net, x) <= (
+            coarse.quantization_error(net, x) + 1e-9
+        )
+
+    def test_agreement_with_float_network(self, float_net, rng):
+        qnet = QuantizedNetwork.from_network(float_net, frac_bits=12)
+        x = rng.uniform(-1, 1, size=(50, 4))
+        assert qnet.quantization_error(float_net, x) < 0.05
+
+
+class TestAccumulatorWidth:
+    def test_width_covers_worst_case(self, float_net):
+        qnet = QuantizedNetwork.from_network(float_net, frac_bits=8)
+        width = qnet.accumulator_width(0, value_width=10)
+        layer = qnet.layers[0]
+        max_x = (1 << 9) - 1
+        worst = (
+            layer.fan_in * int(np.max(np.abs(layer.weights))) * max_x
+            + int(np.max(np.abs(layer.bias)))
+        )
+        assert (1 << (width - 1)) - 1 >= worst
+
+    def test_width_at_least_value_width(self, float_net):
+        qnet = QuantizedNetwork.from_network(float_net, frac_bits=2)
+        assert qnet.accumulator_width(0, value_width=30) >= 30

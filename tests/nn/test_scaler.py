@@ -1,0 +1,76 @@
+"""Input-scaler tests: statistics, folding equivalence, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError
+from repro.nn import FeedForwardNetwork, InputScaler
+
+
+class TestFit:
+    def test_transform_standardises(self, rng):
+        x = rng.normal(loc=50.0, scale=9.0, size=(500, 3))
+        scaler = InputScaler.fit(x)
+        z = scaler.transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-6)
+
+    def test_inverse_round_trip(self, rng):
+        x = rng.uniform(0, 100, size=(100, 4))
+        scaler = InputScaler.fit(x)
+        assert np.allclose(
+            scaler.inverse_transform(scaler.transform(x)), x
+        )
+
+    def test_constant_feature_clamped(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        scaler = InputScaler.fit(x, min_std=1e-3)
+        assert scaler.std[0] == pytest.approx(1e-3)
+
+    def test_too_few_samples(self):
+        with pytest.raises(TrainingError):
+            InputScaler.fit(np.ones((1, 3)))
+
+    def test_bad_std_rejected(self):
+        with pytest.raises(TrainingError):
+            InputScaler(np.zeros(2), np.array([1.0, 0.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            InputScaler(np.zeros(2), np.ones(3))
+
+
+class TestFolding:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_fold_preserves_function(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-5, 120, size=(100, 6))
+        net = FeedForwardNetwork.mlp(6, [8, 8], 3, rng=rng)
+        scaler = InputScaler.fit(x)
+        folded = scaler.fold_into(net)
+        expected = net.forward(scaler.transform(x))
+        actual = folded.forward(x)
+        assert np.max(np.abs(expected - actual)) < 1e-9
+
+    def test_fold_leaves_original_untouched(self, rng):
+        x = rng.uniform(0, 10, size=(50, 4))
+        net = FeedForwardNetwork.mlp(4, [5], 2, rng=rng)
+        original = net.layers[0].weights.copy()
+        InputScaler.fit(x).fold_into(net)
+        assert np.array_equal(net.layers[0].weights, original)
+
+    def test_fold_dim_mismatch(self, rng):
+        net = FeedForwardNetwork.mlp(4, [5], 2, rng=rng)
+        scaler = InputScaler(np.zeros(3), np.ones(3))
+        with pytest.raises(TrainingError):
+            scaler.fold_into(net)
+
+    def test_folded_architecture_unchanged(self, rng):
+        x = rng.uniform(0, 10, size=(50, 84))
+        net = FeedForwardNetwork.mlp(84, [10] * 4, 5, rng=rng)
+        folded = InputScaler.fit(x).fold_into(net)
+        assert folded.architecture_id == "I4x10"

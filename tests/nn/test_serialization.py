@@ -1,0 +1,72 @@
+"""Round-trip tests for network persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import (
+    FeedForwardNetwork,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+class TestRoundTrip:
+    def test_bit_exact_round_trip(self, tmp_path, rng):
+        net = FeedForwardNetwork.mlp(5, [7, 3], 2, rng=rng)
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        for a, b in zip(net.layers, loaded.layers):
+            assert np.array_equal(a.weights, b.weights)
+            assert np.array_equal(a.bias, b.bias)
+            assert a.activation == b.activation
+
+    def test_same_predictions(self, tmp_path, rng):
+        net = FeedForwardNetwork.mlp(4, [6], 3, rng=rng)
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        x = rng.normal(size=(10, 4))
+        assert np.array_equal(net.forward(x), loaded.forward(x))
+
+    def test_architecture_id_stored(self, rng):
+        net = FeedForwardNetwork.mlp(84, [10] * 4, 5, rng=rng)
+        payload = network_to_dict(net)
+        assert payload["architecture_id"] == "I4x10"
+
+    def test_file_is_json(self, tmp_path, rng):
+        net = FeedForwardNetwork.mlp(2, [2], 1, rng=rng)
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        payload = json.loads(path.read_text())
+        assert "layers" in payload
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, rng):
+        net = FeedForwardNetwork.mlp(2, [2], 1, rng=rng)
+        payload = network_to_dict(net)
+        payload["format_version"] = 99
+        with pytest.raises(TrainingError):
+            network_from_dict(payload)
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(TrainingError):
+            network_from_dict({"format_version": 1, "layers": []})
+
+    def test_weights_survive_extreme_values(self, tmp_path):
+        from repro.nn import DenseLayer
+
+        w = np.array([[1e-300, 1e300], [np.pi, -np.e]])
+        net = FeedForwardNetwork(
+            [DenseLayer(w, np.array([0.1, -0.2]), "identity")]
+        )
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        assert np.array_equal(loaded.layers[0].weights, w)

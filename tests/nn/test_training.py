@@ -1,0 +1,180 @@
+"""Trainer tests: convergence, early stopping, penalties, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import FeedForwardNetwork, MSELoss
+from repro.nn.training import Trainer, TrainingConfig
+
+
+def make_regression(rng, n=200):
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = np.stack([x[:, 0] * 2, np.abs(x[:, 1])], axis=1)
+    return x, y
+
+
+class TestFit:
+    def test_loss_decreases(self, rng):
+        x, y = make_regression(rng)
+        net = FeedForwardNetwork.mlp(2, [16], 2, rng=rng)
+        history = Trainer(
+            net, MSELoss(), TrainingConfig(epochs=60, learning_rate=5e-3)
+        ).fit(x, y)
+        assert history.losses[-1] < history.losses[0] * 0.3
+
+    def test_history_lengths(self, rng):
+        x, y = make_regression(rng, n=64)
+        net = FeedForwardNetwork.mlp(2, [4], 2, rng=rng)
+        history = Trainer(
+            net, MSELoss(), TrainingConfig(epochs=7)
+        ).fit(x, y)
+        assert len(history.losses) == 7
+        assert len(history.penalties) == 7
+        assert history.final_loss == history.losses[-1]
+
+    def test_deterministic_given_seed(self, rng):
+        x, y = make_regression(rng, n=100)
+        results = []
+        for _ in range(2):
+            net = FeedForwardNetwork.mlp(
+                2, [8], 2, rng=np.random.default_rng(3)
+            )
+            history = Trainer(
+                net, MSELoss(), TrainingConfig(epochs=5, seed=11)
+            ).fit(x, y)
+            results.append(history.final_loss)
+        assert results[0] == results[1]
+
+    def test_mismatched_shapes_raise(self, rng):
+        net = FeedForwardNetwork.mlp(2, [4], 2, rng=rng)
+        with pytest.raises(TrainingError):
+            Trainer(net, MSELoss()).fit(
+                np.zeros((5, 2)), np.zeros((4, 2))
+            )
+
+    def test_empty_dataset_raises(self, rng):
+        net = FeedForwardNetwork.mlp(2, [4], 2, rng=rng)
+        with pytest.raises(TrainingError):
+            Trainer(net, MSELoss()).fit(
+                np.zeros((0, 2)), np.zeros((0, 2))
+            )
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_divergence_detected(self, rng):
+        from repro.nn import SGD
+
+        x, y = make_regression(rng, n=64)
+        y = y * 1e6
+        net = FeedForwardNetwork.mlp(2, [8], 2, rng=rng)
+        config = TrainingConfig(
+            epochs=200, learning_rate=1e6, grad_clip=0.0
+        )
+        # SGD with a huge learning rate and no clipping blows up; the
+        # trainer must report divergence instead of looping on NaN.
+        optimizer = SGD(net.parameters(), lr=1e6)
+        with pytest.raises(TrainingError):
+            Trainer(net, MSELoss(), config, optimizer=optimizer).fit(x, y)
+
+
+class TestWeightDecay:
+    def test_decay_shrinks_weights(self, rng):
+        x, y = make_regression(rng, n=128)
+
+        def train(wd):
+            net = FeedForwardNetwork.mlp(
+                2, [16], 2, rng=np.random.default_rng(4)
+            )
+            Trainer(
+                net,
+                MSELoss(),
+                TrainingConfig(epochs=30, weight_decay=wd, seed=0),
+            ).fit(x, y)
+            return sum(
+                float(np.sum(l.weights**2)) for l in net.layers
+            )
+
+        assert train(0.1) < train(0.0)
+
+    def test_decay_leaves_biases_alone(self, rng):
+        x = rng.uniform(-1, 1, size=(64, 2))
+        y = np.full((64, 1), 5.0)  # solvable by bias alone
+        net = FeedForwardNetwork.mlp(2, [4], 1, rng=rng)
+        Trainer(
+            net,
+            MSELoss(),
+            TrainingConfig(epochs=200, weight_decay=0.2,
+                           learning_rate=1e-2),
+        ).fit(x, y)
+        # With strong decay the function must still fit via the bias.
+        assert net.forward(x).mean() == pytest.approx(5.0, abs=0.5)
+
+
+class TestEarlyStopping:
+    def test_stops_early_on_plateau(self, rng):
+        x = rng.uniform(-1, 1, size=(50, 2))
+        y = np.zeros((50, 1))  # trivially learnable
+        net = FeedForwardNetwork.mlp(2, [4], 1, rng=rng)
+        config = TrainingConfig(
+            epochs=500, early_stop_patience=5, learning_rate=1e-2
+        )
+        history = Trainer(net, MSELoss(), config).fit(x, y)
+        assert len(history.losses) < 500
+
+
+class TestGradClip:
+    def test_clipping_caps_update_magnitude(self, rng):
+        x, y = make_regression(rng, n=64)
+        y = y * 1e4  # large loss scale
+        net = FeedForwardNetwork.mlp(2, [8], 2, rng=rng)
+        before = [p.copy() for p in net.parameters()]
+        Trainer(
+            net,
+            MSELoss(),
+            TrainingConfig(epochs=1, grad_clip=1.0, learning_rate=1e-3),
+        ).fit(x, y)
+        # With clip 1.0 and lr 1e-3 no parameter can move far in 1 epoch.
+        for old, new in zip(before, net.parameters()):
+            assert np.max(np.abs(new - old)) < 0.1
+
+
+class TestPenaltyHook:
+    def test_penalty_steers_training(self, rng):
+        """A penalty pushing output 0 negative must lower its mean."""
+        x, y = make_regression(rng, n=128)
+
+        def penalty(net, bx, out):
+            grad = np.zeros_like(out)
+            grad[:, 0] = 1.0 / out.shape[0]  # d(mean out0)/d out0
+            return float(out[:, 0].mean()), grad
+
+        def run(weight):
+            net = FeedForwardNetwork.mlp(
+                2, [8], 2, rng=np.random.default_rng(0)
+            )
+            Trainer(
+                net,
+                MSELoss(),
+                TrainingConfig(epochs=40, seed=1),
+                penalty=penalty,
+                penalty_weight=weight,
+            ).fit(x, y)
+            return net.forward(x)[:, 0].mean()
+
+        assert run(5.0) < run(0.0)
+
+    def test_penalty_recorded_in_history(self, rng):
+        x, y = make_regression(rng, n=64)
+        net = FeedForwardNetwork.mlp(2, [4], 2, rng=rng)
+
+        def penalty(_net, _bx, out):
+            return 1.0, np.zeros_like(out)
+
+        history = Trainer(
+            net,
+            MSELoss(),
+            TrainingConfig(epochs=3),
+            penalty=penalty,
+            penalty_weight=2.0,
+        ).fit(x, y)
+        assert all(p == pytest.approx(2.0) for p in history.penalties)

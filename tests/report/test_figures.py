@@ -1,0 +1,98 @@
+"""Figure 1 rendering tests: scene panel and GMM panel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.highway import HighwaySimulator, Road, overtaking_scene, vehicle_on_left_scene
+from repro.nn.mdn import GaussianMixture
+from repro.report import ascii_scene, figure_1, gmm_panel
+
+
+@pytest.fixture()
+def sim():
+    road = Road()
+    return HighwaySimulator(road, overtaking_scene(road))
+
+
+def decel_left_mixture():
+    """A mixture concentrated at (decelerate, move left) — the action the
+    paper's Figure 1 shows."""
+    return GaussianMixture(
+        weights=np.array([0.8, 0.2]),
+        means=np.array([[0.9, -1.2], [0.1, 0.0]]),  # (lat, lon)
+        stds=np.array([[0.3, 0.4], [0.5, 0.5]]),
+    )
+
+
+class TestAsciiScene:
+    def test_contains_all_vehicles(self, sim):
+        # A window wide enough to include the far-left vehicle at +150 m.
+        art = ascii_scene(sim, window=320.0)
+        assert art.count("E") == 1
+        assert art.count("#") == 2
+
+    def test_far_vehicles_outside_window_hidden(self, sim):
+        art = ascii_scene(sim, window=100.0)
+        assert art.count("#") == 1  # only the slow leader 35 m ahead
+
+    def test_one_row_per_lane(self, sim):
+        art = ascii_scene(sim)
+        lane_rows = [l for l in art.splitlines() if l.startswith("lane")]
+        assert len(lane_rows) == sim.road.num_lanes
+
+    def test_ego_near_center(self, sim):
+        art = ascii_scene(sim, columns=61)
+        ego_row = next(l for l in art.splitlines() if "E" in l)
+        position = ego_row.index("E") - ego_row.index("|") - 1
+        assert abs(position - 30) <= 1
+
+    def test_narrow_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            ascii_scene(sim, columns=5)
+
+    def test_left_blocker_rendered_above_ego(self):
+        road = Road()
+        sim = HighwaySimulator(road, vehicle_on_left_scene(road))
+        art = ascii_scene(sim)
+        rows = [l for l in art.splitlines() if l.startswith("lane")]
+        # lane rows are top-to-bottom leftmost-to-rightmost
+        ego_row = next(i for i, r in enumerate(rows) if "E" in r)
+        blocker_row = next(i for i, r in enumerate(rows) if "#" in r)
+        assert blocker_row < ego_row  # blocker is on the left (drawn above)
+
+
+class TestGMMPanel:
+    def test_density_shape(self):
+        panel = gmm_panel(decel_left_mixture(), resolution=21)
+        assert panel.density.shape == (21, 21)
+        assert np.all(panel.density >= 0)
+
+    def test_peak_matches_heavy_component(self):
+        panel = gmm_panel(decel_left_mixture(), resolution=81)
+        lat, lon = panel.peak_action()
+        assert lat == pytest.approx(0.9, abs=0.1)
+        assert lon == pytest.approx(-1.2, abs=0.1)
+
+    def test_quadrant_mass_decelerate_left_dominates(self):
+        """The paper's figure: mass concentrated in 'decelerate and
+        switch to left lanes'."""
+        panel = gmm_panel(decel_left_mixture())
+        mass = panel.quadrant_mass()
+        assert mass["decelerate_left"] == max(mass.values())
+        assert sum(mass.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_mixture_mean_recorded(self):
+        gm = decel_left_mixture()
+        panel = gmm_panel(gm)
+        assert np.allclose(panel.mixture_mean, gm.mean())
+
+    def test_render_is_ascii_grid(self):
+        panel = gmm_panel(decel_left_mixture(), resolution=15)
+        text = panel.render()
+        assert len(text.splitlines()) == 17  # header + 15 rows + axis
+
+    def test_figure_1_combines_panels(self, sim):
+        text = figure_1(sim, decel_left_mixture())
+        assert "lane" in text
+        assert "action distribution" in text

@@ -1,0 +1,76 @@
+"""Table rendering tests."""
+
+import pytest
+
+from repro.core.verifier import TableIIRow
+from repro.report import (
+    comparison_row,
+    markdown_table,
+    render_generic,
+    render_table_i_markdown,
+    render_table_ii,
+)
+
+
+class TestTableI:
+    def test_markdown_structure(self):
+        text = render_table_i_markdown()
+        lines = text.splitlines()
+        assert lines[0].startswith("| Aspect |")
+        assert len(lines) == 5  # header + separator + 3 pillars
+
+    def test_contains_pillars(self):
+        text = render_table_i_markdown()
+        assert "implementation understandability" in text
+        assert "specification validity" in text
+
+
+class TestTableII:
+    def make_rows(self):
+        return [
+            TableIIRow("I4x10", 0.688497, 5.4, False),
+            TableIIRow("I4x20", 0.467385, 549.1, False),
+            TableIIRow("I4x60", None, 7200.0, True),
+        ]
+
+    def test_layout(self):
+        text = render_table_ii(self.make_rows())
+        assert "TABLE II" in text
+        assert "I4x10" in text
+        assert "0.688497" in text
+        assert "time-out" in text
+        assert "n.a." in text
+
+    def test_decision_rows_appended(self):
+        text = render_table_ii(
+            self.make_rows(),
+            decision_rows=["  I4x60  lat velocity <= 3 m/s PROVEN  11059.8s"],
+        )
+        assert "PROVEN" in text
+
+
+class TestGenericRenderers:
+    def test_render_generic_alignment(self):
+        text = render_generic(
+            ["name", "value"],
+            [["a", "1"], ["bbbb", "22"]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # fixed-width: all data lines equal length
+        assert len(lines[3]) == len(lines[4])
+
+    def test_render_generic_empty_rows(self):
+        text = render_generic(["a"], [])
+        assert "a" in text
+
+    def test_markdown_table(self):
+        text = markdown_table(["x"], [["1"], ["2"]])
+        assert text.splitlines()[1] == "|---|"
+
+    def test_comparison_row(self):
+        row = comparison_row("Table II", "0.69", "0.71", "shape holds")
+        assert row["experiment"] == "Table II"
+        assert row["verdict"] == "shape holds"

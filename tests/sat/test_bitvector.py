@@ -1,0 +1,144 @@
+"""Bitvector arithmetic vs Python integers (hypothesis-driven)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.sat import BitVecBuilder, solve_cnf
+
+WIDTH = 7
+VAL = st.integers(min_value=-(1 << (WIDTH - 1)), max_value=(1 << (WIDTH - 1)) - 1)
+
+
+def eval_vec(builder, vec):
+    res = solve_cnf(builder.cnf)
+    assert res.satisfiable
+    return builder.bv_value(vec, res.model)
+
+
+def eval_lit(builder, lit):
+    res = solve_cnf(builder.cnf)
+    assert res.satisfiable
+    value = res.model[abs(lit) - 1]
+    return value if lit > 0 else not value
+
+
+class TestConstants:
+    @given(VAL)
+    @settings(max_examples=40, deadline=None)
+    def test_const_round_trip(self, value):
+        builder = BitVecBuilder()
+        vec = builder.bv_const(value, WIDTH)
+        assert eval_vec(builder, vec) == value
+
+    def test_const_overflow_rejected(self):
+        builder = BitVecBuilder()
+        with pytest.raises(EncodingError):
+            builder.bv_const(1 << WIDTH, WIDTH)
+
+    def test_sign_extend_preserves_value(self):
+        builder = BitVecBuilder()
+        vec = builder.bv_const(-13, WIDTH)
+        wide = builder.bv_sign_extend(vec, WIDTH + 5)
+        assert eval_vec(builder, wide) == -13
+
+    def test_sign_extend_cannot_shrink(self):
+        builder = BitVecBuilder()
+        vec = builder.bv_const(1, WIDTH)
+        with pytest.raises(EncodingError):
+            builder.bv_sign_extend(vec, WIDTH - 1)
+
+
+class TestArithmetic:
+    @given(VAL, VAL)
+    @settings(max_examples=50, deadline=None)
+    def test_add(self, a, b):
+        builder = BitVecBuilder()
+        s = builder.bv_add(
+            builder.bv_const(a, WIDTH), builder.bv_const(b, WIDTH)
+        )
+        assert eval_vec(builder, s) == a + b
+
+    @given(VAL)
+    @settings(max_examples=40, deadline=None)
+    def test_neg(self, a):
+        builder = BitVecBuilder()
+        n = builder.bv_neg(builder.bv_const(a, WIDTH))
+        assert eval_vec(builder, n) == -a
+
+    @given(VAL, VAL)
+    @settings(max_examples=40, deadline=None)
+    def test_sub(self, a, b):
+        builder = BitVecBuilder()
+        d = builder.bv_sub(
+            builder.bv_const(a, WIDTH), builder.bv_const(b, WIDTH)
+        )
+        assert eval_vec(builder, d) == a - b
+
+    @given(VAL, st.integers(min_value=-9, max_value=9))
+    @settings(max_examples=50, deadline=None)
+    def test_mul_const(self, a, k):
+        builder = BitVecBuilder()
+        p = builder.bv_mul_const(builder.bv_const(a, WIDTH), k, 16)
+        assert eval_vec(builder, p) == a * k
+
+    @given(VAL, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_ashr_floors(self, a, shift):
+        builder = BitVecBuilder()
+        r = builder.bv_ashr(builder.bv_const(a, WIDTH), shift)
+        assert eval_vec(builder, r) == a >> shift  # Python >> floors
+
+    @given(st.lists(VAL, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_tree(self, values):
+        builder = BitVecBuilder()
+        terms = [builder.bv_const(v, WIDTH) for v in values]
+        s = builder.bv_sum(terms, 14)
+        assert eval_vec(builder, s) == sum(values)
+
+    def test_empty_sum_is_zero(self):
+        builder = BitVecBuilder()
+        s = builder.bv_sum([], 8)
+        assert eval_vec(builder, s) == 0
+
+
+class TestComparisonsAndRelu:
+    @given(VAL, VAL)
+    @settings(max_examples=50, deadline=None)
+    def test_signed_comparisons(self, a, b):
+        builder = BitVecBuilder()
+        va = builder.bv_const(a, WIDTH)
+        vb = builder.bv_const(b, WIDTH)
+        lt = builder.bv_slt(va, vb)
+        le = builder.bv_sle(va, vb)
+        eq = builder.bv_eq(va, vb)
+        res = solve_cnf(builder.cnf)
+        assert res.satisfiable
+
+        def lit_val(lit):
+            v = res.model[abs(lit) - 1]
+            return v if lit > 0 else not v
+
+        assert lit_val(lt) == (a < b)
+        assert lit_val(le) == (a <= b)
+        assert lit_val(eq) == (a == b)
+
+    @given(VAL)
+    @settings(max_examples=40, deadline=None)
+    def test_relu(self, a):
+        builder = BitVecBuilder()
+        r = builder.bv_relu(builder.bv_const(a, WIDTH))
+        assert eval_vec(builder, r) == max(a, 0)
+
+    @given(VAL, VAL)
+    @settings(max_examples=30, deadline=None)
+    def test_clamp_range(self, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        builder = BitVecBuilder()
+        vec = builder.bv_input(WIDTH + 2)
+        builder.bv_clamp_range(vec, lo, hi)
+        value = eval_vec(builder, vec)
+        assert lo <= value <= hi

@@ -1,0 +1,75 @@
+"""Tests for the CNF container and DIMACS I/O."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.sat import CNF
+
+
+class TestConstruction:
+    def test_new_vars_sequential(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.new_vars(3) == [3, 4, 5]
+
+    def test_add_clause(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, -2, 3])
+        assert cnf.num_clauses == 1
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF(2)
+        with pytest.raises(ModelError):
+            cnf.add_clause([1, 0])
+
+    def test_unallocated_variable_rejected(self):
+        cnf = CNF(2)
+        with pytest.raises(ModelError):
+            cnf.add_clause([3])
+
+
+class TestEvaluation:
+    def test_satisfied(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        assert cnf.evaluate([False, True])
+
+    def test_unsatisfied(self):
+        cnf = CNF(2)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert not cnf.evaluate([True, False])
+
+    def test_short_assignment_rejected(self):
+        cnf = CNF(3)
+        cnf.add_clause([1])
+        with pytest.raises(ModelError):
+            cnf.evaluate([True])
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        cnf = CNF(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2, 3])
+        text = cnf.to_dimacs()
+        parsed = CNF.from_dimacs(text)
+        assert parsed.num_vars == 3
+        assert parsed.clauses == cnf.clauses
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        cnf = CNF.from_dimacs(text)
+        assert cnf.num_vars == 2
+        assert cnf.clauses == [[1, -2]]
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ModelError):
+            CNF.from_dimacs("p sat 2 1\n1 0\n")
+
+    def test_header_format(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        assert cnf.to_dimacs().startswith("p cnf 2 1")

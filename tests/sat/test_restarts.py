@@ -1,0 +1,77 @@
+"""Restart-schedule tests — regression for the Luby infinite loop.
+
+A wrong Luby implementation looped forever at ``luby(2)``; any solve
+reaching its second restart hung.  These tests pin the sequence exactly
+and force instances through many restarts.
+"""
+
+import pytest
+
+from repro.sat import CNF, solve_cnf
+from repro.sat.solver import _luby
+
+
+class TestLubySequence:
+    def test_first_fifteen_values(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [_luby(i) for i in range(1, 16)] == expected
+
+    def test_powers_at_complete_blocks(self):
+        # luby(2^k - 1) == 2^(k-1)
+        for k in range(1, 12):
+            assert _luby((1 << k) - 1) == 1 << (k - 1)
+
+    def test_self_similarity(self):
+        # After a complete block the sequence restarts:
+        # luby(2^k - 1 + j) == luby(j) for j < 2^k - 1
+        for k in range(2, 8):
+            block = (1 << k) - 1
+            for j in range(1, block):
+                assert _luby(block + j) == _luby(j)
+
+    @pytest.mark.parametrize("i", [2, 5, 6, 10, 100, 1000, 123456])
+    def test_terminates_everywhere(self, i):
+        value = _luby(i)
+        assert value >= 1
+        assert value & (value - 1) == 0  # always a power of two
+
+
+class TestManyRestarts:
+    def test_hard_unsat_instance_restarts(self):
+        """PHP(6) needs far more than 128 conflicts, guaranteeing the
+        solver passes through several restart cycles."""
+        holes = 6
+        pigeons = holes + 1
+        cnf = CNF(pigeons * holes)
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        for p in range(pigeons):
+            cnf.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-var(p1, h), -var(p2, h)])
+        result = solve_cnf(cnf)
+        assert not result.satisfiable
+        assert result.restarts >= 2  # the regression trigger
+
+    def test_sat_after_restarts(self):
+        """A satisfiable instance engineered to conflict a lot first."""
+        import random
+
+        rnd = random.Random(5)
+        n = 40
+        cnf = CNF(n)
+        # A planted solution: all variables true...
+        for _ in range(160):
+            vs = rnd.sample(range(1, n + 1), 3)
+            signs = [rnd.random() < 0.4 for _ in vs]
+            clause = [v if s else -v for v, s in zip(vs, signs)]
+            if not any(s for s in signs):
+                clause[0] = abs(clause[0])  # keep all-true satisfying
+            cnf.add_clause(clause)
+        result = solve_cnf(cnf)
+        assert result.satisfiable
+        assert cnf.evaluate(result.model)

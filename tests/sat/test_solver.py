@@ -1,0 +1,144 @@
+"""CDCL solver tests: hand-built formulas, pigeonhole, random vs brute force."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CNF, CDCLSolver, solve_cnf
+
+
+def brute_force_sat(cnf: CNF) -> bool:
+    for bits in itertools.product(
+        [False, True], repeat=cnf.num_vars
+    ):
+        if cnf.evaluate(list(bits)):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert solve_cnf(CNF(0)).satisfiable
+
+    def test_single_unit(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        res = solve_cnf(cnf)
+        assert res.satisfiable
+        assert res.model == [True]
+
+    def test_contradictory_units(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_implication_chain(self):
+        # 1 and (1->2) and (2->3) ... forces all true
+        n = 20
+        cnf = CNF(n)
+        cnf.add_clause([1])
+        for v in range(1, n):
+            cnf.add_clause([-v, v + 1])
+        res = solve_cnf(cnf)
+        assert res.satisfiable
+        assert all(res.model)
+
+    def test_xor_chain_unsat(self):
+        # (1 xor 2), (2 xor 3), (1 xor 3) is unsatisfiable for odd cycles
+        cnf = CNF(3)
+        for a, b in [(1, 2), (2, 3), (1, 3)]:
+            cnf.add_clause([a, b])
+            cnf.add_clause([-a, -b])
+        assert not solve_cnf(cnf).satisfiable
+
+    def test_model_satisfies_formula(self):
+        cnf = CNF(4)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 3])
+        cnf.add_clause([-3, -4])
+        cnf.add_clause([2, 4])
+        res = solve_cnf(cnf)
+        assert res.satisfiable
+        assert cnf.evaluate(res.model)
+
+
+class TestPigeonhole:
+    def pigeonhole(self, holes: int) -> CNF:
+        """PHP(holes+1, holes): classically hard UNSAT family."""
+        pigeons = holes + 1
+        cnf = CNF(pigeons * holes)
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        for p in range(pigeons):
+            cnf.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-var(p1, h), -var(p2, h)])
+        return cnf
+
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_pigeonhole_unsat(self, holes):
+        res = solve_cnf(self.pigeonhole(holes))
+        assert not res.satisfiable
+        assert res.conflicts > 0
+
+    def test_pigeonhole_learns_clauses(self):
+        cnf = self.pigeonhole(4)
+        solver = CDCLSolver(cnf)
+        res = solver.solve()
+        assert not res.satisfiable
+        # CDCL must actually have learned something on PHP.
+        assert res.conflicts >= 4
+
+
+class TestAssumptionsAndBudgets:
+    def test_assumptions_restrict(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        assert solve_cnf(cnf, assumptions=[-1]).satisfiable
+        assert not solve_cnf(cnf, assumptions=[-1, -2]).satisfiable
+
+    def test_conflict_budget(self):
+        cnf = TestPigeonhole().pigeonhole(5)
+        res = solve_cnf(cnf, max_conflicts=3)
+        assert not res.satisfiable
+        assert res.conflicts <= 4  # stopped at the budget, not at UNSAT
+
+
+class TestRandomAgainstBruteForce:
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_3cnf(self, n, data):
+        m = data.draw(st.integers(min_value=1, max_value=4 * n))
+        cnf = CNF(n)
+        for _ in range(m):
+            size = data.draw(st.integers(min_value=1, max_value=min(3, n)))
+            variables = data.draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=n),
+                    min_size=size,
+                    max_size=size,
+                    unique=True,
+                )
+            )
+            signs = data.draw(
+                st.lists(
+                    st.booleans(), min_size=size, max_size=size
+                )
+            )
+            cnf.add_clause(
+                [v if s else -v for v, s in zip(variables, signs)]
+            )
+        res = solve_cnf(cnf)
+        assert res.satisfiable == brute_force_sat(cnf)
+        if res.satisfiable:
+            assert cnf.evaluate(res.model)

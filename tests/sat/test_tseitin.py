@@ -1,0 +1,135 @@
+"""Truth-table tests for every Tseitin gate."""
+
+import itertools
+
+import pytest
+
+from repro.sat import CNF, CircuitBuilder, solve_cnf
+
+
+def check_gate(build, arity, truth):
+    """Exhaustively check a gate against its truth function.
+
+    ``build(builder, inputs) -> output literal``;
+    ``truth(bools) -> bool``.
+    """
+    for bits in itertools.product([False, True], repeat=arity):
+        builder = CircuitBuilder()
+        inputs = builder.new_inputs(arity)
+        out = build(builder, inputs)
+        for lit, bit in zip(inputs, bits):
+            builder.assert_lit(lit if bit else -lit)
+        builder.assert_lit(out)
+        res = solve_cnf(builder.cnf)
+        assert res.satisfiable == truth(bits), (bits, truth(bits))
+
+
+class TestGates:
+    def test_and(self):
+        check_gate(
+            lambda b, ins: b.and_(*ins), 3, lambda bits: all(bits)
+        )
+
+    def test_or(self):
+        check_gate(
+            lambda b, ins: b.or_(*ins), 3, lambda bits: any(bits)
+        )
+
+    def test_xor(self):
+        check_gate(
+            lambda b, ins: b.xor(*ins), 2, lambda bits: bits[0] ^ bits[1]
+        )
+
+    def test_not(self):
+        check_gate(
+            lambda b, ins: b.not_(ins[0]), 1, lambda bits: not bits[0]
+        )
+
+    def test_ite(self):
+        check_gate(
+            lambda b, ins: b.ite(*ins),
+            3,
+            lambda bits: bits[1] if bits[0] else bits[2],
+        )
+
+    def test_implies(self):
+        check_gate(
+            lambda b, ins: b.implies(*ins),
+            2,
+            lambda bits: (not bits[0]) or bits[1],
+        )
+
+    def test_iff(self):
+        check_gate(
+            lambda b, ins: b.iff(*ins),
+            2,
+            lambda bits: bits[0] == bits[1],
+        )
+
+    def test_single_input_and_or(self):
+        builder = CircuitBuilder()
+        a = builder.new_input()
+        assert builder.and_(a) == a
+        assert builder.or_(a) == a
+
+    def test_empty_and_is_true(self):
+        builder = CircuitBuilder()
+        builder.assert_lit(builder.and_())
+        assert solve_cnf(builder.cnf).satisfiable
+
+    def test_empty_or_is_false(self):
+        builder = CircuitBuilder()
+        builder.assert_lit(builder.or_())
+        assert not solve_cnf(builder.cnf).satisfiable
+
+
+class TestAdders:
+    def test_half_adder_truth_table(self):
+        for a_bit, b_bit in itertools.product([False, True], repeat=2):
+            builder = CircuitBuilder()
+            a, b = builder.new_inputs(2)
+            s, c = builder.half_adder(a, b)
+            builder.assert_lit(a if a_bit else -a)
+            builder.assert_lit(b if b_bit else -b)
+            total = int(a_bit) + int(b_bit)
+            builder.assert_lit(s if total % 2 else -s)
+            builder.assert_lit(c if total >= 2 else -c)
+            assert solve_cnf(builder.cnf).satisfiable
+
+    def test_full_adder_truth_table(self):
+        for bits in itertools.product([False, True], repeat=3):
+            builder = CircuitBuilder()
+            ins = builder.new_inputs(3)
+            s, c = builder.full_adder(*ins)
+            for lit, bit in zip(ins, bits):
+                builder.assert_lit(lit if bit else -lit)
+            total = sum(bits)
+            builder.assert_lit(s if total % 2 else -s)
+            builder.assert_lit(c if total >= 2 else -c)
+            assert solve_cnf(builder.cnf).satisfiable
+
+
+class TestCardinality:
+    def test_exactly_one(self):
+        builder = CircuitBuilder()
+        lits = builder.new_inputs(4)
+        builder.exactly_one(lits)
+        res = solve_cnf(builder.cnf)
+        assert res.satisfiable
+        assert sum(res.model[:4]) == 1
+
+    def test_at_most_one_allows_zero(self):
+        builder = CircuitBuilder()
+        lits = builder.new_inputs(3)
+        builder.at_most_one(lits)
+        for lit in lits:
+            builder.assert_lit(-lit)
+        assert solve_cnf(builder.cnf).satisfiable
+
+    def test_at_most_one_blocks_two(self):
+        builder = CircuitBuilder()
+        lits = builder.new_inputs(3)
+        builder.at_most_one(lits)
+        builder.assert_lit(lits[0])
+        builder.assert_lit(lits[1])
+        assert not solve_cnf(builder.cnf).satisfiable

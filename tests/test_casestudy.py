@@ -1,0 +1,101 @@
+"""End-to-end case-study pipeline tests (integration)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import casestudy
+from repro.core.certification import Pillar
+from repro.core.verifier import TableIIRow
+from repro.errors import TrainingError
+from repro.nn.mdn import mu_lat_indices
+
+
+class TestPrepare:
+    def test_study_artifacts(self, small_study):
+        assert len(small_study.dataset) > 100
+        assert small_study.provenance.verify_chain()
+        actions = [e.action for e in small_study.provenance.entries]
+        assert actions == ["generate", "sanitize"]
+
+    def test_dataset_is_sanitized(self, small_study):
+        from repro.data import DataValidator
+
+        validator = DataValidator.default(small_study.encoder)
+        assert validator.validate(small_study.dataset).passed
+
+
+class TestTraining:
+    def test_predictor_shapes(self, small_study, small_predictor):
+        assert small_predictor.input_dim == 84
+        assert small_predictor.output_dim == 10  # param_dim(2)
+        assert small_predictor.architecture_id == "I4x5"
+
+    def test_predictor_fits_expert(self, small_study, small_predictor):
+        """The trained net must track the expert's lateral behaviour:
+        prediction error far below the action range."""
+        out = small_predictor.forward(small_study.dataset.x)
+        mu_lat = out[:, mu_lat_indices(2)]
+        target = small_study.dataset.lateral_velocity
+        # dominant-component proxy: nearest component mean
+        err = np.min(
+            np.abs(mu_lat - target[:, None]), axis=1
+        ).mean()
+        assert err < 0.4
+
+    def test_invalid_width_rejected(self, small_study):
+        with pytest.raises(TrainingError):
+            casestudy.train_predictor(small_study, width=0)
+
+    def test_family_shares_data_differs_by_seed(self, small_study):
+        family = casestudy.train_family(small_study, widths=[3, 4])
+        assert set(family) == {3, 4}
+        assert family[3].architecture_id == "I4x3"
+        assert family[4].architecture_id == "I4x4"
+
+
+class TestVerification:
+    def test_table_ii_row(self, small_study, small_predictor):
+        row = casestudy.verify_network(
+            small_study, small_predictor, time_limit=120.0
+        )
+        assert isinstance(row, TableIIRow)
+        assert row.architecture == "I4x5"
+        if not row.timed_out:
+            assert row.max_lateral_velocity is not None
+            assert np.isfinite(row.max_lateral_velocity)
+        assert row.wall_time > 0
+
+    def test_verified_max_dominates_simulation(self, small_study, small_predictor):
+        """Soundness against the actual closed-loop distribution: no
+        sampled scene with the left occupied may beat the proven max."""
+        row = casestudy.verify_network(
+            small_study, small_predictor, time_limit=120.0
+        )
+        if row.timed_out:
+            pytest.skip("verification timed out on this machine")
+        # Sample the same region the row was verified over (the
+        # data-derived operational domain).
+        region = casestudy.operational_region(small_study)
+        samples = region.sample(np.random.default_rng(1), 200)
+        outs = small_predictor.forward(samples)
+        sampled_max = outs[:, mu_lat_indices(2)].max()
+        assert row.max_lateral_velocity >= sampled_max - 1e-6
+
+
+class TestCertification:
+    def test_full_case_structure(self, small_study, small_predictor):
+        case = casestudy.certify_predictor(
+            small_study, small_predictor, time_limit=120.0
+        )
+        assert case.complete
+        assert len(case.evidence_for(Pillar.SPEC_VALIDITY)) == 2
+        assert len(case.evidence_for(Pillar.CORRECTNESS)) == 2
+        assert len(case.evidence_for(Pillar.UNDERSTANDABILITY)) == 1
+        # Data pillar must pass for the sanitized pipeline.
+        assert all(
+            e.passed for e in case.evidence_for(Pillar.SPEC_VALIDITY)
+        )
+        text = case.render()
+        assert "Verdict" in text

@@ -1,0 +1,138 @@
+"""CLI integration tests: the pipeline as subcommands on real files."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import DrivingDataset
+from repro.nn.serialization import load_network
+
+
+@pytest.fixture(scope="module")
+def data_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "data.npz"
+    code = main(
+        [
+            "generate",
+            "--episodes", "3",
+            "--steps", "120",
+            "--seed", "1",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def net_file(tmp_path_factory, data_file):
+    path = tmp_path_factory.mktemp("cli") / "net.json"
+    code = main(
+        [
+            "train",
+            "--data", str(data_file),
+            "--width", "4",
+            "--epochs", "15",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestTable1:
+    def test_prints_matrix(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "neuron-to-feature" in out
+
+
+class TestGenerate:
+    def test_writes_valid_dataset(self, data_file, capsys):
+        dataset = DrivingDataset.load(data_file)
+        assert len(dataset) == 360
+        assert dataset.x.shape[1] == 84
+
+    def test_output_mentions_validation(self, tmp_path, capsys):
+        path = tmp_path / "d.npz"
+        main(["generate", "--episodes", "1", "--steps", "50",
+              "--out", str(path)])
+        out = capsys.readouterr().out
+        assert "VALID" in out
+        assert "wrote" in out
+
+
+class TestTrain:
+    def test_writes_loadable_network(self, net_file):
+        network = load_network(net_file)
+        assert network.architecture_id == "I4x4"
+        assert network.input_dim == 84
+
+    def test_hinted_training_flag(self, tmp_path, data_file):
+        path = tmp_path / "hinted.json"
+        code = main(
+            [
+                "train",
+                "--data", str(data_file),
+                "--width", "3",
+                "--epochs", "5",
+                "--hint-weight", "10.0",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        assert load_network(path).architecture_id == "I4x3"
+
+
+class TestVerify:
+    def test_prints_table_ii_row(self, data_file, net_file, capsys):
+        code = main(
+            [
+                "verify",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+        assert "I4x4" in out
+
+    def test_decision_query_exit_code(self, data_file, net_file, capsys):
+        code = main(
+            [
+                "verify",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+                "--threshold", "1000.0",  # trivially provable
+            ]
+        )
+        assert code == 0
+        assert "PROVEN" in capsys.readouterr().out
+
+
+class TestCertifyAndFigure:
+    def test_certify_renders_case(self, data_file, net_file, capsys):
+        main(
+            [
+                "certify",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "Certification case" in out
+        assert "Pillar" in out
+
+    def test_figure1_renders(self, data_file, net_file, capsys):
+        code = main(
+            ["figure1", "--data", str(data_file), "--net", str(net_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lane" in out
+        assert "action distribution" in out

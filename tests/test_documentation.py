@@ -1,0 +1,76 @@
+"""Documentation-coverage gate: every public item carries a docstring.
+
+Certification-grade code ships with documented interfaces; this test
+walks every module in :mod:`repro` and fails on any public module,
+class, function or method without a docstring.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if getattr(member, "__module__", None) == module.__name__:
+                yield name, member
+
+
+MODULES = list(_iter_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module", MODULES, ids=[m.__name__ for m in MODULES]
+    )
+    def test_module_documented(self, module):
+        assert module.__doc__, f"{module.__name__} lacks a docstring"
+
+    @pytest.mark.parametrize(
+        "module", MODULES, ids=[m.__name__ for m in MODULES]
+    )
+    def test_public_items_documented(self, module):
+        missing = []
+        for name, member in _public_members(module):
+            if not inspect.getdoc(member):
+                missing.append(f"{module.__name__}.{name}")
+            if inspect.isclass(member):
+                for attr_name, attr in vars(member).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(attr) and not inspect.getdoc(
+                        attr
+                    ):
+                        missing.append(
+                            f"{module.__name__}.{name}.{attr_name}"
+                        )
+        assert not missing, f"undocumented public items: {missing}"
+
+
+class TestTopLevelDocs:
+    def test_readme_exists(self):
+        from pathlib import Path
+
+        root = Path(repro.__file__).resolve().parents[2]
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            path = root / doc
+            assert path.exists(), f"{doc} missing"
+            assert len(path.read_text()) > 500, f"{doc} is a stub"
+
+    def test_version_exported(self):
+        assert repro.__version__

@@ -1,0 +1,60 @@
+"""Exception-hierarchy tests: all library errors descend from ReproError."""
+
+import pytest
+
+from repro.errors import (
+    CertificationError,
+    EncodingError,
+    InfeasibleError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    TimeoutExpired,
+    TrainingError,
+    UnboundedError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            CertificationError,
+            EncodingError,
+            InfeasibleError,
+            ModelError,
+            SimulationError,
+            SolverError,
+            TimeoutExpired,
+            TrainingError,
+            UnboundedError,
+            ValidationError,
+        ],
+    )
+    def test_all_descend_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+    def test_solver_family(self):
+        for error_type in (InfeasibleError, UnboundedError, TimeoutExpired):
+            assert issubclass(error_type, SolverError)
+
+    def test_library_raises_only_repro_errors(self):
+        """A representative misuse from each subsystem lands in the
+        hierarchy (callers can catch ReproError as the library fault
+        barrier)."""
+        import numpy as np
+
+        from repro.highway import Road
+        from repro.milp import Model
+        from repro.nn import FeedForwardNetwork
+
+        with pytest.raises(ReproError):
+            Road(num_lanes=0)
+        with pytest.raises(ReproError):
+            Model().add_var("x", lb=1.0, ub=0.0)
+        with pytest.raises(ReproError):
+            FeedForwardNetwork([])

@@ -1,0 +1,90 @@
+"""Tests for the data-derived operational verification region."""
+
+import numpy as np
+import pytest
+
+from repro import casestudy
+from repro.errors import ValidationError
+from repro.highway import feature_index
+
+
+class TestOperationalRegion:
+    def test_pins_scenario_features(self, small_study):
+        region = casestudy.operational_region(small_study, max_gap=8.0)
+        lp = feature_index("left_present")
+        lg = feature_index("left_gap")
+        assert tuple(region.bounds[lp]) == (1.0, 1.0)
+        assert tuple(region.bounds[lg]) == (0.0, 8.0)
+
+    def test_contained_in_physical_box(self, small_study):
+        region = casestudy.operational_region(small_study)
+        physical = small_study.encoder.bounds()
+        assert np.all(region.bounds[:, 0] >= physical[:, 0] - 1e-9)
+        assert np.all(region.bounds[:, 1] <= physical[:, 1] + 1e-9)
+
+    def test_covers_training_data(self, small_study):
+        """Every training sample (except the pinned scenario features)
+        must lie inside the operational box."""
+        region = casestudy.operational_region(small_study)
+        lp = feature_index("left_present")
+        lg = feature_index("left_gap")
+        x = small_study.dataset.x
+        mask = np.ones(x.shape[1], dtype=bool)
+        mask[[lp, lg]] = False
+        assert np.all(x[:, mask] >= region.bounds[mask, 0] - 1e-9)
+        assert np.all(x[:, mask] <= region.bounds[mask, 1] + 1e-9)
+
+    def test_margin_inflates(self, small_study):
+        tight = casestudy.operational_region(small_study, margin=0.0)
+        wide = casestudy.operational_region(small_study, margin=0.5)
+        lp = feature_index("left_present")
+        lg = feature_index("left_gap")
+        mask = np.ones(tight.bounds.shape[0], dtype=bool)
+        mask[[lp, lg]] = False
+        assert np.all(
+            wide.bounds[mask, 0] <= tight.bounds[mask, 0] + 1e-12
+        )
+        assert np.all(
+            wide.bounds[mask, 1] >= tight.bounds[mask, 1] - 1e-12
+        )
+
+
+class TestStudyFromDataset:
+    def test_round_trip(self, small_study, tmp_path):
+        path = tmp_path / "data.npz"
+        small_study.dataset.save(path)
+        from repro.data import DrivingDataset
+
+        loaded = DrivingDataset.load(path)
+        rebuilt = casestudy.study_from_dataset(loaded)
+        assert len(rebuilt.dataset) == len(small_study.dataset)
+        assert rebuilt.provenance.verify_chain()
+        assert rebuilt.provenance.entries[0].action == "import"
+
+    def test_rejects_invalid_data(self, small_study):
+        from repro.data import DrivingDataset
+
+        x = small_study.dataset.x.copy()
+        y = small_study.dataset.y.copy()
+        x[0, feature_index("left_present")] = 1.0
+        y[0, 0] = 1.9  # risky left command
+        bad = DrivingDataset(x, y)
+        with pytest.raises(ValidationError):
+            casestudy.study_from_dataset(bad)
+
+
+class TestArtifactPersistence:
+    def test_verified_network_round_trips(
+        self, small_study, small_predictor, tmp_path
+    ):
+        """Save -> load -> the verification answer is bit-identical —
+        the property a certification audit needs."""
+        from repro.nn.serialization import load_network, save_network
+
+        path = tmp_path / "net.json"
+        save_network(small_predictor, path)
+        loaded = load_network(path)
+        x = small_study.dataset.x[:20]
+        assert np.array_equal(
+            small_predictor.forward(x), loaded.forward(x)
+        )

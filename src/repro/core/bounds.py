@@ -247,6 +247,106 @@ def lp_tightened_bounds(
     return bounds
 
 
+def bounds_cache_key(
+    network: FeedForwardNetwork,
+    region: InputRegion,
+    bound_mode: str,
+) -> Tuple[str, str, str]:
+    """Content key identifying one bound computation.
+
+    Combines the network's parameter fingerprint, the region's geometry
+    fingerprint and the bound engine, so equal-but-distinct objects share
+    an entry and recycled ``id()`` values can never alias two different
+    computations.
+    """
+    return (network.fingerprint(), region.fingerprint(), bound_mode)
+
+
+class BoundsCache:
+    """Content-keyed cache of pre-activation bound computations.
+
+    Both outcomes are cached: a successful computation stores its bound
+    list, a failed one stores the formatted traceback (so a campaign does
+    not re-run a known-failing computation for every cell sharing the
+    region).  ``hits``/``misses`` expose the reuse rate for reports and
+    tests.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self,
+        network: FeedForwardNetwork,
+        region: InputRegion,
+        bound_mode: str,
+    ) -> Tuple[Optional[List[LayerBounds]], Optional[str]]:
+        """Cached ``(bounds, error)`` for the key, computing on miss.
+
+        Exactly one of the pair is non-``None``: ``bounds`` on success,
+        ``error`` (a formatted traceback string) if the computation
+        raised.
+        """
+        key = bounds_cache_key(network, region, bound_mode)
+        if key in self._entries:
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        entry = compute_bounds_entry(network, region, bound_mode)
+        self._entries[key] = entry
+        return entry
+
+    def get(
+        self,
+        network: FeedForwardNetwork,
+        region: InputRegion,
+        bound_mode: str,
+    ) -> List[LayerBounds]:
+        """Like :meth:`lookup` but re-raises a cached failure."""
+        bounds, error = self.lookup(network, region, bound_mode)
+        if bounds is None:
+            raise EncodingError(
+                f"bound computation failed for region "
+                f"{region.name!r}:\n{error}"
+            )
+        return bounds
+
+    def seed(
+        self,
+        key: Tuple[str, str, str],
+        bounds: Optional[List[LayerBounds]],
+        error: Optional[str],
+    ) -> None:
+        """Install a precomputed entry (used by parallel campaigns)."""
+        self._entries[key] = (bounds, error)
+
+
+def compute_bounds_entry(
+    network: FeedForwardNetwork,
+    region: InputRegion,
+    bound_mode: str,
+) -> Tuple[Optional[List[LayerBounds]], Optional[str]]:
+    """Run one bound computation, capturing any failure as a traceback.
+
+    This is the fault-isolated form used by campaign workers: the result
+    is always a ``(bounds, error)`` pair with exactly one side set.
+    """
+    import traceback
+
+    from repro.core.encoder import EncoderOptions, compute_bounds
+
+    try:
+        options = EncoderOptions(bound_mode=bound_mode)
+        return compute_bounds(network, region, options), None
+    except Exception:
+        return None, traceback.format_exc()
+
+
 def total_ambiguous(bounds: List[LayerBounds], network: FeedForwardNetwork) -> int:
     """Binary variables the MILP encoding will need (ReLU layers only)."""
     count = 0

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.bounds import BoundsCache
 from repro.core.encoder import EncoderOptions
 from repro.core.properties import SafetyProperty
 from repro.core.verifier import VerificationResult, Verdict, Verifier
@@ -146,22 +147,16 @@ class VerificationCampaign:
                 "campaign needs at least one network and one property"
             )
         cells: List[CampaignCell] = []
+        cache = BoundsCache()
         for net_name, network in self._networks.items():
             verifier = Verifier(
                 network, self.encoder_options, self.milp_options
             )
-            bounds_cache: Dict[int, object] = {}
             for prop in self._properties.values():
-                key = id(prop.region)
-                if key not in bounds_cache:
-                    from repro.core.encoder import compute_bounds
-
-                    bounds_cache[key] = compute_bounds(
-                        network, prop.region, self.encoder_options
-                    )
-                result = verifier.prove(
-                    prop, precomputed_bounds=bounds_cache[key]
+                bounds = cache.get(
+                    network, prop.region, self.encoder_options.bound_mode
                 )
+                result = verifier.prove(prop, precomputed_bounds=bounds)
                 cells.append(
                     CampaignCell(net_name, prop.name, result)
                 )

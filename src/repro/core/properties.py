@@ -18,6 +18,7 @@ velocity.*  :func:`vehicle_on_left_region` and
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -139,6 +140,25 @@ class InputRegion:
     def center(self) -> np.ndarray:
         """Box midpoint (ignores linear constraints)."""
         return self.bounds.mean(axis=1)
+
+    def fingerprint(self) -> str:
+        """Content hash of the region's geometry.
+
+        Equal-but-distinct regions (same box, same linear constraints)
+        share a fingerprint; the region's *name* is deliberately excluded
+        because bound computations depend only on the geometry.  This is
+        the sound replacement for keying caches on ``id(region)``, whose
+        values can be recycled after garbage collection.
+        """
+        digest = hashlib.sha256()
+        digest.update(str(self.bounds.shape).encode())
+        digest.update(np.ascontiguousarray(self.bounds).tobytes())
+        for constraint in self.constraints:
+            coeffs, rhs = constraint.as_indexed()
+            for idx in sorted(coeffs):
+                digest.update(f"{idx}:{coeffs[idx]!r};".encode())
+            digest.update(f"<={rhs!r}|".encode())
+        return digest.hexdigest()
 
     def __repr__(self) -> str:
         pinned = int(np.sum(self.bounds[:, 0] == self.bounds[:, 1]))

@@ -8,6 +8,7 @@ output head.  :meth:`FeedForwardNetwork.mlp` builds exactly that family and
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -78,6 +79,23 @@ class FeedForwardNetwork:
         return sum(
             layer.weights.size + layer.bias.size for layer in self.layers
         )
+
+    def fingerprint(self) -> str:
+        """Content hash over architecture and every parameter.
+
+        Two networks share a fingerprint iff they have identical layer
+        shapes, activations, weights and biases — unlike
+        :attr:`architecture_id`, which only names the shape.  Used to key
+        caches (e.g. the campaign bounds cache) on content rather than
+        object identity.
+        """
+        digest = hashlib.sha256()
+        for layer in self.layers:
+            digest.update(layer.activation.encode())
+            digest.update(str(layer.weights.shape).encode())
+            digest.update(np.ascontiguousarray(layer.weights).tobytes())
+            digest.update(np.ascontiguousarray(layer.bias).tobytes())
+        return digest.hexdigest()
 
     @property
     def num_hidden_neurons(self) -> int:

@@ -133,3 +133,82 @@ class TestLPTightenedBounds:
         )
         with pytest.raises(EncodingError):
             lp_tightened_bounds(net, unit_region(3))
+
+
+class TestBoundsCache:
+    def test_equal_but_distinct_regions_share_entry(self, tiny_net):
+        from repro.core.bounds import BoundsCache
+
+        cache = BoundsCache()
+        first = cache.get(tiny_net, unit_region(6), "interval")
+        second = cache.get(tiny_net, unit_region(6), "interval")
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+        assert second is first
+
+    def test_different_geometry_misses(self, tiny_net):
+        from repro.core.bounds import BoundsCache
+
+        cache = BoundsCache()
+        cache.get(tiny_net, unit_region(6), "interval")
+        wider = InputRegion(np.array([[-2.0, 2.0]] * 6))
+        cache.get(tiny_net, wider, "interval")
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_bound_mode_part_of_key(self, tiny_net):
+        from repro.core.bounds import BoundsCache
+
+        cache = BoundsCache()
+        cache.get(tiny_net, unit_region(6), "interval")
+        cache.get(tiny_net, unit_region(6), "lp")
+        assert len(cache) == 2
+
+    def test_network_weights_part_of_key(self):
+        from repro.core.bounds import BoundsCache
+
+        nets = [
+            FeedForwardNetwork.mlp(4, [5], 2, rng=np.random.default_rng(s))
+            for s in (0, 1)
+        ]
+        assert nets[0].fingerprint() != nets[1].fingerprint()
+        cache = BoundsCache()
+        for net in nets:
+            cache.get(net, unit_region(4), "interval")
+        assert len(cache) == 2
+
+    def test_failure_cached_and_reraised(self, tiny_net):
+        from repro.core.bounds import BoundsCache
+
+        cache = BoundsCache()
+        bad = unit_region(5)  # dim mismatch with the 6-input net
+        with pytest.raises(EncodingError):
+            cache.get(tiny_net, bad, "interval")
+        with pytest.raises(EncodingError) as excinfo:
+            cache.get(tiny_net, bad, "interval")
+        assert cache.misses == 1 and cache.hits == 1
+        assert "region dim" in str(excinfo.value)
+
+
+class TestRegionFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        assert unit_region(4).fingerprint() == unit_region(4).fingerprint()
+
+    def test_name_excluded(self):
+        a = InputRegion(np.array([[-1.0, 1.0]] * 3), name="a")
+        b = InputRegion(np.array([[-1.0, 1.0]] * 3), name="b")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_bounds_change_changes_fingerprint(self):
+        a = unit_region(3)
+        b = InputRegion(np.array([[-1.0, 1.0], [-1.0, 1.0], [-1.0, 0.5]]))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_constraints_change_fingerprint(self):
+        from repro.core.properties import LinearInputConstraint
+
+        a = unit_region(3)
+        b = unit_region(3)
+        constraint = LinearInputConstraint({}, rhs=0.5)
+        constraint.as_indexed = lambda: ({0: 1.0}, 0.5)
+        b.add_constraint(constraint)
+        assert a.fingerprint() != b.fingerprint()

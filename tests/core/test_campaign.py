@@ -131,3 +131,49 @@ class TestRun:
                 Verdict.VERIFIED,
                 Verdict.TIMEOUT,
             )
+
+
+class TestBoundsSharing:
+    def test_equal_but_distinct_regions_computed_once(
+        self, campaign, nets, monkeypatch
+    ):
+        """Content keying: two equal regions -> one bound computation."""
+        import repro.core.bounds as bounds_mod
+
+        calls = []
+        real = bounds_mod.compute_bounds_entry
+
+        def counting(network, region, mode):
+            calls.append(region.name)
+            return real(network, region, mode)
+
+        monkeypatch.setattr(bounds_mod, "compute_bounds_entry", counting)
+        campaign.add_network(nets[0], "a")
+        campaign.add_property(prop("p1", 1000.0, region=unit_region()))
+        campaign.add_property(prop("p2", -1000.0, region=unit_region()))
+        report = campaign.run()
+        assert len(report.cells) == 2
+        assert len(calls) == 1
+
+    def test_distinct_geometries_not_aliased(
+        self, campaign, nets, monkeypatch
+    ):
+        """Different regions never share a cache entry (the id() bug)."""
+        import numpy as np
+
+        import repro.core.bounds as bounds_mod
+
+        calls = []
+        real = bounds_mod.compute_bounds_entry
+
+        def counting(network, region, mode):
+            calls.append(region.name)
+            return real(network, region, mode)
+
+        monkeypatch.setattr(bounds_mod, "compute_bounds_entry", counting)
+        campaign.add_network(nets[0], "a")
+        campaign.add_property(prop("p1", 1000.0, region=unit_region()))
+        narrow = InputRegion(np.array([[-0.5, 0.5]] * 4))
+        campaign.add_property(prop("p2", 1000.0, region=narrow))
+        campaign.run()
+        assert len(calls) == 2

@@ -119,8 +119,15 @@ class Verifier:
         region: InputRegion,
         objective: OutputObjective,
         precomputed_bounds: Optional[List[LayerBounds]] = None,
+        raise_on_infeasible: bool = True,
     ) -> VerificationResult:
-        """Maximise a linear output functional over the region."""
+        """Maximise a linear output functional over the region.
+
+        An empty (infeasible) input region raises :class:`EncodingError`
+        by default; with ``raise_on_infeasible=False`` it degrades to a
+        :attr:`Verdict.ERROR` result carrying the message — campaign
+        runners use this so one empty region cannot abort a whole matrix.
+        """
         start = time.monotonic()
         encoded = encode_network(
             self.network,
@@ -170,8 +177,15 @@ class Verifier:
                 description=objective.description,
             )
         if result.status is SolveStatus.INFEASIBLE:
-            raise EncodingError(
-                "max query infeasible: the input region is empty"
+            message = "max query infeasible: the input region is empty"
+            if raise_on_infeasible:
+                raise EncodingError(message)
+            return VerificationResult(
+                verdict=Verdict.ERROR,
+                wall_time=wall,
+                nodes=result.nodes,
+                num_binaries=encoded.num_binaries,
+                description=message,
             )
         return VerificationResult(
             verdict=Verdict.ERROR,

@@ -66,6 +66,33 @@ class TestMaxQueries:
         result = v.maximize(unit_region(8), OutputObjective.single(0))
         assert result.verdict is Verdict.TIMEOUT
 
+    def test_infeasible_region_raises_by_default(self, verifier):
+        from repro.core.properties import LinearInputConstraint
+        from repro.errors import EncodingError
+
+        region = unit_region(6)
+        constraint = LinearInputConstraint({}, rhs=-2.0)
+        constraint.as_indexed = lambda: ({0: 1.0}, -2.0)
+        region.add_constraint(constraint)
+        with pytest.raises(EncodingError):
+            verifier.maximize(region, OutputObjective.single(0))
+
+    def test_infeasible_region_degrades_to_error(self, verifier):
+        from repro.core.properties import LinearInputConstraint
+
+        region = unit_region(6)
+        constraint = LinearInputConstraint({}, rhs=-2.0)
+        constraint.as_indexed = lambda: ({0: 1.0}, -2.0)
+        region.add_constraint(constraint)
+        result = verifier.maximize(
+            region,
+            OutputObjective.single(0),
+            raise_on_infeasible=False,
+        )
+        assert result.verdict is Verdict.ERROR
+        assert "infeasible" in result.description
+
+
 
 class TestDecisionQueries:
     def test_property_above_max_verifies(self, verifier):

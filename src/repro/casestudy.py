@@ -278,8 +278,22 @@ def verify_network(
     max_gap: float = 8.0,
     bound_mode: str = "lp",
     region: Optional[InputRegion] = None,
+    jobs: Optional[int] = None,
 ) -> TableIIRow:
-    """Step 4: one Table II row — max lateral velocity with left occupied."""
+    """Step 4: one Table II row — max lateral velocity with left occupied.
+
+    ``jobs`` fans the per-component max queries out over a campaign
+    worker pool; ``None``/``1`` keep the serial in-process path.
+    """
+    if jobs is not None and jobs != 1:
+        return run_table_ii(
+            study,
+            {0: network},
+            time_limit=time_limit,
+            jobs=jobs,
+            bound_mode=bound_mode,
+            region=region or operational_region(study, max_gap=max_gap),
+        )[0]
     region = region or operational_region(study, max_gap=max_gap)
     verifier = Verifier(
         network,
@@ -301,16 +315,121 @@ def verify_network(
     )
 
 
+def table_ii_campaign(
+    study: CaseStudy,
+    networks: Dict[int, FeedForwardNetwork],
+    time_limit: float = 120.0,
+    bound_mode: str = "lp",
+    region: Optional[InputRegion] = None,
+    jobs: Optional[int] = None,
+    cell_time_limit: Optional[float] = None,
+    threshold: Optional[float] = None,
+) -> "VerificationCampaign":
+    """Build the Table II sweep as a campaign: one max query per mixture
+    component on every network; ``threshold`` adds the decision query
+    columns ("never above ``threshold`` m/s")."""
+    from repro.core.campaign import VerificationCampaign
+    from repro.core.properties import (
+        SafetyProperty,
+        component_lateral_objectives,
+    )
+
+    region = region or operational_region(study)
+    campaign = VerificationCampaign(
+        EncoderOptions(bound_mode=bound_mode),
+        MILPOptions(time_limit=time_limit),
+        jobs=jobs,
+        cell_time_limit=cell_time_limit,
+    )
+    for width in sorted(networks):
+        campaign.add_network(networks[width])
+    objectives = component_lateral_objectives(
+        study.config.num_components
+    )
+    for k, objective in enumerate(objectives):
+        campaign.add_max_query(f"mu_lat_comp{k}", region, objective)
+        if threshold is not None:
+            campaign.add_property(
+                SafetyProperty(
+                    name=f"leq_{threshold}_comp{k}",
+                    region=region,
+                    objective=objective,
+                    threshold=threshold,
+                )
+            )
+    return campaign
+
+
+def table_ii_rows(
+    study: CaseStudy,
+    networks: Dict[int, FeedForwardNetwork],
+    report: "CampaignReport",
+) -> List[TableIIRow]:
+    """Fold a campaign report back into Table II rows (width order).
+
+    Per network, the row aggregates that network's per-component max
+    queries exactly like :meth:`Verifier.max_lateral_velocity`: the value
+    is the best component maximum, the time is the summed cell time, and
+    any timed-out component marks the row timed out.  Errored cells
+    contribute no value ("unable to find maximum").
+    """
+    rows = []
+    for width in sorted(networks):
+        network = networks[width]
+        cells = [
+            cell for cell in report.cells
+            if cell.network_id == network.architecture_id
+            and cell.property_name.startswith("mu_lat_comp")
+        ]
+        values = [
+            cell.result.value
+            for cell in cells
+            if not np.isnan(cell.result.value)
+        ]
+        timed_out = any(
+            cell.result.verdict is Verdict.TIMEOUT for cell in cells
+        )
+        rows.append(
+            TableIIRow(
+                architecture=network.architecture_id,
+                max_lateral_velocity=max(values) if values else None,
+                wall_time=sum(c.result.wall_time for c in cells),
+                timed_out=timed_out,
+                num_binaries=max(
+                    (c.result.num_binaries for c in cells), default=0
+                ),
+            )
+        )
+    return rows
+
+
 def run_table_ii(
     study: CaseStudy,
     networks: Dict[int, FeedForwardNetwork],
     time_limit: float = 120.0,
+    jobs: Optional[int] = None,
+    cell_time_limit: Optional[float] = None,
+    bound_mode: str = "lp",
+    region: Optional[InputRegion] = None,
+    progress: Optional["ProgressHook"] = None,
 ) -> List[TableIIRow]:
-    """Step 4 for the whole family, in width order."""
-    return [
-        verify_network(study, networks[width], time_limit=time_limit)
-        for width in sorted(networks)
-    ]
+    """Step 4 for the whole family, in width order.
+
+    Runs as a verification campaign: bounds are shared per (network,
+    region), cells fan out over ``jobs`` workers, and a failing cell
+    degrades to an errored row instead of aborting the sweep.
+    """
+    campaign = table_ii_campaign(
+        study,
+        networks,
+        time_limit=time_limit,
+        bound_mode=bound_mode,
+        region=region,
+        jobs=jobs,
+        cell_time_limit=cell_time_limit,
+    )
+    report = campaign.run(progress=progress)
+    return table_ii_rows(study, networks, report)
 
 
 def certify_predictor(

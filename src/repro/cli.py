@@ -6,6 +6,7 @@ The five pipeline stages map onto subcommands::
     python -m repro.cli generate --episodes 6 --out data.npz
     python -m repro.cli train    --data data.npz --width 10 --out net.json
     python -m repro.cli verify   --data data.npz --net net.json
+    python -m repro.cli campaign --data data.npz --net a.json --net b.json --jobs 4
     python -m repro.cli certify  --data data.npz --net net.json
     python -m repro.cli figure1  --data data.npz --net net.json
 
@@ -80,8 +81,43 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--components", type=int, default=2)
     verify.add_argument("--time-limit", type=float, default=300.0)
     verify.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the per-component queries "
+        "(0 = one per CPU, 1 = serial)",
+    )
+    verify.add_argument(
         "--threshold", type=float, default=None,
         help="also run the decision query 'never above THRESHOLD m/s'",
+    )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="Table II sweep over a family of networks, optionally "
+        "fanned out over worker processes",
+    )
+    campaign.add_argument("--data", required=True)
+    campaign.add_argument(
+        "--net", required=True, action="append",
+        help="network .json path (repeatable)",
+    )
+    campaign.add_argument("--components", type=int, default=2)
+    campaign.add_argument("--time-limit", type=float, default=300.0)
+    campaign.add_argument(
+        "--cell-budget", type=float, default=None,
+        help="per-cell wall-clock budget in seconds "
+        "(overruns become time-out cells)",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (0 = one per CPU, 1 = serial)",
+    )
+    campaign.add_argument(
+        "--threshold", type=float, default=None,
+        help="add decision-query columns 'never above THRESHOLD m/s'",
+    )
+    campaign.add_argument(
+        "--bound-mode", default="lp",
+        choices=("interval", "crown", "lp"),
     )
 
     certify = sub.add_parser(
@@ -158,7 +194,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     study = _load_study(args.data, args.components)
     network = load_network(args.net)
     row = casestudy.verify_network(
-        study, network, time_limit=args.time_limit
+        study, network, time_limit=args.time_limit,
+        jobs=args.jobs if args.jobs != 1 else None,
     )
     print(render_table_ii([row]))
     exit_code = 0
@@ -199,6 +236,63 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.errors import CertificationError
+
+    study = _load_study(args.data, args.components)
+    campaign_nets = {}
+    for path in args.net:
+        network = load_network(path)
+        if network.architecture_id in (
+            net.architecture_id for net in campaign_nets.values()
+        ):
+            raise CertificationError(
+                f"{path}: duplicate architecture "
+                f"{network.architecture_id}; campaign networks must be "
+                "distinguishable"
+            )
+        campaign_nets[len(campaign_nets)] = network
+    campaign = casestudy.table_ii_campaign(
+        study,
+        campaign_nets,
+        time_limit=args.time_limit,
+        bound_mode=args.bound_mode,
+        jobs=args.jobs,
+        cell_time_limit=args.cell_budget,
+        threshold=args.threshold,
+    )
+    n_nets, n_queries = campaign.size
+    print(
+        f"campaign: {n_nets} networks x {n_queries} queries, "
+        f"jobs={args.jobs}"
+    )
+
+    def report_progress(done, total, cell):
+        mark = cell.result.verdict.value
+        print(
+            f"  [{done}/{total}] {cell.network_id} · "
+            f"{cell.property_name}: {mark} "
+            f"({cell.result.wall_time:.1f}s)"
+        )
+
+    report = campaign.run(progress=report_progress)
+    print()
+    print(report.render())
+    print()
+    print(report.summary())
+    rows = casestudy.table_ii_rows(study, campaign_nets, report)
+    print()
+    print(render_table_ii(rows))
+    for cell in report.errors():
+        print()
+        print(
+            f"ERROR cell ({cell.network_id}, {cell.property_name}):"
+        )
+        if cell.traceback:
+            print(cell.traceback.rstrip())
+    return 0 if report.all_passed else 1
+
+
 def _cmd_certify(args: argparse.Namespace) -> int:
     study = _load_study(args.data, args.components)
     network = load_network(args.net)
@@ -233,6 +327,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "train": _cmd_train,
         "verify": _cmd_verify,
+        "campaign": _cmd_campaign,
         "certify": _cmd_certify,
         "figure1": _cmd_figure1,
     }

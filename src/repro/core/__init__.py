@@ -17,6 +17,7 @@
 
 from repro.core.attribution import deconvnet, lrp_epsilon, saliency, top_features
 from repro.core.bounds import (
+    BoundsCache,
     LayerBounds,
     interval_bounds,
     lp_tightened_bounds,
@@ -24,6 +25,7 @@ from repro.core.bounds import (
 )
 from repro.core.campaign import (
     CampaignCell,
+    CampaignQuery,
     CampaignReport,
     VerificationCampaign,
 )
@@ -90,6 +92,7 @@ from repro.core.verifier import (
 
 __all__ = [
     "CampaignCell",
+    "CampaignQuery",
     "CampaignReport",
     "CertificationCase",
     "CoverageReport",
@@ -98,6 +101,7 @@ __all__ = [
     "Evidence",
     "GuardCondition",
     "InputRegion",
+    "BoundsCache",
     "LayerBounds",
     "LinearInputConstraint",
     "MCDCCensus",

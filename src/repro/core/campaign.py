@@ -2,37 +2,130 @@
 
 Table II is a campaign — the same query across a family of networks plus
 a decision query on the largest.  :class:`VerificationCampaign` makes
-that a first-class object: register networks and properties, run,
-collect per-cell results, render the matrix, and export the campaign as
-certification evidence.
+that a first-class object: register networks and properties (decision
+queries) or max queries, run the full matrix — serially or fanned out
+over a process pool — collect per-cell results, render the matrix, and
+export the campaign as certification evidence.
+
+Scalability levers (cf. Kuper et al., *Toward Scalable Verification for
+Safety-Critical Deep Networks*):
+
+* **parallel cells** — every (network, query) cell is independent, so the
+  matrix fans out over ``jobs`` worker processes;
+* **bound reuse** — pre-activation bounds are computed once per unique
+  (network, region geometry, bound mode) triple and shared by all cells
+  that need them, keyed on *content* (never on object identity);
+* **fault isolation** — a solver exception or an exhausted per-cell
+  budget becomes an ``ERROR``/``TIMEOUT`` cell carrying the captured
+  traceback; the rest of the matrix always completes.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.bounds import BoundsCache
+from repro.core.bounds import (
+    BoundsCache,
+    LayerBounds,
+    bounds_cache_key,
+    compute_bounds_entry,
+)
 from repro.core.encoder import EncoderOptions
-from repro.core.properties import SafetyProperty
+from repro.core.properties import (
+    InputRegion,
+    OutputObjective,
+    SafetyProperty,
+)
 from repro.core.verifier import VerificationResult, Verdict, Verifier
 from repro.errors import CertificationError
 from repro.milp.branch_and_bound import MILPOptions
 from repro.nn.network import FeedForwardNetwork
 from repro.report.tables import render_generic
 
+#: Explicit matrix mark for every verdict — no raw enum-value fallback.
+VERDICT_MARKS: Dict[Verdict, str] = {
+    Verdict.VERIFIED: "proved",
+    Verdict.FALSIFIED: "FALSIFIED",
+    Verdict.MAX_FOUND: "max-found",
+    Verdict.TIMEOUT: "time-out",
+    Verdict.ERROR: "ERROR",
+}
+
+#: Verdicts that count as a successfully completed cell: a proved
+#: property, or a max query solved to optimality.
+PASSING_VERDICTS = frozenset({Verdict.VERIFIED, Verdict.MAX_FOUND})
+
+#: ``progress(completed, total, cell)`` — invoked after every cell.
+ProgressHook = Callable[[int, int, "CampaignCell"], None]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` request to a worker count.
+
+    ``None``/``1`` mean serial in-process execution, ``0`` means "one
+    worker per CPU" (``os.cpu_count()``), any other positive value is
+    taken literally.
+    """
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise CertificationError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+@dataclasses.dataclass
+class CampaignQuery:
+    """One column of the campaign matrix.
+
+    ``kind`` is ``"prove"`` (decision query: objective <= threshold over
+    the region) or ``"max"`` (maximise the objective over the region).
+    """
+
+    name: str
+    region: InputRegion
+    objective: OutputObjective
+    kind: str = "prove"
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("prove", "max"):
+            raise CertificationError(
+                f"query kind must be 'prove' or 'max', got {self.kind!r}"
+            )
+
+    def as_property(self) -> SafetyProperty:
+        """The query as a :class:`SafetyProperty` (decision kind only)."""
+        if self.kind != "prove":
+            raise CertificationError(
+                f"max query {self.name!r} has no property form"
+            )
+        return SafetyProperty(
+            name=self.name,
+            region=self.region,
+            objective=self.objective,
+            threshold=self.threshold,
+        )
+
 
 @dataclasses.dataclass
 class CampaignCell:
-    """One (network, property) verification outcome."""
+    """One (network, query) verification outcome."""
 
     network_id: str
     property_name: str
     result: VerificationResult
+    traceback: Optional[str] = None
 
     @property
     def passed(self) -> bool:
-        return self.result.verdict is Verdict.VERIFIED
+        return self.result.verdict in PASSING_VERDICTS
 
 
 @dataclasses.dataclass
@@ -40,6 +133,8 @@ class CampaignReport:
     """All cells of a finished campaign."""
 
     cells: List[CampaignCell]
+    wall_time: float = 0.0
+    jobs: int = 1
 
     @property
     def all_passed(self) -> bool:
@@ -51,9 +146,35 @@ class CampaignReport:
             return 0.0
         return sum(c.passed for c in self.cells) / len(self.cells)
 
+    @property
+    def total_cell_time(self) -> float:
+        """Summed per-cell solver time — the serial-equivalent cost."""
+        return sum(c.result.wall_time for c in self.cells)
+
+    @property
+    def speedup(self) -> float:
+        """Observed parallel speedup: cell time over campaign wall time."""
+        if self.wall_time <= 0.0:
+            return 1.0
+        return self.total_cell_time / self.wall_time
+
     def failures(self) -> List[CampaignCell]:
-        """Cells that did not verify (falsified, timed out, errored)."""
+        """Cells that did not complete (falsified, timed out, errored)."""
         return [c for c in self.cells if not c.passed]
+
+    def errors(self) -> List[CampaignCell]:
+        """Cells that errored (isolated faults), tracebacks attached."""
+        return [
+            c for c in self.cells
+            if c.result.verdict is Verdict.ERROR
+        ]
+
+    def verdict_counts(self) -> Dict[Verdict, int]:
+        """How many cells ended in each verdict (all five keys present)."""
+        counts = {verdict: 0 for verdict in Verdict}
+        for cell in self.cells:
+            counts[cell.result.verdict] += 1
+        return counts
 
     def cell(
         self, network_id: str, property_name: str
@@ -70,7 +191,7 @@ class CampaignReport:
         )
 
     def render(self) -> str:
-        """Matrix rendering: networks as rows, properties as columns."""
+        """Matrix rendering: networks as rows, queries as columns."""
         networks = sorted({c.network_id for c in self.cells})
         properties = sorted({c.property_name for c in self.cells})
         rows = []
@@ -84,12 +205,7 @@ class CampaignReport:
                 if cell is None:
                     row.append("-")
                     continue
-                verdict = cell.result.verdict
-                mark = {
-                    Verdict.VERIFIED: "proved",
-                    Verdict.FALSIFIED: "FALSIFIED",
-                    Verdict.TIMEOUT: "time-out",
-                }.get(verdict, verdict.value)
+                mark = VERDICT_MARKS[cell.result.verdict]
                 row.append(f"{mark} ({cell.result.wall_time:.1f}s)")
             rows.append(row)
         return render_generic(
@@ -97,19 +213,148 @@ class CampaignReport:
             title="verification campaign",
         )
 
+    def summary(self) -> str:
+        """One-paragraph campaign accounting: verdicts, time, speedup."""
+        counts = self.verdict_counts()
+        parts = [
+            f"{count} {VERDICT_MARKS[verdict]}"
+            for verdict, count in counts.items()
+            if count
+        ]
+        lines = [
+            f"campaign: {len(self.cells)} cells "
+            f"({', '.join(parts) if parts else 'empty'})",
+            f"wall time {self.wall_time:.1f}s with {self.jobs} "
+            f"worker{'s' if self.jobs != 1 else ''}; "
+            f"cell time {self.total_cell_time:.1f}s "
+            f"(speedup {self.speedup:.1f}x)",
+        ]
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class _CellTask:
+    """Everything one worker needs to verify a single cell."""
+
+    index: int
+    network_name: str
+    network: FeedForwardNetwork
+    query: CampaignQuery
+    encoder_options: EncoderOptions
+    milp_options: MILPOptions
+    cell_time_limit: Optional[float]
+    bounds_key: Tuple[str, str, str]
+    bounds: Optional[List[LayerBounds]] = None
+    bounds_error: Optional[str] = None
+
+
+def _compute_bounds_task(
+    payload: Tuple[Tuple[str, str, str], FeedForwardNetwork,
+                   InputRegion, str],
+) -> Tuple[Tuple[str, str, str], Optional[List[LayerBounds]],
+           Optional[str]]:
+    """Worker: one fault-isolated bound computation."""
+    key, network, region, bound_mode = payload
+    bounds, error = compute_bounds_entry(network, region, bound_mode)
+    return key, bounds, error
+
+
+def _error_cell(
+    task: _CellTask, message: str, trace: Optional[str], wall: float
+) -> CampaignCell:
+    return CampaignCell(
+        network_id=task.network_name,
+        property_name=task.query.name,
+        result=VerificationResult(
+            verdict=Verdict.ERROR,
+            wall_time=wall,
+            description=message,
+        ),
+        traceback=trace,
+    )
+
+
+def _run_cell_task(task: _CellTask) -> CampaignCell:
+    """Worker: verify one cell; every failure becomes an ERROR cell."""
+    start = time.monotonic()
+    if task.bounds_error is not None:
+        return _error_cell(
+            task,
+            f"bound computation failed for region "
+            f"{task.query.region.name!r}",
+            task.bounds_error,
+            0.0,
+        )
+    milp = task.milp_options
+    if task.cell_time_limit is not None:
+        milp = dataclasses.replace(
+            milp,
+            time_limit=min(milp.time_limit, task.cell_time_limit),
+        )
+    try:
+        verifier = Verifier(task.network, task.encoder_options, milp)
+        if task.query.kind == "max":
+            result = verifier.maximize(
+                task.query.region,
+                task.query.objective,
+                precomputed_bounds=task.bounds,
+                raise_on_infeasible=False,
+            )
+        else:
+            result = verifier.prove(
+                task.query.as_property(),
+                precomputed_bounds=task.bounds,
+            )
+    except Exception as exc:
+        return _error_cell(
+            task,
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(),
+            time.monotonic() - start,
+        )
+    wall = time.monotonic() - start
+    if (
+        task.cell_time_limit is not None
+        and wall > task.cell_time_limit
+        and result.verdict not in (Verdict.TIMEOUT, Verdict.ERROR)
+    ):
+        # The solver finished but blew the cell's wall-clock budget
+        # (e.g. in encoding work the MILP time limit cannot see).
+        result = dataclasses.replace(
+            result,
+            verdict=Verdict.TIMEOUT,
+            description=(
+                f"{result.description} "
+                f"[cell budget {task.cell_time_limit:.1f}s exceeded: "
+                f"{wall:.1f}s]"
+            ).strip(),
+        )
+    return CampaignCell(task.network_name, task.query.name, result)
+
 
 class VerificationCampaign:
-    """Collects networks and properties, runs the full matrix."""
+    """Collects networks and queries, runs the full matrix.
+
+    ``jobs`` selects the execution engine: ``None``/``1`` run serially
+    in-process, ``0`` fans cells out over one worker process per CPU,
+    ``n > 1`` over exactly ``n`` workers.  ``cell_time_limit`` is a
+    per-cell wall-clock budget; a cell that exhausts it reports
+    ``TIMEOUT`` instead of stalling the campaign.
+    """
 
     def __init__(
         self,
         encoder_options: Optional[EncoderOptions] = None,
         milp_options: Optional[MILPOptions] = None,
+        jobs: Optional[int] = None,
+        cell_time_limit: Optional[float] = None,
     ) -> None:
         self.encoder_options = encoder_options or EncoderOptions()
         self.milp_options = milp_options or MILPOptions(time_limit=120.0)
+        self.jobs = jobs
+        self.cell_time_limit = cell_time_limit
         self._networks: Dict[str, FeedForwardNetwork] = {}
-        self._properties: Dict[str, SafetyProperty] = {}
+        self._queries: Dict[str, CampaignQuery] = {}
 
     def add_network(
         self, network: FeedForwardNetwork, name: Optional[str] = None
@@ -124,40 +369,172 @@ class VerificationCampaign:
         return name
 
     def add_property(self, prop: SafetyProperty) -> str:
-        """Register a safety property (names must be unique)."""
-        if prop.name in self._properties:
-            raise CertificationError(
-                f"duplicate property name {prop.name!r} in campaign"
+        """Register a safety property as a decision query."""
+        return self.add_query(
+            CampaignQuery(
+                name=prop.name,
+                region=prop.region,
+                objective=prop.objective,
+                kind="prove",
+                threshold=prop.threshold,
             )
-        self._properties[prop.name] = prop
-        return prop.name
+        )
+
+    def add_max_query(
+        self,
+        name: str,
+        region: InputRegion,
+        objective: OutputObjective,
+    ) -> str:
+        """Register a max query (Table II's middle column)."""
+        return self.add_query(
+            CampaignQuery(
+                name=name, region=region, objective=objective, kind="max"
+            )
+        )
+
+    def add_query(self, query: CampaignQuery) -> str:
+        """Register a query (names must be unique across both kinds)."""
+        if query.name in self._queries:
+            raise CertificationError(
+                f"duplicate property name {query.name!r} in campaign"
+            )
+        self._queries[query.name] = query
+        return query.name
 
     @property
     def size(self) -> Tuple[int, int]:
-        return len(self._networks), len(self._properties)
+        return len(self._networks), len(self._queries)
 
-    def run(self) -> CampaignReport:
-        """Verify every property on every network.
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        jobs: Optional[int] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> CampaignReport:
+        """Verify every query on every network.
 
-        Pre-activation bounds are computed once per (network, region)
-        pair and shared across that region's properties.
+        Pre-activation bounds are computed once per unique (network,
+        region geometry) pair and shared across that region's queries.
+        ``jobs`` overrides the campaign-level setting for this run;
+        ``progress`` is invoked after every completed cell.
         """
-        if not self._networks or not self._properties:
+        if not self._networks or not self._queries:
             raise CertificationError(
                 "campaign needs at least one network and one property"
             )
-        cells: List[CampaignCell] = []
-        cache = BoundsCache()
+        workers = resolve_jobs(jobs if jobs is not None else self.jobs)
+        start = time.monotonic()
+        tasks = self._build_tasks()
+        if workers <= 1 or len(tasks) <= 1:
+            cells = self._run_serial(tasks, progress)
+            workers = 1
+        else:
+            cells = self._run_parallel(tasks, workers, progress)
+        return CampaignReport(
+            cells=cells,
+            wall_time=time.monotonic() - start,
+            jobs=workers,
+        )
+
+    def _build_tasks(self) -> List[_CellTask]:
+        tasks = []
         for net_name, network in self._networks.items():
-            verifier = Verifier(
-                network, self.encoder_options, self.milp_options
+            for query in self._queries.values():
+                tasks.append(
+                    _CellTask(
+                        index=len(tasks),
+                        network_name=net_name,
+                        network=network,
+                        query=query,
+                        encoder_options=self.encoder_options,
+                        milp_options=self.milp_options,
+                        cell_time_limit=self.cell_time_limit,
+                        bounds_key=bounds_cache_key(
+                            network,
+                            query.region,
+                            self.encoder_options.bound_mode,
+                        ),
+                    )
+                )
+        return tasks
+
+    def _run_serial(
+        self,
+        tasks: List[_CellTask],
+        progress: Optional[ProgressHook],
+    ) -> List[CampaignCell]:
+        cache = BoundsCache()
+        cells: List[CampaignCell] = []
+        for task in tasks:
+            task.bounds, task.bounds_error = cache.lookup(
+                task.network,
+                task.query.region,
+                self.encoder_options.bound_mode,
             )
-            for prop in self._properties.values():
-                bounds = cache.get(
-                    network, prop.region, self.encoder_options.bound_mode
-                )
-                result = verifier.prove(prop, precomputed_bounds=bounds)
-                cells.append(
-                    CampaignCell(net_name, prop.name, result)
-                )
-        return CampaignReport(cells)
+            cell = _run_cell_task(task)
+            cells.append(cell)
+            if progress is not None:
+                progress(len(cells), len(tasks), cell)
+        return cells
+
+    def _run_parallel(
+        self,
+        tasks: List[_CellTask],
+        workers: int,
+        progress: Optional[ProgressHook],
+    ) -> List[CampaignCell]:
+        """Two-stage fan-out over a process pool.
+
+        Stage 1 computes each *unique* (network, region, mode) bound set
+        in parallel; stage 2 fans the cells out with their bounds
+        attached, so equal-but-distinct regions never recompute.  A
+        worker failure (even a hard crash) is confined to its cell.
+        """
+        unique: Dict[Tuple[str, str, str],
+                     Tuple[FeedForwardNetwork, InputRegion]] = {}
+        for task in tasks:
+            unique.setdefault(
+                task.bounds_key, (task.network, task.query.region)
+            )
+        cells: List[Optional[CampaignCell]] = [None] * len(tasks)
+        completed = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            bounds_by_key = {}
+            payloads = [
+                (key, network, region, self.encoder_options.bound_mode)
+                for key, (network, region) in unique.items()
+            ]
+            for key, bounds, error in pool.map(
+                _compute_bounds_task, payloads
+            ):
+                bounds_by_key[key] = (bounds, error)
+            for task in tasks:
+                task.bounds, task.bounds_error = bounds_by_key[
+                    task.bounds_key
+                ]
+            future_to_task = {
+                pool.submit(_run_cell_task, task): task for task in tasks
+            }
+            pending = set(future_to_task)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = future_to_task[future]
+                    try:
+                        cell = future.result()
+                    except Exception as exc:
+                        # The worker process itself died (or its result
+                        # did not survive the trip back).
+                        cell = _error_cell(
+                            task,
+                            f"worker failed: "
+                            f"{type(exc).__name__}: {exc}",
+                            traceback.format_exc(),
+                            0.0,
+                        )
+                    cells[task.index] = cell
+                    completed += 1
+                    if progress is not None:
+                        progress(completed, len(tasks), cell)
+        return [cell for cell in cells if cell is not None]

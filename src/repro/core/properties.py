@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,17 +30,21 @@ from repro.nn.mdn import mu_lat_indices
 
 @dataclasses.dataclass
 class LinearInputConstraint:
-    """``sum coef[name] * x[name] <= rhs`` over named input features."""
+    """``sum coef[name] * x[name] <= rhs`` over input features.
 
-    coefficients: Dict[str, float]
+    Features are addressed by encoder name or directly by column index
+    (for regions outside the 84-feature highway domain).
+    """
+
+    coefficients: Dict[Union[str, int], float]
     rhs: float
 
     def as_indexed(self) -> Tuple[Dict[int, float], float]:
         """The constraint as ``(column-index coefficients, rhs)``."""
         return (
             {
-                feature_index(name): coef
-                for name, coef in self.coefficients.items()
+                key if isinstance(key, int) else feature_index(key): coef
+                for key, coef in self.coefficients.items()
             },
             self.rhs,
         )

@@ -177,3 +177,258 @@ class TestBoundsSharing:
         campaign.add_property(prop("p2", 1000.0, region=narrow))
         campaign.run()
         assert len(calls) == 2
+
+
+def make_cell(net, name, verdict, wall=1.0):
+    from repro.core.campaign import CampaignCell
+    from repro.core.verifier import VerificationResult
+
+    return CampaignCell(
+        network_id=net,
+        property_name=name,
+        result=VerificationResult(verdict=verdict, wall_time=wall),
+    )
+
+
+class TestVerdictAccounting:
+    def test_max_found_counts_as_passed(self):
+        cell = make_cell("a", "q", Verdict.MAX_FOUND)
+        assert cell.passed
+
+    def test_error_and_timeout_not_passed(self):
+        assert not make_cell("a", "q", Verdict.ERROR).passed
+        assert not make_cell("a", "q", Verdict.TIMEOUT).passed
+
+    def test_report_passes_with_max_found(self):
+        from repro.core.campaign import CampaignReport
+
+        report = CampaignReport(
+            [
+                make_cell("a", "max", Verdict.MAX_FOUND),
+                make_cell("a", "dec", Verdict.VERIFIED),
+            ]
+        )
+        assert report.all_passed
+        assert report.pass_rate == 1.0
+        assert report.failures() == []
+
+    def test_render_marks_all_five_verdicts(self):
+        from repro.core.campaign import CampaignReport
+
+        report = CampaignReport(
+            [
+                make_cell("a", "q1", Verdict.VERIFIED),
+                make_cell("a", "q2", Verdict.FALSIFIED),
+                make_cell("a", "q3", Verdict.MAX_FOUND),
+                make_cell("a", "q4", Verdict.TIMEOUT),
+                make_cell("a", "q5", Verdict.ERROR),
+            ]
+        )
+        text = report.render()
+        for mark in (
+            "proved", "FALSIFIED", "max-found", "time-out", "ERROR"
+        ):
+            assert mark in text
+        # no raw enum-value fallback
+        assert "max_found" not in text
+
+    def test_render_missing_cell_dash(self):
+        from repro.core.campaign import CampaignReport
+
+        report = CampaignReport(
+            [
+                make_cell("a", "q1", Verdict.VERIFIED),
+                make_cell("b", "q2", Verdict.VERIFIED),
+            ]
+        )
+        lines = report.render().splitlines()
+        assert any("-" in line.split() for line in lines)
+
+    def test_verdict_counts_and_summary(self):
+        from repro.core.campaign import CampaignReport
+
+        report = CampaignReport(
+            [
+                make_cell("a", "q1", Verdict.MAX_FOUND, wall=2.0),
+                make_cell("a", "q2", Verdict.ERROR, wall=1.0),
+            ],
+            wall_time=1.5,
+            jobs=2,
+        )
+        counts = report.verdict_counts()
+        assert counts[Verdict.MAX_FOUND] == 1
+        assert counts[Verdict.ERROR] == 1
+        assert report.total_cell_time == pytest.approx(3.0)
+        assert report.speedup == pytest.approx(2.0)
+        summary = report.summary()
+        assert "2 cells" in summary
+        assert "1 max-found" in summary
+        assert "1 ERROR" in summary
+        assert "2 workers" in summary
+
+
+class TestQueries:
+    def test_add_max_query(self, campaign, nets):
+        campaign.add_network(nets[0], "a")
+        campaign.add_max_query(
+            "max0", unit_region(), OutputObjective.single(0)
+        )
+        report = campaign.run()
+        cell = report.cell("a", "max0")
+        assert cell.result.verdict is Verdict.MAX_FOUND
+        assert cell.passed
+
+    def test_duplicate_query_name_rejected(self, campaign):
+        campaign.add_max_query(
+            "q", unit_region(), OutputObjective.single(0)
+        )
+        with pytest.raises(CertificationError):
+            campaign.add_property(prop("q", 1.0))
+
+    def test_invalid_kind_rejected(self):
+        from repro.core.campaign import CampaignQuery
+
+        with pytest.raises(CertificationError):
+            CampaignQuery(
+                name="q",
+                region=unit_region(),
+                objective=OutputObjective.single(0),
+                kind="minimize",
+            )
+
+
+def infeasible_region(dim=4):
+    from repro.core.properties import LinearInputConstraint
+
+    region = unit_region(dim)
+    region.add_constraint(LinearInputConstraint({0: 1.0}, rhs=-2.0))
+    return region
+
+
+def matrix_campaign(num_nets=3):
+    from repro.core.encoder import EncoderOptions
+
+    c = VerificationCampaign(
+        EncoderOptions(bound_mode="interval"),
+        MILPOptions(time_limit=60.0),
+    )
+    for s in range(num_nets):
+        c.add_network(
+            FeedForwardNetwork.mlp(
+                4, [5], 2, rng=np.random.default_rng(s)
+            ),
+            f"net{s}",
+        )
+    c.add_property(prop("loose", 1000.0))
+    c.add_property(prop("tight", -1000.0, output=1))
+    c.add_max_query("max0", unit_region(), OutputObjective.single(0))
+    return c
+
+
+def cell_tuples(report):
+    return [
+        (c.network_id, c.property_name, c.result.verdict)
+        for c in report.cells
+    ]
+
+
+class TestParallel:
+    def test_serial_parallel_equivalence(self):
+        serial = matrix_campaign().run()
+        parallel = matrix_campaign().run(jobs=2)
+        assert cell_tuples(serial) == cell_tuples(parallel)
+        assert parallel.jobs == 2
+        for s, p in zip(serial.cells, parallel.cells):
+            if not np.isnan(s.result.value):
+                assert p.result.value == pytest.approx(s.result.value)
+
+    def test_jobs_zero_means_cpu_count(self):
+        from repro.core.campaign import resolve_jobs
+
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        with pytest.raises(CertificationError):
+            resolve_jobs(-1)
+
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_infeasible_query_isolated(self, jobs):
+        c = matrix_campaign()
+        c.add_max_query(
+            "empty", infeasible_region(), OutputObjective.single(0)
+        )
+        report = c.run(jobs=jobs)
+        errors = report.errors()
+        assert len(errors) == 3
+        assert all(e.property_name == "empty" for e in errors)
+        assert all(
+            "infeasible" in e.result.description for e in errors
+        )
+        healthy = [
+            c for c in report.cells if c.property_name != "empty"
+        ]
+        assert all(
+            c.result.verdict is not Verdict.ERROR for c in healthy
+        )
+
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_poisoned_network_isolated(self, jobs):
+        """A network the bound stage rejects only errors its own row."""
+        c = matrix_campaign()
+        c.add_network(
+            FeedForwardNetwork.mlp(
+                3, [5], 2, rng=np.random.default_rng(9)
+            ),
+            "poison",
+        )
+        report = c.run(jobs=jobs)
+        poison = [
+            cell for cell in report.cells
+            if cell.network_id == "poison"
+        ]
+        assert len(poison) == 3
+        for cell in poison:
+            assert cell.result.verdict is Verdict.ERROR
+            assert cell.traceback is not None
+            assert "EncodingError" in cell.traceback
+        rest = [
+            cell for cell in report.cells
+            if cell.network_id != "poison"
+        ]
+        assert all(
+            cell.result.verdict is not Verdict.ERROR for cell in rest
+        )
+
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_progress_hook(self, jobs):
+        events = []
+        report = matrix_campaign(num_nets=2).run(
+            jobs=jobs,
+            progress=lambda done, total, cell: events.append(
+                (done, total, cell.property_name)
+            ),
+        )
+        assert len(events) == len(report.cells) == 6
+        assert [e[0] for e in events] == list(range(1, 7))
+        assert all(e[1] == 6 for e in events)
+
+    def test_cell_budget_overrun_times_out(self):
+        c = matrix_campaign(num_nets=1)
+        c.cell_time_limit = 1e-4
+        report = c.run()
+        assert all(
+            cell.result.verdict is Verdict.TIMEOUT
+            for cell in report.cells
+        )
+
+    def test_parallel_shares_bounds_per_geometry(self):
+        """Stage 1 runs one computation per unique (net, geometry) pair:
+        equal-but-distinct regions collapse onto one content key."""
+        c = matrix_campaign(num_nets=2)  # 2 nets x 3 queries, 1 geometry
+        tasks = c._build_tasks()
+        assert len(tasks) == 6
+        assert len({t.bounds_key for t in tasks}) == 2
+        report = c.run(jobs=2)
+        assert len(report.cells) == 6

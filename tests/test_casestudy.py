@@ -84,6 +84,41 @@ class TestVerification:
         assert row.max_lateral_velocity >= sampled_max - 1e-6
 
 
+    def test_run_table_ii_serial_parallel_equivalence(
+        self, small_study, small_predictor
+    ):
+        """The campaign-backed sweep matches itself across engines."""
+        nets = {5: small_predictor}
+        serial = casestudy.run_table_ii(
+            small_study, nets, time_limit=120.0
+        )
+        parallel = casestudy.run_table_ii(
+            small_study, nets, time_limit=120.0, jobs=2
+        )
+        assert len(serial) == len(parallel) == 1
+        assert serial[0].architecture == parallel[0].architecture
+        if not (serial[0].timed_out or parallel[0].timed_out):
+            assert parallel[0].max_lateral_velocity == pytest.approx(
+                serial[0].max_lateral_velocity, abs=1e-6
+            )
+
+    def test_run_table_ii_matches_verify_network(
+        self, small_study, small_predictor
+    ):
+        """Campaign aggregation reproduces the single-network row."""
+        direct = casestudy.verify_network(
+            small_study, small_predictor, time_limit=120.0
+        )
+        [swept] = casestudy.run_table_ii(
+            small_study, {5: small_predictor}, time_limit=120.0
+        )
+        assert swept.architecture == direct.architecture
+        if not (direct.timed_out or swept.timed_out):
+            assert swept.max_lateral_velocity == pytest.approx(
+                direct.max_lateral_velocity, abs=1e-6
+            )
+
+
 class TestCertification:
     def test_full_case_structure(self, small_study, small_predictor):
         case = casestudy.certify_predictor(

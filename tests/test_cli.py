@@ -114,6 +114,75 @@ class TestVerify:
         assert "PROVEN" in capsys.readouterr().out
 
 
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def second_net_file(self, tmp_path_factory, data_file):
+        path = tmp_path_factory.mktemp("cli") / "net5.json"
+        code = main(
+            [
+                "train",
+                "--data", str(data_file),
+                "--width", "5",
+                "--epochs", "15",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_parallel_sweep(
+        self, data_file, net_file, second_net_file, capsys
+    ):
+        code = main(
+            [
+                "campaign",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--net", str(second_net_file),
+                "--jobs", "2",
+                "--time-limit", "120",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verification campaign" in out
+        assert "2 networks x 2 queries" in out
+        assert "[4/4]" in out            # per-cell progress lines
+        assert "2 workers" in out        # summary accounting
+        assert "TABLE II" in out
+        assert "I4x4" in out and "I4x5" in out
+
+    def test_duplicate_architecture_rejected(
+        self, data_file, net_file
+    ):
+        from repro.errors import CertificationError
+
+        with pytest.raises(CertificationError):
+            main(
+                [
+                    "campaign",
+                    "--data", str(data_file),
+                    "--net", str(net_file),
+                    "--net", str(net_file),
+                ]
+            )
+
+    def test_verify_jobs_flag(self, data_file, net_file, capsys):
+        code = main(
+            [
+                "verify",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+                "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+        assert "I4x4" in out
+
+
 class TestCertifyAndFigure:
     def test_certify_renders_case(self, data_file, net_file, capsys):
         main(

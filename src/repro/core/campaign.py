@@ -158,6 +158,30 @@ class CampaignReport:
             return 1.0
         return self.total_cell_time / self.wall_time
 
+    @property
+    def total_lp_iterations(self) -> int:
+        """Simplex iterations summed over every cell's node LPs."""
+        return sum(c.result.lp_iterations for c in self.cells)
+
+    @property
+    def total_lp_iterations_saved(self) -> int:
+        """Estimated iterations avoided by basis-reuse warm starts."""
+        return sum(c.result.lp_iterations_saved for c in self.cells)
+
+    @property
+    def total_basis_rejections(self) -> int:
+        """Warm starts rejected (fell back to a cold node solve)."""
+        return sum(c.result.basis_rejections for c in self.cells)
+
+    @property
+    def warm_start_hit_rate(self) -> float:
+        """Campaign-wide warm-start hit rate (0.0 when never attempted)."""
+        attempts = sum(c.result.warm_start_attempts for c in self.cells)
+        if attempts == 0:
+            return 0.0
+        hits = sum(c.result.warm_start_hits for c in self.cells)
+        return hits / attempts
+
     def failures(self) -> List[CampaignCell]:
         """Cells that did not complete (falsified, timed out, errored)."""
         return [c for c in self.cells if not c.passed]
@@ -229,6 +253,15 @@ class CampaignReport:
             f"cell time {self.total_cell_time:.1f}s "
             f"(speedup {self.speedup:.1f}x)",
         ]
+        attempts = sum(c.result.warm_start_attempts for c in self.cells)
+        if attempts:
+            lines.append(
+                f"node LPs: {self.total_lp_iterations} simplex iterations; "
+                f"warm-start hit rate {self.warm_start_hit_rate:.0%} "
+                f"({attempts} attempts, "
+                f"{self.total_basis_rejections} rejected), "
+                f"~{self.total_lp_iterations_saved} iterations saved"
+            )
         return "\n".join(lines)
 
 

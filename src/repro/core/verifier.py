@@ -73,10 +73,22 @@ class VerificationResult:
     nodes: int = 0
     num_binaries: int = 0
     description: str = ""
+    lp_iterations: int = 0
+    warm_start_attempts: int = 0
+    warm_start_hits: int = 0
+    basis_rejections: int = 0
+    lp_iterations_saved: int = 0
 
     @property
     def timed_out(self) -> bool:
         return self.verdict is Verdict.TIMEOUT
+
+    @property
+    def warm_start_hit_rate(self) -> float:
+        """Fraction of node LPs that reused the parent basis (0 if none)."""
+        if self.warm_start_attempts == 0:
+            return 0.0
+        return self.warm_start_hits / self.warm_start_attempts
 
 
 @dataclasses.dataclass
@@ -98,6 +110,17 @@ class TableIIRow:
         )
         time_str = "time-out" if self.timed_out else f"{self.wall_time:.1f}s"
         return f"{self.architecture:>8}  {value:>32}  {time_str:>10}"
+
+
+def _lp_telemetry(result) -> dict:
+    """Solver telemetry threaded from a MILPResult into a result."""
+    return {
+        "lp_iterations": result.lp_iterations,
+        "warm_start_attempts": result.warm_start_attempts,
+        "warm_start_hits": result.warm_start_hits,
+        "basis_rejections": result.basis_rejections,
+        "lp_iterations_saved": result.lp_iterations_saved,
+    }
 
 
 class Verifier:
@@ -157,6 +180,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=objective.description,
+                **_lp_telemetry(result),
             )
         if result.status in (SolveStatus.TIMEOUT, SolveStatus.NODE_LIMIT):
             witness = None
@@ -175,6 +199,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=objective.description,
+                **_lp_telemetry(result),
             )
         if result.status is SolveStatus.INFEASIBLE:
             message = "max query infeasible: the input region is empty"
@@ -186,6 +211,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=message,
+                **_lp_telemetry(result),
             )
         return VerificationResult(
             verdict=Verdict.ERROR,
@@ -193,6 +219,7 @@ class Verifier:
             nodes=result.nodes,
             num_binaries=encoded.num_binaries,
             description=objective.description,
+            **_lp_telemetry(result),
         )
 
     def prove(
@@ -225,6 +252,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=prop.name,
+                **_lp_telemetry(result),
             )
         if result.has_incumbent:
             witness, replayed = self._replay(
@@ -240,6 +268,7 @@ class Verifier:
                     nodes=result.nodes,
                     num_binaries=encoded.num_binaries,
                     description=prop.name,
+                    **_lp_telemetry(result),
                 )
         if result.status in (SolveStatus.TIMEOUT, SolveStatus.NODE_LIMIT):
             return VerificationResult(
@@ -248,6 +277,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=prop.name,
+                **_lp_telemetry(result),
             )
         return VerificationResult(
             verdict=Verdict.ERROR,
@@ -255,6 +285,7 @@ class Verifier:
             nodes=result.nodes,
             num_binaries=encoded.num_binaries,
             description=prop.name,
+            **_lp_telemetry(result),
         )
 
     # -- the Table II experiment ----------------------------------------------------
@@ -274,6 +305,10 @@ class Verifier:
         best: Optional[VerificationResult] = None
         total_time = 0.0
         total_nodes = 0
+        totals = dict.fromkeys(
+            ("lp_iterations", "warm_start_attempts", "warm_start_hits",
+             "basis_rejections", "lp_iterations_saved"), 0,
+        )
         timed_out = False
         for objective in component_lateral_objectives(num_components):
             result = self.maximize(
@@ -281,6 +316,8 @@ class Verifier:
             )
             total_time += result.wall_time
             total_nodes += result.nodes
+            for key in totals:
+                totals[key] += getattr(result, key)
             if result.verdict is Verdict.TIMEOUT:
                 timed_out = True
             if best is None or (
@@ -293,6 +330,7 @@ class Verifier:
             wall_time=total_time,
             nodes=total_nodes,
             verdict=Verdict.TIMEOUT if timed_out else best.verdict,
+            **totals,
         )
         return best
 

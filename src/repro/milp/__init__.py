@@ -7,14 +7,18 @@ solver stack for that encoding:
 * :mod:`repro.milp.expr` / :mod:`repro.milp.model` — algebraic modelling
   layer (variables, linear expressions, constraints, objective);
 * :mod:`repro.milp.simplex` — two-phase dense tableau simplex, written from
-  scratch;
+  scratch (the cold-start reference path);
+* :mod:`repro.milp.revised_simplex` — bounded-variable revised simplex with
+  dual-simplex warm starting from a caller-supplied basis;
 * :mod:`repro.milp.scipy_backend` — HiGHS LP backend with the same contract;
 * :mod:`repro.milp.presolve` — bound propagation;
-* :mod:`repro.milp.branch_and_bound` — best-first MILP search with rounding
-  heuristics, node/time budgets and proven dual bounds.
+* :mod:`repro.milp.branch_and_bound` — best-first/plunging MILP search with
+  pseudocost branching, basis-reuse warm starts, rounding heuristics,
+  node/time budgets and proven dual bounds.
 """
 
 from repro.milp.branch_and_bound import MILPOptions, solve_milp
+from repro.milp.revised_simplex import Basis, StandardLP
 from repro.milp.io import model_to_lp, write_lp
 from repro.milp.expr import (
     Constraint,
@@ -29,6 +33,8 @@ from repro.milp.solution import LPResult, MILPResult
 from repro.milp.status import SolveStatus
 
 __all__ = [
+    "Basis",
+    "StandardLP",
     "Constraint",
     "ConstraintOp",
     "LinExpr",

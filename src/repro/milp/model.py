@@ -45,6 +45,7 @@ class Model:
         self.objective: LinExpr = LinExpr()
         self.sense: Sense = Sense.MINIMIZE
         self._names: Dict[str, int] = {}
+        self._dense_cache: Optional[tuple] = None
 
     # -- construction -------------------------------------------------------
     def add_var(
@@ -71,6 +72,7 @@ class Model:
                 f"variable {name!r} has empty domain [{lb}, {ub}]"
             )
         var = Variable(index, name, self)
+        self._dense_cache = None
         self.variables.append(var)
         self.lb.append(float(lb))
         self.ub.append(float(ub))
@@ -111,6 +113,7 @@ class Model:
             constraint.name = name
         elif not constraint.name:
             constraint.name = f"c{len(self.constraints)}"
+        self._dense_cache = None
         self.constraints.append(constraint)
         return constraint
 
@@ -118,6 +121,7 @@ class Model:
         """Set the objective expression and optimisation direction."""
         expr = _as_expr(expr)
         self._check_columns(expr)
+        self._dense_cache = None
         self.objective = expr
         self.sense = sense
 
@@ -127,6 +131,7 @@ class Model:
             raise ModelError(
                 f"variable {var.name!r} given empty domain [{lb}, {ub}]"
             )
+        self._dense_cache = None
         self.lb[var.index] = float(lb)
         self.ub[var.index] = float(ub)
 
@@ -170,7 +175,17 @@ class Model:
 
         ``>=`` rows are negated into ``<=`` rows; the objective is negated
         when the model maximises, so backends can always minimise ``c @ x``.
+
+        The dense view is **cached** on the model (campaign cells and
+        repeated root solves re-densify the same encoding otherwise) and
+        invalidated by every mutation that goes through the model API
+        (``add_var``/``add_constr``/``set_objective``/``set_bounds``).
+        The cached arrays are returned read-only; the ``bounds`` list is a
+        fresh copy per call.
         """
+        if self._dense_cache is not None:
+            c, A_ub, b_ub, A_eq, b_eq, bounds = self._dense_cache
+            return c, A_ub, b_ub, A_eq, b_eq, list(bounds)
         n = self.num_vars
         c = np.zeros(n)
         for idx, coef in self.objective.coeffs.items():
@@ -202,6 +217,10 @@ class Model:
         A_eq = np.array(eq_rows) if eq_rows else None
         b_eq = np.array(eq_rhs) if eq_rhs else None
         bounds = list(zip(self.lb, self.ub))
+        for arr in (c, A_ub, b_ub, A_eq, b_eq):
+            if arr is not None:
+                arr.setflags(write=False)
+        self._dense_cache = (c, A_ub, b_ub, A_eq, b_eq, tuple(bounds))
         return c, A_ub, b_ub, A_eq, b_eq, bounds
 
     def objective_value(self, x: Sequence[float]) -> float:

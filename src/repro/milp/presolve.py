@@ -103,7 +103,11 @@ def _propagate_le(
                         f"variable {model.variables[idx].name} forced below "
                         f"its lower bound"
                     )
-                model.ub[idx] = max(new_ub, model.lb[idx])
+                model.set_bounds(
+                    model.variables[idx],
+                    model.lb[idx],
+                    max(new_ub, model.lb[idx]),
+                )
                 changes += 1
         elif coef < -_TOL:
             new_lb = limit / coef
@@ -115,7 +119,11 @@ def _propagate_le(
                         f"variable {model.variables[idx].name} forced above "
                         f"its upper bound"
                     )
-                model.lb[idx] = min(new_lb, model.ub[idx])
+                model.set_bounds(
+                    model.variables[idx],
+                    min(new_lb, model.ub[idx]),
+                    model.ub[idx],
+                )
                 changes += 1
     return changes
 

@@ -1,0 +1,536 @@
+"""Bounded-variable revised simplex with dual-simplex warm starting.
+
+The tableau solver in :mod:`repro.milp.simplex` reduces every LP to
+``A y = b, y >= 0`` by shifting, mirroring and *splitting* variables and by
+inflating finite upper bounds into explicit rows.  That is robust but wasteful
+inside branch-and-bound, where the verification encodings are dominated by box
+bounds and every node differs from its parent by a single bound change.
+
+This module keeps box bounds *native*:
+
+* the working system is ``A x = b`` with ``l <= x <= u`` per column — slack
+  columns absorb the inequality rows, nothing is split, and no bound ever
+  becomes a row;
+* a :class:`Basis` (basic column per row plus a nonbasic status per column)
+  fully describes a vertex and can be handed from a parent node to its
+  children;
+* :func:`reoptimize` restarts the **dual simplex** from a caller-supplied
+  basis after a bound change — the parent's basis stays dual feasible, so a
+  handful of dual pivots usually restores primal feasibility instead of a
+  from-scratch two-phase solve;
+* :func:`solve_lp` is the cold-start entry point with the same contract as
+  the other LP backends (phase 1 runs over per-row artificial columns that
+  are permanently fixed to zero afterwards, so the column space never
+  changes between cold and warm solves).
+
+The implementation is dense NumPy: ``B^{-1}`` is maintained explicitly with
+product-form pivot updates and periodic refactorisation.  Per-iteration cost
+matches the dense tableau; the win is the *iteration count* on warm starts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.milp.solution import LPResult
+from repro.milp.status import SolveStatus
+
+#: Nonbasic-at-lower-bound / nonbasic-at-upper-bound / basic / nonbasic free
+#: (free nonbasics rest at zero).
+AT_LOWER, AT_UPPER, BASIC, FREE = 0, 1, 2, 3
+
+_EPS = 1e-9
+_DUAL_TOL = 1e-7
+_FEAS_TOL = 1e-7
+_PIVOT_TOL = 1e-7
+_BLAND_AFTER = 2000
+_REFACTOR_EVERY = 64
+_MAX_ITER_DEFAULT = 50000
+
+
+class NumericalTrouble(RuntimeError):
+    """The factorisation degraded beyond repair (reject / fall back)."""
+
+
+@dataclasses.dataclass
+class Basis:
+    """A simplex basis: basic column per row, status per column.
+
+    ``basic`` has one entry per constraint row; ``status`` one entry per
+    column of the *standardised* problem (structurals, slacks, artificials).
+    """
+
+    basic: np.ndarray
+    status: np.ndarray
+
+    def copy(self) -> "Basis":
+        """Deep copy, so child nodes can pivot without aliasing."""
+        return Basis(self.basic.copy(), self.status.copy())
+
+
+@dataclasses.dataclass
+class StandardLP:
+    """``min c @ x  s.t.  A x = b,  l <= x <= u`` built once per model.
+
+    Columns are laid out ``[structural | slacks | artificials]``; the
+    artificial block (one column per row) is fixed to ``[0, 0]`` and only
+    relaxed internally during phase 1 of a cold start.
+    """
+
+    A: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    num_structural: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.A.shape[1]
+
+    def node_bounds(
+        self,
+        lb: Optional[np.ndarray] = None,
+        ub: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Full-length bound arrays with node bounds on the structurals."""
+        lower = self.lower.copy()
+        upper = self.upper.copy()
+        if lb is not None:
+            lower[: self.num_structural] = lb
+        if ub is not None:
+            upper[: self.num_structural] = ub
+        return lower, upper
+
+
+def standardize(
+    c: np.ndarray,
+    A_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[np.ndarray] = None,
+    A_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[np.ndarray] = None,
+    bounds: Optional[Sequence[Tuple[float, float]]] = None,
+) -> StandardLP:
+    """Build the equality-form LP (slack and artificial columns appended)."""
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    if bounds is None:
+        bounds = [(0.0, math.inf)] * n
+    if len(bounds) != n:
+        raise ValueError("bounds length must match number of columns")
+    num_ub = 0 if A_ub is None else A_ub.shape[0]
+    num_eq = 0 if A_eq is None else A_eq.shape[0]
+    m = num_ub + num_eq
+
+    A_struct = np.zeros((m, n))
+    b = np.zeros(m)
+    if num_ub:
+        A_struct[:num_ub] = A_ub
+        b[:num_ub] = b_ub
+    if num_eq:
+        A_struct[num_ub:] = A_eq
+        b[num_ub:] = b_eq
+
+    slack = np.zeros((m, num_ub))
+    slack[:num_ub] = np.eye(num_ub)
+    A = np.hstack([A_struct, slack, np.eye(m)])
+
+    lower = np.concatenate([
+        np.array([bd[0] for bd in bounds], dtype=float),
+        np.zeros(num_ub),
+        np.zeros(m),
+    ])
+    upper = np.concatenate([
+        np.array([bd[1] for bd in bounds], dtype=float),
+        np.full(num_ub, math.inf),
+        np.zeros(m),
+    ])
+    c_full = np.concatenate([c, np.zeros(num_ub + m)])
+    return StandardLP(A, b, c_full, lower, upper, n)
+
+
+class _Solver:
+    """One revised-simplex run over a :class:`StandardLP` with node bounds."""
+
+    def __init__(
+        self, lp: StandardLP, lower: np.ndarray, upper: np.ndarray
+    ) -> None:
+        self.lp = lp
+        self.A = lp.A
+        self.b = lp.b
+        self.lower = lower
+        self.upper = upper
+        self.m, self.n = lp.A.shape
+        self.iterations = 0
+        self._since_refactor = 0
+        self.basic = np.zeros(self.m, dtype=np.int64)
+        self.status = np.full(self.n, AT_LOWER, dtype=np.int8)
+        self.Binv = np.eye(self.m)
+        self.x = np.zeros(self.n)
+
+    # -- basis management ---------------------------------------------------
+    def install(self, basis: Basis) -> None:
+        """Adopt a caller basis; raises on inconsistent or singular input."""
+        basic = np.asarray(basis.basic, dtype=np.int64)
+        status = np.asarray(basis.status, dtype=np.int8)
+        if basic.shape != (self.m,) or status.shape != (self.n,):
+            raise NumericalTrouble("basis shape does not match the LP")
+        if np.count_nonzero(status == BASIC) != self.m:
+            raise NumericalTrouble("basis has wrong number of basic columns")
+        if not np.all(status[basic] == BASIC):
+            raise NumericalTrouble("basic list and status array disagree")
+        nb_lower = (status == AT_LOWER) & np.isneginf(self.lower)
+        nb_upper = (status == AT_UPPER) & np.isposinf(self.upper)
+        if nb_lower.any() or nb_upper.any():
+            raise NumericalTrouble("nonbasic column rests on an infinite bound")
+        self.basic = basic.copy()
+        self.status = status.copy()
+        self.factorize()
+        self.compute_x()
+
+    def export(self) -> Basis:
+        return Basis(self.basic.copy(), self.status.copy())
+
+    def factorize(self) -> None:
+        B = self.A[:, self.basic]
+        try:
+            self.Binv = np.linalg.inv(B)
+        except np.linalg.LinAlgError as exc:
+            raise NumericalTrouble("singular basis matrix") from exc
+        if not np.all(np.isfinite(self.Binv)):
+            raise NumericalTrouble("non-finite basis inverse")
+        self._since_refactor = 0
+
+    def compute_x(self) -> None:
+        """Recompute the full primal point from the basis and statuses."""
+        x = np.where(self.status == AT_UPPER, self.upper, self.lower)
+        x[self.status == FREE] = 0.0
+        x[self.basic] = 0.0
+        x[self.basic] = self.Binv @ (self.b - self.A @ x)
+        self.x = x
+
+    def reduced_costs(self, cost: np.ndarray) -> np.ndarray:
+        y = cost[self.basic] @ self.Binv
+        return cost - y @ self.A
+
+    def objective(self) -> float:
+        return float(self.lp.c @ self.x)
+
+    def _pivot_update(self, r: int, w: np.ndarray) -> None:
+        """Product-form update of ``B^{-1}`` after ``basic[r]`` is replaced."""
+        if abs(w[r]) < _PIVOT_TOL:
+            raise NumericalTrouble("pivot element too small")
+        row = self.Binv[r] / w[r]
+        factors = w.copy()
+        factors[r] = 0.0
+        self.Binv -= np.outer(factors, row)
+        self.Binv[r] = row
+        self._since_refactor += 1
+        if self._since_refactor >= _REFACTOR_EVERY:
+            self.factorize()
+
+    # -- primal simplex -----------------------------------------------------
+    def primal(self, cost: np.ndarray, max_iter: int) -> str:
+        """Minimise ``cost`` from the current (primal-feasible) basis."""
+        movable = self.upper - self.lower > _EPS
+        while True:
+            if self.iterations >= max_iter:
+                return "iteration_limit"
+            d = self.reduced_costs(cost)
+            bland = self.iterations >= _BLAND_AFTER
+            at_lo = (self.status == AT_LOWER) & movable & (d < -_DUAL_TOL)
+            at_up = (self.status == AT_UPPER) & movable & (d > _DUAL_TOL)
+            free = (self.status == FREE) & (np.abs(d) > _DUAL_TOL)
+            candidates = np.flatnonzero(at_lo | at_up | free)
+            if candidates.size == 0:
+                return "optimal"
+            if bland:
+                q = int(candidates[0])
+            else:
+                q = int(candidates[np.argmax(np.abs(d[candidates]))])
+            sigma = 1.0 if (at_lo[q] or (free[q] and d[q] < 0)) else -1.0
+
+            w = self.Binv @ self.A[:, q]
+            effect = sigma * w  # x_B changes by -effect * t
+            xB = self.x[self.basic]
+            loB = self.lower[self.basic]
+            upB = self.upper[self.basic]
+            limits = np.full(self.m, np.inf)
+            dec = effect > _PIVOT_TOL
+            inc = effect < -_PIVOT_TOL
+            limits[dec] = (xB[dec] - loB[dec]) / effect[dec]
+            limits[inc] = (upB[inc] - xB[inc]) / (-effect[inc])
+            limits = np.maximum(limits, 0.0)
+            t_basic = limits.min() if self.m else np.inf
+
+            if self.status[q] == FREE:
+                t_flip = np.inf
+            else:
+                t_flip = self.upper[q] - self.lower[q]
+
+            t = min(t_basic, t_flip)
+            if not np.isfinite(t):
+                return "unbounded"
+
+            if t_flip <= t_basic:
+                # Bound flip: the entering column crosses its box without
+                # any basic variable blocking — no basis change at all.
+                self.status[q] = AT_UPPER if sigma > 0 else AT_LOWER
+                self.x[q] += sigma * t
+                self.x[self.basic] = xB - effect * t
+                self.iterations += 1
+                continue
+
+            ties = np.flatnonzero(limits <= t_basic + _EPS)
+            if bland:
+                r = int(min(ties, key=lambda i: self.basic[i]))
+            else:
+                r = int(ties[np.argmax(np.abs(effect[ties]))])
+            leaving = int(self.basic[r])
+            self.x[q] += sigma * t
+            self.x[self.basic] = xB - effect * t
+            self.x[leaving] = loB[r] if effect[r] > 0 else upB[r]
+            self.status[leaving] = AT_LOWER if effect[r] > 0 else AT_UPPER
+            self.status[q] = BASIC
+            self.basic[r] = q
+            try:
+                self._pivot_update(r, w)
+            except NumericalTrouble:
+                self.factorize()  # may itself raise: basis truly singular
+                self.compute_x()
+            if self._since_refactor == 0:
+                self.compute_x()
+            self.iterations += 1
+
+    # -- dual simplex -------------------------------------------------------
+    def dual(self, cost: np.ndarray, max_iter: int) -> str:
+        """Restore primal feasibility while keeping dual feasibility.
+
+        Starts from a dual-feasible basis (e.g. a parent node's optimum
+        after a bound tightening) and pivots until every basic variable is
+        inside its box.  Returns ``feasible``, ``infeasible`` (dual
+        unbounded — the primal has no feasible point) or
+        ``iteration_limit``.
+        """
+        enterable = (self.upper - self.lower > _EPS) | (self.status == FREE)
+        while True:
+            if self.iterations >= max_iter:
+                return "iteration_limit"
+            self.compute_x()
+            if self.m == 0:
+                return "feasible"
+            xB = self.x[self.basic]
+            below = self.lower[self.basic] - xB
+            above = xB - self.upper[self.basic]
+            viol = np.maximum(below, above)
+            r = int(np.argmax(viol))
+            if viol[r] <= _FEAS_TOL:
+                return "feasible"
+            is_below = below[r] >= above[r]
+
+            alpha = self.Binv[r] @ self.A
+            a = -alpha if is_below else alpha
+            d = self.reduced_costs(cost)
+            nonbasic = self.status != BASIC
+            cand_lo = (
+                (self.status == AT_LOWER) & enterable & (a > _PIVOT_TOL)
+            )
+            cand_up = (
+                (self.status == AT_UPPER) & enterable & (a < -_PIVOT_TOL)
+            )
+            cand_fr = (
+                (self.status == FREE) & (np.abs(a) > _PIVOT_TOL)
+            )
+            mask = (cand_lo | cand_up | cand_fr) & nonbasic
+            candidates = np.flatnonzero(mask)
+            if candidates.size == 0:
+                return "infeasible"
+            ratios = np.abs(d[candidates]) / np.abs(a[candidates])
+            bland = self.iterations >= _BLAND_AFTER
+            best = ratios.min()
+            ties = np.flatnonzero(ratios <= best + _EPS)
+            if bland:
+                q = int(candidates[ties.min()])
+            else:
+                tie_cols = candidates[ties]
+                q = int(tie_cols[np.argmax(np.abs(a[tie_cols]))])
+
+            leaving = int(self.basic[r])
+            self.status[leaving] = AT_LOWER if is_below else AT_UPPER
+            self.status[q] = BASIC
+            self.basic[r] = q
+            w = self.Binv @ self.A[:, q]
+            try:
+                self._pivot_update(r, w)
+            except NumericalTrouble:
+                self.factorize()
+            self.iterations += 1
+
+
+def _cold_start(
+    solver: _Solver, lower: np.ndarray, upper: np.ndarray, max_iter: int
+) -> str:
+    """Two-phase cold start over the artificial block.
+
+    Phase 1 relaxes each artificial's ``[0, 0]`` box to cover the initial
+    row residual and minimises total artificial magnitude; afterwards the
+    boxes snap back to zero so warm restarts see an unchanged column space.
+    Returns ``optimal``, ``infeasible``, ``unbounded`` or
+    ``iteration_limit``.
+    """
+    lp = solver.lp
+    m, n = solver.m, solver.n
+    art = np.arange(n - m, n)
+
+    status = np.full(n, AT_LOWER, dtype=np.int8)
+    finite_lo = np.isfinite(lower)
+    finite_up = np.isfinite(upper)
+    status[~finite_lo & finite_up] = AT_UPPER
+    status[~finite_lo & ~finite_up] = FREE
+    status[art] = BASIC
+    solver.basic = art.copy()
+    solver.status = status
+    solver.Binv = np.eye(m)
+
+    x = np.where(status == AT_UPPER, upper, lower)
+    x[status == FREE] = 0.0
+    x[art] = 0.0
+    residual = solver.b - solver.A @ x
+
+    lower[art] = np.minimum(0.0, residual)
+    upper[art] = np.maximum(0.0, residual)
+    solver.compute_x()
+
+    phase1_cost = np.zeros(n)
+    phase1_cost[art] = np.where(residual >= 0.0, 1.0, -1.0)
+    outcome = solver.primal(phase1_cost, max_iter)
+    if outcome == "unbounded":
+        raise NumericalTrouble("phase 1 cannot be unbounded")
+    if outcome == "iteration_limit":
+        return outcome
+    if float(phase1_cost @ solver.x) > 1e-6:
+        return "infeasible"
+
+    # Snap the artificial boxes shut; surviving basic artificials sit at
+    # zero and the fixed box keeps them out of every future pivot.
+    lower[art] = 0.0
+    upper[art] = 0.0
+    nonbasic_art = art[solver.status[art] != BASIC]
+    solver.status[nonbasic_art] = AT_LOWER
+    solver.compute_x()
+    return solver.primal(lp.c, max_iter)
+
+
+def _result(
+    solver: _Solver, warm_started: bool
+) -> LPResult:
+    """Package an optimal solver state as an :class:`LPResult`."""
+    n_struct = solver.lp.num_structural
+    x = solver.x[:n_struct].copy()
+    d = solver.reduced_costs(solver.lp.c)[:n_struct].copy()
+    return LPResult(
+        SolveStatus.OPTIMAL,
+        x=x,
+        objective=float(solver.lp.c[:n_struct] @ x),
+        iterations=solver.iterations,
+        basis=solver.export(),
+        reduced_costs=d,
+        warm_started=warm_started,
+    )
+
+
+def cold_solve(
+    lp: StandardLP,
+    lb: Optional[np.ndarray] = None,
+    ub: Optional[np.ndarray] = None,
+    max_iter: int = _MAX_ITER_DEFAULT,
+) -> LPResult:
+    """Solve from scratch (two-phase primal) under node bounds ``lb``/``ub``."""
+    lower, upper = lp.node_bounds(lb, ub)
+    if np.any(lower > upper + _EPS):
+        return LPResult(SolveStatus.INFEASIBLE)
+    solver = _Solver(lp, lower, upper)
+    try:
+        outcome = _cold_start(solver, lower, upper, max_iter)
+    except NumericalTrouble:
+        return LPResult(SolveStatus.ERROR, iterations=solver.iterations)
+    if outcome == "optimal":
+        return _result(solver, warm_started=False)
+    if outcome == "infeasible":
+        return LPResult(SolveStatus.INFEASIBLE, iterations=solver.iterations)
+    if outcome == "unbounded":
+        return LPResult(SolveStatus.UNBOUNDED, iterations=solver.iterations)
+    return LPResult(SolveStatus.ERROR, iterations=solver.iterations)
+
+
+def reoptimize(
+    lp: StandardLP,
+    basis: Basis,
+    lb: Optional[np.ndarray] = None,
+    ub: Optional[np.ndarray] = None,
+    max_iter: int = _MAX_ITER_DEFAULT,
+) -> Optional[LPResult]:
+    """Dual-simplex reoptimisation from ``basis`` after a bound change.
+
+    Returns ``None`` when the warm start is *rejected* (singular or
+    inconsistent basis, iteration blow-up, numerical trouble) — the caller
+    falls back to a cold solve.  A genuine ``INFEASIBLE``/``UNBOUNDED``
+    answer is returned as such: dual unboundedness proves the node LP empty
+    and is a perfectly good pruning certificate.
+    """
+    lower, upper = lp.node_bounds(lb, ub)
+    if np.any(lower > upper + _EPS):
+        return LPResult(SolveStatus.INFEASIBLE)
+    solver = _Solver(lp, lower, upper)
+    try:
+        solver.install(basis)
+        outcome = solver.dual(lp.c, max_iter)
+        if outcome == "infeasible":
+            return LPResult(
+                SolveStatus.INFEASIBLE,
+                iterations=solver.iterations,
+                warm_started=True,
+            )
+        if outcome == "iteration_limit":
+            return None
+        # Polish: the dual run kept reduced costs feasible up to
+        # tolerance; a short primal pass certifies optimality.
+        outcome = solver.primal(lp.c, max_iter)
+    except NumericalTrouble:
+        return None
+    if outcome == "optimal":
+        return _result(solver, warm_started=True)
+    if outcome == "unbounded":
+        return LPResult(
+            SolveStatus.UNBOUNDED,
+            iterations=solver.iterations,
+            warm_started=True,
+        )
+    return None
+
+
+def solve_lp(
+    c: np.ndarray,
+    A_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[np.ndarray] = None,
+    A_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[np.ndarray] = None,
+    bounds: Optional[Sequence[Tuple[float, float]]] = None,
+    max_iter: int = _MAX_ITER_DEFAULT,
+) -> LPResult:
+    """Cold-start entry point with the standard LP-backend contract.
+
+    The returned result additionally carries the optimal :class:`Basis`
+    and structural reduced costs, which :func:`reoptimize` (and the
+    branch-and-bound warm path) consume.
+    """
+    lp = standardize(c, A_ub, b_ub, A_eq, b_eq, bounds)
+    return cold_solve(lp, max_iter=max_iter)

@@ -72,80 +72,72 @@ def _standardize(
     n = len(bounds)
     num_ub = 0 if A_ub is None else A_ub.shape[0]
     num_eq = 0 if A_eq is None else A_eq.shape[0]
-
-    cols: List[np.ndarray] = []  # structural column of each std variable
-    std_c: List[float] = []
-    recover: List[Tuple[str, int, int, float]] = []
-    extra_rows: List[np.ndarray] = []  # upper-bound rows over std columns
-    extra_rhs: List[float] = []
-    c0 = 0.0
-
-    def column_of(j: int) -> np.ndarray:
-        col = np.zeros(num_ub + num_eq)
-        if num_ub:
-            col[:num_ub] = A_ub[:, j]
-        if num_eq:
-            col[num_ub:] = A_eq[:, j]
-        return col
-
-    rhs_shift = np.zeros(num_ub + num_eq)
-
-    for j, (lb, ub) in enumerate(bounds):
-        col = column_of(j)
-        if lb == -math.inf and ub == math.inf:
-            plus = len(std_c)
-            cols.append(col)
-            std_c.append(c[j])
-            minus = len(std_c)
-            cols.append(-col)
-            std_c.append(-c[j])
-            recover.append(("split", plus, minus, 0.0))
-        elif lb == -math.inf:
-            # x = ub - y
-            idx = len(std_c)
-            cols.append(-col)
-            std_c.append(-c[j])
-            rhs_shift += col * ub
-            c0 += c[j] * ub
-            recover.append(("mirror", idx, -1, ub))
-        else:
-            # x = lb + y
-            idx = len(std_c)
-            cols.append(col)
-            std_c.append(c[j])
-            rhs_shift += col * lb
-            c0 += c[j] * lb
-            recover.append(("shift", idx, -1, lb))
-            if ub != math.inf:
-                row = np.zeros(0)  # placeholder; filled after count known
-                extra_rows.append(np.array([idx], dtype=int))
-                extra_rhs.append(ub - lb)
-
-    num_std = len(std_c)
     base_rows = num_ub + num_eq
-    num_bound_rows = len(extra_rows)
+
+    lb = np.array([bd[0] for bd in bounds], dtype=float)
+    ub = np.array([bd[1] for bd in bounds], dtype=float)
+    A_base = np.zeros((base_rows, n))
+    if num_ub:
+        A_base[:num_ub] = A_ub
+    if num_eq:
+        A_base[num_ub:] = A_eq
+
+    # Classify every original column, then build the whole standard-form
+    # structural block with two matmuls instead of a per-variable loop:
+    # ``D`` maps original columns onto their (signed) standard columns.
+    free = np.isneginf(lb) & np.isposinf(ub)
+    mirror = np.isneginf(lb) & ~free  # x = ub - y
+    shifted = ~free & ~mirror         # x = lb + y
+    width = np.where(free, 2, 1)
+    starts = np.concatenate([[0], np.cumsum(width)[:-1]]).astype(int)
+    num_std = int(width.sum())
+
+    D = np.zeros((n, num_std))
+    rows_idx = np.arange(n)
+    D[rows_idx, starts] = np.where(mirror, -1.0, 1.0)
+    D[rows_idx[free], starts[free] + 1] = -1.0
+
+    shift_vec = np.where(shifted, lb, 0.0) + np.where(mirror, ub, 0.0)
+    std_c_arr = c @ D
+    rhs_shift = A_base @ shift_vec
+    c0 = float(c @ shift_vec)
+
+    recover: List[Tuple[str, int, int, float]] = []
+    for j in range(n):
+        if free[j]:
+            recover.append(("split", int(starts[j]),
+                            int(starts[j]) + 1, 0.0))
+        elif mirror[j]:
+            recover.append(("mirror", int(starts[j]), -1, float(ub[j])))
+        else:
+            recover.append(("shift", int(starts[j]), -1, float(lb[j])))
+
+    # Finite upper bounds of shifted columns become explicit y <= u - l rows.
+    bounded = shifted & np.isfinite(ub)
+    bound_cols = starts[bounded]
+    bound_rhs = (ub - lb)[bounded]
+    num_bound_rows = bound_cols.size
     total_rows = base_rows + num_bound_rows
 
     A = np.zeros((total_rows, num_std))
-    for k in range(num_std):
-        A[:base_rows, k] = cols[k]
+    A[:base_rows] = A_base @ D
+    A[base_rows + np.arange(num_bound_rows), bound_cols] = 1.0
     b = np.zeros(total_rows)
     if num_ub:
         b[:num_ub] = b_ub - rhs_shift[:num_ub]
     if num_eq:
         b[num_ub:base_rows] = b_eq - rhs_shift[num_ub:]
-    for r, (idx_arr, rhs) in enumerate(zip(extra_rows, extra_rhs)):
-        A[base_rows + r, idx_arr[0]] = 1.0
-        b[base_rows + r] = rhs
+    b[base_rows:] = bound_rhs
 
     # Append slack columns for every inequality row (original ub rows and
     # bound rows); equality rows get none.
-    ineq_rows = list(range(num_ub)) + list(range(base_rows, total_rows))
-    num_slacks = len(ineq_rows)
+    ineq_rows = np.concatenate([
+        np.arange(num_ub), np.arange(base_rows, total_rows)
+    ]).astype(int)
+    num_slacks = ineq_rows.size
     A_full = np.hstack([A, np.zeros((total_rows, num_slacks))])
-    for s, row in enumerate(ineq_rows):
-        A_full[row, num_std + s] = 1.0
-    c_full = np.array(std_c + [0.0] * num_slacks)
+    A_full[ineq_rows, num_std + np.arange(num_slacks)] = 1.0
+    c_full = np.concatenate([std_c_arr, np.zeros(num_slacks)])
 
     # Normalise RHS signs.
     neg = b < 0

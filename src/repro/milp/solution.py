@@ -20,12 +20,21 @@ class LPResult:
             the status is OPTIMAL).
         objective: Objective value in the *original* sense of the model.
         iterations: Simplex pivots (or backend iterations) performed.
+        basis: Optimal basis (``repro.milp.revised_simplex.Basis``) when
+            the backend supports warm starting, else ``None``.
+        reduced_costs: Reduced costs of the structural columns at the
+            optimum (for reduced-cost bound fixing), when available.
+        warm_started: True when this solve reoptimised from a supplied
+            basis instead of starting cold.
     """
 
     status: SolveStatus
     x: Optional[np.ndarray] = None
     objective: float = float("nan")
     iterations: int = 0
+    basis: Optional[object] = None
+    reduced_costs: Optional[np.ndarray] = None
+    warm_started: bool = False
 
 
 @dataclasses.dataclass
@@ -42,6 +51,14 @@ class MILPResult:
         nodes: Branch-and-bound nodes processed.
         lp_iterations: Total simplex iterations over all node LPs.
         wall_time: Seconds spent inside the solver.
+        warm_start_attempts: Node LPs that tried a parent-basis warm start.
+        warm_start_hits: Warm starts that produced a usable answer
+            (optimal or a trusted infeasibility certificate).
+        basis_rejections: Warm starts rejected (singular/stale basis or
+            iteration blow-up) that fell back to a cold solve.
+        lp_iterations_saved: Estimated iterations avoided by warm
+            starting, measured against the root LP's cold iteration count
+            as the per-node cold-solve proxy.
     """
 
     status: SolveStatus
@@ -51,10 +68,21 @@ class MILPResult:
     nodes: int = 0
     lp_iterations: int = 0
     wall_time: float = 0.0
+    warm_start_attempts: int = 0
+    warm_start_hits: int = 0
+    basis_rejections: int = 0
+    lp_iterations_saved: int = 0
 
     @property
     def has_incumbent(self) -> bool:
         return self.x is not None
+
+    @property
+    def warm_start_hit_rate(self) -> float:
+        """Fraction of warm-start attempts that stuck (0.0 when none)."""
+        if self.warm_start_attempts == 0:
+            return 0.0
+        return self.warm_start_hits / self.warm_start_attempts
 
     @property
     def gap(self) -> float:

@@ -181,6 +181,28 @@ class TestOptions:
         assert res.objective == pytest.approx(4.0)
         assert res.nodes <= 1
 
+    @pytest.mark.parametrize(
+        "selection", ["best_first", "hybrid"]
+    )
+    def test_node_selection_rules_agree(self, selection):
+        values = [4, 9, 3, 8, 7]
+        weights = [2, 3, 1, 4, 2]
+        model = knapsack(values, weights, 6)
+        res = solve_milp(model, MILPOptions(node_selection=selection))
+        assert res.objective == pytest.approx(
+            brute_force_knapsack(values, weights, 6)
+        )
+
+    def test_unknown_branching_rejected(self):
+        model = knapsack([1], [1], 1)
+        with pytest.raises(ValueError):
+            solve_milp(model, MILPOptions(branching="strong"))
+
+    def test_unknown_node_selection_rejected(self):
+        model = knapsack([1], [1], 1)
+        with pytest.raises(ValueError):
+            solve_milp(model, MILPOptions(node_selection="dfs"))
+
     @pytest.mark.parametrize("sense", [Sense.MAXIMIZE, Sense.MINIMIZE])
     def test_objective_constant_reported(self, sense):
         """Regression: affine objectives (network encodings fold biases
@@ -198,4 +220,104 @@ class TestOptions:
         assert res.best_bound == pytest.approx(expected)
         assert res.objective == pytest.approx(
             model.objective_value(res.x)
+        )
+
+
+class TestWarmStartedSearch:
+    """The revised backend with basis reuse must agree with cold solves."""
+
+    def _random_knapsack(self, rng, size=10):
+        values = rng.integers(5, 60, size=size).tolist()
+        weights = rng.integers(1, 12, size=size).tolist()
+        capacity = int(sum(weights) // 2)
+        return values, weights, capacity
+
+    def test_revised_warm_matches_cold_backends(self):
+        rng = np.random.default_rng(5)
+        for _ in range(8):
+            values, weights, capacity = self._random_knapsack(rng)
+            warm = solve_milp(
+                knapsack(values, weights, capacity),
+                MILPOptions(lp_backend="revised", warm_start=True),
+            )
+            cold = solve_milp(
+                knapsack(values, weights, capacity),
+                MILPOptions(lp_backend="simplex"),
+            )
+            assert warm.status is SolveStatus.OPTIMAL
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-6)
+
+    def test_warm_start_telemetry_populated(self):
+        rng = np.random.default_rng(11)
+        values, weights, capacity = self._random_knapsack(rng, size=14)
+        model = knapsack(values, weights, capacity)
+        res = solve_milp(
+            model,
+            MILPOptions(lp_backend="revised", warm_start=True,
+                        presolve=False),
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        if res.nodes > 1:
+            assert res.warm_start_attempts > 0
+            assert res.warm_start_hits <= res.warm_start_attempts
+            assert 0.0 <= res.warm_start_hit_rate <= 1.0
+            assert res.basis_rejections >= 0
+        assert res.lp_iterations > 0
+
+    def test_warm_start_off_runs_cold(self):
+        rng = np.random.default_rng(3)
+        values, weights, capacity = self._random_knapsack(rng)
+        model = knapsack(values, weights, capacity)
+        res = solve_milp(
+            model,
+            MILPOptions(lp_backend="revised", warm_start=False),
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.warm_start_attempts == 0
+        assert res.objective == pytest.approx(
+            brute_force_knapsack(values, weights, capacity)
+        )
+
+    def test_warm_start_saves_lp_iterations(self):
+        """On a deep-ish tree, warm restarts cut total LP work."""
+        rng = np.random.default_rng(42)
+        values, weights, capacity = self._random_knapsack(rng, size=16)
+        model_w = knapsack(values, weights, capacity)
+        model_c = knapsack(values, weights, capacity)
+        warm = solve_milp(
+            model_w,
+            MILPOptions(lp_backend="revised", warm_start=True,
+                        presolve=False),
+        )
+        cold = solve_milp(
+            model_c,
+            MILPOptions(lp_backend="simplex", presolve=False),
+        )
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-6)
+        if warm.nodes > 3:
+            assert warm.lp_iterations < cold.lp_iterations
+
+    def test_rc_fixing_preserves_optimum(self):
+        rng = np.random.default_rng(9)
+        for _ in range(5):
+            values, weights, capacity = self._random_knapsack(rng)
+            on = solve_milp(
+                knapsack(values, weights, capacity),
+                MILPOptions(lp_backend="revised", rc_fixing=True),
+            )
+            off = solve_milp(
+                knapsack(values, weights, capacity),
+                MILPOptions(lp_backend="revised", rc_fixing=False),
+            )
+            assert on.objective == pytest.approx(off.objective, abs=1e-6)
+
+    def test_pseudocost_branching_matches_brute_force(self):
+        rng = np.random.default_rng(21)
+        values, weights, capacity = self._random_knapsack(rng, size=12)
+        res = solve_milp(
+            knapsack(values, weights, capacity),
+            MILPOptions(lp_backend="revised", branching="pseudocost"),
+        )
+        assert res.objective == pytest.approx(
+            brute_force_knapsack(values, weights, capacity)
         )

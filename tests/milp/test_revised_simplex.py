@@ -1,0 +1,199 @@
+"""Cross-check and warm-start tests for the bounded revised simplex.
+
+The core of the suite pits :func:`repro.milp.revised_simplex.solve_lp`
+against SciPy's HiGHS backend on ~200 seeded random LPs with mixed
+free/boxed/one-sided/fixed variables, including degenerate and infeasible
+instances — the two solvers must agree on status and optimal objective.
+A second battery drives the dual-simplex :func:`reoptimize` path the way
+branch-and-bound does: solve, tighten one bound, warm-restart from the
+parent basis, and compare against a cold solve.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.milp import revised_simplex as rs
+from repro.milp.scipy_backend import solve_lp as solve_highs
+from repro.milp.status import SolveStatus
+
+NUM_RANDOM_LPS = 200
+
+
+def _random_lp(rng):
+    """One random LP with a mix of bound kinds (incl. fixed and free)."""
+    n = int(rng.integers(1, 8))
+    m = int(rng.integers(0, 8))
+    me = int(rng.integers(0, 3))
+    c = np.round(rng.uniform(-5, 5, n), 3)
+    A_ub = np.round(rng.uniform(-5, 5, (m, n)), 3) if m else None
+    b_ub = np.round(rng.uniform(-10, 30, m), 3) if m else None
+    A_eq = np.round(rng.uniform(-3, 3, (me, n)), 3) if me else None
+    b_eq = np.round(rng.uniform(-5, 10, me), 3) if me else None
+    bounds = []
+    for _ in range(n):
+        kind = int(rng.integers(0, 5))
+        lo = round(float(rng.uniform(-6, 2)), 3)
+        hi = lo + round(float(rng.uniform(0, 8)), 3)
+        if kind == 0:
+            bounds.append((lo, hi))          # boxed
+        elif kind == 1:
+            bounds.append((lo, math.inf))    # lower only
+        elif kind == 2:
+            bounds.append((-math.inf, hi))   # upper only
+        elif kind == 3:
+            bounds.append((-math.inf, math.inf))  # free
+        else:
+            bounds.append((lo, lo))          # fixed (degenerate)
+    return c, A_ub, b_ub, A_eq, b_eq, bounds
+
+
+class TestRandomCrossCheck:
+    def test_agrees_with_highs_on_random_lps(self):
+        """Status + objective agreement on ~200 seeded random LPs."""
+        rng = np.random.default_rng(20260806)
+        optimal = infeasible = unbounded = 0
+        for k in range(NUM_RANDOM_LPS):
+            c, A_ub, b_ub, A_eq, b_eq, bounds = _random_lp(rng)
+            ours = rs.solve_lp(c, A_ub, b_ub, A_eq, b_eq, bounds)
+            ref = solve_highs(c, A_ub, b_ub, A_eq, b_eq, bounds)
+            assert ours.status == ref.status, (
+                f"instance {k}: {ours.status} != {ref.status}"
+            )
+            if ref.status is SolveStatus.OPTIMAL:
+                optimal += 1
+                assert ours.objective == pytest.approx(
+                    ref.objective, abs=1e-5, rel=1e-5
+                ), f"instance {k}"
+                # The point must actually be feasible.
+                lo = np.array([bd[0] for bd in bounds])
+                hi = np.array([bd[1] for bd in bounds])
+                assert np.all(ours.x >= lo - 1e-7)
+                assert np.all(ours.x <= hi + 1e-7)
+                if A_ub is not None:
+                    assert np.all(A_ub @ ours.x <= b_ub + 1e-6)
+                if A_eq is not None:
+                    assert np.allclose(A_eq @ ours.x, b_eq, atol=1e-6)
+            elif ref.status is SolveStatus.INFEASIBLE:
+                infeasible += 1
+            elif ref.status is SolveStatus.UNBOUNDED:
+                unbounded += 1
+        # The battery must actually exercise all three outcomes.
+        assert optimal > 50
+        assert infeasible > 5
+
+    def test_degenerate_redundant_rows(self):
+        A = np.array(
+            [[1.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0], [0.0, 1.0]]
+        )
+        b = np.array([1.0, 1.0, 2.0, 1.0, 1.0])
+        res = rs.solve_lp(np.array([-1.0, -1.0]), A, b,
+                          bounds=[(0, 5), (0, 5)])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-2.0)
+
+    def test_unbounded_free_column(self):
+        res = rs.solve_lp(np.array([-1.0]),
+                          bounds=[(-math.inf, math.inf)])
+        assert res.status is SolveStatus.UNBOUNDED
+
+    def test_result_carries_basis_and_reduced_costs(self):
+        res = rs.solve_lp(
+            np.array([1.0, 1.0]),
+            np.array([[1.0, 1.0]]),
+            np.array([4.0]),
+            bounds=[(0, 3), (0, 3)],
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.basis is not None
+        assert res.reduced_costs is not None
+        assert res.reduced_costs.shape == (2,)
+        assert not res.warm_started
+
+
+class TestWarmStart:
+    def _family(self, rng):
+        n = int(rng.integers(2, 8))
+        m = int(rng.integers(1, 8))
+        c = np.round(rng.uniform(-5, 5, n), 3)
+        A = np.round(rng.uniform(-5, 5, (m, n)), 3)
+        b = np.round(rng.uniform(0, 30, m), 3)
+        lb = np.round(rng.uniform(-4, 0, n), 3)
+        ub = lb + np.round(rng.uniform(1, 8, n), 3)
+        return c, A, b, lb, ub
+
+    def test_reoptimize_matches_cold_after_bound_change(self):
+        """Branching simulation: tighten one bound, dual-reoptimize."""
+        rng = np.random.default_rng(77)
+        total_warm = total_cold = checked = 0
+        for k in range(60):
+            c, A, b, lb, ub = self._family(rng)
+            lp = rs.standardize(c, A, b, None, None, list(zip(lb, ub)))
+            root = rs.cold_solve(lp)
+            if root.status is not SolveStatus.OPTIMAL:
+                continue
+            j = int(rng.integers(len(lb)))
+            mid = (lb[j] + ub[j]) / 2
+            nlb, nub = lb.copy(), ub.copy()
+            if rng.integers(2):
+                nlb[j] = mid
+            else:
+                nub[j] = mid
+            warm = rs.reoptimize(lp, root.basis, nlb, nub)
+            cold = rs.cold_solve(lp, nlb, nub)
+            assert warm is not None, f"warm start rejected at {k}"
+            assert warm.status == cold.status
+            if warm.status is SolveStatus.OPTIMAL:
+                assert warm.objective == pytest.approx(
+                    cold.objective, abs=1e-6
+                )
+                assert warm.warm_started
+                checked += 1
+                total_warm += warm.iterations
+                total_cold += cold.iterations
+        assert checked > 20
+        # The point of the exercise: reoptimisation is much cheaper.
+        assert total_warm * 2 < total_cold
+
+    def test_reoptimize_detects_infeasible_child(self):
+        # x + y >= 5 with both boxes tightened to [0, 1] is empty.
+        c = np.array([1.0, 1.0])
+        A = np.array([[-1.0, -1.0]])
+        b = np.array([-5.0])
+        lp = rs.standardize(c, A, b, None, None, [(0, 10), (0, 10)])
+        root = rs.cold_solve(lp)
+        assert root.status is SolveStatus.OPTIMAL
+        warm = rs.reoptimize(
+            lp, root.basis,
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+        )
+        assert warm is not None
+        assert warm.status is SolveStatus.INFEASIBLE
+
+    def test_reoptimize_rejects_garbage_basis(self):
+        c = np.array([1.0, 1.0])
+        A = np.array([[1.0, 1.0]])
+        b = np.array([4.0])
+        lp = rs.standardize(c, A, b, None, None, [(0, 3), (0, 3)])
+        bogus = rs.Basis(
+            basic=np.array([0]),
+            status=np.array(
+                [rs.BASIC, rs.BASIC, rs.BASIC, rs.BASIC], dtype=np.int8
+            ),
+        )
+        assert rs.reoptimize(lp, bogus) is None
+
+    def test_reoptimize_rejects_wrong_shape_basis(self):
+        c = np.array([1.0])
+        lp = rs.standardize(c, None, None, None, None, [(0, 1)])
+        bogus = rs.Basis(
+            basic=np.array([0, 1]), status=np.zeros(9, dtype=np.int8)
+        )
+        assert rs.reoptimize(lp, bogus) is None
+
+    def test_crossed_node_bounds_are_infeasible(self):
+        c = np.array([1.0])
+        lp = rs.standardize(c, None, None, None, None, [(0, 5)])
+        res = rs.cold_solve(lp, np.array([3.0]), np.array([1.0]))
+        assert res.status is SolveStatus.INFEASIBLE

@@ -5,11 +5,19 @@ default; set ``REPRO_FULL=1`` to run the paper-scale sweeps (hours).
 
 The expensive artifacts — the expert dataset and the trained network
 family — are built once per session and shared by every bench.
+
+Benchmarks additionally publish machine-readable results: any test can
+take the ``bench_record`` fixture and append records grouped by kind;
+at session end each kind is written to ``BENCH_<kind>.json`` in the
+repository root (``BENCH_campaign.json``, ``BENCH_milp.json``).  The
+schema is documented in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
 import pytest
 
@@ -55,6 +63,46 @@ def study() -> casestudy.CaseStudy:
 def family(study):
     """The I4xN family trained on identical data, different seeds."""
     return casestudy.train_family(study, TABLE_II_WIDTHS)
+
+
+#: Version tag of the emitted benchmark-result files.
+BENCH_SCHEMA = "repro-bench/1"
+
+_bench_records: dict = {}
+
+
+@pytest.fixture()
+def bench_record():
+    """Append one machine-readable benchmark record.
+
+    ``bench_record(kind, name, **fields)`` — records of one ``kind`` end
+    up together in ``BENCH_<kind>.json`` at session end.  ``fields`` are
+    free-form JSON scalars (wall times, iteration counts, hit rates).
+    """
+
+    def _record(kind: str, name: str, **fields) -> None:
+        _bench_records.setdefault(kind, []).append(
+            {"name": name, **fields}
+        )
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write every recorded kind to ``BENCH_<kind>.json``."""
+    root = str(getattr(session.config, "rootpath", os.getcwd()))
+    for kind, records in _bench_records.items():
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "kind": kind,
+            "written": time.time(),
+            "full_scale": FULL_SCALE,
+            "records": records,
+        }
+        path = os.path.join(root, f"BENCH_{kind}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
 
 
 @pytest.fixture()

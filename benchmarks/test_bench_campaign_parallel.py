@@ -95,9 +95,24 @@ class TestCampaignParallelBench:
                     s.result.value, abs=1e-6
                 )
 
-    def test_wall_time_report(self, runs, emit):
+    def test_wall_time_report(self, runs, emit, bench_record):
         serial, serial_wall, parallel, parallel_wall = runs
         ratio = serial_wall / max(parallel_wall, 1e-9)
+        bench_record(
+            "campaign", "matrix_serial",
+            jobs=1, wall_time=serial_wall,
+            cell_time=serial.total_cell_time,
+            lp_iterations=serial.total_lp_iterations,
+            warm_start_hit_rate=serial.warm_start_hit_rate,
+        )
+        bench_record(
+            "campaign", "matrix_parallel",
+            jobs=PARALLEL_JOBS, wall_time=parallel_wall,
+            cell_time=parallel.total_cell_time,
+            lp_iterations=parallel.total_lp_iterations,
+            warm_start_hit_rate=parallel.warm_start_hit_rate,
+            speedup=ratio,
+        )
         emit("")
         emit(
             render_generic(

@@ -107,7 +107,9 @@ class TestWarmStartEquivalence:
 
 
 class TestWarmStartReduction:
-    def test_iteration_reduction_on_widest(self, paired_results, emit):
+    def test_iteration_reduction_on_widest(
+        self, paired_results, emit, bench_record
+    ):
         """>=2x fewer node-LP iterations on the deepest network.
 
         When the cold tableau run was truncated by its time limit the
@@ -127,6 +129,16 @@ class TestWarmStartReduction:
             f"{warm.warm_start_hit_rate:.0%}, "
             f"{'timed out' if warm.timed_out else 'completed'})"
         )
+        for label, res in (("cold_simplex", cold), ("warm_revised", warm)):
+            bench_record(
+                "milp", f"I4x{width}_{label}",
+                wall_time=res.wall_time,
+                nodes=res.nodes,
+                lp_iterations=res.lp_iterations,
+                warm_start_hit_rate=res.warm_start_hit_rate,
+                lp_iterations_saved=res.lp_iterations_saved,
+                timed_out=res.timed_out,
+            )
         if warm.nodes < 4 or warm.warm_start_attempts == 0:
             pytest.skip(
                 "tree too shallow on this trained family to measure a "
@@ -169,8 +181,9 @@ class TestKnapsackReduction:
     """Controlled-depth tree: the reduction must show here regardless of
     how the trained family happens to branch."""
 
-    def test_iteration_reduction_synthetic(self, emit):
+    def test_iteration_reduction_synthetic(self, emit, bench_record):
         cold_total = warm_total = 0
+        cold_wall = warm_wall = 0.0
         for seed in range(3):
             cold = solve_milp(
                 _deep_knapsack(16, seed),
@@ -188,9 +201,21 @@ class TestKnapsackReduction:
             )
             cold_total += cold.lp_iterations
             warm_total += warm.lp_iterations
+            cold_wall += cold.wall_time
+            warm_wall += warm.wall_time
         emit(
             f"\nknapsack x3: cold {cold_total} LP iterations vs warm "
             f"{warm_total} ({cold_total / max(warm_total, 1):.1f}x)"
+        )
+        bench_record(
+            "milp", "knapsack16_x3_cold_simplex",
+            wall_time=cold_wall, lp_iterations=cold_total,
+            warm_start_hit_rate=0.0,
+        )
+        bench_record(
+            "milp", "knapsack16_x3_warm_revised",
+            wall_time=warm_wall, lp_iterations=warm_total,
+            warm_start_hit_rate=warm.warm_start_hit_rate,
         )
         assert 2 * warm_total <= cold_total
 

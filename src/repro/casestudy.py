@@ -279,11 +279,13 @@ def verify_network(
     bound_mode: str = "lp",
     region: Optional[InputRegion] = None,
     jobs: Optional[int] = None,
+    tracer=None,
 ) -> TableIIRow:
     """Step 4: one Table II row — max lateral velocity with left occupied.
 
     ``jobs`` fans the per-component max queries out over a campaign
     worker pool; ``None``/``1`` keep the serial in-process path.
+    ``tracer`` turns on phase spans and solver events either way.
     """
     if jobs is not None and jobs != 1:
         return run_table_ii(
@@ -293,12 +295,14 @@ def verify_network(
             jobs=jobs,
             bound_mode=bound_mode,
             region=region or operational_region(study, max_gap=max_gap),
+            tracer=tracer,
         )[0]
     region = region or operational_region(study, max_gap=max_gap)
     verifier = Verifier(
         network,
         EncoderOptions(bound_mode=bound_mode),
         MILPOptions(time_limit=time_limit),
+        tracer=tracer,
     )
     result = verifier.max_lateral_velocity(
         region, study.config.num_components
@@ -412,6 +416,7 @@ def run_table_ii(
     bound_mode: str = "lp",
     region: Optional[InputRegion] = None,
     progress: Optional["ProgressHook"] = None,
+    tracer=None,
 ) -> List[TableIIRow]:
     """Step 4 for the whole family, in width order.
 
@@ -428,7 +433,7 @@ def run_table_ii(
         jobs=jobs,
         cell_time_limit=cell_time_limit,
     )
-    report = campaign.run(progress=progress)
+    report = campaign.run(progress=progress, tracer=tracer)
     return table_ii_rows(study, networks, report)
 
 

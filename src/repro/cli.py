@@ -9,10 +9,16 @@ The five pipeline stages map onto subcommands::
     python -m repro.cli campaign --data data.npz --net a.json --net b.json --jobs 4
     python -m repro.cli certify  --data data.npz --net net.json
     python -m repro.cli figure1  --data data.npz --net net.json
+    python -m repro.cli trace summarize out.jsonl
 
-Every artifact is a plain file (``.npz`` dataset, ``.json`` network), so
-stages can run on different machines and be pinned in a certification
-audit by their fingerprints.
+Every artifact is a plain file (``.npz`` dataset, ``.json`` network,
+``.jsonl`` trace), so stages can run on different machines and be pinned
+in a certification audit by their fingerprints.
+
+``verify`` and ``campaign`` accept ``--trace PATH`` to record a
+structured JSONL trace of the run (phase spans, branch-and-bound node
+events, per-cell timings) and ``--log-level`` to tune verbosity; the
+``trace`` subcommand analyses such files after the fact.
 """
 
 from __future__ import annotations
@@ -38,7 +44,22 @@ from repro.highway import (
 from repro.nn.mdn import mixture_from_raw
 from repro.nn.serialization import load_network, save_network
 from repro.nn.training import TrainingConfig
+from repro.obs.logconfig import configure_logging, get_logger
 from repro.report import figure_1, render_table_ii
+
+logger = get_logger("cli")
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a structured JSONL trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="verbosity of the repro.* logging hierarchy",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -89,6 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=None,
         help="also run the decision query 'never above THRESHOLD m/s'",
     )
+    _add_observability_args(verify)
 
     campaign = sub.add_parser(
         "campaign",
@@ -119,6 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--bound-mode", default="lp",
         choices=("interval", "crown", "lp"),
     )
+    _add_observability_args(campaign)
 
     certify = sub.add_parser(
         "certify", help="assemble the three-pillar certification case"
@@ -134,6 +157,37 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--data", required=True)
     figure.add_argument("--net", required=True)
     figure.add_argument("--components", type=int, default=2)
+
+    trace = sub.add_parser(
+        "trace", help="analyse a JSONL trace written with --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    summ = trace_sub.add_parser(
+        "summarize",
+        help="per-phase time breakdown plus the slowest cells",
+    )
+    summ.add_argument("path", help="JSONL trace file")
+    summ.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest cells to list",
+    )
+    tree = trace_sub.add_parser(
+        "tree", help="export the branch-and-bound search tree"
+    )
+    tree.add_argument("path", help="JSONL trace file")
+    tree.add_argument(
+        "--format", choices=("dot", "json"), default="dot",
+        help="Graphviz DOT or plain JSON",
+    )
+    tree.add_argument(
+        "--out", default=None,
+        help="write to a file instead of printing",
+    )
+    tree.add_argument(
+        "--cell", default=None, metavar="PREFIX",
+        help="restrict to span ids with this prefix (campaign workers "
+        "use 'c<index>.')",
+    )
     return parser
 
 
@@ -141,6 +195,16 @@ def _load_study(path: str, components: int) -> casestudy.CaseStudy:
     dataset = DrivingDataset.load(path)
     config = casestudy.CaseStudyConfig(num_components=components)
     return casestudy.study_from_dataset(dataset, config)
+
+
+def _open_tracer(args: argparse.Namespace):
+    """A JSONL-backed tracer when ``--trace`` was given, else ``None``."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    from repro.obs import JsonlSink, Tracer
+
+    return Tracer([JsonlSink(path)])
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -159,9 +223,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     log.record("generate", f"{len(dataset)} samples seed={args.seed}")
     result = sanitize(dataset, DataValidator.default(encoder), log)
     result.clean.save(args.out)
-    print(result.after.render())
-    print(log.render())
-    print(f"wrote {len(result.clean)} samples to {args.out}")
+    logger.info(result.after.render())
+    logger.info(log.render())
+    logger.info("wrote %d samples to %s", len(result.clean), args.out)
     return 0
 
 
@@ -182,10 +246,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
             study, args.width, seed=args.seed
         )
     save_network(network, args.out)
-    print(
-        f"trained {network.architecture_id} "
-        f"({network.num_parameters} parameters) on "
-        f"{len(dataset)} samples -> {args.out}"
+    logger.info(
+        "trained %s (%d parameters) on %d samples -> %s",
+        network.architecture_id, network.num_parameters,
+        len(dataset), args.out,
     )
     return 0
 
@@ -193,46 +257,55 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     study = _load_study(args.data, args.components)
     network = load_network(args.net)
-    row = casestudy.verify_network(
-        study, network, time_limit=args.time_limit,
-        jobs=args.jobs if args.jobs != 1 else None,
-    )
-    print(render_table_ii([row]))
-    exit_code = 0
-    if args.threshold is not None:
-        from repro.core.encoder import EncoderOptions
-        from repro.core.properties import (
-            SafetyProperty,
-            component_lateral_objectives,
+    tracer = _open_tracer(args)
+    try:
+        row = casestudy.verify_network(
+            study, network, time_limit=args.time_limit,
+            jobs=args.jobs if args.jobs != 1 else None,
+            tracer=tracer,
         )
-        from repro.core.verifier import Verdict, Verifier
-        from repro.milp import MILPOptions
-
-        region = casestudy.operational_region(study)
-        verifier = Verifier(
-            network,
-            EncoderOptions(bound_mode="lp"),
-            MILPOptions(time_limit=args.time_limit),
-        )
-        verdicts = [
-            verifier.prove(
-                SafetyProperty(
-                    name=f"leq_{args.threshold}",
-                    region=region,
-                    objective=objective,
-                    threshold=args.threshold,
-                )
-            ).verdict
-            for objective in component_lateral_objectives(
-                args.components
+        logger.info(render_table_ii([row]))
+        exit_code = 0
+        if args.threshold is not None:
+            from repro.core.encoder import EncoderOptions
+            from repro.core.properties import (
+                SafetyProperty,
+                component_lateral_objectives,
             )
-        ]
-        proven = all(v is Verdict.VERIFIED for v in verdicts)
-        print(
-            f"decision query: lateral velocity <= {args.threshold} m/s: "
-            + ("PROVEN" if proven else "NOT PROVEN")
-        )
-        exit_code = 0 if proven else 1
+            from repro.core.verifier import Verdict, Verifier
+            from repro.milp import MILPOptions
+
+            region = casestudy.operational_region(study)
+            verifier = Verifier(
+                network,
+                EncoderOptions(bound_mode="lp"),
+                MILPOptions(time_limit=args.time_limit),
+                tracer=tracer,
+            )
+            verdicts = [
+                verifier.prove(
+                    SafetyProperty(
+                        name=f"leq_{args.threshold}",
+                        region=region,
+                        objective=objective,
+                        threshold=args.threshold,
+                    )
+                ).verdict
+                for objective in component_lateral_objectives(
+                    args.components
+                )
+            ]
+            proven = all(v is Verdict.VERIFIED for v in verdicts)
+            logger.info(
+                "decision query: lateral velocity <= %s m/s: %s",
+                args.threshold, "PROVEN" if proven else "NOT PROVEN",
+            )
+            exit_code = 0 if proven else 1
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if tracer is not None:
+        logger.info("trace written to %s", args.trace)
     return exit_code
 
 
@@ -262,34 +335,40 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         threshold=args.threshold,
     )
     n_nets, n_queries = campaign.size
-    print(
-        f"campaign: {n_nets} networks x {n_queries} queries, "
-        f"jobs={args.jobs}"
+    logger.info(
+        "campaign: %d networks x %d queries, jobs=%s",
+        n_nets, n_queries, args.jobs,
     )
 
     def report_progress(done, total, cell):
-        mark = cell.result.verdict.value
-        print(
-            f"  [{done}/{total}] {cell.network_id} · "
-            f"{cell.property_name}: {mark} "
-            f"({cell.result.wall_time:.1f}s)"
+        logger.info(
+            "  [%d/%d] %s · %s: %s (%.1fs)",
+            done, total, cell.network_id, cell.property_name,
+            cell.result.verdict.value, cell.result.wall_time,
         )
 
-    report = campaign.run(progress=report_progress)
-    print()
-    print(report.render())
-    print()
-    print(report.summary())
+    tracer = _open_tracer(args)
+    try:
+        report = campaign.run(progress=report_progress, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    logger.info("")
+    logger.info(report.render())
+    logger.info("")
+    logger.info(report.summary())
     rows = casestudy.table_ii_rows(study, campaign_nets, report)
-    print()
-    print(render_table_ii(rows))
+    logger.info("")
+    logger.info(render_table_ii(rows))
     for cell in report.errors():
-        print()
-        print(
-            f"ERROR cell ({cell.network_id}, {cell.property_name}):"
+        logger.info("")
+        logger.info(
+            "ERROR cell (%s, %s):", cell.network_id, cell.property_name
         )
         if cell.traceback:
-            print(cell.traceback.rstrip())
+            logger.info(cell.traceback.rstrip())
+    if tracer is not None:
+        logger.info("trace written to %s", args.trace)
     return 0 if report.all_passed else 1
 
 
@@ -299,7 +378,7 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     case = casestudy.certify_predictor(
         study, network, time_limit=args.time_limit
     )
-    print(case.render())
+    logger.info(case.render())
     return 0 if case.passed else 1
 
 
@@ -313,15 +392,46 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         sim.step()
     scene = encoder.encode(sim)
     mixture = mixture_from_raw(network.forward(scene), args.components)
-    print(figure_1(sim, mixture))
+    logger.info(figure_1(sim, mixture))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.summarize import (
+        build_search_tree,
+        load_trace,
+        render_summary,
+        summarize_trace,
+        tree_to_dot,
+        tree_to_json,
+    )
+
+    records = load_trace(args.path)
+    if args.action == "summarize":
+        logger.info(render_summary(summarize_trace(records, top=args.top)))
+        return 0
+    tree = build_search_tree(records, cell=args.cell)
+    text = (
+        tree_to_dot(tree) if args.format == "dot" else tree_to_json(tree)
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        logger.info(
+            "wrote %d nodes / %d edges to %s",
+            len(tree["nodes"]), len(tree["edges"]), args.out,
+        )
+    else:
+        logger.info(text)
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: parse arguments and dispatch to the subcommand."""
     args = _build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", "info"))
     if args.command == "table1":
-        print(render_table_i())
+        logger.info(render_table_i())
         return 0
     handlers = {
         "generate": _cmd_generate,
@@ -330,6 +440,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "certify": _cmd_certify,
         "figure1": _cmd_figure1,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -285,19 +285,28 @@ class BoundsCache:
         network: FeedForwardNetwork,
         region: InputRegion,
         bound_mode: str,
+        tracer=None,
     ) -> Tuple[Optional[List[LayerBounds]], Optional[str]]:
         """Cached ``(bounds, error)`` for the key, computing on miss.
 
         Exactly one of the pair is non-``None``: ``bounds`` on success,
         ``error`` (a formatted traceback string) if the computation
-        raised.
+        raised.  A tracer is only consulted on a miss (a hit does no
+        bound work worth a span).
         """
         key = bounds_cache_key(network, region, bound_mode)
         if key in self._entries:
             self.hits += 1
             return self._entries[key]
         self.misses += 1
-        entry = compute_bounds_entry(network, region, bound_mode)
+        if tracer is None:
+            # Positional 3-arg call keeps drop-in stand-ins (tests stub
+            # this with simple counting wrappers) working untraced.
+            entry = compute_bounds_entry(network, region, bound_mode)
+        else:
+            entry = compute_bounds_entry(
+                network, region, bound_mode, tracer=tracer
+            )
         self._entries[key] = entry
         return entry
 
@@ -330,6 +339,7 @@ def compute_bounds_entry(
     network: FeedForwardNetwork,
     region: InputRegion,
     bound_mode: str,
+    tracer=None,
 ) -> Tuple[Optional[List[LayerBounds]], Optional[str]]:
     """Run one bound computation, capturing any failure as a traceback.
 
@@ -342,7 +352,7 @@ def compute_bounds_entry(
 
     try:
         options = EncoderOptions(bound_mode=bound_mode)
-        return compute_bounds(network, region, options), None
+        return compute_bounds(network, region, options, tracer=tracer), None
     except Exception:
         return None, traceback.format_exc()
 

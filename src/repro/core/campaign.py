@@ -45,6 +45,8 @@ from repro.core.verifier import VerificationResult, Verdict, Verifier
 from repro.errors import CertificationError
 from repro.milp.branch_and_bound import MILPOptions
 from repro.nn.network import FeedForwardNetwork
+from repro.obs.sinks import RingBufferSink
+from repro.obs.trace import Tracer, as_tracer
 from repro.report.tables import render_generic
 
 #: Explicit matrix mark for every verdict — no raw enum-value fallback.
@@ -122,6 +124,10 @@ class CampaignCell:
     property_name: str
     result: VerificationResult
     traceback: Optional[str] = None
+    #: Raw trace records produced while verifying this cell (workers
+    #: trace into a ring buffer; the parent re-emits these into its own
+    #: sinks — the cross-process relay).
+    trace_records: List[dict] = dataclasses.field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -279,21 +285,49 @@ class _CellTask:
     bounds_key: Tuple[str, str, str]
     bounds: Optional[List[LayerBounds]] = None
     bounds_error: Optional[str] = None
+    #: ``(run_id, span_id_prefix)`` when the campaign is traced; the
+    #: worker builds a relay tracer from it (see :func:`_worker_tracer`).
+    trace_cfg: Optional[Tuple[str, str]] = None
+
+
+def _worker_tracer(trace_cfg: Optional[Tuple[str, str]]):
+    """``(tracer, sink)`` for a worker-side relay, or ``(None, None)``.
+
+    The tracer writes into an in-memory ring buffer whose records ride
+    back to the parent on the result object; the id prefix keeps span
+    ids from independent workers disjoint after the merge.
+    """
+    if trace_cfg is None:
+        return None, None
+    run_id, prefix = trace_cfg
+    sink = RingBufferSink()
+    return Tracer([sink], run_id=run_id, id_prefix=prefix), sink
+
+
+def _sink_records(sink: Optional[RingBufferSink]) -> List[dict]:
+    return sink.records if sink is not None else []
 
 
 def _compute_bounds_task(
     payload: Tuple[Tuple[str, str, str], FeedForwardNetwork,
-                   InputRegion, str],
+                   InputRegion, str, Optional[Tuple[str, str]]],
 ) -> Tuple[Tuple[str, str, str], Optional[List[LayerBounds]],
-           Optional[str]]:
-    """Worker: one fault-isolated bound computation."""
-    key, network, region, bound_mode = payload
-    bounds, error = compute_bounds_entry(network, region, bound_mode)
-    return key, bounds, error
+           Optional[str], List[dict]]:
+    """Worker: one fault-isolated bound computation (plus its trace)."""
+    key, network, region, bound_mode, trace_cfg = payload
+    tracer, sink = _worker_tracer(trace_cfg)
+    bounds, error = compute_bounds_entry(
+        network, region, bound_mode, tracer=tracer
+    )
+    return key, bounds, error, _sink_records(sink)
 
 
 def _error_cell(
-    task: _CellTask, message: str, trace: Optional[str], wall: float
+    task: _CellTask,
+    message: str,
+    trace: Optional[str],
+    wall: float,
+    records: Optional[List[dict]] = None,
 ) -> CampaignCell:
     return CampaignCell(
         network_id=task.network_name,
@@ -304,19 +338,28 @@ def _error_cell(
             description=message,
         ),
         traceback=trace,
+        trace_records=records or [],
     )
 
 
 def _run_cell_task(task: _CellTask) -> CampaignCell:
     """Worker: verify one cell; every failure becomes an ERROR cell."""
     start = time.monotonic()
+    tracer, sink = _worker_tracer(task.trace_cfg)
+    trc = as_tracer(tracer)
     if task.bounds_error is not None:
+        with trc.span(
+            "cell", network=task.network_name, query=task.query.name,
+            kind=task.query.kind,
+        ) as span:
+            span.set(verdict=Verdict.ERROR.value)
         return _error_cell(
             task,
             f"bound computation failed for region "
             f"{task.query.region.name!r}",
             task.bounds_error,
             0.0,
+            records=_sink_records(sink),
         )
     milp = task.milp_options
     if task.cell_time_limit is not None:
@@ -325,44 +368,61 @@ def _run_cell_task(task: _CellTask) -> CampaignCell:
             time_limit=min(milp.time_limit, task.cell_time_limit),
         )
     try:
-        verifier = Verifier(task.network, task.encoder_options, milp)
-        if task.query.kind == "max":
-            result = verifier.maximize(
-                task.query.region,
-                task.query.objective,
-                precomputed_bounds=task.bounds,
-                raise_on_infeasible=False,
-            )
-        else:
-            result = verifier.prove(
-                task.query.as_property(),
-                precomputed_bounds=task.bounds,
-            )
+        with trc.span(
+            "cell", network=task.network_name, query=task.query.name,
+            kind=task.query.kind,
+        ) as span:
+            try:
+                verifier = Verifier(
+                    task.network, task.encoder_options, milp,
+                    tracer=tracer,
+                )
+                if task.query.kind == "max":
+                    result = verifier.maximize(
+                        task.query.region,
+                        task.query.objective,
+                        precomputed_bounds=task.bounds,
+                        raise_on_infeasible=False,
+                    )
+                else:
+                    result = verifier.prove(
+                        task.query.as_property(),
+                        precomputed_bounds=task.bounds,
+                    )
+            except Exception:
+                span.set(verdict=Verdict.ERROR.value)
+                raise
+            wall = time.monotonic() - start
+            if (
+                task.cell_time_limit is not None
+                and wall > task.cell_time_limit
+                and result.verdict not in (Verdict.TIMEOUT, Verdict.ERROR)
+            ):
+                # The solver finished but blew the cell's wall-clock
+                # budget (e.g. in encoding work the MILP time limit
+                # cannot see).
+                result = dataclasses.replace(
+                    result,
+                    verdict=Verdict.TIMEOUT,
+                    description=(
+                        f"{result.description} "
+                        f"[cell budget {task.cell_time_limit:.1f}s "
+                        f"exceeded: {wall:.1f}s]"
+                    ).strip(),
+                )
+            span.set(verdict=result.verdict.value, wall=result.wall_time)
     except Exception as exc:
         return _error_cell(
             task,
             f"{type(exc).__name__}: {exc}",
             traceback.format_exc(),
             time.monotonic() - start,
+            records=_sink_records(sink),
         )
-    wall = time.monotonic() - start
-    if (
-        task.cell_time_limit is not None
-        and wall > task.cell_time_limit
-        and result.verdict not in (Verdict.TIMEOUT, Verdict.ERROR)
-    ):
-        # The solver finished but blew the cell's wall-clock budget
-        # (e.g. in encoding work the MILP time limit cannot see).
-        result = dataclasses.replace(
-            result,
-            verdict=Verdict.TIMEOUT,
-            description=(
-                f"{result.description} "
-                f"[cell budget {task.cell_time_limit:.1f}s exceeded: "
-                f"{wall:.1f}s]"
-            ).strip(),
-        )
-    return CampaignCell(task.network_name, task.query.name, result)
+    return CampaignCell(
+        task.network_name, task.query.name, result,
+        trace_records=_sink_records(sink),
+    )
 
 
 class VerificationCampaign:
@@ -444,31 +504,48 @@ class VerificationCampaign:
         self,
         jobs: Optional[int] = None,
         progress: Optional[ProgressHook] = None,
+        tracer=None,
     ) -> CampaignReport:
         """Verify every query on every network.
 
         Pre-activation bounds are computed once per unique (network,
         region geometry) pair and shared across that region's queries.
         ``jobs`` overrides the campaign-level setting for this run;
-        ``progress`` is invoked after every completed cell.
+        ``progress`` is invoked after every completed cell.  With a
+        ``tracer``, every cell (and shared bound prefetch) is traced —
+        in parallel runs the workers' records are relayed back and
+        merged into the parent's sinks under one run id.
         """
         if not self._networks or not self._queries:
             raise CertificationError(
                 "campaign needs at least one network and one property"
             )
+        tracer = as_tracer(tracer)
         workers = resolve_jobs(jobs if jobs is not None else self.jobs)
         start = time.monotonic()
         tasks = self._build_tasks()
+        if tracer.enabled:
+            for task in tasks:
+                task.trace_cfg = (tracer.run_id, f"c{task.index}.")
         if workers <= 1 or len(tasks) <= 1:
-            cells = self._run_serial(tasks, progress)
+            cells = self._run_serial(tasks, progress, tracer)
             workers = 1
         else:
-            cells = self._run_parallel(tasks, workers, progress)
-        return CampaignReport(
+            cells = self._run_parallel(tasks, workers, progress, tracer)
+        report = CampaignReport(
             cells=cells,
             wall_time=time.monotonic() - start,
             jobs=workers,
         )
+        if tracer.enabled:
+            tracer.event(
+                "campaign",
+                cells=len(cells),
+                wall_time=report.wall_time,
+                jobs=workers,
+                pass_rate=report.pass_rate,
+            )
+        return report
 
     def _build_tasks(self) -> List[_CellTask]:
         tasks = []
@@ -496,6 +573,7 @@ class VerificationCampaign:
         self,
         tasks: List[_CellTask],
         progress: Optional[ProgressHook],
+        tracer,
     ) -> List[CampaignCell]:
         cache = BoundsCache()
         cells: List[CampaignCell] = []
@@ -504,8 +582,11 @@ class VerificationCampaign:
                 task.network,
                 task.query.region,
                 self.encoder_options.bound_mode,
+                tracer=tracer if tracer.enabled else None,
             )
             cell = _run_cell_task(task)
+            for record in cell.trace_records:
+                tracer.emit(record)
             cells.append(cell)
             if progress is not None:
                 progress(len(cells), len(tasks), cell)
@@ -516,6 +597,7 @@ class VerificationCampaign:
         tasks: List[_CellTask],
         workers: int,
         progress: Optional[ProgressHook],
+        tracer,
     ) -> List[CampaignCell]:
         """Two-stage fan-out over a process pool.
 
@@ -535,13 +617,21 @@ class VerificationCampaign:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             bounds_by_key = {}
             payloads = [
-                (key, network, region, self.encoder_options.bound_mode)
-                for key, (network, region) in unique.items()
+                (
+                    key, network, region,
+                    self.encoder_options.bound_mode,
+                    (tracer.run_id, f"b{i}.")
+                    if tracer.enabled else None,
+                )
+                for i, (key, (network, region))
+                in enumerate(unique.items())
             ]
-            for key, bounds, error in pool.map(
+            for key, bounds, error, records in pool.map(
                 _compute_bounds_task, payloads
             ):
                 bounds_by_key[key] = (bounds, error)
+                for record in records:
+                    tracer.emit(record)
             for task in tasks:
                 task.bounds, task.bounds_error = bounds_by_key[
                     task.bounds_key
@@ -566,6 +656,8 @@ class VerificationCampaign:
                             traceback.format_exc(),
                             0.0,
                         )
+                    for record in cell.trace_records:
+                        tracer.emit(record)
                     cells[task.index] = cell
                     completed += 1
                     if progress is not None:

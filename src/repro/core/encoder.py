@@ -22,12 +22,18 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.bounds import LayerBounds, interval_bounds, lp_tightened_bounds
+from repro.core.bounds import (
+    LayerBounds,
+    interval_bounds,
+    lp_tightened_bounds,
+    total_ambiguous,
+)
 from repro.core.properties import InputRegion, OutputObjective
 from repro.errors import EncodingError
 from repro.milp.expr import LinExpr, Sense, Variable, VarType
 from repro.milp.model import Model
 from repro.nn.network import FeedForwardNetwork
+from repro.obs.trace import as_tracer
 
 
 @dataclasses.dataclass
@@ -65,21 +71,33 @@ def compute_bounds(
     network: FeedForwardNetwork,
     region: InputRegion,
     options: Optional[EncoderOptions] = None,
+    tracer=None,
 ) -> List[LayerBounds]:
-    """Pre-activation bounds with the configured engine."""
-    options = options or EncoderOptions()
-    if options.bound_mode == "interval":
-        return interval_bounds(network, region)
-    if options.bound_mode == "crown":
-        from repro.core.crown import crown_bounds
+    """Pre-activation bounds with the configured engine.
 
-        return crown_bounds(network, region)
-    if options.bound_mode == "lp":
-        return lp_tightened_bounds(network, region)
-    raise EncodingError(
-        f"unknown bound_mode {options.bound_mode!r} "
-        "(expected 'interval', 'crown' or 'lp')"
-    )
+    With a tracer attached the computation is wrapped in a ``bounds``
+    phase span carrying the engine, region and resulting binary count.
+    """
+    options = options or EncoderOptions()
+    with as_tracer(tracer).span(
+        "bounds", mode=options.bound_mode, region=region.name,
+        network=network.architecture_id,
+    ) as span:
+        if options.bound_mode == "interval":
+            bounds = interval_bounds(network, region)
+        elif options.bound_mode == "crown":
+            from repro.core.crown import crown_bounds
+
+            bounds = crown_bounds(network, region)
+        elif options.bound_mode == "lp":
+            bounds = lp_tightened_bounds(network, region)
+        else:
+            raise EncodingError(
+                f"unknown bound_mode {options.bound_mode!r} "
+                "(expected 'interval', 'crown' or 'lp')"
+            )
+        span.set(binaries_needed=total_ambiguous(bounds, network))
+        return bounds
 
 
 def encode_network(
@@ -87,13 +105,17 @@ def encode_network(
     region: InputRegion,
     options: Optional[EncoderOptions] = None,
     precomputed_bounds: Optional[List[LayerBounds]] = None,
+    tracer=None,
 ) -> EncodedNetwork:
     """Encode ``network`` over ``region`` into a MILP model.
 
     The model has no objective; callers attach one (a max query) or extra
-    constraints (a feasibility/decision query).
+    constraints (a feasibility/decision query).  With a tracer attached,
+    bound computation and model construction are reported as ``bounds``
+    and ``encode`` phase spans.
     """
     options = options or EncoderOptions()
+    tracer = as_tracer(tracer)
     for layer in network.layers[:-1]:
         if layer.activation != "relu":
             raise EncodingError(
@@ -107,60 +129,72 @@ def encode_network(
             f"region dim {region.dim} != network input {network.input_dim}"
         )
 
-    bounds = precomputed_bounds or compute_bounds(network, region, options)
+    bounds = precomputed_bounds or compute_bounds(
+        network, region, options, tracer=tracer
+    )
     margin = options.bound_margin
-    model = Model(f"verify_{network.architecture_id}")
+    with tracer.span(
+        "encode", network=network.architecture_id, region=region.name
+    ) as span:
+        model = Model(f"verify_{network.architecture_id}")
 
-    input_vars = [
-        model.add_var(f"in{i}", lb=region.bounds[i, 0], ub=region.bounds[i, 1])
-        for i in range(network.input_dim)
-    ]
-    for k, constraint in enumerate(region.constraints):
-        coeffs, rhs = constraint.as_indexed()
-        expr = LinExpr(
-            {input_vars[i].index: c for i, c in coeffs.items()}
+        input_vars = [
+            model.add_var(
+                f"in{i}", lb=region.bounds[i, 0], ub=region.bounds[i, 1]
+            )
+            for i in range(network.input_dim)
+        ]
+        for k, constraint in enumerate(region.constraints):
+            coeffs, rhs = constraint.as_indexed()
+            expr = LinExpr(
+                {input_vars[i].index: c for i, c in coeffs.items()}
+            )
+            model.add_constr(expr <= rhs, name=f"region{k}")
+
+        binaries: List[Variable] = []
+        # ``prev`` carries affine expressions of the previous layer's
+        # post-activations in terms of model variables.
+        prev: List[LinExpr] = [var.to_expr() for var in input_vars]
+
+        for li, layer in enumerate(network.layers[:-1]):
+            layer_bounds = bounds[li]
+            post: List[LinExpr] = []
+            for j in range(layer.fan_out):
+                pre = _affine(prev, layer.weights[:, j], layer.bias[j])
+                lo = float(layer_bounds.lower[j]) - margin
+                hi = float(layer_bounds.upper[j]) + margin
+                if hi <= 0.0:
+                    post.append(LinExpr({}, 0.0))  # stably inactive
+                    continue
+                if lo >= 0.0:
+                    post.append(pre)               # stably active
+                    continue
+                a = model.add_var(f"a_{li}_{j}", lb=0.0, ub=max(hi, 0.0))
+                d = model.add_var(f"d_{li}_{j}", vtype=VarType.BINARY)
+                model.add_constr(
+                    a.to_expr() - pre >= 0, name=f"relu_ge_{li}_{j}"
+                )
+                # a <= z - l (1 - d)  <=>  a - z - l d <= -l
+                model.add_constr(
+                    a.to_expr() - pre - lo * d <= -lo,
+                    name=f"relu_up_{li}_{j}",
+                )
+                model.add_constr(
+                    a.to_expr() - hi * d <= 0, name=f"relu_cap_{li}_{j}"
+                )
+                binaries.append(d)
+                post.append(a.to_expr())
+            prev = post
+
+        out_layer = network.layers[-1]
+        output_exprs = [
+            _affine(prev, out_layer.weights[:, j], out_layer.bias[j])
+            for j in range(out_layer.fan_out)
+        ]
+        span.set(binaries=len(binaries), variables=model.num_vars)
+        return EncodedNetwork(
+            model, input_vars, output_exprs, binaries, bounds
         )
-        model.add_constr(expr <= rhs, name=f"region{k}")
-
-    binaries: List[Variable] = []
-    # ``prev`` carries affine expressions of the previous layer's
-    # post-activations in terms of model variables.
-    prev: List[LinExpr] = [var.to_expr() for var in input_vars]
-
-    for li, layer in enumerate(network.layers[:-1]):
-        layer_bounds = bounds[li]
-        post: List[LinExpr] = []
-        for j in range(layer.fan_out):
-            pre = _affine(prev, layer.weights[:, j], layer.bias[j])
-            lo = float(layer_bounds.lower[j]) - margin
-            hi = float(layer_bounds.upper[j]) + margin
-            if hi <= 0.0:
-                post.append(LinExpr({}, 0.0))  # stably inactive
-                continue
-            if lo >= 0.0:
-                post.append(pre)               # stably active
-                continue
-            a = model.add_var(f"a_{li}_{j}", lb=0.0, ub=max(hi, 0.0))
-            d = model.add_var(f"d_{li}_{j}", vtype=VarType.BINARY)
-            model.add_constr(a.to_expr() - pre >= 0, name=f"relu_ge_{li}_{j}")
-            # a <= z - l (1 - d)  <=>  a - z - l d <= -l
-            model.add_constr(
-                a.to_expr() - pre - lo * d <= -lo,
-                name=f"relu_up_{li}_{j}",
-            )
-            model.add_constr(
-                a.to_expr() - hi * d <= 0, name=f"relu_cap_{li}_{j}"
-            )
-            binaries.append(d)
-            post.append(a.to_expr())
-        prev = post
-
-    out_layer = network.layers[-1]
-    output_exprs = [
-        _affine(prev, out_layer.weights[:, j], out_layer.bias[j])
-        for j in range(out_layer.fan_out)
-    ]
-    return EncodedNetwork(model, input_vars, output_exprs, binaries, bounds)
 
 
 def attach_objective(

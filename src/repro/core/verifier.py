@@ -19,7 +19,7 @@ import dataclasses
 import enum
 import math
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -42,6 +42,8 @@ from repro.errors import EncodingError
 from repro.milp.branch_and_bound import MILPOptions, solve_milp
 from repro.milp.status import SolveStatus
 from repro.nn.network import FeedForwardNetwork
+from repro.obs.metrics import merge_metrics
+from repro.obs.trace import as_tracer
 
 
 class Verdict(enum.Enum):
@@ -74,14 +76,30 @@ class VerificationResult:
     num_binaries: int = 0
     description: str = ""
     lp_iterations: int = 0
-    warm_start_attempts: int = 0
-    warm_start_hits: int = 0
-    basis_rejections: int = 0
-    lp_iterations_saved: int = 0
+    #: Solver-telemetry snapshot threaded up from ``MILPResult.metrics``
+    #: (warm-start accounting and future instruments); the historical
+    #: attribute names below read from this mapping.
+    metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def timed_out(self) -> bool:
         return self.verdict is Verdict.TIMEOUT
+
+    @property
+    def warm_start_attempts(self) -> int:
+        return int(self.metrics.get("warm_start_attempts", 0))
+
+    @property
+    def warm_start_hits(self) -> int:
+        return int(self.metrics.get("warm_start_hits", 0))
+
+    @property
+    def basis_rejections(self) -> int:
+        return int(self.metrics.get("basis_rejections", 0))
+
+    @property
+    def lp_iterations_saved(self) -> int:
+        return int(self.metrics.get("lp_iterations_saved", 0))
 
     @property
     def warm_start_hit_rate(self) -> float:
@@ -116,25 +134,31 @@ def _lp_telemetry(result) -> dict:
     """Solver telemetry threaded from a MILPResult into a result."""
     return {
         "lp_iterations": result.lp_iterations,
-        "warm_start_attempts": result.warm_start_attempts,
-        "warm_start_hits": result.warm_start_hits,
-        "basis_rejections": result.basis_rejections,
-        "lp_iterations_saved": result.lp_iterations_saved,
+        "metrics": dict(result.metrics),
     }
 
 
 class Verifier:
-    """Verification engine bound to one network."""
+    """Verification engine bound to one network.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) turns on phase spans: every
+    query wraps itself in a ``query`` span with nested ``bounds`` /
+    ``encode`` / ``solve`` phases (plus per-node solver events), so a
+    trace answers "where did the time go" per query.  The default is the
+    shared no-op tracer.
+    """
 
     def __init__(
         self,
         network: FeedForwardNetwork,
         encoder_options: Optional[EncoderOptions] = None,
         milp_options: Optional[MILPOptions] = None,
+        tracer=None,
     ) -> None:
         self.network = network
         self.encoder_options = encoder_options or EncoderOptions()
         self.milp_options = milp_options or MILPOptions()
+        self.tracer = as_tracer(tracer)
 
     # -- queries -----------------------------------------------------------------
     def maximize(
@@ -151,15 +175,40 @@ class Verifier:
         :attr:`Verdict.ERROR` result carrying the message — campaign
         runners use this so one empty region cannot abort a whole matrix.
         """
+        with self.tracer.span(
+            "query", kind="max", objective=objective.description,
+            region=region.name, network=self.network.architecture_id,
+        ) as span:
+            result = self._maximize(
+                region, objective, precomputed_bounds,
+                raise_on_infeasible,
+            )
+            span.set(verdict=result.verdict.value, nodes=result.nodes)
+            return result
+
+    def _maximize(
+        self,
+        region: InputRegion,
+        objective: OutputObjective,
+        precomputed_bounds: Optional[List[LayerBounds]],
+        raise_on_infeasible: bool,
+    ) -> VerificationResult:
         start = time.monotonic()
         encoded = encode_network(
             self.network,
             region,
             self.encoder_options,
             precomputed_bounds=precomputed_bounds,
+            tracer=self.tracer,
         )
         attach_objective(encoded, objective, maximize=True)
-        result = solve_milp(encoded.model, self.milp_options)
+        with self.tracer.span(
+            "solve", backend=self.milp_options.lp_backend,
+            binaries=encoded.num_binaries,
+        ):
+            result = solve_milp(
+                encoded.model, self.milp_options, tracer=self.tracer
+            )
         wall = time.monotonic() - start
 
         if result.status is SolveStatus.OPTIMAL:
@@ -232,16 +281,37 @@ class Verifier:
         Encodes the *violation* (objective >= threshold) and checks
         feasibility: infeasible means the property holds.
         """
+        with self.tracer.span(
+            "query", kind="prove", property=prop.name,
+            region=prop.region.name,
+            network=self.network.architecture_id,
+        ) as span:
+            result = self._prove(prop, precomputed_bounds)
+            span.set(verdict=result.verdict.value, nodes=result.nodes)
+            return result
+
+    def _prove(
+        self,
+        prop: SafetyProperty,
+        precomputed_bounds: Optional[List[LayerBounds]],
+    ) -> VerificationResult:
         start = time.monotonic()
         encoded = encode_network(
             self.network,
             prop.region,
             self.encoder_options,
             precomputed_bounds=precomputed_bounds,
+            tracer=self.tracer,
         )
         attach_violation_constraint(encoded, prop.objective, prop.threshold)
         attach_objective(encoded, prop.objective, maximize=True)
-        result = solve_milp(encoded.model, self.milp_options)
+        with self.tracer.span(
+            "solve", backend=self.milp_options.lp_backend,
+            binaries=encoded.num_binaries,
+        ):
+            result = solve_milp(
+                encoded.model, self.milp_options, tracer=self.tracer
+            )
         wall = time.monotonic() - start
 
         if result.status is SolveStatus.INFEASIBLE:
@@ -301,14 +371,15 @@ class Verifier:
         bound on the mixture-mean lateral velocity (see
         :mod:`repro.nn.mdn`).
         """
-        bounds = compute_bounds(self.network, region, self.encoder_options)
+        bounds = compute_bounds(
+            self.network, region, self.encoder_options,
+            tracer=self.tracer,
+        )
         best: Optional[VerificationResult] = None
         total_time = 0.0
         total_nodes = 0
-        totals = dict.fromkeys(
-            ("lp_iterations", "warm_start_attempts", "warm_start_hits",
-             "basis_rejections", "lp_iterations_saved"), 0,
-        )
+        total_lp_iterations = 0
+        total_metrics: Dict[str, float] = {}
         timed_out = False
         for objective in component_lateral_objectives(num_components):
             result = self.maximize(
@@ -316,8 +387,8 @@ class Verifier:
             )
             total_time += result.wall_time
             total_nodes += result.nodes
-            for key in totals:
-                totals[key] += getattr(result, key)
+            total_lp_iterations += result.lp_iterations
+            merge_metrics(total_metrics, result.metrics)
             if result.verdict is Verdict.TIMEOUT:
                 timed_out = True
             if best is None or (
@@ -330,13 +401,17 @@ class Verifier:
             wall_time=total_time,
             nodes=total_nodes,
             verdict=Verdict.TIMEOUT if timed_out else best.verdict,
-            **totals,
+            lp_iterations=total_lp_iterations,
+            metrics=total_metrics,
         )
         return best
 
     def ambiguity_report(self, region: InputRegion) -> int:
         """Binary-variable count the encoding will need over this region."""
-        bounds = compute_bounds(self.network, region, self.encoder_options)
+        bounds = compute_bounds(
+            self.network, region, self.encoder_options,
+            tracer=self.tracer,
+        )
         return total_ambiguous(bounds, self.network)
 
     # -- internals --------------------------------------------------------------------

@@ -22,7 +22,13 @@ reoptimisation speed:
 Wall-clock and node budgets make ``time-out`` a first-class answer,
 matching the paper's Table II where the widest network exhausts its
 budget.  Warm-start telemetry (attempts, hits, rejections, estimated
-iterations saved) is reported on every :class:`MILPResult`.
+iterations saved) is recorded in a
+:class:`repro.obs.metrics.MetricsRegistry` and snapshotted onto every
+:class:`MILPResult`; with a :class:`repro.obs.Tracer` attached the
+search additionally emits one ``node`` event per processed node (depth,
+branch variable, LP iterations, warm-start hit/miss, bound) — enough to
+reconstruct the search tree — guarded by a single ``if`` so disabled
+tracing costs nothing on the hot loop.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from repro.milp import presolve as presolve_mod
 from repro.milp import revised_simplex, scipy_backend, simplex
 from repro.milp.solution import LPResult, MILPResult
 from repro.milp.status import SolveStatus
+from repro.obs.metrics import MetricsRegistry
 
 LPBackend = Callable[..., LPResult]
 
@@ -107,6 +114,8 @@ class _Node:
     lb: np.ndarray = dataclasses.field(compare=False)
     ub: np.ndarray = dataclasses.field(compare=False)
     depth: int = dataclasses.field(compare=False, default=0)
+    #: Parent node's tiebreak id (-1 at the root) — tree telemetry only.
+    parent: int = dataclasses.field(compare=False, default=-1)
     #: Parent's optimal basis — the warm-start seed for this node's LP.
     basis: Optional[object] = dataclasses.field(compare=False, default=None)
     #: Column branched on to create this node (-1 at the root).
@@ -197,11 +206,17 @@ class _Search:
     """One branch-and-bound run; owns all node-loop state."""
 
     def __init__(
-        self, work: Model, options: MILPOptions, start: float
+        self, work: Model, options: MILPOptions, start: float,
+        tracer=None,
     ) -> None:
         self.options = options
         self.work = work
         self.start = start
+        #: ``None`` when tracing is off — the hot node loop pays one
+        #: ``is not None`` check and nothing else.
+        self.trace = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
         (self.c, self.A_ub, self.b_ub, self.A_eq, self.b_eq,
          bounds) = work.dense_arrays()
         self.n = work.num_vars
@@ -227,10 +242,18 @@ class _Search:
         self.incumbent_obj = math.inf  # internal minimisation objective
         self.nodes = 0
         self.lp_iterations = 0
-        self.warm_attempts = 0
-        self.warm_hits = 0
-        self.basis_rejections = 0
-        self.iterations_saved = 0
+        # Warm-start accounting lives in the metrics registry; the
+        # counter objects are cached so hot-loop increments stay O(1).
+        self.metrics = MetricsRegistry()
+        self.warm_attempts = self.metrics.counter("warm_start_attempts")
+        self.warm_hits = self.metrics.counter("warm_start_hits")
+        self.basis_rejections = self.metrics.counter("basis_rejections")
+        self.iterations_saved = self.metrics.counter(
+            "lp_iterations_saved"
+        )
+        #: Warm-start outcome of the most recent ``_node_lp`` call, for
+        #: per-node trace events ("hit" / "miss" / "cold" / "off").
+        self.last_warm = "off"
         self.root_cold_iterations = 0
         self.counter = itertools.count()
         self.heap: List[_Node] = []
@@ -243,18 +266,22 @@ class _Search:
     def _node_lp(self, node: _Node) -> LPResult:
         """Solve a node's LP relaxation, warm-starting when possible."""
         if self.warm and node.basis is not None:
-            self.warm_attempts += 1
+            self.warm_attempts.inc()
             result = revised_simplex.reoptimize(
                 self.std, node.basis, node.lb, node.ub,
                 max_iter=max(500, 4 * self.root_cold_iterations),
             )
             if result is not None:
-                self.warm_hits += 1
-                self.iterations_saved += max(
+                self.warm_hits.inc()
+                self.iterations_saved.inc(max(
                     0, self.root_cold_iterations - result.iterations
-                )
+                ))
+                self.last_warm = "hit"
                 return result
-            self.basis_rejections += 1
+            self.basis_rejections.inc()
+            self.last_warm = "miss"
+        else:
+            self.last_warm = "cold" if self.warm else "off"
         if self.std is not None:
             return revised_simplex.cold_solve(self.std, node.lb, node.ub)
         return self.lp_solve(
@@ -269,6 +296,10 @@ class _Search:
         ):
             self.incumbent_obj = obj
             self.incumbent_x = x.copy()
+            if self.trace is not None:
+                self.trace.event(
+                    "incumbent", objective=obj, nodes=self.nodes
+                )
 
     def _rounding_candidates(self, x: np.ndarray) -> None:
         if not self.options.rounding_heuristic or self.int_idx.size == 0:
@@ -331,6 +362,7 @@ class _Search:
             children.append(_Node(
                 result.objective, next(self.counter),
                 node.lb.copy(), down_ub, node.depth + 1,
+                parent=node.tiebreak,
                 basis=result.basis, branch_var=j, branch_dir=-1,
                 branch_frac=frac, parent_obj=result.objective,
             ))
@@ -340,6 +372,7 @@ class _Search:
             children.append(_Node(
                 result.objective, next(self.counter),
                 up_lb, node.ub.copy(), node.depth + 1,
+                parent=node.tiebreak,
                 basis=result.basis, branch_var=j, branch_dir=+1,
                 branch_frac=frac, parent_obj=result.objective,
             ))
@@ -368,6 +401,22 @@ class _Search:
             + [node.bound for node in self.dive_stack]
         )
 
+    def _node_event(self, node: _Node, result: LPResult) -> None:
+        """One search-tree telemetry event (tracing enabled only)."""
+        attrs = {
+            "node": node.tiebreak,
+            "parent": node.parent,
+            "depth": node.depth,
+            "branch_var": node.branch_var,
+            "branch_dir": node.branch_dir,
+            "lp_iterations": result.iterations,
+            "warm": self.last_warm,
+            "status": result.status.value,
+        }
+        if result.status is SolveStatus.OPTIMAL:
+            attrs["bound"] = float(result.objective)
+        self.trace.event("node", **attrs)
+
     # -- main loop ---------------------------------------------------------
     def run(self) -> MILPResult:
         options = self.options
@@ -380,6 +429,8 @@ class _Search:
         root = self._node_lp(root_node)
         self.lp_iterations += root.iterations
         self.root_cold_iterations = root.iterations
+        if self.trace is not None:
+            self._node_event(root_node, root)
         if root.status is SolveStatus.INFEASIBLE:
             return self._finish(SolveStatus.INFEASIBLE, sign,
                                 objective_constant, -math.inf)
@@ -435,6 +486,8 @@ class _Search:
             self.nodes += 1
             result = self._node_lp(node)
             self.lp_iterations += result.iterations
+            if self.trace is not None:  # sole tracing cost when disabled
+                self._node_event(node, result)
             if result.status is not SolveStatus.OPTIMAL:
                 continue  # infeasible child (or numerical failure): prune
             if (
@@ -475,25 +528,25 @@ class _Search:
         best_open_bound: float,
     ) -> MILPResult:
         wall = time.monotonic() - self.start
+        metrics = self.metrics.snapshot()
+        if self.trace is not None:
+            self.trace.event(
+                "search_done", status=status.value, nodes=self.nodes,
+                lp_iterations=self.lp_iterations, **metrics,
+            )
         if status in (SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED,
                       SolveStatus.ERROR):
             return MILPResult(
                 status, nodes=self.nodes,
                 lp_iterations=self.lp_iterations, wall_time=wall,
-                warm_start_attempts=self.warm_attempts,
-                warm_start_hits=self.warm_hits,
-                basis_rejections=self.basis_rejections,
-                lp_iterations_saved=self.iterations_saved,
+                metrics=metrics,
             )
         if status is SolveStatus.OPTIMAL:
             if self.incumbent_x is None:
                 return MILPResult(
                     SolveStatus.INFEASIBLE, nodes=self.nodes,
                     lp_iterations=self.lp_iterations, wall_time=wall,
-                    warm_start_attempts=self.warm_attempts,
-                    warm_start_hits=self.warm_hits,
-                    basis_rejections=self.basis_rejections,
-                    lp_iterations_saved=self.iterations_saved,
+                    metrics=metrics,
                 )
             best_bound_internal = self.incumbent_obj
         else:
@@ -514,18 +567,21 @@ class _Search:
             nodes=self.nodes,
             lp_iterations=self.lp_iterations,
             wall_time=wall,
-            warm_start_attempts=self.warm_attempts,
-            warm_start_hits=self.warm_hits,
-            basis_rejections=self.basis_rejections,
-            lp_iterations_saved=self.iterations_saved,
+            metrics=metrics,
         )
 
 
-def solve_milp(model: Model, options: Optional[MILPOptions] = None) -> MILPResult:
+def solve_milp(
+    model: Model,
+    options: Optional[MILPOptions] = None,
+    tracer=None,
+) -> MILPResult:
     """Solve a MILP model; returns the best incumbent and a proven bound.
 
     The result's ``objective`` and ``best_bound`` are reported in the
     *model's* sense (a maximisation model gets an upper best_bound).
+    ``tracer`` (a :class:`repro.obs.Tracer`) enables per-node search-tree
+    telemetry; ``None`` keeps the node loop instrumentation-free.
     """
     options = options or MILPOptions()
     if options.lp_backend not in _BACKENDS:
@@ -553,4 +609,4 @@ def solve_milp(model: Model, options: Optional[MILPOptions] = None) -> MILPResul
             return MILPResult(SolveStatus.INFEASIBLE,
                               wall_time=time.monotonic() - start)
 
-    return _Search(work, options, start).run()
+    return _Search(work, options, start, tracer=tracer).run()

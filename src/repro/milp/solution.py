@@ -51,14 +51,12 @@ class MILPResult:
         nodes: Branch-and-bound nodes processed.
         lp_iterations: Total simplex iterations over all node LPs.
         wall_time: Seconds spent inside the solver.
-        warm_start_attempts: Node LPs that tried a parent-basis warm start.
-        warm_start_hits: Warm starts that produced a usable answer
-            (optimal or a trusted infeasibility certificate).
-        basis_rejections: Warm starts rejected (singular/stale basis or
-            iteration blow-up) that fell back to a cold solve.
-        lp_iterations_saved: Estimated iterations avoided by warm
-            starting, measured against the root LP's cold iteration count
-            as the per-node cold-solve proxy.
+        metrics: Flat solver-telemetry snapshot from the search's
+            :class:`repro.obs.metrics.MetricsRegistry` — warm-start
+            accounting (``warm_start_attempts``, ``warm_start_hits``,
+            ``basis_rejections``, ``lp_iterations_saved``) and any
+            future instruments.  The historical attribute names remain
+            available as read-only properties over this mapping.
     """
 
     status: SolveStatus
@@ -68,14 +66,32 @@ class MILPResult:
     nodes: int = 0
     lp_iterations: int = 0
     wall_time: float = 0.0
-    warm_start_attempts: int = 0
-    warm_start_hits: int = 0
-    basis_rejections: int = 0
-    lp_iterations_saved: int = 0
+    metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def has_incumbent(self) -> bool:
         return self.x is not None
+
+    @property
+    def warm_start_attempts(self) -> int:
+        """Node LPs that tried a parent-basis warm start."""
+        return int(self.metrics.get("warm_start_attempts", 0))
+
+    @property
+    def warm_start_hits(self) -> int:
+        """Warm starts that produced a usable answer."""
+        return int(self.metrics.get("warm_start_hits", 0))
+
+    @property
+    def basis_rejections(self) -> int:
+        """Warm starts rejected (fell back to a cold node solve)."""
+        return int(self.metrics.get("basis_rejections", 0))
+
+    @property
+    def lp_iterations_saved(self) -> int:
+        """Estimated iterations avoided by warm starting (vs the root
+        LP's cold iteration count as the per-node proxy)."""
+        return int(self.metrics.get("lp_iterations_saved", 0))
 
     @property
     def warm_start_hit_rate(self) -> float:

@@ -1,0 +1,78 @@
+"""The ``repro.*`` logging hierarchy, configured once at the CLI entry.
+
+Library modules obtain loggers with :func:`get_logger` and never touch
+handlers; :func:`configure_logging` (called once per CLI invocation)
+attaches a single stdout handler to the ``repro`` root logger.  The
+handler resolves ``sys.stdout`` *at emit time*, so repeated in-process
+``main()`` calls under test harnesses that swap the stream (pytest's
+``capsys``) keep writing to the live stream instead of a closed capture.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger"]
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}" if name else "repro")
+
+
+class _LiveStdoutHandler(logging.StreamHandler):
+    """StreamHandler pinned to *current* ``sys.stdout``, not a snapshot."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stdout)
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value) -> None:
+        pass  # the base-class constructor/setStream assignments are moot
+
+
+def configure_logging(level: Optional[str] = "info") -> logging.Logger:
+    """Configure the ``repro`` root logger; idempotent.
+
+    ``level`` is one of ``debug``/``info``/``warning``/``error``.  At
+    ``debug`` the format carries the logger name and level so subsystem
+    chatter stays attributable; at ``info`` it is the bare message (the
+    CLI's user-facing output).
+    """
+    name = (level or "info").lower()
+    if name not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of "
+            f"{sorted(_LEVELS)}"
+        )
+    logger = logging.getLogger("repro")
+    logger.setLevel(_LEVELS[name])
+    handler = next(
+        (h for h in logger.handlers
+         if isinstance(h, _LiveStdoutHandler)),
+        None,
+    )
+    if handler is None:
+        handler = _LiveStdoutHandler()
+        logger.addHandler(handler)
+    fmt = (
+        "%(levelname).1s %(name)s: %(message)s"
+        if name == "debug"
+        else "%(message)s"
+    )
+    handler.setFormatter(logging.Formatter(fmt))
+    logger.propagate = False
+    return logger

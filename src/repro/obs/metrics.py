@@ -1,0 +1,153 @@
+"""Counters, gauges and histograms behind the solver telemetry.
+
+The branch-and-bound search records its warm-start accounting into a
+:class:`MetricsRegistry`; :meth:`MetricsRegistry.snapshot` flattens it to
+a plain ``{name: number}`` dict that rides on ``MILPResult.metrics`` /
+``VerificationResult.metrics`` (picklable, JSON-ready).  The historical
+attributes (``warm_start_attempts`` and friends) remain available as
+properties reading from that mapping.
+
+Instruments are plain Python objects with ``__slots__`` so incrementing
+one in a hot loop costs an attribute add, nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` to the count."""
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins sampled value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the latest sampled value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming count/sum/min/max summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments; get-or-create accessors, flat snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    def snapshot(self) -> Dict[str, float]:
+        """All instruments flattened to ``{name: number}``.
+
+        Histograms expand to ``name.count`` / ``name.sum`` / ``name.min``
+        / ``name.max`` so the snapshot stays a flat scalar mapping.
+        """
+        out: Dict[str, float] = {}
+        for counter in self._counters.values():
+            out[counter.name] = counter.value
+        for gauge in self._gauges.values():
+            out[gauge.name] = gauge.value
+        for hist in self._histograms.values():
+            if hist.count:
+                out[f"{hist.name}.count"] = hist.count
+                out[f"{hist.name}.sum"] = hist.total
+                out[f"{hist.name}.min"] = hist.min
+                out[f"{hist.name}.max"] = hist.max
+        return out
+
+
+def merge_metrics(
+    into: Dict[str, float], *others: Mapping[str, float]
+) -> Dict[str, float]:
+    """Accumulate metric snapshots in place (and return ``into``).
+
+    Counter-like keys sum; ``*.min`` / ``*.max`` keys take the min/max so
+    merged histogram summaries stay truthful.
+    """
+    for other in others:
+        for key, value in other.items():
+            if key in into:
+                if key.endswith(".min"):
+                    into[key] = min(into[key], value)
+                elif key.endswith(".max"):
+                    into[key] = max(into[key], value)
+                else:
+                    into[key] = into[key] + value
+            else:
+                into[key] = value
+    return into

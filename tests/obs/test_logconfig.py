@@ -1,0 +1,55 @@
+"""repro.* logging hierarchy tests."""
+
+import logging
+
+import pytest
+
+from repro.obs.logconfig import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_names_live_under_repro(self):
+        assert get_logger("cli").name == "repro.cli"
+        assert get_logger().name == "repro"
+
+    def test_child_propagates_to_repro_root(self):
+        child = get_logger("core.verifier")
+        assert child.parent.name.startswith("repro")
+
+
+class TestConfigureLogging:
+    def test_idempotent_single_handler(self):
+        first = configure_logging("info")
+        second = configure_logging("info")
+        assert first is second
+        handlers = [
+            h for h in first.handlers
+            if type(h).__name__ == "_LiveStdoutHandler"
+        ]
+        assert len(handlers) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+    def test_level_applied(self):
+        logger = configure_logging("warning")
+        assert logger.level == logging.WARNING
+        configure_logging("info")  # restore for other tests
+
+    def test_messages_reach_capsys_stdout(self, capsys):
+        configure_logging("info")
+        get_logger("cli").info("hello from the hierarchy")
+        assert "hello from the hierarchy" in capsys.readouterr().out
+
+    def test_debug_format_carries_logger_name(self, capsys):
+        configure_logging("debug")
+        get_logger("milp").debug("chatter")
+        out = capsys.readouterr().out
+        assert "repro.milp" in out
+        configure_logging("info")
+
+    def test_info_format_is_bare_message(self, capsys):
+        configure_logging("info")
+        get_logger("cli").info("bare")
+        assert capsys.readouterr().out == "bare\n"

@@ -1,0 +1,180 @@
+"""Trace summarisation and search-tree export tests."""
+
+import json
+
+from repro.obs import RingBufferSink, Tracer
+from repro.obs.summarize import (
+    build_search_tree,
+    load_trace,
+    render_summary,
+    summarize_trace,
+    tree_to_dot,
+    tree_to_json,
+)
+
+
+def span_rec(name, wall, parent=None, span_id="1", run="r", **attrs):
+    return {
+        "type": "span", "name": name, "run": run, "id": span_id,
+        "parent": parent, "t_start": 0.0, "t_end": wall, "wall": wall,
+        "cpu": wall / 2, "attrs": attrs,
+    }
+
+
+def node_event(span, node, parent, **attrs):
+    base = {
+        "node": node, "parent": parent, "depth": 0, "branch_var": -1,
+        "branch_dir": 0, "lp_iterations": 3, "warm": "off",
+        "status": "optimal",
+    }
+    base.update(attrs)
+    return {
+        "type": "event", "name": "node", "run": "r", "span": span,
+        "t": 0.0, "attrs": base,
+    }
+
+
+class TestSummarize:
+    def test_phase_accounting(self):
+        records = [
+            span_rec("cell", 1.0, span_id="c0.1",
+                     network="I4x4", query="q", verdict="max_found"),
+            span_rec("bounds", 0.4, parent="c0.1", span_id="c0.2"),
+            span_rec("encode", 0.1, parent="c0.1", span_id="c0.3"),
+            span_rec("solve", 0.45, parent="c0.1", span_id="c0.4"),
+        ]
+        summary = summarize_trace(records)
+        assert summary.total_wall == 1.0  # roots only
+        assert summary.phase_wall["bounds"] == 0.4
+        assert summary.phase_wall["solve"] == 0.45
+        assert abs(summary.phase_coverage - 0.95) < 1e-9
+        assert summary.slowest_cells == [
+            ("(I4x4, q)", 1.0, "max_found")
+        ]
+
+    def test_top_k_slowest(self):
+        records = [
+            span_rec("cell", float(i), span_id=f"c{i}.1",
+                     network=f"n{i}", query="q", verdict="verified")
+            for i in range(8)
+        ]
+        summary = summarize_trace(records, top=3)
+        assert [c[1] for c in summary.slowest_cells] == [7.0, 6.0, 5.0]
+
+    def test_render_mentions_phases_and_coverage(self):
+        records = [
+            span_rec("query", 2.0, span_id="1", network="n",
+                     objective="o", verdict="max_found"),
+            span_rec("solve", 1.0, parent="1", span_id="2"),
+        ]
+        text = render_summary(summarize_trace(records))
+        assert "per-phase time breakdown" in text
+        assert "bounds" in text and "solve" in text
+        assert "50%" in text
+        assert "slowest cells" in text
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.total_wall == 0.0
+        assert summary.phase_coverage == 0.0
+        render_summary(summary)  # must not divide by zero
+
+
+class TestLoadTrace:
+    def test_skips_blank_and_corrupt_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "event", "name": "a"}\n\nnot json\n')
+        records = load_trace(str(path))
+        assert len(records) == 1
+
+
+class TestSearchTree:
+    def test_forest_namespaced_by_span(self):
+        records = [
+            node_event("c0.4", 0, -1),
+            node_event("c0.4", 1, 0, branch_var=3, branch_dir=-1),
+            node_event("c1.4", 0, -1),  # other cell: disjoint tree
+        ]
+        tree = build_search_tree(records)
+        assert len(tree["nodes"]) == 3
+        assert len(tree["edges"]) == 1
+        (edge,) = tree["edges"]
+        assert edge["from"] == "c0.4/0"
+        assert edge["to"] == "c0.4/1"
+
+    def test_cell_filter(self):
+        records = [
+            node_event("c0.4", 0, -1),
+            node_event("c1.4", 0, -1),
+        ]
+        tree = build_search_tree(records, cell="c1.")
+        assert [n["span"] for n in tree["nodes"]] == ["c1.4"]
+
+    def test_json_round_trip(self):
+        tree = build_search_tree([node_event("s", 0, -1)])
+        assert json.loads(tree_to_json(tree)) == tree
+
+    def test_dot_output(self):
+        records = [
+            node_event("s", 0, -1, warm="cold", bound=1.25),
+            node_event("s", 1, 0, branch_var=2, branch_dir=1,
+                       warm="hit", bound=1.0),
+            node_event("s", 2, 0, branch_var=2, branch_dir=-1,
+                       status="infeasible"),
+        ]
+        dot = tree_to_dot(build_search_tree(records))
+        assert dot.startswith("digraph search_tree {")
+        assert dot.rstrip().endswith("}")
+        assert '"s/0" -> "s/1"' in dot
+        assert "x2 up" in dot and "x2 dn" in dot
+        assert "darkseagreen1" in dot   # warm hit
+        assert "mistyrose" in dot       # pruned/infeasible
+
+    def test_tree_from_live_solver_trace(self):
+        """An actual B&B run produces a consistent tree."""
+        from repro.milp import (
+            MILPOptions,
+            Model,
+            Sense,
+            SolveStatus,
+            VarType,
+            solve_milp,
+        )
+
+        model = Model("m")
+        xs = [
+            model.add_var(f"x{i}", vtype=VarType.BINARY)
+            for i in range(8)
+        ]
+        model.add_constr(
+            sum((i % 3 + 1) * x for i, x in enumerate(xs)) <= 5
+        )
+        model.set_objective(
+            sum((7 * i % 5 + 1) * x for i, x in enumerate(xs)),
+            sense=Sense.MAXIMIZE,
+        )
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        with tracer.span("solve"):
+            result = solve_milp(
+                model,
+                MILPOptions(lp_backend="revised", presolve=False),
+                tracer=tracer,
+            )
+        assert result.status is SolveStatus.OPTIMAL
+        tree = build_search_tree(sink.records)
+        ids = {n["id"] for n in tree["nodes"]}
+        assert len(ids) == len(tree["nodes"])  # unique node ids
+        # every edge endpoint refers to an emitted node
+        for edge in tree["edges"]:
+            assert edge["from"] in ids
+            assert edge["to"] in ids
+        # node events carry the telemetry the DOT export renders
+        events = [
+            r for r in sink.records
+            if r.get("type") == "event" and r["name"] == "node"
+        ]
+        assert events, "solver emitted no node events"
+        for event in events:
+            assert event["attrs"]["warm"] in ("hit", "miss", "cold", "off")
+        tree_to_dot(tree)  # renders without error

@@ -183,6 +183,96 @@ class TestCampaign:
         assert "I4x4" in out
 
 
+class TestTraceObservability:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory, data_file, net_file):
+        path = tmp_path_factory.mktemp("cli") / "out.jsonl"
+        code = main(
+            [
+                "verify",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+                "--trace", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_trace_flag_writes_jsonl(self, trace_file, capsys):
+        from repro.obs.summarize import load_trace
+
+        records = load_trace(str(trace_file))
+        spans = {
+            r["name"] for r in records if r.get("type") == "span"
+        }
+        assert {"query", "bounds", "encode", "solve"} <= spans
+
+    def test_phase_durations_cover_total(self, trace_file):
+        """Acceptance: per-phase durations sum to ~the root wall time."""
+        from repro.obs.summarize import load_trace, summarize_trace
+
+        summary = summarize_trace(load_trace(str(trace_file)))
+        assert summary.total_wall > 0.0
+        assert 0.9 <= summary.phase_coverage <= 1.0 + 1e-9
+
+    def test_trace_summarize_renders(self, trace_file, capsys):
+        code = main(["trace", "summarize", str(trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-phase time breakdown" in out
+        assert "bounds" in out and "solve" in out
+
+    def test_trace_tree_exports_dot(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "tree.dot"
+        code = main(
+            [
+                "trace", "tree", str(trace_file),
+                "--format", "dot", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert text.startswith("digraph search_tree {")
+
+    def test_campaign_trace_flag(
+        self, data_file, net_file, tmp_path, capsys
+    ):
+        path = tmp_path / "campaign.jsonl"
+        code = main(
+            [
+                "campaign",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--jobs", "2",
+                "--time-limit", "120",
+                "--trace", str(path),
+            ]
+        )
+        assert code == 0
+        from repro.obs.summarize import load_trace
+
+        records = load_trace(str(path))
+        cells = [
+            r for r in records
+            if r.get("type") == "span" and r["name"] == "cell"
+        ]
+        assert len(cells) == 2  # one per campaign cell
+        out = capsys.readouterr().out
+        assert f"trace written to {path}" in out
+
+    def test_log_level_rejects_unknown(self, data_file, net_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "verify",
+                    "--data", str(data_file),
+                    "--net", str(net_file),
+                    "--log-level", "loud",
+                ]
+            )
+
+
 class TestCertifyAndFigure:
     def test_certify_renders_case(self, data_file, net_file, capsys):
         main(

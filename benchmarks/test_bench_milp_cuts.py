@@ -1,0 +1,200 @@
+"""Bench: root cutting planes vs plain branch-and-bound on Table II.
+
+With cuts enabled the revised-simplex search separates Gomory (and,
+where the bounds allow, ReLU triangle) cuts at the root before
+branching.  Two claims are asserted on the trained Table II family:
+
+1. **Equivalence** — on every width where both runs complete, cuts-on
+   reaches the same verdict and the same maximum (within 1e-6) as
+   cuts-off.  Cells truncated by the bench time limit are excluded (and
+   reported), never silently compared.
+2. **Node reduction** — aggregated over the completed pairs, cuts-on
+   explores at least 25% fewer branch-and-bound nodes (the ISSUE
+   acceptance gate).
+
+A synthetic knapsack bench with a controllable tree rides along so the
+reduction is observable independently of the trained family.
+"""
+
+import numpy as np
+import pytest
+
+from repro import casestudy
+from repro.core.encoder import EncoderOptions
+from repro.core.verifier import Verdict, Verifier
+from repro.milp import MILPOptions, SolveStatus, solve_milp
+
+from conftest import TABLE_II_WIDTHS, TIME_LIMIT
+from test_bench_milp_warmstart import _deep_knapsack
+
+
+def _run_query(study, network, cuts):
+    region = casestudy.operational_region(study)
+    verifier = Verifier(
+        network,
+        EncoderOptions(bound_mode="lp"),
+        MILPOptions(
+            time_limit=TIME_LIMIT, lp_backend="revised", cuts=cuts
+        ),
+    )
+    return verifier.max_lateral_velocity(
+        region, study.config.num_components
+    )
+
+
+@pytest.fixture(scope="module")
+def paired_results(study, family):
+    """(cuts-off, cuts-on) revised-simplex runs per Table II width."""
+    pairs = {}
+    for width in TABLE_II_WIDTHS:
+        off = _run_query(study, family[width], cuts=False)
+        on = _run_query(study, family[width], cuts=True)
+        pairs[width] = (off, on)
+    return pairs
+
+
+def _completed(pair):
+    off, on = pair
+    return (
+        off.verdict is Verdict.MAX_FOUND
+        and on.verdict is Verdict.MAX_FOUND
+    )
+
+
+class TestCutsEquivalence:
+    def test_same_verdict_and_value_where_both_complete(
+        self, paired_results
+    ):
+        compared = 0
+        for width, (off, on) in paired_results.items():
+            if not _completed((off, on)):
+                # A truncated search has no optimum to compare; the
+                # reduction test reports the skip.
+                continue
+            compared += 1
+            assert on.verdict is off.verdict, f"I4x{width}"
+            assert on.value == pytest.approx(
+                off.value, abs=1e-6
+            ), f"I4x{width}"
+        assert compared >= 2, "too few completed pairs to certify"
+
+    def test_cut_telemetry_is_reported(self, paired_results):
+        saw_cuts = False
+        for width, (off, on) in paired_results.items():
+            assert off.cuts_added == 0, f"I4x{width}"
+            assert on.cut_rounds >= 0
+            if on.cuts_added:
+                saw_cuts = True
+                assert on.cut_separation_time > 0.0, f"I4x{width}"
+        assert saw_cuts, "cuts never separated on any Table II width"
+
+
+class TestCutsNodeReduction:
+    def test_aggregate_node_reduction(
+        self, paired_results, emit, bench_record
+    ):
+        """Cuts must cut >=25% of the nodes, summed over Table II.
+
+        Truncated cells are excluded from the aggregate — a time-limited
+        search's node count measures the limit, not the tree — and named
+        in the bench output so the omission is visible.
+        """
+        off_nodes = on_nodes = 0
+        skipped = []
+        for width, (off, on) in paired_results.items():
+            emit(
+                f"\nI4x{width}: cuts-off {off.nodes} nodes "
+                f"({off.wall_time:.2f}s, "
+                f"{'timed out' if off.timed_out else 'completed'}) vs "
+                f"cuts-on {on.nodes} nodes ({on.wall_time:.2f}s, "
+                f"{on.cuts_added} cuts/{on.cut_rounds} rounds, "
+                f"{'timed out' if on.timed_out else 'completed'})"
+            )
+            for label, res in (("cuts_off", off), ("cuts_on", on)):
+                bench_record(
+                    "cuts", f"I4x{width}_{label}",
+                    wall_time=res.wall_time,
+                    nodes=res.nodes,
+                    lp_iterations=res.lp_iterations,
+                    cuts_added=res.cuts_added,
+                    cuts_evicted=res.cuts_evicted,
+                    cut_rounds=res.cut_rounds,
+                    cut_separation_time=res.cut_separation_time,
+                    timed_out=res.timed_out,
+                )
+            if not _completed((off, on)):
+                skipped.append(width)
+                continue
+            off_nodes += off.nodes
+            on_nodes += on.nodes
+        if skipped:
+            emit(
+                f"\nexcluded from the aggregate (timed out): "
+                f"{', '.join(f'I4x{w}' for w in skipped)}"
+            )
+        if off_nodes < 20:
+            pytest.skip(
+                "completed trees too shallow on this trained family to "
+                "measure a cut-driven reduction"
+            )
+        reduction = 1.0 - on_nodes / off_nodes
+        emit(
+            f"\naggregate: {off_nodes} -> {on_nodes} nodes "
+            f"({reduction:.1%} reduction)"
+        )
+        assert reduction >= 0.25, (
+            f"cuts reduced nodes by only {reduction:.1%} "
+            f"({off_nodes} -> {on_nodes}); ISSUE gate is 25%"
+        )
+
+    def test_bench_widest_query_cuts(self, benchmark, study, family):
+        """pytest-benchmark row: cuts-on max query, widest network."""
+        width = max(TABLE_II_WIDTHS)
+
+        def run():
+            return _run_query(study, family[width], cuts=True)
+
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert result.verdict in (Verdict.MAX_FOUND, Verdict.TIMEOUT)
+
+
+class TestKnapsackCuts:
+    """Controlled tree: equivalence and telemetry independent of the
+    trained family (no reduction gate — root cuts on a pure 0/1
+    knapsack are weaker than on the big-M verification encodings)."""
+
+    def test_optimum_preserved_and_telemetry(self, emit, bench_record):
+        off_nodes = on_nodes = 0
+        cuts_added = 0
+        for seed in range(3):
+            off = solve_milp(
+                _deep_knapsack(16, seed),
+                MILPOptions(lp_backend="revised", cuts=False,
+                            presolve=False),
+            )
+            on = solve_milp(
+                _deep_knapsack(16, seed),
+                MILPOptions(lp_backend="revised", cuts=True,
+                            presolve=False),
+            )
+            assert off.status is SolveStatus.OPTIMAL
+            assert on.status is SolveStatus.OPTIMAL
+            assert on.objective == pytest.approx(
+                off.objective, rel=1e-7, abs=1e-6
+            )
+            off_nodes += off.nodes
+            on_nodes += on.nodes
+            cuts_added += on.cuts_added
+        emit(
+            f"\nknapsack x3: {off_nodes} -> {on_nodes} nodes with "
+            f"{cuts_added} cuts"
+        )
+        bench_record(
+            "cuts", "knapsack16_x3_cuts_off",
+            nodes=off_nodes, cuts_added=0,
+        )
+        bench_record(
+            "cuts", "knapsack16_x3_cuts_on",
+            nodes=on_nodes, cuts_added=cuts_added,
+        )
+        assert cuts_added > 0

@@ -280,12 +280,17 @@ def verify_network(
     region: Optional[InputRegion] = None,
     jobs: Optional[int] = None,
     tracer=None,
+    lp_backend: str = "highs",
+    cuts: Optional[bool] = None,
 ) -> TableIIRow:
     """Step 4: one Table II row — max lateral velocity with left occupied.
 
     ``jobs`` fans the per-component max queries out over a campaign
     worker pool; ``None``/``1`` keep the serial in-process path.
     ``tracer`` turns on phase spans and solver events either way.
+    ``lp_backend``/``cuts`` select the node-LP engine and its
+    cutting-plane loop (cuts need a tableau-exposing backend; see
+    :class:`repro.milp.MILPOptions`).
     """
     if jobs is not None and jobs != 1:
         return run_table_ii(
@@ -296,12 +301,16 @@ def verify_network(
             bound_mode=bound_mode,
             region=region or operational_region(study, max_gap=max_gap),
             tracer=tracer,
+            lp_backend=lp_backend,
+            cuts=cuts,
         )[0]
     region = region or operational_region(study, max_gap=max_gap)
     verifier = Verifier(
         network,
         EncoderOptions(bound_mode=bound_mode),
-        MILPOptions(time_limit=time_limit),
+        MILPOptions(
+            time_limit=time_limit, lp_backend=lp_backend, cuts=cuts
+        ),
         tracer=tracer,
     )
     result = verifier.max_lateral_velocity(
@@ -328,6 +337,8 @@ def table_ii_campaign(
     jobs: Optional[int] = None,
     cell_time_limit: Optional[float] = None,
     threshold: Optional[float] = None,
+    lp_backend: str = "highs",
+    cuts: Optional[bool] = None,
 ) -> "VerificationCampaign":
     """Build the Table II sweep as a campaign: one max query per mixture
     component on every network; ``threshold`` adds the decision query
@@ -341,7 +352,9 @@ def table_ii_campaign(
     region = region or operational_region(study)
     campaign = VerificationCampaign(
         EncoderOptions(bound_mode=bound_mode),
-        MILPOptions(time_limit=time_limit),
+        MILPOptions(
+            time_limit=time_limit, lp_backend=lp_backend, cuts=cuts
+        ),
         jobs=jobs,
         cell_time_limit=cell_time_limit,
     )
@@ -417,6 +430,8 @@ def run_table_ii(
     region: Optional[InputRegion] = None,
     progress: Optional["ProgressHook"] = None,
     tracer=None,
+    lp_backend: str = "highs",
+    cuts: Optional[bool] = None,
 ) -> List[TableIIRow]:
     """Step 4 for the whole family, in width order.
 
@@ -432,6 +447,8 @@ def run_table_ii(
         region=region,
         jobs=jobs,
         cell_time_limit=cell_time_limit,
+        lp_backend=lp_backend,
+        cuts=cuts,
     )
     report = campaign.run(progress=progress, tracer=tracer)
     return table_ii_rows(study, networks, report)

@@ -50,6 +50,23 @@ from repro.report import figure_1, render_table_ii
 logger = get_logger("cli")
 
 
+def _add_solver_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lp-backend", default="highs",
+        choices=("highs", "simplex", "revised"),
+        help="LP engine for node relaxations (cuts need 'revised')",
+    )
+    parser.add_argument(
+        "--cuts", dest="cuts", action="store_true", default=None,
+        help="force the cutting-plane loop on (default: automatic, on "
+        "for tableau-exposing backends)",
+    )
+    parser.add_argument(
+        "--no-cuts", dest="cuts", action="store_false",
+        help="force the cutting-plane loop off",
+    )
+
+
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -110,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=None,
         help="also run the decision query 'never above THRESHOLD m/s'",
     )
+    _add_solver_args(verify)
     _add_observability_args(verify)
 
     campaign = sub.add_parser(
@@ -141,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--bound-mode", default="lp",
         choices=("interval", "crown", "lp"),
     )
+    _add_solver_args(campaign)
     _add_observability_args(campaign)
 
     certify = sub.add_parser(
@@ -263,6 +282,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             study, network, time_limit=args.time_limit,
             jobs=args.jobs if args.jobs != 1 else None,
             tracer=tracer,
+            lp_backend=args.lp_backend, cuts=args.cuts,
         )
         logger.info(render_table_ii([row]))
         exit_code = 0
@@ -279,7 +299,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             verifier = Verifier(
                 network,
                 EncoderOptions(bound_mode="lp"),
-                MILPOptions(time_limit=args.time_limit),
+                MILPOptions(
+                    time_limit=args.time_limit,
+                    lp_backend=args.lp_backend,
+                    cuts=args.cuts,
+                ),
                 tracer=tracer,
             )
             verdicts = [
@@ -333,6 +357,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cell_time_limit=args.cell_budget,
         threshold=args.threshold,
+        lp_backend=args.lp_backend,
+        cuts=args.cuts,
     )
     n_nets, n_queries = campaign.size
     logger.info(

@@ -98,6 +98,40 @@ def interval_bounds(
     return result
 
 
+def _repair_crossed_bounds(
+    new_lo: np.ndarray,
+    new_hi: np.ndarray,
+    seed_lo: np.ndarray,
+    seed_hi: np.ndarray,
+    tol: float = 1e-6,
+) -> None:
+    """Resolve numerically crossed tightened bounds, in place, per side.
+
+    Each tightened bound is valid on its own (it came from its own LP),
+    so a crossing must not throw *both* tightenings away: only a side
+    that escaped the seed interval ``[seed_lo, seed_hi]`` misbehaved and
+    reverts to its seed value, keeping the other side's tightening.  A
+    tiny mutual crossing (LP duality noise, both sides still inside the
+    seed interval) collapses to the midpoint; a large mutual crossing
+    means both LPs are suspect and reverts both sides.
+    """
+    crossed = new_lo > new_hi
+    if not np.any(crossed):
+        return
+    lo_bad = crossed & (new_lo > seed_hi)
+    hi_bad = crossed & (new_hi < seed_lo)
+    new_lo[lo_bad] = seed_lo[lo_bad]
+    new_hi[hi_bad] = seed_hi[hi_bad]
+    in_range = crossed & ~lo_bad & ~hi_bad
+    tiny = in_range & (new_lo - new_hi <= tol)
+    mid = 0.5 * (new_lo[tiny] + new_hi[tiny])
+    new_lo[tiny] = mid
+    new_hi[tiny] = mid
+    rest = in_range & ~tiny
+    new_lo[rest] = seed_lo[rest]
+    new_hi[rest] = seed_hi[rest]
+
+
 def lp_tightened_bounds(
     network: FeedForwardNetwork,
     region: InputRegion,
@@ -165,9 +199,9 @@ def lp_tightened_bounds(
             if res_max.status is SolveStatus.OPTIMAL:
                 new_hi[j] = min(new_hi[j], -res_max.objective + base)
         # Numerical safety: never let tightening cross the bounds.
-        crossed = new_lo > new_hi
-        new_lo[crossed] = bounds[li].lower[crossed]
-        new_hi[crossed] = bounds[li].upper[crossed]
+        _repair_crossed_bounds(
+            new_lo, new_hi, bounds[li].lower, bounds[li].upper
+        )
         bounds[li] = LayerBounds(new_lo, new_hi)
 
         if layer.activation != "relu":

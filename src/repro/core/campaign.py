@@ -23,6 +23,7 @@ Safety-Critical Deep Networks*):
 from __future__ import annotations
 
 import dataclasses
+import math
 import os
 import time
 import traceback
@@ -144,6 +145,10 @@ class CampaignReport:
 
     @property
     def all_passed(self) -> bool:
+        """Every cell passed.  An *empty* campaign answers ``False``:
+        a report that verified nothing must never read as a safety
+        certificate (``pass_rate`` is likewise 0.0, not vacuously 1.0).
+        """
         return bool(self.cells) and all(c.passed for c in self.cells)
 
     @property
@@ -159,9 +164,16 @@ class CampaignReport:
 
     @property
     def speedup(self) -> float:
-        """Observed parallel speedup: cell time over campaign wall time."""
+        """Observed parallel speedup: cell time over campaign wall time.
+
+        Degenerate clocks are reported honestly instead of pretending
+        parity: with no measured wall time the ratio is 1.0 only when
+        the cells also report zero time (nothing ran, nothing gained) —
+        nonzero cell time against a zero wall clock is unbounded
+        speedup, not 1.0.
+        """
         if self.wall_time <= 0.0:
-            return 1.0
+            return 1.0 if self.total_cell_time <= 0.0 else math.inf
         return self.total_cell_time / self.wall_time
 
     @property
@@ -187,6 +199,26 @@ class CampaignReport:
             return 0.0
         hits = sum(c.result.warm_start_hits for c in self.cells)
         return hits / attempts
+
+    @property
+    def total_cuts_added(self) -> int:
+        """Cutting planes appended across every cell's MILP solves."""
+        return sum(c.result.cuts_added for c in self.cells)
+
+    @property
+    def total_cuts_evicted(self) -> int:
+        """Cuts retired by root-loop aging across all cells."""
+        return sum(c.result.cuts_evicted for c in self.cells)
+
+    @property
+    def total_cut_rounds(self) -> int:
+        """Separation rounds run across all cells."""
+        return sum(c.result.cut_rounds for c in self.cells)
+
+    @property
+    def total_cut_separation_time(self) -> float:
+        """Seconds spent inside cut separators across all cells."""
+        return sum(c.result.cut_separation_time for c in self.cells)
 
     def failures(self) -> List[CampaignCell]:
         """Cells that did not complete (falsified, timed out, errored)."""
@@ -267,6 +299,13 @@ class CampaignReport:
                 f"({attempts} attempts, "
                 f"{self.total_basis_rejections} rejected), "
                 f"~{self.total_lp_iterations_saved} iterations saved"
+            )
+        if self.total_cut_rounds:
+            lines.append(
+                f"cutting planes: {self.total_cuts_added} added over "
+                f"{self.total_cut_rounds} rounds "
+                f"({self.total_cuts_evicted} evicted), "
+                f"separation {self.total_cut_separation_time:.2f}s"
             )
         return "\n".join(lines)
 

@@ -30,6 +30,7 @@ from repro.core.bounds import (
 )
 from repro.core.properties import InputRegion, OutputObjective
 from repro.errors import EncodingError
+from repro.milp.cuts import ReluNeuron
 from repro.milp.expr import LinExpr, Sense, Variable, VarType
 from repro.milp.model import Model
 from repro.nn.network import FeedForwardNetwork
@@ -57,6 +58,9 @@ class EncodedNetwork:
     output_exprs: List[LinExpr]
     binaries: List[Variable]
     bounds: List[LayerBounds]
+    #: Per ambiguous neuron: the ``(z, a, d, l, u)`` tuple the ReLU cut
+    #: separator consumes (``z`` as an affine form over model columns).
+    neurons: List[ReluNeuron] = dataclasses.field(default_factory=list)
 
     @property
     def num_binaries(self) -> int:
@@ -152,6 +156,7 @@ def encode_network(
             model.add_constr(expr <= rhs, name=f"region{k}")
 
         binaries: List[Variable] = []
+        neurons: List[ReluNeuron] = []
         # ``prev`` carries affine expressions of the previous layer's
         # post-activations in terms of model variables.
         prev: List[LinExpr] = [var.to_expr() for var in input_vars]
@@ -183,6 +188,16 @@ def encode_network(
                     a.to_expr() - hi * d <= 0, name=f"relu_cap_{li}_{j}"
                 )
                 binaries.append(d)
+                neurons.append(ReluNeuron(
+                    layer=li,
+                    index=j,
+                    a_col=a.index,
+                    d_col=d.index,
+                    pre_coeffs=dict(pre.coeffs),
+                    pre_const=pre.constant,
+                    lower=lo,
+                    upper=hi,
+                ))
                 post.append(a.to_expr())
             prev = post
 
@@ -193,7 +208,8 @@ def encode_network(
         ]
         span.set(binaries=len(binaries), variables=model.num_vars)
         return EncodedNetwork(
-            model, input_vars, output_exprs, binaries, bounds
+            model, input_vars, output_exprs, binaries, bounds,
+            neurons=neurons,
         )
 
 

@@ -108,6 +108,22 @@ class VerificationResult:
             return 0.0
         return self.warm_start_hits / self.warm_start_attempts
 
+    @property
+    def cuts_added(self) -> int:
+        return int(self.metrics.get("cuts_added", 0))
+
+    @property
+    def cuts_evicted(self) -> int:
+        return int(self.metrics.get("cuts_evicted", 0))
+
+    @property
+    def cut_rounds(self) -> int:
+        return int(self.metrics.get("cut_rounds", 0))
+
+    @property
+    def cut_separation_time(self) -> float:
+        return float(self.metrics.get("cut_separation_time", 0.0))
+
 
 @dataclasses.dataclass
 class TableIIRow:
@@ -207,7 +223,8 @@ class Verifier:
             binaries=encoded.num_binaries,
         ):
             result = solve_milp(
-                encoded.model, self.milp_options, tracer=self.tracer
+                encoded.model, self.milp_options, tracer=self.tracer,
+                relu_neurons=encoded.neurons,
             )
         wall = time.monotonic() - start
 
@@ -310,7 +327,8 @@ class Verifier:
             binaries=encoded.num_binaries,
         ):
             result = solve_milp(
-                encoded.model, self.milp_options, tracer=self.tracer
+                encoded.model, self.milp_options, tracer=self.tracer,
+                relu_neurons=encoded.neurons,
             )
         wall = time.monotonic() - start
 

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.milp.expr import Sense
 from repro.milp.model import Model
+from repro.milp import cuts as cuts_mod
 from repro.milp import presolve as presolve_mod
 from repro.milp import revised_simplex, scipy_backend, simplex
 from repro.milp.solution import LPResult, MILPResult
@@ -86,6 +87,18 @@ class MILPOptions:
         presolve: Run bound propagation before the search.
         rounding_heuristic: Try rounding each node's LP point into an
             incumbent.
+        cuts: Cutting planes (Gomory mixed-integer + ReLU triangle /
+            implied-bound rows from a managed pool).  ``None`` (the
+            default) enables them automatically for the warm-capable
+            ``"revised"`` backend; ``True`` with any other backend is an
+            error because separation reads the revised-simplex tableau.
+        cut_rounds: Maximum root separation rounds.
+        max_cuts_per_round: Cap on rows added per separation round.
+        cut_node_depth: Also separate one round at tree nodes up to this
+            depth (0 = root only).
+        cut_pool_size: Cut-pool capacity (dedup index size).
+        cut_age_limit: Separation rounds an active cut may stay slack
+            before the root loop evicts it.
         seed: RNG seed for the ``"random"`` branching rule.
     """
 
@@ -100,6 +113,12 @@ class MILPOptions:
     rc_fixing: bool = True
     presolve: bool = True
     rounding_heuristic: bool = True
+    cuts: Optional[bool] = None
+    cut_rounds: int = 6
+    max_cuts_per_round: int = 8
+    cut_node_depth: int = 0
+    cut_pool_size: int = 500
+    cut_age_limit: int = 8
     seed: int = 0
 
 
@@ -207,7 +226,7 @@ class _Search:
 
     def __init__(
         self, work: Model, options: MILPOptions, start: float,
-        tracer=None,
+        tracer=None, relu_neurons=None,
     ) -> None:
         self.options = options
         self.work = work
@@ -251,6 +270,29 @@ class _Search:
         self.iterations_saved = self.metrics.counter(
             "lp_iterations_saved"
         )
+        # -- cutting planes -------------------------------------------------
+        self.relu_neurons = list(relu_neurons or [])
+        cuts_on = (
+            options.cuts
+            if options.cuts is not None
+            else options.lp_backend in _WARM_BACKENDS
+        )
+        self.pool: Optional[cuts_mod.CutPool] = (
+            cuts_mod.CutPool(options.cut_pool_size, options.cut_age_limit)
+            if cuts_on and self.std is not None and self.int_idx.size
+            else None
+        )
+        #: Global bound snapshot every cut is complemented against.
+        #: Taken *before* reduced-cost fixing ever tightens the root
+        #: arrays, so cuts stay valid for the full integer-feasible set.
+        self.cut_lb = self.root_lb.copy()
+        self.cut_ub = self.root_ub.copy()
+        self.cut_rounds_c = self.metrics.counter("cut_rounds")
+        self.cuts_added_c = self.metrics.counter("cuts_added")
+        self.cuts_evicted_c = self.metrics.counter("cuts_evicted")
+        self.gomory_cuts_c = self.metrics.counter("gomory_cuts")
+        self.relu_cuts_c = self.metrics.counter("relu_cuts")
+        self.cut_sep_time_c = self.metrics.counter("cut_separation_time")
         #: Warm-start outcome of the most recent ``_node_lp`` call, for
         #: per-node trace events ("hit" / "miss" / "cold" / "off").
         self.last_warm = "off"
@@ -267,9 +309,19 @@ class _Search:
         """Solve a node's LP relaxation, warm-starting when possible."""
         if self.warm and node.basis is not None:
             self.warm_attempts.inc()
-            result = revised_simplex.reoptimize(
-                self.std, node.basis, node.lb, node.ub,
-                max_iter=max(500, 4 * self.root_cold_iterations),
+            # Cut rows appended after this node's parent solved leave the
+            # carried basis short; widen it over the new slack columns.
+            try:
+                basis = revised_simplex.extend_basis(node.basis, self.std)
+            except revised_simplex.NumericalTrouble:
+                basis = None
+            result = (
+                revised_simplex.reoptimize(
+                    self.std, basis, node.lb, node.ub,
+                    max_iter=max(500, 4 * self.root_cold_iterations),
+                )
+                if basis is not None
+                else None
             )
             if result is not None:
                 self.warm_hits.inc()
@@ -350,6 +402,202 @@ class _Search:
                     self.root_lb[j] = min(limit, self.root_ub[j])
                     fixes += 1
         return fixes
+
+    def _fractional(self, x: np.ndarray) -> List[Tuple[int, float]]:
+        """Integer columns whose LP value is fractional at ``x``."""
+        tol = self.options.int_tol
+        return [
+            (int(j), float(x[j]))
+            for j in self.int_idx
+            if abs(x[j] - round(x[j])) > tol
+        ]
+
+    # -- cutting planes ----------------------------------------------------
+    def _separate_cuts(
+        self, result: LPResult,
+        lb: Optional[np.ndarray], ub: Optional[np.ndarray],
+    ) -> int:
+        """Offer fresh Gomory + ReLU cuts at ``result`` to the pool."""
+        t0 = time.perf_counter()
+        found: List[cuts_mod.Cut] = []
+        if result.basis is not None:
+            view = revised_simplex.tableau_view(
+                self.std, result.basis, lb, ub
+            )
+            if view is not None:
+                found.extend(cuts_mod.separate_gomory(
+                    view, self.int_idx, self.cut_lb, self.cut_ub,
+                    max_cuts=self.options.max_cuts_per_round,
+                ))
+        if self.relu_neurons:
+            found.extend(cuts_mod.separate_relu(
+                self.relu_neurons, result.x, self.cut_lb, self.cut_ub,
+                max_cuts=self.options.max_cuts_per_round,
+            ))
+        offered = sum(1 for cut in found if self.pool.offer(cut))
+        self.cut_sep_time_c.inc(time.perf_counter() - t0)
+        return offered
+
+    def _apply_cuts(self, chosen: List[cuts_mod.Cut]) -> None:
+        """Append the chosen pool cuts to the model and the standard LP."""
+        rows = np.stack([cut.coeffs for cut in chosen])
+        rhs = np.array([cut.rhs for cut in chosen])
+        self.work.add_cut_rows(rows, rhs)
+        self.std = revised_simplex.append_rows(self.std, rows, rhs)
+        self.pool.activate(chosen)
+        self.cuts_added_c.inc(len(chosen))
+        for cut in chosen:
+            if cut.kind == "gomory":
+                self.gomory_cuts_c.inc()
+            else:
+                self.relu_cuts_c.inc()
+
+    def _resolve_after_cuts(
+        self, basis, lb: np.ndarray, ub: np.ndarray
+    ) -> LPResult:
+        """Re-optimise the grown LP from an extended pre-cut basis.
+
+        The widened basis (new slacks basic) stays dual feasible, so the
+        dual simplex usually restores primal feasibility in a few
+        pivots; a rejected basis falls back to a cold solve.
+        """
+        result = None
+        if basis is not None:
+            try:
+                ext = revised_simplex.extend_basis(basis, self.std)
+            except revised_simplex.NumericalTrouble:
+                ext = None
+            if ext is not None:
+                result = revised_simplex.reoptimize(
+                    self.std, ext, lb, ub,
+                    max_iter=max(2000, 4 * self.root_cold_iterations),
+                )
+        if result is None:
+            result = revised_simplex.cold_solve(self.std, lb, ub)
+        return result
+
+    def _cut_event(self, rnd: int, added: List[cuts_mod.Cut],
+                   evicted: int, sep_time: float, bound: float) -> None:
+        if self.trace is None:
+            return
+        self.trace.event(
+            "cut",
+            round=rnd,
+            added=len(added),
+            evicted=evicted,
+            gomory=sum(1 for c in added if c.kind == "gomory"),
+            relu=sum(1 for c in added if c.kind != "gomory"),
+            sep_time=sep_time,
+            bound=bound,
+        )
+
+    def _run_cut_rounds(self, root: LPResult) -> LPResult:
+        """Root cutting-plane loop; returns the final root relaxation.
+
+        Eviction (and the LP rebuild it forces) happens only here, while
+        no child basis exists yet; mid-search separation is append-only
+        so every outstanding basis stays lazily extendable.
+        """
+        options = self.options
+        best = root
+        tail = 0
+        for rnd in range(1, options.cut_rounds + 1):
+            if self._timed_out() or not self._fractional(best.x):
+                break
+            sep_before = self.cut_sep_time_c.value
+            self._separate_cuts(best, self.root_lb, self.root_ub)
+            chosen = self.pool.select(best.x, options.max_cuts_per_round)
+            if not chosen:
+                break
+            self._apply_cuts(chosen)
+            result = self._resolve_after_cuts(
+                best.basis, self.root_lb, self.root_ub
+            )
+            self.lp_iterations += result.iterations
+            self.cut_rounds_c.inc()
+            if result.status is SolveStatus.INFEASIBLE:
+                # Valid cuts emptied the LP: the MILP has no feasible
+                # point (within the solver's tolerance contract).
+                return result
+            if result.status is not SolveStatus.OPTIMAL:
+                break  # numerical trouble: keep the last good relaxation
+            gain = result.objective - best.objective
+            self._cut_event(
+                rnd, chosen, 0,
+                self.cut_sep_time_c.value - sep_before,
+                float(result.objective),
+            )
+            self.pool.age_active(result.x)
+            best = result
+            if gain <= 1e-9 * max(1.0, abs(best.objective)):
+                tail += 1
+                if tail >= 2:
+                    break
+            else:
+                tail = 0
+        evicted = self.pool.evict_stale()
+        if evicted:
+            self.cuts_evicted_c.inc(len(evicted))
+            best = self._rebuild_std(best)
+            self._cut_event(
+                0, [], len(evicted), 0.0, float(best.objective)
+            )
+        return best
+
+    def _rebuild_std(self, best: LPResult) -> LPResult:
+        """Re-standardise with only the surviving active cuts.
+
+        ``self.A_ub``/``self.b_ub`` still reference the *original* dense
+        arrays (``add_cut_rows`` supersedes the cache without mutating
+        them), so the rebuild is original rows + active pool.
+        """
+        A_ub, b_ub = self.A_ub, self.b_ub
+        if self.pool.active:
+            rows = np.stack([cut.coeffs for cut in self.pool.active])
+            rhs = np.array([cut.rhs for cut in self.pool.active])
+            A_ub = np.vstack([A_ub, rows]) if A_ub is not None else rows
+            b_ub = (
+                np.concatenate([b_ub, rhs]) if b_ub is not None else rhs
+            )
+        self.std = revised_simplex.standardize(
+            self.c, A_ub, b_ub, self.A_eq, self.b_eq,
+            list(zip(self.root_lb, self.root_ub)),
+        )
+        result = revised_simplex.cold_solve(
+            self.std, self.root_lb, self.root_ub
+        )
+        self.lp_iterations += result.iterations
+        if result.status is not SolveStatus.OPTIMAL:
+            return best  # stale basis; _node_lp cold-falls-back safely
+        return result
+
+    def _node_cut_round(
+        self, node: _Node, result: LPResult
+    ) -> Optional[LPResult]:
+        """One append-only separation round at a shallow tree node.
+
+        Returns the (possibly tightened) node relaxation, or ``None``
+        when the cut LP proves the node integer-infeasible.
+        """
+        sep_before = self.cut_sep_time_c.value
+        self._separate_cuts(result, node.lb, node.ub)
+        chosen = self.pool.select(result.x, self.options.max_cuts_per_round)
+        if not chosen:
+            return result
+        self._apply_cuts(chosen)
+        new = self._resolve_after_cuts(result.basis, node.lb, node.ub)
+        self.lp_iterations += new.iterations
+        self.cut_rounds_c.inc()
+        if new.status is SolveStatus.INFEASIBLE:
+            return None
+        if new.status is not SolveStatus.OPTIMAL:
+            return result  # keep the valid pre-cut relaxation
+        self._cut_event(
+            node.depth, chosen, 0,
+            self.cut_sep_time_c.value - sep_before,
+            float(new.objective),
+        )
+        return new
 
     def _push_children(self, node: _Node, result: LPResult, j: int) -> None:
         """Branch on column ``j``; dive on the more promising child."""
@@ -442,11 +690,17 @@ class _Search:
                                 objective_constant, -math.inf)
 
         x = root.x
-        fractional = [
-            (int(j), float(x[j]))
-            for j in self.int_idx
-            if abs(x[j] - round(x[j])) > options.int_tol
-        ]
+        fractional = self._fractional(x)
+        if fractional and self.pool is not None:
+            root = self._run_cut_rounds(root)
+            if root.status is SolveStatus.INFEASIBLE:
+                return self._finish(SolveStatus.INFEASIBLE, sign,
+                                    objective_constant, -math.inf)
+            if root.status is not SolveStatus.OPTIMAL:
+                return self._finish(SolveStatus.ERROR, sign,
+                                    objective_constant, -math.inf)
+            x = root.x
+            fractional = self._fractional(x)
         if not fractional:
             self._try_incumbent(x)
             if self.incumbent_x is not None:
@@ -501,13 +755,20 @@ class _Search:
                 )
             if result.objective >= self.incumbent_obj - options.gap_tol:
                 continue
+            if (
+                self.pool is not None
+                and 0 < node.depth <= options.cut_node_depth
+                and self._fractional(result.x)
+            ):
+                tightened = self._node_cut_round(node, result)
+                if tightened is None:
+                    continue  # the cut LP proved the node empty
+                result = tightened
+                if result.objective >= self.incumbent_obj - options.gap_tol:
+                    continue
             x = result.x
             assert x is not None
-            fractional = [
-                (int(j), float(x[j]))
-                for j in self.int_idx
-                if abs(x[j] - round(x[j])) > options.int_tol
-            ]
+            fractional = self._fractional(x)
             if not fractional:
                 self._try_incumbent(x)
                 continue
@@ -575,6 +836,7 @@ def solve_milp(
     model: Model,
     options: Optional[MILPOptions] = None,
     tracer=None,
+    relu_neurons=None,
 ) -> MILPResult:
     """Solve a MILP model; returns the best incumbent and a proven bound.
 
@@ -582,12 +844,20 @@ def solve_milp(
     *model's* sense (a maximisation model gets an upper best_bound).
     ``tracer`` (a :class:`repro.obs.Tracer`) enables per-node search-tree
     telemetry; ``None`` keeps the node loop instrumentation-free.
+    ``relu_neurons`` (a sequence of :class:`repro.milp.cuts.ReluNeuron`,
+    as attached to ``EncodedNetwork.neurons``) enables the ReLU-specific
+    cut separator on top of the generic Gomory cuts.
     """
     options = options or MILPOptions()
     if options.lp_backend not in _BACKENDS:
         raise ValueError(
             f"unknown lp_backend {options.lp_backend!r}; "
             f"expected one of {sorted(_BACKENDS)}"
+        )
+    if options.cuts and options.lp_backend not in _WARM_BACKENDS:
+        raise ValueError(
+            "cuts=True needs a tableau-exposing backend "
+            f"({sorted(_WARM_BACKENDS)}); got {options.lp_backend!r}"
         )
     if options.branching not in _BRANCH_RULES:
         raise ValueError(
@@ -609,4 +879,6 @@ def solve_milp(
             return MILPResult(SolveStatus.INFEASIBLE,
                               wall_time=time.monotonic() - start)
 
-    return _Search(work, options, start, tracer=tracer).run()
+    return _Search(
+        work, options, start, tracer=tracer, relu_neurons=relu_neurons
+    ).run()

@@ -75,6 +75,22 @@ def propagate_bounds(model: Model, max_rounds: int = 20) -> int:
     return total_changes
 
 
+def _int_round_tol(rhs: float, residual: float, coef: float) -> float:
+    """Integrality-rounding tolerance for ``(rhs - residual) / coef``.
+
+    The quotient's floating-point error scales with the row magnitudes
+    feeding the cancellation-prone ``rhs - residual`` subtraction, so a
+    fixed absolute ``1e-6`` mis-rounds large-coefficient rows: a limit
+    that is exactly integral can compute short of the integer by more
+    than ``1e-6`` and get floored one unit too far — cutting off
+    feasible integer points.  Rounding *outward* by the tolerance only
+    weakens the deduced bound (always sound), so the relative term errs
+    on the generous side.
+    """
+    scale = max(abs(rhs), abs(residual)) / abs(coef)
+    return max(1e-6, 1e-12 * scale)
+
+
 def _propagate_le(
     model: Model, coeffs: List[Tuple[int, float]], rhs: float
 ) -> int:
@@ -96,7 +112,9 @@ def _propagate_le(
         if coef > _TOL:
             new_ub = limit / coef
             if model.vtypes[idx] is not VarType.CONTINUOUS:
-                new_ub = math.floor(new_ub + 1e-6)
+                new_ub = math.floor(
+                    new_ub + _int_round_tol(rhs, residual, coef)
+                )
             if new_ub < model.ub[idx] - 1e-9:
                 if new_ub < model.lb[idx] - 1e-6:
                     raise InfeasiblePresolve(
@@ -112,7 +130,9 @@ def _propagate_le(
         elif coef < -_TOL:
             new_lb = limit / coef
             if model.vtypes[idx] is not VarType.CONTINUOUS:
-                new_lb = math.ceil(new_lb - 1e-6)
+                new_lb = math.ceil(
+                    new_lb - _int_round_tol(rhs, residual, coef)
+                )
             if new_lb > model.lb[idx] + 1e-9:
                 if new_lb > model.ub[idx] + 1e-6:
                     raise InfeasiblePresolve(

@@ -101,6 +101,36 @@ class MILPResult:
         return self.warm_start_hits / self.warm_start_attempts
 
     @property
+    def cut_rounds(self) -> int:
+        """Separation rounds run (root loop plus shallow-node rounds)."""
+        return int(self.metrics.get("cut_rounds", 0))
+
+    @property
+    def cuts_added(self) -> int:
+        """Cut rows appended to the LP over the whole search."""
+        return int(self.metrics.get("cuts_added", 0))
+
+    @property
+    def cuts_evicted(self) -> int:
+        """Active cuts retired by the root loop's aging pass."""
+        return int(self.metrics.get("cuts_evicted", 0))
+
+    @property
+    def gomory_cuts(self) -> int:
+        """Gomory mixed-integer cuts among ``cuts_added``."""
+        return int(self.metrics.get("gomory_cuts", 0))
+
+    @property
+    def relu_cuts(self) -> int:
+        """ReLU triangle/implied-bound cuts among ``cuts_added``."""
+        return int(self.metrics.get("relu_cuts", 0))
+
+    @property
+    def cut_separation_time(self) -> float:
+        """Seconds spent inside the cut separators."""
+        return float(self.metrics.get("cut_separation_time", 0.0))
+
+    @property
     def gap(self) -> float:
         """Absolute optimality gap (0 for proven-optimal solves)."""
         if self.status is SolveStatus.OPTIMAL:

@@ -60,6 +60,13 @@ class TraceSummary:
     slowest_cells: List[Tuple[str, float, str]]
     #: Branch-and-bound node events seen in the trace.
     num_nodes: int
+    #: Cut-separation rounds (``cut`` events with a positive round).
+    cut_rounds: int = 0
+    #: Cut rows added / retired, summed over every ``cut`` event.
+    cuts_added: int = 0
+    cuts_evicted: int = 0
+    #: Seconds spent inside the cut separators.
+    cut_separation_time: float = 0.0
 
     @property
     def phase_coverage(self) -> float:
@@ -116,6 +123,7 @@ def summarize_trace(
                 span.get("attrs", {}).get("verdict", "?"),
             ))
     cells.sort(key=lambda item: item[1], reverse=True)
+    cut_events = [e for e in events if e.get("name") == "cut"]
     return TraceSummary(
         runs=runs,
         num_spans=len(spans),
@@ -125,6 +133,20 @@ def summarize_trace(
         total_wall=total_wall,
         slowest_cells=cells[:top],
         num_nodes=sum(1 for e in events if e.get("name") == "node"),
+        cut_rounds=sum(
+            1 for e in cut_events
+            if e.get("attrs", {}).get("round", 0) > 0
+        ),
+        cuts_added=sum(
+            int(e.get("attrs", {}).get("added", 0)) for e in cut_events
+        ),
+        cuts_evicted=sum(
+            int(e.get("attrs", {}).get("evicted", 0)) for e in cut_events
+        ),
+        cut_separation_time=sum(
+            float(e.get("attrs", {}).get("sep_time", 0.0))
+            for e in cut_events
+        ),
     )
 
 
@@ -165,6 +187,13 @@ def render_summary(summary: TraceSummary) -> str:
         f"total {summary.total_wall:.3f}s serial-equivalent; phases cover "
         f"{summary.phase_coverage:.0%}"
     )
+    if summary.cut_rounds or summary.cuts_added:
+        lines.append(
+            f"cutting planes: {summary.cuts_added} added over "
+            f"{summary.cut_rounds} rounds "
+            f"({summary.cuts_evicted} evicted); separation "
+            f"{summary.cut_separation_time:.3f}s"
+        )
     if summary.slowest_cells:
         cell_rows = [
             [label, f"{wall:.3f}s", verdict]

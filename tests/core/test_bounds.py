@@ -212,3 +212,63 @@ class TestRegionFingerprint:
         constraint.as_indexed = lambda: ({0: 1.0}, 0.5)
         b.add_constraint(constraint)
         assert a.fingerprint() != b.fingerprint()
+
+
+class TestRepairCrossedBounds:
+    """Per-side recovery of numerically crossed LP-tightened bounds.
+
+    Each tightened side comes from its own LP and is valid on its own;
+    a crossing must keep the side that stayed inside the seed interval
+    instead of reverting both tightenings (the historical behaviour).
+    """
+
+    def _repair(self, new_lo, new_hi, seed_lo, seed_hi):
+        from repro.core.bounds import _repair_crossed_bounds
+
+        new_lo = np.asarray(new_lo, dtype=float)
+        new_hi = np.asarray(new_hi, dtype=float)
+        _repair_crossed_bounds(
+            new_lo, new_hi,
+            np.asarray(seed_lo, dtype=float),
+            np.asarray(seed_hi, dtype=float),
+        )
+        return new_lo, new_hi
+
+    def test_escaped_lower_reverts_keeps_tightened_upper(self):
+        # Lower bound blew past the seed interval; the upper tightening
+        # (0.2, well inside [-1, 1]) must survive.
+        lo, hi = self._repair([5.0], [0.2], [-1.0], [1.0])
+        assert lo[0] == -1.0
+        assert hi[0] == 0.2
+
+    def test_escaped_upper_reverts_keeps_tightened_lower(self):
+        lo, hi = self._repair([-0.3], [-7.0], [-1.0], [1.0])
+        assert lo[0] == -0.3
+        assert hi[0] == 1.0
+
+    def test_tiny_mutual_crossing_collapses_to_midpoint(self):
+        lo, hi = self._repair([0.5 + 4e-7], [0.5 - 4e-7], [-1.0], [1.0])
+        assert lo[0] == hi[0] == pytest.approx(0.5, abs=1e-6)
+        assert lo[0] <= hi[0]
+
+    def test_large_in_range_crossing_reverts_both(self):
+        # Both sides inside the seed interval but crossing by far more
+        # than numerical noise: both LPs are suspect, revert both.
+        lo, hi = self._repair([0.8], [-0.8], [-1.0], [1.0])
+        assert lo[0] == -1.0
+        assert hi[0] == 1.0
+
+    def test_uncrossed_entries_untouched(self):
+        lo, hi = self._repair(
+            [-0.5, 5.0], [0.5, 0.2], [-1.0, -1.0], [1.0, 1.0]
+        )
+        assert lo[0] == -0.5 and hi[0] == 0.5
+        assert lo[1] == -1.0 and hi[1] == 0.2
+
+    def test_lp_tightening_never_crosses(self):
+        """End-to-end: tightened layer bounds always satisfy lo <= hi."""
+        rng = np.random.default_rng(3)
+        net = FeedForwardNetwork.mlp(4, [6, 6], 2, rng=rng)
+        bounds = lp_tightened_bounds(net, unit_region(4))
+        for lb in bounds:
+            assert np.all(lb.lower <= lb.upper)

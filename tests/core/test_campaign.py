@@ -432,3 +432,64 @@ class TestParallel:
         assert len({t.bounds_key for t in tasks}) == 2
         report = c.run(jobs=2)
         assert len(report.cells) == 6
+
+
+class TestDegenerateAccounting:
+    """Empty reports and broken clocks must not flatter the campaign."""
+
+    def test_empty_report_is_not_a_certificate(self):
+        from repro.core.campaign import CampaignReport
+
+        report = CampaignReport([])
+        assert report.all_passed is False
+        assert report.pass_rate == 0.0
+        assert report.total_cell_time == 0.0
+        assert report.speedup == 1.0  # nothing ran, nothing gained
+        assert "empty" in report.summary()
+
+    def test_zero_wall_with_cell_time_is_unbounded_not_parity(self):
+        """Regression: nonzero cell time against a zero wall clock used
+        to report speedup 1.0 — parity — instead of unbounded."""
+        import math
+
+        from repro.core.campaign import CampaignReport
+
+        report = CampaignReport(
+            [make_cell("a", "q", Verdict.MAX_FOUND, wall=3.0)],
+            wall_time=0.0,
+        )
+        assert math.isinf(report.speedup)
+
+    def test_zero_wall_zero_cell_time_is_parity(self):
+        from repro.core.campaign import CampaignReport
+
+        report = CampaignReport(
+            [make_cell("a", "q", Verdict.MAX_FOUND, wall=0.0)],
+            wall_time=0.0,
+        )
+        assert report.speedup == 1.0
+
+    def test_cut_totals_aggregate_cells(self):
+        from repro.core.campaign import CampaignCell, CampaignReport
+        from repro.core.verifier import VerificationResult
+
+        def cell(metrics):
+            return CampaignCell(
+                network_id="a",
+                property_name=f"q{len(metrics)}",
+                result=VerificationResult(
+                    verdict=Verdict.MAX_FOUND, metrics=metrics
+                ),
+            )
+
+        report = CampaignReport([
+            cell({"cuts_added": 5, "cut_rounds": 2,
+                  "cuts_evicted": 1, "cut_separation_time": 0.25}),
+            cell({"cuts_added": 3, "cut_rounds": 1,
+                  "cut_separation_time": 0.5}),
+        ])
+        assert report.total_cuts_added == 8
+        assert report.total_cut_rounds == 3
+        assert report.total_cuts_evicted == 1
+        assert report.total_cut_separation_time == pytest.approx(0.75)
+        assert "cutting planes: 8 added over 3 rounds" in report.summary()

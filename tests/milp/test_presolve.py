@@ -77,3 +77,39 @@ class TestPropagation:
         model = Model()
         model.add_var("x", ub=1)
         assert propagate_bounds(model) == 0
+
+
+class TestIntegralityRoundingTolerance:
+    """Regression: integrality rounding must scale with row magnitude.
+
+    ``limit = rhs - residual`` suffers catastrophic cancellation on
+    large-coefficient rows, so the quotient ``limit / coef`` can come
+    out short of an exactly-integral bound by more than the historical
+    absolute ``1e-6`` — and ``floor(. + 1e-6)`` then cut off a feasible
+    integer point.  The instance below was found by searching for
+    doubles where the float path computes ``4.99998...`` while the
+    exact rational limit admits ``x = 5``.
+    """
+
+    def test_large_coefficient_row_keeps_integer_point(self):
+        c1, c2 = 66834137512.13679, 88015917290.91464
+        y1v, y2v = 1.0216646826286313, 1.8973057583660942
+        rhs = 235275184609.02176  # exact float of c1*y1 + c2*y2 + 15
+
+        model = Model()
+        y1 = model.add_var("y1", lb=y1v, ub=y1v)
+        y2 = model.add_var("y2", lb=y2v, ub=y2v)
+        x = model.add_var("x", lb=0.0, ub=10.0, vtype=VarType.INTEGER)
+        model.add_constr(c1 * y1 + c2 * y2 + 3.0 * x <= rhs)
+        propagate_bounds(model)
+        # The exact limit is >= 15, so x = 5 is feasible; the absolute
+        # tolerance used to floor the bound to 4.
+        assert model.ub[x.index] == pytest.approx(5.0)
+
+    def test_small_rows_keep_tight_rounding(self):
+        model = Model()
+        x = model.add_var("x", lb=0.0, ub=10.0, vtype=VarType.INTEGER)
+        model.add_constr(2 * x <= 9.5)
+        propagate_bounds(model)
+        # Well-scaled rows still round tightly: 4.75 -> 4, not 5.
+        assert model.ub[x.index] == pytest.approx(4.0)

@@ -1,0 +1,45 @@
+"""``repro.analysis`` — static analysis for the verification stack.
+
+Two pillars, both of which run *before* any solver:
+
+* :mod:`repro.analysis.symbolic` — a DeepPoly-style symbolic bound
+  propagator: per-neuron linear lower/upper relaxations back-substituted
+  towards the input region, concretised at every intermediate layer, so
+  the resulting pre-activation bounds are provably no looser than
+  interval propagation (and in practice far tighter).  Plugged into the
+  bounds pipeline as ``bound_mode="symbolic"``; ``bound_mode="lp"`` now
+  seeds its per-neuron LPs from symbolic bounds (interval → symbolic →
+  LP).  :func:`symbolic_objective_bounds` bounds a linear output
+  functional directly, which is how decision queries get proved with
+  ``solver="static"`` and no MILP at all.
+
+* :mod:`repro.analysis.audit` — a static soundness auditor over trained
+  networks, input regions and emitted MILP encodings, producing
+  machine-readable diagnostics (stable ``A…`` codes, error/warning
+  severities) that campaigns gate on before spending solver time and
+  that ``repro audit`` exposes as a CLI.
+"""
+
+from repro.analysis.audit import (
+    AuditReport,
+    Diagnostic,
+    Severity,
+    audit_encoding,
+    audit_network,
+    audit_region,
+)
+from repro.analysis.symbolic import (
+    symbolic_bounds,
+    symbolic_objective_bounds,
+)
+
+__all__ = [
+    "AuditReport",
+    "Diagnostic",
+    "Severity",
+    "audit_encoding",
+    "audit_network",
+    "audit_region",
+    "symbolic_bounds",
+    "symbolic_objective_bounds",
+]

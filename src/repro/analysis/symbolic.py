@@ -1,0 +1,339 @@
+"""DeepPoly-style symbolic bound propagation for ReLU networks.
+
+Every neuron gets a *symbolic* linear lower and upper relaxation of its
+ReLU (Singh et al.'s DeepPoly domain; cf. Wang et al., "Efficient Formal
+Safety Analysis of Neural Networks"):
+
+* stable-active neurons pass through unchanged (slope 1 both sides);
+* stable-inactive neurons vanish (slope 0 both sides);
+* an unstable neuron with pre-activation bounds ``[l, u]`` is bounded
+  above by the chord ``relu(z) <= u (z - l) / (u - l)`` and below by a
+  line ``relu(z) >= alpha z`` — any ``alpha`` in ``[0, 1]`` is sound,
+  and the backward pass is run once per *policy* (the area-optimal
+  choice, ``alpha = 0`` everywhere, ``alpha = 1`` everywhere) with the
+  elementwise-best result kept, a cheap 3x-cost stand-in for per-neuron
+  alpha optimisation.
+
+To bound a layer's pre-activations the affine form is **back-substituted**
+through the relaxations, one layer at a time, towards the input region —
+and *concretised at every stop* against that layer's already-known
+post-activation box, keeping the best value seen.  The very first stop
+(the immediately preceding layer) reproduces plain interval propagation
+exactly, so the result is **provably no looser than**
+:func:`repro.core.bounds.interval_bounds`; every further substitution can
+only tighten it.  This dominates a fixed-depth backward pass (such as
+:mod:`repro.core.crown`, which only concretises at the input) because
+intermediate boxes sometimes beat the fully-substituted form on deep,
+wide-interval prefixes.
+
+Only the box part of an :class:`~repro.core.properties.InputRegion` is
+used; ignoring its linear constraints is sound (they can only shrink the
+true reachable set).
+
+:func:`symbolic_objective_bounds` runs the same machinery seeded with a
+linear functional of the *outputs* instead of a layer's weight rows —
+the one-shot bound that lets decision queries be proved statically, with
+no MILP ever built (see :meth:`repro.core.verifier.Verifier.prove`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bounds import LayerBounds, _interval_affine
+from repro.core.properties import InputRegion
+from repro.errors import EncodingError
+from repro.nn.network import FeedForwardNetwork
+
+__all__ = ["symbolic_bounds", "symbolic_objective_bounds"]
+
+#: Activations the backward relaxation knows how to traverse.
+_SUPPORTED = ("relu", "identity")
+
+#: Lower-relaxation slope policies for unstable neurons; each backward
+#: pass runs once per policy and the elementwise-best bound is kept.
+POLICIES = ("area", "zero", "one")
+
+
+def _relaxation_slopes(
+    lower: np.ndarray, upper: np.ndarray, policy: str = "area"
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-neuron ``(upper slope, upper intercept, lower slope, lower
+    intercept)`` of the ReLU relaxation given pre-activation bounds.
+
+    ``policy`` fixes the lower-relaxation slope ``alpha`` of unstable
+    neurons: ``"area"`` picks the area-optimal ``alpha in {0, 1}``,
+    ``"zero"``/``"one"`` force it — all three are sound, and which one
+    is tightest depends on the downstream coefficient signs.
+    """
+    n = lower.shape[0]
+    up_slope = np.zeros(n)
+    up_icept = np.zeros(n)
+    lo_slope = np.zeros(n)
+    lo_icept = np.zeros(n)
+
+    active = lower >= 0.0
+    up_slope[active] = 1.0
+    lo_slope[active] = 1.0
+    # Stable-inactive neurons keep the all-zero lines.
+    unstable = (~active) & (upper > 0.0)
+    lo_u = lower[unstable]
+    hi_u = upper[unstable]
+    chord = hi_u / (hi_u - lo_u)
+    up_slope[unstable] = chord
+    up_icept[unstable] = -chord * lo_u
+    if policy == "area":
+        lo_slope[unstable] = (hi_u >= -lo_u).astype(float)
+    elif policy == "one":
+        lo_slope[unstable] = 1.0
+    elif policy != "zero":
+        raise EncodingError(f"unknown relaxation policy {policy!r}")
+    return up_slope, up_icept, lo_slope, lo_icept
+
+
+def _concretize_hi(
+    coef: np.ndarray, bias: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """Maximum of ``coef @ v + bias`` over the box ``[lo, hi]``."""
+    pos = np.maximum(coef, 0.0)
+    neg = np.minimum(coef, 0.0)
+    return bias + pos @ hi + neg @ lo
+
+
+def _concretize_lo(
+    coef: np.ndarray, bias: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """Minimum of ``coef @ v + bias`` over the box ``[lo, hi]``."""
+    pos = np.maximum(coef, 0.0)
+    neg = np.minimum(coef, 0.0)
+    return bias + pos @ lo + neg @ hi
+
+
+def _post_box(
+    layer_bounds: LayerBounds, activation: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Post-activation box of a layer from its pre-activation bounds."""
+    if activation == "relu":
+        return (
+            np.maximum(layer_bounds.lower, 0.0),
+            np.maximum(layer_bounds.upper, 0.0),
+        )
+    return layer_bounds.lower, layer_bounds.upper
+
+
+def _check_supported(
+    network: FeedForwardNetwork, region: InputRegion
+) -> None:
+    for layer in network.layers[:-1]:
+        if layer.activation not in _SUPPORTED:
+            raise EncodingError(
+                "symbolic bounds support relu/identity hidden layers "
+                f"only (got {layer.activation!r})"
+            )
+    if region.dim != network.input_dim:
+        raise EncodingError(
+            f"region dim {region.dim} != network input {network.input_dim}"
+        )
+
+
+def _backsubstitute(
+    network: FeedForwardNetwork,
+    computed: List[LayerBounds],
+    post_boxes: List[Tuple[np.ndarray, np.ndarray]],
+    input_box: Tuple[np.ndarray, np.ndarray],
+    upper_coef: np.ndarray,
+    upper_bias: np.ndarray,
+    lower_coef: np.ndarray,
+    lower_bias: np.ndarray,
+    start: int,
+    policy: str = "area",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Anytime backward substitution of affine target forms.
+
+    The coefficients arrive expressed over the *post-activations of layer
+    ``start``*; the forms are pushed backward one layer at a time and
+    concretised at every stop (including the initial one, which equals
+    interval propagation), returning the elementwise best lower/upper
+    values seen along the way.
+    """
+    input_lo, input_hi = input_box
+    box_lo, box_hi = post_boxes[start]
+    best_hi = _concretize_hi(upper_coef, upper_bias, box_lo, box_hi)
+    best_lo = _concretize_lo(lower_coef, lower_bias, box_lo, box_hi)
+
+    for k in range(start, -1, -1):
+        layer_k = network.layers[k]
+        if layer_k.activation == "relu":
+            us, ui, ls, li = _relaxation_slopes(
+                computed[k].lower, computed[k].upper, policy
+            )
+            # Pick the relaxation per coefficient sign, separately for
+            # the upper-bound rows and the lower-bound rows.
+            up_pos = np.maximum(upper_coef, 0.0)
+            up_neg = np.minimum(upper_coef, 0.0)
+            upper_bias = upper_bias + up_pos @ ui + up_neg @ li
+            upper_coef = up_pos * us + up_neg * ls
+            lo_pos = np.maximum(lower_coef, 0.0)
+            lo_neg = np.minimum(lower_coef, 0.0)
+            lower_bias = lower_bias + lo_pos @ li + lo_neg @ ui
+            lower_coef = lo_pos * ls + lo_neg * us
+        # identity: coefficients pass through unchanged.
+
+        # Through the affine part of layer k: z_k = a_{k-1} @ W_k + b_k.
+        wk = network.layers[k].weights
+        bk = network.layers[k].bias
+        upper_bias = upper_bias + upper_coef @ bk
+        lower_bias = lower_bias + lower_coef @ bk
+        upper_coef = upper_coef @ wk.T
+        lower_coef = lower_coef @ wk.T
+
+        if k > 0:
+            box_lo, box_hi = post_boxes[k - 1]
+        else:
+            box_lo, box_hi = input_lo, input_hi
+        best_hi = np.minimum(
+            best_hi, _concretize_hi(upper_coef, upper_bias, box_lo, box_hi)
+        )
+        best_lo = np.maximum(
+            best_lo, _concretize_lo(lower_coef, lower_bias, box_lo, box_hi)
+        )
+    return best_lo, best_hi
+
+
+def _best_backsubstitute(
+    network: FeedForwardNetwork,
+    computed: List[LayerBounds],
+    post_boxes: List[Tuple[np.ndarray, np.ndarray]],
+    input_box: Tuple[np.ndarray, np.ndarray],
+    coef: np.ndarray,
+    bias: np.ndarray,
+    start: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backward substitution under every slope policy, elementwise best.
+
+    Each policy yields sound bounds, so the intersection is sound too;
+    which policy wins depends on the signs the coefficients pick up as
+    they travel backward, which is why no single choice dominates.
+    """
+    best_lo: Optional[np.ndarray] = None
+    best_hi: Optional[np.ndarray] = None
+    for policy in POLICIES:
+        lo, hi = _backsubstitute(
+            network, computed, post_boxes, input_box,
+            coef.copy(), bias.copy(), coef.copy(), bias.copy(),
+            start, policy,
+        )
+        best_lo = lo if best_lo is None else np.maximum(best_lo, lo)
+        best_hi = hi if best_hi is None else np.minimum(best_hi, hi)
+    assert best_lo is not None and best_hi is not None
+    # Numerical safety: candidates are individually sound, so a crossing
+    # can only be float rounding — collapse it.
+    crossed = best_lo > best_hi
+    if np.any(crossed):
+        mid = 0.5 * (best_lo[crossed] + best_hi[crossed])
+        best_lo[crossed] = mid
+        best_hi[crossed] = mid
+    return best_lo, best_hi
+
+
+def symbolic_bounds(
+    network: FeedForwardNetwork, region: InputRegion
+) -> List[LayerBounds]:
+    """Pre-activation bounds for every layer via symbolic propagation.
+
+    Provably no looser than :func:`repro.core.bounds.interval_bounds`
+    on every neuron (the first concretisation stop *is* the interval
+    value); typically far tighter on deep layers, where interval
+    propagation compounds its per-layer over-approximation.
+    """
+    _check_supported(network, region)
+    input_lo = region.bounds[:, 0].copy()
+    input_hi = region.bounds[:, 1].copy()
+
+    computed: List[LayerBounds] = []
+    post_boxes: List[Tuple[np.ndarray, np.ndarray]] = []
+    for index, layer in enumerate(network.layers):
+        if index == 0:
+            # Affine over the input box: the interval image is exact.
+            lo, hi = _interval_affine(
+                input_lo, input_hi, layer.weights, layer.bias
+            )
+        else:
+            targets = layer.weights.T  # (fan_out, width_{k-1})
+            lo, hi = _best_backsubstitute(
+                network,
+                computed,
+                post_boxes,
+                (input_lo, input_hi),
+                targets,
+                layer.bias,
+                start=index - 1,
+            )
+        bounds = LayerBounds(lo, hi)
+        computed.append(bounds)
+        post_boxes.append(_post_box(bounds, layer.activation))
+    return computed
+
+
+def symbolic_objective_bounds(
+    network: FeedForwardNetwork,
+    region: InputRegion,
+    coefficients: Mapping[int, float],
+    bounds: Optional[List[LayerBounds]] = None,
+) -> Tuple[float, float]:
+    """Sound ``(lower, upper)`` bounds on ``sum c_i * out_i`` over the region.
+
+    Seeds the backward pass with the objective row itself instead of a
+    layer's weight matrix, so the whole functional is bounded in one
+    substitution chain (tighter than combining per-output bounds, which
+    would lose all cross-output cancellation).  The output layer must be
+    linear.  ``bounds`` may carry precomputed symbolic layer bounds to
+    reuse; they must describe the same network over the same region.
+    """
+    _check_supported(network, region)
+    if network.layers[-1].activation != "identity":
+        raise EncodingError(
+            "objective bounds need a linear output layer "
+            f"(got {network.layers[-1].activation!r})"
+        )
+    c = np.zeros(network.output_dim)
+    for idx, coef in coefficients.items():
+        if not 0 <= idx < network.output_dim:
+            raise EncodingError(
+                f"objective references output {idx}, network has "
+                f"{network.output_dim}"
+            )
+        c[idx] = coef
+
+    computed = bounds if bounds is not None else symbolic_bounds(
+        network, region
+    )
+    input_lo = region.bounds[:, 0].copy()
+    input_hi = region.bounds[:, 1].copy()
+    out_layer = network.layers[-1]
+    # Fold the objective through the output layer's affine part:
+    # objective = c @ (a_{L-1} @ W_L + b_L).
+    seed = (c @ out_layer.weights.T)[np.newaxis, :]
+    seed_bias = np.array([float(c @ out_layer.bias)])
+
+    if len(network.layers) == 1:
+        lo = _concretize_lo(seed, seed_bias, input_lo, input_hi)
+        hi = _concretize_hi(seed, seed_bias, input_lo, input_hi)
+        return float(lo[0]), float(hi[0])
+
+    post_boxes = [
+        _post_box(lb, layer.activation)
+        for lb, layer in zip(computed, network.layers)
+    ]
+    lo, hi = _best_backsubstitute(
+        network,
+        computed,
+        post_boxes,
+        (input_lo, input_hi),
+        seed,
+        seed_bias,
+        start=len(network.layers) - 2,
+    )
+    return float(lo[0]), float(hi[0])

@@ -24,10 +24,7 @@ import numpy as np
 from repro.core.certification import CertificationCase, Pillar
 from repro.core.coverage import mcdc_census
 from repro.core.encoder import EncoderOptions
-from repro.core.properties import (
-    InputRegion,
-    vehicle_on_left_region,
-)
+from repro.core.properties import InputRegion
 from repro.core.traceability import TraceabilityAnalyzer
 from repro.core.verifier import TableIIRow, Verdict, Verifier
 from repro.data.dataset import DrivingDataset

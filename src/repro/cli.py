@@ -7,6 +7,7 @@ The five pipeline stages map onto subcommands::
     python -m repro.cli train    --data data.npz --width 10 --out net.json
     python -m repro.cli verify   --data data.npz --net net.json
     python -m repro.cli campaign --data data.npz --net a.json --net b.json --jobs 4
+    python -m repro.cli audit    --data data.npz --net net.json --json audit.json
     python -m repro.cli certify  --data data.npz --net net.json
     python -m repro.cli figure1  --data data.npz --net net.json
     python -m repro.cli trace summarize out.jsonl
@@ -157,10 +158,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--bound-mode", default="lp",
-        choices=("interval", "crown", "lp"),
+        choices=("interval", "crown", "symbolic", "lp"),
     )
     _add_solver_args(campaign)
     _add_observability_args(campaign)
+
+    audit = sub.add_parser(
+        "audit",
+        help="static soundness audit: lint networks (and, with --data, "
+        "the verification region and the emitted MILP encoding) without "
+        "running any solver; exits 1 on error diagnostics",
+    )
+    audit.add_argument(
+        "--net", required=True, action="append",
+        help="network .json path (repeatable)",
+    )
+    audit.add_argument(
+        "--data", default=None,
+        help="dataset .npz; also audits the operational region and the "
+        "network's MILP encoding over it",
+    )
+    audit.add_argument("--components", type=int, default=2)
+    audit.add_argument(
+        "--bound-mode", default="symbolic",
+        choices=("interval", "crown", "symbolic", "lp"),
+        help="bound engine for the audited encoding (encoding audits "
+        "check big-M rows against these certified bounds)",
+    )
+    audit.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable diagnostics to PATH",
+    )
 
     certify = sub.add_parser(
         "certify", help="assemble the three-pillar certification case"
@@ -398,6 +426,51 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if report.all_passed else 1
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Static soundness audit over networks (+ region/encoding).
+
+    Pure inspection — no solver runs.  Exit code 1 when any *error*
+    diagnostic is found (warnings alone exit 0), so pipelines can gate
+    on artifact soundness before spending verification time.
+    """
+    import json as _json
+
+    from repro.analysis.audit import (
+        AuditReport,
+        audit_encoding,
+        audit_network,
+        audit_region,
+    )
+
+    study = (
+        _load_study(args.data, args.components) if args.data else None
+    )
+    report = AuditReport()
+    for path in args.net:
+        network = load_network(path)
+        logger.info(
+            "auditing %s (%s)", path, network.architecture_id
+        )
+        report.extend(audit_network(network))
+        if study is not None:
+            region = casestudy.operational_region(study)
+            report.extend(audit_region(region))
+            from repro.core.encoder import EncoderOptions, encode_network
+
+            encoded = encode_network(
+                network, region,
+                EncoderOptions(bound_mode=args.bound_mode),
+            )
+            report.extend(audit_encoding(encoded))
+    logger.info(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        logger.info("diagnostics written to %s", args.json)
+    return 1 if report.has_errors else 0
+
+
 def _cmd_certify(args: argparse.Namespace) -> int:
     study = _load_study(args.data, args.components)
     network = load_network(args.net)
@@ -464,6 +537,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "verify": _cmd_verify,
         "campaign": _cmd_campaign,
+        "audit": _cmd_audit,
         "certify": _cmd_certify,
         "figure1": _cmd_figure1,
         "trace": _cmd_trace,

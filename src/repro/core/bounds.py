@@ -26,6 +26,7 @@ from repro.errors import EncodingError
 from repro.milp.scipy_backend import solve_lp
 from repro.milp.status import SolveStatus
 from repro.nn.network import FeedForwardNetwork
+from repro.tolerances import BOUND_CROSS_TOL, FEASIBILITY_TOL
 
 
 @dataclasses.dataclass
@@ -36,7 +37,7 @@ class LayerBounds:
     upper: np.ndarray
 
     def __post_init__(self) -> None:
-        if np.any(self.lower > self.upper + 1e-9):
+        if np.any(self.lower > self.upper + BOUND_CROSS_TOL):
             raise EncodingError("layer bounds crossed (lower > upper)")
 
     @property
@@ -103,7 +104,7 @@ def _repair_crossed_bounds(
     new_hi: np.ndarray,
     seed_lo: np.ndarray,
     seed_hi: np.ndarray,
-    tol: float = 1e-6,
+    tol: float = FEASIBILITY_TOL,
 ) -> None:
     """Resolve numerically crossed tightened bounds, in place, per side.
 

@@ -220,6 +220,13 @@ class CampaignReport:
         """Seconds spent inside cut separators across all cells."""
         return sum(c.result.cut_separation_time for c in self.cells)
 
+    @property
+    def static_proofs(self) -> int:
+        """Cells proved by the symbolic static analyzer — no MILP built."""
+        return sum(
+            1 for c in self.cells if c.result.solver == "static"
+        )
+
     def failures(self) -> List[CampaignCell]:
         """Cells that did not complete (falsified, timed out, errored)."""
         return [c for c in self.cells if not c.passed]
@@ -291,6 +298,12 @@ class CampaignReport:
             f"cell time {self.total_cell_time:.1f}s "
             f"(speedup {self.speedup:.1f}x)",
         ]
+        if self.static_proofs:
+            lines.append(
+                f"static analysis: {self.static_proofs} cell"
+                f"{'s' if self.static_proofs != 1 else ''} proved "
+                "symbolically (no MILP built)"
+            )
         attempts = sum(c.result.warm_start_attempts for c in self.cells)
         if attempts:
             lines.append(
@@ -324,6 +337,9 @@ class _CellTask:
     bounds_key: Tuple[str, str, str]
     bounds: Optional[List[LayerBounds]] = None
     bounds_error: Optional[str] = None
+    #: Rendered error diagnostics from the static pre-solve audit; a
+    #: cell carrying one becomes an ERROR cell without any solver time.
+    audit_error: Optional[str] = None
     #: ``(run_id, span_id_prefix)`` when the campaign is traced; the
     #: worker builds a relay tracer from it (see :func:`_worker_tracer`).
     trace_cfg: Optional[Tuple[str, str]] = None
@@ -386,6 +402,20 @@ def _run_cell_task(task: _CellTask) -> CampaignCell:
     start = time.monotonic()
     tracer, sink = _worker_tracer(task.trace_cfg)
     trc = as_tracer(tracer)
+    if task.audit_error is not None:
+        with trc.span(
+            "cell", network=task.network_name, query=task.query.name,
+            kind=task.query.kind,
+        ) as span:
+            span.set(verdict=Verdict.ERROR.value)
+        return _error_cell(
+            task,
+            "static audit rejected the cell's inputs: "
+            + "; ".join(task.audit_error.splitlines()),
+            task.audit_error,
+            0.0,
+            records=_sink_records(sink),
+        )
     if task.bounds_error is not None:
         with trc.span(
             "cell", network=task.network_name, query=task.query.name,
@@ -480,11 +510,18 @@ class VerificationCampaign:
         milp_options: Optional[MILPOptions] = None,
         jobs: Optional[int] = None,
         cell_time_limit: Optional[float] = None,
+        audit: bool = True,
     ) -> None:
         self.encoder_options = encoder_options or EncoderOptions()
         self.milp_options = milp_options or MILPOptions(time_limit=120.0)
         self.jobs = jobs
         self.cell_time_limit = cell_time_limit
+        #: Run the static soundness audit (:mod:`repro.analysis.audit`)
+        #: over every network and region before solving; cells whose
+        #: inputs carry *error* diagnostics become ERROR cells without
+        #: spending any solver time.  Pure inspection: clean inputs are
+        #: verified exactly as with ``audit=False``.
+        self.audit = audit
         self._networks: Dict[str, FeedForwardNetwork] = {}
         self._queries: Dict[str, CampaignQuery] = {}
 
@@ -563,6 +600,8 @@ class VerificationCampaign:
         workers = resolve_jobs(jobs if jobs is not None else self.jobs)
         start = time.monotonic()
         tasks = self._build_tasks()
+        if self.audit:
+            self._audit_tasks(tasks, tracer)
         if tracer.enabled:
             for task in tasks:
                 task.trace_cfg = (tracer.run_id, f"c{task.index}.")
@@ -585,6 +624,48 @@ class VerificationCampaign:
                 pass_rate=report.pass_rate,
             )
         return report
+
+    def _audit_tasks(self, tasks: List[_CellTask], tracer) -> None:
+        """Static pre-solve audit: attach error diagnostics to cells.
+
+        Each distinct network and region is audited once; a cell whose
+        network *or* region carries error diagnostics gets the rendered
+        report attached and is turned into an ERROR cell by the runner
+        before any bounds or MILP work happens.
+        """
+        from repro.analysis.audit import audit_network, audit_region
+
+        with tracer.span("audit", cells=len(tasks)) as span:
+            network_reports = {
+                name: audit_network(network)
+                for name, network in self._networks.items()
+            }
+            region_reports = {
+                query.name: audit_region(query.region)
+                for query in self._queries.values()
+            }
+            flagged = 0
+            for task in tasks:
+                parts = []
+                net_report = network_reports[task.network_name]
+                if net_report.has_errors:
+                    parts.append(net_report.render())
+                region_report = region_reports[task.query.name]
+                if region_report.has_errors:
+                    parts.append(region_report.render())
+                if parts:
+                    task.audit_error = "\n".join(parts)
+                    flagged += 1
+            span.set(
+                flagged=flagged,
+                errors=sum(
+                    len(r.errors)
+                    for r in (
+                        list(network_reports.values())
+                        + list(region_reports.values())
+                    )
+                ),
+            )
 
     def _build_tasks(self) -> List[_CellTask]:
         tasks = []
@@ -617,12 +698,13 @@ class VerificationCampaign:
         cache = BoundsCache()
         cells: List[CampaignCell] = []
         for task in tasks:
-            task.bounds, task.bounds_error = cache.lookup(
-                task.network,
-                task.query.region,
-                self.encoder_options.bound_mode,
-                tracer=tracer if tracer.enabled else None,
-            )
+            if task.audit_error is None:
+                task.bounds, task.bounds_error = cache.lookup(
+                    task.network,
+                    task.query.region,
+                    self.encoder_options.bound_mode,
+                    tracer=tracer if tracer.enabled else None,
+                )
             cell = _run_cell_task(task)
             for record in cell.trace_records:
                 tracer.emit(record)
@@ -648,6 +730,8 @@ class VerificationCampaign:
         unique: Dict[Tuple[str, str, str],
                      Tuple[FeedForwardNetwork, InputRegion]] = {}
         for task in tasks:
+            if task.audit_error is not None:
+                continue  # the cell is already decided; skip its bounds
             unique.setdefault(
                 task.bounds_key, (task.network, task.query.region)
             )
@@ -672,6 +756,8 @@ class VerificationCampaign:
                 for record in records:
                     tracer.emit(record)
             for task in tasks:
+                if task.audit_error is not None:
+                    continue
                 task.bounds, task.bounds_error = bounds_by_key[
                     task.bounds_key
                 ]

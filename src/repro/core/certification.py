@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.errors import CertificationError
 

@@ -35,6 +35,7 @@ from repro.milp.expr import LinExpr, Sense, Variable, VarType
 from repro.milp.model import Model
 from repro.nn.network import FeedForwardNetwork
 from repro.obs.trace import as_tracer
+from repro.tolerances import BOUND_MARGIN
 
 
 @dataclasses.dataclass
@@ -42,11 +43,17 @@ class EncoderOptions:
     """Encoding tunables."""
 
     #: "interval" (cheap), "crown" (backward linear relaxation — tighter
-    #: than interval at a fraction of the LP cost) or "lp" (tightest;
-    #: recommended, the paper-scale instances are intractable without it).
+    #: than interval at a fraction of the LP cost), "symbolic" (DeepPoly
+    #: back-substitution with anytime concretisation, provably no looser
+    #: than interval) or "lp" (tightest; per-neuron LPs seeded from
+    #: symbolic bounds — interval → symbolic → LP; recommended, the
+    #: paper-scale instances are intractable without it).
     bound_mode: str = "lp"
     #: Extra slack added to every big-M bound for numerical safety.
-    bound_margin: float = 1e-6
+    bound_margin: float = BOUND_MARGIN
+    #: Try a symbolic static proof before building a MILP for decision
+    #: queries (see :meth:`repro.core.verifier.Verifier.prove`).
+    static_prescreen: bool = True
 
 
 @dataclasses.dataclass
@@ -93,12 +100,24 @@ def compute_bounds(
             from repro.core.crown import crown_bounds
 
             bounds = crown_bounds(network, region)
+        elif options.bound_mode == "symbolic":
+            from repro.analysis.symbolic import symbolic_bounds
+
+            bounds = symbolic_bounds(network, region)
         elif options.bound_mode == "lp":
-            bounds = lp_tightened_bounds(network, region)
+            # Seed the per-neuron LPs from symbolic bounds: the tighter
+            # seed sharpens every triangle relaxation the LPs optimise
+            # over (interval -> symbolic -> LP ordering).
+            from repro.analysis.symbolic import symbolic_bounds
+
+            bounds = lp_tightened_bounds(
+                network, region,
+                seed_bounds=symbolic_bounds(network, region),
+            )
         else:
             raise EncodingError(
                 f"unknown bound_mode {options.bound_mode!r} "
-                "(expected 'interval', 'crown' or 'lp')"
+                "(expected 'interval', 'crown', 'symbolic' or 'lp')"
             )
         span.set(binaries_needed=total_ambiguous(bounds, network))
         return bounds

@@ -15,7 +15,7 @@ controllers — the network proposes, the monitor disposes.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

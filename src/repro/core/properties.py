@@ -19,13 +19,14 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
 from repro.errors import EncodingError
 from repro.highway.features import FeatureEncoder, feature_index
 from repro.nn.mdn import mu_lat_indices
+from repro.tolerances import BOUND_CROSS_TOL, REGION_TOL
 
 
 @dataclasses.dataclass
@@ -106,7 +107,7 @@ class InputRegion:
         return self
 
     # -- membership -----------------------------------------------------------
-    def contains(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+    def contains(self, x: np.ndarray, tol: float = REGION_TOL) -> bool:
         """Membership test (box and linear constraints, within tol)."""
         x = np.asarray(x, dtype=float)
         if x.shape != (self.dim,):
@@ -202,7 +203,9 @@ class SafetyProperty:
     objective: OutputObjective
     threshold: float
 
-    def holds_on(self, outputs: np.ndarray, tol: float = 1e-9) -> bool:
+    def holds_on(
+        self, outputs: np.ndarray, tol: float = BOUND_CROSS_TOL
+    ) -> bool:
         """Check the requirement on one concrete output vector."""
         return self.objective.value(outputs) <= self.threshold + tol
 

@@ -76,6 +76,11 @@ class VerificationResult:
     num_binaries: int = 0
     description: str = ""
     lp_iterations: int = 0
+    #: Which engine produced the verdict: ``"milp"`` (branch and bound)
+    #: or ``"static"`` (a symbolic output bound cleared the threshold and
+    #: no MILP was ever built — see
+    #: :func:`repro.analysis.symbolic.symbolic_objective_bounds`).
+    solver: str = "milp"
     #: Solver-telemetry snapshot threaded up from ``MILPResult.metrics``
     #: (warm-start accounting and future instruments); the historical
     #: attribute names below read from this mapping.
@@ -307,12 +312,66 @@ class Verifier:
             span.set(verdict=result.verdict.value, nodes=result.nodes)
             return result
 
+    def _static_prove(
+        self,
+        prop: SafetyProperty,
+        precomputed_bounds: Optional[List[LayerBounds]],
+        start: float,
+    ) -> Optional[VerificationResult]:
+        """Try to prove the property symbolically, without any MILP.
+
+        Back-substitutes the objective functional to the input region
+        (see :func:`repro.analysis.symbolic.symbolic_objective_bounds`);
+        when the resulting sound upper bound clears the threshold — with
+        the encoder's numeric safety margin to spare — the property is
+        VERIFIED with ``solver="static"``.  Returns ``None`` when the
+        bound is inconclusive or the network shape is unsupported, in
+        which case the caller falls back to the full MILP decision
+        procedure.  ``precomputed_bounds`` (any sound layer bounds, e.g.
+        the cell's shared LP-tightened set) sharpen the relaxations.
+        """
+        if not self.encoder_options.static_prescreen:
+            return None
+        from repro.analysis.symbolic import symbolic_objective_bounds
+
+        try:
+            with self.tracer.span(
+                "static", property=prop.name,
+                network=self.network.architecture_id,
+            ) as span:
+                _, upper = symbolic_objective_bounds(
+                    self.network,
+                    prop.region,
+                    prop.objective.coefficients,
+                    bounds=precomputed_bounds,
+                )
+                proved = (
+                    upper <= prop.threshold
+                    - self.encoder_options.bound_margin
+                )
+                span.set(upper=upper, proved=proved)
+        except EncodingError:
+            return None  # unsupported shape: the MILP path decides
+        if not proved:
+            return None
+        return VerificationResult(
+            verdict=Verdict.VERIFIED,
+            value=prop.threshold,
+            best_bound=upper,
+            wall_time=time.monotonic() - start,
+            description=prop.name,
+            solver="static",
+        )
+
     def _prove(
         self,
         prop: SafetyProperty,
         precomputed_bounds: Optional[List[LayerBounds]],
     ) -> VerificationResult:
         start = time.monotonic()
+        static = self._static_prove(prop, precomputed_bounds, start)
+        if static is not None:
+            return static
         encoded = encode_network(
             self.network,
             prop.region,

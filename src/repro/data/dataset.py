@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 

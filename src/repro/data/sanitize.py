@@ -10,7 +10,7 @@ whole operation in the provenance log so the certification case can show
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.data.dataset import DrivingDataset
 from repro.data.provenance import ProvenanceLog

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.data.dataset import DrivingDataset
 from repro.errors import ValidationError
-from repro.highway.features import FeatureEncoder, feature_index
+from repro.highway.features import FeatureEncoder
 
 
 @dataclasses.dataclass

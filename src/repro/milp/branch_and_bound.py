@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.milp.expr import Sense
 from repro.milp.model import Model
+from repro.tolerances import GAP_TOL, INTEGRALITY_TOL
 from repro.milp import cuts as cuts_mod
 from repro.milp import presolve as presolve_mod
 from repro.milp import revised_simplex, scipy_backend, simplex
@@ -105,8 +106,8 @@ class MILPOptions:
     lp_backend: str = "highs"
     time_limit: float = math.inf
     node_limit: int = 200000
-    int_tol: float = 1e-6
-    gap_tol: float = 1e-6
+    int_tol: float = INTEGRALITY_TOL
+    gap_tol: float = GAP_TOL
     branching: str = "pseudocost"
     node_selection: str = "hybrid"
     warm_start: bool = True

@@ -40,6 +40,7 @@ from repro.milp.revised_simplex import (
     FREE,
     TableauView,
 )
+from repro.tolerances import EPS
 
 __all__ = [
     "Cut",
@@ -59,8 +60,9 @@ MIN_FRACTION = 5e-3
 MAX_DYNAMISM = 1e7
 #: Coefficients below ``max|coef| * _DROP_REL`` are folded into the rhs.
 _DROP_REL = 1e-10
-#: Integrality tolerance for shift bounds.
-_INT_TOL = 1e-9
+#: Integrality tolerance for shift bounds (bound values, not incumbent
+#: integrality — hence the zero-screening EPS, not INTEGRALITY_TOL).
+_INT_TOL = EPS
 
 
 @dataclasses.dataclass

@@ -20,6 +20,7 @@ import numbers
 from typing import Dict, Iterable, Mapping, Tuple, Union
 
 from repro.errors import ModelError
+from repro.tolerances import FEASIBILITY_TOL
 
 Number = Union[int, float]
 
@@ -249,7 +250,7 @@ class Constraint:
         return -self.expr.constant
 
     def satisfied(
-        self, assignment: Mapping[int, float], tol: float = 1e-6
+        self, assignment: Mapping[int, float], tol: float = FEASIBILITY_TOL
     ) -> bool:
         """Check the constraint under an assignment within tolerance."""
         lhs = sum(

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ModelError
+from repro.tolerances import FEASIBILITY_TOL
 from repro.milp.expr import (
     Constraint,
     ConstraintOp,
@@ -280,7 +281,9 @@ class Model:
         """Objective of a point in the model's own sense."""
         return self.objective.value({i: x[i] for i in range(self.num_vars)})
 
-    def is_feasible(self, x: Sequence[float], tol: float = 1e-6) -> bool:
+    def is_feasible(
+        self, x: Sequence[float], tol: float = FEASIBILITY_TOL
+    ) -> bool:
         """Check bounds, constraints and integrality of a candidate point."""
         assignment = {i: float(x[i]) for i in range(self.num_vars)}
         for i in range(self.num_vars):

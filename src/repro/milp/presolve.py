@@ -17,8 +17,9 @@ from typing import List, Tuple
 from repro.errors import ModelError
 from repro.milp.expr import ConstraintOp, VarType
 from repro.milp.model import Model
+from repro.tolerances import EPS
 
-_TOL = 1e-9
+_TOL = EPS
 
 
 class InfeasiblePresolve(ModelError):

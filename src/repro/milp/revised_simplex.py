@@ -38,15 +38,16 @@ import numpy as np
 
 from repro.milp.solution import LPResult
 from repro.milp.status import SolveStatus
+from repro.tolerances import EPS, LP_DUAL_TOL, LP_FEAS_TOL, LP_PIVOT_TOL
 
 #: Nonbasic-at-lower-bound / nonbasic-at-upper-bound / basic / nonbasic free
 #: (free nonbasics rest at zero).
 AT_LOWER, AT_UPPER, BASIC, FREE = 0, 1, 2, 3
 
-_EPS = 1e-9
-_DUAL_TOL = 1e-7
-_FEAS_TOL = 1e-7
-_PIVOT_TOL = 1e-7
+_EPS = EPS
+_DUAL_TOL = LP_DUAL_TOL
+_FEAS_TOL = LP_FEAS_TOL
+_PIVOT_TOL = LP_PIVOT_TOL
 _BLAND_AFTER = 2000
 _REFACTOR_EVERY = 64
 _MAX_ITER_DEFAULT = 50000

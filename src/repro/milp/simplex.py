@@ -30,13 +30,14 @@ import numpy as np
 
 from repro.milp.solution import LPResult
 from repro.milp.status import SolveStatus
+from repro.tolerances import EPS, LP_FEAS_TOL, LP_PIVOT_TOL
 
-_EPS = 1e-9
+_EPS = EPS
 #: Minimum magnitude of a pivot element.  Pivoting on near-zero entries
 #: (say 1e-9) divides the tableau by them and destroys all precision, so
 #: the ratio test only considers comfortably-positive column entries.
-_PIVOT_TOL = 1e-7
-_FEAS_TOL = 1e-7
+_PIVOT_TOL = LP_PIVOT_TOL
+_FEAS_TOL = LP_FEAS_TOL
 _BLAND_AFTER = 2000
 _MAX_ITER_DEFAULT = 50000
 

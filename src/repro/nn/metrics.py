@@ -10,7 +10,6 @@ output layout of :mod:`repro.nn.mdn`.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Tuple
 
 import numpy as np

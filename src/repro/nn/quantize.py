@@ -21,8 +21,7 @@ validated by the test suite on random inputs.
 from __future__ import annotations
 
 import dataclasses
-import math
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

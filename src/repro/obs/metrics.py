@@ -13,7 +13,7 @@ one in a hot loop costs an attribute add, nothing more.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Mapping
 
 __all__ = [
     "Counter",

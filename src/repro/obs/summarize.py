@@ -26,7 +26,9 @@ __all__ = [
 ]
 
 #: Phase span names whose durations make up the verification pipeline.
-PHASES = ("bounds", "encode", "solve")
+#: ``audit`` is the campaign's static pre-solve lint; ``static`` the
+#: symbolic proof attempt that may settle a decision query MILP-free.
+PHASES = ("audit", "bounds", "static", "encode", "solve")
 
 
 def load_trace(path: str) -> List[Dict[str, Any]]:

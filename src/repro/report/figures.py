@@ -16,7 +16,6 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.highway.road import Road
 from repro.highway.simulator import HighwaySimulator
 from repro.nn.mdn import LATERAL, LONGITUDINAL, GaussianMixture
 

@@ -1,0 +1,68 @@
+"""Numeric tolerances shared by the whole verification stack.
+
+Every epsilon that decides a *semantic* question — "is this point
+feasible", "is this value integral", "did these bounds cross" — lives
+here under one name, so the solver, the encoder and the static auditor
+(:mod:`repro.analysis.audit`) agree on what the words mean.  A bound the
+encoder certifies with ``BOUND_CROSS_TOL`` slack is exactly the bound
+the auditor re-checks; a point the branch-and-bound accepts as integral
+under ``INTEGRALITY_TOL`` is exactly what ``Model.is_feasible`` accepts.
+
+Scattered inline constants drift: before this module, the MILP layer
+used three different ``1e-6``/``1e-9`` literals for the same feasibility
+question, and the bounds layer a fourth.  Add new tolerances here, not
+inline.
+
+The constants fall into three families:
+
+* **semantic tolerances** (``FEASIBILITY_TOL``, ``INTEGRALITY_TOL``,
+  ``GAP_TOL``, ``REGION_TOL``, ``BOUND_CROSS_TOL``) — decide what counts
+  as feasible / integral / crossed;
+* **LP numerics** (``LP_FEAS_TOL``, ``LP_DUAL_TOL``, ``LP_PIVOT_TOL``)
+  — internal to the simplex engines, tighter than the semantic layer so
+  LP noise never flips a semantic decision;
+* **safety margins** (``BOUND_MARGIN``) — slack deliberately *added*
+  (e.g. to big-M coefficients) rather than compared against.
+"""
+
+from __future__ import annotations
+
+#: Absolute slack under which ``lower > upper`` is treated as numerical
+#: noise rather than genuinely crossed bounds (``LayerBounds``, the
+#: auditor's bound checks).
+BOUND_CROSS_TOL = 1e-9
+
+#: Constraint/bound feasibility slack for *semantic* feasibility checks:
+#: ``Model.is_feasible``, ``Constraint.satisfied``, incumbent
+#: acceptance.
+FEASIBILITY_TOL = 1e-6
+
+#: Distance from the nearest integer under which a value counts as
+#: integral (branch-and-bound, presolve rounding, the auditor's phase
+#: checks).
+INTEGRALITY_TOL = 1e-6
+
+#: Absolute best-bound-vs-incumbent gap at which branch-and-bound
+#: declares optimality.
+GAP_TOL = 1e-6
+
+#: Membership slack for input regions (``InputRegion.contains``) and
+#: runtime monitors.
+REGION_TOL = 1e-6
+
+#: Primal feasibility tolerance inside the simplex engines.
+LP_FEAS_TOL = 1e-7
+
+#: Reduced-cost (dual feasibility) tolerance inside the simplex engines.
+LP_DUAL_TOL = 1e-7
+
+#: Minimum acceptable pivot magnitude; smaller pivots destroy precision.
+LP_PIVOT_TOL = 1e-7
+
+#: Generic "this float is zero" threshold for coefficient screening
+#: (presolve, cut separation, basis algebra).
+EPS = 1e-9
+
+#: Slack *added* to every certified big-M bound by the encoder so LP
+#: round-off can never make a genuinely feasible activation infeasible.
+BOUND_MARGIN = 1e-6

@@ -1,0 +1,257 @@
+"""Symbolic (DeepPoly-style) bound tests: soundness, dominance, static proofs.
+
+The satellite bound-soundness regression lives here too: sampled
+pre-activations must sit inside the interval, symbolic and LP bounds,
+and each method must be no looser than the previous one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import symbolic_bounds, symbolic_objective_bounds
+from repro.core.bounds import (
+    interval_bounds,
+    lp_tightened_bounds,
+    total_ambiguous,
+)
+from repro.core.encoder import (
+    EncoderOptions,
+    attach_objective,
+    encode_network,
+)
+from repro.core.properties import (
+    InputRegion,
+    OutputObjective,
+    SafetyProperty,
+)
+from repro.core.verifier import Verdict, Verifier
+from repro.errors import EncodingError
+from repro.milp import solve_milp
+from repro.nn import FeedForwardNetwork
+
+
+def unit_region(dim):
+    return InputRegion(np.array([[-1.0, 1.0]] * dim))
+
+
+class TestSoundness:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_reachable_preactivations_inside(self, seed):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(4, [6, 6, 6], 2, rng=rng)
+        region = unit_region(4)
+        bounds = symbolic_bounds(net, region)
+        xs = rng.uniform(-1, 1, size=(300, 4))
+        pres = net.pre_activations(xs)
+        for layer_bounds, pre in zip(bounds, pres):
+            assert np.all(pre >= layer_bounds.lower - 1e-7)
+            assert np.all(pre <= layer_bounds.upper + 1e-7)
+
+    def test_point_region_exact(self, tiny_net, rng):
+        x = rng.uniform(-1, 1, size=6)
+        region = InputRegion(np.stack([x, x], axis=1))
+        bounds = symbolic_bounds(tiny_net, region)
+        pres = tiny_net.pre_activations(x)
+        for lb, pre in zip(bounds, pres):
+            assert np.allclose(lb.lower, pre[0], atol=1e-7)
+            assert np.allclose(lb.upper, pre[0], atol=1e-7)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_objective_bounds_contain_samples(self, seed):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(3, [7, 7], 2, rng=rng)
+        region = unit_region(3)
+        coefficients = {0: 1.0, 1: -0.5}
+        lo, hi = symbolic_objective_bounds(net, region, coefficients)
+        assert lo <= hi
+        xs = rng.uniform(-1, 1, size=(200, 3))
+        outs = net.forward(xs)
+        values = outs[:, 0] - 0.5 * outs[:, 1]
+        assert np.all(values >= lo - 1e-7)
+        assert np.all(values <= hi + 1e-7)
+
+    def test_objective_bounds_single_layer(self, rng):
+        net = FeedForwardNetwork.mlp(3, [], 2, rng=rng)
+        region = unit_region(3)
+        lo, hi = symbolic_objective_bounds(net, region, {0: 1.0})
+        xs = rng.uniform(-1, 1, size=(100, 3))
+        values = net.forward(xs)[:, 0]
+        assert np.all(values >= lo - 1e-9)
+        assert np.all(values <= hi + 1e-9)
+
+
+class TestTightnessOrdering:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_never_looser_than_interval(self, seed):
+        """The anytime back-substitution concretises against the
+        interval box first, so symbolic can never lose to interval."""
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(3, [8, 8], 2, rng=rng)
+        region = unit_region(3)
+        loose = interval_bounds(net, region)
+        tight = symbolic_bounds(net, region)
+        for a, b in zip(loose, tight):
+            assert np.all(b.lower >= a.lower - 1e-9)
+            assert np.all(b.upper <= a.upper + 1e-9)
+
+    def test_strictly_tighter_on_deep_layers(self, rng):
+        net = FeedForwardNetwork.mlp(4, [10, 10, 10], 2, rng=rng)
+        region = unit_region(4)
+        loose = interval_bounds(net, region)
+        tight = symbolic_bounds(net, region)
+        improvement = sum(
+            float(np.sum((a.upper - a.lower) - (b.upper - b.lower)))
+            for a, b in zip(loose, tight)
+        )
+        assert improvement > 1e-6
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_sampling_regression_interval_symbolic_lp(self, seed):
+        """Satellite regression: every bound method contains the sampled
+        pre-activations, and each is no looser than the previous one in
+        the interval -> symbolic -> LP escalation ladder."""
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(3, [6, 6], 2, rng=rng)
+        region = unit_region(3)
+        ladder = [
+            interval_bounds(net, region),
+            symbolic_bounds(net, region),
+            lp_tightened_bounds(
+                net, region,
+                seed_bounds=symbolic_bounds(net, region),
+            ),
+        ]
+        xs = rng.uniform(-1, 1, size=(200, 3))
+        pres = net.pre_activations(xs)
+        for bounds in ladder:
+            for layer_bounds, pre in zip(bounds, pres):
+                assert np.all(pre >= layer_bounds.lower - 1e-6)
+                assert np.all(pre <= layer_bounds.upper + 1e-6)
+        for looser, tighter in zip(ladder, ladder[1:]):
+            for a, b in zip(looser, tighter):
+                assert np.all(b.lower >= a.lower - 1e-6)
+                assert np.all(b.upper <= a.upper + 1e-6)
+
+    def test_ambiguity_ordering(self, rng):
+        net = FeedForwardNetwork.mlp(4, [8, 8], 2, rng=rng)
+        region = unit_region(4)
+        n_int = total_ambiguous(interval_bounds(net, region), net)
+        n_sym = total_ambiguous(symbolic_bounds(net, region), net)
+        n_lp = total_ambiguous(lp_tightened_bounds(net, region), net)
+        assert n_lp <= n_sym <= n_int
+
+    def test_case_study_scale(self, small_study, small_predictor):
+        from repro import casestudy
+
+        region = casestudy.operational_region(small_study)
+        n_int = total_ambiguous(
+            interval_bounds(small_predictor, region), small_predictor
+        )
+        n_sym = total_ambiguous(
+            symbolic_bounds(small_predictor, region), small_predictor
+        )
+        assert n_sym <= n_int
+
+
+class TestEncoderIntegration:
+    def test_symbolic_mode_same_milp_answer(self, tiny_net):
+        region = unit_region(6)
+        values = {}
+        for mode in ("interval", "symbolic", "lp"):
+            encoded = encode_network(
+                tiny_net, region, EncoderOptions(bound_mode=mode)
+            )
+            attach_objective(encoded, OutputObjective.single(0))
+            values[mode] = solve_milp(encoded.model).objective
+        assert values["symbolic"] == pytest.approx(
+            values["interval"], abs=1e-5
+        )
+        assert values["symbolic"] == pytest.approx(values["lp"], abs=1e-5)
+
+    def test_symbolic_mode_fewer_binaries(self, rng):
+        net = FeedForwardNetwork.mlp(4, [10, 10, 10], 2, rng=rng)
+        region = unit_region(4)
+        n_int = encode_network(
+            net, region, EncoderOptions(bound_mode="interval")
+        ).num_binaries
+        n_sym = encode_network(
+            net, region, EncoderOptions(bound_mode="symbolic")
+        ).num_binaries
+        assert n_sym <= n_int
+
+    def test_tanh_rejected(self, rng):
+        net = FeedForwardNetwork.mlp(
+            3, [4], 1, hidden_activation="tanh", rng=rng
+        )
+        with pytest.raises(EncodingError):
+            symbolic_bounds(net, unit_region(3))
+
+    def test_dim_mismatch_rejected(self, tiny_net):
+        with pytest.raises(EncodingError):
+            symbolic_bounds(tiny_net, unit_region(5))
+
+    def test_bad_objective_index_rejected(self, tiny_net):
+        with pytest.raises(EncodingError):
+            symbolic_objective_bounds(
+                tiny_net, unit_region(6), {99: 1.0}
+            )
+
+
+class TestStaticProve:
+    def _property(self, net, threshold):
+        return SafetyProperty(
+            name="bounded",
+            region=unit_region(net.input_dim),
+            objective=OutputObjective.single(0),
+            threshold=threshold,
+        )
+
+    def test_loose_threshold_proved_statically(self, tiny_net):
+        _, hi = symbolic_objective_bounds(
+            tiny_net, unit_region(6), {0: 1.0}
+        )
+        verifier = Verifier(tiny_net)
+        result = verifier.prove(self._property(tiny_net, hi + 1.0))
+        assert result.verdict is Verdict.VERIFIED
+        assert result.solver == "static"
+        assert result.nodes == 0
+        assert result.best_bound <= hi + 1e-9
+
+    def test_prescreen_off_goes_to_milp(self, tiny_net):
+        _, hi = symbolic_objective_bounds(
+            tiny_net, unit_region(6), {0: 1.0}
+        )
+        verifier = Verifier(
+            tiny_net, EncoderOptions(static_prescreen=False)
+        )
+        result = verifier.prove(self._property(tiny_net, hi + 1.0))
+        assert result.verdict is Verdict.VERIFIED
+        assert result.solver == "milp"
+
+    def test_falsifiable_property_still_falsified(self, tiny_net):
+        """The prescreen can only prove, never falsify: a violated
+        property must fall through to the MILP and produce a witness."""
+        verifier = Verifier(tiny_net)
+        result = verifier.prove(self._property(tiny_net, -1000.0))
+        assert result.verdict is Verdict.FALSIFIED
+        assert result.solver == "milp"
+        assert result.counterexample is not None
+
+    def test_static_and_milp_agree(self, tiny_net):
+        """A threshold the prescreen clears must also be proved by the
+        full MILP pipeline."""
+        _, hi = symbolic_objective_bounds(
+            tiny_net, unit_region(6), {0: 1.0}
+        )
+        prop = self._property(tiny_net, hi + 0.5)
+        static = Verifier(tiny_net).prove(prop)
+        milp = Verifier(
+            tiny_net, EncoderOptions(static_prescreen=False)
+        ).prove(prop)
+        assert static.verdict is milp.verdict is Verdict.VERIFIED

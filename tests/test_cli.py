@@ -295,3 +295,47 @@ class TestCertifyAndFigure:
         out = capsys.readouterr().out
         assert "lane" in out
         assert "action distribution" in out
+
+
+class TestAudit:
+    def test_clean_network_exits_zero(self, net_file, capsys):
+        code = main(["audit", "--net", str(net_file)])
+        assert code == 0
+        assert "audit: clean" in capsys.readouterr().out
+
+    def test_with_data_audits_region_and_encoding(
+        self, data_file, net_file, capsys
+    ):
+        code = main(
+            [
+                "audit",
+                "--net", str(net_file),
+                "--data", str(data_file),
+                "--bound-mode", "symbolic",
+            ]
+        )
+        assert code == 0
+        assert "audit" in capsys.readouterr().out
+
+    def test_corrupted_network_exits_one(self, net_file, tmp_path, capsys):
+        import numpy as np
+
+        from repro.nn.serialization import save_network
+
+        network = load_network(net_file)
+        network.layers[0].weights[0, 0] = np.nan
+        bad = tmp_path / "bad.json"
+        save_network(network, bad)
+        code = main(["audit", "--net", str(bad)])
+        assert code == 1
+        assert "A001" in capsys.readouterr().out
+
+    def test_json_report_written(self, net_file, tmp_path):
+        import json
+
+        out = tmp_path / "audit.json"
+        code = main(["audit", "--net", str(net_file), "--json", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-audit/1"
+        assert payload["errors"] == 0

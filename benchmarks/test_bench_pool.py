@@ -1,0 +1,195 @@
+"""Bench: persistent pool vs per-run serial verification campaigns.
+
+The point of :class:`repro.core.pool.VerificationPool` is amortisation:
+workers fork once and stay warm, and the bounds/verdict caches persist
+across campaigns.  This bench runs the same matrix three ways —
+
+1. **serial** — the in-process baseline;
+2. **pooled, jobs=2** — a prewarmed persistent pool; must be bit-for-bit
+   equivalent to serial, and on a multi-core machine >= 1.5x faster;
+3. **cached rerun** — the *same* campaign again on the same pool; must
+   answer >= 90% of its cells from the verdict cache (in practice all
+   of them), making reruns effectively free.
+
+The equivalence and cache-hit-rate assertions always run; the speedup
+assertion is gated on real cores being available (a single-core
+container cannot beat the clock with processes).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import VerificationCampaign
+from repro.core.encoder import EncoderOptions
+from repro.core.pool import VerificationPool
+from repro.core.properties import InputRegion, OutputObjective, SafetyProperty
+from repro.milp import MILPOptions
+from repro.nn import FeedForwardNetwork
+from repro.report.tables import render_generic
+
+NUM_NETWORKS = 4
+POOL_JOBS = 2
+#: Gate for the wall-clock assertion: two workers need two cores.
+MULTICORE = (os.cpu_count() or 1) >= POOL_JOBS
+#: Required pooled speedup at jobs=2 on a multi-core machine.
+MIN_SPEEDUP = 1.5
+#: Required verdict-cache hit rate for an identical rerun.
+MIN_HIT_RATE = 0.9
+
+
+def unit_region(dim=6):
+    return InputRegion(np.array([[-1.0, 1.0]] * dim))
+
+
+def build_campaign() -> VerificationCampaign:
+    """4 networks x 2 queries, sized so each cell solves a real MILP."""
+    campaign = VerificationCampaign(
+        EncoderOptions(bound_mode="interval"),
+        MILPOptions(time_limit=120.0),
+    )
+    for seed in range(NUM_NETWORKS):
+        campaign.add_network(
+            FeedForwardNetwork.mlp(
+                6, [10, 10], 2, rng=np.random.default_rng(seed)
+            ),
+            f"net{seed}",
+        )
+    campaign.add_max_query(
+        "max_out0", unit_region(), OutputObjective.single(0)
+    )
+    campaign.add_property(
+        SafetyProperty(
+            name="out1_leq_m1000",
+            region=unit_region(),
+            objective=OutputObjective.single(1),
+            threshold=-1000.0,
+        )
+    )
+    return campaign
+
+
+def cell_tuples(report):
+    return [
+        (c.network_id, c.property_name, c.result.verdict)
+        for c in report.cells
+    ]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    serial_start = time.monotonic()
+    serial = build_campaign().run()
+    serial_wall = time.monotonic() - serial_start
+
+    with VerificationPool(workers=POOL_JOBS) as pool:
+        pool.prewarm()  # fork cost paid before the clock starts
+        pooled_start = time.monotonic()
+        pooled = build_campaign().run(pool=pool)
+        pooled_wall = time.monotonic() - pooled_start
+
+        hits_before = pool.verdict_cache.hits
+        cached_start = time.monotonic()
+        cached = build_campaign().run(pool=pool)
+        cached_wall = time.monotonic() - cached_start
+        hit_rate = (
+            (pool.verdict_cache.hits - hits_before)
+            / max(1, len(cached.cells))
+        )
+        stats = pool.stats()
+    return {
+        "serial": (serial, serial_wall),
+        "pooled": (pooled, pooled_wall),
+        "cached": (cached, cached_wall),
+        "hit_rate": hit_rate,
+        "stats": stats,
+    }
+
+
+class TestPoolBench:
+    def test_bit_for_bit_equivalence(self, runs):
+        serial, _ = runs["serial"]
+        pooled, _ = runs["pooled"]
+        cached, _ = runs["cached"]
+        assert len(serial.cells) == NUM_NETWORKS * 2
+        assert cell_tuples(pooled) == cell_tuples(serial)
+        assert cell_tuples(cached) == cell_tuples(serial)
+        for s, p, c in zip(serial.cells, pooled.cells, cached.cells):
+            if np.isnan(s.result.value):
+                assert np.isnan(p.result.value)
+                assert np.isnan(c.result.value)
+            else:
+                # Exact equality, not approx: the pool pledges the same
+                # floats the serial path produces (and the cached rerun
+                # the same floats the pooled run stored).
+                assert p.result.value == s.result.value
+                assert c.result.value == p.result.value
+
+    def test_cached_rerun_hits(self, runs):
+        assert runs["hit_rate"] >= MIN_HIT_RATE
+        cached, cached_wall = runs["cached"]
+        _, pooled_wall = runs["pooled"]
+        # A fully memoised rerun does no solver work at all.
+        assert cached_wall < pooled_wall
+        assert all(
+            cell.result.metrics.get("verdict_cache_hit") == 1.0
+            for cell in cached.cells
+        )
+
+    def test_wall_time_report(self, runs, emit, bench_record):
+        serial, serial_wall = runs["serial"]
+        pooled, pooled_wall = runs["pooled"]
+        cached, cached_wall = runs["cached"]
+        speedup = serial_wall / max(pooled_wall, 1e-9)
+        rerun_speedup = serial_wall / max(cached_wall, 1e-9)
+        bench_record(
+            "pool", "serial",
+            jobs=1, wall_time=serial_wall,
+            cell_time=serial.total_cell_time,
+        )
+        bench_record(
+            "pool", "pooled",
+            jobs=POOL_JOBS, wall_time=pooled_wall,
+            cell_time=pooled.total_cell_time,
+            speedup=speedup,
+            multicore=MULTICORE,
+        )
+        bench_record(
+            "pool", "cached_rerun",
+            jobs=POOL_JOBS, wall_time=cached_wall,
+            verdict_cache_hit_rate=runs["hit_rate"],
+            speedup=rerun_speedup,
+            worker_crashes=runs["stats"].get("pool.worker_crashes", 0),
+        )
+        emit("")
+        emit(
+            render_generic(
+                ["engine", "jobs", "wall time", "speedup"],
+                [
+                    ["serial", "1", f"{serial_wall:.2f}s", "1.00x"],
+                    [
+                        "pooled", str(POOL_JOBS),
+                        f"{pooled_wall:.2f}s", f"{speedup:.2f}x",
+                    ],
+                    [
+                        "cached rerun", str(POOL_JOBS),
+                        f"{cached_wall:.2f}s", f"{rerun_speedup:.2f}x",
+                    ],
+                ],
+                title="campaign: serial vs persistent pool",
+            )
+        )
+        emit(
+            f"verdict-cache hit rate on rerun: "
+            f"{runs['hit_rate']:.0%}"
+        )
+        if MULTICORE:
+            assert speedup >= MIN_SPEEDUP
+        else:
+            emit(
+                "single-core container: >= "
+                f"{MIN_SPEEDUP}x speedup assertion skipped "
+                "(equivalence and cache hits still enforced)"
+            )

@@ -7,6 +7,7 @@ The five pipeline stages map onto subcommands::
     python -m repro.cli train    --data data.npz --width 10 --out net.json
     python -m repro.cli verify   --data data.npz --net net.json
     python -m repro.cli campaign --data data.npz --net a.json --net b.json --jobs 4
+    python -m repro.cli serve    --data data.npz --net net.json --jobs 2
     python -m repro.cli audit    --data data.npz --net net.json --json audit.json
     python -m repro.cli certify  --data data.npz --net net.json
     python -m repro.cli figure1  --data data.npz --net net.json
@@ -160,8 +161,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--bound-mode", default="lp",
         choices=("interval", "crown", "symbolic", "lp"),
     )
+    campaign.add_argument(
+        "--pool", action="store_true",
+        help="run through a VerificationPool (persistent workers + "
+        "shared bounds/verdict caches; implied by --cache-dir)",
+    )
+    campaign.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="durable cache directory: bounds and verdicts spill to "
+        "JSONL files there and are reloaded by later runs",
+    )
     _add_solver_args(campaign)
     _add_observability_args(campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="verification service: read JSON job requests from stdin "
+        "(submit/poll/fetch/stats/quit), answer one JSON line each on "
+        "stdout, backed by a persistent worker pool with shared caches",
+    )
+    serve.add_argument("--data", required=True)
+    serve.add_argument(
+        "--net", required=True, action="append",
+        help="network .json path (repeatable); submit by architecture id",
+    )
+    serve.add_argument("--components", type=int, default=2)
+    serve.add_argument("--time-limit", type=float, default=300.0)
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="durable cache directory shared with 'campaign --cache-dir'",
+    )
+    serve.add_argument(
+        "--bound-mode", default="lp",
+        choices=("interval", "crown", "symbolic", "lp"),
+    )
+    _add_solver_args(serve)
+    _add_observability_args(serve)
 
     audit = sub.add_parser(
         "audit",
@@ -401,12 +440,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             cell.result.verdict.value, cell.result.wall_time,
         )
 
+    pool = None
+    if args.pool or args.cache_dir:
+        from repro.core.pool import VerificationPool
+
+        pool = VerificationPool(
+            workers=args.jobs, cache_dir=args.cache_dir
+        )
     tracer = _open_tracer(args)
     try:
-        report = campaign.run(progress=report_progress, tracer=tracer)
+        report = campaign.run(
+            progress=report_progress, tracer=tracer, pool=pool
+        )
     finally:
         if tracer is not None:
             tracer.close()
+        if pool is not None:
+            logger.info(pool.render_stats())
+            pool.shutdown()
     logger.info("")
     logger.info(report.render())
     logger.info("")
@@ -424,6 +475,134 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if tracer is not None:
         logger.info("trace written to %s", args.trace)
     return 0 if report.all_passed else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Verification as a service over stdin/stdout JSON lines.
+
+    Requests (one JSON object per line)::
+
+        {"op": "submit", "net": "I4x10", "kind": "max", "component": 0}
+        {"op": "submit", "net": "I4x10", "kind": "prove",
+         "component": 0, "threshold": 0.5}
+        {"op": "poll",  "ticket": 1}
+        {"op": "fetch", "ticket": 1}
+        {"op": "stats"}
+        {"op": "quit"}
+
+    Every request is answered with exactly one JSON line.  Jobs run on
+    the persistent pool: repeated submissions of the same query are
+    answered from the verdict cache (``"cached": true``) without any
+    solver time, and with ``--cache-dir`` that memory survives
+    restarts.
+    """
+    import json as _json
+
+    from repro.core.campaign import CampaignQuery
+    from repro.core.encoder import EncoderOptions
+    from repro.core.pool import VerificationPool
+    from repro.core.properties import component_lateral_objectives
+    from repro.core.verifier import result_to_dict
+    from repro.milp import MILPOptions
+
+    study = _load_study(args.data, args.components)
+    networks = {}
+    for path in args.net:
+        network = load_network(path)
+        networks[network.architecture_id] = network
+    region = casestudy.operational_region(study)
+    objectives = component_lateral_objectives(args.components)
+    encoder_options = EncoderOptions(bound_mode=args.bound_mode)
+    milp_options = MILPOptions(
+        time_limit=args.time_limit,
+        lp_backend=args.lp_backend,
+        cuts=args.cuts,
+    )
+    pool = VerificationPool(
+        workers=args.jobs, cache_dir=args.cache_dir,
+        tracer=_open_tracer(args),
+    )
+    tickets = {}
+
+    def reply(payload) -> None:
+        sys.stdout.write(_json.dumps(payload) + "\n")
+        sys.stdout.flush()
+
+    reply({
+        "op": "ready",
+        "networks": sorted(networks),
+        "workers": pool.workers,
+    })
+    try:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = _json.loads(line)
+                op = request.get("op")
+                if op == "quit":
+                    reply({"op": "quit"})
+                    break
+                if op == "stats":
+                    reply({"op": "stats", "stats": pool.stats()})
+                    continue
+                if op == "submit":
+                    name = request["net"]
+                    component = int(request.get("component", 0))
+                    kind = request.get("kind", "max")
+                    threshold = float(request.get("threshold", 0.0))
+                    query = CampaignQuery(
+                        name=f"{kind}-c{component}"
+                        + (f"-leq{threshold}" if kind == "prove" else ""),
+                        region=region,
+                        objective=objectives[component],
+                        kind=kind,
+                        threshold=threshold,
+                    )
+                    ticket = pool.submit(
+                        networks[name], query,
+                        encoder_options=encoder_options,
+                        milp_options=milp_options,
+                        network_name=name,
+                    )
+                    tickets[ticket.id] = ticket
+                    reply({
+                        "op": "submit",
+                        "ticket": ticket.id,
+                        "fingerprint": ticket.fingerprint,
+                        "cached": ticket.cached,
+                    })
+                    continue
+                if op not in ("poll", "fetch"):
+                    reply({
+                        "op": "error",
+                        "message": f"unknown op {op!r}",
+                    })
+                    continue
+                ticket = tickets[int(request["ticket"])]
+                if op == "poll":
+                    reply({
+                        "op": "poll",
+                        "ticket": ticket.id,
+                        "state": pool.poll(ticket),
+                    })
+                else:
+                    result = pool.fetch(ticket)
+                    tickets.pop(ticket.id, None)
+                    reply({
+                        "op": "fetch",
+                        "ticket": ticket.id,
+                        "result": result_to_dict(result),
+                    })
+            except Exception as exc:
+                reply({
+                    "op": "error",
+                    "message": f"{type(exc).__name__}: {exc}",
+                })
+    finally:
+        pool.shutdown()
+    return 0
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -537,6 +716,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "verify": _cmd_verify,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
         "audit": _cmd_audit,
         "certify": _cmd_certify,
         "figure1": _cmd_figure1,

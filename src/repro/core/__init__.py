@@ -56,6 +56,7 @@ from repro.core.encoder import (
 )
 from repro.core.hints import SafetyHint, train_with_hints
 from repro.core.monitor import Intervention, MonitorReport, RuntimeMonitor
+from repro.core.pool import JobTicket, VerdictCache, VerificationPool
 from repro.core.properties import (
     InputRegion,
     LinearInputConstraint,
@@ -101,6 +102,7 @@ __all__ = [
     "Evidence",
     "GuardCondition",
     "InputRegion",
+    "JobTicket",
     "BoundsCache",
     "LayerBounds",
     "LinearInputConstraint",
@@ -126,9 +128,11 @@ __all__ = [
     "TableIIRow",
     "TraceabilityAnalyzer",
     "TraceabilityReport",
+    "VerdictCache",
     "VerificationResult",
     "Verdict",
     "VerificationCampaign",
+    "VerificationPool",
     "Verifier",
     "attach_objective",
     "attach_violation_constraint",

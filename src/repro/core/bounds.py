@@ -297,6 +297,23 @@ def bounds_cache_key(
     return (network.fingerprint(), region.fingerprint(), bound_mode)
 
 
+def freeze_bounds(
+    bounds: Optional[List[LayerBounds]],
+) -> Optional[List[LayerBounds]]:
+    """Mark every bound array read-only (in place; returns the list).
+
+    Cached bound lists are shared by every cell with the same content
+    key, so an accidental in-place tightening downstream must fail
+    loudly (``ValueError: assignment destination is read-only``) instead
+    of silently corrupting the entry for all later lookups.
+    """
+    if bounds is not None:
+        for layer in bounds:
+            layer.lower.setflags(write=False)
+            layer.upper.setflags(write=False)
+    return bounds
+
+
 class BoundsCache:
     """Content-keyed cache of pre-activation bound computations.
 
@@ -305,15 +322,44 @@ class BoundsCache:
     not re-run a known-failing computation for every cell sharing the
     region).  ``hits``/``misses`` expose the reuse rate for reports and
     tests.
+
+    Cached entries are *defended*: the stored arrays are read-only and
+    every lookup hands out a fresh list, so neither replacing a caller's
+    list slot nor tightening an array in place can corrupt what a later
+    cell receives.
+
+    With ``spill_path`` the cache is durable: entries load from the
+    JSONL file on construction and every new entry is appended, so a
+    long-lived pool (or the next process) pays each computation once.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, spill_path: Optional[str] = None) -> None:
         self._entries: dict = {}
         self.hits = 0
         self.misses = 0
+        self.spill_path = spill_path
+        if spill_path is not None:
+            self._load_spill(spill_path)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @staticmethod
+    def _share(entry):
+        """A caller-safe view of a stored entry (fresh list, same arrays)."""
+        bounds, error = entry
+        return (list(bounds) if bounds is not None else None), error
+
+    def peek(
+        self, key: Tuple[str, str, str]
+    ) -> Optional[Tuple[Optional[List[LayerBounds]], Optional[str]]]:
+        """The stored entry for ``key`` without computing, else ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._share(entry)
 
     def lookup(
         self,
@@ -332,7 +378,7 @@ class BoundsCache:
         key = bounds_cache_key(network, region, bound_mode)
         if key in self._entries:
             self.hits += 1
-            return self._entries[key]
+            return self._share(self._entries[key])
         self.misses += 1
         if tracer is None:
             # Positional 3-arg call keeps drop-in stand-ins (tests stub
@@ -342,8 +388,8 @@ class BoundsCache:
             entry = compute_bounds_entry(
                 network, region, bound_mode, tracer=tracer
             )
-        self._entries[key] = entry
-        return entry
+        self._store(key, entry)
+        return self._share(entry)
 
     def get(
         self,
@@ -367,7 +413,57 @@ class BoundsCache:
         error: Optional[str],
     ) -> None:
         """Install a precomputed entry (used by parallel campaigns)."""
-        self._entries[key] = (bounds, error)
+        self._store(key, (bounds, error))
+
+    # -- storage / durability ----------------------------------------------
+    def _store(self, key, entry) -> None:
+        bounds, error = entry
+        entry = (freeze_bounds(bounds), error)
+        self._entries[key] = entry
+        if self.spill_path is not None:
+            self._append_spill(key, entry)
+
+    def _append_spill(self, key, entry) -> None:
+        import json
+
+        bounds, error = entry
+        record = {
+            "key": list(key),
+            "error": error,
+            "layers": None if bounds is None else [
+                {
+                    "lower": layer.lower.tolist(),
+                    "upper": layer.upper.tolist(),
+                }
+                for layer in bounds
+            ],
+        }
+        with open(self.spill_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    def _load_spill(self, path: str) -> None:
+        import json
+        import os
+
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                layers = record.get("layers")
+                bounds = None if layers is None else [
+                    LayerBounds(
+                        np.asarray(layer["lower"], dtype=float),
+                        np.asarray(layer["upper"], dtype=float),
+                    )
+                    for layer in layers
+                ]
+                self._entries[tuple(record["key"])] = (
+                    freeze_bounds(bounds), record.get("error"),
+                )
 
 
 def compute_bounds_entry(

@@ -17,7 +17,14 @@ Safety-Critical Deep Networks*):
   that need them, keyed on *content* (never on object identity);
 * **fault isolation** — a solver exception or an exhausted per-cell
   budget becomes an ``ERROR``/``TIMEOUT`` cell carrying the captured
-  traceback; the rest of the matrix always completes.
+  traceback; a *crashed worker process* is confined to the one cell (or
+  the one bound computation) it was running; the rest of the matrix
+  always completes;
+* **pooling** — parallel runs delegate to a
+  :class:`repro.core.pool.VerificationPool`.  Attach a persistent pool
+  (``campaign.run(pool=...)``) and consecutive campaigns reuse warm
+  workers, share one content-keyed bounds cache, and skip cells whose
+  full query fingerprint already has a memoised verdict.
 """
 
 from __future__ import annotations
@@ -27,7 +34,6 @@ import math
 import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.bounds import (
@@ -42,7 +48,12 @@ from repro.core.properties import (
     OutputObjective,
     SafetyProperty,
 )
-from repro.core.verifier import VerificationResult, Verdict, Verifier
+from repro.core.verifier import (
+    VerificationResult,
+    Verdict,
+    Verifier,
+    verdict_fingerprint,
+)
 from repro.errors import CertificationError
 from repro.milp.branch_and_bound import MILPOptions
 from repro.nn.network import FeedForwardNetwork
@@ -345,18 +356,51 @@ class _CellTask:
     trace_cfg: Optional[Tuple[str, str]] = None
 
 
-def _worker_tracer(trace_cfg: Optional[Tuple[str, str]]):
+def _worker_tracer(trace_cfg: Optional[Tuple[str, str]], extra_sink=None):
     """``(tracer, sink)`` for a worker-side relay, or ``(None, None)``.
 
     The tracer writes into an in-memory ring buffer whose records ride
     back to the parent on the result object; the id prefix keeps span
     ids from independent workers disjoint after the merge.
+    ``extra_sink`` (a live pool-pipe sink) additionally receives every
+    record as it is produced — the streaming path of
+    :meth:`repro.core.pool.VerificationPool.stream`.
     """
     if trace_cfg is None:
         return None, None
     run_id, prefix = trace_cfg
     sink = RingBufferSink()
-    return Tracer([sink], run_id=run_id, id_prefix=prefix), sink
+    sinks = [sink] if extra_sink is None else [sink, extra_sink]
+    return Tracer(sinks, run_id=run_id, id_prefix=prefix), sink
+
+
+def _effective_milp_options(task: "_CellTask") -> MILPOptions:
+    """The MILP options a worker will actually solve the cell with.
+
+    The per-cell wall-clock budget is folded into the solver's time
+    limit; verdict fingerprints must hash *these* options, or a cached
+    verdict could leak across campaigns with different cell budgets.
+    """
+    milp = task.milp_options
+    if task.cell_time_limit is not None:
+        milp = dataclasses.replace(
+            milp,
+            time_limit=min(milp.time_limit, task.cell_time_limit),
+        )
+    return milp
+
+
+def _task_fingerprint(task: "_CellTask") -> str:
+    """Verdict-cache key of the cell's *entire* query."""
+    return verdict_fingerprint(
+        task.network,
+        task.query.region,
+        task.query.objective,
+        task.query.kind,
+        task.query.threshold,
+        task.encoder_options,
+        _effective_milp_options(task),
+    )
 
 
 def _sink_records(sink: Optional[RingBufferSink]) -> List[dict]:
@@ -397,10 +441,10 @@ def _error_cell(
     )
 
 
-def _run_cell_task(task: _CellTask) -> CampaignCell:
+def _run_cell_task(task: _CellTask, extra_sink=None) -> CampaignCell:
     """Worker: verify one cell; every failure becomes an ERROR cell."""
     start = time.monotonic()
-    tracer, sink = _worker_tracer(task.trace_cfg)
+    tracer, sink = _worker_tracer(task.trace_cfg, extra_sink=extra_sink)
     trc = as_tracer(tracer)
     if task.audit_error is not None:
         with trc.span(
@@ -430,12 +474,7 @@ def _run_cell_task(task: _CellTask) -> CampaignCell:
             0.0,
             records=_sink_records(sink),
         )
-    milp = task.milp_options
-    if task.cell_time_limit is not None:
-        milp = dataclasses.replace(
-            milp,
-            time_limit=min(milp.time_limit, task.cell_time_limit),
-        )
+    milp = _effective_milp_options(task)
     try:
         with trc.span(
             "cell", network=task.network_name, query=task.query.name,
@@ -502,6 +541,12 @@ class VerificationCampaign:
     ``n > 1`` over exactly ``n`` workers.  ``cell_time_limit`` is a
     per-cell wall-clock budget; a cell that exhausts it reports
     ``TIMEOUT`` instead of stalling the campaign.
+
+    ``pool`` attaches a persistent
+    :class:`repro.core.pool.VerificationPool`: parallel runs reuse its
+    warm workers instead of spawning fresh ones, and both execution
+    modes share its cross-campaign bounds and verdict caches.  Without
+    one, parallel runs build an ephemeral pool per ``run()``.
     """
 
     def __init__(
@@ -511,11 +556,13 @@ class VerificationCampaign:
         jobs: Optional[int] = None,
         cell_time_limit: Optional[float] = None,
         audit: bool = True,
+        pool=None,
     ) -> None:
         self.encoder_options = encoder_options or EncoderOptions()
         self.milp_options = milp_options or MILPOptions(time_limit=120.0)
         self.jobs = jobs
         self.cell_time_limit = cell_time_limit
+        self.pool = pool
         #: Run the static soundness audit (:mod:`repro.analysis.audit`)
         #: over every network and region before solving; cells whose
         #: inputs carry *error* diagnostics become ERROR cells without
@@ -581,6 +628,7 @@ class VerificationCampaign:
         jobs: Optional[int] = None,
         progress: Optional[ProgressHook] = None,
         tracer=None,
+        pool=None,
     ) -> CampaignReport:
         """Verify every query on every network.
 
@@ -590,14 +638,22 @@ class VerificationCampaign:
         ``progress`` is invoked after every completed cell.  With a
         ``tracer``, every cell (and shared bound prefetch) is traced —
         in parallel runs the workers' records are relayed back and
-        merged into the parent's sinks under one run id.
+        merged into the parent's sinks under one run id.  ``pool``
+        overrides the campaign-level pool for this run; with a pool
+        attached and no explicit ``jobs``, the pool's worker count
+        decides the fan-out.
         """
         if not self._networks or not self._queries:
             raise CertificationError(
                 "campaign needs at least one network and one property"
             )
         tracer = as_tracer(tracer)
-        workers = resolve_jobs(jobs if jobs is not None else self.jobs)
+        pool = pool if pool is not None else self.pool
+        requested = jobs if jobs is not None else self.jobs
+        if requested is None and pool is not None:
+            workers = pool.workers
+        else:
+            workers = resolve_jobs(requested)
         start = time.monotonic()
         tasks = self._build_tasks()
         if self.audit:
@@ -606,10 +662,12 @@ class VerificationCampaign:
             for task in tasks:
                 task.trace_cfg = (tracer.run_id, f"c{task.index}.")
         if workers <= 1 or len(tasks) <= 1:
-            cells = self._run_serial(tasks, progress, tracer)
+            cells = self._run_serial(tasks, progress, tracer, pool=pool)
             workers = 1
         else:
-            cells = self._run_parallel(tasks, workers, progress, tracer)
+            cells = self._run_parallel(
+                tasks, workers, progress, tracer, pool=pool
+            )
         report = CampaignReport(
             cells=cells,
             wall_time=time.monotonic() - start,
@@ -694,10 +752,23 @@ class VerificationCampaign:
         tasks: List[_CellTask],
         progress: Optional[ProgressHook],
         tracer,
+        pool=None,
     ) -> List[CampaignCell]:
-        cache = BoundsCache()
+        cache = pool.bounds_cache if pool is not None else BoundsCache()
         cells: List[CampaignCell] = []
         for task in tasks:
+            fingerprint = None
+            if task.audit_error is None and pool is not None:
+                fingerprint = _task_fingerprint(task)
+                cached = pool.verdict_cache.get(fingerprint)
+                if cached is not None:
+                    cell = CampaignCell(
+                        task.network_name, task.query.name, cached
+                    )
+                    cells.append(cell)
+                    if progress is not None:
+                        progress(len(cells), len(tasks), cell)
+                    continue
             if task.audit_error is None:
                 task.bounds, task.bounds_error = cache.lookup(
                     task.network,
@@ -706,6 +777,8 @@ class VerificationCampaign:
                     tracer=tracer if tracer.enabled else None,
                 )
             cell = _run_cell_task(task)
+            if fingerprint is not None:
+                pool.verdict_cache.put(fingerprint, cell.result)
             for record in cell.trace_records:
                 tracer.emit(record)
             cells.append(cell)
@@ -719,72 +792,153 @@ class VerificationCampaign:
         workers: int,
         progress: Optional[ProgressHook],
         tracer,
+        pool=None,
     ) -> List[CampaignCell]:
-        """Two-stage fan-out over a process pool.
+        """Fan the matrix out over a :class:`VerificationPool`.
 
-        Stage 1 computes each *unique* (network, region, mode) bound set
-        in parallel; stage 2 fans the cells out with their bounds
-        attached, so equal-but-distinct regions never recompute.  A
-        worker failure (even a hard crash) is confined to its cell.
+        Without an attached pool an ephemeral one is built for this run
+        (and torn down afterwards); an attached pool keeps its warm
+        workers and caches for the next campaign.
         """
-        unique: Dict[Tuple[str, str, str],
-                     Tuple[FeedForwardNetwork, InputRegion]] = {}
+        from repro.core.pool import VerificationPool
+
+        owned = pool is None
+        if owned:
+            pool = VerificationPool(
+                workers=workers,
+                tracer=tracer if tracer.enabled else None,
+            )
+        try:
+            return self._run_pooled(tasks, pool, progress, tracer)
+        finally:
+            if owned:
+                pool.shutdown()
+
+    def _run_pooled(
+        self,
+        tasks: List[_CellTask],
+        pool,
+        progress: Optional[ProgressHook],
+        tracer,
+    ) -> List[CampaignCell]:
+        """Pipelined two-stage fan-out with per-key fault isolation.
+
+        Each *unique* (network, region geometry, mode) bound set is one
+        independent pool job; a cell dispatches the moment its bound
+        set resolves (no barrier between the stages).  A crashed bounds
+        job degrades exactly the cells sharing that ``bounds_key`` to
+        ``bounds_error`` ERROR cells — historically ``pool.map`` raised
+        out of the whole stage and aborted the campaign.  A crashed
+        cell job becomes an ERROR cell for that cell alone.  Cells
+        whose query fingerprint has a memoised verdict never reach a
+        worker at all.
+        """
+        cells: List[Optional[CampaignCell]] = [None] * len(tasks)
+        total = len(tasks)
+        done_count = 0
+
+        def finish(task: _CellTask, cell: CampaignCell) -> None:
+            nonlocal done_count
+            for record in cell.trace_records:
+                tracer.emit(record)
+            cells[task.index] = cell
+            done_count += 1
+            if progress is not None:
+                progress(done_count, total, cell)
+
+        # Decided-before-solving cells (audit rejections) and verdict
+        # cache hits run in-process: there is no solver work to fan out.
+        pending: List[_CellTask] = []
+        fingerprints: Dict[int, str] = {}
         for task in tasks:
             if task.audit_error is not None:
-                continue  # the cell is already decided; skip its bounds
-            unique.setdefault(
-                task.bounds_key, (task.network, task.query.region)
+                finish(task, _run_cell_task(task))
+                continue
+            fingerprint = _task_fingerprint(task)
+            fingerprints[task.index] = fingerprint
+            cached = pool.verdict_cache.get(fingerprint)
+            if cached is not None:
+                finish(task, CampaignCell(
+                    task.network_name, task.query.name, cached
+                ))
+                continue
+            pending.append(task)
+
+        # Stage 1: one pool job per unique unresolved bounds key; cached
+        # keys resolve instantly.  Submitted per-future (never a
+        # pool.map batch) so one crashing computation cannot take the
+        # others down with it.
+        by_key: Dict[Tuple[str, str, str], List[_CellTask]] = {}
+        for task in pending:
+            by_key.setdefault(task.bounds_key, []).append(task)
+
+        outstanding = 0
+        job_to_task: Dict[int, _CellTask] = {}
+        job_to_key: Dict[int, Tuple[str, str, str]] = {}
+
+        def dispatch_cell(task: _CellTask) -> None:
+            nonlocal outstanding
+            job = pool.submit_task(
+                "cell", task, fingerprint=fingerprints[task.index]
             )
-        cells: List[Optional[CampaignCell]] = [None] * len(tasks)
-        completed = 0
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            bounds_by_key = {}
-            payloads = [
-                (
-                    key, network, region,
-                    self.encoder_options.bound_mode,
-                    (tracer.run_id, f"b{i}.")
-                    if tracer.enabled else None,
-                )
-                for i, (key, (network, region))
-                in enumerate(unique.items())
-            ]
-            for key, bounds, error, records in pool.map(
-                _compute_bounds_task, payloads
-            ):
-                bounds_by_key[key] = (bounds, error)
-                for record in records:
-                    tracer.emit(record)
-            for task in tasks:
-                if task.audit_error is not None:
+            job_to_task[job.id] = task
+            outstanding += 1
+
+        def resolve_key(key, entry) -> None:
+            """Attach a bounds entry to its cells and dispatch them."""
+            bounds, error = entry
+            for task in by_key[key]:
+                task.bounds, task.bounds_error = bounds, error
+                if error is not None:
+                    # No solver work left in this cell; degrade it to a
+                    # bounds_error ERROR cell right here in the parent.
+                    finish(task, _run_cell_task(task))
+                else:
+                    dispatch_cell(task)
+
+        for i, (key, group) in enumerate(by_key.items()):
+            entry = pool.bounds_cache.peek(key)
+            if entry is not None:
+                resolve_key(key, entry)
+                continue
+            task = group[0]
+            payload = (
+                key, task.network, task.query.region,
+                self.encoder_options.bound_mode,
+                (tracer.run_id, f"b{i}.") if tracer.enabled else None,
+            )
+            job = pool.submit_task("bounds", payload)
+            job_to_key[job.id] = key
+            outstanding += 1
+
+        # Stage 2 (pipelined): drain completions; bounds completions
+        # release their cells immediately.
+        while outstanding:
+            for job in pool.wait():
+                outstanding -= 1
+                key = job_to_key.pop(job.id, None)
+                if key is not None:
+                    if job.error is not None:
+                        entry = (None, job.error)
+                    else:
+                        _, bounds, error, records = job.result
+                        for record in records:
+                            tracer.emit(record)
+                        entry = (bounds, error)
+                    pool.bounds_cache.seed(key, *entry)
+                    resolve_key(key, entry)
                     continue
-                task.bounds, task.bounds_error = bounds_by_key[
-                    task.bounds_key
-                ]
-            future_to_task = {
-                pool.submit(_run_cell_task, task): task for task in tasks
-            }
-            pending = set(future_to_task)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = future_to_task[future]
-                    try:
-                        cell = future.result()
-                    except Exception as exc:
-                        # The worker process itself died (or its result
-                        # did not survive the trip back).
-                        cell = _error_cell(
-                            task,
-                            f"worker failed: "
-                            f"{type(exc).__name__}: {exc}",
-                            traceback.format_exc(),
-                            0.0,
-                        )
-                    for record in cell.trace_records:
-                        tracer.emit(record)
-                    cells[task.index] = cell
-                    completed += 1
-                    if progress is not None:
-                        progress(completed, len(tasks), cell)
+                task = job_to_task.pop(job.id)
+                if job.error is not None:
+                    cell = _error_cell(
+                        task,
+                        f"worker failed: {job.error.splitlines()[-1]}"
+                        if not job.crashed
+                        else f"worker failed: {job.error}",
+                        job.error,
+                        0.0,
+                    )
+                else:
+                    cell = job.result
+                finish(task, cell)
         return [cell for cell in cells if cell is not None]

@@ -130,6 +130,115 @@ class VerificationResult:
         return float(self.metrics.get("cut_separation_time", 0.0))
 
 
+def _options_token(options) -> str:
+    """A stable, content-complete token for an options dataclass.
+
+    Fields are serialised in sorted order with ``repr`` (floats
+    round-trip exactly), so equal-but-distinct option objects share a
+    token and *any* field change produces a new one.
+    """
+    fields = dataclasses.asdict(options)
+    return ";".join(f"{k}={fields[k]!r}" for k in sorted(fields))
+
+
+def verdict_fingerprint(
+    network: FeedForwardNetwork,
+    region: InputRegion,
+    objective: OutputObjective,
+    kind: str,
+    threshold: float,
+    encoder_options: EncoderOptions,
+    milp_options: "MILPOptions",
+) -> str:
+    """Content hash identifying one verification query's full inputs.
+
+    Two queries share a fingerprint iff they would run the exact same
+    decision procedure: same network parameters, same region geometry,
+    same objective functional, same kind/threshold and the same encoder
+    and MILP options (a different time limit or cut setting can change
+    the verdict, so every option field participates).  This is the key
+    of the cross-campaign verdict cache: repeated queries on the same
+    cell cost one lookup instead of one solve.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(network.fingerprint().encode())
+    digest.update(region.fingerprint().encode())
+    for idx in sorted(objective.coefficients):
+        digest.update(f"{idx}:{objective.coefficients[idx]!r};".encode())
+    digest.update(f"|{kind}|{threshold!r}|".encode())
+    digest.update(_options_token(encoder_options).encode())
+    digest.update(b"|")
+    digest.update(_options_token(milp_options).encode())
+    return digest.hexdigest()
+
+
+def result_to_dict(result: VerificationResult) -> Dict:
+    """A JSON-serialisable form of a result (see :func:`result_from_dict`).
+
+    Floats survive the round trip bit-for-bit (``json`` emits shortest
+    round-trip reprs), so a cached verdict is indistinguishable from the
+    solve that produced it.
+    """
+    return {
+        "verdict": result.verdict.value,
+        "value": None if math.isnan(result.value) else result.value,
+        "best_bound": (
+            None if math.isnan(result.best_bound) else result.best_bound
+        ),
+        "counterexample": (
+            None if result.counterexample is None
+            else np.asarray(result.counterexample, dtype=float).tolist()
+        ),
+        "network_value": (
+            None if math.isnan(result.network_value)
+            else result.network_value
+        ),
+        "wall_time": result.wall_time,
+        "nodes": result.nodes,
+        "num_binaries": result.num_binaries,
+        "description": result.description,
+        "lp_iterations": result.lp_iterations,
+        "solver": result.solver,
+        "metrics": dict(result.metrics),
+    }
+
+
+def result_from_dict(payload: Dict) -> VerificationResult:
+    """Rebuild a :class:`VerificationResult` written by
+    :func:`result_to_dict`."""
+    counterexample = payload.get("counterexample")
+    return VerificationResult(
+        verdict=Verdict(payload["verdict"]),
+        value=(
+            math.nan if payload.get("value") is None
+            else float(payload["value"])
+        ),
+        best_bound=(
+            math.nan if payload.get("best_bound") is None
+            else float(payload["best_bound"])
+        ),
+        counterexample=(
+            None if counterexample is None
+            else np.asarray(counterexample, dtype=float)
+        ),
+        network_value=(
+            math.nan if payload.get("network_value") is None
+            else float(payload["network_value"])
+        ),
+        wall_time=float(payload.get("wall_time", 0.0)),
+        nodes=int(payload.get("nodes", 0)),
+        num_binaries=int(payload.get("num_binaries", 0)),
+        description=payload.get("description", ""),
+        lp_iterations=int(payload.get("lp_iterations", 0)),
+        solver=payload.get("solver", "milp"),
+        metrics={
+            k: v for k, v in payload.get("metrics", {}).items()
+        },
+    )
+
+
 @dataclasses.dataclass
 class TableIIRow:
     """One row of the paper's Table II."""

@@ -49,14 +49,17 @@ class Span:
     """One timed region of work; use as a context manager.
 
     Attributes are structured (``span.set(nodes=31)`` merges more in at
-    any point before exit); wall time uses ``time.time`` so records from
-    different processes on one machine share a clock, CPU time uses
-    ``time.process_time``.
+    any point before exit).  Durations come from ``time.perf_counter``
+    (monotonic — an NTP clock step can never produce a negative or
+    inflated ``wall``); each record additionally carries one epoch
+    timestamp (``t_start``, from ``time.time``) so records from different
+    processes on one machine can still be ordered against each other.
+    CPU time uses ``time.process_time``.
     """
 
     __slots__ = (
         "_tracer", "name", "attrs", "span_id", "parent_id",
-        "t_start", "t_end", "cpu_start", "wall", "cpu",
+        "t_start", "t_end", "perf_start", "cpu_start", "wall", "cpu",
     )
 
     def __init__(self, tracer: "Tracer", name: str,
@@ -68,6 +71,7 @@ class Span:
         self.parent_id: Optional[str] = None
         self.t_start = 0.0
         self.t_end = 0.0
+        self.perf_start = 0.0
         self.cpu_start = 0.0
         self.wall = 0.0
         self.cpu = 0.0
@@ -80,12 +84,15 @@ class Span:
     def __enter__(self) -> "Span":
         self.span_id, self.parent_id = self._tracer._open(self)
         self.t_start = time.time()
+        self.perf_start = time.perf_counter()
         self.cpu_start = time.process_time()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.t_end = time.time()
-        self.wall = self.t_end - self.t_start
+        self.wall = time.perf_counter() - self.perf_start
+        # Derived from the monotonic duration, not a second wall-clock
+        # read: ``t_end - t_start == wall`` holds even across NTP steps.
+        self.t_end = self.t_start + self.wall
         self.cpu = time.process_time() - self.cpu_start
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)

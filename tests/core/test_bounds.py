@@ -144,7 +144,67 @@ class TestBoundsCache:
         second = cache.get(tiny_net, unit_region(6), "interval")
         assert cache.hits == 1 and cache.misses == 1
         assert len(cache) == 1
-        assert second is first
+        # One computation, shared content: the hit hands back the very
+        # same (read-only) arrays inside a fresh, caller-owned list.
+        assert second is not first
+        for a, b in zip(first, second):
+            assert b.lower is a.lower and b.upper is a.upper
+
+    def test_cached_arrays_are_read_only(self, tiny_net):
+        from repro.core.bounds import BoundsCache
+
+        cache = BoundsCache()
+        bounds = cache.get(tiny_net, unit_region(6), "interval")
+        with pytest.raises(ValueError):
+            bounds[0].lower[0] = -999.0
+        with pytest.raises(ValueError):
+            bounds[-1].upper += 1.0
+
+    def test_caller_list_mutation_cannot_corrupt_the_entry(self, tiny_net):
+        """Regression: lookups used to share one list object, so a
+        caller replacing a slot poisoned every later cell."""
+        from repro.core.bounds import BoundsCache, LayerBounds
+
+        cache = BoundsCache()
+        first = cache.get(tiny_net, unit_region(6), "interval")
+        pristine = first[0].lower.copy()
+        first[0] = LayerBounds(
+            np.full_like(pristine, -1e9),
+            np.full_like(first[0].upper, 1e9),
+        )
+        second = cache.get(tiny_net, unit_region(6), "interval")
+        np.testing.assert_array_equal(second[0].lower, pristine)
+
+    def test_spill_reloads_across_instances(self, tiny_net, tmp_path):
+        from repro.core.bounds import BoundsCache, bounds_cache_key
+
+        path = str(tmp_path / "bounds.jsonl")
+        cache = BoundsCache(spill_path=path)
+        stored = cache.get(tiny_net, unit_region(6), "interval")
+        reborn = BoundsCache(spill_path=path)
+        assert len(reborn) == 1
+        entry = reborn.peek(
+            bounds_cache_key(tiny_net, unit_region(6), "interval")
+        )
+        assert entry is not None and entry[1] is None
+        for fresh, orig in zip(entry[0], stored):
+            np.testing.assert_array_equal(fresh.lower, orig.lower)
+            np.testing.assert_array_equal(fresh.upper, orig.upper)
+            assert not fresh.lower.flags.writeable
+
+    def test_failures_spill_too(self, tiny_net, tmp_path):
+        from repro.core.bounds import BoundsCache, bounds_cache_key
+
+        path = str(tmp_path / "bounds.jsonl")
+        cache = BoundsCache(spill_path=path)
+        bad = unit_region(5)  # dim mismatch with the 6-input net
+        with pytest.raises(EncodingError):
+            cache.get(tiny_net, bad, "interval")
+        reborn = BoundsCache(spill_path=path)
+        entry = reborn.peek(bounds_cache_key(tiny_net, bad, "interval"))
+        assert entry is not None
+        bounds, error = entry
+        assert bounds is None and "region dim" in error
 
     def test_different_geometry_misses(self, tiny_net):
         from repro.core.bounds import BoundsCache

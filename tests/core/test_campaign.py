@@ -1,5 +1,8 @@
 """Verification-campaign tests."""
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
@@ -493,3 +496,149 @@ class TestDegenerateAccounting:
         assert report.total_cuts_evicted == 1
         assert report.total_cut_separation_time == pytest.approx(0.75)
         assert "cutting planes: 8 added over 3 rounds" in report.summary()
+
+
+# -- worker-crash fault isolation -----------------------------------------
+
+#: Crash tests hard-kill forked workers running classes defined here;
+#: only the fork start method inherits those definitions.
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker-crash tests need the fork start method",
+)
+
+
+def _armed(obj):
+    """True when ``obj`` is evaluated outside the pid that armed it."""
+    return os.getpid() != obj.__dict__.get("_home_pid", os.getpid())
+
+
+class BombNetwork(FeedForwardNetwork):
+    """Hard-kills any *worker* process that evaluates it."""
+
+    def forward(self, x, train=False):
+        if _armed(self):
+            os._exit(13)
+        return super().forward(x, train=train)
+
+
+class BombRegion(InputRegion):
+    """Hard-kills any *worker* process that reads its bounds."""
+
+    @property
+    def bounds(self):
+        if _armed(self):
+            os._exit(17)
+        return self.__dict__["_bounds_arr"]
+
+    @bounds.setter
+    def bounds(self, value):
+        self.__dict__["_bounds_arr"] = value
+
+
+def bomb_network(seed=7):
+    net = BombNetwork(
+        FeedForwardNetwork.mlp(
+            4, [5], 2, rng=np.random.default_rng(seed)
+        ).layers
+    )
+    net._home_pid = os.getpid()
+    return net
+
+
+def bomb_region(dim=4):
+    # Geometry distinct from unit_region(): a shared bounds/verdict
+    # cache entry would otherwise answer without touching a worker.
+    region = BombRegion(np.array([[-0.9, 0.9]] * dim))
+    region._home_pid = os.getpid()
+    return region
+
+
+@needs_fork
+class TestWorkerCrashIsolation:
+    """A killed worker costs exactly its in-flight job, nothing else."""
+
+    def test_mid_cell_crash_confined_to_the_bomb_network(self):
+        baseline = matrix_campaign(num_nets=2).run()
+        c = matrix_campaign(num_nets=2)
+        c.add_network(bomb_network(), "bomb")
+        report = c.run(jobs=2)
+        # The bomb's max query forces an in-worker forward() replay.
+        boom = report.cell("bomb", "max0")
+        assert boom.result.verdict is Verdict.ERROR
+        assert "worker process died" in boom.result.description
+        # Every error is the bomb's; no healthy cell was collateral.
+        assert all(e.network_id == "bomb" for e in report.errors())
+        # Survivors match a bomb-free serial run bit-for-bit.
+        healthy = [t for t in cell_tuples(report) if t[0] != "bomb"]
+        assert healthy == cell_tuples(baseline)
+        survivors = [c for c in report.cells if c.network_id != "bomb"]
+        for s, p in zip(baseline.cells, survivors):
+            if not np.isnan(s.result.value):
+                assert p.result.value == s.result.value
+
+    def test_mid_bounds_crash_confined_to_the_region_key(self):
+        baseline = matrix_campaign(num_nets=2).run()
+        c = matrix_campaign(num_nets=2)
+        c.add_max_query("boom", bomb_region(), OutputObjective.single(0))
+        report = c.run(jobs=2)
+        boom = [
+            cell for cell in report.cells
+            if cell.property_name == "boom"
+        ]
+        assert len(boom) == 2
+        for cell in boom:
+            assert cell.result.verdict is Verdict.ERROR
+            assert (
+                "bound computation failed" in cell.result.description
+            )
+            assert "worker process died" in (cell.traceback or "")
+        healthy = [t for t in cell_tuples(report) if t[1] != "boom"]
+        assert healthy == cell_tuples(baseline)
+
+
+class TestAttachedPool:
+    """Campaigns sharing one pool share its workers and caches."""
+
+    def test_pool_workers_decide_the_fanout(self):
+        from repro.core.pool import VerificationPool
+
+        with VerificationPool(workers=2) as pool:
+            report = matrix_campaign().run(pool=pool)
+            assert report.jobs == 2
+            assert cell_tuples(report) == cell_tuples(
+                matrix_campaign().run()
+            )
+
+    def test_second_run_is_all_verdict_cache_hits(self):
+        from repro.core.pool import VerificationPool
+
+        with VerificationPool(workers=2) as pool:
+            first = matrix_campaign().run(pool=pool)
+            hits_before = pool.verdict_cache.hits
+            second = matrix_campaign().run(pool=pool)
+            assert cell_tuples(second) == cell_tuples(first)
+            for a, b in zip(first.cells, second.cells):
+                if not np.isnan(a.result.value):
+                    assert b.result.value == a.result.value
+            hits = pool.verdict_cache.hits - hits_before
+            assert hits == len(second.cells)
+            assert all(
+                cell.result.metrics.get("verdict_cache_hit") == 1.0
+                for cell in second.cells
+            )
+
+    def test_serial_run_shares_the_pool_caches(self):
+        from repro.core.pool import VerificationPool
+
+        with VerificationPool(workers=1) as pool:
+            matrix_campaign().run(pool=pool)  # workers=1: serial path
+            report = matrix_campaign().run(pool=pool)
+            assert all(
+                cell.result.metrics.get("verdict_cache_hit") == 1.0
+                for cell in report.cells
+            )
+            # No worker was ever needed for the cached runs.
+            assert pool.stats()["verdict_cache.hits"] >= len(
+                report.cells
+            )

@@ -1,0 +1,379 @@
+"""VerificationPool tests: caches, job API, crash recovery, durability."""
+
+import math
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignQuery
+from repro.core.encoder import EncoderOptions
+from repro.core.pool import (
+    CACHEABLE_VERDICTS,
+    VerdictCache,
+    VerificationPool,
+)
+from repro.core.properties import InputRegion, OutputObjective
+from repro.core.verifier import (
+    VerificationResult,
+    Verdict,
+    Verifier,
+    result_from_dict,
+    result_to_dict,
+    verdict_fingerprint,
+)
+from repro.milp import MILPOptions
+from repro.nn import FeedForwardNetwork
+
+#: The crash tests hard-kill forked workers running classes defined in
+#: this module; only the fork start method inherits those definitions.
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker-crash tests need the fork start method",
+)
+
+ENC = EncoderOptions(bound_mode="interval")
+MILP = MILPOptions(time_limit=60.0)
+
+
+def unit_region(dim=3):
+    return InputRegion(np.array([[-1.0, 1.0]] * dim))
+
+
+def make_net(seed=0):
+    return FeedForwardNetwork.mlp(
+        3, [5], 2, rng=np.random.default_rng(seed)
+    )
+
+
+def max_query(name="q", region=None, output=0):
+    return CampaignQuery(
+        name=name,
+        region=region or unit_region(),
+        objective=OutputObjective.single(output),
+        kind="max",
+    )
+
+
+def _armed(obj):
+    """True when ``obj`` is evaluated outside the pid that armed it."""
+    return os.getpid() != obj.__dict__.get("_home_pid", os.getpid())
+
+
+class BombNetwork(FeedForwardNetwork):
+    """Hard-kills any *worker* process that evaluates it."""
+
+    def forward(self, x, train=False):
+        if _armed(self):
+            os._exit(13)
+        return super().forward(x, train=train)
+
+
+class BombRegion(InputRegion):
+    """Hard-kills any *worker* process that reads its bounds."""
+
+    @property
+    def bounds(self):
+        if _armed(self):
+            os._exit(17)
+        return self.__dict__["_bounds_arr"]
+
+    @bounds.setter
+    def bounds(self, value):
+        self.__dict__["_bounds_arr"] = value
+
+
+def bomb_network(seed=99):
+    net = BombNetwork(make_net(seed).layers)
+    net._home_pid = os.getpid()
+    return net
+
+
+def bomb_region(dim=3):
+    region = BombRegion(np.array([[-0.9, 0.9]] * dim))
+    region._home_pid = os.getpid()
+    return region
+
+
+def a_result(verdict=Verdict.MAX_FOUND, value=1.25):
+    return VerificationResult(
+        verdict=verdict,
+        value=value,
+        best_bound=value,
+        counterexample=np.array([0.1, -0.2, 0.3]),
+        network_value=value,
+        wall_time=0.5,
+        nodes=7,
+        num_binaries=4,
+        description="unit",
+        lp_iterations=42,
+        metrics={"warm_start_hits": 3.0},
+    )
+
+
+class TestVerdictCache:
+    def test_roundtrip_preserves_verdict_and_optimum(self):
+        cache = VerdictCache()
+        stored = a_result()
+        assert cache.put("fp", stored)
+        got = cache.get("fp")
+        assert got.verdict is stored.verdict
+        assert got.value == stored.value  # bit-for-bit
+        assert got.metrics["verdict_cache_hit"] == 1.0
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counted(self):
+        cache = VerdictCache()
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_nondeterministic_verdicts_refused(self):
+        cache = VerdictCache()
+        for verdict in (Verdict.TIMEOUT, Verdict.ERROR):
+            assert verdict not in CACHEABLE_VERDICTS
+            assert not cache.put("fp", a_result(verdict=verdict))
+        assert len(cache) == 0
+
+    def test_hit_is_a_defensive_copy(self):
+        cache = VerdictCache()
+        cache.put("fp", a_result())
+        first = cache.get("fp")
+        first.counterexample[0] = 99.0
+        first.metrics["warm_start_hits"] = -1.0
+        second = cache.get("fp")
+        assert second.counterexample[0] == 0.1
+        assert second.metrics["warm_start_hits"] == 3.0
+
+    def test_spill_reloads_across_instances(self, tmp_path):
+        path = str(tmp_path / "verdicts.jsonl")
+        VerdictCache(spill_path=path).put("fp", a_result())
+        reborn = VerdictCache(spill_path=path)
+        assert len(reborn) == 1
+        got = reborn.get("fp")
+        assert got.value == 1.25
+        assert got.nodes == 7
+
+    def test_result_dict_roundtrip_exact(self):
+        stored = a_result()
+        back = result_from_dict(result_to_dict(stored))
+        assert back.verdict is stored.verdict
+        assert back.value == stored.value
+        assert back.best_bound == stored.best_bound
+        assert np.array_equal(back.counterexample, stored.counterexample)
+        assert back.metrics == stored.metrics
+
+    def test_result_dict_handles_nans_and_none(self):
+        sparse = VerificationResult(verdict=Verdict.ERROR)
+        back = result_from_dict(result_to_dict(sparse))
+        assert back.verdict is Verdict.ERROR
+        assert math.isnan(back.value)
+        assert back.counterexample is None
+
+
+class TestVerdictFingerprint:
+    def base(self, **overrides):
+        params = dict(
+            network=make_net(),
+            region=unit_region(),
+            objective=OutputObjective.single(0),
+            kind="max",
+            threshold=0.0,
+            encoder_options=ENC,
+            milp_options=MILP,
+        )
+        params.update(overrides)
+        return verdict_fingerprint(**params)
+
+    def test_equal_inputs_equal_fingerprint(self):
+        assert self.base() == self.base()
+
+    def test_region_name_excluded(self):
+        renamed = unit_region()
+        renamed.name = "other-name"
+        assert self.base() == self.base(region=renamed)
+
+    @pytest.mark.parametrize("change", [
+        dict(network=make_net(seed=1)),
+        dict(region=InputRegion(np.array([[-0.5, 0.5]] * 3))),
+        dict(objective=OutputObjective.single(1)),
+        dict(kind="prove"),
+        dict(threshold=2.0),
+        dict(encoder_options=EncoderOptions(bound_mode="lp")),
+        dict(milp_options=MILPOptions(time_limit=30.0)),
+        dict(milp_options=MILPOptions(time_limit=60.0, cuts=True)),
+    ])
+    def test_any_input_change_changes_fingerprint(self, change):
+        assert self.base() != self.base(**change)
+
+
+class TestJobAPI:
+    def test_submit_fetch_matches_in_process_solve(self):
+        net = make_net()
+        expected = Verifier(net, ENC, MILP).maximize(
+            unit_region(), OutputObjective.single(0),
+            raise_on_infeasible=False,
+        )
+        with VerificationPool(workers=1) as pool:
+            ticket = pool.submit(
+                net, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            assert not ticket.cached
+            result = pool.fetch(ticket, timeout=120)
+        assert result.verdict is expected.verdict
+        assert result.value == expected.value  # bit-for-bit
+
+    def test_repeat_submission_answered_from_cache(self):
+        net = make_net()
+        with VerificationPool(workers=1) as pool:
+            first = pool.submit(
+                net, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            got = pool.fetch(first, timeout=120)
+            second = pool.submit(
+                net, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            assert second.cached
+            assert second.fingerprint == first.fingerprint
+            cached = pool.fetch(second)
+            assert cached.verdict is got.verdict
+            assert cached.value == got.value
+            assert cached.metrics["verdict_cache_hit"] == 1.0
+            stats = pool.stats()
+            assert stats["verdict_cache.hits"] >= 1
+
+    def test_stream_relays_trace_records_live(self):
+        net = make_net()
+        with VerificationPool(workers=1) as pool:
+            ticket = pool.submit(
+                net, max_query(), encoder_options=ENC,
+                milp_options=MILP, stream=True,
+            )
+            records = list(pool.stream(ticket))
+            result = pool.fetch(ticket, timeout=120)
+        assert result.verdict is Verdict.MAX_FOUND
+        names = {r.get("name") for r in records}
+        assert "cell" in names  # the worker's cell span came through
+
+    def test_poll_reaches_done(self):
+        net = make_net()
+        with VerificationPool(workers=1) as pool:
+            ticket = pool.submit(
+                net, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            deadline = 120
+            import time as _time
+
+            t0 = _time.monotonic()
+            while pool.poll(ticket) != "done":
+                assert _time.monotonic() - t0 < deadline
+                pool.wait(timeout=0.1)
+            assert pool.fetch(ticket).verdict is Verdict.MAX_FOUND
+
+    def test_prewarm_spawns_full_complement(self):
+        with VerificationPool(workers=2) as pool:
+            assert pool.prewarm() == 2
+            assert pool.stats()["pool.workers"] == 2
+
+    def test_shutdown_is_idempotent_and_final(self):
+        from repro.errors import CertificationError
+
+        pool = VerificationPool(workers=1)
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(CertificationError):
+            pool.submit_task("ping", None)
+
+
+class TestDurability:
+    def test_verdicts_survive_pool_restart(self, tmp_path):
+        net = make_net()
+        cache_dir = str(tmp_path / "cache")
+        with VerificationPool(workers=1, cache_dir=cache_dir) as pool:
+            ticket = pool.submit(
+                net, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            first = pool.fetch(ticket, timeout=120)
+        assert os.path.exists(os.path.join(cache_dir, "verdicts.jsonl"))
+        # A fresh pool over the same directory answers without workers.
+        with VerificationPool(workers=1, cache_dir=cache_dir) as pool:
+            ticket = pool.submit(
+                net, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            assert ticket.cached
+            again = pool.fetch(ticket)
+        assert again.verdict is first.verdict
+        assert again.value == first.value  # bit-for-bit through JSONL
+
+    def test_bounds_cache_spill_roundtrip(self, tmp_path):
+        from repro.core.bounds import BoundsCache
+
+        net = make_net()
+        path = str(tmp_path / "bounds.jsonl")
+        cache = BoundsCache(spill_path=path)
+        bounds, error = cache.lookup(net, unit_region(), "interval")
+        assert error is None
+        reborn = BoundsCache(spill_path=path)
+        assert len(reborn) == 1
+        entry = reborn.peek(
+            (net.fingerprint(), unit_region().fingerprint(), "interval")
+        )
+        assert entry is not None
+        shared, err = entry
+        assert err is None
+        for fresh, orig in zip(shared, bounds):
+            np.testing.assert_array_equal(fresh.lower, orig.lower)
+            np.testing.assert_array_equal(fresh.upper, orig.upper)
+            assert not fresh.lower.flags.writeable
+
+
+@needs_fork
+class TestCrashRecovery:
+    def test_mid_cell_crash_degrades_to_error_result(self):
+        bomb = bomb_network()
+        with VerificationPool(workers=1) as pool:
+            ticket = pool.submit(
+                bomb, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            result = pool.fetch(ticket, timeout=120)
+            assert result.verdict is Verdict.ERROR
+            assert "worker" in result.description
+            # The pool respawned: the next (healthy) job completes.
+            good = pool.submit(
+                make_net(), max_query(),
+                encoder_options=ENC, milp_options=MILP,
+            )
+            assert pool.fetch(good, timeout=120).verdict is (
+                Verdict.MAX_FOUND
+            )
+            assert pool.stats()["pool.worker_crashes"] >= 1
+
+    def test_crash_not_memoised(self):
+        """A crashed job must never poison the verdict cache."""
+        bomb = bomb_network()
+        with VerificationPool(workers=1) as pool:
+            ticket = pool.submit(
+                bomb, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            pool.fetch(ticket, timeout=120)
+            retry = pool.submit(
+                bomb, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            assert not retry.cached
+            pool.fetch(retry, timeout=120)
+
+    def test_queued_jobs_survive_a_crash(self):
+        """One worker, bomb first in line: the queue keeps draining."""
+        with VerificationPool(workers=1) as pool:
+            bad = pool.submit(
+                bomb_network(), max_query(),
+                encoder_options=ENC, milp_options=MILP,
+            )
+            good = pool.submit(
+                make_net(), max_query("q2", output=1),
+                encoder_options=ENC, milp_options=MILP,
+            )
+            assert pool.fetch(bad, timeout=120).verdict is Verdict.ERROR
+            assert pool.fetch(good, timeout=120).verdict is (
+                Verdict.MAX_FOUND
+            )

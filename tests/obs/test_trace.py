@@ -150,3 +150,47 @@ class TestConsoleSink:
         assert "span phase" in out
         assert "event tick" in out
         assert "rid" in out
+
+
+class TestMonotonicDurations:
+    """Span durations come from the monotonic clock, not the epoch one.
+
+    Regression: ``wall`` used to be ``time.time() - t_start``, so an NTP
+    step (or DST adjustment) mid-span produced negative durations that
+    poisoned every downstream aggregate.
+    """
+
+    def test_backwards_epoch_step_cannot_go_negative(self, monkeypatch):
+        import time as time_mod
+
+        # time.time() jumps one hour *backwards* while the span is open;
+        # the monotonic clock is untouched.
+        readings = [1_000_000.0, 996_400.0]
+        monkeypatch.setattr(
+            time_mod, "time",
+            lambda: readings.pop(0) if readings else 996_400.0,
+        )
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        with tracer.span("steady"):
+            pass
+        (rec,) = sink.records
+        assert rec["wall"] >= 0.0
+        assert rec["t_start"] == 1_000_000.0
+        # t_end is derived from t_start + wall, never a second epoch
+        # reading, so the interval stays self-consistent.
+        assert rec["t_end"] >= rec["t_start"]
+        assert rec["t_end"] == pytest.approx(
+            rec["t_start"] + rec["wall"]
+        )
+
+    def test_wall_tracks_real_elapsed_time(self):
+        import time as time_mod
+
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        with tracer.span("sleepy"):
+            time_mod.sleep(0.02)
+        (rec,) = sink.records
+        assert rec["wall"] >= 0.015
+        assert rec["cpu"] >= 0.0

@@ -339,3 +339,119 @@ class TestAudit:
         payload = json.loads(out.read_text())
         assert payload["schema"] == "repro-audit/1"
         assert payload["errors"] == 0
+
+
+class TestCampaignPool:
+    def test_cache_dir_survives_invocations(
+        self, data_file, net_file, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "campaign",
+            "--data", str(data_file),
+            "--net", str(net_file),
+            "--time-limit", "120",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "verification campaign" in first
+        assert "pool:" in first                  # stats line printed
+        assert (cache_dir / "verdicts.jsonl").exists()
+        # A fresh process-equivalent run answers from the spilled cache.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "verification campaign" in second
+        assert "verdict cache 2 hits / 0 misses" in second
+
+    def test_pool_flag_without_cache_dir(
+        self, data_file, net_file, capsys
+    ):
+        code = main(
+            [
+                "campaign",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+                "--pool",
+            ]
+        )
+        assert code == 0
+        assert "pool:" in capsys.readouterr().out
+
+
+class TestServe:
+    def _session(self, requests, argv, capsys, monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                "\n".join(json.dumps(r) for r in requests) + "\n"
+            ),
+        )
+        assert main(argv) == 0
+        return [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+
+    def test_json_lines_session(
+        self, data_file, net_file, capsys, monkeypatch
+    ):
+        submit = {
+            "op": "submit", "net": "I4x4",
+            "kind": "prove", "component": 0, "threshold": 1e9,
+        }
+        replies = self._session(
+            [
+                submit,
+                {"op": "fetch", "ticket": 1},
+                submit,                      # verdict-cache answer
+                {"op": "bogus"},
+                {"op": "stats"},
+                {"op": "quit"},
+            ],
+            [
+                "serve",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "60",
+                "--bound-mode", "interval",
+            ],
+            capsys, monkeypatch,
+        )
+        ready, first, fetched, second, bogus, stats, quit_ = replies
+        assert ready["op"] == "ready"
+        assert ready["networks"] == ["I4x4"]
+        assert ready["workers"] == 1
+        assert first["op"] == "submit" and not first["cached"]
+        assert fetched["op"] == "fetch"
+        assert fetched["result"]["verdict"] == "verified"
+        assert second["cached"] is True
+        assert second["fingerprint"] == first["fingerprint"]
+        assert bogus["op"] == "error"
+        assert "unknown op" in bogus["message"]
+        assert stats["stats"]["verdict_cache.hits"] >= 1
+        assert quit_["op"] == "quit"
+
+    def test_unknown_network_is_an_error_reply(
+        self, data_file, net_file, capsys, monkeypatch
+    ):
+        replies = self._session(
+            [
+                {"op": "submit", "net": "nope", "kind": "max"},
+                {"op": "quit"},
+            ],
+            [
+                "serve",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "60",
+                "--bound-mode", "interval",
+            ],
+            capsys, monkeypatch,
+        )
+        assert replies[1]["op"] == "error"
+        assert "nope" in replies[1]["message"]

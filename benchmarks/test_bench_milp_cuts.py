@@ -11,7 +11,14 @@ branching.  Two claims are asserted on the trained Table II family:
 2. **Node reduction** — aggregated over the completed pairs, cuts-on
    explores at least 25% fewer branch-and-bound nodes (the ISSUE
    acceptance gate).
+3. **Adaptive activation pays in wall time** — with the default
+   ``cut_min_binaries`` threshold the small widths skip separation
+   entirely (so cuts cost nothing where the tree is already tiny),
+   the widest width still separates, and the historical I4x6
+   wall-time regression (0.87s cuts-off vs 2.3s forced cuts) is gone.
 
+The forced-separation legs pin ``cut_min_binaries=0`` so the cut
+machinery itself stays measured regardless of the adaptive default.
 A synthetic knapsack bench with a controllable tree rides along so the
 reduction is observable independently of the trained family.
 """
@@ -27,14 +34,23 @@ from repro.milp import MILPOptions, SolveStatus, solve_milp
 from conftest import TABLE_II_WIDTHS, TIME_LIMIT
 from test_bench_milp_warmstart import _deep_knapsack
 
+#: Small-width wall-time gate headroom: with separation skipped the
+#: adaptive code path is near-identical to cuts-off, so the ratio is
+#: noise around 1.0; the margin absorbs timer jitter, nothing else.
+ADAPTIVE_WALL_TOLERANCE = 1.15
 
-def _run_query(study, network, cuts):
+
+def _run_query(study, network, cuts, cut_min_binaries=None):
     region = casestudy.operational_region(study)
+    milp_kwargs = {}
+    if cut_min_binaries is not None:
+        milp_kwargs["cut_min_binaries"] = cut_min_binaries
     verifier = Verifier(
         network,
         EncoderOptions(bound_mode="lp"),
         MILPOptions(
-            time_limit=TIME_LIMIT, lp_backend="revised", cuts=cuts
+            time_limit=TIME_LIMIT, lp_backend="revised", cuts=cuts,
+            **milp_kwargs,
         ),
     )
     return verifier.max_lateral_velocity(
@@ -44,13 +60,24 @@ def _run_query(study, network, cuts):
 
 @pytest.fixture(scope="module")
 def paired_results(study, family):
-    """(cuts-off, cuts-on) revised-simplex runs per Table II width."""
+    """(cuts-off, forced cuts-on) revised-simplex runs per width."""
     pairs = {}
     for width in TABLE_II_WIDTHS:
         off = _run_query(study, family[width], cuts=False)
-        on = _run_query(study, family[width], cuts=True)
+        on = _run_query(
+            study, family[width], cuts=True, cut_min_binaries=0
+        )
         pairs[width] = (off, on)
     return pairs
+
+
+@pytest.fixture(scope="module")
+def adaptive_results(study, family):
+    """Cuts on with the *default* adaptive activation threshold."""
+    return {
+        width: _run_query(study, family[width], cuts=True)
+        for width in TABLE_II_WIDTHS
+    }
 
 
 def _completed(pair):
@@ -156,6 +183,82 @@ class TestCutsNodeReduction:
 
         result = benchmark.pedantic(run, rounds=1, iterations=1)
         assert result.verdict in (Verdict.MAX_FOUND, Verdict.TIMEOUT)
+
+
+class TestAdaptiveActivation:
+    def test_small_widths_skip_wide_widths_separate(
+        self, adaptive_results, emit, bench_record
+    ):
+        """The default threshold must split the family: separation
+        skipped where the binary count is small, still running on the
+        widest network."""
+        saw_skip = saw_cuts = False
+        for width, res in adaptive_results.items():
+            emit(
+                f"\nI4x{width} adaptive: {res.nodes} nodes "
+                f"({res.wall_time:.2f}s, {res.cuts_added} cuts, "
+                f"{res.cuts_skipped_adaptive} solve(s) skipped)"
+            )
+            bench_record(
+                "cuts", f"I4x{width}_adaptive",
+                wall_time=res.wall_time,
+                nodes=res.nodes,
+                lp_iterations=res.lp_iterations,
+                cuts_added=res.cuts_added,
+                cut_rounds=res.cut_rounds,
+                cuts_skipped_adaptive=res.cuts_skipped_adaptive,
+                timed_out=res.timed_out,
+            )
+            if res.cuts_skipped_adaptive:
+                saw_skip = True
+                assert res.cuts_added == 0, f"I4x{width}"
+            if res.cuts_added:
+                saw_cuts = True
+        assert saw_skip, "no width fell below the adaptive threshold"
+        assert saw_cuts, "no width separated under the adaptive default"
+        widest = adaptive_results[max(TABLE_II_WIDTHS)]
+        assert widest.cuts_skipped_adaptive == 0
+
+    def test_adaptive_matches_cuts_off_verdicts(
+        self, paired_results, adaptive_results
+    ):
+        for width, (off, _) in paired_results.items():
+            res = adaptive_results[width]
+            if not (
+                off.verdict is Verdict.MAX_FOUND
+                and res.verdict is Verdict.MAX_FOUND
+            ):
+                continue
+            assert res.value == pytest.approx(
+                off.value, abs=1e-6
+            ), f"I4x{width}"
+
+    def test_small_width_wall_time_gate(
+        self, study, family, emit, bench_record
+    ):
+        """The regression the threshold exists for: at I4x6 the forced
+        cut loop used to turn a 0.87s solve into a 2.3s one.  With the
+        adaptive default, cuts-on must cost no more wall time than
+        cuts-off (best of 3, small jitter margin)."""
+        width = 6
+        off_wall = min(
+            _run_query(study, family[width], cuts=False).wall_time
+            for _ in range(3)
+        )
+        adaptive_wall = min(
+            _run_query(study, family[width], cuts=True).wall_time
+            for _ in range(3)
+        )
+        emit(
+            f"\nI4x{width} best-of-3 wall: cuts-off {off_wall:.3f}s vs "
+            f"adaptive cuts-on {adaptive_wall:.3f}s"
+        )
+        bench_record(
+            "cuts", f"I4x{width}_adaptive_wall_gate",
+            wall_cuts_off=off_wall, wall_adaptive=adaptive_wall,
+            tolerance=ADAPTIVE_WALL_TOLERANCE,
+        )
+        assert adaptive_wall <= off_wall * ADAPTIVE_WALL_TOLERANCE
 
 
 class TestKnapsackCuts:

@@ -29,17 +29,27 @@ from repro.analysis.audit import (
     audit_region,
 )
 from repro.analysis.symbolic import (
+    AlphaStats,
+    alpha_bounds,
+    alpha_objective_bounds,
+    alpha_objective_bounds_batch,
     symbolic_bounds,
     symbolic_objective_bounds,
+    symbolic_objective_bounds_batch,
 )
 
 __all__ = [
+    "AlphaStats",
     "AuditReport",
     "Diagnostic",
     "Severity",
+    "alpha_bounds",
+    "alpha_objective_bounds",
+    "alpha_objective_bounds_batch",
     "audit_encoding",
     "audit_network",
     "audit_region",
     "symbolic_bounds",
     "symbolic_objective_bounds",
+    "symbolic_objective_bounds_batch",
 ]

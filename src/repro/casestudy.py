@@ -268,6 +268,33 @@ def operational_region(
     return region
 
 
+def _encoder_options(
+    bound_mode: str, alpha_iters: Optional[int]
+) -> EncoderOptions:
+    """Encoder options with the alpha iteration override applied."""
+    options = EncoderOptions(bound_mode=bound_mode)
+    if alpha_iters is not None:
+        options = dataclasses.replace(options, alpha_iters=alpha_iters)
+    return options
+
+
+def _milp_options(
+    time_limit: float,
+    lp_backend: str,
+    cuts: Optional[bool],
+    cut_min_binaries: Optional[int],
+) -> MILPOptions:
+    """MILP options with the adaptive-cut threshold override applied."""
+    options = MILPOptions(
+        time_limit=time_limit, lp_backend=lp_backend, cuts=cuts
+    )
+    if cut_min_binaries is not None:
+        options = dataclasses.replace(
+            options, cut_min_binaries=cut_min_binaries
+        )
+    return options
+
+
 def verify_network(
     study: CaseStudy,
     network: FeedForwardNetwork,
@@ -279,6 +306,8 @@ def verify_network(
     tracer=None,
     lp_backend: str = "highs",
     cuts: Optional[bool] = None,
+    alpha_iters: Optional[int] = None,
+    cut_min_binaries: Optional[int] = None,
 ) -> TableIIRow:
     """Step 4: one Table II row — max lateral velocity with left occupied.
 
@@ -287,7 +316,9 @@ def verify_network(
     ``tracer`` turns on phase spans and solver events either way.
     ``lp_backend``/``cuts`` select the node-LP engine and its
     cutting-plane loop (cuts need a tableau-exposing backend; see
-    :class:`repro.milp.MILPOptions`).
+    :class:`repro.milp.MILPOptions`).  ``alpha_iters`` tunes the
+    ``bound_mode="alpha"`` optimiser; ``cut_min_binaries`` overrides the
+    adaptive cut-activation threshold (``None`` keeps the defaults).
     """
     if jobs is not None and jobs != 1:
         return run_table_ii(
@@ -300,14 +331,14 @@ def verify_network(
             tracer=tracer,
             lp_backend=lp_backend,
             cuts=cuts,
+            alpha_iters=alpha_iters,
+            cut_min_binaries=cut_min_binaries,
         )[0]
     region = region or operational_region(study, max_gap=max_gap)
     verifier = Verifier(
         network,
-        EncoderOptions(bound_mode=bound_mode),
-        MILPOptions(
-            time_limit=time_limit, lp_backend=lp_backend, cuts=cuts
-        ),
+        _encoder_options(bound_mode, alpha_iters),
+        _milp_options(time_limit, lp_backend, cuts, cut_min_binaries),
         tracer=tracer,
     )
     result = verifier.max_lateral_velocity(
@@ -336,6 +367,8 @@ def table_ii_campaign(
     threshold: Optional[float] = None,
     lp_backend: str = "highs",
     cuts: Optional[bool] = None,
+    alpha_iters: Optional[int] = None,
+    cut_min_binaries: Optional[int] = None,
 ) -> "VerificationCampaign":
     """Build the Table II sweep as a campaign: one max query per mixture
     component on every network; ``threshold`` adds the decision query
@@ -348,10 +381,8 @@ def table_ii_campaign(
 
     region = region or operational_region(study)
     campaign = VerificationCampaign(
-        EncoderOptions(bound_mode=bound_mode),
-        MILPOptions(
-            time_limit=time_limit, lp_backend=lp_backend, cuts=cuts
-        ),
+        _encoder_options(bound_mode, alpha_iters),
+        _milp_options(time_limit, lp_backend, cuts, cut_min_binaries),
         jobs=jobs,
         cell_time_limit=cell_time_limit,
     )
@@ -429,6 +460,8 @@ def run_table_ii(
     tracer=None,
     lp_backend: str = "highs",
     cuts: Optional[bool] = None,
+    alpha_iters: Optional[int] = None,
+    cut_min_binaries: Optional[int] = None,
 ) -> List[TableIIRow]:
     """Step 4 for the whole family, in width order.
 
@@ -446,6 +479,8 @@ def run_table_ii(
         cell_time_limit=cell_time_limit,
         lp_backend=lp_backend,
         cuts=cuts,
+        alpha_iters=alpha_iters,
+        cut_min_binaries=cut_min_binaries,
     )
     report = campaign.run(progress=progress, tracer=tracer)
     return table_ii_rows(study, networks, report)

@@ -67,6 +67,12 @@ def _add_solver_args(parser: argparse.ArgumentParser) -> None:
         "--no-cuts", dest="cuts", action="store_false",
         help="force the cutting-plane loop off",
     )
+    parser.add_argument(
+        "--cut-min-binaries", type=int, default=None, metavar="N",
+        help="adaptive cut activation: skip separation on models with "
+        "fewer than N binaries (0 disables the threshold; default: "
+        "solver default)",
+    )
 
 
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:
@@ -129,6 +135,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=None,
         help="also run the decision query 'never above THRESHOLD m/s'",
     )
+    verify.add_argument(
+        "--bound-mode", default="lp",
+        choices=("interval", "crown", "symbolic", "alpha", "lp"),
+    )
+    verify.add_argument(
+        "--alpha-iters", type=int, default=None, metavar="N",
+        help="projected-gradient iterations for --bound-mode alpha "
+        "(default: engine default)",
+    )
     _add_solver_args(verify)
     _add_observability_args(verify)
 
@@ -159,7 +174,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--bound-mode", default="lp",
-        choices=("interval", "crown", "symbolic", "lp"),
+        choices=("interval", "crown", "symbolic", "alpha", "lp"),
+    )
+    campaign.add_argument(
+        "--alpha-iters", type=int, default=None, metavar="N",
+        help="projected-gradient iterations for --bound-mode alpha "
+        "(default: engine default)",
     )
     campaign.add_argument(
         "--pool", action="store_true",
@@ -197,7 +217,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--bound-mode", default="lp",
-        choices=("interval", "crown", "symbolic", "lp"),
+        choices=("interval", "crown", "symbolic", "alpha", "lp"),
+    )
+    serve.add_argument(
+        "--alpha-iters", type=int, default=None, metavar="N",
+        help="projected-gradient iterations for --bound-mode alpha",
     )
     _add_solver_args(serve)
     _add_observability_args(serve)
@@ -220,7 +244,7 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--components", type=int, default=2)
     audit.add_argument(
         "--bound-mode", default="symbolic",
-        choices=("interval", "crown", "symbolic", "lp"),
+        choices=("interval", "crown", "symbolic", "alpha", "lp"),
         help="bound engine for the audited encoding (encoding audits "
         "check big-M rows against these certified bounds)",
     )
@@ -347,29 +371,31 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     try:
         row = casestudy.verify_network(
             study, network, time_limit=args.time_limit,
+            bound_mode=args.bound_mode,
             jobs=args.jobs if args.jobs != 1 else None,
             tracer=tracer,
             lp_backend=args.lp_backend, cuts=args.cuts,
+            alpha_iters=args.alpha_iters,
+            cut_min_binaries=args.cut_min_binaries,
         )
         logger.info(render_table_ii([row]))
         exit_code = 0
         if args.threshold is not None:
-            from repro.core.encoder import EncoderOptions
             from repro.core.properties import (
                 SafetyProperty,
                 component_lateral_objectives,
             )
             from repro.core.verifier import Verdict, Verifier
-            from repro.milp import MILPOptions
 
             region = casestudy.operational_region(study)
             verifier = Verifier(
                 network,
-                EncoderOptions(bound_mode="lp"),
-                MILPOptions(
-                    time_limit=args.time_limit,
-                    lp_backend=args.lp_backend,
-                    cuts=args.cuts,
+                casestudy._encoder_options(
+                    args.bound_mode, args.alpha_iters
+                ),
+                casestudy._milp_options(
+                    args.time_limit, args.lp_backend, args.cuts,
+                    args.cut_min_binaries,
                 ),
                 tracer=tracer,
             )
@@ -426,6 +452,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         lp_backend=args.lp_backend,
         cuts=args.cuts,
+        alpha_iters=args.alpha_iters,
+        cut_min_binaries=args.cut_min_binaries,
     )
     n_nets, n_queries = campaign.size
     logger.info(
@@ -499,11 +527,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json as _json
 
     from repro.core.campaign import CampaignQuery
-    from repro.core.encoder import EncoderOptions
     from repro.core.pool import VerificationPool
     from repro.core.properties import component_lateral_objectives
     from repro.core.verifier import result_to_dict
-    from repro.milp import MILPOptions
 
     study = _load_study(args.data, args.components)
     networks = {}
@@ -512,11 +538,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         networks[network.architecture_id] = network
     region = casestudy.operational_region(study)
     objectives = component_lateral_objectives(args.components)
-    encoder_options = EncoderOptions(bound_mode=args.bound_mode)
-    milp_options = MILPOptions(
-        time_limit=args.time_limit,
-        lp_backend=args.lp_backend,
-        cuts=args.cuts,
+    encoder_options = casestudy._encoder_options(
+        args.bound_mode, args.alpha_iters
+    )
+    milp_options = casestudy._milp_options(
+        args.time_limit, args.lp_backend, args.cuts,
+        args.cut_min_binaries,
     )
     pool = VerificationPool(
         workers=args.jobs, cache_dir=args.cache_dir,

@@ -41,6 +41,7 @@ from repro.core.bounds import (
     LayerBounds,
     bounds_cache_key,
     compute_bounds_entry,
+    encode_bound_mode,
 )
 from repro.core.encoder import EncoderOptions
 from repro.core.properties import (
@@ -153,6 +154,12 @@ class CampaignReport:
     cells: List[CampaignCell]
     wall_time: float = 0.0
     jobs: int = 1
+    #: Alpha-optimiser telemetry of the campaign's *shared* bound sets
+    #: (one per unique bounds key; cache hits count the iterations
+    #: embodied in the reused bounds).  Per-cell optimiser work — e.g.
+    #: static alpha proofs — lives in the cells' own metrics.
+    bounds_alpha_iters: int = 0
+    bounds_alpha_improvement: float = 0.0
 
     @property
     def all_passed(self) -> bool:
@@ -230,6 +237,18 @@ class CampaignReport:
     def total_cut_separation_time(self) -> float:
         """Seconds spent inside cut separators across all cells."""
         return sum(c.result.cut_separation_time for c in self.cells)
+
+    @property
+    def total_cuts_skipped_adaptive(self) -> int:
+        """Solves that skipped cut separation below the size threshold."""
+        return sum(c.result.cuts_skipped_adaptive for c in self.cells)
+
+    @property
+    def total_alpha_iters(self) -> int:
+        """Alpha-optimiser iterations across shared bounds and cells."""
+        return self.bounds_alpha_iters + sum(
+            c.result.alpha_iters for c in self.cells
+        )
 
     @property
     def static_proofs(self) -> int:
@@ -330,6 +349,21 @@ class CampaignReport:
                 f"{self.total_cut_rounds} rounds "
                 f"({self.total_cuts_evicted} evicted), "
                 f"separation {self.total_cut_separation_time:.2f}s"
+            )
+        skipped = self.total_cuts_skipped_adaptive
+        if skipped:
+            lines.append(
+                f"adaptive cuts: separation skipped in {skipped} solve"
+                f"{'s' if skipped != 1 else ''} below the binary-count "
+                "threshold"
+            )
+        if self.total_alpha_iters:
+            lines.append(
+                f"alpha bounds: {self.total_alpha_iters} optimiser "
+                f"iterations ({self.bounds_alpha_iters} in shared bound "
+                f"sets), mean bound-width improvement "
+                f"{self.bounds_alpha_improvement:.1%} vs fixed-policy "
+                "symbolic"
             )
         return "\n".join(lines)
 
@@ -661,17 +695,29 @@ class VerificationCampaign:
         if tracer.enabled:
             for task in tasks:
                 task.trace_cfg = (tracer.run_id, f"c{task.index}.")
+        alpha_by_key: Dict[Tuple[str, str, str], object] = {}
         if workers <= 1 or len(tasks) <= 1:
-            cells = self._run_serial(tasks, progress, tracer, pool=pool)
+            cells = self._run_serial(
+                tasks, progress, tracer, pool=pool,
+                alpha_by_key=alpha_by_key,
+            )
             workers = 1
         else:
             cells = self._run_parallel(
-                tasks, workers, progress, tracer, pool=pool
+                tasks, workers, progress, tracer, pool=pool,
+                alpha_by_key=alpha_by_key,
             )
+        alpha_stats = list(alpha_by_key.values())
         report = CampaignReport(
             cells=cells,
             wall_time=time.monotonic() - start,
             jobs=workers,
+            bounds_alpha_iters=sum(s.iters for s in alpha_stats),
+            bounds_alpha_improvement=(
+                sum(s.improvement for s in alpha_stats) / len(alpha_stats)
+                if alpha_stats
+                else 0.0
+            ),
         )
         if tracer.enabled:
             tracer.event(
@@ -725,8 +771,21 @@ class VerificationCampaign:
                 ),
             )
 
+    def _bound_token(self) -> str:
+        """Bound-mode token carrying the alpha-optimiser settings.
+
+        Keys the bounds cache and worker payloads, so alpha runs with
+        different iteration/step settings never share bound sets.
+        """
+        return encode_bound_mode(
+            self.encoder_options.bound_mode,
+            self.encoder_options.alpha_iters,
+            self.encoder_options.alpha_lr,
+        )
+
     def _build_tasks(self) -> List[_CellTask]:
         tasks = []
+        token = self._bound_token()
         for net_name, network in self._networks.items():
             for query in self._queries.values():
                 tasks.append(
@@ -739,9 +798,7 @@ class VerificationCampaign:
                         milp_options=self.milp_options,
                         cell_time_limit=self.cell_time_limit,
                         bounds_key=bounds_cache_key(
-                            network,
-                            query.region,
-                            self.encoder_options.bound_mode,
+                            network, query.region, token
                         ),
                     )
                 )
@@ -753,8 +810,10 @@ class VerificationCampaign:
         progress: Optional[ProgressHook],
         tracer,
         pool=None,
+        alpha_by_key: Optional[Dict[Tuple[str, str, str], object]] = None,
     ) -> List[CampaignCell]:
         cache = pool.bounds_cache if pool is not None else BoundsCache()
+        token = self._bound_token()
         cells: List[CampaignCell] = []
         for task in tasks:
             fingerprint = None
@@ -773,9 +832,12 @@ class VerificationCampaign:
                 task.bounds, task.bounds_error = cache.lookup(
                     task.network,
                     task.query.region,
-                    self.encoder_options.bound_mode,
+                    token,
                     tracer=tracer if tracer.enabled else None,
                 )
+                stats = getattr(task.bounds, "alpha_stats", None)
+                if stats is not None and alpha_by_key is not None:
+                    alpha_by_key.setdefault(task.bounds_key, stats)
             cell = _run_cell_task(task)
             if fingerprint is not None:
                 pool.verdict_cache.put(fingerprint, cell.result)
@@ -793,6 +855,7 @@ class VerificationCampaign:
         progress: Optional[ProgressHook],
         tracer,
         pool=None,
+        alpha_by_key: Optional[Dict[Tuple[str, str, str], object]] = None,
     ) -> List[CampaignCell]:
         """Fan the matrix out over a :class:`VerificationPool`.
 
@@ -809,7 +872,9 @@ class VerificationCampaign:
                 tracer=tracer if tracer.enabled else None,
             )
         try:
-            return self._run_pooled(tasks, pool, progress, tracer)
+            return self._run_pooled(
+                tasks, pool, progress, tracer, alpha_by_key=alpha_by_key
+            )
         finally:
             if owned:
                 pool.shutdown()
@@ -820,6 +885,7 @@ class VerificationCampaign:
         pool,
         progress: Optional[ProgressHook],
         tracer,
+        alpha_by_key: Optional[Dict[Tuple[str, str, str], object]] = None,
     ) -> List[CampaignCell]:
         """Pipelined two-stage fan-out with per-key fault isolation.
 
@@ -887,6 +953,9 @@ class VerificationCampaign:
         def resolve_key(key, entry) -> None:
             """Attach a bounds entry to its cells and dispatch them."""
             bounds, error = entry
+            stats = getattr(bounds, "alpha_stats", None)
+            if stats is not None and alpha_by_key is not None:
+                alpha_by_key.setdefault(key, stats)
             for task in by_key[key]:
                 task.bounds, task.bounds_error = bounds, error
                 if error is not None:
@@ -904,7 +973,7 @@ class VerificationCampaign:
             task = group[0]
             payload = (
                 key, task.network, task.query.region,
-                self.encoder_options.bound_mode,
+                self._bound_token(),
                 (tracer.run_id, f"b{i}.") if tracer.enabled else None,
             )
             job = pool.submit_task("bounds", payload)

@@ -1,159 +1,12 @@
-"""CROWN-style backward linear bound propagation for ReLU networks.
-
-A third bound engine between interval arithmetic (cheap, loose) and
-per-neuron LPs (tight, expensive): each layer's pre-activations are
-bounded by propagating *linear* upper/lower relaxations of every ReLU
-backward to the input box (Zhang et al.'s CROWN recipe, specialised to
-dense ReLU networks):
-
-* stable-active neurons pass through unchanged (slope 1);
-* stable-inactive neurons vanish (slope 0);
-* an unstable neuron with pre-activation bounds ``[l, u]`` is
-  over-approximated by the chord ``relu(z) <= u (z - l) / (u - l)`` and
-  under-approximated by the adaptive line ``relu(z) >= alpha z`` with
-  ``alpha = 1`` when ``u >= -l`` else ``0`` (the tighter choice by area).
-
-The backward pass keeps separate coefficient matrices for the upper and
-lower bound of each target neuron and picks the relaxation per sign of
-the traversed coefficient, so the final affine functions are sound by
-construction; they are then optimised in closed form over the input box.
-"""
+"""Compatibility shim: the CROWN engine lives in the unified backward
+propagator now (:mod:`repro.analysis.symbolic`), which serves the
+``crown``, ``symbolic`` and ``alpha`` bound modes from one code path
+with pluggable lower-slope policies.  ``crown_bounds`` keeps its exact
+historical behaviour (area-adaptive slopes, single concretisation at
+the input box, intersection with running interval bounds)."""
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from repro.analysis.symbolic import crown_bounds
 
-import numpy as np
-
-from repro.core.bounds import LayerBounds, _interval_affine
-from repro.core.properties import InputRegion
-from repro.errors import EncodingError
-from repro.nn.network import FeedForwardNetwork
-
-
-def _relaxation_slopes(
-    lower: np.ndarray, upper: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Per-neuron (upper slope, upper intercept, lower slope, lower
-    intercept) for the ReLU relaxations given pre-activation bounds."""
-    n = lower.shape[0]
-    up_slope = np.zeros(n)
-    up_icept = np.zeros(n)
-    lo_slope = np.zeros(n)
-    lo_icept = np.zeros(n)
-
-    active = lower >= 0.0
-    up_slope[active] = 1.0
-    lo_slope[active] = 1.0
-    # inactive neurons keep all-zero lines.
-    unstable = (~active) & (upper > 0.0)
-    l = lower[unstable]
-    u = upper[unstable]
-    chord = u / (u - l)
-    up_slope[unstable] = chord
-    up_icept[unstable] = -chord * l
-    lo_slope[unstable] = (u >= -l).astype(float)  # adaptive alpha
-    return up_slope, up_icept, lo_slope, lo_icept
-
-
-def _backward_bounds(
-    network: FeedForwardNetwork,
-    layer_index: int,
-    computed: List[LayerBounds],
-    input_lo: np.ndarray,
-    input_hi: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Bound layer ``layer_index``'s pre-activations via backward
-    propagation through the already-bounded layers below it."""
-    layer = network.layers[layer_index]
-    # Coefficients over the *post-activations* of layer k-1 (initially
-    # the direct weights), one matrix each for the upper and lower bound.
-    upper_coef = layer.weights.T.copy()      # (targets, width_{k-1})
-    lower_coef = layer.weights.T.copy()
-    upper_bias = layer.bias.copy()
-    lower_bias = layer.bias.copy()
-
-    for k in range(layer_index - 1, -1, -1):
-        bounds_k = computed[k]
-        us, ui, ls, li = _relaxation_slopes(
-            bounds_k.lower, bounds_k.upper
-        )
-        # Choose relaxation per coefficient sign, separately for the
-        # upper-bound row set and the lower-bound row set.
-        up_pos = np.maximum(upper_coef, 0.0)
-        up_neg = np.minimum(upper_coef, 0.0)
-        upper_bias = upper_bias + up_pos @ ui + up_neg @ li
-        upper_coef = up_pos * us + up_neg * ls
-
-        lo_pos = np.maximum(lower_coef, 0.0)
-        lo_neg = np.minimum(lower_coef, 0.0)
-        lower_bias = lower_bias + lo_pos @ li + lo_neg @ ui
-        lower_coef = lo_pos * ls + lo_neg * us
-
-        # Pass through the affine part of layer k:
-        #   z_k = a_{k-1} @ W_k + b_k
-        wk = network.layers[k].weights
-        bk = network.layers[k].bias
-        upper_bias = upper_bias + upper_coef @ bk
-        lower_bias = lower_bias + lower_coef @ bk
-        upper_coef = upper_coef @ wk.T
-        lower_coef = lower_coef @ wk.T
-
-    # Optimise the affine functions over the input box.
-    up_pos = np.maximum(upper_coef, 0.0)
-    up_neg = np.minimum(upper_coef, 0.0)
-    hi = upper_bias + up_pos @ input_hi + up_neg @ input_lo
-    lo_pos = np.maximum(lower_coef, 0.0)
-    lo_neg = np.minimum(lower_coef, 0.0)
-    lo = lower_bias + lo_pos @ input_lo + lo_neg @ input_hi
-    return lo, hi
-
-
-def crown_bounds(
-    network: FeedForwardNetwork, region: InputRegion
-) -> List[LayerBounds]:
-    """Pre-activation bounds for every layer via backward propagation.
-
-    Only the box part of the region is used (its linear constraints are
-    ignored, which is sound).  Bounds are intersected with plain interval
-    bounds, so the result is never worse than interval propagation.
-    """
-    for layer in network.layers[:-1]:
-        if layer.activation != "relu":
-            raise EncodingError(
-                "CROWN bounds support ReLU hidden layers only "
-                f"(got {layer.activation!r})"
-            )
-    if region.dim != network.input_dim:
-        raise EncodingError(
-            f"region dim {region.dim} != network input {network.input_dim}"
-        )
-    input_lo = region.bounds[:, 0].copy()
-    input_hi = region.bounds[:, 1].copy()
-
-    computed: List[LayerBounds] = []
-    lo_post = input_lo
-    hi_post = input_hi
-    for index, layer in enumerate(network.layers):
-        # Interval estimate from the running post-activation box.
-        int_lo, int_hi = _interval_affine(
-            lo_post, hi_post, layer.weights, layer.bias
-        )
-        if index == 0:
-            lo, hi = int_lo, int_hi
-        else:
-            back_lo, back_hi = _backward_bounds(
-                network, index, computed, input_lo, input_hi
-            )
-            lo = np.maximum(int_lo, back_lo)
-            hi = np.minimum(int_hi, back_hi)
-            crossed = lo > hi  # numerical safety
-            lo[crossed] = int_lo[crossed]
-            hi[crossed] = int_hi[crossed]
-        computed.append(LayerBounds(lo, hi))
-        if layer.activation == "relu":
-            lo_post = np.maximum(lo, 0.0)
-            hi_post = np.maximum(hi, 0.0)
-        else:
-            lo_post, hi_post = lo, hi
-    return computed
+__all__ = ["crown_bounds"]

@@ -23,6 +23,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.bounds import (
+    DEFAULT_ALPHA_ITERS,
+    DEFAULT_ALPHA_LR,
     LayerBounds,
     interval_bounds,
     lp_tightened_bounds,
@@ -45,15 +47,23 @@ class EncoderOptions:
     #: "interval" (cheap), "crown" (backward linear relaxation — tighter
     #: than interval at a fraction of the LP cost), "symbolic" (DeepPoly
     #: back-substitution with anytime concretisation, provably no looser
-    #: than interval) or "lp" (tightest; per-neuron LPs seeded from
-    #: symbolic bounds — interval → symbolic → LP; recommended, the
-    #: paper-scale instances are intractable without it).
+    #: than interval), "alpha" (symbolic with per-(row, neuron) lower
+    #: slopes refined by projected gradient ascent — provably dominates
+    #: symbolic) or "lp" (tightest; per-neuron LPs seeded from symbolic
+    #: bounds — interval → symbolic → LP; recommended, the paper-scale
+    #: instances are intractable without it).
     bound_mode: str = "lp"
     #: Extra slack added to every big-M bound for numerical safety.
     bound_margin: float = BOUND_MARGIN
     #: Try a symbolic static proof before building a MILP for decision
     #: queries (see :meth:`repro.core.verifier.Verifier.prove`).
     static_prescreen: bool = True
+    #: Projected-gradient iterations and initial step size for
+    #: ``bound_mode="alpha"`` (ignored by the other modes, but always
+    #: part of the options token so verdict fingerprints distinguish
+    #: differently-tuned alpha runs).
+    alpha_iters: int = DEFAULT_ALPHA_ITERS
+    alpha_lr: float = DEFAULT_ALPHA_LR
 
 
 @dataclasses.dataclass
@@ -104,6 +114,14 @@ def compute_bounds(
             from repro.analysis.symbolic import symbolic_bounds
 
             bounds = symbolic_bounds(network, region)
+        elif options.bound_mode == "alpha":
+            from repro.analysis.symbolic import alpha_bounds
+
+            bounds = alpha_bounds(
+                network, region,
+                iters=options.alpha_iters, lr=options.alpha_lr,
+            )
+            span.set(**bounds.alpha_stats.as_metrics())
         elif options.bound_mode == "lp":
             # Seed the per-neuron LPs from symbolic bounds: the tighter
             # seed sharpens every triangle relaxation the LPs optimise
@@ -116,8 +134,8 @@ def compute_bounds(
             )
         else:
             raise EncodingError(
-                f"unknown bound_mode {options.bound_mode!r} "
-                "(expected 'interval', 'crown', 'symbolic' or 'lp')"
+                f"unknown bound_mode {options.bound_mode!r} (expected "
+                "'interval', 'crown', 'symbolic', 'alpha' or 'lp')"
             )
         span.set(binaries_needed=total_ambiguous(bounds, network))
         return bounds

@@ -589,7 +589,7 @@ class VerificationPool:
         relays the worker's trace records live (see :meth:`stream`).
         """
         from repro.core.campaign import CampaignQuery, _CellTask
-        from repro.core.bounds import bounds_cache_key
+        from repro.core.bounds import bounds_cache_key, encode_bound_mode
         from repro.core.encoder import EncoderOptions
         from repro.core.properties import SafetyProperty
         from repro.milp.branch_and_bound import MILPOptions
@@ -613,7 +613,13 @@ class VerificationPool:
             milp_options=milp_options,
             cell_time_limit=cell_time_limit,
             bounds_key=bounds_cache_key(
-                network, query.region, encoder_options.bound_mode
+                network,
+                query.region,
+                encode_bound_mode(
+                    encoder_options.bound_mode,
+                    encoder_options.alpha_iters,
+                    encoder_options.alpha_lr,
+                ),
             ),
         )
         from repro.core.campaign import _effective_milp_options

@@ -129,6 +129,20 @@ class VerificationResult:
     def cut_separation_time(self) -> float:
         return float(self.metrics.get("cut_separation_time", 0.0))
 
+    @property
+    def cuts_skipped_adaptive(self) -> int:
+        return int(self.metrics.get("cuts_skipped_adaptive", 0))
+
+    @property
+    def alpha_iters(self) -> int:
+        """Projected-gradient iterations spent optimising bound slopes."""
+        return int(self.metrics.get("alpha_iters", 0))
+
+    @property
+    def alpha_improvement(self) -> float:
+        """Relative bound-width shrinkage vs fixed-policy symbolic."""
+        return float(self.metrics.get("alpha_improvement", 0.0))
+
 
 def _options_token(options) -> str:
     """A stable, content-complete token for an options dataclass.
@@ -260,11 +274,21 @@ class TableIIRow:
         return f"{self.architecture:>8}  {value:>32}  {time_str:>10}"
 
 
-def _lp_telemetry(result) -> dict:
-    """Solver telemetry threaded from a MILPResult into a result."""
+def _lp_telemetry(result, bounds=None) -> dict:
+    """Solver telemetry threaded from a MILPResult into a result.
+
+    ``bounds`` may carry alpha-optimiser telemetry (an
+    :class:`repro.analysis.symbolic.AlphaBoundsList`); it is merged in
+    only when the query computed those bounds itself — shared
+    precomputed bounds are attributed where they were computed.
+    """
+    metrics = dict(result.metrics)
+    stats = getattr(bounds, "alpha_stats", None)
+    if stats is not None:
+        merge_metrics(metrics, stats.as_metrics())
     return {
         "lp_iterations": result.lp_iterations,
-        "metrics": dict(result.metrics),
+        "metrics": metrics,
     }
 
 
@@ -332,6 +356,7 @@ class Verifier:
             tracer=self.tracer,
         )
         attach_objective(encoded, objective, maximize=True)
+        own_bounds = encoded.bounds if precomputed_bounds is None else None
         with self.tracer.span(
             "solve", backend=self.milp_options.lp_backend,
             binaries=encoded.num_binaries,
@@ -360,7 +385,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=objective.description,
-                **_lp_telemetry(result),
+                **_lp_telemetry(result, own_bounds),
             )
         if result.status in (SolveStatus.TIMEOUT, SolveStatus.NODE_LIMIT):
             witness = None
@@ -379,7 +404,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=objective.description,
-                **_lp_telemetry(result),
+                **_lp_telemetry(result, own_bounds),
             )
         if result.status is SolveStatus.INFEASIBLE:
             message = "max query infeasible: the input region is empty"
@@ -391,7 +416,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=message,
-                **_lp_telemetry(result),
+                **_lp_telemetry(result, own_bounds),
             )
         return VerificationResult(
             verdict=Verdict.ERROR,
@@ -399,7 +424,7 @@ class Verifier:
             nodes=result.nodes,
             num_binaries=encoded.num_binaries,
             description=objective.description,
-            **_lp_telemetry(result),
+            **_lp_telemetry(result, own_bounds),
         )
 
     def prove(
@@ -441,23 +466,40 @@ class Verifier:
         """
         if not self.encoder_options.static_prescreen:
             return None
-        from repro.analysis.symbolic import symbolic_objective_bounds
+        from repro.analysis.symbolic import (
+            AlphaStats,
+            alpha_objective_bounds,
+            symbolic_objective_bounds,
+        )
 
+        options = self.encoder_options
+        stats: Optional[AlphaStats] = None
         try:
             with self.tracer.span(
                 "static", property=prop.name,
                 network=self.network.architecture_id,
             ) as span:
-                _, upper = symbolic_objective_bounds(
-                    self.network,
-                    prop.region,
-                    prop.objective.coefficients,
-                    bounds=precomputed_bounds,
-                )
-                proved = (
-                    upper <= prop.threshold
-                    - self.encoder_options.bound_margin
-                )
+                if options.bound_mode == "alpha":
+                    # Optimise the objective bound itself: the one-shot
+                    # functional is exactly where per-row alphas pay off.
+                    stats = AlphaStats()
+                    _, upper = alpha_objective_bounds(
+                        self.network,
+                        prop.region,
+                        prop.objective.coefficients,
+                        bounds=precomputed_bounds,
+                        iters=options.alpha_iters,
+                        lr=options.alpha_lr,
+                        stats=stats,
+                    )
+                else:
+                    _, upper = symbolic_objective_bounds(
+                        self.network,
+                        prop.region,
+                        prop.objective.coefficients,
+                        bounds=precomputed_bounds,
+                    )
+                proved = upper <= prop.threshold - options.bound_margin
                 span.set(upper=upper, proved=proved)
         except EncodingError:
             return None  # unsupported shape: the MILP path decides
@@ -470,6 +512,7 @@ class Verifier:
             wall_time=time.monotonic() - start,
             description=prop.name,
             solver="static",
+            metrics={} if stats is None else stats.as_metrics(),
         )
 
     def _prove(
@@ -490,6 +533,7 @@ class Verifier:
         )
         attach_violation_constraint(encoded, prop.objective, prop.threshold)
         attach_objective(encoded, prop.objective, maximize=True)
+        own_bounds = encoded.bounds if precomputed_bounds is None else None
         with self.tracer.span(
             "solve", backend=self.milp_options.lp_backend,
             binaries=encoded.num_binaries,
@@ -508,7 +552,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=prop.name,
-                **_lp_telemetry(result),
+                **_lp_telemetry(result, own_bounds),
             )
         if result.has_incumbent:
             witness, replayed = self._replay(
@@ -524,7 +568,7 @@ class Verifier:
                     nodes=result.nodes,
                     num_binaries=encoded.num_binaries,
                     description=prop.name,
-                    **_lp_telemetry(result),
+                    **_lp_telemetry(result, own_bounds),
                 )
         if result.status in (SolveStatus.TIMEOUT, SolveStatus.NODE_LIMIT):
             return VerificationResult(
@@ -533,7 +577,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=prop.name,
-                **_lp_telemetry(result),
+                **_lp_telemetry(result, own_bounds),
             )
         return VerificationResult(
             verdict=Verdict.ERROR,
@@ -541,7 +585,7 @@ class Verifier:
             nodes=result.nodes,
             num_binaries=encoded.num_binaries,
             description=prop.name,
-            **_lp_telemetry(result),
+            **_lp_telemetry(result, own_bounds),
         )
 
     # -- the Table II experiment ----------------------------------------------------
@@ -566,6 +610,11 @@ class Verifier:
         total_nodes = 0
         total_lp_iterations = 0
         total_metrics: Dict[str, float] = {}
+        alpha_stats = getattr(bounds, "alpha_stats", None)
+        if alpha_stats is not None:
+            # The bounds were computed once here and shared by every
+            # per-component query; attribute the optimiser work once.
+            merge_metrics(total_metrics, alpha_stats.as_metrics())
         timed_out = False
         for objective in component_lateral_objectives(num_components):
             result = self.maximize(

@@ -94,6 +94,12 @@ class MILPOptions:
             ``"revised"`` backend; ``True`` with any other backend is an
             error because separation reads the revised-simplex tableau.
         cut_rounds: Maximum root separation rounds.
+        cut_min_binaries: Adaptive activation threshold: skip cut
+            separation entirely when the model has fewer binaries than
+            this (the search tree is small enough that separation
+            overhead outweighs the node savings).  Applies even with an
+            explicit ``cuts=True``; ``0`` disables the threshold.
+            Skipped solves report ``cuts_skipped_adaptive`` in metrics.
         max_cuts_per_round: Cap on rows added per separation round.
         cut_node_depth: Also separate one round at tree nodes up to this
             depth (0 = root only).
@@ -115,6 +121,7 @@ class MILPOptions:
     presolve: bool = True
     rounding_heuristic: bool = True
     cuts: Optional[bool] = None
+    cut_min_binaries: int = 16
     cut_rounds: int = 6
     max_cuts_per_round: int = 8
     cut_node_depth: int = 0
@@ -273,14 +280,23 @@ class _Search:
         )
         # -- cutting planes -------------------------------------------------
         self.relu_neurons = list(relu_neurons or [])
-        cuts_on = (
+        cuts_requested = (
             options.cuts
             if options.cuts is not None
             else options.lp_backend in _WARM_BACKENDS
         )
+        # Adaptive activation: below the binary-count threshold the
+        # enumeration tree is small enough that separation overhead
+        # (tableau views, LP regrowth) outweighs any node savings.
+        adaptive_skip = (
+            cuts_requested
+            and options.cut_min_binaries > 0
+            and 0 < self.int_idx.size < options.cut_min_binaries
+        )
         self.pool: Optional[cuts_mod.CutPool] = (
             cuts_mod.CutPool(options.cut_pool_size, options.cut_age_limit)
-            if cuts_on and self.std is not None and self.int_idx.size
+            if cuts_requested and not adaptive_skip
+            and self.std is not None and self.int_idx.size
             else None
         )
         #: Global bound snapshot every cut is complemented against.
@@ -294,6 +310,9 @@ class _Search:
         self.gomory_cuts_c = self.metrics.counter("gomory_cuts")
         self.relu_cuts_c = self.metrics.counter("relu_cuts")
         self.cut_sep_time_c = self.metrics.counter("cut_separation_time")
+        self.cuts_skipped_c = self.metrics.counter("cuts_skipped_adaptive")
+        if adaptive_skip and self.std is not None:
+            self.cuts_skipped_c.inc()
         #: Warm-start outcome of the most recent ``_node_lp`` call, for
         #: per-node trace events ("hit" / "miss" / "cold" / "off").
         self.last_warm = "off"

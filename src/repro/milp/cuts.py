@@ -244,13 +244,20 @@ def separate_gomory(
         if dist > MIN_FRACTION:
             sources.append((dist, i))
     sources.sort(reverse=True)
+    sources = sources[: 3 * max_cuts]
 
     cuts: List[Cut] = []
     x_struct = view.x[:ns]
-    for _, i in sources[: 3 * max_cuts]:
+    if not sources:
+        return cuts
+    # One GEMM recovers every candidate tableau row at once — replacing
+    # the per-source ``Binv[i] @ A`` GEMV loop.
+    src_rows = np.array([i for _, i in sources], dtype=int)
+    Abar = view.Binv[src_rows] @ lp.A
+    for r, (_, i) in enumerate(sources):
         if len(cuts) >= max_cuts:
             break
-        abar = view.Binv[i] @ lp.A
+        abar = Abar[r]
         abar[view.basic] = 0.0
         consider = nonbasic & ~art & (np.abs(abar) > 1e-11)
         if not consider.any():
@@ -384,53 +391,111 @@ def separate_relu(
     off LP points the original relaxation admits.  Neurons whose
     recomputed box fixes the phase yield the stronger ``a <= 0`` /
     ``a <= z`` facets directly.
+
+    The interval pass runs as two matmuls over a dense pre-activation
+    coefficient matrix, and candidates are pre-filtered on their *raw*
+    violation before any coefficient vector is materialised (the
+    normalised violation :func:`_finish_cut` checks never exceeds the
+    raw one, so the filter is conservative).
     """
     n = x.shape[0]
+    m = len(neurons)
     cuts: List[Cut] = []
-    for neuron in neurons:
+    if m == 0:
+        return cuts
+    W = np.zeros((m, n))
+    const = np.empty(m)
+    a_cols = np.empty(m, dtype=np.int64)
+    d_cols = np.empty(m, dtype=np.int64)
+    for i, neuron in enumerate(neurons):
+        for j, w in neuron.pre_coeffs.items():
+            W[i, j] = w
+        const[i] = neuron.pre_const
+        a_cols[i] = neuron.a_col
+        d_cols[i] = neuron.d_col
+
+    if np.isfinite(lower).all() and np.isfinite(upper).all():
+        # Interval pass over the current boxes, all neurons at once.
+        w_pos = np.maximum(W, 0.0)
+        w_neg = W - w_pos
+        lo = const + w_pos @ lower + w_neg @ upper
+        hi = const + w_pos @ upper + w_neg @ lower
+        lo = np.maximum(lo, [nr.lower for nr in neurons])
+        hi = np.minimum(hi, [nr.upper for nr in neurons])
+        # a >= z always, so ub(a) caps z; a > 0 forces the active phase.
+        hi = np.minimum(hi, upper[a_cols])
+        a_lb = lower[a_cols]
+        lo = np.where(a_lb > 1e-9, np.maximum(lo, a_lb), lo)
+        # A fixed phase binary decides the sign outright.
+        hi = np.where(upper[d_cols] < 0.5, np.minimum(hi, 0.0), hi)
+        lo = np.where(lower[d_cols] > 0.5, np.maximum(lo, 0.0), lo)
+    else:
+        # Infinite column bounds need the per-term finiteness fallbacks
+        # (0 * inf would poison the matmuls): scalar path.
+        lo = np.empty(m)
+        hi = np.empty(m)
+        for i, neuron in enumerate(neurons):
+            lo[i], hi[i] = _neuron_box(neuron, lower, upper)
+
+    z_val = W @ x + const
+    a_val = x[a_cols]
+    d_val = x[d_cols]
+    nonempty = lo <= hi + 1e-9  # numerically empty: leave to the search
+    inactive = nonempty & (hi <= 1e-9)
+    active = nonempty & ~inactive & (lo >= -1e-9)
+    ambiguous = nonempty & ~inactive & ~active
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slope = np.where(ambiguous, hi / np.where(ambiguous, hi - lo, 1.0), 0.0)
+    # Raw violations of every candidate; anything below half the
+    # normalised threshold cannot survive ``_finish_cut``.
+    viol_inactive = a_val
+    viol_active = a_val - z_val
+    viol_triangle = a_val - slope * (z_val - lo)
+    viol_implied_u = z_val - hi * d_val
+    viol_implied_l = lo * (1.0 - d_val) - z_val
+    thresh = 0.5 * min_violation
+
+    for i, neuron in enumerate(neurons):
         if len(cuts) >= max_cuts:
             break
-        lo, hi = _neuron_box(neuron, lower, upper)
-        if lo > hi + 1e-9:
-            continue  # numerically empty: leave it to the search
-        if hi <= 1e-9:
+        if not nonempty[i]:
+            continue
+        if inactive[i]:
+            if viol_inactive[i] < thresh:
+                continue
             # Stably inactive under current bounds: a <= 0.
             coeffs = np.zeros(n)
             coeffs[neuron.a_col] = 1.0
             _append(cuts, coeffs, 0.0, "relu_bound",
                     lower, upper, x, min_violation)
             continue
-        if lo >= -1e-9:
+        if active[i]:
+            if viol_active[i] < thresh:
+                continue
             # Stably active: a <= z.
-            coeffs = np.zeros(n)
-            coeffs[neuron.a_col] = 1.0
-            for j, w in neuron.pre_coeffs.items():
-                coeffs[j] -= w
+            coeffs = -W[i]
+            coeffs[neuron.a_col] += 1.0
             _append(cuts, coeffs, neuron.pre_const, "relu_bound",
                     lower, upper, x, min_violation)
             continue
         # Ambiguous: triangle upper facet a <= u (z - l) / (u - l).
-        slope = hi / (hi - lo)
-        coeffs = np.zeros(n)
-        coeffs[neuron.a_col] = 1.0
-        for j, w in neuron.pre_coeffs.items():
-            coeffs[j] -= slope * w
-        _append(cuts, coeffs, slope * (neuron.pre_const - lo),
-                "relu_triangle", lower, upper, x, min_violation)
-        # Implied bounds on the phase binary: z <= u d.
-        coeffs = np.zeros(n)
-        for j, w in neuron.pre_coeffs.items():
-            coeffs[j] += w
-        coeffs[neuron.d_col] -= hi
-        _append(cuts, coeffs, -neuron.pre_const, "relu_implied",
-                lower, upper, x, min_violation)
+        if viol_triangle[i] >= thresh:
+            coeffs = -slope[i] * W[i]
+            coeffs[neuron.a_col] += 1.0
+            _append(cuts, coeffs, slope[i] * (neuron.pre_const - lo[i]),
+                    "relu_triangle", lower, upper, x, min_violation)
+        # Implied bounds on the phase binary: z <= u d ...
+        if viol_implied_u[i] >= thresh:
+            coeffs = W[i].copy()
+            coeffs[neuron.d_col] -= hi[i]
+            _append(cuts, coeffs, -neuron.pre_const, "relu_implied",
+                    lower, upper, x, min_violation)
         # ... and z >= l (1 - d).
-        coeffs = np.zeros(n)
-        for j, w in neuron.pre_coeffs.items():
-            coeffs[j] -= w
-        coeffs[neuron.d_col] -= lo
-        _append(cuts, coeffs, neuron.pre_const - lo, "relu_implied",
-                lower, upper, x, min_violation)
+        if viol_implied_l[i] >= thresh:
+            coeffs = -W[i]
+            coeffs[neuron.d_col] -= lo[i]
+            _append(cuts, coeffs, neuron.pre_const - lo[i], "relu_implied",
+                    lower, upper, x, min_violation)
     return cuts
 
 

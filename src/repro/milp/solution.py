@@ -131,6 +131,11 @@ class MILPResult:
         return float(self.metrics.get("cut_separation_time", 0.0))
 
     @property
+    def cuts_skipped_adaptive(self) -> int:
+        """1 when separation was skipped below the binary threshold."""
+        return int(self.metrics.get("cuts_skipped_adaptive", 0))
+
+    @property
     def gap(self) -> float:
         """Absolute optimality gap (0 for proven-optimal solves)."""
         if self.status is SolveStatus.OPTIMAL:

@@ -1,0 +1,246 @@
+"""Alpha-optimised bound tests: soundness, dominance, MILP parity.
+
+The satellite regression for ``bound_mode="alpha"`` lives here: every
+sampled pre-activation must sit inside the alpha bounds, the bounds
+must dominate the fixed-policy symbolic ones elementwise (that is the
+documented guarantee of the two-phase intersection), and the MILP
+verdicts must be unchanged by the tightening.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    alpha_bounds,
+    alpha_objective_bounds,
+    alpha_objective_bounds_batch,
+    symbolic_bounds,
+    symbolic_objective_bounds,
+)
+from repro.analysis.symbolic import AlphaBoundsList, AlphaStats
+from repro.core.bounds import interval_bounds, total_ambiguous
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import (
+    InputRegion,
+    OutputObjective,
+    SafetyProperty,
+)
+from repro.core.verifier import Verifier
+from repro.nn import FeedForwardNetwork
+
+
+def unit_region(dim):
+    return InputRegion(np.array([[-1.0, 1.0]] * dim))
+
+
+class TestSoundness:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_reachable_preactivations_inside(self, seed):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(4, [6, 6, 6], 2, rng=rng)
+        region = unit_region(4)
+        bounds = alpha_bounds(net, region)
+        xs = rng.uniform(-1, 1, size=(300, 4))
+        pres = net.pre_activations(xs)
+        for layer_bounds, pre in zip(bounds, pres):
+            assert np.all(pre >= layer_bounds.lower - 1e-7)
+            assert np.all(pre <= layer_bounds.upper + 1e-7)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_objective_bounds_contain_samples(self, seed):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(3, [7, 7], 2, rng=rng)
+        region = unit_region(3)
+        coefficients = {0: 1.0, 1: -0.5}
+        lo, hi = alpha_objective_bounds(net, region, coefficients)
+        assert lo <= hi
+        xs = rng.uniform(-1, 1, size=(200, 3))
+        outs = net.forward(xs)
+        values = outs[:, 0] - 0.5 * outs[:, 1]
+        assert np.all(values >= lo - 1e-7)
+        assert np.all(values <= hi + 1e-7)
+
+    def test_stable_layer_survives_optimisation(self, rng):
+        """A fully stable ReLU layer has no free alphas; the optimiser
+        must traverse it with the fixed slopes instead of crashing."""
+        net = FeedForwardNetwork.mlp(3, [5, 5, 5], 2, rng=rng)
+        net.layers[1].bias[:] = 100.0  # layer 1 always active
+        region = unit_region(3)
+        bounds = alpha_bounds(net, region)
+        fixed = symbolic_bounds(net, region)
+        xs = rng.uniform(-1, 1, size=(200, 3))
+        pres = net.pre_activations(xs)
+        for ab, sb, pre in zip(bounds, fixed, pres):
+            assert np.all(pre >= ab.lower - 1e-7)
+            assert np.all(pre <= ab.upper + 1e-7)
+            assert np.all(ab.lower >= sb.lower - 1e-9)
+            assert np.all(ab.upper <= sb.upper + 1e-9)
+
+
+class TestDominance:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_never_looser_than_symbolic(self, seed):
+        """The phase-2 result is intersected with the fixed-policy
+        bounds, so alpha can never lose to symbolic on any neuron."""
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(3, [8, 8], 2, rng=rng)
+        region = unit_region(3)
+        fixed = symbolic_bounds(net, region)
+        tight = alpha_bounds(net, region)
+        for a, b in zip(fixed, tight):
+            assert np.all(b.lower >= a.lower - 1e-9)
+            assert np.all(b.upper <= a.upper + 1e-9)
+
+    def test_strictly_tighter_on_deep_layers(self, rng):
+        net = FeedForwardNetwork.mlp(4, [10, 10, 10], 2, rng=rng)
+        region = unit_region(4)
+        fixed = symbolic_bounds(net, region)
+        tight = alpha_bounds(net, region)
+        improvement = sum(
+            float(np.sum((a.upper - a.lower) - (b.upper - b.lower)))
+            for a, b in zip(fixed, tight)
+        )
+        assert improvement > 1e-6
+        assert tight.alpha_stats.improvement > 0.0
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_objective_dominates_symbolic(self, seed):
+        rng = np.random.default_rng(seed)
+        net = FeedForwardNetwork.mlp(3, [6, 6], 2, rng=rng)
+        region = unit_region(3)
+        coefficients = {0: 1.0, 1: 0.5}
+        s_lo, s_hi = symbolic_objective_bounds(net, region, coefficients)
+        a_lo, a_hi = alpha_objective_bounds(net, region, coefficients)
+        assert a_lo >= s_lo - 1e-9
+        assert a_hi <= s_hi + 1e-9
+
+    def test_ambiguity_ordering(self, rng):
+        net = FeedForwardNetwork.mlp(4, [8, 8], 2, rng=rng)
+        region = unit_region(4)
+        n_int = total_ambiguous(interval_bounds(net, region), net)
+        n_sym = total_ambiguous(symbolic_bounds(net, region), net)
+        n_alpha = total_ambiguous(alpha_bounds(net, region), net)
+        assert n_alpha <= n_sym <= n_int
+
+    def test_zero_iters_equals_symbolic(self, tiny_net):
+        region = unit_region(6)
+        fixed = symbolic_bounds(tiny_net, region)
+        zero = alpha_bounds(tiny_net, region, iters=0)
+        assert zero.alpha_stats.iters == 0
+        for a, b in zip(fixed, zero):
+            assert np.array_equal(a.lower, b.lower)
+            assert np.array_equal(a.upper, b.upper)
+
+
+class TestBatch:
+    def test_batch_matches_single(self, rng):
+        """One stacked pass over many objective rows must reproduce the
+        per-row results: the optimiser's warm start, gradients and step
+        scaling are all per-row."""
+        net = FeedForwardNetwork.mlp(3, [6, 6], 2, rng=rng)
+        region = unit_region(3)
+        rows = [{0: 1.0}, {1: -1.0}, {0: 0.5, 1: 0.5}]
+        bounds = alpha_bounds(net, region)
+        lo_b, hi_b = alpha_objective_bounds_batch(
+            net, region, rows, bounds
+        )
+        for i, row in enumerate(rows):
+            lo_s, hi_s = alpha_objective_bounds(
+                net, region, row, bounds
+            )
+            assert lo_b[i] == pytest.approx(lo_s, abs=1e-9)
+            assert hi_b[i] == pytest.approx(hi_s, abs=1e-9)
+
+    def test_batch_stats_accumulate(self, rng):
+        net = FeedForwardNetwork.mlp(3, [6, 6], 2, rng=rng)
+        region = unit_region(3)
+        stats = AlphaStats()
+        alpha_objective_bounds_batch(
+            net, region, [{0: 1.0}, {1: 1.0}], stats=stats
+        )
+        assert stats.iters > 0
+        assert stats.improvement >= 0.0
+
+    def test_stats_metrics_shape(self):
+        metrics = AlphaStats(iters=40, improvement=0.125).as_metrics()
+        assert metrics == {
+            "alpha_iters": 40.0,
+            "alpha_improvement": 0.125,
+        }
+
+
+class TestCarrierList:
+    def test_behaves_like_plain_list(self, tiny_net):
+        bounds = alpha_bounds(tiny_net, unit_region(6))
+        assert isinstance(bounds, AlphaBoundsList)
+        assert isinstance(bounds, list)
+        assert len(bounds) == len(tiny_net.layers)
+        assert bounds.alpha_stats.iters > 0
+        assert bounds.fixed_bounds is not None
+        assert len(bounds.fixed_bounds) == len(bounds)
+
+    def test_pickle_keeps_stats(self, tiny_net):
+        import pickle
+
+        bounds = alpha_bounds(tiny_net, unit_region(6))
+        clone = pickle.loads(pickle.dumps(bounds))
+        assert clone.alpha_stats.iters == bounds.alpha_stats.iters
+        for a, b in zip(bounds, clone):
+            assert np.array_equal(a.lower, b.lower)
+
+
+class TestVerifierParity:
+    def _property(self, net, threshold):
+        return SafetyProperty(
+            name="bounded",
+            region=unit_region(net.input_dim),
+            objective=OutputObjective.single(0),
+            threshold=threshold,
+        )
+
+    def test_alpha_mode_same_milp_answer(self, tiny_net):
+        """Tighter bounds change the search, never the verdict or the
+        optimum: alpha and symbolic must agree through the full MILP."""
+        results = {}
+        for mode in ("symbolic", "alpha"):
+            verifier = Verifier(
+                tiny_net,
+                EncoderOptions(
+                    bound_mode=mode, static_prescreen=False
+                ),
+            )
+            results[mode] = verifier.prove(
+                self._property(tiny_net, 1000.0)
+            )
+        assert results["alpha"].verdict is results["symbolic"].verdict
+        assert results["alpha"].value == pytest.approx(
+            results["symbolic"].value, abs=1e-5
+        )
+
+    def test_alpha_prescreen_proves_statically(self, tiny_net):
+        _, hi = symbolic_objective_bounds(
+            tiny_net, unit_region(6), {0: 1.0}
+        )
+        verifier = Verifier(
+            tiny_net, EncoderOptions(bound_mode="alpha")
+        )
+        result = verifier.prove(self._property(tiny_net, hi + 1.0))
+        assert result.solver == "static"
+        assert result.metrics.get("alpha_iters", 0) > 0
+
+    def test_alpha_iters_option_threads_through(self, tiny_net):
+        verifier = Verifier(
+            tiny_net,
+            EncoderOptions(
+                bound_mode="alpha", alpha_iters=3,
+                static_prescreen=False,
+            ),
+        )
+        result = verifier.prove(self._property(tiny_net, 1000.0))
+        assert result.verdict is not None

@@ -200,11 +200,58 @@ class TestVerdictFingerprint:
         dict(kind="prove"),
         dict(threshold=2.0),
         dict(encoder_options=EncoderOptions(bound_mode="lp")),
+        dict(encoder_options=EncoderOptions(bound_mode="alpha")),
         dict(milp_options=MILPOptions(time_limit=30.0)),
         dict(milp_options=MILPOptions(time_limit=60.0, cuts=True)),
+        dict(milp_options=MILPOptions(
+            time_limit=60.0, cut_min_binaries=0,
+        )),
     ])
     def test_any_input_change_changes_fingerprint(self, change):
         assert self.base() != self.base(**change)
+
+    def test_alpha_tuning_changes_fingerprint(self):
+        """Two alpha runs with different optimiser settings produce
+        different bounds, so they must never share a cached verdict."""
+        base = self.base(
+            encoder_options=EncoderOptions(bound_mode="alpha")
+        )
+        retuned = self.base(
+            encoder_options=EncoderOptions(
+                bound_mode="alpha", alpha_iters=5
+            )
+        )
+        relearned = self.base(
+            encoder_options=EncoderOptions(
+                bound_mode="alpha", alpha_lr=0.1
+            )
+        )
+        assert len({base, retuned, relearned}) == 3
+
+    def test_alpha_tuning_changes_bounds_cache_key(self):
+        from repro.core.bounds import (
+            bounds_cache_key,
+            decode_bound_mode,
+            encode_bound_mode,
+        )
+
+        net = make_net()
+        region = unit_region()
+        keys = {
+            bounds_cache_key(net, region, encode_bound_mode(*cfg))
+            for cfg in [
+                ("symbolic", None, None),
+                ("alpha", None, None),
+                ("alpha", 5, None),
+                ("alpha", None, 0.1),
+            ]
+        }
+        assert len(keys) == 4
+        # Plain modes keep their bare token so pre-existing cache
+        # spills stay valid; alpha tokens round-trip their tuning.
+        assert encode_bound_mode("symbolic", None, None) == "symbolic"
+        token = encode_bound_mode("alpha", 5, 0.1)
+        assert decode_bound_mode(token) == ("alpha", 5, 0.1)
 
 
 class TestJobAPI:

@@ -345,6 +345,15 @@ def _rng_knapsack(seed, n=12):
     return knapsack(vals, wts, float(wts.sum() * 0.4))
 
 
+def _cuts_forced(**kw):
+    """Cuts on with the adaptive size threshold disabled — the
+    integration tests exercise the cut machinery itself on models small
+    enough that the default threshold would (correctly) skip it."""
+    return MILPOptions(
+        lp_backend="revised", cuts=True, cut_min_binaries=0, **kw
+    )
+
+
 class TestSearchIntegration:
     @pytest.mark.parametrize("seed", [0, 7, 23])
     def test_cuts_preserve_optimum(self, seed):
@@ -352,10 +361,7 @@ class TestSearchIntegration:
             _rng_knapsack(seed),
             MILPOptions(lp_backend="revised", cuts=False),
         )
-        on = solve_milp(
-            _rng_knapsack(seed),
-            MILPOptions(lp_backend="revised", cuts=True),
-        )
+        on = solve_milp(_rng_knapsack(seed), _cuts_forced())
         assert off.status is SolveStatus.OPTIMAL
         assert on.status is SolveStatus.OPTIMAL
         # Cut rows carry a 1e-9-scaled rhs safety relaxation, so the
@@ -365,10 +371,7 @@ class TestSearchIntegration:
         )
 
     def test_cut_telemetry_reported(self):
-        result = solve_milp(
-            _rng_knapsack(7),
-            MILPOptions(lp_backend="revised", cuts=True),
-        )
+        result = solve_milp(_rng_knapsack(7), _cuts_forced())
         assert result.cuts_added > 0
         assert result.cut_rounds > 0
         assert result.gomory_cuts + result.relu_cuts == result.cuts_added
@@ -376,15 +379,14 @@ class TestSearchIntegration:
 
     def test_incumbent_satisfies_model_with_cuts(self):
         model = _rng_knapsack(3)
-        result = solve_milp(
-            model, MILPOptions(lp_backend="revised", cuts=True)
-        )
+        result = solve_milp(model, _cuts_forced())
         assert result.status is SolveStatus.OPTIMAL
         assert model.is_feasible(result.x)
 
     def test_cuts_default_on_for_revised_backend(self):
         result = solve_milp(
-            _rng_knapsack(7), MILPOptions(lp_backend="revised")
+            _rng_knapsack(7),
+            MILPOptions(lp_backend="revised", cut_min_binaries=0),
         )
         assert result.cuts_added > 0
 
@@ -417,10 +419,7 @@ class TestSearchIntegration:
             raise rs.NumericalTrouble("forced rejection")
 
         monkeypatch.setattr(rs, "extend_basis", always_reject)
-        result = solve_milp(
-            _rng_knapsack(5),
-            MILPOptions(lp_backend="revised", cuts=True),
-        )
+        result = solve_milp(_rng_knapsack(5), _cuts_forced())
         assert result.status is SolveStatus.OPTIMAL
         assert result.objective == pytest.approx(
             reference.objective, abs=1e-6
@@ -431,12 +430,7 @@ class TestSearchIntegration:
             _rng_knapsack(9),
             MILPOptions(lp_backend="revised", cuts=False),
         )
-        on = solve_milp(
-            _rng_knapsack(9),
-            MILPOptions(
-                lp_backend="revised", cuts=True, cut_node_depth=3
-            ),
-        )
+        on = solve_milp(_rng_knapsack(9), _cuts_forced(cut_node_depth=3))
         assert on.status is SolveStatus.OPTIMAL
         assert on.objective == pytest.approx(off.objective, abs=1e-6)
 
@@ -445,11 +439,7 @@ class TestSearchIntegration:
 
         sink = RingBufferSink()
         tracer = Tracer([sink])
-        result = solve_milp(
-            _rng_knapsack(7),
-            MILPOptions(lp_backend="revised", cuts=True),
-            tracer=tracer,
-        )
+        result = solve_milp(_rng_knapsack(7), _cuts_forced(), tracer=tracer)
         tracer.close()
         assert result.cuts_added > 0
         events = [
@@ -461,6 +451,52 @@ class TestSearchIntegration:
         assert added == result.cuts_added
         assert all("sep_time" in e["attrs"] for e in events)
         assert all("round" in e["attrs"] for e in events)
+
+
+class TestAdaptiveActivation:
+    def test_small_model_skips_separation(self):
+        # 12 binaries < default threshold (16): cuts requested but the
+        # adaptive gate skips separation and reports the skip.
+        result = solve_milp(
+            _rng_knapsack(7),
+            MILPOptions(lp_backend="revised", cuts=True),
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.cuts_added == 0
+        assert result.cut_rounds == 0
+        assert result.cuts_skipped_adaptive == 1
+
+    def test_threshold_zero_disables_skip(self):
+        result = solve_milp(_rng_knapsack(7), _cuts_forced())
+        assert result.cuts_added > 0
+        assert result.cuts_skipped_adaptive == 0
+
+    def test_model_above_threshold_separates(self):
+        result = solve_milp(
+            _rng_knapsack(7, n=20),
+            MILPOptions(lp_backend="revised", cuts=True),
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.cuts_skipped_adaptive == 0
+        assert result.cuts_added > 0
+
+    def test_skip_preserves_optimum(self):
+        skipped = solve_milp(
+            _rng_knapsack(13),
+            MILPOptions(lp_backend="revised", cuts=True),
+        )
+        forced = solve_milp(_rng_knapsack(13), _cuts_forced())
+        assert skipped.status is SolveStatus.OPTIMAL
+        assert skipped.objective == pytest.approx(
+            forced.objective, rel=1e-7, abs=1e-6
+        )
+
+    def test_cuts_off_never_counts_a_skip(self):
+        result = solve_milp(
+            _rng_knapsack(7),
+            MILPOptions(lp_backend="revised", cuts=False),
+        )
+        assert result.cuts_skipped_adaptive == 0
 
 
 class TestVerifierIntegration:
@@ -489,7 +525,7 @@ class TestVerifierIntegration:
 
     def test_cuts_preserve_verification_optimum(self, network):
         off = self._verify(network, cuts=False)
-        on = self._verify(network, cuts=True)
+        on = self._verify(network, cuts=True, cut_min_binaries=0)
         assert on.value == pytest.approx(off.value, abs=1e-6)
         assert on.verdict is off.verdict
 
@@ -521,7 +557,8 @@ class TestCampaignWithCuts:
             campaign = VerificationCampaign(
                 EncoderOptions(bound_mode="interval"),
                 MILPOptions(
-                    time_limit=60.0, lp_backend="revised", cuts=True
+                    time_limit=60.0, lp_backend="revised", cuts=True,
+                    cut_min_binaries=0,
                 ),
             )
             region = InputRegion(np.array([[-1.0, 1.0]] * 3))

@@ -1,0 +1,177 @@
+"""Bench: the telemetry plane must be (nearly) free.
+
+The live telemetry plane — worker heartbeats, stall detection, and a
+:class:`repro.obs.export.MetricsPublisher` snapshotting pool stats +
+health to JSONL/Prometheus on a background thread — only earns its
+place if watching a campaign does not slow the campaign down.  This
+bench runs the same pooled matrix twice:
+
+1. **bare** — heartbeats disabled, no publisher (the PR-6 behaviour);
+2. **telemetry** — 0.25s heartbeats, stall detection armed, and a
+   publisher flushing snapshots every 0.2s.
+
+and gates the telemetry run at <= ``OVERHEAD_LIMIT`` relative wall-time
+overhead (plus a small absolute slack absorbing scheduler noise on
+short laptop-scale runs).  Verdicts must match bit-for-bit, and the
+published snapshots must actually carry the per-worker health the
+overhead paid for.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import VerificationCampaign
+from repro.core.encoder import EncoderOptions
+from repro.core.pool import VerificationPool
+from repro.core.properties import (
+    InputRegion,
+    OutputObjective,
+    SafetyProperty,
+)
+from repro.milp import MILPOptions
+from repro.nn import FeedForwardNetwork
+from repro.obs.export import MetricsPublisher, load_snapshots
+from repro.report.tables import render_generic
+
+NUM_NETWORKS = 4
+POOL_JOBS = 2
+#: Maximum relative wall-time cost of full telemetry.
+OVERHEAD_LIMIT = 0.05
+#: Absolute slack (seconds) absorbing timer/scheduler noise: at
+#: laptop scale one preemption is a visible fraction of the run.
+NOISE_SLACK = 0.5
+
+
+def unit_region(dim=6):
+    return InputRegion(np.array([[-1.0, 1.0]] * dim))
+
+
+def build_campaign() -> VerificationCampaign:
+    """Same matrix as the pool bench: 4 networks x 2 real MILP cells."""
+    campaign = VerificationCampaign(
+        EncoderOptions(bound_mode="interval"),
+        MILPOptions(time_limit=120.0),
+    )
+    for seed in range(NUM_NETWORKS):
+        campaign.add_network(
+            FeedForwardNetwork.mlp(
+                6, [10, 10], 2, rng=np.random.default_rng(seed)
+            ),
+            f"net{seed}",
+        )
+    campaign.add_max_query(
+        "max_out0", unit_region(), OutputObjective.single(0)
+    )
+    campaign.add_property(
+        SafetyProperty(
+            name="out1_leq_m1000",
+            region=unit_region(),
+            objective=OutputObjective.single(1),
+            threshold=-1000.0,
+        )
+    )
+    return campaign
+
+
+def cell_tuples(report):
+    return [
+        (c.network_id, c.property_name, c.result.verdict)
+        for c in report.cells
+    ]
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    snapshot_path = str(
+        tmp_path_factory.mktemp("obs") / "metrics.jsonl"
+    )
+    with VerificationPool(
+        workers=POOL_JOBS, heartbeat_interval=None
+    ) as pool:
+        pool.prewarm()
+        bare_start = time.monotonic()
+        bare = build_campaign().run(pool=pool)
+        bare_wall = time.monotonic() - bare_start
+
+    with VerificationPool(
+        workers=POOL_JOBS, heartbeat_interval=0.25
+    ) as pool:
+        pool.prewarm()
+        publisher = MetricsPublisher(
+            pool.stats,
+            jsonl_path=snapshot_path,
+            interval=0.2,
+            source="bench",
+            health=pool.health,
+        )
+        publisher.start()
+        telemetry_start = time.monotonic()
+        telemetry = build_campaign().run(pool=pool)
+        telemetry_wall = time.monotonic() - telemetry_start
+        publisher.stop()
+
+    return {
+        "bare": (bare, bare_wall),
+        "telemetry": (telemetry, telemetry_wall),
+        "snapshots": load_snapshots(snapshot_path),
+    }
+
+
+class TestObsBench:
+    def test_verdicts_unchanged_by_telemetry(self, runs):
+        bare, _ = runs["bare"]
+        telemetry, _ = runs["telemetry"]
+        assert len(bare.cells) == NUM_NETWORKS * 2
+        assert cell_tuples(telemetry) == cell_tuples(bare)
+        for b, t in zip(bare.cells, telemetry.cells):
+            if np.isnan(b.result.value):
+                assert np.isnan(t.result.value)
+            else:
+                assert t.result.value == b.result.value
+
+    def test_snapshots_carry_the_health_plane(self, runs):
+        snapshots = runs["snapshots"]
+        assert snapshots, "publisher never flushed"
+        final = snapshots[-1]
+        assert final["source"] == "bench"
+        assert final["metrics"]["pool.jobs_done"] >= NUM_NETWORKS * 2
+        workers = final["health"]["workers"]
+        assert len(workers) == POOL_JOBS
+        assert all(
+            w["last_heartbeat_age"] is not None for w in workers
+        )
+
+    def test_overhead_gate(self, runs, emit, bench_record):
+        _, bare_wall = runs["bare"]
+        _, telemetry_wall = runs["telemetry"]
+        overhead = telemetry_wall / max(bare_wall, 1e-9) - 1.0
+        bench_record(
+            "obs", "bare",
+            jobs=POOL_JOBS, wall_time=bare_wall,
+        )
+        bench_record(
+            "obs", "telemetry",
+            jobs=POOL_JOBS, wall_time=telemetry_wall,
+            overhead=overhead,
+            snapshots=len(runs["snapshots"]),
+        )
+        emit("")
+        emit(
+            render_generic(
+                ["engine", "wall time", "overhead"],
+                [
+                    ["bare pool", f"{bare_wall:.2f}s", "-"],
+                    [
+                        "full telemetry", f"{telemetry_wall:.2f}s",
+                        f"{overhead:+.1%}",
+                    ],
+                ],
+                title="campaign: telemetry overhead "
+                      f"({len(runs['snapshots'])} snapshots published)",
+            )
+        )
+        assert telemetry_wall <= (
+            bare_wall * (1.0 + OVERHEAD_LIMIT) + NOISE_SLACK
+        )

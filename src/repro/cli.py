@@ -12,6 +12,9 @@ The five pipeline stages map onto subcommands::
     python -m repro.cli certify  --data data.npz --net net.json
     python -m repro.cli figure1  --data data.npz --net net.json
     python -m repro.cli trace summarize out.jsonl
+    python -m repro.cli top metrics.jsonl
+    python -m repro.cli bench record BENCH_pool.json
+    python -m repro.cli bench report --threshold 1.5
 
 Every artifact is a plain file (``.npz`` dataset, ``.json`` network,
 ``.jsonl`` trace), so stages can run on different machines and be pinned
@@ -84,6 +87,34 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
         "--log-level", default="info",
         choices=("debug", "info", "warning", "error"),
         help="verbosity of the repro.* logging hierarchy",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attach a span-scoped profiler to the in-process "
+        "bounds/encode/solve phases: per-phase hotspot tables at the "
+        "end, plus profile events in the trace for 'trace summarize'",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="with --profile: write the sampled folded-stack artifact "
+        "to PATH (flamegraph.pl input format)",
+    )
+
+
+def _add_metrics_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="append repro-metrics/1 JSONL snapshots of pool/campaign "
+        "metrics to PATH while running ('repro top PATH' tails it)",
+    )
+    parser.add_argument(
+        "--prom", default=None, metavar="PATH",
+        help="atomically (re)write a Prometheus textfile exposition of "
+        "the same metrics to PATH on every flush",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=2.0, metavar="SEC",
+        help="seconds between background metric flushes",
     )
 
 
@@ -193,12 +224,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_solver_args(campaign)
     _add_observability_args(campaign)
+    _add_metrics_args(campaign)
 
     serve = sub.add_parser(
         "serve",
         help="verification service: read JSON job requests from stdin "
-        "(submit/poll/fetch/stats/quit), answer one JSON line each on "
-        "stdout, backed by a persistent worker pool with shared caches",
+        "(submit/poll/fetch/stats/health/watch/quit), answer one JSON "
+        "line each on stdout (watch streams its requested count), "
+        "backed by a persistent worker pool with shared caches",
     )
     serve.add_argument("--data", required=True)
     serve.add_argument(
@@ -225,6 +258,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_solver_args(serve)
     _add_observability_args(serve)
+    _add_metrics_args(serve)
 
     audit = sub.add_parser(
         "audit",
@@ -298,6 +332,68 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict to span ids with this prefix (campaign workers "
         "use 'c<index>.')",
     )
+
+    top = sub.add_parser(
+        "top",
+        help="self-refreshing console view of a live fleet: tails the "
+        "repro-metrics/1 JSONL a campaign/daemon writes with --metrics",
+    )
+    top.add_argument(
+        "path", help="metrics snapshot JSONL (the --metrics PATH)"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N refreshes (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render the latest snapshot once and exit (post-mortem)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf-regression tracking over BENCH_*.json artifacts",
+    )
+    bench_sub = bench.add_subparsers(dest="action", required=True)
+    record = bench_sub.add_parser(
+        "record",
+        help="append the given BENCH_*.json artifacts to the history",
+    )
+    record.add_argument(
+        "paths", nargs="+", help="BENCH_*.json artifact paths"
+    )
+    record.add_argument(
+        "--history", default="bench_history.jsonl", metavar="PATH",
+        help="repro-bench-history/1 JSONL store",
+    )
+    record.add_argument(
+        "--label", default="", help="run label (e.g. a commit sha)"
+    )
+    record.add_argument(
+        "--run", default=None,
+        help="explicit run id (default: derived from the timestamp)",
+    )
+    report_p = bench_sub.add_parser(
+        "report",
+        help="diff the newest recorded run against a baseline; exits "
+        "1 when any gated metric regressed past the threshold",
+    )
+    report_p.add_argument(
+        "--history", default="bench_history.jsonl", metavar="PATH",
+    )
+    report_p.add_argument(
+        "--baseline", default="prev",
+        help="'prev' (run before newest), 'first', or an explicit "
+        "run id",
+    )
+    report_p.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="ratio past which a metric counts as regressed",
+    )
     return parser
 
 
@@ -307,14 +403,74 @@ def _load_study(path: str, components: int) -> casestudy.CaseStudy:
     return casestudy.study_from_dataset(dataset, config)
 
 
-def _open_tracer(args: argparse.Namespace):
-    """A JSONL-backed tracer when ``--trace`` was given, else ``None``."""
+def _open_profiler(args: argparse.Namespace):
+    """A :class:`PhaseProfiler` when ``--profile`` was given."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.obs import PhaseProfiler
+
+    return PhaseProfiler()
+
+
+def _open_tracer(args: argparse.Namespace, profiler=None):
+    """A JSONL-backed tracer when ``--trace`` was given, else ``None``.
+
+    With a profiler, a tracer is created even without ``--trace`` (the
+    profiler needs the span lifecycle hooks; its sink list just stays
+    empty).
+    """
     path = getattr(args, "trace", None)
-    if not path:
+    if not path and profiler is None:
         return None
     from repro.obs import JsonlSink, Tracer
 
-    return Tracer([JsonlSink(path)])
+    return Tracer(
+        [JsonlSink(path)] if path else [],
+        hooks=[profiler] if profiler is not None else None,
+    )
+
+
+def _finish_profiler(args: argparse.Namespace, tracer, profiler) -> None:
+    """Emit profile results: trace events, folded stacks, console table.
+
+    Called before ``tracer.close()`` so the profile events land in the
+    same JSONL artifact as the spans they explain.
+    """
+    if profiler is None:
+        return
+    if tracer is not None:
+        for event in profiler.profile_events():
+            event["run"] = tracer.run_id
+            tracer.emit(event)
+    out = getattr(args, "profile_out", None)
+    if out:
+        samples = profiler.write_folded(out)
+        logger.info(
+            "folded stacks (%d samples) written to %s", samples, out
+        )
+    logger.info(profiler.render())
+    profiler.close()
+
+
+def _open_publisher(args: argparse.Namespace, collect, health=None):
+    """A started :class:`MetricsPublisher` when ``--metrics``/``--prom``
+    was given, else ``None``."""
+    jsonl = getattr(args, "metrics", None)
+    prom = getattr(args, "prom", None)
+    if not jsonl and not prom:
+        return None
+    from repro.obs import MetricsPublisher
+
+    publisher = MetricsPublisher(
+        collect,
+        jsonl_path=jsonl,
+        prom_path=prom,
+        interval=getattr(args, "metrics_interval", 2.0),
+        source=args.command,
+        health=health,
+    )
+    publisher.start()
+    return publisher
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -367,7 +523,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     study = _load_study(args.data, args.components)
     network = load_network(args.net)
-    tracer = _open_tracer(args)
+    profiler = _open_profiler(args)
+    tracer = _open_tracer(args, profiler)
     try:
         row = casestudy.verify_network(
             study, network, time_limit=args.time_limit,
@@ -419,9 +576,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             )
             exit_code = 0 if proven else 1
     finally:
+        _finish_profiler(args, tracer, profiler)
         if tracer is not None:
             tracer.close()
-    if tracer is not None:
+    if args.trace:
         logger.info("trace written to %s", args.trace)
     return exit_code
 
@@ -461,7 +619,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         n_nets, n_queries, args.jobs,
     )
 
+    from repro.obs import MetricsRegistry, merge_metrics
+
+    registry = MetricsRegistry()
+    registry.gauge("campaign.cells_total").set(n_nets * n_queries)
+
     def report_progress(done, total, cell):
+        registry.gauge("campaign.cells_total").set(total)
+        registry.gauge("campaign.cells_done").set(done)
+        registry.histogram("campaign.cell_wall").observe(
+            cell.result.wall_time
+        )
+        registry.counter(
+            f"campaign.verdict.{cell.result.verdict.value}"
+        ).inc()
         logger.info(
             "  [%d/%d] %s · %s: %s (%.1fs)",
             done, total, cell.network_id, cell.property_name,
@@ -475,12 +646,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         pool = VerificationPool(
             workers=args.jobs, cache_dir=args.cache_dir
         )
-    tracer = _open_tracer(args)
+
+    def collect_metrics():
+        snapshot = registry.snapshot()
+        if pool is not None:
+            merge_metrics(snapshot, pool.stats())
+        return snapshot
+
+    profiler = _open_profiler(args)
+    tracer = _open_tracer(args, profiler)
+    publisher = _open_publisher(
+        args, collect_metrics,
+        health=pool.health if pool is not None else None,
+    )
     try:
         report = campaign.run(
             progress=report_progress, tracer=tracer, pool=pool
         )
     finally:
+        if publisher is not None:
+            publisher.stop()
+            if args.metrics:
+                logger.info(
+                    "metrics snapshots (%d flushes) appended to %s",
+                    publisher.flushes, args.metrics,
+                )
+        _finish_profiler(args, tracer, profiler)
         if tracer is not None:
             tracer.close()
         if pool is not None:
@@ -500,7 +691,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         if cell.traceback:
             logger.info(cell.traceback.rstrip())
-    if tracer is not None:
+    if args.trace:
         logger.info("trace written to %s", args.trace)
     return 0 if report.all_passed else 1
 
@@ -516,14 +707,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         {"op": "poll",  "ticket": 1}
         {"op": "fetch", "ticket": 1}
         {"op": "stats"}
+        {"op": "health"}
+        {"op": "watch", "count": 5, "interval": 1.0}
         {"op": "quit"}
 
-    Every request is answered with exactly one JSON line.  Jobs run on
-    the persistent pool: repeated submissions of the same query are
-    answered from the verdict cache (``"cached": true``) without any
-    solver time, and with ``--cache-dir`` that memory survives
-    restarts.
+    Every request is answered with exactly one JSON line — except
+    ``watch``, which streams its requested ``count`` of health
+    snapshot lines (each tagged ``"op": "watch"`` with a ``seq``).  A
+    request may carry an ``"id"``; it is echoed verbatim on every
+    reply it produces, so concurrent clients multiplexed onto one
+    stdin can match responses to requests.  Jobs run on the persistent
+    pool: repeated submissions of the same query are answered from the
+    verdict cache (``"cached": true``) without any solver time, and
+    with ``--cache-dir`` that memory survives restarts.
     """
+    import time as _time
     import json as _json
 
     from repro.core.campaign import CampaignQuery
@@ -550,11 +748,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tracer=_open_tracer(args),
     )
     tickets = {}
+    current = {"id": None}
 
     def reply(payload) -> None:
+        if current["id"] is not None:
+            payload = {**payload, "id": current["id"]}
         sys.stdout.write(_json.dumps(payload) + "\n")
         sys.stdout.flush()
 
+    publisher = _open_publisher(args, pool.stats, health=pool.health)
     reply({
         "op": "ready",
         "networks": sorted(networks),
@@ -565,14 +767,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             line = line.strip()
             if not line:
                 continue
+            current["id"] = None
             try:
                 request = _json.loads(line)
+                current["id"] = request.get("id")
                 op = request.get("op")
                 if op == "quit":
                     reply({"op": "quit"})
                     break
                 if op == "stats":
                     reply({"op": "stats", "stats": pool.stats()})
+                    continue
+                if op == "health":
+                    pool.wait(timeout=0)  # freshen heartbeat ages
+                    reply({"op": "health", "health": pool.health()})
+                    continue
+                if op == "watch":
+                    count = max(1, int(request.get("count", 5)))
+                    interval = max(
+                        0.0, float(request.get("interval", 1.0))
+                    )
+                    for seq in range(count):
+                        if seq:
+                            _time.sleep(interval)
+                        pool.wait(timeout=0)
+                        reply({
+                            "op": "watch",
+                            "seq": seq,
+                            "of": count,
+                            "health": pool.health(),
+                            "stats": pool.stats(),
+                        })
                     continue
                 if op == "submit":
                     name = request["net"]
@@ -628,6 +853,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "message": f"{type(exc).__name__}: {exc}",
                 })
     finally:
+        if publisher is not None:
+            publisher.stop()
         pool.shutdown()
     return 0
 
@@ -701,6 +928,54 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import top_loop
+
+    return top_loop(
+        args.path,
+        interval=args.interval,
+        iterations=args.iterations,
+        once=args.once,
+    )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        compare,
+        load_history,
+        record_run,
+        render_report,
+    )
+
+    if args.action == "record":
+        appended = record_run(
+            args.history, args.paths, label=args.label, run=args.run,
+        )
+        for record in appended:
+            logger.info(
+                "recorded %s (%d records) as run %s",
+                record["kind"], len(record["records"]), record["run"],
+            )
+        if not appended:
+            logger.warning(
+                "no readable repro-bench/1 artifacts among: %s",
+                ", ".join(args.paths),
+            )
+            return 1
+        return 0
+    report = compare(
+        load_history(args.history),
+        baseline=args.baseline,
+        threshold=args.threshold,
+    )
+    logger.info(render_report(report))
+    if report.get("error"):
+        # Too little history to diff (e.g. CI's first recorded run):
+        # nothing to gate on, so pass rather than block the pipeline.
+        return 0
+    return 1 if report["regressions"] else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.summarize import (
         build_search_tree,
@@ -711,7 +986,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         tree_to_json,
     )
 
-    records = load_trace(args.path)
+    try:
+        records = load_trace(args.path)
+    except OSError as exc:
+        logger.error("cannot read trace %s: %s", args.path, exc)
+        return 1
     if args.action == "summarize":
         logger.info(render_summary(summarize_trace(records, top=args.top)))
         return 0
@@ -748,6 +1027,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "certify": _cmd_certify,
         "figure1": _cmd_figure1,
         "trace": _cmd_trace,
+        "top": _cmd_top,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -320,6 +320,8 @@ class CampaignReport:
             for verdict, count in counts.items()
             if count
         ]
+        from repro.obs.metrics import render_quantiles
+
         lines = [
             f"campaign: {len(self.cells)} cells "
             f"({', '.join(parts) if parts else 'empty'})",
@@ -328,6 +330,13 @@ class CampaignReport:
             f"cell time {self.total_cell_time:.1f}s "
             f"(speedup {self.speedup:.1f}x)",
         ]
+        if self.cells:
+            lines.append(
+                "cell wall "
+                + render_quantiles(
+                    [c.result.wall_time for c in self.cells]
+                )
+            )
         if self.static_proofs:
             lines.append(
                 f"static analysis: {self.static_proofs} cell"
@@ -945,7 +954,11 @@ class VerificationCampaign:
         def dispatch_cell(task: _CellTask) -> None:
             nonlocal outstanding
             job = pool.submit_task(
-                "cell", task, fingerprint=fingerprints[task.index]
+                "cell", task, fingerprint=fingerprints[task.index],
+                budget=(
+                    task.cell_time_limit
+                    or task.milp_options.time_limit
+                ),
             )
             job_to_task[job.id] = task
             outstanding += 1

@@ -38,6 +38,7 @@ import itertools
 import json
 import multiprocessing
 import os
+import threading
 import time
 from collections import deque
 from multiprocessing import connection as mp_connection
@@ -140,16 +141,20 @@ class _ConnSink:
 
     Reuses the obs relay record format byte-identically; a broken pipe
     silently drops records (the worker must never die because the
-    consumer went away).
+    consumer went away).  ``lock`` serialises pipe writes against the
+    worker's heartbeat thread — ``Connection.send`` is not atomic under
+    concurrent writers.
     """
 
-    def __init__(self, conn, job_id: int) -> None:
+    def __init__(self, conn, job_id: int, lock=None) -> None:
         self._conn = conn
         self._job_id = job_id
+        self._lock = lock if lock is not None else threading.Lock()
 
     def write(self, record: Dict[str, Any]) -> None:
         try:
-            self._conn.send(("progress", self._job_id, record))
+            with self._lock:
+                self._conn.send(("progress", self._job_id, record))
         except Exception:
             pass
 
@@ -160,47 +165,89 @@ class _ConnSink:
         pass
 
 
-def _pool_worker_main(conn) -> None:
+def _pool_worker_main(
+    conn, heartbeat_interval: Optional[float] = None
+) -> None:
     """Long-lived worker loop: recv task -> run fault-isolated -> reply.
 
     Messages in: ``(kind, job_id, payload)`` with kind ``"cell"``
     (payload ``(task, stream)``), ``"bounds"`` (a bounds payload) or
     ``"ping"``; ``None`` asks for a clean shutdown.  Replies:
     ``("progress", job_id, record)`` (streamed trace records),
+    ``("hb", job_id_or_None, payload)`` (liveness heartbeats from a
+    side thread, proving the worker is healthy *even mid-solve*),
     ``("done", job_id, result)``, or ``("error", job_id, traceback)``
     when the result could not be produced *or shipped* (e.g. it does not
     pickle) — so the parent always learns the job's fate unless the
     process itself dies, which the parent detects via its sentinel.
+
+    All pipe writes share one lock: the heartbeat thread and the main
+    loop (and any streaming sink) must never interleave bytes on the
+    connection.
     """
     from repro.core.campaign import _compute_bounds_task, _run_cell_task
 
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError, KeyboardInterrupt):
-            return
-        if message is None:
-            break
-        kind, job_id, payload = message
-        try:
-            if kind == "cell":
-                task, stream = payload
-                extra = _ConnSink(conn, job_id) if stream else None
-                out = _run_cell_task(task, extra_sink=extra)
-            elif kind == "bounds":
-                out = _compute_bounds_task(payload)
-            elif kind == "ping":
-                out = os.getpid()
-            else:
-                raise CertificationError(f"unknown job kind {kind!r}")
-            conn.send(("done", job_id, out))
-        except Exception:
-            import traceback
+    send_lock = threading.Lock()
+    status: Dict[str, Any] = {"job": None}
+    halt = threading.Event()
+    if heartbeat_interval:
 
+        def _beat() -> None:
+            while not halt.wait(heartbeat_interval):
+                try:
+                    with send_lock:
+                        conn.send((
+                            "hb", status["job"],
+                            {"t": time.time(), "pid": os.getpid()},
+                        ))
+                except Exception:
+                    return
+
+        threading.Thread(
+            target=_beat, name="repro-pool-heartbeat", daemon=True
+        ).start()
+    try:
+        while True:
             try:
-                conn.send(("error", job_id, traceback.format_exc()))
-            except Exception:
+                message = conn.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
                 return
+            if message is None:
+                break
+            kind, job_id, payload = message
+            status["job"] = job_id
+            try:
+                if kind == "cell":
+                    task, stream = payload
+                    extra = (
+                        _ConnSink(conn, job_id, lock=send_lock)
+                        if stream else None
+                    )
+                    out = _run_cell_task(task, extra_sink=extra)
+                elif kind == "bounds":
+                    out = _compute_bounds_task(payload)
+                elif kind == "ping":
+                    out = os.getpid()
+                else:
+                    raise CertificationError(
+                        f"unknown job kind {kind!r}"
+                    )
+                with send_lock:
+                    conn.send(("done", job_id, out))
+            except Exception:
+                import traceback
+
+                try:
+                    with send_lock:
+                        conn.send((
+                            "error", job_id, traceback.format_exc()
+                        ))
+                except Exception:
+                    return
+            finally:
+                status["job"] = None
+    finally:
+        halt.set()
     try:
         conn.close()
     except Exception:
@@ -210,13 +257,19 @@ def _pool_worker_main(conn) -> None:
 class _WorkerHandle:
     """One live worker process plus its parent-side pipe end."""
 
-    __slots__ = ("process", "conn", "job")
+    __slots__ = (
+        "process", "conn", "job", "index", "jobs_done",
+        "last_heartbeat", "spawned_at",
+    )
 
-    def __init__(self, ctx, index: int) -> None:
+    def __init__(
+        self, ctx, index: int,
+        heartbeat_interval: Optional[float] = None,
+    ) -> None:
         parent_conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=_pool_worker_main,
-            args=(child_conn,),
+            args=(child_conn, heartbeat_interval),
             daemon=True,
             name=f"repro-pool-{index}",
         )
@@ -225,6 +278,12 @@ class _WorkerHandle:
         self.conn = parent_conn
         #: The in-flight :class:`PoolJob`, or ``None`` when idle.
         self.job: Optional["PoolJob"] = None
+        self.index = index
+        self.jobs_done = 0
+        self.spawned_at = time.time()
+        #: Epoch time of the last ``hb`` message (``None`` before the
+        #: first; stays ``None`` with heartbeats disabled).
+        self.last_heartbeat: Optional[float] = None
 
     @property
     def alive(self) -> bool:
@@ -251,7 +310,8 @@ class PoolJob:
 
     __slots__ = (
         "id", "kind", "payload", "stream", "state", "result", "error",
-        "crashed", "progress", "fingerprint", "retain",
+        "crashed", "progress", "fingerprint", "retain", "budget",
+        "t_submitted", "t_started", "stall_emitted",
     )
 
     def __init__(
@@ -262,6 +322,7 @@ class PoolJob:
         stream: bool = False,
         fingerprint: Optional[str] = None,
         retain: bool = False,
+        budget: Optional[float] = None,
     ) -> None:
         self.id = job_id
         self.kind = kind
@@ -276,6 +337,19 @@ class PoolJob:
         #: Verdict-cache key; completed cacheable cells are memoised.
         self.fingerprint = fingerprint
         self.retain = retain
+        #: Expected runtime (the cell/solve budget); stall detection
+        #: fires when the in-flight age exceeds a multiple of this.
+        self.budget = budget
+        self.t_submitted = time.time()
+        self.t_started: Optional[float] = None
+        self.stall_emitted = False
+
+    @property
+    def age(self) -> float:
+        """Seconds since dispatch to a worker (0.0 while queued)."""
+        if self.t_started is None:
+            return 0.0
+        return time.time() - self.t_started
 
     @property
     def done(self) -> bool:
@@ -302,8 +376,21 @@ class VerificationPool:
     in-flight job is failed.  ``cache_dir`` makes both caches durable
     (``bounds.jsonl`` / ``verdicts.jsonl`` spill files).
 
+    Health plane: each worker runs a heartbeat thread proving liveness
+    every ``heartbeat_interval`` seconds even mid-solve (``None``
+    disables, for overhead comparisons); :meth:`health` returns the
+    structured per-worker view (state, in-flight job age, heartbeat
+    age) that ``repro serve``'s ``health``/``watch`` ops and ``repro
+    top`` render.  A job whose in-flight age exceeds ``stall_factor``
+    times its budget is flagged **stalled**: one ``pool_stall`` trace
+    event, a ``pool.stalls`` counter tick, and a ``STALLED`` row in the
+    dashboards — the job is *not* killed (budget enforcement stays the
+    solver's job; the plane only makes the overrun visible).
+
     Not thread-safe: one pool serves one driving thread (campaigns use
-    it strictly sequentially).
+    it strictly sequentially; the only concurrent reader is a
+    :class:`~repro.obs.export.MetricsPublisher` calling the read-only
+    :meth:`stats`/:meth:`health` accessors).
     """
 
     def __init__(
@@ -312,6 +399,8 @@ class VerificationPool:
         cache_dir: Optional[str] = None,
         tracer=None,
         prewarm: bool = False,
+        heartbeat_interval: Optional[float] = 1.0,
+        stall_factor: float = 3.0,
     ) -> None:
         from repro.core.campaign import resolve_jobs
 
@@ -331,6 +420,8 @@ class VerificationPool:
         self.bounds_cache = BoundsCache(spill_path=bounds_spill)
         self.verdict_cache = VerdictCache(spill_path=verdict_spill)
         self.metrics = MetricsRegistry()
+        self.heartbeat_interval = heartbeat_interval
+        self.stall_factor = stall_factor
         # fork reuses the parent's already-imported interpreter, so a
         # fresh worker costs milliseconds, not a re-import; fall back to
         # the platform default where fork does not exist.
@@ -392,9 +483,17 @@ class VerificationPool:
 
     # -- scheduling --------------------------------------------------------
     def _spawn_worker(self) -> _WorkerHandle:
-        handle = _WorkerHandle(self._ctx, next(self._worker_ids))
+        index = next(self._worker_ids)
+        handle = _WorkerHandle(
+            self._ctx, index,
+            heartbeat_interval=self.heartbeat_interval,
+        )
         self._handles.append(handle)
         self.metrics.counter("pool.workers_spawned").inc()
+        # The pool never holds more than ``workers`` live processes, so
+        # any spawn past the initial complement replaces a dead one.
+        if index > self.workers:
+            self.metrics.counter("pool.respawns").inc()
         return handle
 
     def _ensure_workers(self) -> None:
@@ -442,6 +541,7 @@ class VerificationPool:
                 continue
             handle.job = job
             job.state = "running"
+            job.t_started = time.time()
 
     def submit_task(
         self,
@@ -450,11 +550,13 @@ class VerificationPool:
         fingerprint: Optional[str] = None,
         stream: bool = False,
         retain: bool = False,
+        budget: Optional[float] = None,
     ) -> PoolJob:
         """Low-level dispatch (campaigns drive this directly)."""
         job = PoolJob(
             next(self._ids), kind, payload,
             stream=stream, fingerprint=fingerprint, retain=retain,
+            budget=budget,
         )
         return self._enqueue(job)
 
@@ -468,8 +570,15 @@ class VerificationPool:
         """
         self._pump()
         completed: List[PoolJob] = []
+        # Idle workers still send heartbeats; drain them opportunistically
+        # so health views stay fresh between jobs (non-blocking — _drain
+        # returns as soon as the pipe is empty).
+        for handle in list(self._handles):
+            if handle.job is None:
+                self._drain(handle, completed)
         busy = [h for h in self._handles if h.job is not None]
         if not busy:
+            self._check_stalls()
             return completed
         waitable = {h.conn: h for h in busy}
         waitable.update({h.process.sentinel: h for h in busy})
@@ -483,6 +592,7 @@ class VerificationPool:
             self._drain(handle, completed)
             if handle.job is not None and not handle.alive:
                 self._worker_died(handle, completed)
+        self._check_stalls()
         self._pump()
         return completed
 
@@ -500,6 +610,9 @@ class VerificationPool:
                     self._retire(handle)
                 return
             kind, job_id, payload = message
+            if kind == "hb":
+                handle.last_heartbeat = time.time()
+                continue
             job = self._jobs.get(job_id)
             if job is None:
                 continue
@@ -511,7 +624,42 @@ class VerificationPool:
             else:  # "error": ran but could not produce/ship a result
                 job.error = payload
             handle.job = None
+            handle.jobs_done += 1
             self._finish(job, completed)
+
+    def _stall_threshold(self, job: PoolJob) -> Optional[float]:
+        if job.budget is None or job.budget <= 0:
+            return None
+        return self.stall_factor * job.budget
+
+    def _check_stalls(self) -> None:
+        """Flag in-flight jobs that blew far past their budget.
+
+        Emits one ``pool_stall`` trace event per job (not per check)
+        and keeps the ``pool.stalls`` counter in step; the stalled flag
+        clears itself when the job eventually completes or its worker
+        is reaped.
+        """
+        for handle in self._handles:
+            job = handle.job
+            if job is None or job.stall_emitted:
+                continue
+            threshold = self._stall_threshold(job)
+            if threshold is None or job.age <= threshold:
+                continue
+            job.stall_emitted = True
+            self.metrics.counter("pool.stalls").inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "pool_stall",
+                    job_id=job.id,
+                    job_kind=job.kind,
+                    worker=handle.index,
+                    pid=handle.process.pid,
+                    age=job.age,
+                    budget=job.budget,
+                    stall_factor=self.stall_factor,
+                )
 
     def _worker_died(self, handle: _WorkerHandle, completed) -> None:
         job = handle.job
@@ -554,6 +702,9 @@ class VerificationPool:
 
     def _finish(self, job: PoolJob, completed) -> None:
         job.state = "done"
+        self.metrics.counter("pool.jobs_done").inc()
+        if job.t_started is not None:
+            self.metrics.histogram("pool.job_wall").observe(job.age)
         self._jobs.pop(job.id, None)
         if job.retain:
             self._done[job.id] = job
@@ -655,6 +806,7 @@ class VerificationPool:
         job = self.submit_task(
             "cell", task,
             fingerprint=fingerprint, stream=stream, retain=True,
+            budget=cell_time_limit or milp_options.time_limit,
         )
         return JobTicket(job.id, fingerprint)
 
@@ -729,19 +881,97 @@ class VerificationPool:
         return job.result.result
 
     # -- accounting --------------------------------------------------------
+    @staticmethod
+    def _hit_rate(hits: float, misses: float) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def _worker_state(self, handle: _WorkerHandle) -> str:
+        if not handle.alive:
+            return "dead"
+        job = handle.job
+        if job is None:
+            return "idle"
+        if job.stall_emitted:
+            return "stalled"
+        return "busy"
+
     def stats(self) -> Dict[str, float]:
-        """Flat snapshot: worker, job and cache accounting."""
+        """Flat snapshot: worker, job, queue and cache accounting.
+
+        Includes per-worker gauges (``pool.worker<i>.jobs_done`` /
+        ``.job_age`` / ``.alive``) so an exported snapshot carries the
+        same per-worker view :meth:`health` structures.
+        """
+        self._check_stalls()
         out = self.metrics.snapshot()
         out["pool.workers"] = sum(
             1 for handle in self._handles if handle.alive
         )
+        out["pool.queue_depth"] = len(self._queue)
+        out["pool.in_flight"] = sum(
+            1 for handle in self._handles if handle.job is not None
+        )
         out["bounds_cache.entries"] = len(self.bounds_cache)
         out["bounds_cache.hits"] = self.bounds_cache.hits
         out["bounds_cache.misses"] = self.bounds_cache.misses
+        out["bounds_cache.hit_rate"] = self._hit_rate(
+            self.bounds_cache.hits, self.bounds_cache.misses
+        )
         out["verdict_cache.entries"] = len(self.verdict_cache)
         out["verdict_cache.hits"] = self.verdict_cache.hits
         out["verdict_cache.misses"] = self.verdict_cache.misses
+        out["verdict_cache.hit_rate"] = self._hit_rate(
+            self.verdict_cache.hits, self.verdict_cache.misses
+        )
+        for handle in self._handles:
+            prefix = f"pool.worker{handle.index}"
+            out[f"{prefix}.alive"] = 1.0 if handle.alive else 0.0
+            out[f"{prefix}.jobs_done"] = handle.jobs_done
+            out[f"{prefix}.job_age"] = (
+                handle.job.age if handle.job is not None else 0.0
+            )
         return out
+
+    def health(self) -> Dict[str, Any]:
+        """Structured fleet health: one record per worker plus totals.
+
+        The JSON-friendly view behind ``repro serve``'s ``health`` /
+        ``watch`` ops and the per-worker table in ``repro top``.
+        """
+        self._check_stalls()
+        now = time.time()
+        workers = []
+        for handle in self._handles:
+            job = handle.job
+            workers.append({
+                "worker": handle.index,
+                "pid": handle.process.pid,
+                "state": self._worker_state(handle),
+                "jobs_done": handle.jobs_done,
+                "job": job.id if job is not None else None,
+                "job_kind": job.kind if job is not None else None,
+                "job_age": job.age if job is not None else None,
+                "job_budget": job.budget if job is not None else None,
+                "last_heartbeat_age": (
+                    None if handle.last_heartbeat is None
+                    else max(0.0, now - handle.last_heartbeat)
+                ),
+                "uptime": max(0.0, now - handle.spawned_at),
+            })
+        snapshot = self.metrics.snapshot()
+        return {
+            "t": now,
+            "workers": workers,
+            "queue_depth": len(self._queue),
+            "in_flight": sum(
+                1 for w in workers if w["job"] is not None
+            ),
+            "jobs_done": int(snapshot.get("pool.jobs_done", 0)),
+            "crashes": int(snapshot.get("pool.worker_crashes", 0)),
+            "respawns": int(snapshot.get("pool.respawns", 0)),
+            "stalls": int(snapshot.get("pool.stalls", 0)),
+        }
 
     def render_stats(self) -> str:
         """One-line human summary for CLI output."""
@@ -749,11 +979,14 @@ class VerificationPool:
         return (
             f"pool: {int(stats['pool.workers'])} workers, "
             f"{int(stats.get('pool.jobs', 0))} jobs, "
+            f"{int(stats['pool.queue_depth'])} queued, "
             f"{int(stats.get('pool.worker_crashes', 0))} crashes; "
             f"verdict cache {int(stats['verdict_cache.hits'])} hits / "
             f"{int(stats['verdict_cache.misses'])} misses "
-            f"({int(stats['verdict_cache.entries'])} entries); "
+            f"({stats['verdict_cache.hit_rate']:.0%} hit rate, "
+            f"{int(stats['verdict_cache.entries'])} entries); "
             f"bounds cache {int(stats['bounds_cache.hits'])} hits / "
             f"{int(stats['bounds_cache.misses'])} misses "
-            f"({int(stats['bounds_cache.entries'])} entries)"
+            f"({stats['bounds_cache.hit_rate']:.0%} hit rate, "
+            f"{int(stats['bounds_cache.entries'])} entries)"
         )

@@ -2,8 +2,13 @@
 
 Structured tracing (:mod:`repro.obs.trace`), metric instruments
 (:mod:`repro.obs.metrics`), pluggable sinks (:mod:`repro.obs.sinks`),
-trace analysis and search-tree export (:mod:`repro.obs.summarize`) and
-the ``repro.*`` logging hierarchy (:mod:`repro.obs.logconfig`).
+trace analysis and search-tree export (:mod:`repro.obs.summarize`), the
+``repro.*`` logging hierarchy (:mod:`repro.obs.logconfig`), and the
+telemetry plane: Prometheus/JSONL metric export with a background
+publisher (:mod:`repro.obs.export`), the live console dashboard behind
+``repro top`` (:mod:`repro.obs.top`), span-scoped profiling
+(:mod:`repro.obs.profile`) and the bench-history regression gate
+(:mod:`repro.obs.bench`).
 
 The contract with the hot paths: everything here is **zero-cost when
 disabled** — callers default to :data:`NULL_TRACER`, whose spans and
@@ -11,15 +16,34 @@ events are shared no-ops, and guard per-node event emission behind one
 ``is not None`` check.
 """
 
+from repro.obs.bench import (
+    HISTORY_SCHEMA,
+    compare,
+    load_history,
+    record_run,
+    render_report,
+)
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    MetricsPublisher,
+    append_snapshot,
+    load_snapshots,
+    prometheus_text,
+    write_prometheus,
+)
 from repro.obs.logconfig import configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    QUANTILES,
     merge_metrics,
+    render_quantiles,
 )
+from repro.obs.profile import PhaseProfiler, render_folded
 from repro.obs.sinks import ConsoleSink, JsonlSink, RingBufferSink, Sink
+from repro.obs.top import render_top, top_loop
 from repro.obs.summarize import (
     PHASES,
     TraceSummary,
@@ -43,26 +67,43 @@ __all__ = [
     "ConsoleSink",
     "Counter",
     "Gauge",
+    "HISTORY_SCHEMA",
     "Histogram",
     "JsonlSink",
+    "METRICS_SCHEMA",
+    "MetricsPublisher",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "PHASES",
+    "PhaseProfiler",
+    "QUANTILES",
     "RingBufferSink",
     "Sink",
     "Span",
     "TraceSummary",
     "Tracer",
+    "append_snapshot",
     "as_tracer",
     "build_search_tree",
+    "compare",
     "configure_logging",
     "get_logger",
+    "load_history",
+    "load_snapshots",
     "load_trace",
     "merge_metrics",
     "new_run_id",
+    "prometheus_text",
+    "record_run",
+    "render_folded",
+    "render_quantiles",
+    "render_report",
     "render_summary",
+    "render_top",
     "summarize_trace",
+    "top_loop",
     "tree_to_dot",
     "tree_to_json",
+    "write_prometheus",
 ]

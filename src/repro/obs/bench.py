@@ -1,0 +1,268 @@
+"""Bench history: append ``BENCH_*.json`` runs, diff against baselines.
+
+The benchmark suite writes one ``BENCH_<kind>.json`` artifact per run
+(schema ``repro-bench/1``) — a point-in-time file that each new run
+overwrites, so the repo has perf *measurements* but no perf *memory*.
+This module gives the artifacts a history and a regression gate:
+
+* :func:`record_run` ingests the current artifacts into
+  ``bench_history.jsonl`` (schema ``repro-bench-history/1``), one line
+  per (run, kind) with a shared run id and label so a CI job appends
+  all its artifacts atomically-enough for later grouping;
+* :func:`compare` diffs the newest run against a baseline run metric by
+  metric, classifying each as regression / improvement / stable using a
+  per-metric direction heuristic (wall time down is good, cache hit
+  rate up is good) and a configurable ratio threshold;
+* ``repro bench report`` renders the comparison and exits nonzero when
+  any regression is flagged, so CI can gate merges on it.
+
+Deliberately simple comparisons: ratio-of-scalars with a noise floor,
+not statistics.  The benchmarks are single-shot timings; a 1.5x ratio
+on a >=50 ms measurement is signal, anything subtler is not decidable
+from one sample and must not flap CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "compare",
+    "load_history",
+    "record_run",
+    "render_report",
+]
+
+#: Schema tag of every history line.
+HISTORY_SCHEMA = "repro-bench-history/1"
+
+#: Metric-name fragments where *larger* is better; everything else
+#: numeric is treated as lower-better (times, counts, node totals).
+_HIGHER_BETTER = ("rate", "speedup", "hit", "throughput", "per_sec")
+
+#: Metric-name fragments that are informational, never gated.
+_IGNORED = ("jobs", "workers", "cells", "queries", "full_scale", "seed")
+
+#: Absolute floor below which timings are noise, not signal (seconds
+#: for wall metrics; same floor reused for counts, where it is inert).
+NOISE_FLOOR = 0.05
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` = which direction is *better*.
+
+    ``None`` marks metrics excluded from gating (configuration echoes
+    like ``jobs`` or ``workers`` that describe the run, not its
+    performance).
+    """
+    lowered = name.lower()
+    if any(frag in lowered for frag in _IGNORED):
+        return None
+    if any(frag in lowered for frag in _HIGHER_BETTER):
+        return "higher"
+    return "lower"
+
+
+def record_run(
+    history_path: str,
+    bench_paths: Iterable[str],
+    label: str = "",
+    run: Optional[str] = None,
+    t: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """Append the given ``BENCH_*.json`` artifacts to the history.
+
+    One history line per readable artifact, all sharing one ``run`` id
+    (default: derived from the timestamp) and ``label`` (e.g. a commit
+    sha).  Unreadable or schema-less files are skipped, not fatal — CI
+    may legitimately produce a subset of the artifacts.  Returns the
+    appended records.
+    """
+    t = time.time() if t is None else t
+    run = run or f"run-{int(t)}"
+    appended: List[Dict[str, Any]] = []
+    for path in bench_paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                artifact = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(artifact, dict) or "records" not in artifact:
+            continue
+        record = {
+            "schema": HISTORY_SCHEMA,
+            "run": run,
+            "label": label,
+            "t": t,
+            "kind": artifact.get("kind", os.path.basename(path)),
+            "full_scale": bool(artifact.get("full_scale", False)),
+            "records": artifact["records"],
+        }
+        appended.append(record)
+    with open(history_path, "a", encoding="utf-8") as fh:
+        for record in appended:
+            fh.write(json.dumps(record) + "\n")
+    return appended
+
+
+def load_history(history_path: str) -> List[Dict[str, Any]]:
+    """All well-formed history lines, in file (= chronological) order."""
+    records: List[Dict[str, Any]] = []
+    if not os.path.exists(history_path):
+        return records
+    with open(history_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (
+                isinstance(record, dict)
+                and record.get("schema") == HISTORY_SCHEMA
+            ):
+                records.append(record)
+    return records
+
+
+def _runs(history: List[Dict[str, Any]]) -> List[str]:
+    """Distinct run ids in first-seen (chronological) order."""
+    seen: List[str] = []
+    for record in history:
+        run = record.get("run", "")
+        if run and run not in seen:
+            seen.append(run)
+    return seen
+
+
+def _metrics_of(
+    history: List[Dict[str, Any]], run: str
+) -> Dict[Tuple[str, str, str], float]:
+    """``(kind, record_name, metric) -> value`` for one run."""
+    out: Dict[Tuple[str, str, str], float] = {}
+    for record in history:
+        if record.get("run") != run:
+            continue
+        kind = str(record.get("kind", ""))
+        for row in record.get("records", []):
+            if not isinstance(row, dict):
+                continue
+            name = str(row.get("name", ""))
+            for metric, value in row.items():
+                if metric == "name" or isinstance(value, bool):
+                    continue
+                if isinstance(value, (int, float)):
+                    out[(kind, name, metric)] = float(value)
+    return out
+
+
+def compare(
+    history: List[Dict[str, Any]],
+    baseline: str = "prev",
+    threshold: float = 1.5,
+    noise_floor: float = NOISE_FLOOR,
+) -> Dict[str, Any]:
+    """Diff the newest run against a baseline run.
+
+    ``baseline`` is ``"prev"`` (the run before the newest), ``"first"``,
+    or an explicit run id.  A metric regresses when it moves in its bad
+    direction by more than ``threshold`` (ratio) *and* at least one side
+    exceeds ``noise_floor``.  Returns a report dict with ``rows`` (one
+    per shared metric) and ``regressions`` — callers gate on the latter
+    being non-empty.
+    """
+    runs = _runs(history)
+    if len(runs) < 2:
+        return {
+            "newest": runs[-1] if runs else None,
+            "baseline": None,
+            "rows": [],
+            "regressions": [],
+            "error": (
+                "need at least two recorded runs to compare"
+                if runs else "bench history is empty"
+            ),
+        }
+    newest = runs[-1]
+    if baseline == "prev":
+        base = runs[-2]
+    elif baseline == "first":
+        base = runs[0]
+    elif baseline in runs:
+        base = baseline
+    else:
+        return {
+            "newest": newest, "baseline": baseline,
+            "rows": [], "regressions": [],
+            "error": f"baseline run {baseline!r} not in history",
+        }
+    base_metrics = _metrics_of(history, base)
+    new_metrics = _metrics_of(history, newest)
+    rows: List[Dict[str, Any]] = []
+    regressions: List[Dict[str, Any]] = []
+    for key in sorted(set(base_metrics) & set(new_metrics)):
+        kind, name, metric = key
+        direction = metric_direction(metric)
+        if direction is None:
+            continue
+        old, new = base_metrics[key], new_metrics[key]
+        if direction == "higher":
+            # Normalise so ratio > 1 always means "got worse".
+            ratio = old / new if new > 0 else (float("inf") if old > 0 else 1.0)
+        else:
+            ratio = new / old if old > 0 else (float("inf") if new > 0 else 1.0)
+        significant = max(abs(old), abs(new)) >= noise_floor
+        regressed = significant and ratio > threshold
+        row = {
+            "kind": kind, "name": name, "metric": metric,
+            "direction": direction, "baseline": old, "newest": new,
+            "ratio": ratio, "regressed": regressed,
+        }
+        rows.append(row)
+        if regressed:
+            regressions.append(row)
+    return {
+        "newest": newest, "baseline": base,
+        "threshold": threshold, "rows": rows,
+        "regressions": regressions,
+    }
+
+
+def render_report(report: Mapping[str, Any]) -> str:
+    """The comparison as an aligned console table."""
+    if report.get("error"):
+        return f"bench report: {report['error']}"
+    lines = [
+        f"bench report: newest={report['newest']} "
+        f"baseline={report['baseline']} "
+        f"threshold={report.get('threshold', 0):.2f}x",
+    ]
+    rows = report.get("rows", [])
+    if not rows:
+        lines.append("  (no shared metrics between the two runs)")
+        return "\n".join(lines)
+    width = max(
+        len(f"{r['kind']}/{r['name']}/{r['metric']}") for r in rows
+    )
+    for row in rows:
+        key = f"{row['kind']}/{row['name']}/{row['metric']}"
+        flag = "REGRESSION" if row["regressed"] else (
+            "improved" if row["ratio"] < 1.0 else "ok"
+        )
+        ratio = row["ratio"]
+        ratio_text = f"{ratio:6.2f}x" if ratio != float("inf") else "   infx"
+        lines.append(
+            f"  {key:<{width}}  {row['baseline']:>10.4f} -> "
+            f"{row['newest']:>10.4f}  {ratio_text}  {flag}"
+        )
+    n_reg = len(report.get("regressions", []))
+    lines.append(
+        f"  {n_reg} regression(s) across {len(rows)} gated metric(s)"
+    )
+    return "\n".join(lines)

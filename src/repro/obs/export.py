@@ -1,0 +1,280 @@
+"""Metrics export: Prometheus text format, JSONL time series, publisher.
+
+The metrics registry and the pool's health accounting are in-memory
+objects; a verification *service* needs them outside the process.  Two
+export formats cover scrape-based and log-based consumers:
+
+* :func:`prometheus_text` renders a flat ``{name: number}`` snapshot
+  (the shape :meth:`MetricsRegistry.snapshot` and ``pool.stats()``
+  produce) in the Prometheus text exposition format —
+  ``repro_pool_jobs 42`` — with histogram expansions mapped onto
+  Prometheus conventions (``name.count`` -> ``name_count``, quantile
+  keys -> ``name{quantile="0.95"}``).  :func:`write_prometheus`
+  publishes it atomically to a file node_exporter's textfile collector
+  (or any sidecar) can scrape.
+* :func:`append_snapshot` appends one ``repro-metrics/1`` JSON line —
+  timestamp, source, metrics, optional structured health block — to an
+  append-only time-series file; ``repro top`` tails exactly this
+  stream, and :func:`load_snapshots` reads it back for offline
+  analysis.
+
+:class:`MetricsPublisher` ties both to a clock: a daemon thread flushes
+a snapshot every ``interval`` seconds (plus one final flush on
+``stop()``), so a long-running ``repro serve`` daemon or campaign keeps
+a live, externally visible pulse without any cooperation from the hot
+path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.obs.metrics import QUANTILES
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricsPublisher",
+    "append_snapshot",
+    "load_snapshots",
+    "prometheus_text",
+    "write_prometheus",
+]
+
+#: Schema tag of every JSONL snapshot record.
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Characters Prometheus metric names may not contain.
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Snapshot suffix -> Prometheus sample-name suffix for histogram keys.
+_HISTOGRAM_SUFFIXES = {"count": "_count", "sum": "_sum"}
+
+#: Quantile snapshot labels (``p50``) -> Prometheus quantile values.
+_QUANTILE_LABELS = {label: f"{q:g}" for label, q in QUANTILES}
+
+
+def _sample_name(key: str, namespace: str) -> tuple:
+    """``(metric_name, labels)`` for one flat snapshot key.
+
+    ``pool.job_wall.count`` becomes ``repro_pool_job_wall_count``;
+    ``pool.job_wall.p95`` becomes ``repro_pool_job_wall`` with a
+    ``quantile="0.95"`` label (the summary-metric convention);
+    everything else is sanitised wholesale.
+    """
+    base, dot, suffix = key.rpartition(".")
+    if dot:
+        if suffix in _HISTOGRAM_SUFFIXES:
+            key = base + _HISTOGRAM_SUFFIXES[suffix]
+        elif suffix in _QUANTILE_LABELS:
+            name = f"{namespace}_{_INVALID_CHARS.sub('_', base)}"
+            return name, {"quantile": _QUANTILE_LABELS[suffix]}
+    return f"{namespace}_{_INVALID_CHARS.sub('_', key)}", {}
+
+
+def _render_value(value: Any) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(
+    snapshot: Mapping[str, Any],
+    namespace: str = "repro",
+    labels: Optional[Mapping[str, str]] = None,
+    timestamp: Optional[float] = None,
+) -> str:
+    """The snapshot in the Prometheus text exposition format.
+
+    ``labels`` are attached to every sample (e.g. ``{"source":
+    "serve"}``); ``timestamp`` (epoch seconds) adds the optional
+    millisecond timestamp column.  Samples are emitted sorted by name
+    so consecutive exports diff cleanly.
+    """
+    static = dict(labels or {})
+    suffix = "" if timestamp is None else f" {int(timestamp * 1000)}"
+    families: Dict[str, List[str]] = {}
+    for key in sorted(snapshot):
+        name, extra = _sample_name(key, namespace)
+        merged = {**static, **extra}
+        label_text = (
+            "{" + ",".join(
+                f'{k}="{v}"' for k, v in sorted(merged.items())
+            ) + "}"
+            if merged else ""
+        )
+        families.setdefault(name, []).append(
+            f"{name}{label_text} {_render_value(snapshot[key])}{suffix}"
+        )
+    lines: List[str] = []
+    for name in sorted(families):
+        lines.append(f"# TYPE {name} gauge")
+        lines.extend(families[name])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    path: str,
+    snapshot: Mapping[str, Any],
+    namespace: str = "repro",
+    labels: Optional[Mapping[str, str]] = None,
+) -> None:
+    """Atomically publish the snapshot as a Prometheus textfile.
+
+    Written to a sibling temp file and ``os.replace``d into place, so a
+    scraper can never read a half-written exposition.
+    """
+    text = prometheus_text(
+        snapshot, namespace=namespace, labels=labels,
+        timestamp=time.time(),
+    )
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
+def append_snapshot(
+    path: str,
+    metrics: Mapping[str, Any],
+    source: str = "",
+    health: Optional[Mapping[str, Any]] = None,
+    t: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Append one snapshot record to the JSONL time series.
+
+    Returns the record written.  ``health`` carries the structured
+    per-worker block from :meth:`VerificationPool.health`; scalar
+    metrics stay in ``metrics`` so both log-scrapers and ``repro top``
+    get what they need from one line.
+    """
+    record: Dict[str, Any] = {
+        "schema": METRICS_SCHEMA,
+        "t": time.time() if t is None else t,
+        "source": source,
+        "metrics": {k: float(v) for k, v in metrics.items()},
+    }
+    if health is not None:
+        record["health"] = dict(health)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record) + "\n")
+    return record
+
+
+def load_snapshots(path: str) -> List[Dict[str, Any]]:
+    """Read a snapshot time series back (corrupt lines skipped).
+
+    Tolerates a torn final line — the file is append-only and may be
+    mid-write when read by ``repro top`` or an offline analyser.
+    """
+    records: List[Dict[str, Any]] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+class MetricsPublisher:
+    """Background thread flushing metric snapshots on a fixed period.
+
+    ``collect`` returns the flat metrics mapping (e.g. ``pool.stats``);
+    ``health`` optionally returns the structured health block (e.g.
+    ``pool.health``).  Each tick appends one JSONL record
+    (``jsonl_path``) and/or atomically rewrites a Prometheus textfile
+    (``prom_path``).  ``stop()`` performs one final flush so short runs
+    always leave at least one snapshot behind; collection errors are
+    swallowed after the first (the publisher must never take down the
+    service it observes) but counted in :attr:`errors`.
+    """
+
+    def __init__(
+        self,
+        collect: Callable[[], Mapping[str, Any]],
+        jsonl_path: Optional[str] = None,
+        prom_path: Optional[str] = None,
+        interval: float = 2.0,
+        source: str = "pool",
+        health: Optional[Callable[[], Mapping[str, Any]]] = None,
+    ) -> None:
+        if jsonl_path is None and prom_path is None:
+            raise ValueError(
+                "MetricsPublisher needs jsonl_path and/or prom_path"
+            )
+        self._collect = collect
+        self._health = health
+        self.jsonl_path = jsonl_path
+        self.prom_path = prom_path
+        self.interval = max(0.05, float(interval))
+        self.source = source
+        self.flushes = 0
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "MetricsPublisher":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def publish(self) -> Optional[Dict[str, Any]]:
+        """Collect and write one snapshot now (also used by the thread)."""
+        try:
+            metrics = dict(self._collect())
+            health = dict(self._health()) if self._health else None
+            if self.prom_path is not None:
+                write_prometheus(
+                    self.prom_path, metrics,
+                    labels={"source": self.source},
+                )
+            record = None
+            if self.jsonl_path is not None:
+                record = append_snapshot(
+                    self.jsonl_path, metrics,
+                    source=self.source, health=health,
+                )
+            self.flushes += 1
+            return record
+        except Exception:
+            self.errors += 1
+            return None
+
+    def start(self) -> None:
+        """Start the periodic flusher (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-publisher", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.publish()
+
+    def stop(self) -> None:
+        """Stop the thread and flush one final snapshot."""
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+        self.publish()

@@ -1,0 +1,297 @@
+"""Span-scoped profiling: per-phase hotspots and folded stacks.
+
+``--profile`` answers the question tracing cannot: a span says the
+``solve`` phase took 4.1 s, the profiler says *which functions* those
+seconds went to.  :class:`PhaseProfiler` plugs into the tracer's hook
+interface (:class:`repro.obs.trace.Tracer`, ``hooks=``) so collection
+starts and stops exactly at phase-span boundaries — nothing outside the
+profiled phases pays any overhead, and the attribution is by phase,
+not by process.
+
+Two collectors run per phase:
+
+* a **deterministic cProfile** instance, one per phase name, accumulated
+  across every span of that phase; its top functions by cumulative time
+  become the hotspot tables ``repro trace summarize`` renders.  cProfile
+  cannot nest, so entering an inner profiled phase (``bounds`` opens
+  inside ``query``) parks the outer profiler and resumes it when the
+  inner span closes — a stack of profilers mirroring the span stack.
+* a **sampling thread** walking ``sys._current_frames()`` for the thread
+  that opened the span, folding each observed stack into
+  ``phase;mod:func;mod:func`` counts — the `folded-stack format
+  <https://github.com/brendangregg/FlameGraph>`_ flamegraph tooling
+  consumes directly (:meth:`write_folded`).
+
+Results leave the process as ordinary ``"profile"`` trace events
+(:meth:`profile_events`), one per phase, so the existing JSONL trace
+artifact carries the profile and ``trace summarize`` needs no second
+input file.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["PhaseProfiler", "render_folded"]
+
+#: Phases profiled by default: the measured hot paths of a query.
+DEFAULT_PHASES: Tuple[str, ...] = ("bounds", "static", "encode", "solve")
+
+
+def _fold_frame(frame: Any) -> str:
+    """One ``module:function`` token for a stack frame."""
+    code = frame.f_code
+    module = code.co_filename.rsplit("/", 1)[-1]
+    if module.endswith(".py"):
+        module = module[:-3]
+    return f"{module}:{code.co_name}"
+
+
+def render_folded(counts: Dict[str, int]) -> str:
+    """Folded-stack counts as flamegraph.pl input text."""
+    return "".join(
+        f"{stack} {count}\n" for stack, count in sorted(counts.items())
+    )
+
+
+class _Sampler(threading.Thread):
+    """Daemon thread sampling one thread's stack while phases are open.
+
+    The profiler registers ``(thread_id, phase)`` targets as spans
+    open/close; each tick folds the current stack of every registered
+    thread under its phase prefix.  Sampling only runs while at least
+    one target exists, so idle time between phases costs nothing.
+    """
+
+    def __init__(self, interval: float) -> None:
+        super().__init__(name="repro-profile-sampler", daemon=True)
+        self.interval = interval
+        self.counts: Dict[str, int] = {}
+        self.samples = 0
+        self._targets: Dict[int, str] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        # Not named ``_stop`` — that would shadow a Thread internal.
+        self._halted = False
+
+    def set_target(self, thread_id: int, phase: Optional[str]) -> None:
+        with self._lock:
+            if phase is None:
+                self._targets.pop(thread_id, None)
+            else:
+                self._targets[thread_id] = phase
+                self._wake.set()
+
+    def stop(self) -> None:
+        self._halted = True
+        self._wake.set()
+
+    def run(self) -> None:
+        while not self._halted:
+            with self._lock:
+                targets = dict(self._targets)
+            if not targets:
+                self._wake.wait()
+                self._wake.clear()
+                continue
+            frames = sys._current_frames()
+            with self._lock:
+                for thread_id, phase in targets.items():
+                    frame = frames.get(thread_id)
+                    if frame is None:
+                        continue
+                    stack: List[str] = []
+                    while frame is not None:
+                        stack.append(_fold_frame(frame))
+                        frame = frame.f_back
+                    stack.append(phase)
+                    key = ";".join(reversed(stack))
+                    self.counts[key] = self.counts.get(key, 0) + 1
+                    self.samples += 1
+            time.sleep(self.interval)
+
+
+class PhaseProfiler:
+    """Tracer hook attaching cProfile + stack sampling to phase spans.
+
+    Implements the tracer hook protocol (``span_opened`` /
+    ``span_closed``).  Only spans whose name is in ``phases`` are
+    profiled; each phase accumulates one cProfile across all its spans
+    and a wall-time total, so repeated phases (one per query in a
+    campaign) aggregate naturally.
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[str] = DEFAULT_PHASES,
+        sample_interval: float = 0.005,
+        top: int = 12,
+    ) -> None:
+        self.phases = tuple(phases)
+        self.top = top
+        self.wall: Dict[str, float] = {}
+        self.spans: Dict[str, int] = {}
+        self._profiles: Dict[str, cProfile.Profile] = {}
+        # Per-thread stack of (phase, profile): cProfile cannot nest, so
+        # an inner profiled span parks the outer profiler until it exits.
+        self._active: Dict[int, List[Tuple[str, cProfile.Profile]]] = {}
+        self._sampler = _Sampler(sample_interval)
+        self._sampler.start()
+        self._closed = False
+
+    # -- tracer hook protocol ---------------------------------------------
+    def span_opened(self, span: Any) -> None:
+        """Tracer hook: start collecting when a profiled phase opens.
+
+        Parks any outer profiled phase on the same thread (cProfile
+        cannot nest) and points the sampler at the new phase.
+        """
+        if self._closed or span.name not in self.phases:
+            return
+        thread_id = threading.get_ident()
+        stack = self._active.setdefault(thread_id, [])
+        if stack:
+            stack[-1][1].disable()
+        profile = self._profiles.get(span.name)
+        if profile is None:
+            profile = self._profiles[span.name] = cProfile.Profile()
+        stack.append((span.name, profile))
+        self._sampler.set_target(thread_id, span.name)
+        profile.enable()
+
+    def span_closed(self, span: Any) -> None:
+        """Tracer hook: stop collecting and account the span's wall.
+
+        Resumes the parked outer phase, if any; a close without a
+        matching open (profiler attached mid-span) is a no-op.
+        """
+        if span.name not in self.phases:
+            return
+        thread_id = threading.get_ident()
+        stack = self._active.get(thread_id)
+        if not stack or stack[-1][0] != span.name:
+            return  # span was opened before attach, or mismatched exit
+        _, profile = stack.pop()
+        profile.disable()
+        self.wall[span.name] = self.wall.get(span.name, 0.0) + span.wall
+        self.spans[span.name] = self.spans.get(span.name, 0) + 1
+        if stack:
+            self._sampler.set_target(thread_id, stack[-1][0])
+            stack[-1][1].enable()
+        else:
+            self._sampler.set_target(thread_id, None)
+
+    # -- results -----------------------------------------------------------
+    def hotspots(
+        self, phase: str, top: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Top functions of one phase by cumulative time.
+
+        Each entry: ``{"func", "calls", "tottime", "cumtime"}`` — the
+        same numbers ``pstats`` would print, as plain data.
+        """
+        profile = self._profiles.get(phase)
+        if profile is None:
+            return []
+        stats = pstats.Stats(profile, stream=_NullStream())
+        rows: List[Dict[str, Any]] = []
+        for (filename, lineno, func), row in stats.stats.items():  # type: ignore[attr-defined]
+            cc, ncalls, tottime, cumtime, _ = row
+            module = filename.rsplit("/", 1)[-1]
+            if module.endswith(".py"):
+                module = module[:-3]
+            label = (
+                f"{module}:{lineno}:{func}" if lineno else func
+            )
+            rows.append({
+                "func": label,
+                "calls": int(ncalls),
+                "tottime": float(tottime),
+                "cumtime": float(cumtime),
+            })
+        rows.sort(key=lambda r: r["cumtime"], reverse=True)
+        return rows[: self.top if top is None else top]
+
+    def profile_events(self) -> List[Dict[str, Any]]:
+        """One ``"profile"`` trace event record per profiled phase.
+
+        Emitted into the trace stream so ``trace summarize`` renders
+        hotspot tables from the same JSONL artifact as everything else.
+        """
+        events: List[Dict[str, Any]] = []
+        for phase in self.phases:
+            if phase not in self.spans:
+                continue
+            events.append({
+                "type": "event",
+                "name": "profile",
+                "t": time.time(),
+                "attrs": {
+                    "phase": phase,
+                    "spans": self.spans[phase],
+                    "wall": self.wall.get(phase, 0.0),
+                    "hotspots": self.hotspots(phase),
+                },
+            })
+        return events
+
+    def folded_counts(self) -> Dict[str, int]:
+        """Sampled ``phase;frames`` stack counts (copy)."""
+        return dict(self._sampler.counts)
+
+    def write_folded(self, path: str) -> int:
+        """Write the folded-stack artifact; returns the sample count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(render_folded(self.folded_counts()))
+        return self._sampler.samples
+
+    def render(self) -> str:
+        """Human-readable hotspot tables for every profiled phase."""
+        lines: List[str] = []
+        for phase in self.phases:
+            if phase not in self.spans:
+                continue
+            lines.append(
+                f"phase {phase}: {self.spans[phase]} span(s), "
+                f"{self.wall.get(phase, 0.0):.3f}s wall"
+            )
+            for row in self.hotspots(phase, top=8):
+                lines.append(
+                    f"  {row['cumtime']:8.3f}s cum "
+                    f"{row['tottime']:8.3f}s self "
+                    f"{row['calls']:7d}x  {row['func']}"
+                )
+        if not lines:
+            return "no profiled phases recorded"
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        """Stop the sampler and disable any still-active profiler."""
+        if self._closed:
+            return
+        self._closed = True
+        for stack in self._active.values():
+            while stack:
+                _, profile = stack.pop()
+                try:
+                    profile.disable()
+                except Exception:
+                    pass
+        self._active.clear()
+        self._sampler.stop()
+        self._sampler.join(timeout=2.0)
+
+
+class _NullStream:
+    """Throwaway stream for pstats (which insists on printing)."""
+
+    def write(self, text: str) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass

@@ -32,17 +32,38 @@ PHASES = ("audit", "bounds", "static", "encode", "solve")
 
 
 def load_trace(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace file (blank/corrupt lines are skipped)."""
+    """Parse a JSONL trace file (blank/corrupt lines are skipped).
+
+    Truncated traces are a fact of life — a killed campaign leaves a
+    torn final line, and a torn line can even parse as valid non-dict
+    JSON (``3``), which would poison every ``record.get`` downstream.
+    Anything that is not a JSON object is therefore dropped here, with
+    one warning naming the count, and the summary proceeds on whatever
+    survived.
+    """
+    from repro.obs.logconfig import get_logger
+
     records = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError:
+                skipped += 1
                 continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                skipped += 1
+    if skipped:
+        get_logger("obs.summarize").warning(
+            "%s: skipped %d corrupt/truncated line(s); "
+            "summary is partial", path, skipped,
+        )
     return records
 
 
@@ -69,6 +90,11 @@ class TraceSummary:
     cuts_evicted: int = 0
     #: Seconds spent inside the cut separators.
     cut_separation_time: float = 0.0
+    #: Per-phase profiler results: the ``attrs`` of every ``profile``
+    #: event (phase, spans, wall, hotspot rows) in trace order.
+    profiles: List[Dict[str, Any]] = dataclasses.field(
+        default_factory=list
+    )
 
     @property
     def phase_coverage(self) -> float:
@@ -149,6 +175,11 @@ def summarize_trace(
             float(e.get("attrs", {}).get("sep_time", 0.0))
             for e in cut_events
         ),
+        profiles=[
+            e.get("attrs", {}) for e in events
+            if e.get("name") == "profile"
+            and isinstance(e.get("attrs"), dict)
+        ],
     )
 
 
@@ -163,6 +194,12 @@ def render_summary(summary: TraceSummary) -> str:
         f"{summary.num_spans} spans, {summary.num_events} events "
         f"({summary.num_nodes} B&B nodes)",
     ]
+    if summary.num_spans == 0 and summary.num_events == 0:
+        lines.append(
+            "warning: trace contains no readable records — the file is "
+            "empty, truncated, or not a trace; nothing to break down"
+        )
+        return "\n\n".join(lines)
     rows = []
     for name in PHASES:
         wall = summary.phase_wall.get(name, 0.0)
@@ -205,6 +242,27 @@ def render_summary(summary: TraceSummary) -> str:
             ["cell", "wall", "verdict"], cell_rows,
             title=f"top {len(cell_rows)} slowest cells",
         ))
+    for profile in summary.profiles:
+        hotspot_rows = [
+            [
+                str(row.get("func", "?")),
+                f"{int(row.get('calls', 0))}",
+                f"{float(row.get('tottime', 0.0)):.3f}s",
+                f"{float(row.get('cumtime', 0.0)):.3f}s",
+            ]
+            for row in profile.get("hotspots", [])
+            if isinstance(row, dict)
+        ]
+        if not hotspot_rows:
+            continue
+        lines.append(render_generic(
+            ["function", "calls", "self", "cumulative"], hotspot_rows,
+            title=(
+                f"profile: phase {profile.get('phase', '?')} — "
+                f"{int(profile.get('spans', 0))} span(s), "
+                f"{float(profile.get('wall', 0.0)):.3f}s wall"
+            ),
+        ))
     return "\n\n".join(lines)
 
 
@@ -229,6 +287,8 @@ def build_search_tree(
         if cell is not None and not span.startswith(cell):
             continue
         attrs = record.get("attrs", {})
+        if not isinstance(attrs, dict):
+            continue  # torn line that still parsed as a node event
         node_id = f"{span}/{attrs.get('node', 0)}"
         nodes.append({
             "id": node_id,
@@ -243,6 +303,8 @@ def build_search_tree(
             "status": attrs.get("status", ""),
         })
         parent = attrs.get("parent", -1)
+        if not isinstance(parent, (int, float)) or isinstance(parent, bool):
+            parent = None  # corrupt attr — keep the node, drop the edge
         if parent is not None and parent >= 0:
             edges.append({
                 "from": f"{span}/{parent}",

@@ -1,8 +1,12 @@
-"""VerificationPool tests: caches, job API, crash recovery, durability."""
+"""VerificationPool tests: caches, job API, crash recovery, durability,
+and the health plane (heartbeats, stall detection, degraded dashboards).
+"""
 
 import math
 import multiprocessing
 import os
+import signal
+import time
 
 import numpy as np
 import pytest
@@ -84,9 +88,25 @@ class BombRegion(InputRegion):
         self.__dict__["_bounds_arr"] = value
 
 
+class SlowNetwork(FeedForwardNetwork):
+    """Sleeps inside any *worker* process that evaluates it."""
+
+    def forward(self, x, train=False):
+        if _armed(self):
+            time.sleep(self.__dict__.get("_delay", 1.0))
+        return super().forward(x, train=train)
+
+
 def bomb_network(seed=99):
     net = BombNetwork(make_net(seed).layers)
     net._home_pid = os.getpid()
+    return net
+
+
+def slow_network(delay=1.5, seed=7):
+    net = SlowNetwork(make_net(seed).layers)
+    net._home_pid = os.getpid()
+    net._delay = delay
     return net
 
 
@@ -424,3 +444,189 @@ class TestCrashRecovery:
             assert pool.fetch(good, timeout=120).verdict is (
                 Verdict.MAX_FOUND
             )
+
+
+class TestStatsAndHealth:
+    def test_stats_expose_queue_cache_and_worker_gauges(self):
+        net = make_net()
+        with VerificationPool(workers=1) as pool:
+            first = pool.submit(
+                net, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            pool.fetch(first, timeout=120)
+            second = pool.submit(
+                net, max_query(), encoder_options=ENC, milp_options=MILP
+            )
+            pool.fetch(second)
+            stats = pool.stats()
+        assert stats["pool.queue_depth"] == 0
+        assert stats["pool.in_flight"] == 0
+        assert stats["pool.jobs_done"] >= 1
+        # One miss (first submit) then one hit (the repeat).
+        assert stats["verdict_cache.hit_rate"] == 0.5
+        assert 0.0 <= stats["bounds_cache.hit_rate"] <= 1.0
+        assert stats["pool.worker1.alive"] == 1.0
+        assert stats["pool.worker1.jobs_done"] >= 1
+        assert stats["pool.worker1.job_age"] == 0.0
+        # Completed jobs feed the wall-time histogram with quantiles.
+        assert stats["pool.job_wall.count"] >= 1
+        assert "pool.job_wall.p95" in stats
+
+    def test_render_stats_mentions_queue_and_hit_rates(self):
+        with VerificationPool(workers=1) as pool:
+            text = pool.render_stats()
+        assert "queued" in text
+        assert text.count("hit rate") == 2
+
+    def test_health_structure_for_an_idle_fleet(self):
+        with VerificationPool(
+            workers=1, heartbeat_interval=0.05
+        ) as pool:
+            pool.prewarm()
+            time.sleep(0.15)
+            pool.wait(timeout=0)  # drain idle heartbeats
+            health = pool.health()
+        assert health["queue_depth"] == 0
+        assert health["in_flight"] == 0
+        assert health["stalls"] == 0
+        [worker] = health["workers"]
+        assert worker["state"] == "idle"
+        assert worker["job"] is None
+        assert worker["last_heartbeat_age"] is not None
+        assert worker["last_heartbeat_age"] < 5.0
+        assert worker["uptime"] >= 0.0
+
+    def test_heartbeats_can_be_disabled(self):
+        with VerificationPool(
+            workers=1, heartbeat_interval=None
+        ) as pool:
+            pool.prewarm()
+            time.sleep(0.1)
+            pool.wait(timeout=0)
+            [worker] = pool.health()["workers"]
+        assert worker["last_heartbeat_age"] is None
+
+
+@needs_fork
+class TestHealthPlaneUnderFailure:
+    """The acceptance scenario: a degraded fleet must be *visible* —
+    in per-worker gauges, in trace events, and on the ``repro top``
+    dashboard — not just survivable."""
+
+    @staticmethod
+    def _top_record(pool):
+        return {
+            "schema": "repro-metrics/1",
+            "t": time.time(),
+            "source": "test",
+            "metrics": pool.stats(),
+            "health": pool.health(),
+        }
+
+    def test_stall_detection_is_visible(self):
+        from repro.obs import RingBufferSink, Tracer
+        from repro.obs.top import render_top
+
+        sink = RingBufferSink()
+        with VerificationPool(
+            workers=1,
+            tracer=Tracer([sink]),
+            heartbeat_interval=0.05,
+            stall_factor=0.5,
+        ) as pool:
+            # The solve finishes in milliseconds, well inside the 0.2s
+            # budget; the worker then sleeps 1.5s in replay, blowing
+            # past stall_factor * budget = 0.1s while still in-flight.
+            ticket = pool.submit(
+                slow_network(delay=1.5), max_query(),
+                encoder_options=ENC,
+                milp_options=MILPOptions(time_limit=0.2),
+            )
+            deadline = time.monotonic() + 60
+            stalled_view = None
+            while time.monotonic() < deadline:
+                pool.wait(timeout=0.05)
+                if pool.stats().get("pool.stalls", 0) >= 1:
+                    stalled_view = self._top_record(pool)
+                    break
+            assert stalled_view is not None, "stall never flagged"
+            [worker] = stalled_view["health"]["workers"]
+            assert worker["state"] == "stalled"
+            assert worker["job_age"] > 0.5 * worker["job_budget"]
+            dashboard = render_top(stalled_view)
+            assert "STALLED" in dashboard
+            assert "ALERT: 1 worker(s) degraded" in dashboard
+            # The job is flagged, not killed: it still completes.
+            result = pool.fetch(ticket, timeout=120)
+            assert result.verdict is Verdict.MAX_FOUND
+        events = [r for r in sink.records if r.get("name") == "pool_stall"]
+        assert len(events) == 1  # one event per job, not per check
+        assert events[0]["attrs"]["job_kind"] == "cell"
+        attrs = events[0]["attrs"]
+        assert attrs["age"] > attrs["stall_factor"] * attrs["budget"]
+
+    def test_killed_worker_mid_job_is_fully_observable(self):
+        from repro.obs import RingBufferSink, Tracer
+        from repro.obs.top import render_top
+
+        sink = RingBufferSink()
+        with VerificationPool(
+            workers=1,
+            tracer=Tracer([sink]),
+            heartbeat_interval=0.05,
+        ) as pool:
+            ticket = pool.submit(
+                slow_network(delay=60.0), max_query(),
+                encoder_options=ENC, milp_options=MILP,
+            )
+            deadline = time.monotonic() + 60
+            victim = None
+            while time.monotonic() < deadline:
+                pool.wait(timeout=0.05)
+                busy = [
+                    w for w in pool.health()["workers"]
+                    if w["job"] is not None
+                ]
+                if busy:
+                    victim = busy[0]
+                    break
+            assert victim is not None, "job never reached a worker"
+            os.kill(victim["pid"], signal.SIGKILL)
+            # Observe the corpse *before* the pool reaps it: the dead
+            # handle still holds the job, so dashboards show DEAD.
+            deadline = time.monotonic() + 30
+            dead_view = None
+            while time.monotonic() < deadline:
+                workers = pool.health()["workers"]
+                if any(w["state"] == "dead" for w in workers):
+                    dead_view = self._top_record(pool)
+                    break
+                time.sleep(0.02)
+            assert dead_view is not None, "death never surfaced"
+            index = victim["worker"]
+            assert (
+                dead_view["metrics"][f"pool.worker{index}.alive"] == 0.0
+            )
+            dashboard = render_top(dead_view)
+            assert "DEAD" in dashboard
+            assert "ALERT: 1 worker(s) degraded (dead)" in dashboard
+            # Reap: the job degrades to ERROR, crash + respawn counted.
+            result = pool.fetch(ticket, timeout=120)
+            assert result.verdict is Verdict.ERROR
+            assert "worker" in result.description
+            good = pool.submit(
+                make_net(), max_query("q2", output=1),
+                encoder_options=ENC, milp_options=MILP,
+            )
+            assert pool.fetch(good, timeout=120).verdict is (
+                Verdict.MAX_FOUND
+            )
+            stats = pool.stats()
+            assert stats["pool.worker_crashes"] >= 1
+            assert stats["pool.respawns"] >= 1
+        crashes = [
+            r for r in sink.records
+            if r.get("name") == "pool_worker_crash"
+        ]
+        assert crashes
+        assert crashes[0]["attrs"]["job_kind"] == "cell"

@@ -1,0 +1,174 @@
+"""Bench-history tests: recording, baselines, the regression gate."""
+
+import json
+
+from repro.obs.bench import (
+    HISTORY_SCHEMA,
+    compare,
+    load_history,
+    metric_direction,
+    record_run,
+    render_report,
+)
+
+
+def write_bench(path, kind, records):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({
+            "schema": "repro-bench/1", "kind": kind, "written": 1,
+            "full_scale": False, "records": records,
+        }, fh)
+    return str(path)
+
+
+def history_with(tmp_path, runs):
+    """Record one BENCH_pool.json per ``(run_id, records)`` pair."""
+    history = str(tmp_path / "bench_history.jsonl")
+    for run_id, records in runs:
+        artifact = write_bench(
+            tmp_path / "BENCH_pool.json", "pool", records
+        )
+        record_run(history, [artifact], run=run_id, t=1.0)
+    return history
+
+
+class TestRecordAndLoad:
+    def test_round_trip(self, tmp_path):
+        history = history_with(tmp_path, [
+            ("r1", [{"name": "serial", "wall_time": 2.0}]),
+        ])
+        [record] = load_history(history)
+        assert record["schema"] == HISTORY_SCHEMA
+        assert record["run"] == "r1"
+        assert record["kind"] == "pool"
+        assert record["records"] == [
+            {"name": "serial", "wall_time": 2.0}
+        ]
+
+    def test_unreadable_artifacts_skipped(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        history = str(tmp_path / "h.jsonl")
+        appended = record_run(
+            history,
+            [str(bad), str(tmp_path / "missing.json")],
+            run="r1",
+            t=1.0,
+        )
+        assert appended == []
+        assert load_history(history) == []
+
+    def test_corrupt_history_lines_skipped(self, tmp_path):
+        history = history_with(tmp_path, [
+            ("r1", [{"name": "serial", "wall_time": 2.0}]),
+        ])
+        with open(history, "a", encoding="utf-8") as fh:
+            fh.write("{torn line\n")
+        assert len(load_history(history)) == 1
+
+    def test_missing_history(self, tmp_path):
+        assert load_history(str(tmp_path / "none.jsonl")) == []
+
+
+class TestCompare:
+    def test_injected_2x_wall_regression_flagged(self, tmp_path):
+        history = history_with(tmp_path, [
+            ("r1", [{"name": "serial", "wall_time": 2.0}]),
+            ("r2", [{"name": "serial", "wall_time": 4.0}]),  # 2x slower
+        ])
+        report = compare(load_history(history), threshold=1.5)
+        assert len(report["regressions"]) == 1
+        [row] = report["regressions"]
+        assert row["metric"] == "wall_time"
+        assert row["ratio"] == 2.0
+
+    def test_unchanged_metrics_pass(self, tmp_path):
+        records = [{"name": "serial", "wall_time": 2.0, "speedup": 1.9}]
+        history = history_with(tmp_path, [
+            ("r1", records), ("r2", records),
+        ])
+        report = compare(load_history(history), threshold=1.5)
+        assert report["regressions"] == []
+        assert len(report["rows"]) == 2
+
+    def test_higher_better_metrics_regress_downward(self, tmp_path):
+        history = history_with(tmp_path, [
+            ("r1", [{"name": "pooled", "speedup": 3.0}]),
+            ("r2", [{"name": "pooled", "speedup": 1.0}]),
+        ])
+        report = compare(load_history(history), threshold=1.5)
+        [row] = report["regressions"]
+        assert row["metric"] == "speedup"
+        assert row["direction"] == "higher"
+        assert row["ratio"] == 3.0
+
+    def test_improvement_is_not_a_regression(self, tmp_path):
+        history = history_with(tmp_path, [
+            ("r1", [{"name": "serial", "wall_time": 4.0}]),
+            ("r2", [{"name": "serial", "wall_time": 2.0}]),
+        ])
+        report = compare(load_history(history), threshold=1.5)
+        assert report["regressions"] == []
+
+    def test_noise_floor_suppresses_tiny_timings(self, tmp_path):
+        history = history_with(tmp_path, [
+            ("r1", [{"name": "serial", "wall_time": 0.001}]),
+            ("r2", [{"name": "serial", "wall_time": 0.004}]),  # 4x, noise
+        ])
+        report = compare(load_history(history), threshold=1.5)
+        assert report["regressions"] == []
+
+    def test_config_echo_metrics_not_gated(self, tmp_path):
+        history = history_with(tmp_path, [
+            ("r1", [{"name": "pooled", "jobs": 1, "wall_time": 2.0}]),
+            ("r2", [{"name": "pooled", "jobs": 4, "wall_time": 2.0}]),
+        ])
+        report = compare(load_history(history), threshold=1.5)
+        assert report["regressions"] == []
+        metrics = {row["metric"] for row in report["rows"]}
+        assert "jobs" not in metrics
+
+    def test_baseline_first_and_explicit(self, tmp_path):
+        history = history_with(tmp_path, [
+            ("r1", [{"name": "s", "wall_time": 1.0}]),
+            ("r2", [{"name": "s", "wall_time": 1.1}]),
+            ("r3", [{"name": "s", "wall_time": 4.0}]),
+        ])
+        records = load_history(history)
+        assert compare(records, baseline="first")["baseline"] == "r1"
+        assert compare(records, baseline="r2")["baseline"] == "r2"
+        assert compare(records, baseline="prev")["baseline"] == "r2"
+        assert compare(records, baseline="nope")["error"]
+
+    def test_too_little_history_is_an_error_not_a_crash(self, tmp_path):
+        assert compare([])["error"]
+        history = history_with(tmp_path, [
+            ("r1", [{"name": "s", "wall_time": 1.0}]),
+        ])
+        report = compare(load_history(history))
+        assert report["error"]
+        assert report["regressions"] == []
+
+
+class TestRender:
+    def test_report_text(self, tmp_path):
+        history = history_with(tmp_path, [
+            ("r1", [{"name": "serial", "wall_time": 2.0}]),
+            ("r2", [{"name": "serial", "wall_time": 4.0}]),
+        ])
+        text = render_report(compare(load_history(history)))
+        assert "pool/serial/wall_time" in text
+        assert "REGRESSION" in text
+        assert "1 regression(s)" in text
+
+    def test_error_report_text(self):
+        assert "empty" in render_report(compare([]))
+
+
+def test_direction_heuristics():
+    assert metric_direction("wall_time") == "lower"
+    assert metric_direction("total_nodes") == "lower"
+    assert metric_direction("speedup") == "higher"
+    assert metric_direction("warm_hit_rate") == "higher"
+    assert metric_direction("jobs") is None
+    assert metric_direction("workers") is None

@@ -1,0 +1,190 @@
+"""Metrics export tests: Prometheus text, JSONL series, publisher."""
+
+import json
+import threading
+import time
+
+from repro.obs import MetricsRegistry
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    MetricsPublisher,
+    append_snapshot,
+    load_snapshots,
+    prometheus_text,
+    write_prometheus,
+)
+
+
+class TestPrometheusText:
+    def test_names_sanitised_and_namespaced(self):
+        text = prometheus_text({"pool.jobs_done": 7})
+        assert "repro_pool_jobs_done 7\n" in text
+        assert "# TYPE repro_pool_jobs_done gauge" in text
+
+    def test_histogram_suffixes_follow_convention(self):
+        text = prometheus_text({
+            "pool.job_wall.count": 3,
+            "pool.job_wall.sum": 1.5,
+        })
+        assert "repro_pool_job_wall_count 3" in text
+        assert "repro_pool_job_wall_sum 1.5" in text
+
+    def test_quantiles_become_labels(self):
+        text = prometheus_text({"pool.job_wall.p95": 0.25})
+        assert 'repro_pool_job_wall{quantile="0.95"} 0.25' in text
+
+    def test_static_labels_on_every_sample(self):
+        text = prometheus_text(
+            {"a": 1, "b.p50": 2.0}, labels={"source": "serve"}
+        )
+        assert 'repro_a{source="serve"} 1' in text
+        assert 'quantile="0.5"' in text
+        assert 'source="serve"' in text.split("repro_b", 1)[1]
+
+    def test_registry_snapshot_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2)
+        reg.histogram("wall").observe(0.5)
+        text = prometheus_text(reg.snapshot())
+        assert "repro_hits 2" in text
+        assert "repro_wall_count 1" in text
+
+    def test_empty_snapshot(self):
+        assert prometheus_text({}) == ""
+
+    def test_write_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(str(path), {"x": 1})
+        write_prometheus(str(path), {"x": 2})
+        content = path.read_text()
+        assert "repro_x 2" in content
+        # No temp litter left behind.
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestSnapshotSeries:
+    def test_append_and_load(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        append_snapshot(path, {"pool.jobs": 1}, source="serve", t=10.0)
+        append_snapshot(
+            path, {"pool.jobs": 2}, source="serve",
+            health={"workers": []}, t=11.0,
+        )
+        records = load_snapshots(path)
+        assert len(records) == 2
+        assert records[0]["schema"] == METRICS_SCHEMA
+        assert records[0]["metrics"] == {"pool.jobs": 1.0}
+        assert records[1]["health"] == {"workers": []}
+        assert records[1]["t"] == 11.0
+
+    def test_load_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        append_snapshot(str(path), {"a": 1}, t=1.0)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": "repro-met')  # torn mid-write
+        assert len(load_snapshots(str(path))) == 1
+
+    def test_load_missing_file(self, tmp_path):
+        assert load_snapshots(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestMetricsPublisher:
+    def test_requires_a_destination(self):
+        try:
+            MetricsPublisher(dict)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_periodic_flush_and_final_flush(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        calls = []
+
+        def collect():
+            calls.append(1)
+            return {"n": len(calls)}
+
+        publisher = MetricsPublisher(
+            collect, jsonl_path=path, interval=0.05, source="test"
+        )
+        publisher.start()
+        time.sleep(0.2)
+        publisher.stop()
+        records = load_snapshots(path)
+        # At least one periodic flush plus the stop() flush.
+        assert len(records) >= 2
+        assert publisher.flushes == len(records)
+        assert records[-1]["source"] == "test"
+        assert records[-1]["metrics"]["n"] == float(len(calls))
+
+    def test_stop_without_start_still_flushes_once(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        publisher = MetricsPublisher(
+            lambda: {"x": 1}, jsonl_path=path, interval=60.0
+        )
+        publisher.stop()
+        assert len(load_snapshots(path)) == 1
+
+    def test_collector_errors_counted_not_raised(self, tmp_path):
+        def explode():
+            raise RuntimeError("collector broke")
+
+        publisher = MetricsPublisher(
+            explode, jsonl_path=str(tmp_path / "m.jsonl")
+        )
+        assert publisher.publish() is None
+        assert publisher.errors == 1
+
+    def test_context_manager(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        with MetricsPublisher(
+            lambda: {"x": 1}, jsonl_path=path, interval=60.0
+        ):
+            pass
+        assert load_snapshots(path)
+
+    def test_prom_and_jsonl_together(self, tmp_path):
+        prom = tmp_path / "m.prom"
+        jsonl = tmp_path / "m.jsonl"
+        publisher = MetricsPublisher(
+            lambda: {"x": 3},
+            jsonl_path=str(jsonl), prom_path=str(prom),
+            source="dual",
+        )
+        record = publisher.publish()
+        assert record["metrics"] == {"x": 3.0}
+        assert 'repro_x{source="dual"} 3' in prom.read_text()
+
+    def test_health_block_included(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        publisher = MetricsPublisher(
+            lambda: {"x": 1},
+            jsonl_path=path,
+            health=lambda: {"workers": [{"worker": 1}]},
+        )
+        publisher.publish()
+        [record] = load_snapshots(path)
+        assert record["health"]["workers"] == [{"worker": 1}]
+
+    def test_no_thread_leak(self, tmp_path):
+        before = threading.active_count()
+        publisher = MetricsPublisher(
+            lambda: {}, jsonl_path=str(tmp_path / "m.jsonl"),
+            interval=0.05,
+        )
+        publisher.start()
+        publisher.stop()
+        assert threading.active_count() == before
+
+
+def test_snapshot_line_is_valid_json(tmp_path):
+    path = str(tmp_path / "m.jsonl")
+    append_snapshot(path, {"a": 1.5}, source="s", t=2.0)
+    with open(path, "r", encoding="utf-8") as fh:
+        [line] = fh.readlines()
+    record = json.loads(line)
+    assert record == {
+        "schema": METRICS_SCHEMA, "t": 2.0, "source": "s",
+        "metrics": {"a": 1.5},
+    }

@@ -61,6 +61,9 @@ class TestRegistry:
             "it.sum": 5.0,
             "it.min": 5.0,
             "it.max": 5.0,
+            "it.p50": 5.0,
+            "it.p95": 5.0,
+            "it.p99": 5.0,
         }
 
 

@@ -1,0 +1,144 @@
+"""PhaseProfiler tests: hook wiring, hotspots, folded stacks."""
+
+import time
+
+from repro.obs import RingBufferSink, Tracer
+from repro.obs.profile import PhaseProfiler, render_folded
+
+
+def _burn(n=200_000):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def make_traced_run(profiler):
+    tracer = Tracer([RingBufferSink()], hooks=[profiler])
+    with tracer.span("query"):
+        with tracer.span("bounds"):
+            _burn()
+        with tracer.span("solve"):
+            _burn()
+    return tracer
+
+
+class TestPhaseProfiler:
+    def test_only_configured_phases_profiled(self):
+        profiler = PhaseProfiler(phases=("solve",))
+        try:
+            make_traced_run(profiler)
+            assert set(profiler.spans) == {"solve"}
+            assert profiler.hotspots("bounds") == []
+        finally:
+            profiler.close()
+
+    def test_hotspots_report_the_hot_function(self):
+        profiler = PhaseProfiler()
+        try:
+            make_traced_run(profiler)
+            rows = profiler.hotspots("solve")
+            assert rows, "expected profiled rows for the solve phase"
+            assert any("_burn" in row["func"] for row in rows)
+            assert rows == sorted(
+                rows, key=lambda r: r["cumtime"], reverse=True
+            )
+        finally:
+            profiler.close()
+
+    def test_spans_and_wall_accumulate_across_repeats(self):
+        profiler = PhaseProfiler()
+        try:
+            tracer = Tracer([RingBufferSink()], hooks=[profiler])
+            for _ in range(3):
+                with tracer.span("solve"):
+                    _burn(50_000)
+            assert profiler.spans["solve"] == 3
+            assert profiler.wall["solve"] > 0.0
+        finally:
+            profiler.close()
+
+    def test_nested_profiled_phases_switch_cleanly(self):
+        # cProfile cannot nest; the profiler must park the outer
+        # phase's collector while the inner runs, then resume it.
+        profiler = PhaseProfiler(phases=("bounds", "solve"))
+        try:
+            tracer = Tracer([RingBufferSink()], hooks=[profiler])
+            with tracer.span("solve"):
+                _burn(50_000)
+                with tracer.span("bounds"):
+                    _burn(50_000)
+                _burn(50_000)
+            assert profiler.spans == {"solve": 1, "bounds": 1}
+            assert profiler.hotspots("solve")
+            assert profiler.hotspots("bounds")
+        finally:
+            profiler.close()
+
+    def test_profile_events_are_trace_records(self):
+        profiler = PhaseProfiler()
+        try:
+            make_traced_run(profiler)
+            events = profiler.profile_events()
+            phases = [e["attrs"]["phase"] for e in events]
+            assert phases == ["bounds", "solve"]
+            for event in events:
+                assert event["type"] == "event"
+                assert event["name"] == "profile"
+                assert event["attrs"]["spans"] == 1
+                assert isinstance(event["attrs"]["hotspots"], list)
+        finally:
+            profiler.close()
+
+    def test_folded_stacks_written(self, tmp_path):
+        profiler = PhaseProfiler(sample_interval=0.001)
+        try:
+            tracer = Tracer([RingBufferSink()], hooks=[profiler])
+            with tracer.span("solve"):
+                deadline = time.perf_counter() + 0.1
+                while time.perf_counter() < deadline:
+                    _burn(20_000)
+            path = tmp_path / "folded.txt"
+            samples = profiler.write_folded(str(path))
+            assert samples > 0
+            content = path.read_text()
+            assert content.startswith("solve;")
+            # flamegraph format: "stack;frames count" per line
+            for line in content.strip().splitlines():
+                stack, count = line.rsplit(" ", 1)
+                assert int(count) > 0
+                assert stack.split(";")[0] == "solve"
+        finally:
+            profiler.close()
+
+    def test_render_mentions_each_phase(self):
+        profiler = PhaseProfiler()
+        try:
+            make_traced_run(profiler)
+            text = profiler.render()
+            assert "phase bounds:" in text
+            assert "phase solve:" in text
+        finally:
+            profiler.close()
+
+    def test_render_without_any_phases(self):
+        profiler = PhaseProfiler()
+        try:
+            assert "no profiled phases" in profiler.render()
+        finally:
+            profiler.close()
+
+    def test_close_is_idempotent_and_detaches(self):
+        profiler = PhaseProfiler()
+        profiler.close()
+        profiler.close()
+        # A span after close must be a no-op, not a crash.
+        tracer = Tracer([RingBufferSink()], hooks=[profiler])
+        with tracer.span("solve"):
+            pass
+        assert "solve" not in profiler.spans
+
+
+def test_render_folded_sorted_lines():
+    text = render_folded({"b;y": 2, "a;x": 5})
+    assert text == "a;x 5\nb;y 2\n"

@@ -224,3 +224,98 @@ class TestCutAccounting:
         summary = summarize_trace(records)
         assert summary.cut_rounds == 0 and summary.cuts_added == 0
         assert "cutting planes" not in render_summary(summary)
+
+
+class TestDegradedTraces:
+    """Empty/truncated traces must warn and summarise, never traceback."""
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        records = load_trace(str(path))
+        assert records == []
+        text = render_summary(summarize_trace(records))
+        assert "warning" in text
+        assert "0 spans" in text
+
+    def test_truncated_final_line_skipped(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps(span_rec("query", 1.0)) + "\n"
+            + '{"type": "span", "name": "solv'  # torn mid-write
+        )
+        records = load_trace(str(path))
+        assert len(records) == 1
+        summary = summarize_trace(records)
+        assert summary.num_spans == 1
+        assert "warning" not in render_summary(summary)
+
+    def test_torn_line_parsing_as_non_dict_json_skipped(self, tmp_path):
+        # A truncated line can still be *valid* JSON — e.g. a record
+        # cut right after a leading number.  It must not reach
+        # summarize_trace, where record.get would explode.
+        path = tmp_path / "nondict.jsonl"
+        path.write_text(
+            "3\n[1, 2]\n" + json.dumps(span_rec("query", 1.0)) + "\n"
+        )
+        records = load_trace(str(path))
+        assert records == [span_rec("query", 1.0)]
+        render_summary(summarize_trace(records))  # must not raise
+
+    def test_skip_warning_logged(self, tmp_path, caplog, monkeypatch):
+        import logging
+
+        # CLI runs set propagate=False on the "repro" root logger
+        # (configure_logging); caplog captures at the true root, so
+        # restore propagation for the duration of this test.
+        monkeypatch.setattr(
+            logging.getLogger("repro"), "propagate", True
+        )
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"bad json\n')
+        with caplog.at_level("WARNING", logger="repro.obs.summarize"):
+            load_trace(str(path))
+        assert any(
+            "skipped 1 corrupt" in message
+            for message in caplog.messages
+        )
+
+    def test_tree_survives_corrupt_node_attrs(self):
+        records = [
+            node_event("s1.", 0, -1),
+            {  # attrs truncated to a scalar
+                "type": "event", "name": "node", "run": "r",
+                "span": "s1.", "t": 0.0, "attrs": 7,
+            },
+            node_event("s1.", 1, "oops"),  # non-numeric parent
+        ]
+        tree = build_search_tree(records)
+        ids = [n["id"] for n in tree["nodes"]]
+        assert ids == ["s1./0", "s1./1"]
+        assert tree["edges"] == []  # corrupt parent -> edge dropped
+        tree_to_dot(tree)  # and the exports still render
+        tree_to_json(tree)
+
+
+class TestProfileEvents:
+    def test_profile_event_rendered_as_hotspot_table(self):
+        records = [
+            span_rec("query", 2.0, span_id="1", network="n",
+                     objective="o", verdict="max_found"),
+            {
+                "type": "event", "name": "profile", "run": "r",
+                "span": None, "t": 0.0,
+                "attrs": {
+                    "phase": "solve", "spans": 3, "wall": 1.5,
+                    "hotspots": [{
+                        "func": "branch_and_bound:1:run",
+                        "calls": 3, "tottime": 0.2, "cumtime": 1.4,
+                    }],
+                },
+            },
+        ]
+        summary = summarize_trace(records)
+        assert len(summary.profiles) == 1
+        text = render_summary(summary)
+        assert "profile: phase solve" in text
+        assert "branch_and_bound:1:run" in text

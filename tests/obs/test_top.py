@@ -1,0 +1,106 @@
+"""``repro top`` dashboard tests: rendering and the tail loop."""
+
+import io
+
+from repro.obs.export import append_snapshot
+from repro.obs.top import render_top, top_loop
+
+
+def snapshot(metrics=None, health=None, source="serve", t=100.0):
+    record = {
+        "schema": "repro-metrics/1", "t": t, "source": source,
+        "metrics": metrics or {},
+    }
+    if health is not None:
+        record["health"] = health
+    return record
+
+
+def worker(idx, state, **extra):
+    base = {
+        "worker": idx, "pid": 1000 + idx, "state": state,
+        "jobs_done": idx, "job": None, "job_age": None,
+        "last_heartbeat_age": 0.1,
+    }
+    base.update(extra)
+    return base
+
+
+class TestRenderTop:
+    def test_header_and_pool_line(self):
+        text = render_top(snapshot(
+            metrics={
+                "pool.workers": 2, "pool.queue_depth": 3,
+                "pool.in_flight": 1, "pool.jobs_done": 9,
+                "pool.respawns": 0, "pool.stalls": 0,
+            },
+        ), now=101.0)
+        assert "source=serve" in text
+        assert "snapshot age 1.0s" in text
+        assert "2 worker(s)  queue=3  in-flight=1  done=9" in text
+
+    def test_cache_hit_rates(self):
+        text = render_top(snapshot(metrics={
+            "bounds_cache.hits": 3, "bounds_cache.misses": 1,
+            "verdict_cache.hits": 0, "verdict_cache.misses": 0,
+        }))
+        assert "bounds hit 75% (3/4)" in text
+        assert "verdict hit - (0/0)" in text
+
+    def test_campaign_progress_line(self):
+        text = render_top(snapshot(metrics={
+            "campaign.cells_total": 8, "campaign.cells_done": 2,
+        }))
+        assert "campaign: 2/8 cells (25%)" in text
+
+    def test_no_campaign_line_without_campaign_metrics(self):
+        assert "campaign:" not in render_top(snapshot())
+
+    def test_worker_table_states(self):
+        text = render_top(snapshot(health={"workers": [
+            worker(0, "idle"),
+            worker(1, "busy", job="cell-3", job_age=0.5),
+        ]}))
+        assert "idle" in text
+        assert "busy" in text
+        assert "cell-3" in text
+        assert "ALERT" not in text
+
+    def test_degraded_workers_upcased_with_alert(self):
+        text = render_top(snapshot(health={"workers": [
+            worker(0, "stalled", job="cell-9", job_age=120.0),
+            worker(1, "dead", last_heartbeat_age=30.0),
+            worker(2, "idle"),
+        ]}))
+        assert "STALLED" in text
+        assert "DEAD" in text
+        assert "2.0m" in text  # long ages render in minutes
+        assert "ALERT: 2 worker(s) degraded (dead, stalled)" in text
+
+    def test_no_health_fallback(self):
+        text = render_top(snapshot())
+        assert "(no per-worker health in this snapshot)" in text
+
+
+class TestTopLoop:
+    def test_once_renders_latest_snapshot(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        append_snapshot(path, {"pool.jobs_done": 1}, source="s", t=1.0)
+        append_snapshot(path, {"pool.jobs_done": 5}, source="s", t=2.0)
+        out = io.StringIO()
+        assert top_loop(path, once=True, stream=out) == 0
+        assert "done=5" in out.getvalue()
+
+    def test_missing_file_exits_nonzero(self, tmp_path):
+        out = io.StringIO()
+        path = str(tmp_path / "absent.jsonl")
+        assert top_loop(path, once=True, stream=out) == 1
+        assert "waiting for snapshots" in out.getvalue()
+
+    def test_iterations_bound_the_loop(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        append_snapshot(path, {"a": 1}, t=1.0)
+        out = io.StringIO()
+        code = top_loop(path, interval=0.0, iterations=3, stream=out)
+        assert code == 0
+        assert out.getvalue().count("repro top") == 3

@@ -455,3 +455,214 @@ class TestServe:
         )
         assert replies[1]["op"] == "error"
         assert "nope" in replies[1]["message"]
+
+    def test_health_and_watch_ops(
+        self, data_file, net_file, capsys, monkeypatch
+    ):
+        replies = self._session(
+            [
+                {"op": "health"},
+                {"op": "watch", "count": 2, "interval": 0},
+                {"op": "quit"},
+            ],
+            [
+                "serve",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "60",
+                "--bound-mode", "interval",
+            ],
+            capsys, monkeypatch,
+        )
+        ready, health, watch0, watch1, quit_ = replies
+        assert health["op"] == "health"
+        assert "workers" in health["health"]
+        assert health["health"]["queue_depth"] == 0
+        assert [w["seq"] for w in (watch0, watch1)] == [0, 1]
+        assert watch0["of"] == 2
+        assert "health" in watch0 and "stats" in watch0
+        assert quit_["op"] == "quit"
+
+    def test_two_concurrent_clients_multiplex_cleanly(
+        self, data_file, net_file, capsys, monkeypatch
+    ):
+        """Two clients race lines into one stdin pipe; every reply must
+        be one well-formed JSON line echoing the right request id."""
+        import json
+        import os
+        import threading
+
+        read_fd, write_fd = os.pipe()
+        per_client = 5
+
+        def client(name, op):
+            for i in range(per_client):
+                line = json.dumps({"op": op, "id": f"{name}-{i}"}) + "\n"
+                os.write(write_fd, line.encode())  # atomic < PIPE_BUF
+
+        writers = [
+            threading.Thread(target=client, args=("A", "stats")),
+            threading.Thread(target=client, args=("B", "health")),
+        ]
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join()
+        os.write(write_fd, b'{"op": "quit"}\n')
+        os.close(write_fd)
+        reader = os.fdopen(read_fd, "r")
+        monkeypatch.setattr("sys.stdin", reader)
+        try:
+            assert main(
+                [
+                    "serve",
+                    "--data", str(data_file),
+                    "--net", str(net_file),
+                    "--time-limit", "60",
+                    "--bound-mode", "interval",
+                ]
+            ) == 0
+        finally:
+            reader.close()
+        replies = [
+            json.loads(line)  # raises on any torn/interleaved line
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        assert replies[0]["op"] == "ready"
+        by_id = {r["id"]: r for r in replies if "id" in r}
+        assert len(by_id) == 2 * per_client  # one reply per request
+        for i in range(per_client):
+            assert by_id[f"A-{i}"]["op"] == "stats"
+            assert by_id[f"B-{i}"]["op"] == "health"
+
+
+class TestMetricsExportCLI:
+    def test_campaign_metrics_and_prom_flags(
+        self, data_file, net_file, tmp_path
+    ):
+        jsonl = tmp_path / "metrics.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "campaign",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+                "--metrics", str(jsonl),
+                "--prom", str(prom),
+                "--metrics-interval", "0.1",
+            ]
+        )
+        assert code == 0
+        from repro.obs.export import load_snapshots
+
+        snapshots = load_snapshots(str(jsonl))
+        assert snapshots, "publisher never flushed a snapshot"
+        final = snapshots[-1]["metrics"]
+        assert final["campaign.cells_total"] == 2.0
+        assert final["campaign.cells_done"] == 2.0
+        assert (
+            'repro_campaign_cells_done{source="campaign"} 2'
+            in prom.read_text()
+        )
+
+    def test_top_once_over_campaign_snapshots(
+        self, data_file, net_file, tmp_path, capsys
+    ):
+        jsonl = tmp_path / "metrics.jsonl"
+        assert main(
+            [
+                "campaign",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+                "--metrics", str(jsonl),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["top", str(jsonl), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top — source=campaign" in out
+        assert "campaign: 2/2 cells" in out
+
+    def test_top_missing_file_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            ["top", str(tmp_path / "absent.jsonl"), "--once"]
+        )
+        assert code == 1
+
+    def test_verify_profile_writes_folded_stacks(
+        self, data_file, net_file, tmp_path, capsys
+    ):
+        folded = tmp_path / "profile.folded"
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "verify",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+                "--profile",
+                "--profile-out", str(folded),
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase solve:" in out      # hotspot tables logged
+        assert folded.exists()
+        # The trace now carries profile events: summarize renders them.
+        assert main(["trace", "summarize", str(trace)]) == 0
+        assert "profile: phase" in capsys.readouterr().out
+
+
+class TestBenchCLI:
+    @staticmethod
+    def _artifact(path, wall):
+        import json
+
+        path.write_text(json.dumps({
+            "schema": "repro-bench/1", "kind": "pool",
+            "full_scale": False,
+            "records": [{"name": "serial", "wall_time": wall}],
+        }))
+        return str(path)
+
+    def test_regression_gate_round_trip(self, tmp_path, capsys):
+        history = str(tmp_path / "bench_history.jsonl")
+        artifact = tmp_path / "BENCH_pool.json"
+        assert main(
+            ["bench", "record", self._artifact(artifact, 2.0),
+             "--history", history, "--run", "base"]
+        ) == 0
+        # Single run: report explains itself and passes (CI first run).
+        assert main(["bench", "report", "--history", history]) == 0
+        assert "at least two recorded runs" in capsys.readouterr().out
+        # Unchanged timings pass cleanly...
+        assert main(
+            ["bench", "record", self._artifact(artifact, 2.0),
+             "--history", history, "--run", "same"]
+        ) == 0
+        assert main(["bench", "report", "--history", history]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+        # ...an injected 2x wall-time regression exits nonzero.
+        assert main(
+            ["bench", "record", self._artifact(artifact, 4.0),
+             "--history", history, "--run", "slow"]
+        ) == 0
+        assert main(["bench", "report", "--history", history]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "pool/serial/wall_time" in out
+        # Against the explicit unregressed baseline it still fails.
+        assert main(
+            ["bench", "report", "--history", history,
+             "--baseline", "base"]
+        ) == 1
+
+    def test_record_with_no_artifacts_fails(self, tmp_path):
+        code = main(
+            ["bench", "record", str(tmp_path / "missing.json"),
+             "--history", str(tmp_path / "h.jsonl")]
+        )
+        assert code == 1

@@ -269,12 +269,22 @@ def operational_region(
 
 
 def _encoder_options(
-    bound_mode: str, alpha_iters: Optional[int]
+    bound_mode: str,
+    alpha_iters: Optional[int],
+    split: bool = False,
+    split_depth: Optional[int] = None,
+    split_min_width: Optional[float] = None,
 ) -> EncoderOptions:
-    """Encoder options with the alpha iteration override applied."""
-    options = EncoderOptions(bound_mode=bound_mode)
+    """Encoder options with the alpha/split overrides applied."""
+    options = EncoderOptions(bound_mode=bound_mode, split=split)
     if alpha_iters is not None:
         options = dataclasses.replace(options, alpha_iters=alpha_iters)
+    if split_depth is not None:
+        options = dataclasses.replace(options, split_depth=split_depth)
+    if split_min_width is not None:
+        options = dataclasses.replace(
+            options, split_min_width=split_min_width
+        )
     return options
 
 
@@ -308,6 +318,9 @@ def verify_network(
     cuts: Optional[bool] = None,
     alpha_iters: Optional[int] = None,
     cut_min_binaries: Optional[int] = None,
+    split: bool = False,
+    split_depth: Optional[int] = None,
+    split_min_width: Optional[float] = None,
 ) -> TableIIRow:
     """Step 4: one Table II row — max lateral velocity with left occupied.
 
@@ -319,6 +332,9 @@ def verify_network(
     :class:`repro.milp.MILPOptions`).  ``alpha_iters`` tunes the
     ``bound_mode="alpha"`` optimiser; ``cut_min_binaries`` overrides the
     adaptive cut-activation threshold (``None`` keeps the defaults).
+    ``split`` turns on input-region bisection
+    (:mod:`repro.analysis.split`), with ``split_depth`` /
+    ``split_min_width`` overriding its limits.
     """
     if jobs is not None and jobs != 1:
         return run_table_ii(
@@ -333,11 +349,16 @@ def verify_network(
             cuts=cuts,
             alpha_iters=alpha_iters,
             cut_min_binaries=cut_min_binaries,
+            split=split,
+            split_depth=split_depth,
+            split_min_width=split_min_width,
         )[0]
     region = region or operational_region(study, max_gap=max_gap)
     verifier = Verifier(
         network,
-        _encoder_options(bound_mode, alpha_iters),
+        _encoder_options(
+            bound_mode, alpha_iters, split, split_depth, split_min_width
+        ),
         _milp_options(time_limit, lp_backend, cuts, cut_min_binaries),
         tracer=tracer,
     )
@@ -369,6 +390,9 @@ def table_ii_campaign(
     cuts: Optional[bool] = None,
     alpha_iters: Optional[int] = None,
     cut_min_binaries: Optional[int] = None,
+    split: bool = False,
+    split_depth: Optional[int] = None,
+    split_min_width: Optional[float] = None,
 ) -> "VerificationCampaign":
     """Build the Table II sweep as a campaign: one max query per mixture
     component on every network; ``threshold`` adds the decision query
@@ -381,7 +405,9 @@ def table_ii_campaign(
 
     region = region or operational_region(study)
     campaign = VerificationCampaign(
-        _encoder_options(bound_mode, alpha_iters),
+        _encoder_options(
+            bound_mode, alpha_iters, split, split_depth, split_min_width
+        ),
         _milp_options(time_limit, lp_backend, cuts, cut_min_binaries),
         jobs=jobs,
         cell_time_limit=cell_time_limit,
@@ -462,6 +488,9 @@ def run_table_ii(
     cuts: Optional[bool] = None,
     alpha_iters: Optional[int] = None,
     cut_min_binaries: Optional[int] = None,
+    split: bool = False,
+    split_depth: Optional[int] = None,
+    split_min_width: Optional[float] = None,
 ) -> List[TableIIRow]:
     """Step 4 for the whole family, in width order.
 
@@ -481,6 +510,9 @@ def run_table_ii(
         cuts=cuts,
         alpha_iters=alpha_iters,
         cut_min_binaries=cut_min_binaries,
+        split=split,
+        split_depth=split_depth,
+        split_min_width=split_min_width,
     )
     report = campaign.run(progress=progress, tracer=tracer)
     return table_ii_rows(study, networks, report)

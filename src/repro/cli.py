@@ -78,6 +78,26 @@ def _add_solver_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_split_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--split", action="store_true",
+        help="input-region bisection: when the static prescreen fails, "
+        "recursively bisect the input box along the most sensitive "
+        "dimension, re-prescreen each sub-region and hand only the "
+        "survivors to the MILP",
+    )
+    parser.add_argument(
+        "--split-depth", type=int, default=None, metavar="D",
+        help="maximum bisection depth for --split (2**D leaves worst "
+        "case; default: engine default)",
+    )
+    parser.add_argument(
+        "--split-min-width", type=float, default=None, metavar="W",
+        help="never bisect a dimension narrower than 2*W "
+        "(default: engine default)",
+    )
+
+
 def _add_observability_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -176,6 +196,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: engine default)",
     )
     _add_solver_args(verify)
+    _add_split_args(verify)
     _add_observability_args(verify)
 
     campaign = sub.add_parser(
@@ -223,6 +244,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "JSONL files there and are reloaded by later runs",
     )
     _add_solver_args(campaign)
+    _add_split_args(campaign)
     _add_observability_args(campaign)
     _add_metrics_args(campaign)
 
@@ -257,6 +279,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="projected-gradient iterations for --bound-mode alpha",
     )
     _add_solver_args(serve)
+    _add_split_args(serve)
     _add_observability_args(serve)
     _add_metrics_args(serve)
 
@@ -534,6 +557,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             lp_backend=args.lp_backend, cuts=args.cuts,
             alpha_iters=args.alpha_iters,
             cut_min_binaries=args.cut_min_binaries,
+            split=args.split,
+            split_depth=args.split_depth,
+            split_min_width=args.split_min_width,
         )
         logger.info(render_table_ii([row]))
         exit_code = 0
@@ -548,7 +574,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             verifier = Verifier(
                 network,
                 casestudy._encoder_options(
-                    args.bound_mode, args.alpha_iters
+                    args.bound_mode, args.alpha_iters,
+                    args.split, args.split_depth, args.split_min_width,
                 ),
                 casestudy._milp_options(
                     args.time_limit, args.lp_backend, args.cuts,
@@ -612,6 +639,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         cuts=args.cuts,
         alpha_iters=args.alpha_iters,
         cut_min_binaries=args.cut_min_binaries,
+        split=args.split,
+        split_depth=args.split_depth,
+        split_min_width=args.split_min_width,
     )
     n_nets, n_queries = campaign.size
     logger.info(
@@ -633,6 +663,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         registry.counter(
             f"campaign.verdict.{cell.result.verdict.value}"
         ).inc()
+        if cell.result.split_cells or cell.result.split_proofs:
+            registry.counter("campaign.split_cells").inc(
+                cell.result.split_cells
+            )
+            registry.counter("campaign.split_proofs").inc(
+                cell.result.split_proofs
+            )
         logger.info(
             "  [%d/%d] %s · %s: %s (%.1fs)",
             done, total, cell.network_id, cell.property_name,
@@ -737,7 +774,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     region = casestudy.operational_region(study)
     objectives = component_lateral_objectives(args.components)
     encoder_options = casestudy._encoder_options(
-        args.bound_mode, args.alpha_iters
+        args.bound_mode, args.alpha_iters,
+        args.split, args.split_depth, args.split_min_width,
     )
     milp_options = casestudy._milp_options(
         args.time_limit, args.lp_backend, args.cuts,

@@ -257,6 +257,21 @@ class CampaignReport:
             1 for c in self.cells if c.result.solver == "static"
         )
 
+    @property
+    def split_cells(self) -> int:
+        """Sub-regions handed to the MILP by the bisection driver.
+
+        Sub-region work is folded into its parent cell's result (the
+        shards never appear in ``cells``), so ``total_cell_time`` and
+        ``speedup`` count every shard's solve time exactly once.
+        """
+        return sum(c.result.split_cells for c in self.cells)
+
+    @property
+    def split_proofs(self) -> int:
+        """Sub-regions pruned statically by the per-shard prescreen."""
+        return sum(c.result.split_proofs for c in self.cells)
+
     def failures(self) -> List[CampaignCell]:
         """Cells that did not complete (falsified, timed out, errored)."""
         return [c for c in self.cells if not c.passed]
@@ -342,6 +357,12 @@ class CampaignReport:
                 f"static analysis: {self.static_proofs} cell"
                 f"{'s' if self.static_proofs != 1 else ''} proved "
                 "symbolically (no MILP built)"
+            )
+        if self.split_cells or self.split_proofs:
+            lines.append(
+                f"region bisection: {self.split_proofs} sub-region"
+                f"{'s' if self.split_proofs != 1 else ''} pruned "
+                f"statically, {self.split_cells} solved by the MILP"
             )
         attempts = sum(c.result.warm_start_attempts for c in self.cells)
         if attempts:
@@ -481,6 +502,89 @@ def _error_cell(
         ),
         traceback=trace,
         trace_records=records or [],
+    )
+
+
+@dataclasses.dataclass
+class _SplitState:
+    """In-flight fan-out of one cell into sub-region pool jobs.
+
+    The parent computed the bisection plan; each surviving sub-region
+    runs as an independent ``"cell"`` pool job (or resolves from the
+    verdict cache).  When the last shard lands, the shard results are
+    assembled into the *one* parent :class:`CampaignCell` — the shards
+    themselves never appear in the report, so ``total_cell_time`` and
+    ``speedup`` count sub-region work exactly once.
+    """
+
+    task: _CellTask
+    plan: object  # repro.analysis.split.SplitPlan
+    expected: int
+    leaves: List[VerificationResult] = dataclasses.field(
+        default_factory=list
+    )
+    records: List[dict] = dataclasses.field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.leaves) >= self.expected
+
+
+def _assemble_split_cell(state: _SplitState) -> CampaignCell:
+    """The parent cell from a finished fan-out.
+
+    The per-cell wall-clock budget bounds the **sum** of sub-region
+    solve time (plus planning): each shard is individually capped at
+    the cell budget while it runs, and a fan-out whose summed time
+    blew the budget reports TIMEOUT — never ERROR — exactly like an
+    unsplit cell that overran (see :func:`_run_cell_task`).
+    """
+    from repro.analysis.split import assemble_max, assemble_prove
+    from repro.core.verifier import INFEASIBLE_REGION_MESSAGE
+
+    task = state.task
+    total = state.plan.wall_time + sum(
+        r.wall_time for r in state.leaves
+    )
+    if task.query.kind == "max":
+        empty = sum(
+            1 for r in state.leaves
+            if r.verdict is Verdict.ERROR
+            and r.description.startswith(INFEASIBLE_REGION_MESSAGE)
+        )
+        useful = [
+            r for r in state.leaves
+            if not (
+                r.verdict is Verdict.ERROR
+                and r.description.startswith(INFEASIBLE_REGION_MESSAGE)
+            )
+        ]
+        result = assemble_max(
+            task.query.objective, state.plan, useful,
+            wall_time=total, empty=empty,
+        )
+    else:
+        result = assemble_prove(
+            task.query.as_property(), state.plan, state.leaves,
+            task.network, wall_time=total,
+        )
+    if (
+        task.cell_time_limit is not None
+        and total > task.cell_time_limit
+        and result.verdict not in (Verdict.TIMEOUT, Verdict.ERROR)
+    ):
+        result = dataclasses.replace(
+            result,
+            verdict=Verdict.TIMEOUT,
+            description=(
+                f"{result.description} "
+                f"[cell budget {task.cell_time_limit:.1f}s exceeded "
+                f"across {state.expected} sub-regions: {total:.1f}s]"
+            ).strip(),
+        )
+    return CampaignCell(
+        task.network_name, task.query.name, result,
+        trace_records=state.records,
     )
 
 
@@ -939,6 +1043,131 @@ class VerificationCampaign:
                 continue
             pending.append(task)
 
+        outstanding = 0
+        job_to_task: Dict[int, _CellTask] = {}
+        job_to_key: Dict[int, Tuple[str, str, str]] = {}
+        job_to_split: Dict[int, Tuple[_SplitState, _CellTask]] = {}
+
+        def finish_split(state: _SplitState) -> None:
+            """Assemble and memoise one fan-out's parent cell."""
+            try:
+                cell = _assemble_split_cell(state)
+            except Exception as exc:
+                cell = _error_cell(
+                    state.task,
+                    f"{type(exc).__name__}: {exc}",
+                    traceback.format_exc(),
+                    0.0,
+                    records=state.records,
+                )
+            fingerprint = fingerprints.get(state.task.index)
+            if fingerprint is not None:
+                pool.verdict_cache.put(fingerprint, cell.result)
+            finish(state.task, cell)
+
+        def dispatch_split(task: _CellTask) -> bool:
+            """Fan one split-enabled cell out as sub-region jobs.
+
+            The bisection plan runs in the parent (the prescreen is
+            cheap symbolic work); each surviving sub-region becomes an
+            independent ``"cell"`` job carrying its *own* fingerprint,
+            so shard verdicts memoise in the verdict cache alongside
+            whole-cell ones — with distinct keys, because the shard's
+            region geometry (and its split-off encoder options) hash
+            differently from the parent's.  Returns ``False`` when the
+            network is outside the symbolic fragment: the cell then
+            runs unsplit, exactly as without ``--split``.
+            """
+            nonlocal outstanding
+            from repro.analysis.split import RegionBisectionDriver
+            from repro.errors import EncodingError
+
+            milp = _effective_milp_options(task)
+            if task.query.kind == "prove":
+                # Same order as the serial path: the whole-region static
+                # prescreen decides first, so a root-provable cell
+                # reports ``solver="static"`` identically in both modes.
+                static = Verifier(
+                    task.network, task.encoder_options, milp,
+                    tracer=tracer,
+                )._static_prove(
+                    task.query.as_property(), None, time.monotonic()
+                )
+                if static is not None:
+                    fingerprint = fingerprints.get(task.index)
+                    if fingerprint is not None:
+                        pool.verdict_cache.put(fingerprint, static)
+                    finish(task, CampaignCell(
+                        task.network_name, task.query.name, static,
+                    ))
+                    return True
+            driver = RegionBisectionDriver(
+                task.network, task.encoder_options, milp, tracer=tracer,
+            )
+            threshold = (
+                task.query.threshold if task.query.kind == "prove"
+                else None
+            )
+            try:
+                plan = driver.plan(
+                    task.query.region, task.query.objective, threshold
+                )
+            except EncodingError:
+                return False
+            state = _SplitState(task, plan, len(plan.survivors))
+            if not plan.survivors:
+                finish_split(state)
+                return True
+            leaf_options = dataclasses.replace(
+                task.encoder_options, split=False,
+                static_prescreen=False,
+            )
+            for i, leaf in enumerate(plan.survivors):
+                leaf_task = _CellTask(
+                    index=task.index,
+                    network_name=task.network_name,
+                    network=task.network,
+                    query=dataclasses.replace(
+                        task.query,
+                        name=f"{task.query.name}#s{i}",
+                        region=leaf.region,
+                    ),
+                    encoder_options=leaf_options,
+                    milp_options=task.milp_options,
+                    cell_time_limit=task.cell_time_limit,
+                    bounds_key=task.bounds_key,
+                    trace_cfg=(
+                        (tracer.run_id, f"c{task.index}.s{i}.")
+                        if tracer.enabled else None
+                    ),
+                )
+                leaf_fp = _task_fingerprint(leaf_task)
+                cached = pool.verdict_cache.get(leaf_fp)
+                if cached is not None:
+                    state.leaves.append(cached)
+                    continue
+                job = pool.submit_task(
+                    "cell", leaf_task, fingerprint=leaf_fp,
+                    budget=(
+                        task.cell_time_limit
+                        or task.milp_options.time_limit
+                    ),
+                )
+                job_to_split[job.id] = (state, leaf_task)
+                outstanding += 1
+            if state.complete:
+                finish_split(state)
+            return True
+
+        # Split-enabled cells fan out *before* the bounds stage: the
+        # plan prescreens per sub-region itself, and each shard job
+        # computes its own (narrower, tighter) bounds — the parent
+        # region's bound set would be dead weight.
+        if self.encoder_options.split:
+            pending = [
+                task for task in pending if not dispatch_split(task)
+            ]
+
         # Stage 1: one pool job per unique unresolved bounds key; cached
         # keys resolve instantly.  Submitted per-future (never a
         # pool.map batch) so one crashing computation cannot take the
@@ -946,10 +1175,6 @@ class VerificationCampaign:
         by_key: Dict[Tuple[str, str, str], List[_CellTask]] = {}
         for task in pending:
             by_key.setdefault(task.bounds_key, []).append(task)
-
-        outstanding = 0
-        job_to_task: Dict[int, _CellTask] = {}
-        job_to_key: Dict[int, Tuple[str, str, str]] = {}
 
         def dispatch_cell(task: _CellTask) -> None:
             nonlocal outstanding
@@ -998,6 +1223,29 @@ class VerificationCampaign:
         while outstanding:
             for job in pool.wait():
                 outstanding -= 1
+                split_entry = job_to_split.pop(job.id, None)
+                if split_entry is not None:
+                    state, leaf_task = split_entry
+                    if job.error is not None:
+                        # A crashed shard is a genuine fault, not a
+                        # budget overrun: the parent degrades to ERROR
+                        # (a shard *timeout* arrives as a TIMEOUT
+                        # result and assembles to a TIMEOUT parent).
+                        state.leaves.append(VerificationResult(
+                            verdict=Verdict.ERROR,
+                            description=(
+                                "worker failed on sub-region "
+                                f"{leaf_task.query.region.name!r}: "
+                                f"{job.error.splitlines()[-1]}"
+                            ),
+                        ))
+                    else:
+                        leaf_cell = job.result
+                        state.records.extend(leaf_cell.trace_records)
+                        state.leaves.append(leaf_cell.result)
+                    if state.complete:
+                        finish_split(state)
+                    continue
                 key = job_to_key.pop(job.id, None)
                 if key is not None:
                     if job.error is not None:

@@ -37,7 +37,11 @@ from repro.milp.expr import LinExpr, Sense, Variable, VarType
 from repro.milp.model import Model
 from repro.nn.network import FeedForwardNetwork
 from repro.obs.trace import as_tracer
-from repro.tolerances import BOUND_MARGIN
+from repro.tolerances import BOUND_MARGIN, SPLIT_MIN_WIDTH
+
+#: Default maximum region-bisection depth; 2**4 = 16 leaves worst case,
+#: a good fit for the pool's default worker count.
+DEFAULT_SPLIT_DEPTH = 4
 
 
 @dataclasses.dataclass
@@ -64,6 +68,18 @@ class EncoderOptions:
     #: differently-tuned alpha runs).
     alpha_iters: int = DEFAULT_ALPHA_ITERS
     alpha_lr: float = DEFAULT_ALPHA_LR
+    #: Input-region bisection (:mod:`repro.analysis.split`): when the
+    #: static prescreen fails, recursively bisect the input box along
+    #: the most sensitive dimension, re-prescreen each sub-region and
+    #: hand only the survivors to the MILP.  All three knobs are part of
+    #: the options token, so verdict fingerprints distinguish split runs
+    #: from unsplit ones.
+    split: bool = False
+    #: Maximum bisection depth (2**depth leaves worst case).
+    split_depth: int = DEFAULT_SPLIT_DEPTH
+    #: Dimensions narrower than twice this width are never bisected
+    #: (floored at :data:`repro.tolerances.SPLIT_MIN_WIDTH`).
+    split_min_width: float = SPLIT_MIN_WIDTH
 
 
 @dataclasses.dataclass

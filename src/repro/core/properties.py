@@ -106,6 +106,41 @@ class InputRegion:
         self.constraints.append(constraint)
         return self
 
+    # -- bisection -----------------------------------------------------------
+    def widths(self) -> np.ndarray:
+        """Per-dimension box widths (zero for pinned features)."""
+        return self.bounds[:, 1] - self.bounds[:, 0]
+
+    def bisect(self, dim: int) -> Tuple["InputRegion", "InputRegion"]:
+        """Split the box at ``dim``'s midpoint into two closed halves.
+
+        Both children *include* the midpoint, so a witness lying exactly
+        on the split plane belongs to at least one child — the union of
+        the children always covers the parent.  Linear side constraints
+        are inherited unchanged by both halves (the split only narrows
+        the box, never the polytope rows).
+        """
+        if not 0 <= dim < self.dim:
+            raise EncodingError(
+                f"split dimension {dim} out of range for dim {self.dim}"
+            )
+        lo, hi = self.bounds[dim]
+        if lo >= hi:
+            raise EncodingError(
+                f"cannot bisect zero-width dimension {dim} of region "
+                f"{self.name!r}"
+            )
+        mid = 0.5 * (lo + hi)
+        children = []
+        for tag, (clo, chi) in (("l", (lo, mid)), ("h", (mid, hi))):
+            child = InputRegion(
+                self.bounds, name=f"{self.name}/{dim}{tag}"
+            )
+            child.bounds[dim] = (clo, chi)
+            child.constraints = list(self.constraints)
+            children.append(child)
+        return children[0], children[1]
+
     # -- membership -----------------------------------------------------------
     def contains(self, x: np.ndarray, tol: float = REGION_TOL) -> bool:
         """Membership test (box and linear constraints, within tol)."""

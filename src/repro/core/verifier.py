@@ -46,6 +46,14 @@ from repro.obs.metrics import merge_metrics
 from repro.obs.trace import as_tracer
 
 
+#: Diagnostic for a max query over an empty input region.  The split
+#: assembly matches on it to tell "this sub-box is empty" (harmless — an
+#: empty shard cannot contain the maximum) from genuine shard failures.
+INFEASIBLE_REGION_MESSAGE = (
+    "max query infeasible: the input region is empty"
+)
+
+
 class Verdict(enum.Enum):
     """Outcome of a verification query."""
 
@@ -142,6 +150,16 @@ class VerificationResult:
     def alpha_improvement(self) -> float:
         """Relative bound-width shrinkage vs fixed-policy symbolic."""
         return float(self.metrics.get("alpha_improvement", 0.0))
+
+    @property
+    def split_cells(self) -> int:
+        """Surviving sub-regions the bisection driver handed to the MILP."""
+        return int(self.metrics.get("split_cells", 0))
+
+    @property
+    def split_proofs(self) -> int:
+        """Sub-regions the per-sub-region prescreen discharged statically."""
+        return int(self.metrics.get("split_proofs", 0))
 
 
 def _options_token(options) -> str:
@@ -340,6 +358,24 @@ class Verifier:
             span.set(verdict=result.verdict.value, nodes=result.nodes)
             return result
 
+    def _split_driver(self, region: InputRegion):
+        """The bisection driver, or ``None`` when split is off or the
+        network shape is outside the symbolic engine's fragment (the
+        unsplit MILP then decides, exactly as without ``--split``)."""
+        if not self.encoder_options.split:
+            return None
+        from repro.analysis.split import RegionBisectionDriver
+        from repro.analysis.symbolic import _check_supported
+
+        try:
+            _check_supported(self.network, region)
+        except EncodingError:
+            return None
+        return RegionBisectionDriver(
+            self.network, self.encoder_options, self.milp_options,
+            tracer=self.tracer,
+        )
+
     def _maximize(
         self,
         region: InputRegion,
@@ -348,6 +384,12 @@ class Verifier:
         raise_on_infeasible: bool,
     ) -> VerificationResult:
         start = time.monotonic()
+        driver = self._split_driver(region)
+        if driver is not None:
+            return driver.maximize(
+                region, objective, start=start,
+                raise_on_infeasible=raise_on_infeasible,
+            )
         encoded = encode_network(
             self.network,
             region,
@@ -407,7 +449,7 @@ class Verifier:
                 **_lp_telemetry(result, own_bounds),
             )
         if result.status is SolveStatus.INFEASIBLE:
-            message = "max query infeasible: the input region is empty"
+            message = INFEASIBLE_REGION_MESSAGE
             if raise_on_infeasible:
                 raise EncodingError(message)
             return VerificationResult(
@@ -524,6 +566,9 @@ class Verifier:
         static = self._static_prove(prop, precomputed_bounds, start)
         if static is not None:
             return static
+        driver = self._split_driver(prop.region)
+        if driver is not None:
+            return driver.prove(prop, start=start)
         encoded = encode_network(
             self.network,
             prop.region,

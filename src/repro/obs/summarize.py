@@ -27,8 +27,10 @@ __all__ = [
 
 #: Phase span names whose durations make up the verification pipeline.
 #: ``audit`` is the campaign's static pre-solve lint; ``static`` the
-#: symbolic proof attempt that may settle a decision query MILP-free.
-PHASES = ("audit", "bounds", "static", "encode", "solve")
+#: symbolic proof attempt that may settle a decision query MILP-free;
+#: ``split`` the input-region bisection planner that prescreens and
+#: prunes sub-regions before any MILP is built.
+PHASES = ("audit", "bounds", "static", "split", "encode", "solve")
 
 
 def load_trace(path: str) -> List[Dict[str, Any]]:
@@ -90,6 +92,12 @@ class TraceSummary:
     cuts_evicted: int = 0
     #: Seconds spent inside the cut separators.
     cut_separation_time: float = 0.0
+    #: Region-bisection frontier: how many ``split`` events bisected a
+    #: box, pruned a sub-region statically, or handed one to the MILP
+    #: (``milp`` + ``degenerate`` actions).
+    split_bisections: int = 0
+    split_pruned: int = 0
+    split_milp: int = 0
     #: Per-phase profiler results: the ``attrs`` of every ``profile``
     #: event (phase, spans, wall, hotspot rows) in trace order.
     profiles: List[Dict[str, Any]] = dataclasses.field(
@@ -152,6 +160,12 @@ def summarize_trace(
             ))
     cells.sort(key=lambda item: item[1], reverse=True)
     cut_events = [e for e in events if e.get("name") == "cut"]
+    split_actions = [
+        e.get("attrs", {}).get("action", "")
+        for e in events
+        if e.get("name") == "split"
+        and isinstance(e.get("attrs"), dict)
+    ]
     return TraceSummary(
         runs=runs,
         num_spans=len(spans),
@@ -174,6 +188,12 @@ def summarize_trace(
         cut_separation_time=sum(
             float(e.get("attrs", {}).get("sep_time", 0.0))
             for e in cut_events
+        ),
+        split_bisections=split_actions.count("bisect"),
+        split_pruned=split_actions.count("prune"),
+        split_milp=(
+            split_actions.count("milp")
+            + split_actions.count("degenerate")
         ),
         profiles=[
             e.get("attrs", {}) for e in events
@@ -232,6 +252,12 @@ def render_summary(summary: TraceSummary) -> str:
             f"{summary.cut_rounds} rounds "
             f"({summary.cuts_evicted} evicted); separation "
             f"{summary.cut_separation_time:.3f}s"
+        )
+    if summary.split_bisections or summary.split_pruned or summary.split_milp:
+        lines.append(
+            f"region bisection: {summary.split_bisections} bisection(s) "
+            f"-> {summary.split_pruned} sub-region(s) pruned statically, "
+            f"{summary.split_milp} handed to the MILP"
         )
     if summary.slowest_cells:
         cell_rows = [

@@ -91,6 +91,13 @@ def render_top(
         lines.append(
             f"campaign: {int(done)}/{int(total)} cells ({pct})"
         )
+    split_cells = metrics.get("campaign.split_cells", 0)
+    split_proofs = metrics.get("campaign.split_proofs", 0)
+    if split_cells or split_proofs:
+        lines.append(
+            f"split: {int(split_proofs)} sub-region(s) pruned "
+            f"statically, {int(split_cells)} solved by the MILP"
+        )
     if workers:
         lines.append(
             f"  {'#':>3} {'pid':>8} {'state':<8} {'done':>5} "

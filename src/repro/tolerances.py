@@ -66,3 +66,11 @@ EPS = 1e-9
 #: Slack *added* to every certified big-M bound by the encoder so LP
 #: round-off can never make a genuinely feasible activation infeasible.
 BOUND_MARGIN = 1e-6
+
+#: Narrowest input-box dimension the region-bisection driver
+#: (:mod:`repro.analysis.split`) is allowed to split.  A dimension whose
+#: width is below ``2 * SPLIT_MIN_WIDTH`` would produce a child narrower
+#: than this floor, so it falls through to the MILP instead of recursing
+#: — this is the degenerate-split guard (pinned features have exactly
+#: zero width and must never be bisected).
+SPLIT_MIN_WIDTH = 1e-4

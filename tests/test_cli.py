@@ -113,6 +113,27 @@ class TestVerify:
         assert code == 0
         assert "PROVEN" in capsys.readouterr().out
 
+    def test_split_flag(self, data_file, net_file, tmp_path, capsys):
+        trace = tmp_path / "split.jsonl"
+        code = main(
+            [
+                "verify",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+                "--bound-mode", "symbolic",
+                "--split",
+                "--split-depth", "2",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out and "I4x4" in out
+        assert main(["trace", "summarize", str(trace)]) == 0
+        summary = capsys.readouterr().out
+        assert "region bisection:" in summary
+
 
 class TestCampaign:
     @pytest.fixture(scope="class")

@@ -20,10 +20,19 @@ Quickstart::
 Subpackages: :mod:`repro.nn` (networks), :mod:`repro.milp` (MILP solver),
 :mod:`repro.sat` (SAT/bitvectors), :mod:`repro.highway` (traffic
 simulator), :mod:`repro.data` (data-as-specification), :mod:`repro.core`
-(verification + certification), :mod:`repro.report` (tables/figures).
+(verification + certification), :mod:`repro.report` (tables/figures),
+:mod:`repro.proof` (checkable proof certificates).
+
+Subpackages load lazily (PEP 562): ``import repro`` stays cheap, and the
+solver-free proof checker (:mod:`repro.proof.check`) can be imported
+without dragging in the MILP stack — a property the test suite enforces.
 """
 
-from repro import casestudy, core, data, highway, milp, nn, report, sat
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING
+
 from repro.errors import (
     CertificationError,
     EncodingError,
@@ -38,7 +47,34 @@ from repro.errors import (
     ValidationError,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from repro import (  # noqa: F401
+        casestudy,
+        core,
+        data,
+        highway,
+        milp,
+        nn,
+        proof,
+        report,
+        sat,
+    )
+
 __version__ = "1.0.0"
+
+_SUBPACKAGES = frozenset(
+    {
+        "casestudy",
+        "core",
+        "data",
+        "highway",
+        "milp",
+        "nn",
+        "proof",
+        "report",
+        "sat",
+    }
+)
 
 __all__ = [
     "CertificationError",
@@ -58,6 +94,17 @@ __all__ = [
     "highway",
     "milp",
     "nn",
+    "proof",
     "report",
     "sat",
 ]
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _SUBPACKAGES)

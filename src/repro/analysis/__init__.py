@@ -17,39 +17,76 @@ Two pillars, both of which run *before* any solver:
   networks, input regions and emitted MILP encodings, producing
   machine-readable diagnostics (stable ``A…`` codes, error/warning
   severities) that campaigns gate on before spending solver time and
-  that ``repro audit`` exposes as a CLI.
+  that ``repro audit`` exposes as a CLI.  The same diagnostic machinery
+  carries the ``A3xx`` proof-certificate findings emitted by
+  :mod:`repro.proof.check`.
+
+Names re-export lazily (PEP 562) so that importing
+:mod:`repro.analysis.audit` alone — as the solver-free proof checker
+does — never drags the symbolic engine or the MILP stack into the
+process.
 """
 
-from repro.analysis.audit import (
-    AuditReport,
-    Diagnostic,
-    Severity,
-    audit_encoding,
-    audit_network,
-    audit_region,
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from repro.analysis.audit import (  # noqa: F401
+        AuditReport,
+        Diagnostic,
+        Severity,
+        audit_encoding,
+        audit_network,
+        audit_region,
+    )
+    from repro.analysis.symbolic import (  # noqa: F401
+        AlphaStats,
+        alpha_bounds,
+        alpha_objective_bounds,
+        alpha_objective_bounds_batch,
+        symbolic_bounds,
+        symbolic_objective_bounds,
+        symbolic_objective_bounds_batch,
+    )
+
+_AUDIT_NAMES = frozenset(
+    {
+        "AuditReport",
+        "Diagnostic",
+        "Severity",
+        "audit_encoding",
+        "audit_network",
+        "audit_region",
+    }
 )
-from repro.analysis.symbolic import (
-    AlphaStats,
-    alpha_bounds,
-    alpha_objective_bounds,
-    alpha_objective_bounds_batch,
-    symbolic_bounds,
-    symbolic_objective_bounds,
-    symbolic_objective_bounds_batch,
+_SYMBOLIC_NAMES = frozenset(
+    {
+        "AlphaStats",
+        "alpha_bounds",
+        "alpha_objective_bounds",
+        "alpha_objective_bounds_batch",
+        "symbolic_bounds",
+        "symbolic_objective_bounds",
+        "symbolic_objective_bounds_batch",
+    }
 )
 
-__all__ = [
-    "AlphaStats",
-    "AuditReport",
-    "Diagnostic",
-    "Severity",
-    "alpha_bounds",
-    "alpha_objective_bounds",
-    "alpha_objective_bounds_batch",
-    "audit_encoding",
-    "audit_network",
-    "audit_region",
-    "symbolic_bounds",
-    "symbolic_objective_bounds",
-    "symbolic_objective_bounds_batch",
-]
+__all__ = sorted(_AUDIT_NAMES | _SYMBOLIC_NAMES)
+
+
+def __getattr__(name: str):
+    if name in _AUDIT_NAMES:
+        module = importlib.import_module("repro.analysis.audit")
+    elif name in _SYMBOLIC_NAMES:
+        module = importlib.import_module("repro.analysis.symbolic")
+    elif name in {"audit", "symbolic", "split"}:
+        return importlib.import_module(f"repro.analysis.{name}")
+    else:
+        raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
+    return getattr(module, name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

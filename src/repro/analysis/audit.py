@@ -50,6 +50,30 @@ Encoding codes (``audit_encoding``):
   the objective;
 * ``A209`` error — a cut row referencing unknown columns.
 
+Proof-certificate codes (emitted by the independent checker
+:func:`repro.proof.check.check_certificate`, which reuses this module's
+:class:`Diagnostic`/:class:`AuditReport` machinery):
+
+* ``A301`` error — malformed certificate: unknown schema, missing or
+  mis-shaped sections, or a network fingerprint mismatch;
+* ``A302`` error — an LP infeasibility claim whose Farkas/dual
+  certificate does not check out (dual-infeasible multipliers, or the
+  implied bound does not exceed the right-hand side);
+* ``A303`` error — a branch-and-bound leaf cover that is not an exact
+  partition of the binary hypercube (overlapping, missing or
+  conflicting leaves);
+* ``A304`` error — a recorded ReLU relaxation slope that is unsound
+  (lower slope outside ``[0, 1]``, or an upper chord lying below the
+  ReLU at a certified endpoint);
+* ``A305`` error — a bound claim the replayed back-substitution cannot
+  support, or a proved threshold the certified bound does not clear;
+* ``A306`` error — a split tree that does not tile its parent box
+  (missing child, wrong dimension, or a malformed leaf);
+* ``A307`` error — a certificate referencing rows or variables absent
+  from the independently rebuilt encoding;
+* ``A309`` warning — a check that passes with less than one decade of
+  slack over its tolerance (numerically thin certificate).
+
 All epsilon comparisons use :mod:`repro.tolerances`, so the auditor
 accepts exactly what the solver accepts.
 """
@@ -63,7 +87,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.milp.expr import VarType
 from repro.nn.network import FeedForwardNetwork
 from repro.tolerances import BOUND_CROSS_TOL, FEASIBILITY_TOL, REGION_TOL
 
@@ -333,6 +356,11 @@ def audit_encoding(encoded, rel_tol: float = FEASIBILITY_TOL) -> AuditReport:
     separators rely on, and the big-M rows' linkage between binaries and
     certified bounds.
     """
+    # Imported here, not at module top: the solver-free proof checker
+    # (repro.proof.check) imports this module for its Diagnostic
+    # machinery and must not drag the MILP stack into the process.
+    from repro.milp.expr import VarType
+
     report = AuditReport()
     model = encoded.model
     n = model.num_vars

@@ -129,6 +129,9 @@ class SplitLeaf:
     #: Prescreen bounds on the objective over this sub-region.
     lower: float
     upper: float
+    #: Certify mode: this leaf's node in :attr:`SplitPlan.tree`, to be
+    #: filled with the shard's own proof evidence once it is solved.
+    slot: Optional[Dict] = None
 
 
 @dataclasses.dataclass
@@ -155,6 +158,15 @@ class SplitPlan:
     upper_bound: float = -math.inf
     #: Alpha-optimiser telemetry accumulated across prescreens.
     metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Certify mode (decision queries only): the partition tree for the
+    #: ``split`` certificate.  Internal nodes carry ``split_dim`` and
+    #: ``low``/``high`` children; pruned leaves already carry their
+    #: chain evidence; survivor leaves are the (initially empty) slots
+    #: referenced by :attr:`SplitLeaf.slot`.
+    tree: Optional[Dict] = None
+    #: Encoder bound margin the prune cutoffs used (embedded in the
+    #: emitted certificate so the checker replays the same cutoff).
+    margin: float = 0.0
 
     @property
     def all_pruned(self) -> bool:
@@ -209,15 +221,32 @@ class RegionBisectionDriver:
 
     # -- planning -----------------------------------------------------------
     def _prescreen(
-        self, region: InputRegion, objective: OutputObjective
-    ) -> Tuple[float, float, List]:
+        self,
+        region: InputRegion,
+        objective: OutputObjective,
+        want_chain: bool = False,
+    ) -> Tuple[float, float, List, Optional[Dict]]:
         """Sound objective bounds over one sub-region.
 
-        Returns ``(lower, upper, layer_bounds)``; the layer bounds are
-        reused by the sensitivity computation.  ``bound_mode="alpha"``
-        optimises the objective row itself, seeded from the symbolic
-        layer bounds.
+        Returns ``(lower, upper, layer_bounds, chain)``; the layer
+        bounds are reused by the sensitivity computation.
+        ``bound_mode="alpha"`` optimises the objective row itself,
+        seeded from the symbolic layer bounds.  With ``want_chain``
+        (certify mode) the prescreen runs through
+        :func:`repro.proof.emit.record_chain` instead — same numbers as
+        the fixed-policy symbolic path, plus the serialized relaxation
+        evidence a pruned node embeds in the split certificate.
         """
+        if want_chain:
+            from repro.proof.emit import record_chain
+
+            rec = record_chain(
+                self.network, region, objective.coefficients
+            )
+            return (
+                float(rec.objective_lower), float(rec.objective_upper),
+                rec.bounds, rec.chain,
+            )
         computed = symbolic_bounds(self.network, region)
         options = self.encoder_options
         if options.bound_mode == "alpha":
@@ -235,7 +264,7 @@ class RegionBisectionDriver:
                 self.network, region, objective.coefficients,
                 bounds=computed,
             )
-        return lo, hi, computed
+        return lo, hi, computed, None
 
     def _split_dim(
         self,
@@ -302,15 +331,26 @@ class RegionBisectionDriver:
         best_lower = -math.inf
         upper_bound = -math.inf
         kind = "max" if threshold is None else "prove"
+        # Certify mode records the partition tree (decision queries
+        # only — max queries have no VERIFIED verdict to certify).
+        certify = (
+            getattr(self.encoder_options, "certify", False)
+            and threshold is not None
+        )
+        tree: Optional[Dict] = {} if certify else None
         with self.tracer.span(
             "split", region=region.name, kind=kind,
             depth_limit=self.depth, min_width=self.min_width,
             network=self.network.architecture_id,
         ) as span:
-            root = (region, 0) + self._prescreen(region, objective)
+            root = (
+                (region, 0)
+                + self._prescreen(region, objective, certify)
+                + (tree,)
+            )
             stack: List[Tuple] = [root]
             while stack:
-                node, depth, lo, hi, bounds = stack.pop()
+                node, depth, lo, hi, bounds, chain, slot = stack.pop()
                 explored += 1
                 max_depth = max(max_depth, depth)
                 upper_bound = max(upper_bound, hi)
@@ -321,6 +361,9 @@ class RegionBisectionDriver:
                 )
                 if hi <= cutoff:
                     proofs += 1
+                    if slot is not None:
+                        slot["kind"] = "pruned"
+                        slot["chain"] = chain
                     self.tracer.event(
                         "split", action="prune", region=node.name,
                         depth=depth, upper=hi, cutoff=cutoff,
@@ -333,7 +376,9 @@ class RegionBisectionDriver:
                 if dim is None:
                     if depth < self.depth:
                         degenerate += 1
-                    survivors.append(SplitLeaf(node, depth, lo, hi))
+                    survivors.append(
+                        SplitLeaf(node, depth, lo, hi, slot=slot)
+                    )
                     self.tracer.event(
                         "split",
                         action="degenerate" if depth < self.depth
@@ -342,14 +387,16 @@ class RegionBisectionDriver:
                     )
                     continue
                 children = []
-                for half in node.bisect(dim):
-                    c_lo, c_hi, c_bounds = self._prescreen(
-                        half, objective
+                child_slots = ({}, {}) if slot is not None else (None, None)
+                for half, child_slot in zip(node.bisect(dim), child_slots):
+                    c_lo, c_hi, c_bounds, c_chain = self._prescreen(
+                        half, objective, certify
                     )
                     best_lower = max(best_lower, c_lo)
-                    children.append(
-                        (half, depth + 1, c_lo, c_hi, c_bounds)
-                    )
+                    children.append((
+                        half, depth + 1, c_lo, c_hi, c_bounds, c_chain,
+                        child_slot,
+                    ))
                 if threshold is None:
                     cutoff = best_lower - margin
                 improvement = max(
@@ -364,13 +411,20 @@ class RegionBisectionDriver:
                     < hi - cutoff
                 ):
                     stalled += 1
-                    survivors.append(SplitLeaf(node, depth, lo, hi))
+                    survivors.append(
+                        SplitLeaf(node, depth, lo, hi, slot=slot)
+                    )
                     self.tracer.event(
                         "split", action="milp", region=node.name,
                         depth=depth, upper=hi, stalled=True,
                         improvement=improvement, gap=hi - cutoff,
                     )
                     continue
+                if slot is not None:
+                    # The slot becomes an internal node; the children
+                    # own the two sub-boxes from here on.
+                    slot["split_dim"] = dim
+                    slot["low"], slot["high"] = child_slots
                 self.tracer.event(
                     "split", action="bisect", region=node.name,
                     dim=dim, depth=depth,
@@ -407,6 +461,8 @@ class RegionBisectionDriver:
             wall_time=time.monotonic() - t0,
             upper_bound=upper_bound,
             metrics=self._plan_metrics,
+            tree=tree,
+            margin=margin,
         )
 
     # -- serial execution ---------------------------------------------------
@@ -455,6 +511,10 @@ class RegionBisectionDriver:
                 break
             leaf_prop = dataclasses.replace(prop, region=leaf.region)
             result = self._leaf_verifier(remaining).prove(leaf_prop)
+            if leaf.slot is not None:
+                from repro.proof.emit import fill_leaf_slot
+
+                fill_leaf_slot(leaf.slot, result.certificate)
             leaves.append(result)
             if result.verdict is Verdict.FALSIFIED:
                 break
@@ -594,6 +654,14 @@ def assemble_prove(
         verdict = Verdict.VERIFIED
     else:
         verdict = Verdict.ERROR
+    certificate = None
+    if verdict is Verdict.VERIFIED and plan.tree is not None:
+        from repro.proof.emit import assemble_split_certificate
+
+        certificate = assemble_split_certificate(
+            network, prop.region, prop.objective, prop.threshold,
+            plan.margin, prop.name, plan.tree,
+        )
     result = VerificationResult(
         verdict=verdict,
         value=prop.threshold if verdict is Verdict.VERIFIED else math.nan,
@@ -602,6 +670,7 @@ def assemble_prove(
         description=prop.name,
         solver="split",
         metrics=plan.as_metrics(),
+        certificate=certificate,
     )
     _merge_leaf_telemetry(result, leaves)
     return result

@@ -274,9 +274,12 @@ def _encoder_options(
     split: bool = False,
     split_depth: Optional[int] = None,
     split_min_width: Optional[float] = None,
+    certify: bool = False,
 ) -> EncoderOptions:
-    """Encoder options with the alpha/split overrides applied."""
-    options = EncoderOptions(bound_mode=bound_mode, split=split)
+    """Encoder options with the alpha/split/certify overrides applied."""
+    options = EncoderOptions(
+        bound_mode=bound_mode, split=split, certify=certify
+    )
     if alpha_iters is not None:
         options = dataclasses.replace(options, alpha_iters=alpha_iters)
     if split_depth is not None:
@@ -393,10 +396,12 @@ def table_ii_campaign(
     split: bool = False,
     split_depth: Optional[int] = None,
     split_min_width: Optional[float] = None,
+    certify: bool = False,
 ) -> "VerificationCampaign":
     """Build the Table II sweep as a campaign: one max query per mixture
     component on every network; ``threshold`` adds the decision query
-    columns ("never above ``threshold`` m/s")."""
+    columns ("never above ``threshold`` m/s").  ``certify`` makes every
+    VERIFIED decision cell ship a ``repro-proof/1`` certificate."""
     from repro.core.campaign import VerificationCampaign
     from repro.core.properties import (
         SafetyProperty,
@@ -406,7 +411,8 @@ def table_ii_campaign(
     region = region or operational_region(study)
     campaign = VerificationCampaign(
         _encoder_options(
-            bound_mode, alpha_iters, split, split_depth, split_min_width
+            bound_mode, alpha_iters, split, split_depth,
+            split_min_width, certify,
         ),
         _milp_options(time_limit, lp_backend, cuts, cut_min_binaries),
         jobs=jobs,
@@ -523,8 +529,17 @@ def certify_predictor(
     network: FeedForwardNetwork,
     safety_threshold: float = 3.0,
     time_limit: float = 120.0,
+    certify: bool = False,
 ) -> CertificationCase:
-    """Step 5: assemble the three-pillar certification case."""
+    """Step 5: assemble the three-pillar certification case.
+
+    With ``certify``, the decision query "lateral velocity never above
+    ``safety_threshold``" is additionally proved per mixture component
+    in certificate-emitting mode, and the independently re-checked
+    ``repro-proof/1`` witnesses are registered as implementation-
+    correctness evidence (see
+    :func:`repro.core.certification.add_certificate_evidence`).
+    """
     case = CertificationCase(
         f"highway motion predictor {network.architecture_id}"
     )
@@ -595,4 +610,32 @@ def certify_predictor(
         else f"max lateral velocity {value:.4f} in {row.wall_time:.1f}s",
         artifact=row,
     )
+    if certify:
+        from repro.core.certification import add_certificate_evidence
+        from repro.core.properties import (
+            SafetyProperty,
+            component_lateral_objectives,
+        )
+
+        region = operational_region(study)
+        verifier = Verifier(
+            network,
+            _encoder_options("lp", None, certify=True),
+            _milp_options(time_limit, "highs", None, None),
+        )
+        certificates = {}
+        for k, objective in enumerate(
+            component_lateral_objectives(study.config.num_components)
+        ):
+            result = verifier.prove(SafetyProperty(
+                name=f"leq_{safety_threshold}_comp{k}",
+                region=region,
+                objective=objective,
+                threshold=safety_threshold,
+            ))
+            certificates[f"comp{k}"] = result.certificate
+        add_certificate_evidence(
+            case, certificates,
+            description=f"lat velocity <= {safety_threshold}",
+        )
     return case

@@ -9,6 +9,7 @@ The five pipeline stages map onto subcommands::
     python -m repro.cli campaign --data data.npz --net a.json --net b.json --jobs 4
     python -m repro.cli serve    --data data.npz --net net.json --jobs 2
     python -m repro.cli audit    --data data.npz --net net.json --json audit.json
+    python -m repro.cli check    certs/*.json
     python -m repro.cli certify  --data data.npz --net net.json
     python -m repro.cli figure1  --data data.npz --net net.json
     python -m repro.cli trace summarize out.jsonl
@@ -95,6 +96,21 @@ def _add_split_args(parser: argparse.ArgumentParser) -> None:
         "--split-min-width", type=float, default=None, metavar="W",
         help="never bisect a dimension narrower than 2*W "
         "(default: engine default)",
+    )
+
+
+def _add_certify_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--certify", action="store_true",
+        help="emit a repro-proof/1 certificate with every VERIFIED "
+        "decision verdict (pins the solver to the replayable "
+        "configuration; 'repro check' validates the artifacts "
+        "independently)",
+    )
+    parser.add_argument(
+        "--cert-out", default=None, metavar="DIR",
+        help="with --certify: write each emitted certificate as a JSON "
+        "file into DIR",
     )
 
 
@@ -197,6 +213,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_solver_args(verify)
     _add_split_args(verify)
+    _add_certify_args(verify)
     _add_observability_args(verify)
 
     campaign = sub.add_parser(
@@ -245,6 +262,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_solver_args(campaign)
     _add_split_args(campaign)
+    _add_certify_args(campaign)
     _add_observability_args(campaign)
     _add_metrics_args(campaign)
 
@@ -310,6 +328,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the machine-readable diagnostics to PATH",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="independent proof-certificate checker: statically replay "
+        "repro-proof/1 artifacts with plain matrix arithmetic (no "
+        "solver); exits 1 on error diagnostics, warnings alone exit 0",
+    )
+    check.add_argument(
+        "paths", nargs="+", help="certificate JSON paths"
+    )
+    check.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable diagnostics to PATH",
+    )
+
     certify = sub.add_parser(
         "certify", help="assemble the three-pillar certification case"
     )
@@ -317,6 +349,13 @@ def _build_parser() -> argparse.ArgumentParser:
     certify.add_argument("--net", required=True)
     certify.add_argument("--components", type=int, default=2)
     certify.add_argument("--time-limit", type=float, default=300.0)
+    certify.add_argument(
+        "--certify", action="store_true",
+        help="additionally prove the safety threshold per mixture "
+        "component in certificate-emitting mode and register the "
+        "independently re-checked repro-proof/1 witnesses as "
+        "implementation-correctness evidence",
+    )
 
     figure = sub.add_parser(
         "figure1", help="render the Figure-1 scene + GMM panel"
@@ -543,6 +582,33 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _save_certificates(cert_out, certificates) -> None:
+    """Write named certificates into ``cert_out`` (no-op without it).
+
+    ``certificates`` maps artifact stems to ``repro-proof/1`` payloads;
+    ``None`` entries (queries that produced no certificate) are
+    skipped.
+    """
+    if not cert_out:
+        return
+    import os
+
+    from repro.proof.certificate import save_certificate
+
+    os.makedirs(cert_out, exist_ok=True)
+    written = 0
+    for stem, certificate in sorted(certificates.items()):
+        if certificate is None:
+            continue
+        path = os.path.join(cert_out, f"{stem}.json")
+        save_certificate(certificate, path)
+        written += 1
+    logger.info(
+        "%d certificate%s written to %s",
+        written, "s" if written != 1 else "", cert_out,
+    )
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     study = _load_study(args.data, args.components)
     network = load_network(args.net)
@@ -576,6 +642,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 casestudy._encoder_options(
                     args.bound_mode, args.alpha_iters,
                     args.split, args.split_depth, args.split_min_width,
+                    certify=args.certify,
                 ),
                 casestudy._milp_options(
                     args.time_limit, args.lp_backend, args.cuts,
@@ -583,24 +650,40 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 ),
                 tracer=tracer,
             )
-            verdicts = [
+            results = [
                 verifier.prove(
                     SafetyProperty(
-                        name=f"leq_{args.threshold}",
+                        name=f"leq_{args.threshold}_comp{k}",
                         region=region,
                         objective=objective,
                         threshold=args.threshold,
                     )
-                ).verdict
-                for objective in component_lateral_objectives(
-                    args.components
+                )
+                for k, objective in enumerate(
+                    component_lateral_objectives(args.components)
                 )
             ]
-            proven = all(v is Verdict.VERIFIED for v in verdicts)
+            proven = all(
+                r.verdict is Verdict.VERIFIED for r in results
+            )
             logger.info(
                 "decision query: lateral velocity <= %s m/s: %s",
                 args.threshold, "PROVEN" if proven else "NOT PROVEN",
             )
+            if args.certify:
+                certified = sum(1 for r in results if r.certified)
+                logger.info(
+                    "proof certificates: %d/%d decision queries "
+                    "certified", certified, len(results),
+                )
+                _save_certificates(
+                    args.cert_out,
+                    {
+                        f"{network.architecture_id}_leq"
+                        f"{args.threshold}_comp{k}": r.certificate
+                        for k, r in enumerate(results)
+                    },
+                )
             exit_code = 0 if proven else 1
     finally:
         _finish_profiler(args, tracer, profiler)
@@ -642,6 +725,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         split=args.split,
         split_depth=args.split_depth,
         split_min_width=args.split_min_width,
+        certify=args.certify,
     )
     n_nets, n_queries = campaign.size
     logger.info(
@@ -721,6 +805,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     rows = casestudy.table_ii_rows(study, campaign_nets, report)
     logger.info("")
     logger.info(render_table_ii(rows))
+    if args.certify:
+        _save_certificates(
+            args.cert_out,
+            {
+                f"{cell.network_id}__{cell.property_name}":
+                cell.result.certificate
+                for cell in report.cells
+            },
+        )
     for cell in report.errors():
         logger.info("")
         logger.info(
@@ -942,11 +1035,38 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if report.has_errors else 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Independently re-check repro-proof/1 certificate artifacts.
+
+    Static replay only — the checker never imports a solver module.
+    Exit code 1 when any *error* diagnostic is found; warnings alone
+    exit 0, mirroring ``repro audit``.
+    """
+    import json as _json
+
+    from repro.analysis.audit import AuditReport
+    from repro.proof.check import check_certificate_file
+
+    combined = AuditReport()
+    for path in args.paths:
+        logger.info("checking %s", path)
+        report = check_certificate_file(path)
+        logger.info(report.render())
+        combined.extend(report)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(combined.to_dict(), fh, indent=2)
+            fh.write("\n")
+        logger.info("diagnostics written to %s", args.json)
+    return 1 if combined.has_errors else 0
+
+
 def _cmd_certify(args: argparse.Namespace) -> int:
     study = _load_study(args.data, args.components)
     network = load_network(args.net)
     case = casestudy.certify_predictor(
-        study, network, time_limit=args.time_limit
+        study, network, time_limit=args.time_limit,
+        certify=args.certify,
     )
     logger.info(case.render())
     return 0 if case.passed else 1
@@ -1062,6 +1182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "serve": _cmd_serve,
         "audit": _cmd_audit,
+        "check": _cmd_check,
         "certify": _cmd_certify,
         "figure1": _cmd_figure1,
         "trace": _cmd_trace,

@@ -258,6 +258,19 @@ class CampaignReport:
         )
 
     @property
+    def certified_cells(self) -> int:
+        """Cells whose result ships a checker-accepted proof certificate.
+
+        Only certify-mode runs produce these (see
+        :attr:`repro.core.encoder.EncoderOptions.certify`); every
+        counted certificate was already replayed through
+        :func:`repro.proof.check.check_certificate` before it was
+        attached, so this is a count of *independently checkable*
+        verdicts, not of emission attempts.
+        """
+        return sum(1 for c in self.cells if c.result.certified)
+
+    @property
     def split_cells(self) -> int:
         """Sub-regions handed to the MILP by the bisection driver.
 
@@ -357,6 +370,12 @@ class CampaignReport:
                 f"static analysis: {self.static_proofs} cell"
                 f"{'s' if self.static_proofs != 1 else ''} proved "
                 "symbolically (no MILP built)"
+            )
+        if self.certified_cells:
+            lines.append(
+                f"proof certificates: {self.certified_cells} cell"
+                f"{'s' if self.certified_cells != 1 else ''} carry a "
+                "checker-accepted repro-proof/1 witness"
             )
         if self.split_cells or self.split_proofs:
             lines.append(
@@ -1046,7 +1065,7 @@ class VerificationCampaign:
         outstanding = 0
         job_to_task: Dict[int, _CellTask] = {}
         job_to_key: Dict[int, Tuple[str, str, str]] = {}
-        job_to_split: Dict[int, Tuple[_SplitState, _CellTask]] = {}
+        job_to_split: Dict[int, Tuple[_SplitState, _CellTask, object]] = {}
 
         def finish_split(state: _SplitState) -> None:
             """Assemble and memoise one fan-out's parent cell."""
@@ -1087,12 +1106,28 @@ class VerificationCampaign:
                 # Same order as the serial path: the whole-region static
                 # prescreen decides first, so a root-provable cell
                 # reports ``solver="static"`` identically in both modes.
-                static = Verifier(
+                # Under certify the prescreen replays the fixed-policy
+                # chain so the root proof ships a certificate too.
+                verifier = Verifier(
                     task.network, task.encoder_options, milp,
                     tracer=tracer,
-                )._static_prove(
-                    task.query.as_property(), None, time.monotonic()
                 )
+                prop = task.query.as_property()
+                record = (
+                    verifier._certify_record(prop)
+                    if task.encoder_options.certify else None
+                )
+                if (
+                    record is not None
+                    and task.encoder_options.static_prescreen
+                ):
+                    static = verifier._certified_static_prove(
+                        prop, record, time.monotonic()
+                    )
+                else:
+                    static = verifier._static_prove(
+                        prop, None, time.monotonic()
+                    )
                 if static is not None:
                     fingerprint = fingerprints.get(task.index)
                     if fingerprint is not None:
@@ -1144,6 +1179,14 @@ class VerificationCampaign:
                 leaf_fp = _task_fingerprint(leaf_task)
                 cached = pool.verdict_cache.get(leaf_fp)
                 if cached is not None:
+                    if leaf.slot is not None:
+                        # Certified shard verdicts memoise *with* their
+                        # certificate (the fingerprint hashes the
+                        # certify flag, so uncertified runs never
+                        # satisfy a certified shard).
+                        from repro.proof.emit import fill_leaf_slot
+
+                        fill_leaf_slot(leaf.slot, cached.certificate)
                     state.leaves.append(cached)
                     continue
                 job = pool.submit_task(
@@ -1153,7 +1196,7 @@ class VerificationCampaign:
                         or task.milp_options.time_limit
                     ),
                 )
-                job_to_split[job.id] = (state, leaf_task)
+                job_to_split[job.id] = (state, leaf_task, leaf)
                 outstanding += 1
             if state.complete:
                 finish_split(state)
@@ -1225,7 +1268,7 @@ class VerificationCampaign:
                 outstanding -= 1
                 split_entry = job_to_split.pop(job.id, None)
                 if split_entry is not None:
-                    state, leaf_task = split_entry
+                    state, leaf_task, leaf = split_entry
                     if job.error is not None:
                         # A crashed shard is a genuine fault, not a
                         # budget overrun: the parent degrades to ERROR
@@ -1242,6 +1285,12 @@ class VerificationCampaign:
                     else:
                         leaf_cell = job.result
                         state.records.extend(leaf_cell.trace_records)
+                        if leaf.slot is not None:
+                            from repro.proof.emit import fill_leaf_slot
+
+                            fill_leaf_slot(
+                                leaf.slot, leaf_cell.result.certificate
+                            )
                         state.leaves.append(leaf_cell.result)
                     if state.complete:
                         finish_split(state)

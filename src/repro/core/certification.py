@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from repro.errors import CertificationError
 
@@ -196,3 +196,53 @@ class CertificationCase:
                     f"    [{flag}] {evidence.name}: {evidence.summary}"
                 )
         return "\n".join(lines)
+
+
+def add_certificate_evidence(
+    case: CertificationCase,
+    certificates: Mapping[str, Optional[Mapping]],
+    description: str = "",
+) -> Evidence:
+    """Register replayed proof certificates as correctness evidence.
+
+    ``certificates`` maps a query label to its ``repro-proof/1``
+    artifact (``None`` for a query that produced no certificate).
+    Every artifact is independently re-validated here with
+    :func:`repro.proof.check.check_certificate` — static matrix
+    arithmetic, no solver — so the evidence records what an external
+    auditor could reproduce, not what the prover claimed.  The item
+    passes only when every query carries a certificate and every
+    replay is clean.
+    """
+    from repro.proof.check import check_certificate
+
+    missing = sorted(
+        name for name, cert in certificates.items() if cert is None
+    )
+    rejected = []
+    checked = 0
+    for name, cert in sorted(certificates.items()):
+        if cert is None:
+            continue
+        if check_certificate(dict(cert), subject=name).has_errors:
+            rejected.append(name)
+        else:
+            checked += 1
+    passed = bool(certificates) and not missing and not rejected
+    parts = [
+        f"{checked}/{len(certificates)} certificates replayed clean"
+    ]
+    if missing:
+        parts.append("missing: " + ", ".join(missing))
+    if rejected:
+        parts.append("rejected: " + ", ".join(rejected))
+    name = "proof-certificate replay"
+    if description:
+        name = f"{name} ({description})"
+    return case.add_evidence(
+        Pillar.CORRECTNESS,
+        name,
+        passed,
+        "; ".join(parts),
+        artifact=dict(certificates),
+    )

@@ -80,6 +80,13 @@ class EncoderOptions:
     #: Dimensions narrower than twice this width are never bisected
     #: (floored at :data:`repro.tolerances.SPLIT_MIN_WIDTH`).
     split_min_width: float = SPLIT_MIN_WIDTH
+    #: Emit a ``repro-proof/1`` certificate with every VERIFIED verdict
+    #: (:mod:`repro.proof`).  Pins the proving pipeline to checkable
+    #: paths: fixed-policy symbolic prescreens, the ``"revised"`` LP
+    #: backend with cuts/presolve/reduced-cost fixing disabled and
+    #: leaf-cover recording on.  Part of the options token, so certified
+    #: verdict fingerprints never collide with uncertified ones.
+    certify: bool = False
 
 
 @dataclasses.dataclass

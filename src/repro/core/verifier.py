@@ -93,10 +93,22 @@ class VerificationResult:
     #: (warm-start accounting and future instruments); the historical
     #: attribute names below read from this mapping.
     metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Independent proof certificate (a ``repro-proof/1`` payload, see
+    #: :mod:`repro.proof`) attached to VERIFIED verdicts when the query
+    #: ran with ``EncoderOptions.certify``.  Every certificate is
+    #: re-checked with :func:`repro.proof.check.check_certificate`
+    #: before being attached; a verdict the checker cannot confirm
+    #: ships *without* a certificate rather than with a broken one.
+    certificate: Optional[Dict] = None
 
     @property
     def timed_out(self) -> bool:
         return self.verdict is Verdict.TIMEOUT
+
+    @property
+    def certified(self) -> bool:
+        """True when a checker-accepted certificate is attached."""
+        return self.certificate is not None
 
     @property
     def warm_start_attempts(self) -> int:
@@ -234,6 +246,7 @@ def result_to_dict(result: VerificationResult) -> Dict:
         "lp_iterations": result.lp_iterations,
         "solver": result.solver,
         "metrics": dict(result.metrics),
+        "certificate": result.certificate,
     }
 
 
@@ -268,6 +281,7 @@ def result_from_dict(payload: Dict) -> VerificationResult:
         metrics={
             k: v for k, v in payload.get("metrics", {}).items()
         },
+        certificate=payload.get("certificate"),
     )
 
 
@@ -557,18 +571,86 @@ class Verifier:
             metrics={} if stats is None else stats.as_metrics(),
         )
 
+    def _certify_record(self, prop: SafetyProperty):
+        """Fixed-policy chain evidence for a certified decision query.
+
+        Returns ``None`` when the network shape is outside the symbolic
+        engine's fragment — the query then runs (and answers) exactly as
+        without ``certify``, just without a certificate.
+        """
+        from repro.proof.emit import record_chain
+
+        try:
+            return record_chain(
+                self.network, prop.region, prop.objective.coefficients
+            )
+        except EncodingError:
+            return None
+
+    def _checked(self, certificate: Optional[Dict]) -> Optional[Dict]:
+        """Gate a freshly assembled certificate through the checker.
+
+        Nothing the checker rejects is ever attached to a result — a
+        broken emitter degrades to "no certificate", never to a
+        certificate that fails downstream audits.
+        """
+        if certificate is None:
+            return None
+        from repro.proof.check import check_certificate
+
+        return None if check_certificate(certificate).has_errors \
+            else certificate
+
+    def _certified_static_prove(
+        self, prop: SafetyProperty, record, start: float
+    ) -> Optional[VerificationResult]:
+        """The certify-mode static prescreen (fixed-policy chain only)."""
+        from repro.proof.emit import assemble_static_certificate
+
+        certificate = self._checked(assemble_static_certificate(
+            self.network, prop.region, prop.objective, prop.threshold,
+            self.encoder_options.bound_margin, prop.name, record,
+        ))
+        if certificate is None:
+            return None
+        return VerificationResult(
+            verdict=Verdict.VERIFIED,
+            value=prop.threshold,
+            best_bound=record.objective_upper,
+            wall_time=time.monotonic() - start,
+            description=prop.name,
+            solver="static",
+            certificate=certificate,
+        )
+
     def _prove(
         self,
         prop: SafetyProperty,
         precomputed_bounds: Optional[List[LayerBounds]],
     ) -> VerificationResult:
         start = time.monotonic()
-        static = self._static_prove(prop, precomputed_bounds, start)
+        record = (
+            self._certify_record(prop)
+            if self.encoder_options.certify else None
+        )
+        if record is not None and self.encoder_options.static_prescreen:
+            static = self._certified_static_prove(prop, record, start)
+        else:
+            static = self._static_prove(prop, precomputed_bounds, start)
         if static is not None:
             return static
         driver = self._split_driver(prop.region)
         if driver is not None:
             return driver.prove(prop, start=start)
+        milp_options = self.milp_options
+        if record is not None:
+            # Pin the search to the replayable configuration: the ray-
+            # exporting backend, no encoding rewrites, leaf recording on.
+            precomputed_bounds = record.bounds
+            milp_options = dataclasses.replace(
+                milp_options, lp_backend="revised", cuts=False,
+                presolve=False, rc_fixing=False, record_proof=True,
+            )
         encoded = encode_network(
             self.network,
             prop.region,
@@ -580,16 +662,25 @@ class Verifier:
         attach_objective(encoded, prop.objective, maximize=True)
         own_bounds = encoded.bounds if precomputed_bounds is None else None
         with self.tracer.span(
-            "solve", backend=self.milp_options.lp_backend,
+            "solve", backend=milp_options.lp_backend,
             binaries=encoded.num_binaries,
         ):
             result = solve_milp(
-                encoded.model, self.milp_options, tracer=self.tracer,
+                encoded.model, milp_options, tracer=self.tracer,
                 relu_neurons=encoded.neurons,
             )
         wall = time.monotonic() - start
 
         if result.status is SolveStatus.INFEASIBLE:
+            certificate = None
+            if record is not None:
+                from repro.proof.emit import assemble_milp_certificate
+
+                certificate = self._checked(assemble_milp_certificate(
+                    self.network, prop.region, prop.objective,
+                    prop.threshold, self.encoder_options.bound_margin,
+                    prop.name, record, encoded.model, result.proof,
+                ))
             return VerificationResult(
                 verdict=Verdict.VERIFIED,
                 value=prop.threshold,
@@ -597,6 +688,7 @@ class Verifier:
                 nodes=result.nodes,
                 num_binaries=encoded.num_binaries,
                 description=prop.name,
+                certificate=certificate,
                 **_lp_telemetry(result, own_bounds),
             )
         if result.has_incumbent:

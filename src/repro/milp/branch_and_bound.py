@@ -107,6 +107,16 @@ class MILPOptions:
         cut_age_limit: Separation rounds an active cut may stay slack
             before the root loop evicts it.
         seed: RNG seed for the ``"random"`` branching rule.
+        record_proof: Record a leaf-cover infeasibility proof on the
+            result (:attr:`repro.milp.solution.MILPResult.proof`): per
+            pruned leaf, the fixed integer columns and the LP
+            infeasibility ray.  Only a search over the *original*
+            encoding can be replayed independently, so any feature that
+            rewrites it (presolve, cuts, reduced-cost fixing) or any
+            unrecordable pruning marks the proof incomplete rather than
+            emitting an unsound one.  Meant to be used with
+            ``presolve=False``, ``cuts=False``, ``rc_fixing=False`` and
+            the ``"revised"`` backend (the only one exporting rays).
     """
 
     lp_backend: str = "highs"
@@ -128,6 +138,7 @@ class MILPOptions:
     cut_pool_size: int = 500
     cut_age_limit: int = 8
     seed: int = 0
+    record_proof: bool = False
 
 
 _BRANCH_RULES = ("pseudocost", "most_fractional", "first", "random")
@@ -320,6 +331,17 @@ class _Search:
         self.counter = itertools.count()
         self.heap: List[_Node] = []
         self.dive_stack: List[_Node] = []
+        # -- infeasibility-proof recording ----------------------------------
+        self.record_proof = options.record_proof
+        self.proof_leaves: List[dict] = []
+        self.proof_incomplete = False
+        #: Root bounds frozen before reduced-cost fixing can tighten
+        #: them — leaf literals are defined against *these*.
+        self._proof_root_lb = self.root_lb.copy()
+        self._proof_root_ub = self.root_ub.copy()
+        if self.record_proof and (options.presolve or self.pool is not None):
+            # Both rewrite the encoding the checker replays against.
+            self.proof_incomplete = True
 
     # -- helpers -----------------------------------------------------------
     def _timed_out(self) -> bool:
@@ -422,6 +444,54 @@ class _Search:
                     self.root_lb[j] = min(limit, self.root_ub[j])
                     fixes += 1
         return fixes
+
+    # -- infeasibility-proof recording --------------------------------------
+    def _record_leaf(
+        self, node_lb: np.ndarray, node_ub: np.ndarray, result: LPResult
+    ) -> None:
+        """Record a pruned leaf (fixed literals + Farkas ray), if possible.
+
+        A leaf is recordable only when the LP backend certified it
+        INFEASIBLE with a ray and every integer column is either fully
+        fixed by branching or still at its root bounds (so the fixed
+        literals describe the leaf exactly).  Anything else poisons the
+        proof — better no certificate than a wrong one.
+        """
+        if not self.record_proof or self.proof_incomplete:
+            return
+        if result.status is not SolveStatus.INFEASIBLE:
+            self.proof_incomplete = True
+            return
+        farkas = getattr(result, "farkas", None)
+        if farkas is None:
+            self.proof_incomplete = True
+            return
+        fixed: dict = {}
+        for j in map(int, self.int_idx):
+            if node_lb[j] == node_ub[j]:
+                if self._proof_root_lb[j] != self._proof_root_ub[j]:
+                    fixed[j] = int(round(node_lb[j]))
+            elif (
+                node_lb[j] != self._proof_root_lb[j]
+                or node_ub[j] != self._proof_root_ub[j]
+            ):
+                self.proof_incomplete = True
+                return
+        self.proof_leaves.append(
+            {"fixed": fixed, "farkas": np.asarray(farkas, dtype=float)}
+        )
+
+    def _proof_payload(self, status: SolveStatus) -> Optional[dict]:
+        """The ``MILPResult.proof`` dict (``None`` unless recording)."""
+        if not self.record_proof:
+            return None
+        return {
+            "complete": (
+                status is SolveStatus.INFEASIBLE
+                and not self.proof_incomplete
+            ),
+            "leaves": self.proof_leaves,
+        }
 
     def _fractional(self, x: np.ndarray) -> List[Tuple[int, float]]:
         """Integer columns whose LP value is fractional at ``x``."""
@@ -644,6 +714,9 @@ class _Search:
                 basis=result.basis, branch_var=j, branch_dir=+1,
                 branch_frac=frac, parent_obj=result.objective,
             ))
+        if len(children) < 2:
+            # A skipped child leaves part of the node's box uncovered.
+            self.proof_incomplete = True
         if not children:
             return
         if self.options.node_selection == "best_first":
@@ -700,12 +773,15 @@ class _Search:
         if self.trace is not None:
             self._node_event(root_node, root)
         if root.status is SolveStatus.INFEASIBLE:
+            self._record_leaf(self.root_lb, self.root_ub, root)
             return self._finish(SolveStatus.INFEASIBLE, sign,
                                 objective_constant, -math.inf)
         if root.status is SolveStatus.UNBOUNDED:
+            self.proof_incomplete = True
             return self._finish(SolveStatus.UNBOUNDED, sign,
                                 objective_constant, -math.inf)
         if root.status is not SolveStatus.OPTIMAL:
+            self.proof_incomplete = True
             return self._finish(SolveStatus.ERROR, sign,
                                 objective_constant, -math.inf)
 
@@ -722,13 +798,18 @@ class _Search:
             x = root.x
             fractional = self._fractional(x)
         if not fractional:
+            # An integral relaxation point is never part of an
+            # infeasibility cover (even a tolerance-rejected incumbent
+            # leaves this leaf unaccounted for).
+            self.proof_incomplete = True
             self._try_incumbent(x)
             if self.incumbent_x is not None:
                 return self._finish(SolveStatus.OPTIMAL, sign,
                                     objective_constant, root.objective)
         self._rounding_candidates(x)
         if options.rc_fixing:
-            self._reduced_cost_fix(root)
+            if self._reduced_cost_fix(root):
+                self.proof_incomplete = True
         if fractional:
             j = _pick_branch_var(
                 fractional, options.branching, self.rng, self.pseudocosts
@@ -763,7 +844,9 @@ class _Search:
             if self.trace is not None:  # sole tracing cost when disabled
                 self._node_event(node, result)
             if result.status is not SolveStatus.OPTIMAL:
-                continue  # infeasible child (or numerical failure): prune
+                # Infeasible child (or numerical failure): prune.
+                self._record_leaf(node.lb, node.ub, result)
+                continue
             if (
                 options.branching == "pseudocost"
                 and node.branch_var >= 0
@@ -790,6 +873,9 @@ class _Search:
             assert x is not None
             fractional = self._fractional(x)
             if not fractional:
+                # Integral leaf — never part of an infeasibility cover
+                # (even when the incumbent is tolerance-rejected).
+                self.proof_incomplete = True
                 self._try_incumbent(x)
                 continue
             self._rounding_candidates(x)
@@ -820,7 +906,7 @@ class _Search:
             return MILPResult(
                 status, nodes=self.nodes,
                 lp_iterations=self.lp_iterations, wall_time=wall,
-                metrics=metrics,
+                metrics=metrics, proof=self._proof_payload(status),
             )
         if status is SolveStatus.OPTIMAL:
             if self.incumbent_x is None:
@@ -828,6 +914,7 @@ class _Search:
                     SolveStatus.INFEASIBLE, nodes=self.nodes,
                     lp_iterations=self.lp_iterations, wall_time=wall,
                     metrics=metrics,
+                    proof=self._proof_payload(SolveStatus.INFEASIBLE),
                 )
             best_bound_internal = self.incumbent_obj
         else:
@@ -849,6 +936,7 @@ class _Search:
             lp_iterations=self.lp_iterations,
             wall_time=wall,
             metrics=metrics,
+            proof=self._proof_payload(status),
         )
 
 

@@ -277,6 +277,24 @@ class Model:
         self._dense_cache = (c, A_ub, b_ub, A_eq, b_eq, tuple(bounds))
         return c, A_ub, b_ub, A_eq, b_eq, bounds
 
+    def row_names(self) -> Tuple[List[str], List[str]]:
+        """Constraint names in :meth:`dense_arrays` row order.
+
+        Returns ``(inequality_names, equality_names)``: the first list
+        follows the ``A_ub`` rows (``<=`` and negated ``>=`` rows in
+        constraint encounter order), the second the ``A_eq`` rows.
+        Proof-certificate emission uses this to key standardized dual
+        rays by constraint name.
+        """
+        ub_names: List[str] = []
+        eq_names: List[str] = []
+        for constr in self.constraints:
+            if constr.op is ConstraintOp.EQ:
+                eq_names.append(constr.name)
+            else:
+                ub_names.append(constr.name)
+        return ub_names, eq_names
+
     def objective_value(self, x: Sequence[float]) -> float:
         """Objective of a point in the model's own sense."""
         return self.objective.value({i: x[i] for i in range(self.num_vars)})

@@ -313,6 +313,10 @@ class _Solver:
         self.status = np.full(self.n, AT_LOWER, dtype=np.int8)
         self.Binv = np.eye(self.m)
         self.x = np.zeros(self.n)
+        #: Infeasibility ray over the rows, set when a solve detects
+        #: primal infeasibility (dual unboundedness or a positive
+        #: phase-1 optimum).  Raw material for proof certificates.
+        self.farkas_ray: Optional[np.ndarray] = None
 
     # -- basis management ---------------------------------------------------
     def install(self, basis: Basis) -> None:
@@ -490,6 +494,13 @@ class _Solver:
             mask = (cand_lo | cand_up | cand_fr) & nonbasic
             candidates = np.flatnonzero(mask)
             if candidates.size == 0:
+                # Dual unbounded: row r of the basis inverse is an
+                # infeasibility ray of the row system (sign chosen so
+                # the violated bound is approached from the right
+                # side).  Stashed for proof-certificate emission.
+                self.farkas_ray = (
+                    self.Binv[r].copy() if is_below else -self.Binv[r]
+                )
                 return "infeasible"
             ratios = np.abs(d[candidates]) / np.abs(a[candidates])
             bland = self.iterations >= _BLAND_AFTER
@@ -555,6 +566,9 @@ def _cold_start(
     if outcome == "iteration_limit":
         return outcome
     if float(phase1_cost @ solver.x) > 1e-6:
+        # Phase-1 optimum with positive artificial mass: its dual
+        # prices form an infeasibility ray (proof-certificate Farkas).
+        solver.farkas_ray = phase1_cost[solver.basic] @ solver.Binv
         return "infeasible"
 
     # Snap the artificial boxes shut; surviving basic artificials sit at
@@ -603,7 +617,11 @@ def cold_solve(
     if outcome == "optimal":
         return _result(solver, warm_started=False)
     if outcome == "infeasible":
-        return LPResult(SolveStatus.INFEASIBLE, iterations=solver.iterations)
+        return LPResult(
+            SolveStatus.INFEASIBLE,
+            iterations=solver.iterations,
+            farkas=getattr(solver, "farkas_ray", None),
+        )
     if outcome == "unbounded":
         return LPResult(SolveStatus.UNBOUNDED, iterations=solver.iterations)
     return LPResult(SolveStatus.ERROR, iterations=solver.iterations)
@@ -636,6 +654,7 @@ def reoptimize(
                 SolveStatus.INFEASIBLE,
                 iterations=solver.iterations,
                 warm_started=True,
+                farkas=getattr(solver, "farkas_ray", None),
             )
         if outcome == "iteration_limit":
             return None

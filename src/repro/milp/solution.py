@@ -26,6 +26,11 @@ class LPResult:
             optimum (for reduced-cost bound fixing), when available.
         warm_started: True when this solve reoptimised from a supplied
             basis instead of starting cold.
+        farkas: Infeasibility ray over the standardized rows (one entry
+            per constraint row, inequality rows first) when the status
+            is INFEASIBLE and the backend produced one; the raw
+            evidence behind proof-certificate Farkas leaves
+            (:mod:`repro.proof.emit`).
     """
 
     status: SolveStatus
@@ -35,6 +40,7 @@ class LPResult:
     basis: Optional[object] = None
     reduced_costs: Optional[np.ndarray] = None
     warm_started: bool = False
+    farkas: Optional[np.ndarray] = None
 
 
 @dataclasses.dataclass
@@ -67,6 +73,13 @@ class MILPResult:
     lp_iterations: int = 0
     wall_time: float = 0.0
     metrics: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Leaf-cover proof record (``MILPOptions.record_proof``): a dict
+    #: with ``"leaves"`` — one entry per pruned leaf carrying the fixed
+    #: integer columns and the LP infeasibility ray — and ``"complete"``
+    #: — False when any proving path could not be recorded (cuts, an
+    #: unrecordable leaf, a rejected incumbent).  Consumed by
+    #: :func:`repro.proof.emit.assemble_milp_certificate`.
+    proof: Optional[Dict] = None
 
     @property
     def has_incumbent(self) -> bool:

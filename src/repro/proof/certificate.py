@@ -1,0 +1,169 @@
+"""The ``repro-proof/1`` certificate format.
+
+A proof certificate is a *self-contained*, JSON-serialisable witness of
+one VERIFIED verdict: it embeds the network parameters, the input
+region, the objective and threshold, and — depending on the proving
+path — the back-substitution chain (static proofs), the branch-and-
+bound leaf cover with per-leaf Farkas vectors (MILP proofs), or the
+region partition tree (split proofs).  Nothing in the artifact refers
+to solver state; everything the independent checker
+(:mod:`repro.proof.check`) needs is inside the file.
+
+Three certificate kinds:
+
+``static``
+    A fixed-policy symbolic back-substitution chain whose replayed
+    objective upper bound clears ``threshold - margin``.
+
+``milp``
+    The chain (sound big-M bounds for the encoding) plus a leaf cover:
+    every branch-and-bound leaf carries the binary literals fixed on
+    its path and a Farkas vector proving its LP relaxation infeasible;
+    the cover is exhaustive over the binary hypercube.
+
+``split``
+    A binary partition tree over the input box; every leaf is itself a
+    ``static``- or ``milp``-style sub-certificate (or a statically
+    pruned node), and the checker re-derives each child box from the
+    recorded split dimension, so the tree provably tiles the parent.
+
+Chains are stored with explicit relaxation slopes per (target layer,
+ReLU layer) pair: the chord upper line (slope + intercept, shared by
+all rows) and the per-row lower slopes actually used by the winning
+policy — which is what lets the checker replay the bound with plain
+matrix arithmetic and no knowledge of the emitting engine's policy
+search.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+PROOF_SCHEMA = "repro-proof/1"
+
+KIND_STATIC = "static"
+KIND_MILP = "milp"
+KIND_SPLIT = "split"
+KINDS = (KIND_STATIC, KIND_MILP, KIND_SPLIT)
+
+__all__ = [
+    "PROOF_SCHEMA",
+    "KIND_STATIC",
+    "KIND_MILP",
+    "KIND_SPLIT",
+    "KINDS",
+    "build_certificate",
+    "load_certificate",
+    "save_certificate",
+    "serialize_network",
+    "serialize_objective",
+    "serialize_region",
+]
+
+
+def serialize_network(network: Any) -> Dict[str, Any]:
+    """Embed a :class:`~repro.nn.network.FeedForwardNetwork` verbatim.
+
+    Weights round-trip exactly (``tolist`` preserves float64), and the
+    content fingerprint lets the checker detect a certificate whose
+    parameters were swapped after emission.
+    """
+    return {
+        "fingerprint": network.fingerprint(),
+        "layers": [
+            {
+                "weights": np.asarray(layer.weights, dtype=float).tolist(),
+                "bias": np.asarray(layer.bias, dtype=float).tolist(),
+                "activation": layer.activation,
+            }
+            for layer in network.layers
+        ],
+    }
+
+
+def serialize_region(region: Any) -> Dict[str, Any]:
+    """Embed an :class:`~repro.core.properties.InputRegion` geometry."""
+    constraints: List[Dict[str, Any]] = []
+    for constraint in region.constraints:
+        coeffs, rhs = constraint.as_indexed()
+        constraints.append({
+            "coefficients": {str(i): float(c) for i, c in coeffs.items()},
+            "rhs": float(rhs),
+        })
+    return {
+        "name": region.name,
+        "bounds": np.asarray(region.bounds, dtype=float).tolist(),
+        "constraints": constraints,
+    }
+
+
+def serialize_objective(objective: Any) -> Dict[str, Any]:
+    """Embed an :class:`~repro.core.properties.OutputObjective`."""
+    return {
+        "coefficients": {
+            str(i): float(c) for i, c in objective.coefficients.items()
+        },
+        "description": objective.description,
+    }
+
+
+def build_certificate(
+    kind: str,
+    network: Any,
+    region: Any,
+    objective: Any,
+    threshold: float,
+    margin: float,
+    name: str = "",
+    chain: Optional[Dict[str, Any]] = None,
+    leaves: Optional[List[Dict[str, Any]]] = None,
+    tree: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one ``repro-proof/1`` artifact.
+
+    The payload parts (``chain`` / ``leaves`` / ``tree``) must already
+    be JSON-ready; :mod:`repro.proof.emit` produces them.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown certificate kind {kind!r}")
+    cert: Dict[str, Any] = {
+        "schema": PROOF_SCHEMA,
+        "kind": kind,
+        "property": {"name": name, "threshold": float(threshold)},
+        "network": serialize_network(network),
+        "region": serialize_region(region),
+        "objective": serialize_objective(objective),
+        "threshold": float(threshold),
+        "margin": float(margin),
+    }
+    if chain is not None:
+        cert["chain"] = chain
+    if leaves is not None:
+        cert["leaves"] = leaves
+    if tree is not None:
+        cert["tree"] = tree
+    return cert
+
+
+def save_certificate(
+    cert: Mapping[str, Any], path_or_file: Union[str, IO[str]]
+) -> None:
+    """Write one certificate as JSON (compact separators, stable keys)."""
+    if hasattr(path_or_file, "write"):
+        json.dump(cert, path_or_file, separators=(",", ":"))
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            json.dump(cert, handle, separators=(",", ":"))
+
+
+def load_certificate(path_or_file: Union[str, IO[str]]) -> Dict[str, Any]:
+    """Read one certificate back; no validation beyond JSON parsing."""
+    if hasattr(path_or_file, "read"):
+        data: Dict[str, Any] = json.load(path_or_file)
+    else:
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    return data

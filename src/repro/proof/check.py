@@ -1,0 +1,992 @@
+"""Independent static checker for ``repro-proof/1`` certificates.
+
+This module is the *second opinion* the certification pillar demands: it
+re-validates every VERIFIED verdict using nothing but matrix arithmetic
+against :mod:`repro.tolerances` — no simplex, no branch-and-bound, no
+cut separation, no alpha optimiser.  It deliberately imports **no
+solver module** (a property the test suite enforces by inspecting
+``sys.modules``), so a soundness bug anywhere in the ~5k-line proving
+stack cannot also hide here.
+
+What gets replayed, per certificate kind:
+
+``static``
+    The back-substitution chain is replayed layer by layer.  Each
+    recorded relaxation is first re-validated as a sound ReLU
+    relaxation (lower slopes in ``[0, 1]``; upper lines dominate
+    ``relu`` at both endpoints of the already-validated input interval,
+    which suffices by convexity), then the affine forms are pushed to
+    the input box with plain matmuls and concretised at every stop.
+    The claimed bounds must be no tighter than the replayed ones, and
+    the replayed objective upper bound must clear ``threshold -
+    margin``.
+
+``milp``
+    The checker rebuilds the big-M encoding *clean-room* from the
+    network and the chain's validated bounds (same stable/ambiguous
+    classification, same row shapes, same names), then checks the leaf
+    cover: every leaf's binary literals must pairwise conflict and
+    count to exactly ``2**|D|`` sub-cubes (exhaustiveness over the
+    binary hypercube), and every leaf's Farkas vector must have
+    non-negative multipliers and aggregate the rows into an inequality
+    violated over the leaf's variable box (weak-duality infeasibility).
+
+``split``
+    The partition tree is walked from the parent box; child boxes are
+    re-derived from the recorded split dimension (midpoint bisection),
+    so the tree provably tiles the parent, and each leaf is checked as
+    a ``static``/``milp`` sub-certificate over its derived box.
+
+Failures are structured findings with the ``A3xx`` codes documented in
+:mod:`repro.analysis.audit`:
+
+* ``A301`` — malformed certificate (schema, shapes, fingerprint);
+* ``A302`` — Farkas/dual check fails (sign or weak-duality);
+* ``A303`` — branch-and-bound leaf cover not exhaustive;
+* ``A304`` — relaxation slope is not a sound ReLU relaxation;
+* ``A305`` — a claimed bound is tighter than its replay supports, or
+  the objective bound does not clear the threshold;
+* ``A306`` — split tree does not tile the parent box;
+* ``A307`` — certificate references rows/variables the rebuilt
+  encoding does not have;
+* ``A309`` — warning: a check passes with less than one decade of
+  slack over its tolerance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.audit import AuditReport, Severity
+from repro.proof.certificate import (
+    KIND_MILP,
+    KIND_SPLIT,
+    KIND_STATIC,
+    KINDS,
+    PROOF_SCHEMA,
+    load_certificate,
+)
+from repro.tolerances import (
+    PROOF_DUAL_TOL,
+    PROOF_FARKAS_TOL,
+    PROOF_REPLAY_TOL,
+)
+
+__all__ = ["check_certificate", "check_certificate_file"]
+
+#: ``(weights, bias, activation)`` triples — the checker's whole view of
+#: a network; no :class:`~repro.nn.network.FeedForwardNetwork` needed.
+_Layers = List[Tuple[np.ndarray, np.ndarray, str]]
+_Box = Tuple[np.ndarray, np.ndarray]
+_Row = Tuple[Dict[str, float], float]
+
+#: Warning threshold: findings that pass by less than one decade over
+#: their tolerance are reported as A309 warnings.
+_SLACK_DECADE = 10.0
+
+
+class _Malformed(Exception):
+    """Structural certificate defect; reported as A301."""
+
+
+# -- parsing -----------------------------------------------------------------
+
+def _as_array(value: Any, shape: Tuple[int, ...], what: str) -> np.ndarray:
+    try:
+        arr = np.asarray(value, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise _Malformed(f"{what} is not numeric: {exc}") from exc
+    if arr.shape != shape:
+        raise _Malformed(
+            f"{what} has shape {arr.shape}, expected {shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise _Malformed(f"{what} contains non-finite values")
+    return arr
+
+
+def _parse_layers(payload: Any) -> _Layers:
+    if not isinstance(payload, dict) or "layers" not in payload:
+        raise _Malformed("certificate has no network.layers")
+    raw = payload["layers"]
+    if not isinstance(raw, list) or not raw:
+        raise _Malformed("network.layers must be a non-empty list")
+    layers: _Layers = []
+    fan_in: Optional[int] = None
+    for index, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise _Malformed(f"network layer {index} is not an object")
+        try:
+            weights = np.asarray(entry["weights"], dtype=float)
+            bias = np.asarray(entry["bias"], dtype=float)
+            activation = str(entry["activation"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _Malformed(
+                f"network layer {index} is malformed: {exc}"
+            ) from exc
+        if weights.ndim != 2 or bias.ndim != 1:
+            raise _Malformed(
+                f"network layer {index} has wrong weight/bias rank"
+            )
+        if weights.shape[1] != bias.shape[0]:
+            raise _Malformed(
+                f"network layer {index}: weights {weights.shape} do not "
+                f"match bias {bias.shape}"
+            )
+        if fan_in is not None and weights.shape[0] != fan_in:
+            raise _Malformed(
+                f"network layer {index}: fan-in {weights.shape[0]} does "
+                f"not chain from previous fan-out {fan_in}"
+            )
+        if activation not in ("relu", "identity"):
+            raise _Malformed(
+                f"network layer {index}: unsupported activation "
+                f"{activation!r}"
+            )
+        if not (np.all(np.isfinite(weights)) and np.all(np.isfinite(bias))):
+            raise _Malformed(
+                f"network layer {index} contains non-finite parameters"
+            )
+        fan_in = int(weights.shape[1])
+        layers.append((weights, bias, activation))
+    return layers
+
+
+def _fingerprint(layers: _Layers) -> str:
+    """Content hash, byte-compatible with ``FeedForwardNetwork.fingerprint``."""
+    digest = hashlib.sha256()
+    for weights, bias, activation in layers:
+        digest.update(activation.encode())
+        digest.update(str(weights.shape).encode())
+        digest.update(np.ascontiguousarray(weights).tobytes())
+        digest.update(np.ascontiguousarray(bias).tobytes())
+    return digest.hexdigest()
+
+
+def _parse_region(
+    payload: Any, input_dim: int
+) -> Tuple[np.ndarray, List[Tuple[Dict[int, float], float]]]:
+    if not isinstance(payload, dict) or "bounds" not in payload:
+        raise _Malformed("certificate has no region.bounds")
+    bounds = _as_array(payload["bounds"], (input_dim, 2), "region.bounds")
+    if np.any(bounds[:, 0] > bounds[:, 1]):
+        raise _Malformed("region.bounds crossed (lower > upper)")
+    constraints: List[Tuple[Dict[int, float], float]] = []
+    for index, entry in enumerate(payload.get("constraints", [])):
+        try:
+            coeffs = {
+                int(i): float(c)
+                for i, c in entry["coefficients"].items()
+            }
+            rhs = float(entry["rhs"])
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise _Malformed(
+                f"region constraint {index} is malformed: {exc}"
+            ) from exc
+        if any(not 0 <= i < input_dim for i in coeffs):
+            raise _Malformed(
+                f"region constraint {index} references an input outside "
+                f"dim {input_dim}"
+            )
+        constraints.append((coeffs, rhs))
+    return bounds, constraints
+
+
+def _parse_objective(payload: Any, output_dim: int) -> np.ndarray:
+    if not isinstance(payload, dict) or "coefficients" not in payload:
+        raise _Malformed("certificate has no objective.coefficients")
+    row = np.zeros(output_dim)
+    try:
+        items = list(payload["coefficients"].items())
+    except AttributeError as exc:
+        raise _Malformed("objective.coefficients is not a mapping") from exc
+    for key, coef in items:
+        idx = int(key)
+        if not 0 <= idx < output_dim:
+            raise _Malformed(
+                f"objective references output {idx}, network has "
+                f"{output_dim}"
+            )
+        row[idx] = float(coef)
+    return row
+
+
+# -- interval/affine arithmetic ----------------------------------------------
+
+def _interval_affine(
+    lo: np.ndarray, hi: np.ndarray, weights: np.ndarray, bias: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    w_pos = np.maximum(weights, 0.0)
+    w_neg = np.minimum(weights, 0.0)
+    return lo @ w_pos + hi @ w_neg + bias, hi @ w_pos + lo @ w_neg + bias
+
+
+def _conc_lo(
+    coef: np.ndarray, bias: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    return bias + np.maximum(coef, 0.0) @ lo + np.minimum(coef, 0.0) @ hi
+
+
+def _conc_hi(
+    coef: np.ndarray, bias: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    return bias + np.maximum(coef, 0.0) @ hi + np.minimum(coef, 0.0) @ lo
+
+
+# -- chain replay ------------------------------------------------------------
+
+def _parse_relax(
+    raw: Any, k: int, m: int, n_k: int, what: str
+) -> Dict[str, np.ndarray]:
+    if not isinstance(raw, dict) or str(k) not in raw:
+        raise _Malformed(f"{what} has no relaxation for ReLU layer {k}")
+    entry = raw[str(k)]
+    if not isinstance(entry, dict):
+        raise _Malformed(f"{what} relaxation for layer {k} is not an object")
+    try:
+        return {
+            "up_slope": _as_array(
+                entry["up_slope"], (n_k,), f"{what}.relax[{k}].up_slope"
+            ),
+            "up_icept": _as_array(
+                entry["up_icept"], (n_k,), f"{what}.relax[{k}].up_icept"
+            ),
+            "lo_lower": _as_array(
+                entry["lo_lower"], (m, n_k), f"{what}.relax[{k}].lo_lower"
+            ),
+            "up_lower": _as_array(
+                entry["up_lower"], (m, n_k), f"{what}.relax[{k}].up_lower"
+            ),
+        }
+    except KeyError as exc:
+        raise _Malformed(
+            f"{what} relaxation for layer {k} is missing {exc}"
+        ) from exc
+
+
+def _validate_relax(
+    report: AuditReport,
+    subject: str,
+    relax: Dict[str, np.ndarray],
+    layer_lo: np.ndarray,
+    layer_hi: np.ndarray,
+) -> bool:
+    """Soundness of one recorded relaxation (A304 on failure).
+
+    Lower lines ``relu(z) >= alpha z`` are sound for *every* ``z`` iff
+    ``0 <= alpha <= 1``.  Upper lines ``relu(z) <= s z + t`` are affine
+    and ``relu`` is convex, so dominating at both endpoints of the
+    validated interval implies dominating on all of it.
+    """
+    ok = True
+    for key in ("lo_lower", "up_lower"):
+        slopes = relax[key]
+        if np.any(slopes < 0.0) or np.any(slopes > 1.0):
+            report.add(
+                "A304", Severity.ERROR, subject,
+                f"{key} slope outside [0, 1] "
+                f"(range [{slopes.min():.6g}, {slopes.max():.6g}])",
+            )
+            ok = False
+    slope = relax["up_slope"]
+    icept = relax["up_icept"]
+    for z in (layer_lo, layer_hi):
+        gap = np.maximum(z, 0.0) - (slope * z + icept)
+        if np.any(gap > PROOF_REPLAY_TOL):
+            report.add(
+                "A304", Severity.ERROR, subject,
+                "upper relaxation line falls below relu at an interval "
+                f"endpoint (worst violation {gap.max():.6g})",
+            )
+            ok = False
+            break
+    return ok
+
+
+def _replay(
+    layers: _Layers,
+    relax: Dict[int, Dict[str, np.ndarray]],
+    post_boxes: List[_Box],
+    input_box: _Box,
+    coef: np.ndarray,
+    bias: np.ndarray,
+    start: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Anytime backward substitution with the certificate's relaxations.
+
+    Mirrors the emitting engine's arithmetic exactly (same operation
+    order), but takes every slope from the certificate — the claimed
+    bounds must be reproducible from the recorded evidence alone.
+    """
+    up_coef = coef.copy()
+    up_bias = bias.copy()
+    lo_coef = coef.copy()
+    lo_bias = bias.copy()
+    box_lo, box_hi = post_boxes[start]
+    best_hi = _conc_hi(up_coef, up_bias, box_lo, box_hi)
+    best_lo = _conc_lo(lo_coef, lo_bias, box_lo, box_hi)
+    for k in range(start, -1, -1):
+        weights, layer_bias, activation = layers[k]
+        if activation == "relu":
+            entry = relax[k]
+            us = entry["up_slope"]
+            ui = entry["up_icept"]
+            up_pos = np.maximum(up_coef, 0.0)
+            up_neg = np.minimum(up_coef, 0.0)
+            up_bias = up_bias + up_pos @ ui
+            up_coef = up_pos * us + up_neg * entry["up_lower"]
+            lo_pos = np.maximum(lo_coef, 0.0)
+            lo_neg = np.minimum(lo_coef, 0.0)
+            lo_bias = lo_bias + lo_neg @ ui
+            lo_coef = lo_pos * entry["lo_lower"] + lo_neg * us
+        up_bias = up_bias + up_coef @ layer_bias
+        lo_bias = lo_bias + lo_coef @ layer_bias
+        up_coef = up_coef @ weights.T
+        lo_coef = lo_coef @ weights.T
+        if k > 0:
+            box_lo, box_hi = post_boxes[k - 1]
+        else:
+            box_lo, box_hi = input_box
+        best_hi = np.minimum(
+            best_hi, _conc_hi(up_coef, up_bias, box_lo, box_hi)
+        )
+        best_lo = np.maximum(
+            best_lo, _conc_lo(lo_coef, lo_bias, box_lo, box_hi)
+        )
+    return best_lo, best_hi
+
+
+def _check_chain(
+    report: AuditReport,
+    subject: str,
+    layers: _Layers,
+    input_box: _Box,
+    chain: Any,
+    objective_row: Optional[np.ndarray],
+) -> Tuple[Optional[List[_Box]], Optional[Tuple[float, float]]]:
+    """Validate one back-substitution chain.
+
+    Returns ``(validated_bounds, objective_bounds)``; either is ``None``
+    when its part of the chain failed.  ``validated_bounds`` holds the
+    *claimed* pre-activation intervals, each proven no tighter than its
+    replay, in layer order — exactly what the MILP rebuild needs.
+    ``objective_bounds`` is the **replayed** objective interval, which
+    is what threshold checks must use.
+    """
+    if not isinstance(chain, dict) or "layers" not in chain:
+        raise _Malformed("chain has no layers")
+    entries = chain["layers"]
+    if not isinstance(entries, list) or len(entries) != len(layers):
+        raise _Malformed(
+            f"chain has {len(entries) if isinstance(entries, list) else '?'}"
+            f" layer entries, network has {len(layers)}"
+        )
+    validated: List[_Box] = []
+    post_boxes: List[_Box] = []
+    ok = True
+    for i, entry in enumerate(entries):
+        weights, bias, activation = layers[i]
+        n_i = bias.shape[0]
+        what = f"chain.layer{i}"
+        if not isinstance(entry, dict):
+            raise _Malformed(f"{what} is not an object")
+        lo_c = _as_array(entry.get("lower"), (n_i,), f"{what}.lower")
+        hi_c = _as_array(entry.get("upper"), (n_i,), f"{what}.upper")
+        if i == 0:
+            replay_lo, replay_hi = _interval_affine(
+                input_box[0], input_box[1], weights, bias
+            )
+        else:
+            relax: Dict[int, Dict[str, np.ndarray]] = {}
+            relax_ok = True
+            for k in range(i):
+                if layers[k][2] != "relu":
+                    continue
+                n_k = layers[k][1].shape[0]
+                relax[k] = _parse_relax(
+                    entry.get("relax"), k, n_i, n_k, what
+                )
+                if not _validate_relax(
+                    report, f"{subject}.{what}", relax[k],
+                    validated[k][0], validated[k][1],
+                ):
+                    relax_ok = False
+            if not relax_ok:
+                return None, None
+            replay_lo, replay_hi = _replay(
+                layers, relax, post_boxes, input_box,
+                weights.T.copy(), bias.copy(), start=i - 1,
+            )
+        low_gap = float(np.max(lo_c - replay_lo))
+        high_gap = float(np.max(replay_hi - hi_c))
+        if low_gap > PROOF_REPLAY_TOL or high_gap > PROOF_REPLAY_TOL:
+            report.add(
+                "A305", Severity.ERROR, f"{subject}.{what}",
+                "claimed bounds are tighter than the replayed chain "
+                f"supports (lower gap {low_gap:.6g}, upper gap "
+                f"{high_gap:.6g})",
+            )
+            ok = False
+        validated.append((lo_c, hi_c))
+        if activation == "relu":
+            post_boxes.append(
+                (np.maximum(lo_c, 0.0), np.maximum(hi_c, 0.0))
+            )
+        else:
+            post_boxes.append((lo_c, hi_c))
+    if not ok:
+        return None, None
+
+    obj_bounds: Optional[Tuple[float, float]] = None
+    if objective_row is not None:
+        obj_entry = chain.get("objective")
+        if not isinstance(obj_entry, dict):
+            raise _Malformed("chain has no objective entry")
+        out_w, out_b, _ = layers[-1]
+        seed = (objective_row[np.newaxis, :] @ out_w.T)
+        seed_bias = objective_row[np.newaxis, :] @ out_b
+        if len(layers) == 1:
+            replay_lo = _conc_lo(seed, seed_bias, *input_box)
+            replay_hi = _conc_hi(seed, seed_bias, *input_box)
+        else:
+            relax = {}
+            for k in range(len(layers) - 1):
+                if layers[k][2] != "relu":
+                    continue
+                n_k = layers[k][1].shape[0]
+                relax[k] = _parse_relax(
+                    obj_entry.get("relax"), k, 1, n_k, "chain.objective"
+                )
+                if not _validate_relax(
+                    report, f"{subject}.chain.objective", relax[k],
+                    validated[k][0], validated[k][1],
+                ):
+                    return validated, None
+            replay_lo, replay_hi = _replay(
+                layers, relax, post_boxes, input_box,
+                seed.copy(), seed_bias.copy(), start=len(layers) - 2,
+            )
+        claimed_lo = float(obj_entry.get("lower", -np.inf))
+        claimed_hi = float(obj_entry.get("upper", np.inf))
+        low_gap = claimed_lo - float(replay_lo[0])
+        high_gap = float(replay_hi[0]) - claimed_hi
+        if low_gap > PROOF_REPLAY_TOL or high_gap > PROOF_REPLAY_TOL:
+            report.add(
+                "A305", Severity.ERROR, f"{subject}.chain.objective",
+                "claimed objective bounds are tighter than the replayed "
+                f"chain supports (lower gap {low_gap:.6g}, upper gap "
+                f"{high_gap:.6g})",
+            )
+            return validated, None
+        obj_bounds = (float(replay_lo[0]), float(replay_hi[0]))
+    return validated, obj_bounds
+
+
+def _check_threshold(
+    report: AuditReport,
+    subject: str,
+    replayed_hi: float,
+    threshold: float,
+    margin: float,
+) -> bool:
+    """The static proof condition: replayed upper clears the cutoff."""
+    cutoff = threshold - margin
+    slack = cutoff - replayed_hi
+    if slack < -PROOF_REPLAY_TOL:
+        report.add(
+            "A305", Severity.ERROR, subject,
+            f"replayed objective upper bound {replayed_hi:.6g} does not "
+            f"clear threshold - margin = {cutoff:.6g}",
+        )
+        return False
+    if slack < _SLACK_DECADE * PROOF_REPLAY_TOL:
+        report.add(
+            "A309", Severity.WARNING, subject,
+            f"objective bound clears the threshold by only {slack:.3g} "
+            "(< one decade over the replay tolerance)",
+        )
+    return True
+
+
+# -- MILP encoding rebuild ---------------------------------------------------
+
+def _affine_expr(
+    prev: Sequence[_Row], weights: np.ndarray, bias: float
+) -> _Row:
+    coeffs: Dict[str, float] = {}
+    constant = float(bias)
+    for j, w in enumerate(weights):
+        if w == 0.0:
+            continue
+        expr_coeffs, expr_const = prev[j]
+        constant += w * expr_const
+        for name, coef in expr_coeffs.items():
+            coeffs[name] = coeffs.get(name, 0.0) + w * coef
+    return coeffs, constant
+
+
+def _rebuild_encoding(
+    layers: _Layers,
+    box: np.ndarray,
+    constraints: List[Tuple[Dict[int, float], float]],
+    validated: List[_Box],
+    margin: float,
+    objective_row: np.ndarray,
+    threshold: float,
+) -> Tuple[Dict[str, _Row], Dict[str, Tuple[float, float]], List[str]]:
+    """Clean-room big-M encoding from first principles.
+
+    Same construction the encoder performs — box input variables,
+    region rows, per-ambiguous-neuron ``(a, d)`` pair with the three
+    big-M rows, the violation row ``objective >= threshold`` — but
+    derived here independently, normalised to ``<=`` form with
+    constants folded into the right-hand side.  Stability is classified
+    from the certificate's own validated bounds with the certificate's
+    own margin, so the row/variable names agree with the emitter's
+    exactly when the certificate is honest, and disagree *visibly*
+    (A307) when it is not.
+    """
+    if layers[-1][2] != "identity":
+        raise _Malformed("MILP certificates need a linear output layer")
+    for weights, _, activation in layers[:-1]:
+        if activation != "relu":
+            raise _Malformed(
+                "MILP certificates support ReLU hidden layers only"
+            )
+    rows: Dict[str, _Row] = {}
+    var_bounds: Dict[str, Tuple[float, float]] = {}
+    binaries: List[str] = []
+
+    prev: List[_Row] = []
+    for i in range(layers[0][0].shape[0]):
+        name = f"in{i}"
+        var_bounds[name] = (float(box[i, 0]), float(box[i, 1]))
+        prev.append(({name: 1.0}, 0.0))
+    for k, (coeffs, rhs) in enumerate(constraints):
+        rows[f"region{k}"] = (
+            {f"in{i}": float(c) for i, c in coeffs.items()}, float(rhs)
+        )
+
+    for li, (weights, bias, _) in enumerate(layers[:-1]):
+        lo_arr, hi_arr = validated[li]
+        post: List[_Row] = []
+        for j in range(bias.shape[0]):
+            pre_coeffs, pre_const = _affine_expr(
+                prev, weights[:, j], float(bias[j])
+            )
+            lo = float(lo_arr[j]) - margin
+            hi = float(hi_arr[j]) + margin
+            if hi <= 0.0:
+                post.append(({}, 0.0))
+                continue
+            if lo >= 0.0:
+                post.append((pre_coeffs, pre_const))
+                continue
+            a_name = f"a_{li}_{j}"
+            d_name = f"d_{li}_{j}"
+            var_bounds[a_name] = (0.0, max(hi, 0.0))
+            var_bounds[d_name] = (0.0, 1.0)
+            binaries.append(d_name)
+            # a - pre >= 0, normalised: pre - a <= -pre_const
+            ge_coeffs = dict(pre_coeffs)
+            ge_coeffs[a_name] = ge_coeffs.get(a_name, 0.0) - 1.0
+            rows[f"relu_ge_{li}_{j}"] = (ge_coeffs, -pre_const)
+            # a - pre - lo*d <= -lo, normalised rhs: -lo + pre_const
+            up_coeffs = {name: -c for name, c in pre_coeffs.items()}
+            up_coeffs[a_name] = up_coeffs.get(a_name, 0.0) + 1.0
+            up_coeffs[d_name] = up_coeffs.get(d_name, 0.0) - lo
+            rows[f"relu_up_{li}_{j}"] = (up_coeffs, -lo + pre_const)
+            rows[f"relu_cap_{li}_{j}"] = ({a_name: 1.0, d_name: -hi}, 0.0)
+            post.append(({a_name: 1.0}, 0.0))
+        prev = post
+
+    out_w, out_b, _ = layers[-1]
+    obj_coeffs: Dict[str, float] = {}
+    obj_const = 0.0
+    for j in range(out_b.shape[0]):
+        if objective_row[j] == 0.0:
+            continue
+        expr_coeffs, expr_const = _affine_expr(
+            prev, out_w[:, j], float(out_b[j])
+        )
+        obj_const += objective_row[j] * expr_const
+        for name, coef in expr_coeffs.items():
+            obj_coeffs[name] = (
+                obj_coeffs.get(name, 0.0) + objective_row[j] * coef
+            )
+    # objective >= threshold, normalised: -objective <= const - threshold
+    rows["violation"] = (
+        {name: -c for name, c in obj_coeffs.items()},
+        obj_const - threshold,
+    )
+    return rows, var_bounds, binaries
+
+
+# -- leaf cover + Farkas -----------------------------------------------------
+
+def _check_cover(
+    report: AuditReport,
+    subject: str,
+    literal_sets: List[Dict[str, int]],
+    binaries: List[str],
+) -> bool:
+    """Exhaustiveness of the leaf cover over the binary hypercube.
+
+    Pairwise conflicts prove disjointness; the exact sub-cube count
+    ``sum 2**(|D| - |literals|) == 2**|D|`` (integer arithmetic) then
+    proves the disjoint union covers everything.
+    """
+    known = set(binaries)
+    ok = True
+    for index, literals in enumerate(literal_sets):
+        for name, value in literals.items():
+            if name not in known:
+                report.add(
+                    "A307", Severity.ERROR, f"{subject}.leaf{index}",
+                    f"literal on unknown binary variable {name!r}",
+                )
+                ok = False
+            if value not in (0, 1):
+                report.add(
+                    "A301", Severity.ERROR, f"{subject}.leaf{index}",
+                    f"literal {name!r} has non-binary value {value!r}",
+                )
+                ok = False
+    if not ok:
+        return False
+    dims = sorted({name for lit in literal_sets for name in lit})
+    for i in range(len(literal_sets)):
+        for j in range(i + 1, len(literal_sets)):
+            a, b = literal_sets[i], literal_sets[j]
+            if not any(
+                name in b and b[name] != value
+                for name, value in a.items()
+            ):
+                report.add(
+                    "A303", Severity.ERROR, subject,
+                    f"leaves {i} and {j} overlap (no conflicting "
+                    "literal); the cover is not a partition",
+                )
+                return False
+    total = sum(
+        2 ** (len(dims) - len(lit)) for lit in literal_sets
+    )
+    if total != 2 ** len(dims):
+        report.add(
+            "A303", Severity.ERROR, subject,
+            f"leaf cover counts {total} sub-cubes of the "
+            f"{2 ** len(dims)}-point binary hypercube over "
+            f"{len(dims)} branched variables; the cover is not "
+            "exhaustive",
+        )
+        return False
+    return True
+
+
+def _check_farkas(
+    report: AuditReport,
+    subject: str,
+    rows: Dict[str, _Row],
+    var_bounds: Dict[str, Tuple[float, float]],
+    literals: Dict[str, int],
+    dual: Dict[str, float],
+) -> bool:
+    """Weak-duality infeasibility of one leaf's LP relaxation.
+
+    With multipliers ``y >= 0`` on ``<=`` rows, any feasible point
+    satisfies ``(y^T A) x <= y^T b``; if the *minimum* of the left side
+    over the leaf's variable box exceeds the right side, no feasible
+    point exists.  The leaf box is the variable box with the leaf's
+    literals substituted — every un-fixed binary stays relaxed to
+    ``[0, 1]``, which only enlarges the box, so infeasibility of the
+    relaxation covers every integral completion.
+    """
+    aggregated: Dict[str, float] = {}
+    rhs_total = 0.0
+    for name, raw in dual.items():
+        if name not in rows:
+            report.add(
+                "A307", Severity.ERROR, subject,
+                f"dual multiplier on unknown row {name!r}",
+            )
+            return False
+        value = float(raw)
+        if value < -PROOF_DUAL_TOL:
+            report.add(
+                "A302", Severity.ERROR, subject,
+                f"negative dual multiplier {value:.6g} on row {name!r}",
+            )
+            return False
+        value = max(value, 0.0)
+        if value == 0.0:
+            continue
+        coeffs, rhs = rows[name]
+        for var, coef in coeffs.items():
+            aggregated[var] = aggregated.get(var, 0.0) + value * coef
+        rhs_total += value * rhs
+    lhs_min = 0.0
+    for var, coef in aggregated.items():
+        if var not in var_bounds:
+            report.add(
+                "A307", Severity.ERROR, subject,
+                f"aggregated row references unknown variable {var!r}",
+            )
+            return False
+        lo, hi = var_bounds[var]
+        if var in literals:
+            lo = hi = float(literals[var])
+        lhs_min += min(coef * lo, coef * hi)
+    slack = lhs_min - rhs_total
+    if slack <= PROOF_FARKAS_TOL:
+        report.add(
+            "A302", Severity.ERROR, subject,
+            "Farkas vector does not certify infeasibility "
+            f"(aggregated slack {slack:.6g} <= tolerance)",
+        )
+        return False
+    if slack <= _SLACK_DECADE * PROOF_FARKAS_TOL:
+        report.add(
+            "A309", Severity.WARNING, subject,
+            f"Farkas certificate passes with thin slack {slack:.3g}",
+        )
+    return True
+
+
+def _check_milp_leaves(
+    report: AuditReport,
+    subject: str,
+    layers: _Layers,
+    box: np.ndarray,
+    constraints: List[Tuple[Dict[int, float], float]],
+    validated: List[_Box],
+    margin: float,
+    objective_row: np.ndarray,
+    threshold: float,
+    leaves: Any,
+) -> bool:
+    """Leaf cover + per-leaf Farkas over the rebuilt encoding."""
+    if not isinstance(leaves, list) or not leaves:
+        raise _Malformed("MILP certificate has no leaves")
+    rows, var_bounds, binaries = _rebuild_encoding(
+        layers, box, constraints, validated, margin, objective_row,
+        threshold,
+    )
+    literal_sets: List[Dict[str, int]] = []
+    duals: List[Dict[str, float]] = []
+    for index, leaf in enumerate(leaves):
+        if not isinstance(leaf, dict) or leaf.get("kind") != "farkas":
+            raise _Malformed(f"leaf {index} is not a farkas leaf")
+        try:
+            literal_sets.append({
+                str(name): int(value)
+                for name, value in leaf["literals"].items()
+            })
+            duals.append({
+                str(name): float(value)
+                for name, value in leaf["dual"].items()
+            })
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise _Malformed(f"leaf {index} is malformed: {exc}") from exc
+    ok = _check_cover(report, subject, literal_sets, binaries)
+    for index, (literals, dual) in enumerate(zip(literal_sets, duals)):
+        if not _check_farkas(
+            report, f"{subject}.leaf{index}", rows, var_bounds,
+            literals, dual,
+        ):
+            ok = False
+    return ok
+
+
+# -- split trees -------------------------------------------------------------
+
+def _check_tree(
+    report: AuditReport,
+    subject: str,
+    layers: _Layers,
+    box: np.ndarray,
+    constraints: List[Tuple[Dict[int, float], float]],
+    objective_row: np.ndarray,
+    threshold: float,
+    margin: float,
+    node: Any,
+) -> bool:
+    """Recursive split-tree walk; child boxes are re-derived here.
+
+    The certificate records only the split dimension per internal node;
+    the checker bisects at the midpoint itself (the same closed-halves
+    rule the driver uses), so a tree that verifies necessarily tiles
+    the parent box — there is no recorded geometry to tamper with.
+    """
+    if not isinstance(node, dict):
+        report.add(
+            "A306", Severity.ERROR, subject, "tree node is not an object"
+        )
+        return False
+    if "split_dim" in node:
+        try:
+            dim = int(node["split_dim"])
+        except (TypeError, ValueError):
+            report.add(
+                "A306", Severity.ERROR, subject,
+                f"split_dim {node.get('split_dim')!r} is not an integer",
+            )
+            return False
+        if not 0 <= dim < box.shape[0]:
+            report.add(
+                "A306", Severity.ERROR, subject,
+                f"split dimension {dim} out of range for input dim "
+                f"{box.shape[0]}",
+            )
+            return False
+        lo, hi = float(box[dim, 0]), float(box[dim, 1])
+        if lo >= hi:
+            report.add(
+                "A306", Severity.ERROR, subject,
+                f"split on zero-width dimension {dim}",
+            )
+            return False
+        missing = [key for key in ("low", "high") if key not in node]
+        if missing:
+            report.add(
+                "A306", Severity.ERROR, subject,
+                f"internal node is missing child(ren) {missing}; the "
+                "tree does not tile the parent box",
+            )
+            return False
+        mid = 0.5 * (lo + hi)
+        ok = True
+        for key, child_interval in (("low", (lo, mid)), ("high", (mid, hi))):
+            child_box = box.copy()
+            child_box[dim] = child_interval
+            if not _check_tree(
+                report, f"{subject}.{key}", layers, child_box,
+                constraints, objective_row, threshold, margin,
+                node[key],
+            ):
+                ok = False
+        return ok
+
+    kind = node.get("kind")
+    input_box = (box[:, 0].copy(), box[:, 1].copy())
+    if kind in ("pruned", "static"):
+        try:
+            validated, obj_bounds = _check_chain(
+                report, subject, layers, input_box, node.get("chain"),
+                objective_row,
+            )
+        except _Malformed as exc:
+            report.add("A301", Severity.ERROR, subject, str(exc))
+            return False
+        if obj_bounds is None:
+            return False
+        return _check_threshold(
+            report, subject, obj_bounds[1], threshold, margin
+        )
+    if kind == "milp":
+        try:
+            validated, _ = _check_chain(
+                report, subject, layers, input_box, node.get("chain"),
+                None,
+            )
+            if validated is None:
+                return False
+            return _check_milp_leaves(
+                report, subject, layers, box, constraints, validated,
+                margin, objective_row, threshold, node.get("leaves"),
+            )
+        except _Malformed as exc:
+            report.add("A301", Severity.ERROR, subject, str(exc))
+            return False
+    report.add(
+        "A306", Severity.ERROR, subject,
+        f"leaf node has unknown kind {kind!r}",
+    )
+    return False
+
+
+# -- entry points ------------------------------------------------------------
+
+def check_certificate(
+    cert: Dict[str, Any], subject: str = "certificate"
+) -> AuditReport:
+    """Statically validate one ``repro-proof/1`` certificate.
+
+    Returns an :class:`~repro.analysis.audit.AuditReport`; the
+    certificate is accepted iff the report has no errors.  Every check
+    is plain numpy arithmetic against :mod:`repro.tolerances` — this
+    function must never import a solver module.
+    """
+    report = AuditReport()
+    try:
+        if not isinstance(cert, dict):
+            raise _Malformed("certificate is not a JSON object")
+        if cert.get("schema") != PROOF_SCHEMA:
+            raise _Malformed(
+                f"unknown schema {cert.get('schema')!r} (expected "
+                f"{PROOF_SCHEMA!r})"
+            )
+        kind = cert.get("kind")
+        if kind not in KINDS:
+            raise _Malformed(f"unknown certificate kind {kind!r}")
+        layers = _parse_layers(cert.get("network"))
+        claimed_fp = cert.get("network", {}).get("fingerprint")
+        if claimed_fp is not None and claimed_fp != _fingerprint(layers):
+            raise _Malformed(
+                "network fingerprint does not match the embedded "
+                "parameters"
+            )
+        input_dim = layers[0][0].shape[0]
+        output_dim = layers[-1][1].shape[0]
+        box, constraints = _parse_region(cert.get("region"), input_dim)
+        objective_row = _parse_objective(cert.get("objective"), output_dim)
+        threshold = float(cert["threshold"])
+        margin = float(cert["margin"])
+        if margin < 0.0:
+            raise _Malformed(f"negative margin {margin}")
+    except (_Malformed, KeyError, TypeError, ValueError) as exc:
+        report.add("A301", Severity.ERROR, subject, str(exc))
+        return report
+
+    input_box = (box[:, 0].copy(), box[:, 1].copy())
+    try:
+        if kind == KIND_STATIC:
+            _, obj_bounds = _check_chain(
+                report, subject, layers, input_box, cert.get("chain"),
+                objective_row,
+            )
+            if obj_bounds is not None:
+                _check_threshold(
+                    report, subject, obj_bounds[1], threshold, margin
+                )
+        elif kind == KIND_MILP:
+            validated, _ = _check_chain(
+                report, subject, layers, input_box, cert.get("chain"),
+                None,
+            )
+            if validated is not None:
+                _check_milp_leaves(
+                    report, subject, layers, box, constraints, validated,
+                    margin, objective_row, threshold, cert.get("leaves"),
+                )
+        elif kind == KIND_SPLIT:  # kind was validated against KINDS
+            _check_tree(
+                report, subject, layers, box, constraints,
+                objective_row, threshold, margin, cert.get("tree"),
+            )
+    except _Malformed as exc:
+        report.add("A301", Severity.ERROR, subject, str(exc))
+    return report
+
+
+def check_certificate_file(path: str) -> AuditReport:
+    """Load a certificate JSON file and check it."""
+    try:
+        cert = load_certificate(path)
+    except (OSError, ValueError) as exc:
+        report = AuditReport()
+        report.add("A301", Severity.ERROR, path, str(exc))
+        return report
+    return check_certificate(cert, subject=path)

@@ -67,6 +67,25 @@ EPS = 1e-9
 #: round-off can never make a genuinely feasible activation infeasible.
 BOUND_MARGIN = 1e-6
 
+#: Slack allowed between a bound claimed by a proof certificate and the
+#: value the independent checker (:mod:`repro.proof.check`) reproduces
+#: by replaying the back-substitution chain with plain matrix
+#: arithmetic.  Covers float round-off between the emitting engine and
+#: the replay, nothing more.
+PROOF_REPLAY_TOL = 1e-6
+
+#: Minimum strict slack a Farkas certificate must exhibit
+#: (``lower_bound(yᵀA·x) > yᵀb`` by at least this much) before the
+#: checker accepts the claimed LP infeasibility.  Matches the simplex
+#: engines' ``LP_FEAS_TOL`` so the checker never accepts what the
+#: solver would call feasible.
+PROOF_FARKAS_TOL = 1e-7
+
+#: Dual-sign slack: a certificate dual multiplier on a ``<=`` row may be
+#: negative by at most this much (numerical noise) before the checker
+#: rejects it as dual-infeasible.
+PROOF_DUAL_TOL = 1e-7
+
 #: Narrowest input-box dimension the region-bisection driver
 #: (:mod:`repro.analysis.split`) is allowed to split.  A dimension whose
 #: width is below ``2 * SPLIT_MIN_WIDTH`` would produce a child narrower

@@ -1,0 +1,151 @@
+"""Fixtures for the proof-certificate suite.
+
+Each fixture runs one certified decision query end-to-end and exposes
+the resulting :class:`VerificationResult` (with its attached
+``repro-proof/1`` certificate).  Thresholds are derived from the
+network itself — between the true maximum and the static upper bound
+to force a MILP/split proof, or above the static upper bound for a
+static proof — so the fixtures stay meaningful for any seed.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import EncoderOptions
+from repro.core.properties import (
+    InputRegion,
+    OutputObjective,
+    SafetyProperty,
+)
+from repro.core.verifier import Verdict, Verifier
+from repro.milp import MILPOptions
+from repro.nn import FeedForwardNetwork
+
+
+def box_region(dim: int, half: float = 2.0) -> InputRegion:
+    return InputRegion(np.array([[-half, half]] * dim))
+
+
+def prove_certified(
+    network,
+    region,
+    threshold,
+    *,
+    split: bool = False,
+    certify: bool = True,
+):
+    """One certified decision query on ``objective = output 0``."""
+    verifier = Verifier(
+        network,
+        EncoderOptions(
+            bound_mode="lp", certify=certify, split=split,
+            split_depth=3,
+        ),
+        MILPOptions(time_limit=120.0),
+    )
+    return verifier.prove(
+        SafetyProperty(
+            name=f"leq_{threshold:.3f}",
+            region=region,
+            objective=OutputObjective.single(0),
+            threshold=float(threshold),
+        )
+    )
+
+
+def _spread(network, region):
+    """``(true_max, static_upper)`` of output 0 over the region."""
+    from repro.proof.emit import record_chain
+
+    record = record_chain(
+        network, region, OutputObjective.single(0).coefficients
+    )
+    result = Verifier(
+        network,
+        EncoderOptions(bound_mode="lp"),
+        MILPOptions(time_limit=120.0),
+    ).maximize(region, OutputObjective.single(0))
+    assert result.verdict is Verdict.MAX_FOUND
+    return float(result.value), float(record.objective_upper)
+
+
+@pytest.fixture(scope="session")
+def net2() -> FeedForwardNetwork:
+    return FeedForwardNetwork.mlp(
+        2, [6, 6], 1, rng=np.random.default_rng(3)
+    )
+
+
+@pytest.fixture(scope="session")
+def net2_spread(net2):
+    return _spread(net2, box_region(2))
+
+
+@pytest.fixture(scope="session")
+def static_result(net2, net2_spread):
+    """VERIFIED by the certified static prescreen (threshold >> upper)."""
+    _, upper = net2_spread
+    result = prove_certified(net2, box_region(2), upper + 1.0)
+    assert result.verdict is Verdict.VERIFIED
+    assert result.solver == "static"
+    assert result.certificate is not None
+    return result
+
+
+@pytest.fixture(scope="session")
+def milp_result(net2, net2_spread):
+    """VERIFIED by branch-and-bound (threshold inside the gap).
+
+    The threshold sits at the lower quarter of the relaxation gap so
+    the search has to branch — the certificate then carries several
+    leaves with fixed literals, which the tamper tests rely on.
+    """
+    true_max, upper = net2_spread
+    assert true_max < upper  # the relaxation gap the MILP must close
+    result = prove_certified(
+        net2, box_region(2), true_max + 0.25 * (upper - true_max)
+    )
+    assert result.verdict is Verdict.VERIFIED
+    assert result.certificate is not None
+    assert result.certificate["kind"] == "milp"
+    return result
+
+
+@pytest.fixture(scope="session")
+def split_net() -> FeedForwardNetwork:
+    return FeedForwardNetwork.mlp(
+        2, [8, 8], 1, rng=np.random.default_rng(11)
+    )
+
+
+@pytest.fixture(scope="session")
+def split_result(split_net):
+    """VERIFIED through the bisection driver with a partition tree."""
+    region = box_region(2)
+    true_max, upper = _spread(split_net, region)
+    result = prove_certified(
+        split_net, region, 0.5 * (true_max + upper), split=True
+    )
+    assert result.verdict is Verdict.VERIFIED
+    assert result.certificate is not None
+    assert result.certificate["kind"] == "split"
+    return result
+
+
+@pytest.fixture()
+def static_cert(static_result):
+    return copy.deepcopy(static_result.certificate)
+
+
+@pytest.fixture()
+def milp_cert(milp_result):
+    return copy.deepcopy(milp_result.certificate)
+
+
+@pytest.fixture()
+def split_cert(split_result):
+    return copy.deepcopy(split_result.certificate)

@@ -1,0 +1,113 @@
+"""Checker behaviour on well-formed and malformed certificates."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.properties import OutputObjective
+from repro.proof.check import check_certificate, check_certificate_file
+from repro.proof.emit import assemble_static_certificate, record_chain
+from repro.tolerances import PROOF_REPLAY_TOL
+
+from .conftest import box_region
+
+
+def codes(report, severity=None):
+    return sorted(
+        d.code
+        for d in report.diagnostics
+        if severity is None or d.severity.name == severity
+    )
+
+
+class TestAccepts:
+    def test_static_clean(self, static_cert):
+        report = check_certificate(static_cert)
+        assert not report.has_errors
+
+    def test_milp_clean(self, milp_cert):
+        report = check_certificate(milp_cert)
+        assert not report.has_errors
+
+    def test_split_clean(self, split_cert):
+        report = check_certificate(split_cert)
+        assert not report.has_errors
+
+    def test_json_round_trip(self, milp_cert, tmp_path):
+        path = tmp_path / "cert.json"
+        with open(path, "w") as fh:
+            json.dump(milp_cert, fh)
+        report = check_certificate_file(str(path))
+        assert not report.has_errors
+
+
+class TestMalformed:
+    """Structural defects all land on A301."""
+
+    def test_non_dict(self):
+        assert "A301" in codes(check_certificate(["not", "a", "cert"]))
+
+    def test_wrong_schema(self, static_cert):
+        static_cert["schema"] = "repro-proof/99"
+        assert "A301" in codes(check_certificate(static_cert))
+
+    def test_unknown_kind(self, static_cert):
+        static_cert["kind"] = "quantum"
+        assert "A301" in codes(check_certificate(static_cert))
+
+    def test_missing_network(self, static_cert):
+        del static_cert["network"]
+        assert "A301" in codes(check_certificate(static_cert))
+
+    def test_fingerprint_mismatch(self, static_cert):
+        layer = static_cert["network"]["layers"][0]
+        layer["weights"][0][0] += 0.25
+        report = check_certificate(static_cert)
+        assert "A301" in codes(report)
+        assert report.has_errors
+
+    def test_unreadable_file(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        assert "A301" in codes(check_certificate_file(str(path)))
+
+
+class TestReplay:
+    def test_threshold_violation_is_a305(self, static_cert):
+        static_cert["threshold"] = -100.0
+        static_cert["property"]["threshold"] = -100.0
+        report = check_certificate(static_cert)
+        assert "A305" in codes(report)
+        assert report.has_errors
+
+    def test_thin_slack_warns_a309(self, net2):
+        region = box_region(2)
+        objective = OutputObjective.single(0)
+        record = record_chain(net2, region, objective.coefficients)
+        margin = 1e-6
+        threshold = (
+            float(record.objective_upper) + margin + 5.0 * PROOF_REPLAY_TOL
+        )
+        cert = assemble_static_certificate(
+            net2, region, objective, threshold, margin, "thin", record
+        )
+        assert cert is not None
+        report = check_certificate(cert)
+        assert not report.has_errors
+        assert "A309" in codes(report, severity="WARNING")
+
+
+class TestReportShape:
+    def test_to_dict_is_json_serialisable(self, static_cert):
+        static_cert["threshold"] = -100.0
+        static_cert["property"]["threshold"] = -100.0
+        payload = check_certificate(static_cert).to_dict()
+        json.dumps(payload)  # must not raise
+
+    def test_render_names_subject(self, static_cert):
+        static_cert["kind"] = "quantum"
+        report = check_certificate(static_cert, subject="my-cert")
+        assert "my-cert" in report.render()

@@ -1,0 +1,51 @@
+"""The checker must be independent of every proving component.
+
+``repro.proof.check`` is the trusted base of the certificate story:
+an auditor should be able to replay a certificate with nothing but
+matrix arithmetic.  Importing it must therefore pull in no simplex,
+no MILP machinery, and no SciPy — only numpy and the audit-report
+plumbing.  Enforced in a clean subprocess so the parent test session's
+imports cannot mask a violation.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+_PROBE = """
+import json, sys
+import repro.proof.check  # noqa: F401
+loaded = sorted(
+    name for name in sys.modules
+    if name.startswith(("repro.milp", "scipy"))
+)
+print(json.dumps(loaded))
+"""
+
+
+def test_checker_imports_no_solver():
+    proc = subprocess.run(
+        [sys.executable, "-c", _PROBE],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    forbidden = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert forbidden == [], (
+        "repro.proof.check transitively imported solver modules: "
+        f"{forbidden}"
+    )
+
+
+def test_checker_imports_no_emitter():
+    """check must not depend on emit (the untrusted, prover-side half)."""
+    probe = _PROBE.replace('("repro.milp", "scipy")', '("repro.proof.emit",)')
+    proc = subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert json.loads(proc.stdout.strip().splitlines()[-1]) == []

@@ -1,0 +1,105 @@
+"""Tamper battery: every forged or corrupted certificate must be
+rejected with the matching A3xx finding.
+
+Each test starts from a genuine checker-clean certificate, applies one
+targeted perturbation, and asserts the independent replay catches it.
+"""
+
+from __future__ import annotations
+
+from repro.proof.check import check_certificate
+
+from .test_check import codes
+
+
+def first_farkas_leaf(cert):
+    for leaf in cert["leaves"]:
+        if leaf["kind"] == "farkas":
+            return leaf
+    raise AssertionError("certificate has no farkas leaf")
+
+
+class TestFarkasTamper:
+    """A302/A307 — the dual vector no longer certifies infeasibility."""
+
+    def test_negated_dual_entry(self, milp_cert):
+        leaf = first_farkas_leaf(milp_cert)
+        row = next(iter(leaf["dual"]))
+        leaf["dual"][row] = -abs(leaf["dual"][row]) - 1.0
+        report = check_certificate(milp_cert)
+        assert report.has_errors
+        assert "A302" in codes(report)
+
+    def test_emptied_dual(self, milp_cert):
+        first_farkas_leaf(milp_cert)["dual"] = {}
+        report = check_certificate(milp_cert)
+        assert report.has_errors
+        assert "A302" in codes(report)
+
+    def test_unknown_row_name(self, milp_cert):
+        first_farkas_leaf(milp_cert)["dual"]["no_such_row"] = 1.0
+        report = check_certificate(milp_cert)
+        assert report.has_errors
+        assert "A307" in codes(report)
+
+
+class TestLeafCoverTamper:
+    """A303 — the leaf cover no longer tiles the binary hypercube."""
+
+    def test_dropped_leaf(self, milp_cert):
+        assert len(milp_cert["leaves"]) >= 2
+        del milp_cert["leaves"][0]
+        report = check_certificate(milp_cert)
+        assert report.has_errors
+        assert "A303" in codes(report)
+
+    def test_flipped_literal(self, milp_cert):
+        leaf = next(
+            l for l in milp_cert["leaves"] if l.get("literals")
+        )
+        var = next(iter(leaf["literals"]))
+        leaf["literals"][var] = 1 - int(leaf["literals"][var])
+        report = check_certificate(milp_cert)
+        assert report.has_errors
+        assert "A303" in codes(report)
+
+
+class TestSlopeTamper:
+    """A304 — a relaxation slope outside the sound ReLU envelope."""
+
+    def test_widened_lower_slope(self, static_cert):
+        relax = static_cert["chain"]["objective"]["relax"]
+        record = next(iter(relax.values()))
+        record["lo_lower"][0][0] = 1.5  # outside the sound [0, 1] band
+        report = check_certificate(static_cert)
+        assert report.has_errors
+        assert "A304" in codes(report)
+
+    def test_upper_line_below_relu(self, static_cert):
+        relax = static_cert["chain"]["objective"]["relax"]
+        record = next(iter(relax.values()))
+        record["up_icept"][0] -= 10.0  # chord dives under relu(x)
+        report = check_certificate(static_cert)
+        assert report.has_errors
+        assert "A304" in codes(report)
+
+
+class TestSplitTreeTamper:
+    """A306 — the partition tree no longer tiles the parent box."""
+
+    def test_deleted_child(self, split_cert):
+        node = split_cert["tree"]
+        assert "split_dim" in node, "fixture tree has no internal node"
+        del node["low"]
+        report = check_certificate(split_cert)
+        assert report.has_errors
+        assert "A306" in codes(report)
+
+    def test_unknown_leaf_kind(self, split_cert):
+        node = split_cert["tree"]
+        while "split_dim" in node:
+            node = node["low"]
+        node["kind"] = "oracle"
+        report = check_certificate(split_cert)
+        assert report.has_errors
+        assert "A306" in codes(report)

@@ -324,6 +324,20 @@ class TestAudit:
         assert code == 0
         assert "audit: clean" in capsys.readouterr().out
 
+    def test_warnings_only_exits_zero(self, net_file, tmp_path, capsys):
+        """Exit-code pin: warnings are advisory, only errors fail."""
+        from repro.nn.serialization import save_network
+
+        network = load_network(net_file)
+        network.layers[0].weights[:, 0] = 0.0   # dead neuron (A002):
+        network.layers[0].bias[0] = -1.0        # warning, not an error
+        warn = tmp_path / "warn.json"
+        save_network(network, warn)
+        code = main(["audit", "--net", str(warn)])
+        out = capsys.readouterr().out
+        assert "A002" in out
+        assert code == 0
+
     def test_with_data_audits_region_and_encoding(
         self, data_file, net_file, capsys
     ):
@@ -360,6 +374,100 @@ class TestAudit:
         payload = json.loads(out.read_text())
         assert payload["schema"] == "repro-audit/1"
         assert payload["errors"] == 0
+
+
+class TestCheck:
+    @pytest.fixture(scope="class")
+    def cert_dir(self, tmp_path_factory, data_file, net_file):
+        """Certificates emitted by a certified decision query."""
+        out = tmp_path_factory.mktemp("cli") / "certs"
+        code = main(
+            [
+                "verify",
+                "--data", str(data_file),
+                "--net", str(net_file),
+                "--time-limit", "120",
+                "--threshold", "1000.0",  # trivially provable
+                "--certify",
+                "--cert-out", str(out),
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_verify_certify_writes_certificates(self, cert_dir):
+        assert len(sorted(cert_dir.glob("*.json"))) == 2
+
+    def test_clean_certificates_exit_zero(self, cert_dir, capsys):
+        paths = [str(p) for p in sorted(cert_dir.glob("*.json"))]
+        code = main(["check", *paths])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "A30" not in out  # no findings against genuine artifacts
+
+    def test_tampered_certificate_exits_one(
+        self, cert_dir, tmp_path, capsys
+    ):
+        import json
+
+        path = sorted(cert_dir.glob("*.json"))[0]
+        cert = json.loads(path.read_text())
+        cert["threshold"] = -1e9  # claim something the replay refutes
+        cert["property"]["threshold"] = -1e9
+        bad = tmp_path / "tampered.json"
+        bad.write_text(json.dumps(cert))
+        code = main(["check", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "A305" in out
+
+    def test_warnings_only_exits_zero(self, tmp_path, capsys):
+        """Exit-code pin: a thin-slack warning (A309) is not a failure."""
+        import numpy as np
+
+        from repro.core.properties import InputRegion, OutputObjective
+        from repro.nn import FeedForwardNetwork
+        from repro.proof.certificate import save_certificate
+        from repro.proof.emit import (
+            assemble_static_certificate,
+            record_chain,
+        )
+        from repro.tolerances import PROOF_REPLAY_TOL
+
+        network = FeedForwardNetwork.mlp(
+            2, [4], 1, rng=np.random.default_rng(7)
+        )
+        region = InputRegion(np.array([[-1.0, 1.0]] * 2))
+        objective = OutputObjective.single(0)
+        record = record_chain(network, region, objective.coefficients)
+        margin = 1e-6
+        cert = assemble_static_certificate(
+            network, region, objective,
+            float(record.objective_upper) + margin + 5 * PROOF_REPLAY_TOL,
+            margin, "thin", record,
+        )
+        assert cert is not None
+        path = tmp_path / "thin.json"
+        save_certificate(cert, str(path))
+        code = main(["check", str(path)])
+        out = capsys.readouterr().out
+        assert "A309" in out
+        assert code == 0
+
+    def test_json_report_written(self, cert_dir, tmp_path):
+        import json
+
+        report_path = tmp_path / "check.json"
+        paths = [str(p) for p in sorted(cert_dir.glob("*.json"))]
+        code = main(["check", *paths, "--json", str(report_path)])
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["errors"] == 0
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        code = main(["check", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "A301" in capsys.readouterr().out
 
 
 class TestCampaignPool:
